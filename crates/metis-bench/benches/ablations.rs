@@ -1,0 +1,105 @@
+//! Ablations of the reproduction's design choices (DESIGN.md §6): the
+//! confidence fallback, the gang scheduler, the streaming-window fit, the
+//! KV-pool cap, and the §4.2 extension knobs (re-ranker / query re-writer).
+
+use metis_bench::{base_qps, dataset, header, run, Row, RUN_SEED};
+use metis_core::{
+    rerank_hits, rewrite_query, MetisOptions, RunConfig, Runner, SystemKind,
+};
+use metis_datasets::{poisson_arrivals, DatasetKind};
+use metis_profiler::ProfilerKind;
+
+fn main() {
+    header(
+        "Ablations",
+        "Design-choice ablations on KG RAG FinSec",
+        "(reproduction-specific; no direct paper counterpart)",
+    );
+    let kind = DatasetKind::FinSec;
+    let qps = base_qps(kind);
+    let d = dataset(kind, 120);
+
+    // 1. Confidence fallback on/off under the noisy profiler.
+    let mut noisy = MetisOptions::full();
+    noisy.profiler = ProfilerKind::Llama70b;
+    let mut no_fallback = noisy;
+    no_fallback.confidence_fallback = false;
+    let with_cf = run(&d, SystemKind::Metis(noisy), qps, RUN_SEED);
+    let without_cf = run(&d, SystemKind::Metis(no_fallback), qps, RUN_SEED);
+
+    // 2. Gang scheduling on/off.
+    let mut no_gang = MetisOptions::full();
+    no_gang.gang = false;
+    let with_gang = run(&d, SystemKind::Metis(MetisOptions::full()), qps, RUN_SEED);
+    let without_gang = run(&d, SystemKind::Metis(no_gang), qps, RUN_SEED);
+
+    // 3. KV-pool cap: paper-scale 12 GB vs unbounded physical pool.
+    let arrivals = poisson_arrivals(RUN_SEED ^ 0xA11, qps, d.queries.len());
+    let mut unbounded_cfg = RunConfig::standard(
+        SystemKind::Metis(MetisOptions::full()),
+        arrivals.clone(),
+        RUN_SEED,
+    );
+    unbounded_cfg.engine.kv_pool_bytes_cap = None;
+    let unbounded = Runner::new(&d, unbounded_cfg).run();
+
+    // 4. Chunk-level KV prefix cache (§8's KV reuse, 4 GB).
+    let mut cache_cfg = RunConfig::standard(
+        SystemKind::Metis(MetisOptions::full()),
+        arrivals,
+        RUN_SEED,
+    );
+    cache_cfg.prefix_cache_bytes = Some(4 * (1 << 30));
+    let cached = Runner::new(&d, cache_cfg).run();
+
+    let rows = vec![
+        Row::from_run("METIS (noisy profiler, conf fallback)", &with_cf),
+        Row::from_run("  - without confidence fallback", &without_cf),
+        Row::from_run("METIS (gang scheduling)", &with_gang),
+        Row::from_run("  - without gang scheduling", &without_gang),
+        Row::from_run("  - unbounded KV pool", &unbounded),
+        Row::from_run(
+            format!(
+                "METIS + 4GB chunk-KV cache (hit {:.0}%)",
+                cached.prefix_hit_rate * 100.0
+            ),
+            &cached,
+        ),
+    ];
+    metis_bench::print_rows(&rows);
+
+    // 5. Extension knobs: does the lexical re-ranker recover weakly-embedded
+    //    facts, and does query re-writing sharpen retrieval?
+    println!("\n  extension knobs (retrieval recall of needed facts @ 8):");
+    let mut plain_found = 0usize;
+    let mut rerank_found = 0usize;
+    let mut rewrite_found = 0usize;
+    let mut total = 0usize;
+    for q in &d.queries {
+        let needed: std::collections::HashSet<_> = q.truth.base.iter().map(|b| b.id).collect();
+        let count = |hits: &[metis_vectordb::RetrievalResult]| {
+            let mut found = std::collections::HashSet::new();
+            for r in hits {
+                for f in r.text.fact_ids() {
+                    if needed.contains(&f) {
+                        found.insert(f);
+                    }
+                }
+            }
+            found.len()
+        };
+        total += needed.len();
+        let deep = d.db.retrieve(&q.tokens, 24);
+        plain_found += count(&deep[..8.min(deep.len())]);
+        let reranked = rerank_hits(&q.tokens, deep.clone());
+        rerank_found += count(&reranked[..8.min(reranked.len())]);
+        let rewritten = d.db.retrieve(&rewrite_query(&q.tokens), 8);
+        rewrite_found += count(&rewritten);
+    }
+    println!(
+        "    plain top-8: {:.3} | re-ranked top-8 of 24: {:.3} | rewritten query top-8: {:.3}",
+        plain_found as f64 / total as f64,
+        rerank_found as f64 / total as f64,
+        rewrite_found as f64 / total as f64
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 1: headline preview on KG RAG FinSec — METIS vs AdaptiveRAG*,
+//! Parrot*, and vLLM on both delay and quality.
+
+use metis_bench::{
+    adaptive_rag, base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, print_rows,
+    run, sweep_fixed, Row, RUN_SEED,
+};
+use metis_datasets::DatasetKind;
+
+fn main() {
+    let kind = DatasetKind::FinSec;
+    let qps = base_qps(kind);
+    let d = dataset(kind, 150);
+    header(
+        "Figure 1",
+        &format!("Preview on {} (λ = {qps}/s, {} queries)", kind.name(), d.queries.len()),
+        "METIS beats vLLM, Parrot (OSDI'24) and AdaptiveRAG (ACL'24) on the \
+         delay-quality plane",
+    );
+
+    let m = run(&d, metis(), qps, RUN_SEED);
+    let a = run(&d, adaptive_rag(), qps, RUN_SEED);
+    // Fixed-config baselines pick their best-quality static configuration.
+    let vllm_sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
+    let (vc, vr) = best_quality_fixed(&vllm_sweep);
+    let parrot_sweep = sweep_fixed(&d, &[*vc], qps, RUN_SEED, true);
+    let (pc, pr) = &parrot_sweep[0];
+
+    let rows = vec![
+        Row::from_run("METIS (ours)", &m),
+        Row::from_run("AdaptiveRAG*", &a),
+        Row::from_run(format!("Parrot* [{}]", pc.label()), pr),
+        Row::from_run(format!("vLLM fixed [{}]", vc.label()), vr),
+    ];
+    print_rows(&rows);
+    println!(
+        "\nmeasured: METIS delay {:.2}s vs AdaptiveRAG* {:.2}s ({:.2}x), \
+         vLLM best fixed {:.2}s ({:.2}x); F1 {:.3} vs {:.3}/{:.3}",
+        m.mean_delay_secs(),
+        a.mean_delay_secs(),
+        a.mean_delay_secs() / m.mean_delay_secs(),
+        vr.mean_delay_secs(),
+        vr.mean_delay_secs() / m.mean_delay_secs(),
+        m.mean_f1(),
+        a.mean_f1(),
+        vr.mean_f1()
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 9: the profiler's confidence score separates good profiles from
+//! bad ones, justifying the 90% threshold of §5.
+
+use metis_bench::{dataset, header};
+use metis_datasets::DatasetKind;
+use metis_profiler::{LlmProfiler, ProfilerKind};
+
+fn main() {
+    header(
+        "Figure 9",
+        "Profiler confidence threshold (pooled over all four datasets)",
+        ">93% of profiles are above the 90% threshold; of those >96% are \
+         good; of the ~7% below threshold, 85-90% are bad",
+    );
+    let mut hi_good = 0u32;
+    let mut hi_bad = 0u32;
+    let mut lo_good = 0u32;
+    let mut lo_bad = 0u32;
+    for kind in DatasetKind::all() {
+        let d = dataset(kind, 150);
+        let mut p = LlmProfiler::new(ProfilerKind::Gpt4o);
+        let md = d.db.metadata().clone();
+        for q in &d.queries {
+            let out = p.profile(q, &md, 7);
+            let good = out.estimate.is_good(&q.profile);
+            match (out.estimate.confidence >= 0.90, good) {
+                (true, true) => hi_good += 1,
+                (true, false) => hi_bad += 1,
+                (false, true) => lo_good += 1,
+                (false, false) => lo_bad += 1,
+            }
+        }
+    }
+    let total = hi_good + hi_bad + lo_good + lo_bad;
+    let hi = hi_good + hi_bad;
+    let lo = lo_good + lo_bad;
+    println!("  profiles: {total} total");
+    println!(
+        "  above 90% threshold: {hi} ({:.1}%) — good {:.1}%, bad {:.1}%",
+        100.0 * f64::from(hi) / f64::from(total),
+        100.0 * f64::from(hi_good) / f64::from(hi.max(1)),
+        100.0 * f64::from(hi_bad) / f64::from(hi.max(1)),
+    );
+    println!(
+        "  below 90% threshold: {lo} ({:.1}%) — bad {:.1}%, good {:.1}%",
+        100.0 * f64::from(lo) / f64::from(total),
+        100.0 * f64::from(lo_bad) / f64::from(lo.max(1)),
+        100.0 * f64::from(lo_good) / f64::from(lo.max(1)),
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 10: overall delay and quality across all four datasets —
+//! METIS vs AdaptiveRAG*, Parrot*, and vLLM fixed configurations.
+
+use metis_bench::{
+    adaptive_rag, base_qps, best_quality_fixed, closest_delay_fixed, dataset, fixed_menu, header,
+    metis, print_rows, run, sweep_fixed, Row, RUN_SEED,
+};
+use metis_datasets::DatasetKind;
+
+fn main() {
+    header(
+        "Figure 10",
+        "Overall improvement across the four datasets",
+        "METIS: 1.64-2.54x lower delay than quality-optimized adaptation \
+         (AdaptiveRAG*) and best fixed configs at no F1 loss; 12-18% higher \
+         F1 than fixed configs of similar delay",
+    );
+    for kind in DatasetKind::all() {
+        let qps = base_qps(kind);
+        let d = dataset(kind, 150);
+        let m = run(&d, metis(), qps, RUN_SEED);
+        let a = run(&d, adaptive_rag(), qps, RUN_SEED);
+        let sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
+        let (qc, qr) = best_quality_fixed(&sweep);
+        let (dc, dr) = closest_delay_fixed(&sweep, m.mean_delay_secs());
+        let parrot = sweep_fixed(&d, &[*qc], qps, RUN_SEED, true);
+        let (pc, pr) = &parrot[0];
+
+        println!("\n--- {} (λ = {qps}/s, {} queries) ---", kind.name(), d.queries.len());
+        print_rows(&[
+            Row::from_run("METIS", &m),
+            Row::from_run("AdaptiveRAG*", &a),
+            Row::from_run(format!("Parrot* [{}]", pc.label()), pr),
+            Row::from_run(format!("vLLM best-quality [{}]", qc.label()), qr),
+            Row::from_run(format!("vLLM similar-delay [{}]", dc.label()), dr),
+        ]);
+        println!(
+            "  delay vs AdaptiveRAG*: {:.2}x | F1 delta: {:+.3}",
+            a.mean_delay_secs() / m.mean_delay_secs(),
+            m.mean_f1() - a.mean_f1()
+        );
+        println!(
+            "  delay vs best-quality fixed: {:.2}x | F1 delta: {:+.3}",
+            qr.mean_delay_secs() / m.mean_delay_secs(),
+            m.mean_f1() - qr.mean_f1()
+        );
+        println!(
+            "  F1 vs similar-delay fixed: {:+.1}%",
+            (m.mean_f1() / dr.mean_f1().max(1e-9) - 1.0) * 100.0
+        );
+    }
+}

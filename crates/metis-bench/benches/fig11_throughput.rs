@@ -1,0 +1,94 @@
+//! Figure 11: mean delay vs offered load (queries/second) — METIS vs
+//! Parrot* and vLLM with the fixed configuration of closest quality.
+//!
+//! The x-axis is expressed as a multiple of each dataset's calibrated base
+//! rate (see `metis_bench::base_qps`); the paper's absolute 0–8 q/s axis is
+//! testbed-specific.
+
+use std::sync::Mutex;
+
+use metis_bench::{
+    base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, run, sweep_fixed, RUN_SEED,
+};
+use metis_core::SystemKind;
+use metis_datasets::DatasetKind;
+
+const MULTS: [f64; 6] = [0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+
+fn main() {
+    header(
+        "Figure 11",
+        "Throughput: mean delay vs offered load",
+        "METIS sustains 1.8-4.5x higher throughput than fixed-config \
+         baselines of closest quality at the same delay",
+    );
+    for kind in DatasetKind::all() {
+        let d = dataset(kind, 120);
+        let base = base_qps(kind);
+        // Fixed baseline = best-quality static config at the base rate.
+        let sweep = sweep_fixed(&d, &fixed_menu(), base, RUN_SEED, false);
+        let (qc, _) = best_quality_fixed(&sweep);
+        println!(
+            "\n--- {} (base λ = {base}/s, fixed = {}) ---",
+            kind.name(),
+            qc.label()
+        );
+        println!(
+            "  {:<10} {:>11} {:>11} {:>11}",
+            "load", "METIS(s)", "Parrot*(s)", "vLLM(s)"
+        );
+
+        // All (multiplier, system) points in parallel.
+        let rows: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            for (mi, &mult) in MULTS.iter().enumerate() {
+                for si in 0..3usize {
+                    let d = &d;
+                    let rows = &rows;
+                    let config = *qc;
+                    s.spawn(move |_| {
+                        let system = match si {
+                            0 => metis(),
+                            1 => SystemKind::Parrot { config },
+                            _ => SystemKind::VllmFixed { config },
+                        };
+                        let r = run(d, system, base * mult, RUN_SEED);
+                        rows.lock().expect("poisoned").push((mi, si, r.mean_delay_secs()));
+                    });
+                }
+            }
+        })
+        .expect("scope");
+        let rows = rows.into_inner().expect("poisoned");
+        let mut grid = [[0.0f64; 3]; MULTS.len()];
+        for (mi, si, v) in rows {
+            grid[mi][si] = v;
+        }
+        for (mi, &mult) in MULTS.iter().enumerate() {
+            println!(
+                "  {:<10} {:>11.2} {:>11.2} {:>11.2}",
+                format!("{:.2}x", mult),
+                grid[mi][0],
+                grid[mi][1],
+                grid[mi][2]
+            );
+        }
+        // Throughput at a delay budget: the largest load multiple where mean
+        // delay stays within 3x the low-load delay.
+        let budget = |col: usize| -> f64 {
+            let cap = grid[0][col] * 3.0;
+            MULTS
+                .iter()
+                .enumerate()
+                .filter(|(mi, _)| grid[*mi][col] <= cap)
+                .map(|(_, &m)| m)
+                .fold(0.0, f64::max)
+        };
+        let (tm, tp, tv) = (budget(0), budget(1), budget(2));
+        println!(
+            "  sustainable load within 3x low-load delay: METIS {tm:.2}x, \
+             Parrot* {tp:.2}x, vLLM {tv:.2}x → METIS/vLLM = {:.2}x",
+            tm / tv.max(1e-9)
+        );
+    }
+}

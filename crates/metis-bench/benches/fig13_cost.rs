@@ -1,0 +1,88 @@
+//! Figure 13: dollar cost vs quality — METIS (Mistral-7B + GPT-4o profiler)
+//! against bigger serving models with fixed configurations.
+
+use metis_bench::{
+    base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, run, run_on, sweep_fixed,
+    RUN_SEED,
+};
+use metis_core::SystemKind;
+use metis_datasets::{poisson_arrivals, DatasetKind};
+use metis_llm::{GpuCluster, ModelSpec};
+use metis_metrics::{CostModel, RunCost};
+
+fn main() {
+    header(
+        "Figure 13",
+        "Dollar cost per query vs F1 with increasing model size",
+        "fixed-config Llama-70B costs 2.38x more at ~6.5% lower F1; \
+         fixed-config GPT-4o costs 6.8x more and still trails METIS's F1",
+    );
+    for kind in [DatasetKind::Musique, DatasetKind::Qmsum] {
+        let qps = base_qps(kind);
+        let n = 100;
+        let d = dataset(kind, n);
+
+        // METIS on Mistral-7B, one A40 (+ GPT-4o profiler API spend).
+        let m = run(&d, metis(), qps, RUN_SEED);
+        let mut metis_cost = RunCost::default();
+        // GPU provisioned for the whole makespan.
+        metis_cost.add_gpu_secs(m.makespan_secs);
+        metis_cost.add_api(m.api_cost_usd);
+        let metis_usd = metis_cost.usd_per_query(&CostModel::a40(1), n);
+
+        // Llama-3.1-70B on two A40s, best fixed config (rate scaled down to
+        // its slower service).
+        let sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
+        let (qc, _) = best_quality_fixed(&sweep);
+        let arrivals = poisson_arrivals(RUN_SEED ^ 0xA11, qps * 0.4, n);
+        let l = run_on(
+            &d,
+            SystemKind::VllmFixed { config: *qc },
+            arrivals,
+            RUN_SEED,
+            ModelSpec::llama31_70b_awq(),
+            GpuCluster::dual_a40(),
+            false,
+        );
+        let mut llama_cost = RunCost::default();
+        llama_cost.add_gpu_secs(l.makespan_secs);
+        let llama_usd = llama_cost.usd_per_query(&CostModel::a40(2), n);
+
+        // GPT-4o over the API with the same fixed config.
+        let arrivals = poisson_arrivals(RUN_SEED ^ 0xA11, qps, n);
+        let g = run_on(
+            &d,
+            SystemKind::VllmFixed { config: *qc },
+            arrivals,
+            RUN_SEED,
+            ModelSpec::gpt4o(),
+            GpuCluster::single_a40(),
+            false,
+        );
+        let gpt_usd = g.api_cost_usd / n as f64;
+
+        println!("\n--- {} (fixed = {}) ---", kind.name(), qc.label());
+        println!(
+            "  {:<44} {:>11} {:>7}",
+            "serving setup", "$/query", "F1"
+        );
+        println!(
+            "  {:<44} {:>11.5} {:>7.3}",
+            "METIS: Mistral-7B AWQ, 1xA40 + profiler", metis_usd, m.mean_f1()
+        );
+        println!(
+            "  {:<44} {:>11.5} {:>7.3}   ({:.2}x METIS cost)",
+            "vLLM fixed: Llama-3.1-70B AWQ, 2xA40",
+            llama_usd,
+            l.mean_f1(),
+            llama_usd / metis_usd
+        );
+        println!(
+            "  {:<44} {:>11.5} {:>7.3}   ({:.2}x METIS cost)",
+            "API fixed: GPT-4o",
+            gpt_usd,
+            g.mean_f1(),
+            gpt_usd / metis_usd
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 17: swapping the profiler LLM for a smaller open-source model
+//! (Llama-3.1-70B instead of GPT-4o).
+
+use metis_bench::{
+    adaptive_rag, base_qps, best_quality_fixed, closest_delay_fixed, dataset, fixed_menu, header,
+    print_rows, run, sweep_fixed, Row, RUN_SEED,
+};
+use metis_core::{MetisOptions, SystemKind};
+use metis_datasets::DatasetKind;
+use metis_profiler::ProfilerKind;
+
+fn main() {
+    header(
+        "Figure 17",
+        "Smaller open-source profiler (Llama-3.1-70B)",
+        "METIS stays 1.4-2.1x faster than AdaptiveRAG* at similar F1, and \
+         10-14% higher F1 than fixed configs of similar delay",
+    );
+    for kind in [DatasetKind::FinSec, DatasetKind::Squad] {
+        let qps = base_qps(kind);
+        let d = dataset(kind, 150);
+        let mut opts = MetisOptions::full();
+        opts.profiler = ProfilerKind::Llama70b;
+        let m = run(&d, SystemKind::Metis(opts), qps, RUN_SEED);
+        let a = run(&d, adaptive_rag(), qps, RUN_SEED);
+        let sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
+        let (qc, qr) = best_quality_fixed(&sweep);
+        let (dc, dr) = closest_delay_fixed(&sweep, m.mean_delay_secs());
+
+        println!("\n--- {} (λ = {qps}/s, Llama-70B profiler) ---", kind.name());
+        print_rows(&[
+            Row::from_run("METIS (Llama-70B profiler)", &m),
+            Row::from_run("AdaptiveRAG* (GPT-4o profiler)", &a),
+            Row::from_run(format!("vLLM best fixed [{}]", qc.label()), qr),
+            Row::from_run(format!("vLLM similar delay [{}]", dc.label()), dr),
+        ]);
+        println!(
+            "  delay vs AdaptiveRAG*: {:.2}x | F1 vs similar-delay fixed: {:+.1}%",
+            a.mean_delay_secs() / m.mean_delay_secs(),
+            (m.mean_f1() / dr.mean_f1().max(1e-9) - 1.0) * 100.0
+        );
+    }
+}

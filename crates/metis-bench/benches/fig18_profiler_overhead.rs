@@ -1,0 +1,43 @@
+//! Figure 18: the per-query profiling delay is a small fraction of the
+//! end-to-end response delay.
+
+use metis_bench::{base_qps, dataset, header, metis, run, RUN_SEED};
+use metis_datasets::DatasetKind;
+
+fn main() {
+    header(
+        "Figure 18",
+        "Profiler delay as a fraction of end-to-end delay",
+        "at most ~0.1 of the total delay; 0.03-0.06 in the average case",
+    );
+    println!(
+        "  {:<16} {:>10} {:>10} {:>12}",
+        "dataset", "mean", "max", "mean prof(s)"
+    );
+    for kind in DatasetKind::all() {
+        let d = dataset(kind, 120);
+        let r = run(&d, metis(), base_qps(kind), RUN_SEED);
+        let fractions: Vec<f64> = r
+            .per_query
+            .iter()
+            .map(|q| {
+                if q.delay_secs > 0.0 {
+                    q.profiler_secs / q.delay_secs
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        let max = fractions.iter().fold(0.0f64, |a, &b| a.max(b));
+        let mean_prof =
+            r.per_query.iter().map(|q| q.profiler_secs).sum::<f64>() / r.per_query.len() as f64;
+        println!(
+            "  {:<16} {:>10.3} {:>10.3} {:>12.3}",
+            kind.name(),
+            mean,
+            max,
+            mean_prof
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 19: METIS under low load — queries sent sequentially, each after
+//! the previous one completes (closed loop, no batching benefit).
+
+use metis_bench::{
+    base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, run_on, sweep_fixed,
+    RUN_SEED,
+};
+use metis_core::SystemKind;
+use metis_datasets::DatasetKind;
+use metis_llm::{GpuCluster, ModelSpec};
+
+fn main() {
+    header(
+        "Figure 19",
+        "Low load: closed-loop sequential queries",
+        "METIS still reduces delay 1.48-1.56x vs vLLM's highest-quality \
+         fixed config, because it only picks configurations relevant to the \
+         query profile",
+    );
+    for kind in [DatasetKind::FinSec, DatasetKind::Musique] {
+        let n = 80;
+        let d = dataset(kind, n);
+        // Best-quality fixed config is identified under open-loop load.
+        let sweep = sweep_fixed(&d, &fixed_menu(), base_qps(kind), RUN_SEED, false);
+        let (qc, _) = best_quality_fixed(&sweep);
+
+        let closed = |system| {
+            run_on(
+                &d,
+                system,
+                vec![0; n],
+                RUN_SEED,
+                ModelSpec::mistral_7b_awq(),
+                GpuCluster::single_a40(),
+                true,
+            )
+        };
+        let m = closed(metis());
+        let v = closed(SystemKind::VllmFixed { config: *qc });
+        println!(
+            "\n--- {} (sequential, {} queries) ---",
+            kind.name(),
+            n
+        );
+        println!(
+            "  METIS             mean {:>6.2}s  F1 {:.3}",
+            m.mean_delay_secs(),
+            m.mean_f1()
+        );
+        println!(
+            "  vLLM fixed [{}]   mean {:>6.2}s  F1 {:.3}",
+            qc.label(),
+            v.mean_delay_secs(),
+            v.mean_f1()
+        );
+        println!(
+            "  delay reduction: {:.2}x",
+            v.mean_delay_secs() / m.mean_delay_secs()
+        );
+    }
+}

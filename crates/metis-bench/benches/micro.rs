@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the substrate layers: tokenizer,
+//! embedding, vector search, KV allocator, engine iteration, and F1.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use metis_embed::{Embedder, HashEmbed};
+use metis_engine::{Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, RequestId, Stage};
+use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+use metis_metrics::f1_score;
+use metis_text::{AnnotatedText, Chunker, ChunkerConfig, TokenId, Tokenizer};
+use metis_vectordb::{FlatIndex, VectorIndex};
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let text = "the quarterly revenue of the company grew by twelve percent "
+        .repeat(64);
+    c.bench_function("tokenizer/encode_4k_words", |b| {
+        b.iter_batched(
+            Tokenizer::new,
+            |mut t| t.encode(&text),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let e = HashEmbed::default();
+    let tokens: Vec<TokenId> = (0..512).map(|i| TokenId(i % 200)).collect();
+    c.bench_function("embed/hash_512_tokens", |b| b.iter(|| e.embed(&tokens)));
+}
+
+fn bench_flat_search(c: &mut Criterion) {
+    let e = HashEmbed::default();
+    let mut idx = FlatIndex::new(e.dim());
+    for i in 0..2_000u32 {
+        let toks: Vec<TokenId> = (0..64).map(|j| TokenId(i * 7 + j)).collect();
+        idx.add(metis_text::ChunkId(i), &e.embed(&toks));
+    }
+    let q = e.embed(&(0..32).map(TokenId).collect::<Vec<_>>());
+    c.bench_function("vectordb/flat_search_2k_top10", |b| {
+        b.iter(|| idx.search(&q, 10))
+    });
+}
+
+fn bench_chunker(c: &mut Criterion) {
+    let mut doc = AnnotatedText::new();
+    doc.push_tokens(&(0..20_000u32).map(TokenId).collect::<Vec<_>>());
+    let chunker = Chunker::new(ChunkerConfig::with_size(512));
+    c.bench_function("text/chunk_20k_tokens", |b| b.iter(|| chunker.split(&doc)));
+}
+
+fn bench_kv_allocator(c: &mut Criterion) {
+    c.bench_function("engine/kv_alloc_free_1k", |b| {
+        b.iter_batched(
+            || KvAllocator::new(1_000_000, 16),
+            |mut a| {
+                for i in 0..1_000u64 {
+                    a.alloc(RequestId(i), 500).expect("fits");
+                }
+                for i in 0..1_000u64 {
+                    a.free(RequestId(i)).expect("held");
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/serve_32_requests", |b| {
+        b.iter_batched(
+            || {
+                let lat =
+                    LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+                let mut e = Engine::new(lat, EngineConfig::default());
+                for i in 0..32u64 {
+                    e.submit(LlmRequest {
+                        id: RequestId(i),
+                        group: GroupId(i),
+                        stage: Stage::Single,
+                        prompt_tokens: 2_000,
+                        output_tokens: 30,
+                        cached_prompt_tokens: 0,
+                        arrival: i * 50_000_000,
+                    });
+                }
+                e
+            },
+            |mut e| e.run_until_idle(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_f1(c: &mut Criterion) {
+    let a: Vec<TokenId> = (0..60).map(|i| TokenId(i % 40)).collect();
+    let b2: Vec<TokenId> = (10..70).map(|i| TokenId(i % 45)).collect();
+    c.bench_function("metrics/f1_60_tokens", |b| b.iter(|| f1_score(&a, &b2)));
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tokenizer,
+        bench_embedding,
+        bench_flat_search,
+        bench_chunker,
+        bench_kv_allocator,
+        bench_engine,
+        bench_f1
+);
+criterion_main!(micro);

@@ -1,0 +1,264 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use metis_datasets::DatasetKind;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `metis run ...` — serve a workload and print the summary.
+    Run(RunArgs),
+    /// `metis sweep ...` — sweep the fixed-configuration menu.
+    Sweep(RunArgs),
+    /// `metis profile ...` — show profiles and pruned spaces per query.
+    Profile(RunArgs),
+    /// `metis help`.
+    Help,
+}
+
+/// Options shared by the subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    /// Which dataset to generate.
+    pub dataset: DatasetKind,
+    /// System under test (run subcommand only).
+    pub system: SystemChoice,
+    /// Number of queries.
+    pub queries: usize,
+    /// Poisson arrival rate (q/s); 0 = closed loop.
+    pub qps: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Serve with Llama-3.1-70B on two A40s instead of Mistral-7B.
+    pub big_model: bool,
+    /// Optional per-query latency SLO in seconds.
+    pub slo: Option<f64>,
+    /// Optional chunk-KV prefix cache in GiB.
+    pub prefix_cache_gib: Option<u64>,
+}
+
+/// Which serving system to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemChoice {
+    /// Full METIS.
+    Metis,
+    /// AdaptiveRAG\* baseline.
+    AdaptiveRag,
+    /// vLLM with a fixed configuration `stuff(k)`.
+    FixedStuff(u32),
+    /// vLLM with a fixed configuration `map_reduce(k, l)`.
+    FixedMapReduce(u32, u32),
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            dataset: DatasetKind::Musique,
+            system: SystemChoice::Metis,
+            queries: 100,
+            qps: 0.5,
+            seed: 7,
+            big_model: false,
+            slo: None,
+            prefix_cache_gib: None,
+        }
+    }
+}
+
+/// Usage text printed by `metis help` and on parse errors.
+pub const USAGE: &str = "\
+metis — METIS RAG-serving reproduction (SOSP '25)
+
+USAGE:
+  metis run     [OPTIONS]   serve a workload and print per-system results
+  metis sweep   [OPTIONS]   sweep the fixed-configuration menu
+  metis profile [OPTIONS]   show profiler output and pruned spaces per query
+  metis help
+
+OPTIONS:
+  --dataset <squad|musique|finsec|qmsum>   (default musique)
+  --system  <metis|adaptive|stuff:K|map_reduce:K:L>  (default metis)
+  --queries <N>            (default 100)
+  --qps <RATE>             Poisson rate; 0 = closed loop (default 0.5)
+  --seed <N>               (default 7)
+  --big-model              serve Llama-3.1-70B on two A40s
+  --slo <SECS>             per-query latency budget
+  --prefix-cache-gb <GIB>  enable chunk-KV reuse
+";
+
+/// Parses a dataset name.
+pub fn parse_dataset(s: &str) -> Result<DatasetKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "squad" => Ok(DatasetKind::Squad),
+        "musique" => Ok(DatasetKind::Musique),
+        "finsec" | "kg-rag-finsec" => Ok(DatasetKind::FinSec),
+        "qmsum" => Ok(DatasetKind::Qmsum),
+        other => Err(format!("unknown dataset '{other}'")),
+    }
+}
+
+/// Parses a system choice.
+pub fn parse_system(s: &str) -> Result<SystemChoice, String> {
+    let lower = s.to_ascii_lowercase();
+    if lower == "metis" {
+        return Ok(SystemChoice::Metis);
+    }
+    if lower == "adaptive" || lower == "adaptiverag" {
+        return Ok(SystemChoice::AdaptiveRag);
+    }
+    if let Some(rest) = lower.strip_prefix("stuff:") {
+        let k: u32 = rest.parse().map_err(|_| format!("bad chunk count '{rest}'"))?;
+        return Ok(SystemChoice::FixedStuff(k));
+    }
+    if let Some(rest) = lower.strip_prefix("map_reduce:") {
+        let mut it = rest.split(':');
+        let k: u32 = it
+            .next()
+            .unwrap_or_default()
+            .parse()
+            .map_err(|_| format!("bad map_reduce spec '{rest}'"))?;
+        let l: u32 = it
+            .next()
+            .unwrap_or("100")
+            .parse()
+            .map_err(|_| format!("bad map_reduce spec '{rest}'"))?;
+        return Ok(SystemChoice::FixedMapReduce(k, l));
+    }
+    Err(format!("unknown system '{s}'"))
+}
+
+/// Parses the full command line (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let mut run = RunArgs::default();
+    let mut i = 1;
+    let next = |i: &mut usize| -> Result<&str, String> {
+        *i += 1;
+        args.get(*i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => run.dataset = parse_dataset(next(&mut i)?)?,
+            "--system" => run.system = parse_system(next(&mut i)?)?,
+            "--queries" => {
+                run.queries = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --queries: {e}"))?
+            }
+            "--qps" => {
+                run.qps = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --qps: {e}"))?
+            }
+            "--seed" => {
+                run.seed = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--big-model" => run.big_model = true,
+            "--slo" => {
+                run.slo = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --slo: {e}"))?,
+                )
+            }
+            "--prefix-cache-gb" => {
+                run.prefix_cache_gib = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --prefix-cache-gb: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    if run.queries == 0 {
+        return Err("--queries must be positive".into());
+    }
+    match sub.as_str() {
+        "run" => Ok(Command::Run(run)),
+        "sweep" => Ok(Command::Sweep(run)),
+        "profile" => Ok(Command::Profile(run)),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(a) = parse(&sv(&["run"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(a, RunArgs::default());
+    }
+
+    #[test]
+    fn full_option_set_parses() {
+        let cmd = parse(&sv(&[
+            "run",
+            "--dataset",
+            "finsec",
+            "--system",
+            "map_reduce:8:120",
+            "--queries",
+            "50",
+            "--qps",
+            "0.2",
+            "--seed",
+            "42",
+            "--big-model",
+            "--slo",
+            "2.5",
+            "--prefix-cache-gb",
+            "4",
+        ]))
+        .unwrap();
+        let Command::Run(a) = cmd else { panic!() };
+        assert_eq!(a.dataset, DatasetKind::FinSec);
+        assert_eq!(a.system, SystemChoice::FixedMapReduce(8, 120));
+        assert_eq!(a.queries, 50);
+        assert_eq!(a.qps, 0.2);
+        assert_eq!(a.seed, 42);
+        assert!(a.big_model);
+        assert_eq!(a.slo, Some(2.5));
+        assert_eq!(a.prefix_cache_gib, Some(4));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_messages() {
+        assert!(parse(&sv(&["run", "--dataset", "wiki"])).is_err());
+        assert!(parse(&sv(&["run", "--system", "magic"])).is_err());
+        assert!(parse(&sv(&["run", "--queries", "0"])).is_err());
+        assert!(parse(&sv(&["run", "--qps"])).is_err(), "missing value");
+        assert!(parse(&sv(&["serve"])).is_err(), "unknown subcommand");
+    }
+
+    #[test]
+    fn system_spellings() {
+        assert_eq!(parse_system("METIS").unwrap(), SystemChoice::Metis);
+        assert_eq!(parse_system("adaptiverag").unwrap(), SystemChoice::AdaptiveRag);
+        assert_eq!(parse_system("stuff:12").unwrap(), SystemChoice::FixedStuff(12));
+        assert_eq!(
+            parse_system("map_reduce:6").unwrap(),
+            SystemChoice::FixedMapReduce(6, 100)
+        );
+    }
+}

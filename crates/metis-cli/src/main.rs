@@ -1,0 +1,155 @@
+//! `metis` — command-line workload runner for the METIS reproduction.
+//!
+//! ```sh
+//! metis run --dataset finsec --system metis --queries 100 --qps 0.2
+//! metis sweep --dataset musique
+//! metis profile --dataset qmsum --queries 5
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use metis_core::{
+    fixed_config_grid, map_profile, MetisOptions, RagConfig, RunConfig, RunResult, Runner,
+    SystemKind,
+};
+use metis_datasets::{build_dataset, poisson_arrivals};
+use metis_llm::{GpuCluster, ModelSpec};
+use metis_profiler::{LlmProfiler, ProfilerKind};
+
+use args::{parse, Command, RunArgs, SystemChoice, USAGE};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run(a)) => {
+            cmd_run(&a);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Sweep(a)) => {
+            cmd_sweep(&a);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Profile(a)) => {
+            cmd_profile(&a);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn system_of(choice: SystemChoice, slo: Option<f64>) -> SystemKind {
+    match choice {
+        SystemChoice::Metis => {
+            let mut opts = MetisOptions::full();
+            opts.slo_secs = slo;
+            SystemKind::Metis(opts)
+        }
+        SystemChoice::AdaptiveRag => SystemKind::AdaptiveRag {
+            profiler: ProfilerKind::Gpt4o,
+        },
+        SystemChoice::FixedStuff(k) => SystemKind::VllmFixed {
+            config: RagConfig::stuff(k),
+        },
+        SystemChoice::FixedMapReduce(k, l) => SystemKind::VllmFixed {
+            config: RagConfig::map_reduce(k, l),
+        },
+    }
+}
+
+fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
+    let dataset = build_dataset(a.dataset, a.queries, a.seed);
+    let closed_loop = a.qps <= 0.0;
+    let arrivals = if closed_loop {
+        vec![0; a.queries]
+    } else {
+        poisson_arrivals(a.seed ^ 0xA11, a.qps, a.queries)
+    };
+    let mut cfg = RunConfig::standard(system, arrivals, a.seed);
+    cfg.closed_loop = closed_loop;
+    if a.big_model {
+        cfg.model = ModelSpec::llama31_70b_awq();
+        cfg.cluster = GpuCluster::dual_a40();
+    }
+    if let Some(gib) = a.prefix_cache_gib {
+        cfg.prefix_cache_bytes = Some(gib * (1 << 30));
+    }
+    Runner::new(&dataset, cfg).run()
+}
+
+fn print_result(label: &str, r: &RunResult) {
+    let lat = r.latency();
+    println!(
+        "{label:<28} mean {:>6.2}s  p50 {:>6.2}s  p99 {:>6.2}s  F1 {:.3}  $api {:.4}",
+        lat.mean(),
+        lat.p50(),
+        lat.p99(),
+        r.mean_f1(),
+        r.api_cost_usd
+    );
+}
+
+fn cmd_run(a: &RunArgs) {
+    println!(
+        "dataset {:?}, {} queries, {}",
+        a.dataset,
+        a.queries,
+        if a.qps <= 0.0 {
+            "closed loop".to_string()
+        } else {
+            format!("Poisson λ = {}/s", a.qps)
+        }
+    );
+    let r = run_once(a, system_of(a.system, a.slo));
+    print_result(&format!("{:?}", a.system), &r);
+    if a.prefix_cache_gib.is_some() {
+        println!("prefix-cache hit rate: {:.1}%", r.prefix_hit_rate * 100.0);
+    }
+}
+
+fn cmd_sweep(a: &RunArgs) {
+    println!(
+        "fixed-configuration sweep on {:?} ({} queries, λ = {}/s)",
+        a.dataset, a.queries, a.qps
+    );
+    for config in fixed_config_grid() {
+        let r = run_once(a, SystemKind::VllmFixed { config });
+        print_result(&config.label(), &r);
+    }
+}
+
+fn cmd_profile(a: &RunArgs) {
+    let dataset = build_dataset(a.dataset, a.queries, a.seed);
+    let mut profiler = LlmProfiler::new(ProfilerKind::Gpt4o);
+    let metadata = dataset.db.metadata().clone();
+    for q in &dataset.queries {
+        let out = profiler.profile(q, &metadata, a.seed);
+        let e = out.estimate;
+        let space = map_profile(&e);
+        println!(
+            "q{:<4} true(pieces {}, joint {}, {:?}) est(pieces {}, joint {}, {:?}, conf {:.2}) \
+             → methods {:?}, chunks {}..{}, summary {}..{}",
+            q.id.0,
+            q.profile.pieces,
+            q.profile.joint,
+            q.profile.complexity,
+            e.pieces,
+            e.joint,
+            e.complexity,
+            e.confidence,
+            space.methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            space.num_chunks.0,
+            space.num_chunks.1,
+            space.intermediate_length.0,
+            space.intermediate_length.1,
+        );
+    }
+}

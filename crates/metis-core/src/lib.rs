@@ -1,0 +1,46 @@
+//! METIS: the RAG controller (the paper's primary contribution).
+//!
+//! METIS is the first RAG system that adapts multiple configuration knobs on
+//! a per-query basis *and* makes configuration and scheduling decisions
+//! jointly. The controller has two stages (§4, Fig. 6/7):
+//!
+//! 1. **Configuration-space pruning** — an LLM profiler estimates each
+//!    query's profile (`metis-profiler`); Algorithm 1 ([`mapping`]) maps the
+//!    profile to a *pruned space*: a set of candidate synthesis methods, a
+//!    `num_chunks` range of `[n, 3n]`, and an `intermediate_length` range —
+//!    a 50–100× reduction of the full combinatorial space while keeping
+//!    quality high.
+//! 2. **Joint configuration/scheduling** — the [`bestfit`] scheduler picks,
+//!    from the pruned space, the configuration with the highest memory
+//!    requirement *that fits the currently free GPU memory* (with a 2%
+//!    safety buffer), falling back to a cheaper fitting configuration when
+//!    nothing in the pruned space fits (§4.3).
+//!
+//! The crate also implements the three baselines the paper compares against
+//! (vLLM with fixed configurations, Parrot\*, AdaptiveRAG\*) and the
+//! discrete-event run driver ([`runner`]) that executes full workloads over
+//! the serving engine, producing measured F1, delay, throughput, and cost.
+
+pub mod agentic;
+pub mod baselines;
+pub mod bestfit;
+pub mod config;
+pub mod extensions;
+pub mod mapping;
+pub mod memory;
+pub mod runner;
+pub mod slo;
+pub mod synthesis;
+
+pub use agentic::{plan_agentic, AgenticInputs};
+pub use baselines::{adaptive_rag_pick, fixed_config_grid, median_pick};
+pub use bestfit::{choose_config, BestFitInputs, Chosen};
+pub use config::{ConfigSpace, PrunedSpace, RagConfig, SynthesisMethod};
+pub use extensions::{rerank_hits, rewrite_query, ExtKnobs};
+pub use mapping::{map_profile, ProfileHistory};
+pub use memory::PlanDemand;
+pub use slo::{choose_config_with_slo, estimate_exec_secs, LatencySlo};
+pub use runner::{
+    MetisOptions, PickPolicy, QueryResult, RunConfig, RunResult, Runner, SystemKind,
+};
+pub use synthesis::{plan_synthesis, PlannedCall, SynthesisPlan};

@@ -1,0 +1,853 @@
+//! Workload run driver.
+//!
+//! Executes a full workload (one dataset, one arrival process) against one
+//! serving system — METIS, vLLM-fixed, Parrot\*, or AdaptiveRAG\* — over the
+//! discrete-event engine, producing per-query F1/delay records and aggregate
+//! cost. This is the reproduction's equivalent of the paper's testbed runs:
+//! every evaluation figure is a set of `Runner::run` calls.
+//!
+//! The driver interleaves three event kinds on one virtual timeline:
+//! profiler completions (API calls, off-GPU), configuration decisions
+//! (which, for METIS, read the engine's free KV memory *at decision time* —
+//! the joint part of joint scheduling), and engine iterations.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use metis_datasets::Dataset;
+use metis_engine::{
+    Completion, Engine, EngineConfig, GroupId, LlmRequest, PrefixCache, RequestId, SchedPolicy,
+    Stage,
+};
+use metis_llm::{
+    nanos_to_secs, secs_to_nanos, GenModelConfig, GenerationModel, GpuCluster, LatencyModel,
+    ModelKind, ModelSpec, Nanos,
+};
+use metis_metrics::{f1_score, LatencySummary, ThroughputSummary};
+use metis_profiler::{EstimatedProfile, LlmProfiler, ProfilerKind};
+
+use crate::baselines::{adaptive_rag_pick, median_pick};
+use crate::bestfit::{choose_config, BestFitInputs};
+use crate::config::{PrunedSpace, RagConfig, SynthesisMethod};
+use crate::mapping::{map_profile, ProfileHistory};
+use crate::synthesis::{plan_synthesis, SynthesisInputs, SynthesisPlan};
+
+/// Confidence threshold below which METIS distrusts the profile (§5).
+pub const CONFIDENCE_THRESHOLD: f64 = 0.90;
+/// Expected final-answer output tokens used for memory sizing.
+const EXPECTED_OUTPUT: u64 = 48;
+/// Retrieval latency: base plus per-chunk scan cost (retrieval is >100×
+/// cheaper than synthesis, §2).
+const RETRIEVAL_BASE_NANOS: Nanos = 5_000_000;
+const RETRIEVAL_PER_CHUNK_NANOS: Nanos = 20_000;
+
+/// How METIS picks from the pruned space (ablation axis, Fig. 12).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PickPolicy {
+    /// Full METIS: resource-aware best fit (§4.3).
+    BestFit,
+    /// Ablation: median knob values, resource-oblivious.
+    Median,
+}
+
+/// METIS feature switches (ablation axes for Figs. 12, 14, 16, 17).
+#[derive(Clone, Copy, Debug)]
+pub struct MetisOptions {
+    /// Which LLM backs the profiler.
+    pub profiler: ProfilerKind,
+    /// Configuration pick policy.
+    pub pick: PickPolicy,
+    /// Parrot-style gang scheduling of a query's calls.
+    pub gang: bool,
+    /// Tune the synthesis method (off → always `stuff`).
+    pub tune_method: bool,
+    /// Tune `intermediate_length` (off → fixed 100).
+    pub tune_ilen: bool,
+    /// Golden-configuration profiler feedback (§5, Fig. 14).
+    pub feedback: bool,
+    /// Low-confidence fallback to recent pruned spaces (§5).
+    pub confidence_fallback: bool,
+    /// Optional per-query latency SLO in seconds (§4.3's "SLO-based
+    /// constraints"): the best-fit selection is restricted to configurations
+    /// whose estimated execution fits the budget.
+    pub slo_secs: Option<f64>,
+}
+
+impl MetisOptions {
+    /// Full METIS as evaluated in the paper's headline results.
+    pub fn full() -> Self {
+        Self {
+            profiler: ProfilerKind::Gpt4o,
+            pick: PickPolicy::BestFit,
+            gang: true,
+            tune_method: true,
+            tune_ilen: true,
+            feedback: false,
+            confidence_fallback: true,
+            slo_secs: None,
+        }
+    }
+}
+
+/// The system under test.
+#[derive(Clone, Copy, Debug)]
+pub enum SystemKind {
+    /// METIS (ours).
+    Metis(MetisOptions),
+    /// vLLM with one fixed configuration for every query.
+    VllmFixed {
+        /// The static configuration.
+        config: RagConfig,
+    },
+    /// Parrot\*: fixed configuration + application-aware gang scheduling.
+    Parrot {
+        /// The static configuration.
+        config: RagConfig,
+    },
+    /// AdaptiveRAG\*: per-query quality-maximizing choice, resource-oblivious.
+    AdaptiveRag {
+        /// Which LLM backs its profiler.
+        profiler: ProfilerKind,
+    },
+}
+
+impl SystemKind {
+    fn policy(&self) -> SchedPolicy {
+        match self {
+            SystemKind::Metis(o) if o.gang => SchedPolicy::GangByGroup,
+            SystemKind::Parrot { .. } => SchedPolicy::GangByGroup,
+            _ => SchedPolicy::Fcfs,
+        }
+    }
+
+    fn uses_profiler(&self) -> Option<ProfilerKind> {
+        match self {
+            SystemKind::Metis(o) => Some(o.profiler),
+            SystemKind::AdaptiveRag { profiler } => Some(*profiler),
+            _ => None,
+        }
+    }
+}
+
+/// One run's parameters.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// The system under test.
+    pub system: SystemKind,
+    /// Serving model.
+    pub model: ModelSpec,
+    /// GPU cluster.
+    pub cluster: GpuCluster,
+    /// Generation-model tuning.
+    pub gen: GenModelConfig,
+    /// Engine parameters (policy is overridden by the system kind).
+    pub engine: EngineConfig,
+    /// Per-query arrival times; must match the dataset's query count
+    /// (ignored beyond the first entry in closed-loop mode).
+    pub arrivals: Vec<Nanos>,
+    /// Closed loop: send each query when the previous one completes
+    /// (the paper's low-load experiment, Fig. 19).
+    pub closed_loop: bool,
+    /// Optional chunk-level KV prefix cache (§8's KV reuse): bytes of GPU
+    /// memory dedicated to caching per-chunk KV across queries. Cached
+    /// chunks skip prefill compute. `None` disables reuse (the paper's
+    /// default — it leaves KV reuse to future work).
+    pub prefix_cache_bytes: Option<u64>,
+    /// Master seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A standard open-loop run of `system` on Mistral-7B / one A40.
+    pub fn standard(system: SystemKind, arrivals: Vec<Nanos>, seed: u64) -> Self {
+        Self {
+            system,
+            model: ModelSpec::mistral_7b_awq(),
+            cluster: GpuCluster::single_a40(),
+            gen: GenModelConfig::default(),
+            engine: EngineConfig::default(),
+            arrivals,
+            closed_loop: false,
+            prefix_cache_bytes: None,
+            seed,
+        }
+    }
+}
+
+/// Per-query outcome.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Index of the query in the dataset.
+    pub query_index: usize,
+    /// Token F1 against the gold answer.
+    pub f1: f64,
+    /// End-to-end delay in seconds (arrival → final token, §2).
+    pub delay_secs: f64,
+    /// Profiler latency in seconds (0 for fixed-config systems).
+    pub profiler_secs: f64,
+    /// The executed configuration.
+    pub config: RagConfig,
+    /// Whether the §4.3 memory fallback fired.
+    pub fallback: bool,
+    /// Arrival time in seconds.
+    pub arrival_secs: f64,
+    /// Completion time in seconds.
+    pub finish_secs: f64,
+}
+
+/// Aggregate outcome of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-query records, in query order.
+    pub per_query: Vec<QueryResult>,
+    /// GPU busy seconds (for the cost model).
+    pub gpu_busy_secs: f64,
+    /// API dollars spent (profiler and/or API serving).
+    pub api_cost_usd: f64,
+    /// First arrival → last completion, seconds.
+    pub makespan_secs: f64,
+    /// Chunk-KV prefix-cache hit rate (0 when the cache is disabled).
+    pub prefix_hit_rate: f64,
+}
+
+impl RunResult {
+    /// Mean F1 across queries.
+    pub fn mean_f1(&self) -> f64 {
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        self.per_query.iter().map(|q| q.f1).sum::<f64>() / self.per_query.len() as f64
+    }
+
+    /// Mean end-to-end delay in seconds.
+    pub fn mean_delay_secs(&self) -> f64 {
+        self.latency().mean()
+    }
+
+    /// Full latency distribution.
+    pub fn latency(&self) -> LatencySummary {
+        LatencySummary::new(self.per_query.iter().map(|q| q.delay_secs).collect())
+    }
+
+    /// Throughput over the run.
+    pub fn throughput(&self) -> ThroughputSummary {
+        ThroughputSummary {
+            completed: self.per_query.len(),
+            makespan_secs: self.makespan_secs,
+        }
+    }
+
+    /// Mean fraction of the delay spent profiling (Fig. 18).
+    pub fn mean_profiler_fraction(&self) -> f64 {
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        self.per_query
+            .iter()
+            .map(|q| {
+                if q.delay_secs > 0.0 {
+                    q.profiler_secs / q.delay_secs
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / self.per_query.len() as f64
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EventKind {
+    /// Run the profiler (or skip straight to retrieval for fixed systems).
+    Profile(usize),
+    /// Choose the configuration and submit the synthesis calls.
+    Decide(usize),
+}
+
+struct PendingQuery {
+    /// When the query logically arrived (its Profile event time).
+    arrival: Nanos,
+    space: Option<PrunedSpace>,
+    estimate: Option<EstimatedProfile>,
+    profiler_nanos: Nanos,
+}
+
+struct ActiveQuery {
+    query_index: usize,
+    arrival: Nanos,
+    profiler_nanos: Nanos,
+    plan: SynthesisPlan,
+    remaining: usize,
+    reduce_submitted: bool,
+    fallback: bool,
+    synthetic: bool,
+}
+
+/// The workload runner.
+pub struct Runner<'a> {
+    dataset: &'a Dataset,
+    cfg: RunConfig,
+}
+
+impl<'a> Runner<'a> {
+    /// Creates a runner for one dataset and run configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` does not provide one entry per query.
+    pub fn new(dataset: &'a Dataset, cfg: RunConfig) -> Self {
+        assert_eq!(
+            cfg.arrivals.len(),
+            dataset.queries.len(),
+            "need one arrival per query"
+        );
+        Self { dataset, cfg }
+    }
+
+    /// Executes the run to completion.
+    pub fn run(self) -> RunResult {
+        let api_mode = self.cfg.model.kind == ModelKind::Api;
+        let latency = LatencyModel::new(self.cfg.model.clone(), self.cfg.cluster);
+        let gen = GenerationModel::new(&self.cfg.model, self.cfg.gen);
+        let mut engine = Engine::new(
+            LatencyModel::new(self.cfg.model.clone(), self.cfg.cluster),
+            EngineConfig {
+                policy: self.cfg.system.policy(),
+                ..self.cfg.engine
+            },
+        );
+        let mut profiler = self.cfg.system.uses_profiler().map(LlmProfiler::new);
+        let mut history = ProfileHistory::default();
+        let metadata = self.dataset.db.metadata().clone();
+
+        // Event queue: (time, seq) → event.
+        let mut heap: BinaryHeap<Reverse<(Nanos, u64)>> = BinaryHeap::new();
+        let mut events: HashMap<u64, EventKind> = HashMap::new();
+        let mut seq: u64 = 0;
+        let push = |heap: &mut BinaryHeap<Reverse<(Nanos, u64)>>,
+                        events: &mut HashMap<u64, EventKind>,
+                        seq: &mut u64,
+                        t: Nanos,
+                        e: EventKind| {
+            heap.push(Reverse((t, *seq)));
+            events.insert(*seq, e);
+            *seq += 1;
+        };
+
+        if self.cfg.closed_loop {
+            push(
+                &mut heap,
+                &mut events,
+                &mut seq,
+                self.cfg.arrivals[0],
+                EventKind::Profile(0),
+            );
+        } else {
+            for (i, &t) in self.cfg.arrivals.iter().enumerate() {
+                push(&mut heap, &mut events, &mut seq, t, EventKind::Profile(i));
+            }
+        }
+
+        let mut prefix_cache = self.cfg.prefix_cache_bytes.map(|bytes| {
+            PrefixCache::new(bytes / self.cfg.model.kv_bytes_per_token().max(1))
+        });
+        let mut pending: HashMap<usize, PendingQuery> = HashMap::new();
+        let mut active: Vec<ActiveQuery> = Vec::new();
+        let mut req_to_active: HashMap<RequestId, usize> = HashMap::new();
+        let mut next_req: u64 = 0;
+        let mut next_group: u64 = 0;
+        let mut results: Vec<QueryResult> = Vec::new();
+        let mut api_cost = 0.0f64;
+        let mut pending_feedback = 0usize;
+
+        loop {
+            let next_event = heap.peek().map(|Reverse((t, s))| (*t, *s));
+            match next_event {
+                Some((t, s)) => {
+                    // Advance the engine to (at least) t before acting.
+                    if !api_mode {
+                        loop {
+                            let can_step = engine.now() < t
+                                && (engine.has_active_work()
+                                    || engine
+                                        .next_pending_arrival()
+                                        .is_some_and(|a| a <= t));
+                            if !can_step {
+                                break;
+                            }
+                            let before = engine.now();
+                            let done = engine.step();
+                            let progressed = engine.now() > before || !done.is_empty();
+                            self.process_completions(
+                                &done,
+                                &mut active,
+                                &mut req_to_active,
+                                &mut engine,
+                                &mut next_req,
+                                &mut results,
+                                &mut profiler,
+                                &mut pending_feedback,
+                                |t, e| push(&mut heap, &mut events, &mut seq, t, e),
+                            );
+                            assert!(progressed, "engine stuck while advancing to event");
+                        }
+                    }
+                    heap.pop();
+                    let event = events.remove(&s).expect("event for popped seq");
+                    match event {
+                        EventKind::Profile(q) => {
+                            let (p, decide_at) = self.profile_query(
+                                q,
+                                t,
+                                &mut profiler,
+                                &metadata,
+                                &mut history,
+                                &mut api_cost,
+                            );
+                            pending.insert(q, p);
+                            push(&mut heap, &mut events, &mut seq, decide_at, EventKind::Decide(q));
+                        }
+                        EventKind::Decide(q) => {
+                            let p = pending.remove(&q).expect("profiled before decide");
+                            self.decide_and_submit(
+                                q,
+                                t,
+                                p,
+                                &gen,
+                                &latency,
+                                &mut engine,
+                                api_mode,
+                                &mut active,
+                                &mut req_to_active,
+                                &mut next_req,
+                                &mut next_group,
+                                &mut results,
+                                &mut api_cost,
+                                &mut profiler,
+                                &mut pending_feedback,
+                                &mut prefix_cache,
+                                |t, e| push(&mut heap, &mut events, &mut seq, t, e),
+                            );
+                        }
+                    }
+                }
+                None => {
+                    if api_mode || engine.is_idle() {
+                        break;
+                    }
+                    let before = engine.now();
+                    let done = engine.step();
+                    let progressed = engine.now() > before || !done.is_empty();
+                    self.process_completions(
+                        &done,
+                        &mut active,
+                        &mut req_to_active,
+                        &mut engine,
+                        &mut next_req,
+                        &mut results,
+                        &mut profiler,
+                        &mut pending_feedback,
+                        |t, e| push(&mut heap, &mut events, &mut seq, t, e),
+                    );
+                    assert!(progressed || engine.is_idle(), "engine stuck while draining");
+                }
+            }
+        }
+
+        results.sort_by_key(|r| r.query_index);
+        let makespan_secs = {
+            let first = results.iter().map(|r| r.arrival_secs).fold(f64::MAX, f64::min);
+            let last = results.iter().map(|r| r.finish_secs).fold(0.0, f64::max);
+            if results.is_empty() {
+                0.0
+            } else {
+                (last - first).max(0.0)
+            }
+        };
+        RunResult {
+            per_query: results,
+            gpu_busy_secs: nanos_to_secs(engine.stats().busy),
+            api_cost_usd: api_cost,
+            makespan_secs,
+            prefix_hit_rate: prefix_cache.map_or(0.0, |p| p.hit_rate()),
+        }
+    }
+
+    /// Runs the profiler step for query `q` arriving at `t`; returns the
+    /// pending state and the decision time.
+    fn profile_query(
+        &self,
+        q: usize,
+        t: Nanos,
+        profiler: &mut Option<LlmProfiler>,
+        metadata: &metis_vectordb::DbMetadata,
+        history: &mut ProfileHistory,
+        api_cost: &mut f64,
+    ) -> (PendingQuery, Nanos) {
+        let query = &self.dataset.queries[q];
+        match (&self.cfg.system, profiler.as_mut()) {
+            (SystemKind::Metis(opts), Some(p)) => {
+                let out = p.profile(query, metadata, self.cfg.seed ^ 0xF0F1);
+                *api_cost += out.cost_usd;
+                let trusted = !opts.confidence_fallback
+                    || out.estimate.confidence >= CONFIDENCE_THRESHOLD;
+                let space = if trusted {
+                    let s = map_profile(&out.estimate);
+                    history.push(s.clone());
+                    s
+                } else {
+                    // §5: fall back to the recent queries' pruned spaces.
+                    history.fallback().unwrap_or_else(|| map_profile(&out.estimate))
+                };
+                let space = self.apply_tuning(space, opts);
+                (
+                    PendingQuery {
+                        arrival: t,
+                        space: Some(space),
+                        estimate: Some(out.estimate),
+                        profiler_nanos: out.latency,
+                    },
+                    t + out.latency + self.retrieval_nanos(),
+                )
+            }
+            (SystemKind::AdaptiveRag { .. }, Some(p)) => {
+                let out = p.profile(query, metadata, self.cfg.seed ^ 0xF0F1);
+                *api_cost += out.cost_usd;
+                (
+                    PendingQuery {
+                        arrival: t,
+                        space: Some(map_profile(&out.estimate)),
+                        estimate: Some(out.estimate),
+                        profiler_nanos: out.latency,
+                    },
+                    t + out.latency + self.retrieval_nanos(),
+                )
+            }
+            _ => (
+                PendingQuery {
+                    arrival: t,
+                    space: None,
+                    estimate: None,
+                    profiler_nanos: 0,
+                },
+                t + self.retrieval_nanos(),
+            ),
+        }
+    }
+
+    fn apply_tuning(&self, mut space: PrunedSpace, opts: &MetisOptions) -> PrunedSpace {
+        if !opts.tune_method {
+            space.methods = vec![SynthesisMethod::Stuff];
+        }
+        if !opts.tune_ilen {
+            space.intermediate_length = (100, 100);
+        }
+        space
+    }
+
+    fn retrieval_nanos(&self) -> Nanos {
+        RETRIEVAL_BASE_NANOS + RETRIEVAL_PER_CHUNK_NANOS * self.dataset.db.len() as Nanos
+    }
+
+    /// Chooses the configuration for `q` at decision time `t` and submits
+    /// its synthesis calls.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_and_submit(
+        &self,
+        q: usize,
+        t: Nanos,
+        pending: PendingQuery,
+        gen: &GenerationModel,
+        latency: &LatencyModel,
+        engine: &mut Engine,
+        api_mode: bool,
+        active: &mut Vec<ActiveQuery>,
+        req_to_active: &mut HashMap<RequestId, usize>,
+        next_req: &mut u64,
+        next_group: &mut u64,
+        results: &mut Vec<QueryResult>,
+        api_cost: &mut f64,
+        profiler: &mut Option<LlmProfiler>,
+        pending_feedback: &mut usize,
+        prefix_cache: &mut Option<PrefixCache>,
+        mut push_event: impl FnMut(Nanos, EventKind),
+    ) {
+        let query = &self.dataset.queries[q];
+        let chunk_size = self.dataset.db.metadata().chunk_size as u64;
+        let (config, fallback) = match &self.cfg.system {
+            SystemKind::VllmFixed { config } | SystemKind::Parrot { config } => (*config, false),
+            SystemKind::AdaptiveRag { .. } => (
+                adaptive_rag_pick(pending.space.as_ref().expect("profiled")),
+                false,
+            ),
+            SystemKind::Metis(opts) => {
+                let space = pending.space.as_ref().expect("profiled");
+                let joint = pending.estimate.map(|e| e.joint).unwrap_or(true);
+                match opts.pick {
+                    PickPolicy::Median => (median_pick(space), false),
+                    PickPolicy::BestFit => {
+                        let bf = BestFitInputs {
+                            free_kv_tokens: engine.free_kv_tokens(),
+                            chunk_size,
+                            query_tokens: query.tokens.len() as u64,
+                            expected_output: EXPECTED_OUTPUT,
+                            buffer_frac: 0.02,
+                        };
+                        let chosen = match opts.slo_secs {
+                            Some(budget) => crate::slo::choose_config_with_slo(
+                                space,
+                                joint,
+                                &bf,
+                                latency,
+                                crate::slo::LatencySlo(budget),
+                            ),
+                            None => choose_config(space, joint, &bf),
+                        };
+                        (chosen.config, chosen.fallback)
+                    }
+                }
+            }
+        };
+
+        let retrieved = self
+            .dataset
+            .db
+            .retrieve(&query.tokens, config.num_chunks.max(1) as usize);
+        let inputs = SynthesisInputs {
+            gen,
+            truth: &query.truth,
+            query_tokens: &query.tokens,
+            boilerplate: &self.dataset.boilerplate,
+        };
+        let plan = plan_synthesis(
+            &inputs,
+            &config,
+            &retrieved,
+            self.cfg.seed ^ (q as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+
+        if api_mode {
+            // API serving (Fig. 13's GPT-4o comparison): map calls run
+            // concurrently against the provider; the reduce (if any) follows.
+            let map_nanos = plan
+                .map_calls
+                .iter()
+                .map(|c| latency.api_call(c.prompt_tokens, c.output_tokens))
+                .max()
+                .unwrap_or(0);
+            for c in &plan.map_calls {
+                *api_cost += latency.api_cost_usd(c.prompt_tokens, c.output_tokens);
+            }
+            let reduce_nanos = plan.reduce_call.map_or(0, |c| {
+                *api_cost += latency.api_cost_usd(c.prompt_tokens, c.output_tokens);
+                latency.api_call(c.prompt_tokens, c.output_tokens)
+            });
+            let finish = t + map_nanos + reduce_nanos;
+            let arrival = pending.arrival;
+            results.push(QueryResult {
+                query_index: q,
+                f1: f1_score(&plan.answer, &query.gold_answer()),
+                delay_secs: nanos_to_secs(finish.saturating_sub(arrival)),
+                profiler_secs: nanos_to_secs(pending.profiler_nanos),
+                config,
+                fallback,
+                arrival_secs: nanos_to_secs(arrival),
+                finish_secs: nanos_to_secs(finish),
+            });
+            if self.cfg.closed_loop && q + 1 < self.dataset.queries.len() {
+                push_event(finish, EventKind::Profile(q + 1));
+            }
+            return;
+        }
+
+        // Chunk-level KV reuse (§8): consult the prefix cache for every
+        // chunk this plan reads; cached chunks skip prefill compute.
+        let k_used = plan.map_calls.len().min(retrieved.len()).max(
+            usize::from(!retrieved.is_empty()),
+        );
+        let cached_per_call: Vec<u64> = match prefix_cache.as_mut() {
+            None => vec![0; plan.map_calls.len()],
+            Some(pc) => match config.synthesis {
+                SynthesisMethod::Stuff => {
+                    let total: u64 = retrieved
+                        .iter()
+                        .take(config.num_chunks.max(1) as usize)
+                        .map(|r| pc.lookup_or_insert(r.hit.chunk, r.text.len() as u64))
+                        .sum();
+                    vec![total]
+                }
+                _ => retrieved
+                    .iter()
+                    .take(k_used)
+                    .map(|r| pc.lookup_or_insert(r.hit.chunk, r.text.len() as u64))
+                    .collect(),
+            },
+        };
+
+        // Submit the first wave (maps / the single stuff call).
+        let group = GroupId(*next_group);
+        *next_group += 1;
+        let idx = active.len();
+        let stage = if plan.reduce_call.is_some() {
+            Stage::Map
+        } else {
+            Stage::Single
+        };
+        let call_count = plan.map_calls.len();
+        for (ci, c) in plan.map_calls.iter().enumerate() {
+            let id = RequestId(*next_req);
+            *next_req += 1;
+            engine.submit(LlmRequest {
+                id,
+                group,
+                stage,
+                prompt_tokens: c.prompt_tokens,
+                output_tokens: c.output_tokens,
+                cached_prompt_tokens: cached_per_call.get(ci).copied().unwrap_or(0),
+                arrival: t,
+            });
+            req_to_active.insert(id, idx);
+        }
+        active.push(ActiveQuery {
+            query_index: q,
+            arrival: pending.arrival,
+            profiler_nanos: pending.profiler_nanos,
+            plan,
+            remaining: call_count,
+            reduce_submitted: false,
+            fallback,
+            synthetic: false,
+        });
+
+        // §5 feedback: every 30th profiled query triggers one golden-config
+        // run whose completion grounds the profiler.
+        if let (SystemKind::Metis(opts), Some(p)) = (&self.cfg.system, profiler.as_mut()) {
+            if opts.feedback && p.wants_feedback() {
+                let golden = RagConfig::golden();
+                let retrieved = self
+                    .dataset
+                    .db
+                    .retrieve(&query.tokens, golden.num_chunks as usize);
+                let plan = plan_synthesis(
+                    &inputs,
+                    &golden,
+                    &retrieved,
+                    self.cfg.seed ^ 0x601D ^ q as u64,
+                );
+                let group = GroupId(*next_group);
+                *next_group += 1;
+                let gidx = active.len();
+                let n = plan.map_calls.len();
+                for c in &plan.map_calls {
+                    let id = RequestId(*next_req);
+                    *next_req += 1;
+                    engine.submit(LlmRequest {
+                        id,
+                        group,
+                        stage: Stage::Map,
+                        prompt_tokens: c.prompt_tokens,
+                        output_tokens: c.output_tokens,
+                        cached_prompt_tokens: 0,
+                        arrival: t,
+                    });
+                    req_to_active.insert(id, gidx);
+                }
+                active.push(ActiveQuery {
+                    query_index: q,
+                    arrival: t,
+                    profiler_nanos: 0,
+                    plan,
+                    remaining: n,
+                    reduce_submitted: false,
+                    fallback: false,
+                    synthetic: true,
+                });
+                *pending_feedback += 1;
+            }
+        }
+        let _ = push_event; // Only used by closed-loop finalization below.
+    }
+
+    /// Handles engine completions: map → reduce chaining and finalization.
+    #[allow(clippy::too_many_arguments)]
+    fn process_completions(
+        &self,
+        completions: &[Completion],
+        active: &mut [ActiveQuery],
+        req_to_active: &mut HashMap<RequestId, usize>,
+        engine: &mut Engine,
+        next_req: &mut u64,
+        results: &mut Vec<QueryResult>,
+        profiler: &mut Option<LlmProfiler>,
+        pending_feedback: &mut usize,
+        mut push_event: impl FnMut(Nanos, EventKind),
+    ) {
+        for c in completions {
+            let Some(&idx) = req_to_active.get(&c.id) else {
+                continue;
+            };
+            req_to_active.remove(&c.id);
+            let a = &mut active[idx];
+            a.remaining = a.remaining.saturating_sub(1);
+            if a.remaining > 0 {
+                continue;
+            }
+            if let (Some(reduce), false) = (a.plan.reduce_call, a.reduce_submitted) {
+                // All maps done: submit the reduce call now.
+                let id = RequestId(*next_req);
+                *next_req += 1;
+                engine.submit(LlmRequest {
+                    id,
+                    group: c.group,
+                    stage: Stage::Reduce,
+                    prompt_tokens: reduce.prompt_tokens,
+                    output_tokens: reduce.output_tokens,
+                    cached_prompt_tokens: 0,
+                    arrival: c.finish,
+                });
+                req_to_active.insert(id, idx);
+                a.reduce_submitted = true;
+                a.remaining = 1;
+                continue;
+            }
+            // Query complete.
+            if a.synthetic {
+                if *pending_feedback > 0 {
+                    *pending_feedback -= 1;
+                    if let Some(p) = profiler.as_mut() {
+                        p.add_feedback();
+                    }
+                }
+                continue;
+            }
+            let query = &self.dataset.queries[a.query_index];
+            results.push(QueryResult {
+                query_index: a.query_index,
+                f1: f1_score(&a.plan.answer, &query.gold_answer()),
+                delay_secs: nanos_to_secs(c.finish.saturating_sub(a.arrival)),
+                profiler_secs: nanos_to_secs(a.profiler_nanos),
+                config: a.plan.config,
+                fallback: a.fallback,
+                arrival_secs: nanos_to_secs(a.arrival),
+                finish_secs: nanos_to_secs(c.finish),
+            });
+            if self.cfg.closed_loop {
+                let next = results.len();
+                if next < self.dataset.queries.len() {
+                    push_event(c.finish, EventKind::Profile(next));
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: build Poisson arrivals matching the paper's default workload
+/// (λ queries/second) for `n` queries.
+pub fn poisson(seed: u64, qps: f64, n: usize) -> Vec<Nanos> {
+    metis_datasets::poisson_arrivals(seed, qps, n)
+}
+
+/// Convenience: convert seconds to the runner's time unit.
+pub fn at_secs(s: f64) -> Nanos {
+    secs_to_nanos(s)
+}

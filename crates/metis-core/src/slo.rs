@@ -1,0 +1,250 @@
+//! SLO-constrained configuration selection.
+//!
+//! §4.3 notes that the loose decoupling of configuration from scheduling
+//! "also allows SLO-based constraints on RAG queries if certain queries have
+//! strict budgets on their generation latency". This module implements that
+//! extension: a per-query latency budget filters the pruned space down to
+//! configurations whose *estimated* execution time fits the budget, before
+//! the best-fit memory selection runs.
+//!
+//! Estimation uses the same analytical latency model the engine runs on, so
+//! the filter is consistent with what the query will actually experience on
+//! an unloaded GPU (queueing can still push a query past its budget — an SLO
+//! here is a budget the scheduler respects, not a hard real-time guarantee).
+
+use metis_llm::{nanos_to_secs, LatencyModel};
+
+use crate::bestfit::{choose_config, BestFitInputs, Chosen};
+use crate::config::{PrunedSpace, RagConfig, SynthesisMethod};
+use crate::memory::{PlanDemand, PROMPT_OVERHEAD};
+
+/// A per-query latency budget in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySlo(pub f64);
+
+impl LatencySlo {
+    /// Returns `true` when `estimate_secs` fits the budget.
+    pub fn admits(&self, estimate_secs: f64) -> bool {
+        estimate_secs <= self.0
+    }
+}
+
+/// Estimates the unloaded execution time of `config` in seconds: chunked
+/// prefill of all calls plus sequential decode of the longest call chain
+/// (maps run batched; the reduce call follows them).
+pub fn estimate_exec_secs(
+    config: &RagConfig,
+    latency: &LatencyModel,
+    chunk_size: u64,
+    query_tokens: u64,
+    expected_output: u64,
+) -> f64 {
+    let k = u64::from(config.num_chunks.max(1));
+    let per_call_prompt = chunk_size + query_tokens + PROMPT_OVERHEAD;
+    match config.synthesis {
+        SynthesisMethod::Stuff => {
+            let prompt = k * chunk_size + query_tokens + PROMPT_OVERHEAD;
+            let prefill = latency.prefill_estimate(prompt);
+            let decode = latency.decode_estimate(expected_output, prompt);
+            nanos_to_secs(prefill + decode)
+        }
+        SynthesisMethod::MapRerank => {
+            let prefill = latency.prefill_estimate(k * per_call_prompt);
+            let decode = latency.decode_estimate(expected_output, k * per_call_prompt);
+            nanos_to_secs(prefill + decode)
+        }
+        SynthesisMethod::MapReduce => {
+            let ilen = u64::from(config.intermediate_length.max(1));
+            let summary_est = (ilen / 2).max(8);
+            let map_prefill = latency.prefill_estimate(k * per_call_prompt);
+            let map_decode = latency.decode_estimate(summary_est, k * per_call_prompt);
+            let reduce_prompt = k * summary_est + query_tokens + PROMPT_OVERHEAD;
+            let reduce = latency.prefill_estimate(reduce_prompt)
+                + latency.decode_estimate(expected_output, reduce_prompt);
+            nanos_to_secs(map_prefill + map_decode + reduce)
+        }
+    }
+}
+
+/// [`choose_config`] under a latency SLO: configurations whose estimated
+/// execution exceeds the budget are removed from the pruned space first.
+/// When *nothing* fits the budget, the cheapest estimated configuration is
+/// selected (best effort — the SLO was infeasible for this query).
+pub fn choose_config_with_slo(
+    space: &PrunedSpace,
+    joint_required: bool,
+    inputs: &BestFitInputs,
+    latency: &LatencyModel,
+    slo: LatencySlo,
+) -> Chosen {
+    let estimate = |cfg: &RagConfig| {
+        estimate_exec_secs(
+            cfg,
+            latency,
+            inputs.chunk_size,
+            inputs.query_tokens,
+            inputs.expected_output,
+        )
+    };
+    // Restrict the chunk range until some candidate fits the budget.
+    let mut narrowed = space.clone();
+    loop {
+        let any_fits = narrowed.candidates().iter().any(|c| slo.admits(estimate(c)));
+        if any_fits {
+            break;
+        }
+        if narrowed.num_chunks.1 <= narrowed.num_chunks.0 {
+            // Infeasible SLO: best effort with the cheapest candidate.
+            let cheapest = narrowed
+                .candidates()
+                .into_iter()
+                .min_by(|a, b| {
+                    estimate(a)
+                        .partial_cmp(&estimate(b))
+                        .expect("finite estimates")
+                })
+                .expect("non-empty candidates");
+            return Chosen {
+                config: cheapest,
+                fallback: true,
+            };
+        }
+        narrowed.num_chunks.1 -= 1;
+    }
+    // Drop candidates above the budget by trimming methods that cannot fit
+    // at any chunk count in the narrowed range.
+    let feasible: Vec<RagConfig> = narrowed
+        .candidates()
+        .into_iter()
+        .filter(|c| slo.admits(estimate(c)))
+        .collect();
+    narrowed
+        .methods
+        .retain(|m| feasible.iter().any(|c| c.synthesis == *m));
+    if narrowed.methods.is_empty() {
+        narrowed.methods = space.methods.clone();
+    }
+    // Memory best-fit within the SLO-feasible space; then verify the chosen
+    // config honours the budget (the memory pick might select an
+    // over-budget sibling, e.g. a longer intermediate_length).
+    let chosen = choose_config(&narrowed, joint_required, inputs);
+    if slo.admits(estimate(&chosen.config)) {
+        return chosen;
+    }
+    let best_fitting = narrowed
+        .candidates()
+        .into_iter()
+        .filter(|c| {
+            slo.admits(estimate(c))
+                && PlanDemand::estimate(
+                    c,
+                    inputs.chunk_size,
+                    inputs.query_tokens,
+                    inputs.expected_output,
+                )
+                .sched_tokens
+                    <= inputs.usable()
+        })
+        .max_by_key(|c| {
+            PlanDemand::estimate(
+                c,
+                inputs.chunk_size,
+                inputs.query_tokens,
+                inputs.expected_output,
+            )
+            .total_tokens
+        });
+    match best_fitting {
+        Some(config) => Chosen {
+            config,
+            fallback: false,
+        },
+        None => chosen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_llm::{GpuCluster, ModelSpec};
+
+    fn latency() -> LatencyModel {
+        LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40())
+    }
+
+    fn space() -> PrunedSpace {
+        PrunedSpace {
+            methods: vec![SynthesisMethod::Stuff, SynthesisMethod::MapReduce],
+            num_chunks: (4, 12),
+            intermediate_length: (40, 120),
+        }
+    }
+
+    fn inputs() -> BestFitInputs {
+        BestFitInputs {
+            free_kv_tokens: 1_000_000,
+            chunk_size: 1_000,
+            query_tokens: 40,
+            expected_output: 48,
+            buffer_frac: 0.02,
+        }
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_chunks() {
+        let l = latency();
+        let small = estimate_exec_secs(&RagConfig::stuff(4), &l, 1_000, 40, 48);
+        let big = estimate_exec_secs(&RagConfig::stuff(12), &l, 1_000, 40, 48);
+        assert!(big > small);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn generous_slo_matches_plain_best_fit() {
+        let plain = choose_config(&space(), true, &inputs());
+        let slo = choose_config_with_slo(&space(), true, &inputs(), &latency(), LatencySlo(60.0));
+        assert_eq!(plain.config, slo.config);
+    }
+
+    #[test]
+    fn tight_slo_shrinks_the_configuration() {
+        let l = latency();
+        let generous = choose_config_with_slo(&space(), true, &inputs(), &l, LatencySlo(60.0));
+        let tight = choose_config_with_slo(&space(), true, &inputs(), &l, LatencySlo(1.35));
+        let e_gen = estimate_exec_secs(&generous.config, &l, 1_000, 40, 48);
+        let e_tight = estimate_exec_secs(&tight.config, &l, 1_000, 40, 48);
+        assert!(e_tight < e_gen, "{e_tight} !< {e_gen}");
+        assert!(e_tight <= 1.35, "budget violated: {e_tight} by {:?}", tight.config);
+    }
+
+    #[test]
+    fn infeasible_slo_is_best_effort_cheapest() {
+        let l = latency();
+        let chosen = choose_config_with_slo(&space(), true, &inputs(), &l, LatencySlo(0.001));
+        assert!(chosen.fallback, "infeasible SLO must flag fallback");
+        // It picked the cheapest estimated configuration in the space.
+        let e = estimate_exec_secs(&chosen.config, &l, 1_000, 40, 48);
+        for c in space().candidates() {
+            assert!(
+                e <= estimate_exec_secs(&c, &l, 1_000, 40, 48) + 1e-9,
+                "{:?} cheaper than chosen {:?}",
+                c,
+                chosen.config
+            );
+        }
+    }
+
+    #[test]
+    fn slo_respects_memory_too() {
+        let l = latency();
+        let tight_mem = BestFitInputs {
+            free_kv_tokens: 6_000,
+            ..inputs()
+        };
+        let chosen = choose_config_with_slo(&space(), true, &tight_mem, &l, LatencySlo(5.0));
+        let d = PlanDemand::estimate(&chosen.config, 1_000, 40, 48);
+        if !chosen.fallback {
+            assert!(d.sched_tokens <= tight_mem.usable());
+        }
+    }
+}

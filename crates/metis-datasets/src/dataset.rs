@@ -1,0 +1,62 @@
+//! The assembled dataset and its Table-1 statistics.
+
+use metis_text::{TokenId, Tokenizer};
+use metis_vectordb::VectorDb;
+
+use crate::kinds::DatasetKind;
+use crate::query::QuerySpec;
+
+/// One complete evaluation workload: corpus database + ground-truth queries.
+pub struct Dataset {
+    /// Which of the four datasets this simulates.
+    pub kind: DatasetKind,
+    /// The retrieval database over the full corpus.
+    pub db: VectorDb,
+    /// The query set with ground truth.
+    pub queries: Vec<QuerySpec>,
+    /// Boilerplate token pool for the generation model's non-answer words.
+    pub boilerplate: Vec<TokenId>,
+    /// The tokenizer (for decoding outputs in examples/reports).
+    pub tokenizer: Tokenizer,
+}
+
+/// One row of the paper's Table 1 (token-length distributions).
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Task type label.
+    pub task: &'static str,
+    /// 5th/95th percentile of input (document) tokens.
+    pub input: (usize, usize),
+    /// 5th/95th percentile of gold-answer tokens.
+    pub output: (usize, usize),
+}
+
+impl Dataset {
+    /// Computes this dataset's Table-1 row from the generated queries.
+    pub fn table1_row(&self) -> Table1Row {
+        let mut inputs: Vec<usize> = self.queries.iter().map(|q| q.context_tokens).collect();
+        let mut outputs: Vec<usize> = self.queries.iter().map(|q| q.gold_answer().len()).collect();
+        inputs.sort_unstable();
+        outputs.sort_unstable();
+        let pct = |v: &[usize], p: f64| -> usize {
+            if v.is_empty() {
+                return 0;
+            }
+            let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+            v[idx]
+        };
+        Table1Row {
+            dataset: self.kind.name(),
+            task: match self.kind {
+                DatasetKind::Squad => "Single hop QA",
+                DatasetKind::Musique => "Multihop QA",
+                DatasetKind::FinSec => "Doc Level QA",
+                DatasetKind::Qmsum => "Summarization QA",
+            },
+            input: (pct(&inputs, 5.0), pct(&inputs, 95.0)),
+            output: (pct(&outputs, 5.0), pct(&outputs, 95.0)),
+        }
+    }
+}

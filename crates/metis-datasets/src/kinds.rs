@@ -1,0 +1,192 @@
+//! Per-dataset generation parameters.
+//!
+//! Each parameter table is fit to the corresponding public dataset's
+//! characteristics as reported in the paper (Table 1 plus the task
+//! descriptions in §7.1).
+
+/// The four evaluation workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DatasetKind {
+    /// SQuAD: single-hop reading comprehension.
+    Squad,
+    /// MuSiQue: multi-hop reasoning QA.
+    Musique,
+    /// KG RAG FinSec: document-level financial QA.
+    FinSec,
+    /// QMSum: query-based meeting summarization.
+    Qmsum,
+}
+
+impl DatasetKind {
+    /// All four datasets in the paper's presentation order.
+    pub fn all() -> [DatasetKind; 4] {
+        [
+            DatasetKind::Squad,
+            DatasetKind::Musique,
+            DatasetKind::FinSec,
+            DatasetKind::Qmsum,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Squad => "Squad",
+            DatasetKind::Musique => "Musique",
+            DatasetKind::FinSec => "KG RAG FinSec",
+            DatasetKind::Qmsum => "QMSUM",
+        }
+    }
+
+    /// The generation parameter table for this dataset.
+    pub fn params(self) -> GenParams {
+        match self {
+            DatasetKind::Squad => GenParams {
+                name: "Squad",
+                description: "Wikipedia articles with single-hop reading \
+                              comprehension questions whose answers are text \
+                              segments of the passage",
+                chunk_size: 256,
+                doc_tokens: (400, 2_000),
+                pieces: (1, 1),
+                joint_prob: 0.05,
+                high_complexity_prob: 0.08,
+                fact_len: (2, 4),
+                derived_answer_len: (2, 4),
+                base_in_answer: true,
+                topic_width: 48,
+                subject_len: 6,
+                subject_repeats: 3,
+                weak_fact_prob: 0.35,
+            },
+            DatasetKind::Musique => GenParams {
+                name: "Musique",
+                description: "Multihop questions composed from single-hop \
+                              questions; one reasoning step critically relies \
+                              on information from another",
+                chunk_size: 512,
+                doc_tokens: (1_000, 5_000),
+                pieces: (1, 4),
+                joint_prob: 1.0,
+                high_complexity_prob: 0.55,
+                fact_len: (3, 6),
+                derived_answer_len: (4, 8),
+                base_in_answer: false,
+                topic_width: 48,
+                subject_len: 6,
+                subject_repeats: 3,
+                weak_fact_prob: 0.55,
+            },
+            DatasetKind::FinSec => GenParams {
+                name: "KG RAG FinSec",
+                description: "Quarterly financial reports of Fortune 500 \
+                              companies: revenue growth indicators, product \
+                              release information, sales",
+                chunk_size: 1_000,
+                doc_tokens: (4_000, 10_000),
+                pieces: (2, 6),
+                joint_prob: 1.0,
+                high_complexity_prob: 0.70,
+                fact_len: (3, 6),
+                derived_answer_len: (4, 8),
+                base_in_answer: true,
+                topic_width: 64,
+                subject_len: 6,
+                subject_repeats: 3,
+                weak_fact_prob: 0.55,
+            },
+            DatasetKind::Qmsum => GenParams {
+                name: "QMSUM",
+                description: "Multi-domain meeting transcripts with queries \
+                              that summarize relevant spans of meetings",
+                chunk_size: 1_024,
+                doc_tokens: (4_000, 12_000),
+                pieces: (3, 6),
+                joint_prob: 1.0,
+                high_complexity_prob: 0.90,
+                fact_len: (6, 10),
+                derived_answer_len: (5, 10),
+                base_in_answer: true,
+                topic_width: 64,
+                subject_len: 6,
+                subject_repeats: 3,
+                weak_fact_prob: 0.55,
+            },
+        }
+    }
+}
+
+/// Tunable knobs of the corpus/query generator.
+#[derive(Clone, Copy, Debug)]
+pub struct GenParams {
+    /// Dataset display name.
+    pub name: &'static str,
+    /// One-line corpus description — the profiler's database metadata (§A.1).
+    pub description: &'static str,
+    /// Tokens per retrieval chunk.
+    pub chunk_size: usize,
+    /// Per-query document length range (Table 1 "Input").
+    pub doc_tokens: (usize, usize),
+    /// Needed facts per query.
+    pub pieces: (u32, u32),
+    /// Probability a multi-fact query requires joint reasoning.
+    pub joint_prob: f64,
+    /// Probability a query is High complexity.
+    pub high_complexity_prob: f64,
+    /// Fact phrase length range in tokens.
+    pub fact_len: (usize, usize),
+    /// Derived-conclusion answer length range in tokens.
+    pub derived_answer_len: (usize, usize),
+    /// Whether base facts' tokens appear in the gold answer (extractive QA
+    /// and summarization: yes; pure multi-hop where hops are intermediate:
+    /// no).
+    pub base_in_answer: bool,
+    /// Topic-specific vocabulary width per query document.
+    pub topic_width: usize,
+    /// Subject words planted next to each fact and echoed in the query.
+    pub subject_len: usize,
+    /// Times each subject word is repeated around its fact.
+    pub subject_repeats: usize,
+    /// Probability a fact is only *weakly mentioned* (subject block appears
+    /// once instead of `subject_repeats` times), making its chunk rank
+    /// deeper in retrieval. Weak facts are why per-query retrieval depth
+    /// matters: a shallow fixed `num_chunks` misses them for fact-heavy
+    /// queries while over-retrieving for simple ones.
+    pub weak_fact_prob: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_datasets_with_distinct_names() {
+        let names: std::collections::HashSet<_> =
+            DatasetKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn table1_scales_are_ordered() {
+        // Input scales grow Squad < Musique < FinSec ≤ QMSUM, as in Table 1.
+        let s = DatasetKind::Squad.params();
+        let m = DatasetKind::Musique.params();
+        let f = DatasetKind::FinSec.params();
+        let q = DatasetKind::Qmsum.params();
+        assert!(s.doc_tokens.1 < m.doc_tokens.1);
+        assert!(m.doc_tokens.1 < f.doc_tokens.1);
+        assert!(f.doc_tokens.1 <= q.doc_tokens.1);
+    }
+
+    #[test]
+    fn squad_is_single_hop() {
+        let p = DatasetKind::Squad.params();
+        assert_eq!(p.pieces, (1, 1));
+        assert!(p.joint_prob < 0.1);
+    }
+
+    #[test]
+    fn musique_requires_joint_reasoning() {
+        assert!(DatasetKind::Musique.params().joint_prob > 0.8);
+    }
+}

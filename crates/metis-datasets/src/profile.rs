@@ -1,0 +1,78 @@
+//! Ground-truth query profiles.
+//!
+//! §4.1 defines four profile dimensions the LLM profiler estimates:
+//! query complexity (High/Low), joint-reasoning requirement (Yes/No),
+//! pieces of information required (1–10), and summarization length
+//! (a 30–200 token range). The generators emit the *true* values; the
+//! profiler in `metis-profiler` estimates them with model-dependent noise.
+
+/// Query complexity — "yes/no questions" vs "why questions" (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Complexity {
+    /// Simple lookups; shallow reasoning.
+    Low,
+    /// Deep reasoning; benefits from summarize-then-answer synthesis.
+    High,
+}
+
+/// The true profile of a query, as constructed by the generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TrueProfile {
+    /// Query complexity.
+    pub complexity: Complexity,
+    /// Whether multiple facts must be read *jointly*.
+    pub joint: bool,
+    /// Distinct pieces of information required (1–10).
+    pub pieces: u32,
+    /// Tokens per chunk summary that preserve the needed evidence
+    /// (`intermediate_length` ground truth), as a `[lo, hi]` range.
+    pub summary_range: (u32, u32),
+}
+
+impl TrueProfile {
+    /// Validates the §4.1 output ranges.
+    pub fn is_well_formed(&self) -> bool {
+        (1..=10).contains(&self.pieces)
+            && self.summary_range.0 <= self.summary_range.1
+            && self.summary_range.0 >= 1
+            && self.summary_range.1 <= 300
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_accepts_paper_ranges() {
+        let p = TrueProfile {
+            complexity: Complexity::High,
+            joint: true,
+            pieces: 3,
+            summary_range: (30, 200),
+        };
+        assert!(p.is_well_formed());
+    }
+
+    #[test]
+    fn well_formed_rejects_inverted_range() {
+        let p = TrueProfile {
+            complexity: Complexity::Low,
+            joint: false,
+            pieces: 1,
+            summary_range: (50, 20),
+        };
+        assert!(!p.is_well_formed());
+    }
+
+    #[test]
+    fn well_formed_rejects_zero_pieces() {
+        let p = TrueProfile {
+            complexity: Complexity::Low,
+            joint: false,
+            pieces: 0,
+            summary_range: (10, 20),
+        };
+        assert!(!p.is_well_formed());
+    }
+}

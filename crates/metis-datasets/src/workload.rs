@@ -1,0 +1,80 @@
+//! Arrival-process generators.
+//!
+//! The paper's open-loop workload sends 200 queries per dataset with Poisson
+//! arrivals at an average rate of 2/s (§7.1); the low-load experiment
+//! (Fig. 19) sends queries sequentially.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use metis_llm::{secs_to_nanos, Nanos};
+
+/// Poisson arrival times for `n` queries at `rate_qps` queries/second.
+///
+/// # Panics
+///
+/// Panics if `rate_qps` is not positive and finite.
+pub fn poisson_arrivals(seed: u64, rate_qps: f64, n: usize) -> Vec<Nanos> {
+    assert!(
+        rate_qps.is_finite() && rate_qps > 0.0,
+        "rate must be positive, got {rate_qps}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0A22_17A1);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate_qps;
+            secs_to_nanos(t)
+        })
+        .collect()
+}
+
+/// Evenly spaced arrivals with `gap_secs` between queries (a deterministic
+/// low-load process; the closed-loop "send after previous completes" variant
+/// lives in the runner, which knows completion times).
+pub fn sequential_arrivals(gap_secs: f64, n: usize) -> Vec<Nanos> {
+    (0..n)
+        .map(|i| secs_to_nanos(gap_secs * i as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_increasing() {
+        let a = poisson_arrivals(1, 2.0, 100);
+        let b = poisson_arrivals(1, 2.0, 100);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_respected() {
+        let a = poisson_arrivals(7, 2.0, 2_000);
+        let span_secs = *a.last().unwrap() as f64 / 1e9;
+        let rate = 2_000.0 / span_secs;
+        assert!((1.6..=2.4).contains(&rate), "empirical rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(poisson_arrivals(1, 2.0, 10), poisson_arrivals(2, 2.0, 10));
+    }
+
+    #[test]
+    fn sequential_is_evenly_spaced() {
+        let a = sequential_arrivals(1.5, 4);
+        assert_eq!(a, vec![0, 1_500_000_000, 3_000_000_000, 4_500_000_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = poisson_arrivals(0, 0.0, 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! The three embedding models.
+//!
+//! All three are bag-of-features hashing embedders over token ids, differing
+//! in featurization (unigrams vs unigrams+bigrams), dimensionality, and hash
+//! seed — mirroring the real models they stand in for:
+//!
+//! | Simulated model | Stands in for | dim | features |
+//! |---|---|---|---|
+//! | [`HashEmbed`] | Cohere-embed-v3.0 | 1024 | unigrams, 2 probes |
+//! | [`NgramEmbed`] | All-mpnet-base-v2 | 768 | unigrams + bigrams |
+//! | [`ProjEmbed`] | text-embedding-3-large-256 | 768* | unigrams, 3 probes |
+//!
+//! *`ProjEmbed` matches its counterpart's retrieval quality rather than its
+//! storage width — see its type-level docs.
+//!
+//! Term frequency is damped sublinearly (`1 + ln tf`), as in standard text
+//! retrieval, so a chunk stuffed with one repeated topic word does not
+//! dominate chunks with diverse query-relevant words.
+
+use std::collections::HashMap;
+
+use metis_text::TokenId;
+
+use crate::hashers::{bucket_and_sign, mix2, splitmix64};
+use crate::similarity::l2_normalize;
+
+/// A text embedder: token ids in, unit-normalized vector out.
+pub trait Embedder: Send + Sync {
+    /// Human-readable model name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Output dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Embeds a token sequence into a unit-L2 vector of [`Self::dim`] floats.
+    fn embed(&self, tokens: &[TokenId]) -> Vec<f32>;
+}
+
+/// Identifies one of the built-in embedding models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EmbedderKind {
+    /// Simulates Cohere-embed-v3.0 (the paper's default).
+    CohereSim,
+    /// Simulates All-mpnet-base-v2.
+    MpnetSim,
+    /// Simulates text-embedding-3-large-256.
+    Te3Sim,
+}
+
+impl EmbedderKind {
+    /// Instantiates the embedder.
+    pub fn build(self) -> Box<dyn Embedder> {
+        match self {
+            EmbedderKind::CohereSim => Box::new(HashEmbed::default()),
+            EmbedderKind::MpnetSim => Box::new(NgramEmbed::default()),
+            EmbedderKind::Te3Sim => Box::new(ProjEmbed::default()),
+        }
+    }
+
+    /// All built-in models, default first.
+    pub fn all() -> [EmbedderKind; 3] {
+        [
+            EmbedderKind::CohereSim,
+            EmbedderKind::MpnetSim,
+            EmbedderKind::Te3Sim,
+        ]
+    }
+}
+
+/// Computes sublinearly damped term frequencies.
+fn tf_weights(tokens: &[TokenId]) -> HashMap<TokenId, f32> {
+    let mut counts: HashMap<TokenId, u32> = HashMap::new();
+    for &t in tokens {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(t, c)| (t, 1.0 + (c as f32).ln()))
+        .collect()
+}
+
+fn hash_unigrams(tokens: &[TokenId], dim: usize, seed: u64, probes: u32, out: &mut [f32]) {
+    for (t, w) in tf_weights(tokens) {
+        for p in 0..probes {
+            let h = mix2(seed ^ u64::from(p) << 32, u64::from(t.0));
+            let (b, s) = bucket_and_sign(splitmix64(h), dim);
+            out[b] += s * w / (probes as f32);
+        }
+    }
+}
+
+/// Unigram feature-hashing embedder ("Cohere-embed-v3.0 simulator").
+#[derive(Clone, Debug)]
+pub struct HashEmbed {
+    dim: usize,
+    seed: u64,
+}
+
+impl Default for HashEmbed {
+    fn default() -> Self {
+        Self {
+            dim: 1024,
+            seed: 0xC0_FEE3,
+        }
+    }
+}
+
+impl HashEmbed {
+    /// Creates an embedder with a custom dimension and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self { dim, seed }
+    }
+}
+
+impl Embedder for HashEmbed {
+    fn name(&self) -> &str {
+        "cohere-embed-v3-sim"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let mut v = vec![0.0; self.dim];
+        hash_unigrams(tokens, self.dim, self.seed, 2, &mut v);
+        l2_normalize(&mut v);
+        v
+    }
+}
+
+/// Unigram+bigram feature-hashing embedder ("All-mpnet-base-v2 simulator").
+#[derive(Clone, Debug)]
+pub struct NgramEmbed {
+    dim: usize,
+    seed: u64,
+    /// Relative weight of bigram features vs unigram features.
+    bigram_weight: f32,
+}
+
+impl Default for NgramEmbed {
+    fn default() -> Self {
+        Self {
+            dim: 768,
+            seed: 0x3AB_5EED,
+            bigram_weight: 0.12,
+        }
+    }
+}
+
+impl Embedder for NgramEmbed {
+    fn name(&self) -> &str {
+        "all-mpnet-base-v2-sim"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let mut v = vec![0.0; self.dim];
+        hash_unigrams(tokens, self.dim, self.seed, 2, &mut v);
+        for pair in tokens.windows(2) {
+            let h = mix2(self.seed ^ 0xB16A, mix2(u64::from(pair[0].0), u64::from(pair[1].0)));
+            let (b, s) = bucket_and_sign(h, self.dim);
+            v[b] += s * self.bigram_weight;
+        }
+        l2_normalize(&mut v);
+        v
+    }
+}
+
+/// Independent-seed unigram embedder ("text-embedding-3-large-256
+/// simulator").
+///
+/// The real model is a *learned* 256-dim embedding whose retrieval quality
+/// matches the larger models; a 256-bucket feature hash would not (hash
+/// collisions are noise, learned dimensions are not), so this simulator
+/// matches the model's retrieval quality with a wider hash under an
+/// independent seed rather than its storage width.
+#[derive(Clone, Debug)]
+pub struct ProjEmbed {
+    dim: usize,
+    seed: u64,
+}
+
+impl Default for ProjEmbed {
+    fn default() -> Self {
+        Self {
+            dim: 768,
+            seed: 0x7E3_1A26E,
+        }
+    }
+}
+
+impl Embedder for ProjEmbed {
+    fn name(&self) -> &str {
+        "text-embedding-3-large-256-sim"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let mut v = vec![0.0; self.dim];
+        hash_unigrams(tokens, self.dim, self.seed, 3, &mut v);
+        l2_normalize(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{cosine, dot};
+
+    fn toks(ids: &[u32]) -> Vec<TokenId> {
+        ids.iter().map(|&i| TokenId(i)).collect()
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        for kind in EmbedderKind::all() {
+            let e = kind.build();
+            let v = e.embed(&toks(&[1, 2, 3, 4, 5]));
+            assert_eq!(v.len(), e.dim());
+            assert!((dot(&v, &v).sqrt() - 1.0).abs() < 1e-5, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = HashEmbed::default();
+        assert_eq!(e.embed(&toks(&[9, 8, 7])), e.embed(&toks(&[9, 8, 7])));
+    }
+
+    #[test]
+    fn overlapping_texts_are_closer_than_disjoint() {
+        for kind in EmbedderKind::all() {
+            let e = kind.build();
+            let base = e.embed(&toks(&[1, 2, 3, 4, 5, 6, 7, 8]));
+            let overlap = e.embed(&toks(&[1, 2, 3, 4, 100, 101, 102, 103]));
+            let disjoint = e.embed(&toks(&[200, 201, 202, 203, 204, 205, 206, 207]));
+            assert!(
+                cosine(&base, &overlap) > cosine(&base, &disjoint),
+                "{} fails overlap ordering",
+                e.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tf_damping_bounds_repeated_tokens() {
+        let e = HashEmbed::default();
+        let diverse = e.embed(&toks(&[1, 2, 3, 4]));
+        let spam = e.embed(&toks(&[5; 64]));
+        let mixed = e.embed(&toks(&[1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 5, 5]));
+        // The diverse half should still dominate similarity.
+        assert!(cosine(&mixed, &diverse) > cosine(&mixed, &spam) * 0.5);
+    }
+
+    #[test]
+    fn bigram_model_distinguishes_order() {
+        let e = NgramEmbed::default();
+        let ab = e.embed(&toks(&[1, 2, 1, 2, 1, 2]));
+        let ba = e.embed(&toks(&[2, 1, 2, 1, 2, 1]));
+        assert!(cosine(&ab, &ba) < 0.9999);
+    }
+
+    #[test]
+    fn unigram_model_is_order_invariant() {
+        let e = HashEmbed::default();
+        let ab = e.embed(&toks(&[1, 2, 3]));
+        let ba = e.embed(&toks(&[3, 2, 1]));
+        assert!((cosine(&ab, &ba) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero_vector() {
+        let e = HashEmbed::default();
+        let v = e.embed(&[]);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn models_have_distinct_names_and_dims() {
+        let names: Vec<String> = EmbedderKind::all()
+            .iter()
+            .map(|k| k.build().name().to_owned())
+            .collect();
+        assert_eq!(names.len(), 3);
+        assert_ne!(names[0], names[1]);
+        assert_ne!(names[1], names[2]);
+    }
+}

@@ -1,0 +1,716 @@
+//! The continuous-batching engine.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use metis_llm::{LatencyModel, Nanos};
+
+use crate::kvcache::KvAllocator;
+use crate::request::{GroupId, LlmRequest, RequestId, RequestState, Stage};
+use crate::stats::EngineStats;
+
+/// Admission-ordering policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedPolicy {
+    /// Plain vLLM first-come-first-served admission.
+    Fcfs,
+    /// Parrot\*-style gang scheduling: requests whose group already has
+    /// admitted sequences are prioritized, so one RAG query's map calls run
+    /// together instead of interleaving with every other query.
+    GangByGroup,
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Paged KV block size in tokens (vLLM default: 16).
+    pub kv_block_tokens: u64,
+    /// Maximum concurrently running sequences.
+    pub max_batch_seqs: usize,
+    /// Chunked-prefill token budget per iteration (Sarathi/vLLM style).
+    pub prefill_chunk_tokens: u64,
+    /// Admission policy.
+    pub policy: SchedPolicy,
+    /// Cap on the schedulable KV pool in bytes (`None` = whole free GPU
+    /// memory). Deployments bound in-flight batch memory well below the
+    /// physical pool to control tail latency; the paper's Fig. 8 examples
+    /// operate at a 6–12 GB working-memory scale on the same hardware.
+    pub kv_pool_bytes_cap: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            kv_block_tokens: 16,
+            max_batch_seqs: 256,
+            prefill_chunk_tokens: 2048,
+            policy: SchedPolicy::Fcfs,
+            kv_pool_bytes_cap: Some(12 * (1 << 30)),
+        }
+    }
+}
+
+/// A finished request, reported by [`Engine::step`].
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// The request that finished.
+    pub id: RequestId,
+    /// Its group.
+    pub group: GroupId,
+    /// Its stage.
+    pub stage: Stage,
+    /// When it entered the engine queue.
+    pub arrival: Nanos,
+    /// When it was admitted (KV allocated).
+    pub admitted: Nanos,
+    /// When its last token was generated.
+    pub finish: Nanos,
+}
+
+struct Running {
+    req: LlmRequest,
+    state: RequestState,
+    admitted: Nanos,
+}
+
+/// The discrete-event continuous-batching engine.
+///
+/// # Examples
+///
+/// ```
+/// use metis_engine::{Engine, EngineConfig, GroupId, LlmRequest, RequestId, Stage};
+/// use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+///
+/// let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+/// let mut engine = Engine::new(lat, EngineConfig::default());
+/// engine.submit(LlmRequest {
+///     id: RequestId(1),
+///     group: GroupId(1),
+///     stage: Stage::Single,
+///     prompt_tokens: 1000,
+///     output_tokens: 10,
+///     cached_prompt_tokens: 0,
+///     arrival: 0,
+/// });
+/// let done = engine.run_until_idle();
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].finish > 0);
+/// ```
+pub struct Engine {
+    latency: LatencyModel,
+    config: EngineConfig,
+    clock: Nanos,
+    /// Requests with future arrival times, keyed by (arrival, submit order).
+    pending: BTreeMap<(Nanos, u64), LlmRequest>,
+    /// Arrived requests awaiting admission, in arrival order.
+    queue: VecDeque<LlmRequest>,
+    running: Vec<Running>,
+    alloc: KvAllocator,
+    stats: EngineStats,
+    submit_seq: u64,
+}
+
+impl Engine {
+    /// Builds an engine for the latency model's (model, cluster) pair.
+    pub fn new(latency: LatencyModel, config: EngineConfig) -> Self {
+        let pool_bytes = latency.cluster().kv_pool_bytes(latency.model());
+        let pool_bytes = match config.kv_pool_bytes_cap {
+            Some(cap) => pool_bytes.min(cap),
+            None => pool_bytes,
+        };
+        let capacity = pool_bytes / latency.model().kv_bytes_per_token();
+        Self {
+            latency,
+            config,
+            clock: 0,
+            pending: BTreeMap::new(),
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            alloc: KvAllocator::new(capacity, config.kv_block_tokens),
+            stats: EngineStats::default(),
+            submit_seq: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.clock
+    }
+
+    /// Free KV-cache tokens right now — what METIS's best-fit inspects
+    /// (the paper reads this through `pynvml`; we read the allocator).
+    pub fn free_kv_tokens(&self) -> u64 {
+        self.alloc.free_tokens()
+    }
+
+    /// Total KV-cache capacity in tokens.
+    pub fn kv_capacity_tokens(&self) -> u64 {
+        self.alloc.capacity_tokens()
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Whether the engine has no work at all (idle and drained).
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.queue.is_empty() && self.running.is_empty()
+    }
+
+    /// Number of requests waiting for admission.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of admitted (running) sequences.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether the engine has work runnable *now* (queued or running), as
+    /// opposed to only future arrivals.
+    pub fn has_active_work(&self) -> bool {
+        !self.queue.is_empty() || !self.running.is_empty()
+    }
+
+    /// Earliest future-arrival time among not-yet-arrived requests.
+    pub fn next_pending_arrival(&self) -> Option<Nanos> {
+        self.pending.keys().next().map(|&(t, _)| t)
+    }
+
+    /// Submits a request. Arrivals in the past are clamped to `now`.
+    pub fn submit(&mut self, mut req: LlmRequest) {
+        // Zero-output requests would never finish; clamp to one token.
+        req.output_tokens = req.output_tokens.max(1);
+        req.cached_prompt_tokens = req.cached_prompt_tokens.min(req.prompt_tokens);
+        self.stats.submitted += 1;
+        if req.arrival <= self.clock {
+            req.arrival = req.arrival.min(self.clock);
+            self.queue.push_back(req);
+        } else {
+            let key = (req.arrival, self.submit_seq);
+            self.submit_seq += 1;
+            self.pending.insert(key, req);
+        }
+    }
+
+    fn absorb_arrivals(&mut self) {
+        let due: Vec<(Nanos, u64)> = self
+            .pending
+            .range(..=(self.clock, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in due {
+            let req = self.pending.remove(&k).expect("key just enumerated");
+            self.queue.push_back(req);
+        }
+    }
+
+    /// Admission order under the configured policy; returns indices into the
+    /// queue, highest priority first.
+    fn admission_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        if self.config.policy == SchedPolicy::GangByGroup {
+            let active: HashSet<GroupId> = self.running.iter().map(|r| r.req.group).collect();
+            // DAG-aware application scheduling (Parrot*): reduce calls jump
+            // the queue — they unblock a whole query whose map work is
+            // already sunk — then calls whose group is already running, then
+            // FIFO. The sort is stable, so FIFO order is kept within a
+            // class.
+            order.sort_by_key(|&i| {
+                let req = &self.queue[i];
+                
+                if req.stage == Stage::Reduce {
+                    0u8
+                } else if active.contains(&req.group) {
+                    1
+                } else {
+                    2
+                }
+            });
+        }
+        order
+    }
+
+    fn try_admit(&mut self) {
+        loop {
+            if self.running.len() >= self.config.max_batch_seqs || self.queue.is_empty() {
+                return;
+            }
+            let order = self.admission_order();
+            let head = order[0];
+            let demand = self.queue[head].kv_demand_tokens();
+            if !self.alloc.fits(demand) {
+                // Head-of-line blocking, as in vLLM's FCFS admission.
+                return;
+            }
+            let req = self.queue.remove(head).expect("index from admission_order");
+            self.alloc
+                .alloc(req.id, demand)
+                .expect("fits() checked above");
+            self.stats.total_queue_wait += self.clock.saturating_sub(req.arrival);
+            // Cached prefix tokens are already resident: prefill starts past
+            // them (they still count toward the KV allocation made above).
+            let done = req.cached_prompt_tokens;
+            let state = if done >= req.prompt_tokens {
+                RequestState::Decoding { emitted: 0 }
+            } else {
+                RequestState::Prefilling { done }
+            };
+            self.running.push(Running {
+                state,
+                admitted: self.clock,
+                req,
+            });
+        }
+    }
+
+    /// Advances the simulation by one engine iteration (or one clock jump to
+    /// the next arrival when idle). Returns the requests that completed.
+    pub fn step(&mut self) -> Vec<Completion> {
+        self.absorb_arrivals();
+        self.try_admit();
+
+        if self.running.is_empty() {
+            // Nothing runnable: jump to the next arrival if there is one.
+            if let Some((&(t, _), _)) = self.pending.iter().next() {
+                self.clock = self.clock.max(t);
+                self.absorb_arrivals();
+                self.try_admit();
+            }
+            if self.running.is_empty() {
+                return Vec::new();
+            }
+        }
+
+        // Assemble the iteration: one decode token per decoding sequence,
+        // chunked prefill across prefilling sequences in admission order.
+        let mut prefill_budget = self.config.prefill_chunk_tokens;
+        let mut prefill_tokens: u64 = 0;
+        let mut prefill_ctx_weighted: f64 = 0.0;
+        let mut decode_seqs: u64 = 0;
+        let mut batch_kv: u64 = 0;
+        let mut plan: Vec<(usize, u64)> = Vec::new(); // (running index, prefill tokens)
+        let mut decoding: Vec<usize> = Vec::new(); // Sequences decoding *this* iteration.
+
+        for (i, r) in self.running.iter().enumerate() {
+            match r.state {
+                RequestState::Prefilling { done } => {
+                    batch_kv += done;
+                    if prefill_budget > 0 {
+                        let n = (r.req.prompt_tokens - done).min(prefill_budget);
+                        if n > 0 {
+                            prefill_budget -= n;
+                            prefill_tokens += n;
+                            prefill_ctx_weighted += (n * (done + n)) as f64;
+                            plan.push((i, n));
+                        }
+                    }
+                }
+                RequestState::Decoding { emitted } => {
+                    decode_seqs += 1;
+                    decoding.push(i);
+                    batch_kv += r.req.prompt_tokens + emitted;
+                }
+                _ => {}
+            }
+        }
+
+        if prefill_tokens == 0 && decode_seqs == 0 {
+            // All running sequences are prefilled but beyond the prefill
+            // budget edge case; treat as pure decode of zero — advance by
+            // overhead only to avoid a stuck clock.
+            let dt = self.latency.iteration_time(0, 0, 0, batch_kv);
+            self.clock += dt;
+            return Vec::new();
+        }
+
+        let avg_ctx = if prefill_tokens > 0 {
+            (prefill_ctx_weighted / prefill_tokens as f64) as u64
+        } else {
+            0
+        };
+        let dt = self
+            .latency
+            .iteration_time(prefill_tokens, avg_ctx, decode_seqs, batch_kv);
+        self.clock += dt;
+        self.stats.iterations += 1;
+        self.stats.busy += dt;
+        self.stats.prefill_tokens += prefill_tokens;
+        self.stats.decode_tokens += decode_seqs;
+        self.stats.peak_kv_tokens = self.stats.peak_kv_tokens.max(self.alloc.used_tokens());
+
+        // Apply progress.
+        for (i, n) in plan {
+            if let RequestState::Prefilling { done } = self.running[i].state {
+                let done = done + n;
+                self.running[i].state = if done >= self.running[i].req.prompt_tokens {
+                    RequestState::Decoding { emitted: 0 }
+                } else {
+                    RequestState::Prefilling { done }
+                };
+            }
+        }
+        let mut completions = Vec::new();
+        let clock = self.clock;
+        for &i in &decoding {
+            let r = &mut self.running[i];
+            if let RequestState::Decoding { emitted } = r.state {
+                let emitted = emitted + 1;
+                if emitted >= r.req.output_tokens {
+                    r.state = RequestState::Finished { at: clock };
+                    completions.push(Completion {
+                        id: r.req.id,
+                        group: r.req.group,
+                        stage: r.req.stage,
+                        arrival: r.req.arrival,
+                        admitted: r.admitted,
+                        finish: clock,
+                    });
+                } else {
+                    r.state = RequestState::Decoding { emitted };
+                }
+            }
+        }
+        // Retire finished sequences and free their KV.
+        if !completions.is_empty() {
+            for c in &completions {
+                self.alloc.free(c.id).expect("finished seq held KV");
+                self.stats.completed += 1;
+                self.stats.total_latency += c.finish.saturating_sub(c.arrival);
+            }
+            self.running
+                .retain(|r| !matches!(r.state, RequestState::Finished { .. }));
+        }
+        completions
+    }
+
+    /// Runs until every submitted request has completed; returns all
+    /// completions in finish order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine fails to make progress (a request that can never
+    /// be admitted, e.g. KV demand beyond total capacity) — surfacing the
+    /// bug beats spinning forever.
+    pub fn run_until_idle(&mut self) -> Vec<Completion> {
+        let mut all = Vec::new();
+        let mut stuck = 0u32;
+        while !self.is_idle() {
+            let before = self.clock;
+            let done = self.step();
+            let progressed = self.clock > before || !done.is_empty();
+            all.extend(done);
+            if progressed {
+                stuck = 0;
+            } else {
+                stuck += 1;
+                assert!(
+                    stuck < 3,
+                    "engine stuck: queued={} running={} free_kv={} — an \
+                     unadmittable request?",
+                    self.queue.len(),
+                    self.running.len(),
+                    self.alloc.free_tokens()
+                );
+            }
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_llm::{nanos_to_secs, GpuCluster, ModelSpec};
+
+    fn engine(policy: SchedPolicy) -> Engine {
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        Engine::new(
+            lat,
+            EngineConfig {
+                policy,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    fn req(id: u64, group: u64, prompt: u64, out: u64, arrival: Nanos) -> LlmRequest {
+        LlmRequest {
+            id: RequestId(id),
+            group: GroupId(group),
+            stage: Stage::Single,
+            prompt_tokens: prompt,
+            output_tokens: out,
+            cached_prompt_tokens: 0,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn single_request_completes_with_plausible_latency() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.submit(req(1, 1, 4_000, 20, 0));
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 1);
+        let secs = nanos_to_secs(done[0].finish);
+        // ~4k-token prefill plus 20 decode steps on an A40: O(1 s).
+        assert!(secs > 0.3 && secs < 6.0, "latency = {secs}s");
+    }
+
+    #[test]
+    fn kv_is_fully_released_after_drain() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        let cap = e.free_kv_tokens();
+        for i in 0..10 {
+            e.submit(req(i, i, 1_000, 10, 0));
+        }
+        e.run_until_idle();
+        assert_eq!(e.free_kv_tokens(), cap);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn clock_is_monotone_and_completions_ordered() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        for i in 0..5 {
+            e.submit(req(i, i, 2_000, 15, i * 100_000_000));
+        }
+        let mut last = 0;
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 5);
+        for c in &done {
+            assert!(c.finish >= last);
+            last = c.finish;
+            assert!(c.admitted >= c.arrival);
+            assert!(c.finish > c.admitted);
+        }
+    }
+
+    #[test]
+    fn batching_beats_serial_execution() {
+        // 8 identical requests batched should take far less than 8× one.
+        let mut single = engine(SchedPolicy::Fcfs);
+        single.submit(req(0, 0, 2_000, 30, 0));
+        let t1 = single.run_until_idle()[0].finish;
+
+        let mut batched = engine(SchedPolicy::Fcfs);
+        for i in 0..8 {
+            batched.submit(req(i, i, 2_000, 30, 0));
+        }
+        let done = batched.run_until_idle();
+        let makespan = done.iter().map(|c| c.finish).max().unwrap();
+        assert!(
+            makespan < t1 * 6,
+            "no batching benefit: 1×={t1}, 8×={makespan}"
+        );
+    }
+
+    #[test]
+    fn oversized_batch_queues_on_kv() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        let cap = e.kv_capacity_tokens();
+        // Each request takes ~40% of KV: the third must wait.
+        let prompt = cap * 2 / 5;
+        for i in 0..3 {
+            e.submit(req(i, i, prompt, 5, 0));
+        }
+        e.step(); // First iteration admits only two.
+        assert_eq!(e.running_len(), 2);
+        assert_eq!(e.queued_len(), 1);
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 3);
+        // The third request's admission happened strictly after its arrival.
+        let third = done.iter().find(|c| c.id == RequestId(2)).unwrap();
+        assert!(third.admitted > third.arrival);
+    }
+
+    #[test]
+    fn future_arrivals_advance_clock_when_idle() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.submit(req(1, 1, 500, 5, 2_000_000_000));
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].admitted >= 2_000_000_000);
+    }
+
+    #[test]
+    fn gang_policy_prioritizes_active_groups() {
+        // Group 1 has many map calls; a competing group-2 request arrives
+        // while group 1 runs. Under gang scheduling, queued group-1 calls cut
+        // ahead of group 2 (when admission is KV-limited).
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let small = EngineConfig {
+            max_batch_seqs: 2,
+            policy: SchedPolicy::GangByGroup,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(lat, small);
+        e.submit(req(10, 1, 3_000, 40, 0));
+        e.submit(req(11, 1, 3_000, 40, 0));
+        e.submit(req(20, 2, 3_000, 40, 1)); // Other group, arrives early.
+        e.submit(req(12, 1, 3_000, 40, 2)); // Same group, arrives later.
+        let done = e.run_until_idle();
+        let pos = |id: u64| done.iter().position(|c| c.id == RequestId(id)).unwrap();
+        assert!(
+            pos(12) < pos(20),
+            "gang scheduling should finish group 1 first"
+        );
+    }
+
+    #[test]
+    fn fcfs_respects_arrival_order_under_contention() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        let cfg_cap = e.kv_capacity_tokens();
+        let prompt = cfg_cap / 2 + 1; // Only one fits at a time.
+        e.submit(req(1, 1, prompt, 5, 0));
+        e.submit(req(2, 2, prompt, 5, 1));
+        let done = e.run_until_idle();
+        assert_eq!(done[0].id, RequestId(1));
+        assert_eq!(done[1].id, RequestId(2));
+    }
+
+    #[test]
+    fn stats_account_tokens() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.submit(req(1, 1, 1_000, 10, 0));
+        e.run_until_idle();
+        let s = e.stats();
+        assert_eq!(s.submitted, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.prefill_tokens, 1_000);
+        assert_eq!(s.decode_tokens, 10);
+        assert!(s.peak_kv_tokens >= 1_000);
+    }
+
+    #[test]
+    fn cached_prefix_skips_prefill_compute() {
+        // Two identical requests, one with 90% of its prompt KV cached: the
+        // cached one finishes much sooner (only decode + residual prefill).
+        let mk = |cached: u64| {
+            let mut e = engine(SchedPolicy::Fcfs);
+            e.submit(LlmRequest {
+                id: RequestId(1),
+                group: GroupId(1),
+                stage: Stage::Single,
+                prompt_tokens: 10_000,
+                output_tokens: 10,
+                cached_prompt_tokens: cached,
+                arrival: 0,
+            });
+            e.run_until_idle()[0].finish
+        };
+        let cold = mk(0);
+        let warm = mk(9_000);
+        assert!(warm * 2 < cold, "no reuse benefit: cold={cold} warm={warm}");
+        // Fully cached prompts skip prefill entirely but still decode.
+        let hot = mk(10_000);
+        assert!(hot > 0 && hot <= warm);
+    }
+
+    #[test]
+    fn cached_tokens_are_clamped_to_prompt() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.submit(LlmRequest {
+            id: RequestId(1),
+            group: GroupId(1),
+            stage: Stage::Single,
+            prompt_tokens: 100,
+            output_tokens: 5,
+            cached_prompt_tokens: 10_000, // Bogus caller value.
+            arrival: 0,
+        });
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn gang_policy_prioritizes_reduce_calls() {
+        // A reduce call submitted behind a pile of foreign maps should be
+        // admitted ahead of them under gang scheduling (Parrot's DAG
+        // awareness): it unblocks a whole query.
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let cfg = EngineConfig {
+            max_batch_seqs: 1, // Serialize admissions to expose ordering.
+            policy: SchedPolicy::GangByGroup,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(lat, cfg);
+        // A running request occupies the single slot.
+        e.submit(req(0, 0, 2_000, 30, 0));
+        e.step();
+        // Foreign maps arrive first, then a reduce for group 9.
+        for i in 1..=3 {
+            e.submit(LlmRequest {
+                id: RequestId(i),
+                group: GroupId(100 + i),
+                stage: Stage::Map,
+                prompt_tokens: 1_000,
+                output_tokens: 10,
+                cached_prompt_tokens: 0,
+            arrival: e.now(),
+            });
+        }
+        e.submit(LlmRequest {
+            id: RequestId(9),
+            group: GroupId(9),
+            stage: Stage::Reduce,
+            prompt_tokens: 1_000,
+            output_tokens: 10,
+            cached_prompt_tokens: 0,
+        arrival: e.now(),
+        });
+        let done = e.run_until_idle();
+        let pos = |id: u64| done.iter().position(|c| c.id == RequestId(id)).unwrap();
+        assert!(pos(9) < pos(1), "reduce should finish before foreign maps");
+        assert!(pos(9) < pos(3));
+    }
+
+    #[test]
+    fn fcfs_does_not_reorder_reduce_calls() {
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let cfg = EngineConfig {
+            max_batch_seqs: 1,
+            policy: SchedPolicy::Fcfs,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(lat, cfg);
+        e.submit(req(0, 0, 2_000, 30, 0));
+        e.step();
+        e.submit(LlmRequest {
+            id: RequestId(1),
+            group: GroupId(101),
+            stage: Stage::Map,
+            prompt_tokens: 1_000,
+            output_tokens: 10,
+            cached_prompt_tokens: 0,
+        arrival: e.now(),
+        });
+        e.submit(LlmRequest {
+            id: RequestId(9),
+            group: GroupId(9),
+            stage: Stage::Reduce,
+            prompt_tokens: 1_000,
+            output_tokens: 10,
+            cached_prompt_tokens: 0,
+        arrival: e.now(),
+        });
+        let done = e.run_until_idle();
+        let pos = |id: u64| done.iter().position(|c| c.id == RequestId(id)).unwrap();
+        assert!(pos(1) < pos(9), "FCFS keeps arrival order");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine stuck")]
+    fn unadmittable_request_is_detected() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        let cap = e.kv_capacity_tokens();
+        e.submit(req(1, 1, cap * 2, 5, 0));
+        let _ = e.run_until_idle();
+    }
+}

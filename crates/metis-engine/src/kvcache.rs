@@ -1,0 +1,192 @@
+//! Paged KV-cache allocator.
+//!
+//! Models vLLM's PagedAttention block pool: KV memory is carved into
+//! fixed-size blocks (16 tokens by default); a sequence owns an integral
+//! number of blocks. The allocator only does accounting — block *contents*
+//! are irrelevant to the simulation — but the accounting is exact, which is
+//! what METIS's best-fit configuration selection measures against.
+
+use std::collections::HashMap;
+
+use crate::request::RequestId;
+
+/// Errors from the allocator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KvError {
+    /// Not enough free blocks to satisfy the request.
+    OutOfMemory {
+        /// Blocks requested.
+        requested: u64,
+        /// Blocks free.
+        free: u64,
+    },
+    /// The sequence already holds an allocation (double alloc is a bug).
+    AlreadyAllocated,
+    /// The sequence holds no allocation.
+    NotAllocated,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::OutOfMemory { requested, free } => {
+                write!(f, "KV OOM: requested {requested} blocks, {free} free")
+            }
+            KvError::AlreadyAllocated => write!(f, "sequence already has a KV allocation"),
+            KvError::NotAllocated => write!(f, "sequence has no KV allocation"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Block-granular KV-cache accounting for one engine.
+#[derive(Clone, Debug)]
+pub struct KvAllocator {
+    block_tokens: u64,
+    total_blocks: u64,
+    free_blocks: u64,
+    held: HashMap<RequestId, u64>,
+}
+
+impl KvAllocator {
+    /// Creates a pool of `capacity_tokens` tokens in `block_tokens` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    pub fn new(capacity_tokens: u64, block_tokens: u64) -> Self {
+        assert!(block_tokens > 0, "block size must be positive");
+        let total_blocks = capacity_tokens / block_tokens;
+        Self {
+            block_tokens,
+            total_blocks,
+            free_blocks: total_blocks,
+            held: HashMap::new(),
+        }
+    }
+
+    fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.block_tokens)
+    }
+
+    /// Allocates blocks for `tokens` tokens on behalf of `seq`.
+    pub fn alloc(&mut self, seq: RequestId, tokens: u64) -> Result<(), KvError> {
+        if self.held.contains_key(&seq) {
+            return Err(KvError::AlreadyAllocated);
+        }
+        let need = self.blocks_for(tokens);
+        if need > self.free_blocks {
+            return Err(KvError::OutOfMemory {
+                requested: need,
+                free: self.free_blocks,
+            });
+        }
+        self.free_blocks -= need;
+        self.held.insert(seq, need);
+        Ok(())
+    }
+
+    /// Frees all blocks held by `seq`.
+    pub fn free(&mut self, seq: RequestId) -> Result<(), KvError> {
+        match self.held.remove(&seq) {
+            Some(blocks) => {
+                self.free_blocks += blocks;
+                debug_assert!(self.free_blocks <= self.total_blocks);
+                Ok(())
+            }
+            None => Err(KvError::NotAllocated),
+        }
+    }
+
+    /// Whether an allocation of `tokens` tokens would currently succeed.
+    pub fn fits(&self, tokens: u64) -> bool {
+        self.blocks_for(tokens) <= self.free_blocks
+    }
+
+    /// Free capacity in tokens (block-granular).
+    pub fn free_tokens(&self) -> u64 {
+        self.free_blocks * self.block_tokens
+    }
+
+    /// Used capacity in tokens (block-granular).
+    pub fn used_tokens(&self) -> u64 {
+        (self.total_blocks - self.free_blocks) * self.block_tokens
+    }
+
+    /// Total capacity in tokens (block-granular).
+    pub fn capacity_tokens(&self) -> u64 {
+        self.total_blocks * self.block_tokens
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.held.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u64) -> RequestId {
+        RequestId(n)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_capacity() {
+        let mut a = KvAllocator::new(1_000, 16);
+        let cap = a.free_tokens();
+        a.alloc(rid(1), 100).unwrap();
+        assert!(a.free_tokens() < cap);
+        a.free(rid(1)).unwrap();
+        assert_eq!(a.free_tokens(), cap);
+        assert_eq!(a.live_allocations(), 0);
+    }
+
+    #[test]
+    fn allocation_is_block_granular() {
+        let mut a = KvAllocator::new(1_600, 16);
+        a.alloc(rid(1), 1).unwrap(); // 1 token still costs a 16-token block.
+        assert_eq!(a.used_tokens(), 16);
+        a.alloc(rid(2), 17).unwrap(); // 2 blocks.
+        assert_eq!(a.used_tokens(), 48);
+    }
+
+    #[test]
+    fn oom_reports_requested_and_free() {
+        let mut a = KvAllocator::new(160, 16);
+        a.alloc(rid(1), 100).unwrap(); // 7 blocks of 10.
+        let err = a.alloc(rid(2), 100).unwrap_err();
+        assert_eq!(
+            err,
+            KvError::OutOfMemory {
+                requested: 7,
+                free: 3
+            }
+        );
+    }
+
+    #[test]
+    fn double_alloc_is_rejected() {
+        let mut a = KvAllocator::new(1_000, 16);
+        a.alloc(rid(1), 10).unwrap();
+        assert_eq!(a.alloc(rid(1), 10), Err(KvError::AlreadyAllocated));
+    }
+
+    #[test]
+    fn free_unknown_is_rejected() {
+        let mut a = KvAllocator::new(1_000, 16);
+        assert_eq!(a.free(rid(9)), Err(KvError::NotAllocated));
+    }
+
+    #[test]
+    fn fits_is_consistent_with_alloc() {
+        let mut a = KvAllocator::new(320, 16);
+        assert!(a.fits(320));
+        assert!(!a.fits(321));
+        a.alloc(rid(1), 160).unwrap();
+        assert!(a.fits(160));
+        assert!(!a.fits(161));
+    }
+}

@@ -1,0 +1,31 @@
+//! vLLM-like serving engine simulator.
+//!
+//! A discrete-event reproduction of the serving substrate the paper builds
+//! on: continuous (iteration-level) batching with chunked prefill over a
+//! paged KV cache, driven by the analytical latency model in `metis-llm`.
+//!
+//! The engine advances a virtual clock one *iteration* at a time. Each
+//! iteration decodes one token for every running sequence and spends a
+//! bounded budget of prefill tokens on admitted-but-unprefilled sequences
+//! (chunked prefill, as in vLLM/Sarathi). A sequence is admitted only when
+//! its whole KV footprint (prompt + maximum output) fits in the paged KV
+//! pool — the same admission rule METIS's joint scheduler reasons about
+//! from the outside via [`Engine::free_kv_tokens`].
+//!
+//! Two scheduling policies are provided:
+//! * [`SchedPolicy::Fcfs`] — plain vLLM first-come-first-served admission.
+//! * [`SchedPolicy::GangByGroup`] — Parrot\*-style application-aware
+//!   co-scheduling: requests belonging to a group (e.g. the map calls of one
+//!   RAG query) are admitted together, ahead of newly arrived groups.
+
+pub mod engine;
+pub mod prefixcache;
+pub mod kvcache;
+pub mod request;
+pub mod stats;
+
+pub use engine::{Completion, Engine, EngineConfig, SchedPolicy};
+pub use kvcache::{KvAllocator, KvError};
+pub use prefixcache::PrefixCache;
+pub use request::{GroupId, LlmRequest, RequestId, RequestState, Stage};
+pub use stats::EngineStats;

@@ -1,0 +1,150 @@
+//! Chunk-level KV-cache reuse across requests.
+//!
+//! §8 of the paper: "Storing and reusing KV cache across different requests
+//! have been commonly studied in recent work... METIS can work alongside
+//! these systems, where instead of retrieving chunks, it can retrieve the KV
+//! caches" — with the caveat that "storing all the KV cache is extremely
+//! expensive", so real systems keep a bounded cache.
+//!
+//! This module implements the bounded chunk-KV cache: an LRU over chunk ids,
+//! sized in KV tokens. The runner consults it when assembling a call's
+//! prompt; cached chunks skip *prefill compute* (their KV is read, not
+//! recomputed), which the engine models through
+//! [`crate::LlmRequest::cached_prompt_tokens`]. Accounting is exact; cache
+//! contents (the actual K/V tensors) are irrelevant to the simulation.
+
+use std::collections::HashMap;
+
+use metis_text::ChunkId;
+
+/// A bounded LRU cache of per-chunk KV prefixes, sized in tokens.
+#[derive(Clone, Debug)]
+pub struct PrefixCache {
+    capacity_tokens: u64,
+    used_tokens: u64,
+    /// chunk → (tokens, last-use tick).
+    entries: HashMap<ChunkId, (u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PrefixCache {
+    /// Creates a cache holding up to `capacity_tokens` tokens of chunk KV.
+    pub fn new(capacity_tokens: u64) -> Self {
+        Self {
+            capacity_tokens,
+            used_tokens: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `chunk`; on a hit returns its cached token count and
+    /// refreshes recency. On a miss, inserts the chunk (evicting LRU entries
+    /// as needed) and returns 0.
+    pub fn lookup_or_insert(&mut self, chunk: ChunkId, tokens: u64) -> u64 {
+        self.tick += 1;
+        if let Some((cached, last)) = self.entries.get_mut(&chunk) {
+            *last = self.tick;
+            self.hits += 1;
+            return *cached;
+        }
+        self.misses += 1;
+        if tokens > self.capacity_tokens {
+            return 0; // Oversized chunk: never cached.
+        }
+        while self.used_tokens + tokens > self.capacity_tokens {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(&c, _)| c)
+                .expect("used > 0 implies non-empty");
+            let (t, _) = self.entries.remove(&lru).expect("key just found");
+            self.used_tokens -= t;
+        }
+        self.entries.insert(chunk, (tokens, self.tick));
+        self.used_tokens += tokens;
+        0
+    }
+
+    /// Tokens currently cached.
+    pub fn used_tokens(&self) -> u64 {
+        self.used_tokens
+    }
+
+    /// Hit rate so far (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u32) -> ChunkId {
+        ChunkId(n)
+    }
+
+    #[test]
+    fn first_lookup_misses_then_hits() {
+        let mut p = PrefixCache::new(1_000);
+        assert_eq!(p.lookup_or_insert(c(1), 300), 0);
+        assert_eq!(p.lookup_or_insert(c(1), 300), 300);
+        assert!((p.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let mut p = PrefixCache::new(1_000);
+        p.lookup_or_insert(c(1), 400);
+        p.lookup_or_insert(c(2), 400);
+        // Touch 1 so 2 becomes LRU.
+        p.lookup_or_insert(c(1), 400);
+        p.lookup_or_insert(c(3), 400); // Evicts 2.
+        assert_eq!(p.lookup_or_insert(c(1), 400), 400);
+        assert_eq!(p.lookup_or_insert(c(2), 400), 0, "2 was evicted");
+        assert!(p.used_tokens() <= 1_000);
+    }
+
+    #[test]
+    fn oversized_chunks_are_never_cached() {
+        let mut p = PrefixCache::new(100);
+        assert_eq!(p.lookup_or_insert(c(1), 500), 0);
+        assert_eq!(p.lookup_or_insert(c(1), 500), 0);
+        assert_eq!(p.used_tokens(), 0);
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let mut p = PrefixCache::new(2_000);
+        for i in 0..50 {
+            p.lookup_or_insert(c(i), 300);
+        }
+        assert!(p.used_tokens() <= 2_000);
+        let sum: u64 = (0..50)
+            .filter_map(|i| p.entries.get(&c(i)).map(|(t, _)| *t))
+            .sum();
+        assert_eq!(sum, p.used_tokens());
+        assert_eq!(p.len(), (p.used_tokens() / 300) as usize);
+    }
+}

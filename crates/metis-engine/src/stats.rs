@@ -1,0 +1,70 @@
+//! Engine-level statistics.
+
+use metis_llm::{nanos_to_secs, Nanos};
+
+/// Aggregate statistics of one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Total virtual time spent in iterations.
+    pub busy: Nanos,
+    /// Sum over completed requests of (admission − arrival).
+    pub total_queue_wait: Nanos,
+    /// Sum over completed requests of (finish − arrival).
+    pub total_latency: Nanos,
+    /// Total prefill tokens processed.
+    pub prefill_tokens: u64,
+    /// Total decode tokens generated.
+    pub decode_tokens: u64,
+    /// Peak KV-cache occupancy in tokens.
+    pub peak_kv_tokens: u64,
+}
+
+impl EngineStats {
+    /// Mean per-request latency in seconds (0 when nothing completed).
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            nanos_to_secs(self.total_latency) / self.completed as f64
+        }
+    }
+
+    /// Mean queueing delay in seconds (0 when nothing completed).
+    pub fn mean_queue_wait_secs(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            nanos_to_secs(self.total_queue_wait) / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_zero_completions() {
+        let s = EngineStats::default();
+        assert_eq!(s.mean_latency_secs(), 0.0);
+        assert_eq!(s.mean_queue_wait_secs(), 0.0);
+    }
+
+    #[test]
+    fn means_average_over_completions() {
+        let s = EngineStats {
+            completed: 2,
+            total_latency: 4_000_000_000,
+            total_queue_wait: 1_000_000_000,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_latency_secs(), 2.0);
+        assert_eq!(s.mean_queue_wait_secs(), 0.5);
+    }
+}

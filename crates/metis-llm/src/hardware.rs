@@ -1,0 +1,145 @@
+//! GPU hardware model.
+//!
+//! The paper benchmarks on a server with two NVIDIA A40 GPUs (48 GB each):
+//! one GPU serves Mistral-7B, both serve Llama-3.1-70B with tensor
+//! parallelism. The cluster model aggregates compute and bandwidth across
+//! GPUs and splits the weight footprint, the standard TP approximation.
+
+use crate::spec::ModelSpec;
+
+/// One GPU's capabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuSpec {
+    /// Device memory in bytes.
+    pub mem_bytes: u64,
+    /// Dense fp16 tensor throughput in FLOP/s.
+    pub flops: f64,
+    /// Memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Achievable fraction of peak FLOPs in serving (MFU).
+    pub mfu: f64,
+    /// Achievable fraction of peak bandwidth.
+    pub mbu: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A40: 48 GB, ~74.8 TFLOPS dense fp16 tensor, 696 GB/s.
+    pub fn a40() -> Self {
+        Self {
+            mem_bytes: 48 * (1 << 30),
+            flops: 74.8e12,
+            mem_bw: 696e9,
+            mfu: 0.65,
+            mbu: 0.85,
+        }
+    }
+}
+
+/// A tensor-parallel group of identical GPUs serving one model replica.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuCluster {
+    /// The per-device spec.
+    pub gpu: GpuSpec,
+    /// Number of devices in the TP group.
+    pub count: u32,
+    /// Fraction of device memory vLLM may use (`gpu_memory_utilization`).
+    pub mem_utilization: f64,
+    /// Bytes reserved per device for activations, CUDA graphs, and NCCL
+    /// buffers (not available for weights or KV cache).
+    pub reserved_bytes: u64,
+}
+
+impl GpuCluster {
+    /// Single A40 (the paper's Mistral-7B setup).
+    pub fn single_a40() -> Self {
+        Self {
+            gpu: GpuSpec::a40(),
+            count: 1,
+            mem_utilization: 0.90,
+            reserved_bytes: 3 * (1 << 30),
+        }
+    }
+
+    /// Two A40s with tensor parallelism (the paper's Llama-70B setup).
+    pub fn dual_a40() -> Self {
+        Self {
+            count: 2,
+            ..Self::single_a40()
+        }
+    }
+
+    /// Aggregate effective FLOP/s across the TP group.
+    pub fn effective_flops(&self) -> f64 {
+        self.gpu.flops * self.gpu.mfu * f64::from(self.count)
+    }
+
+    /// Aggregate effective memory bandwidth across the TP group.
+    pub fn effective_bw(&self) -> f64 {
+        self.gpu.mem_bw * self.gpu.mbu * f64::from(self.count)
+    }
+
+    /// Total usable memory across devices after the utilization cap.
+    pub fn usable_mem(&self) -> u64 {
+        (self.gpu.mem_bytes as f64 * self.mem_utilization) as u64 * u64::from(self.count)
+    }
+
+    /// Bytes available for the KV cache once `model` is resident.
+    ///
+    /// Returns 0 (rather than panicking) if the model does not fit; callers
+    /// treat that as a configuration error at engine construction.
+    pub fn kv_pool_bytes(&self, model: &ModelSpec) -> u64 {
+        let reserved = self.reserved_bytes * u64::from(self.count);
+        self.usable_mem()
+            .saturating_sub(model.weight_bytes())
+            .saturating_sub(reserved)
+    }
+
+    /// Maximum number of KV-cache tokens the pool can hold for `model`.
+    pub fn kv_pool_tokens(&self, model: &ModelSpec) -> u64 {
+        self.kv_pool_bytes(model) / model.kv_bytes_per_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a40_capacity_matches_datasheet() {
+        let g = GpuSpec::a40();
+        assert_eq!(g.mem_bytes, 51_539_607_552);
+        assert!(g.flops > 70e12 && g.flops < 80e12);
+    }
+
+    #[test]
+    fn mistral_kv_pool_is_tens_of_gb() {
+        let cluster = GpuCluster::single_a40();
+        let model = ModelSpec::mistral_7b_awq();
+        let pool = cluster.kv_pool_bytes(&model);
+        // ~43.2 usable − ~3.8 weights − 3 reserved ≈ 36 GB.
+        assert!(pool > 30 * (1 << 30) && pool < 40 * (1u64 << 30), "pool = {pool}");
+        // At 128 KiB/token that is a few hundred thousand tokens.
+        let tokens = cluster.kv_pool_tokens(&model);
+        assert!(tokens > 200_000 && tokens < 330_000, "tokens = {tokens}");
+    }
+
+    #[test]
+    fn llama70b_needs_two_gpus() {
+        let model = ModelSpec::llama31_70b_awq();
+        // On one A40 the AWQ weights barely fit, leaving a KV pool too small
+        // to serve long-context RAG; fp16 weights do not fit at all.
+        assert!(GpuCluster::single_a40().kv_pool_bytes(&model) < 8 * (1u64 << 30));
+        let mut fp16 = model.clone();
+        fp16.quant = crate::spec::Quantization::Fp16;
+        assert_eq!(GpuCluster::single_a40().kv_pool_bytes(&fp16), 0);
+        assert!(GpuCluster::dual_a40().kv_pool_bytes(&model) > 10 * (1u64 << 30));
+    }
+
+    #[test]
+    fn dual_cluster_doubles_compute() {
+        let one = GpuCluster::single_a40();
+        let two = GpuCluster::dual_a40();
+        assert!((two.effective_flops() / one.effective_flops() - 2.0).abs() < 1e-9);
+        assert!((two.effective_bw() / one.effective_bw() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! Analytical serving-latency model.
+//!
+//! Standard roofline treatment of transformer serving, the same model used
+//! by vLLM capacity planning:
+//!
+//! * **Prefill** is compute-bound: `2 × params` FLOPs per token of linear
+//!   work plus a quadratic attention term, divided by effective cluster
+//!   FLOP/s (with the AWQ kernel speedup applied to the linear part).
+//! * **Decode** is bandwidth-bound: every iteration streams the weights once
+//!   (amortized over the whole batch — the essence of continuous batching)
+//!   plus each running sequence's KV cache.
+//! * A **mixed iteration** (chunked prefill) pays the max of its compute and
+//!   memory times plus a fixed per-iteration overhead (kernel launch,
+//!   scheduler bookkeeping).
+//! * **API calls** (profiler models) pay a network constant plus per-token
+//!   input and output costs; they consume no local GPU resources.
+
+use crate::hardware::GpuCluster;
+use crate::spec::{ModelKind, ModelSpec};
+use crate::time::{secs_to_nanos, Nanos};
+
+/// Latency model for one model replica on one cluster.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    model: ModelSpec,
+    cluster: GpuCluster,
+    /// Fixed per-iteration overhead in seconds.
+    iter_overhead_s: f64,
+    /// API round-trip constant in seconds (API models).
+    api_rtt_s: f64,
+    /// API input processing seconds per token.
+    api_in_s_per_tok: f64,
+    /// API output generation seconds per token.
+    api_out_s_per_tok: f64,
+}
+
+impl LatencyModel {
+    /// Builds the model; panics if a local model cannot fit on the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is a local model whose weights leave no KV-cache
+    /// room on `cluster` — serving would be impossible, so this is a
+    /// configuration error.
+    pub fn new(model: ModelSpec, cluster: GpuCluster) -> Self {
+        if model.kind == ModelKind::Local {
+            assert!(
+                cluster.kv_pool_bytes(&model) > 0,
+                "model {} does not fit on the given cluster",
+                model.name
+            );
+        }
+        Self {
+            model,
+            cluster,
+            iter_overhead_s: 0.0025,
+            api_rtt_s: 0.10,
+            api_in_s_per_tok: 2.0e-6,
+            api_out_s_per_tok: 0.005,
+        }
+    }
+
+    /// The model this latency model describes.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The cluster this latency model runs on.
+    pub fn cluster(&self) -> &GpuCluster {
+        &self.cluster
+    }
+
+    /// Compute seconds to prefill `new_tokens` whose attention spans
+    /// `ctx_tokens` total context (for one sequence, `ctx >= new`).
+    fn prefill_compute_s(&self, new_tokens: u64, ctx_tokens: u64) -> f64 {
+        let linear = self.model.flops_per_token() * new_tokens as f64
+            / self.model.quant.compute_speedup();
+        // Attention: ~4 × layers × hidden FLOPs per (new token, ctx token) pair.
+        let attn = 4.0
+            * f64::from(self.model.layers)
+            * f64::from(self.model.hidden)
+            * new_tokens as f64
+            * ctx_tokens as f64
+            / 2.0; // Causal mask halves the pair count.
+        (linear + attn) / self.cluster.effective_flops()
+    }
+
+    /// Memory seconds for one iteration: weights streamed once plus the KV
+    /// cache of all running sequences.
+    fn iter_memory_s(&self, batch_kv_tokens: u64) -> f64 {
+        let weight_read = self.model.weight_bytes() as f64;
+        let kv_read = (batch_kv_tokens * self.model.kv_bytes_per_token()) as f64;
+        (weight_read + kv_read) / self.cluster.effective_bw()
+    }
+
+    /// Duration of one engine iteration that prefills `prefill_tokens` new
+    /// tokens (attention span `prefill_ctx_tokens`), decodes `decode_seqs`
+    /// sequences, over a batch holding `batch_kv_tokens` cached tokens.
+    pub fn iteration_time(
+        &self,
+        prefill_tokens: u64,
+        prefill_ctx_tokens: u64,
+        decode_seqs: u64,
+        batch_kv_tokens: u64,
+    ) -> Nanos {
+        let compute = self.prefill_compute_s(prefill_tokens, prefill_ctx_tokens.max(prefill_tokens))
+            + self.model.flops_per_token() * decode_seqs as f64
+                / self.model.quant.compute_speedup()
+                / self.cluster.effective_flops();
+        let memory = self.iter_memory_s(batch_kv_tokens);
+        secs_to_nanos(compute.max(memory) + self.iter_overhead_s)
+    }
+
+    /// Stand-alone prefill estimate for a sequence of `tokens` tokens —
+    /// used by schedulers for cost estimates, not for the simulation clock.
+    pub fn prefill_estimate(&self, tokens: u64) -> Nanos {
+        secs_to_nanos(self.prefill_compute_s(tokens, tokens) + self.iter_overhead_s)
+    }
+
+    /// Stand-alone decode estimate for `output_tokens` at batch occupancy
+    /// `batch_kv_tokens`.
+    pub fn decode_estimate(&self, output_tokens: u64, batch_kv_tokens: u64) -> Nanos {
+        let per_step = self.iter_memory_s(batch_kv_tokens) + self.iter_overhead_s;
+        secs_to_nanos(per_step * output_tokens as f64)
+    }
+
+    /// Latency of an API call (profiler models): RTT + input + output cost.
+    pub fn api_call(&self, input_tokens: u64, output_tokens: u64) -> Nanos {
+        secs_to_nanos(
+            self.api_rtt_s
+                + self.api_in_s_per_tok * input_tokens as f64
+                + self.api_out_s_per_tok * output_tokens as f64,
+        )
+    }
+
+    /// Dollar cost of an API call under the model's pricing.
+    pub fn api_cost_usd(&self, input_tokens: u64, output_tokens: u64) -> f64 {
+        (input_tokens as f64 * self.model.usd_per_mtok_in
+            + output_tokens as f64 * self.model.usd_per_mtok_out)
+            / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::GpuCluster;
+    use crate::spec::ModelSpec;
+    use crate::time::nanos_to_secs;
+
+    fn mistral() -> LatencyModel {
+        LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40())
+    }
+
+    #[test]
+    fn prefill_scales_superlinearly_in_tokens() {
+        let m = mistral();
+        let t1 = m.prefill_estimate(1_000);
+        let t8 = m.prefill_estimate(8_000);
+        let ratio = t8 as f64 / t1 as f64;
+        assert!(ratio > 7.0, "prefill should scale ~linearly+, got {ratio}");
+    }
+
+    #[test]
+    fn prefill_of_5k_tokens_is_seconds_scale() {
+        // Sanity: Mistral-7B on one A40 prefills ~5k tokens in O(1 s).
+        let m = mistral();
+        let secs = nanos_to_secs(m.prefill_estimate(5_000));
+        assert!(secs > 0.2 && secs < 5.0, "prefill(5k) = {secs}s");
+    }
+
+    #[test]
+    fn decode_is_bandwidth_bound_and_batch_amortized() {
+        let m = mistral();
+        // 20 output tokens alone vs in a large batch: per-sequence share of
+        // a batched iteration is the same iteration time, so the *estimate*
+        // for a fuller batch is larger in absolute time.
+        let alone = m.decode_estimate(20, 1_000);
+        let batched = m.decode_estimate(20, 100_000);
+        assert!(batched > alone);
+        // Single-step decode should be milliseconds.
+        let step = nanos_to_secs(m.decode_estimate(1, 1_000));
+        assert!(step > 0.001 && step < 0.05, "decode step = {step}s");
+    }
+
+    #[test]
+    fn iteration_time_monotone_in_all_inputs() {
+        let m = mistral();
+        let base = m.iteration_time(512, 512, 4, 10_000);
+        assert!(m.iteration_time(1024, 1024, 4, 10_000) >= base);
+        assert!(m.iteration_time(512, 512, 8, 10_000) >= base);
+        assert!(m.iteration_time(512, 512, 4, 200_000) >= base);
+        assert!(m.iteration_time(512, 2048, 4, 10_000) >= base);
+    }
+
+    #[test]
+    fn seventy_b_is_slower_than_7b_on_its_cluster() {
+        let small = mistral();
+        let big = LatencyModel::new(ModelSpec::llama31_70b_awq(), GpuCluster::dual_a40());
+        assert!(big.prefill_estimate(4_000) > small.prefill_estimate(4_000) * 3);
+    }
+
+    #[test]
+    fn api_call_latency_dominated_by_output() {
+        let g = LatencyModel::new(ModelSpec::gpt4o(), GpuCluster::single_a40());
+        let short_out = g.api_call(500, 10);
+        let long_out = g.api_call(500, 100);
+        assert!(long_out > short_out * 2);
+        // A profiler call (short in, ~20 tokens out) lands well under a second.
+        assert!(nanos_to_secs(g.api_call(200, 20)) < 0.6);
+    }
+
+    #[test]
+    fn api_cost_matches_price_table() {
+        let g = LatencyModel::new(ModelSpec::gpt4o(), GpuCluster::single_a40());
+        let cost = g.api_cost_usd(1_000_000, 1_000_000);
+        assert!((cost - 12.50).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_model_panics() {
+        let mut fp16 = ModelSpec::llama31_70b_awq();
+        fp16.quant = crate::spec::Quantization::Fp16;
+        let _ = LatencyModel::new(fp16, GpuCluster::single_a40());
+    }
+}

@@ -1,0 +1,204 @@
+//! Model specifications.
+//!
+//! Architecture numbers follow the public model cards of the models the
+//! paper serves (Mistral-7B-v0.3, Llama-3.1-70B) and profiles with (GPT-4o,
+//! Llama-3.1-70B). The KV-cache geometry — the quantity METIS's best-fit
+//! scheduler reasons about — is exact:
+//! `bytes/token = 2 (K and V) × layers × kv_heads × head_dim × bytes(dtype)`.
+
+/// Weight quantization scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quantization {
+    /// 16-bit floating point weights.
+    Fp16,
+    /// AWQ 4-bit weights (the paper quantizes both serving models with AWQ).
+    Awq4,
+}
+
+impl Quantization {
+    /// Average bytes per weight parameter, including group-scale overhead
+    /// for AWQ.
+    pub fn bytes_per_param(self) -> f64 {
+        match self {
+            Quantization::Fp16 => 2.0,
+            // 4-bit weights + per-group fp16 scales/zeros (group size 128).
+            Quantization::Awq4 => 0.5 * 1.06,
+        }
+    }
+
+    /// Kernel speedup of quantized GEMMs relative to fp16 for
+    /// compute-bound (prefill) work. AWQ kernels (Marlin-class) deliver a
+    /// modest speedup from halved weight traffic.
+    pub fn compute_speedup(self) -> f64 {
+        match self {
+            Quantization::Fp16 => 1.0,
+            Quantization::Awq4 => 1.8,
+        }
+    }
+}
+
+/// Which model this spec describes (used for pricing and reports).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelKind {
+    /// Local open-weights model served on our GPUs.
+    Local,
+    /// API model (priced per token, no local GPU footprint).
+    Api,
+}
+
+/// A transformer model specification.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Model name for reports.
+    pub name: String,
+    /// Total parameter count.
+    pub params: u64,
+    /// Decoder layer count.
+    pub layers: u32,
+    /// Attention head dimension.
+    pub head_dim: u32,
+    /// Number of KV heads (grouped-query attention).
+    pub kv_heads: u32,
+    /// Hidden size (for the quadratic attention term in prefill).
+    pub hidden: u32,
+    /// Maximum context length in tokens.
+    pub max_context: u32,
+    /// Weight quantization.
+    pub quant: Quantization,
+    /// Local or API model.
+    pub kind: ModelKind,
+    /// Fact-extraction capability in `[0, 1]` (drives the quality model).
+    pub capability: f64,
+    /// Joint-reasoning capability in `[0, 1]` (derived facts).
+    pub reasoning: f64,
+    /// API price, $ per 1M input tokens (API models only).
+    pub usd_per_mtok_in: f64,
+    /// API price, $ per 1M output tokens (API models only).
+    pub usd_per_mtok_out: f64,
+}
+
+impl ModelSpec {
+    /// Mistral-7B-v0.3 with AWQ — the paper's default serving model.
+    pub fn mistral_7b_awq() -> Self {
+        Self {
+            name: "mistral-7b-v0.3-awq".into(),
+            params: 7_250_000_000,
+            layers: 32,
+            head_dim: 128,
+            kv_heads: 8,
+            hidden: 4096,
+            max_context: 32_768,
+            quant: Quantization::Awq4,
+            kind: ModelKind::Local,
+            capability: 0.93,
+            reasoning: 0.88,
+            usd_per_mtok_in: 0.0,
+            usd_per_mtok_out: 0.0,
+        }
+    }
+
+    /// Llama-3.1-70B with AWQ — the paper's larger serving model (2 GPUs).
+    pub fn llama31_70b_awq() -> Self {
+        Self {
+            name: "llama-3.1-70b-awq".into(),
+            params: 70_600_000_000,
+            layers: 80,
+            head_dim: 128,
+            kv_heads: 8,
+            hidden: 8192,
+            max_context: 131_072,
+            quant: Quantization::Awq4,
+            kind: ModelKind::Local,
+            capability: 0.95,
+            reasoning: 0.92,
+            usd_per_mtok_in: 0.0,
+            usd_per_mtok_out: 0.0,
+        }
+    }
+
+    /// GPT-4o — the paper's default profiler model and one of the expensive
+    /// fixed-config comparison points in the cost experiment (Fig. 13).
+    pub fn gpt4o() -> Self {
+        Self {
+            name: "gpt-4o".into(),
+            params: 200_000_000_000, // Public estimate; only used for capability scaling.
+            layers: 120,
+            head_dim: 128,
+            kv_heads: 8,
+            hidden: 12_288,
+            max_context: 128_000,
+            quant: Quantization::Fp16,
+            kind: ModelKind::Api,
+            capability: 0.96,
+            reasoning: 0.95,
+            usd_per_mtok_in: 2.50,
+            usd_per_mtok_out: 10.00,
+        }
+    }
+
+    /// Llama-3.1-70B used *as the profiler* (Fig. 17): same weights as the
+    /// serving variant but invoked through the HuggingFace API interface.
+    pub fn llama31_70b_profiler() -> Self {
+        let mut spec = Self::llama31_70b_awq();
+        spec.name = "llama-3.1-70b-profiler".into();
+        spec
+    }
+
+    /// KV-cache bytes for a single token (fp16 KV).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * u64::from(self.layers) * u64::from(self.kv_heads) * u64::from(self.head_dim) * 2
+    }
+
+    /// Weight footprint in bytes under this spec's quantization.
+    pub fn weight_bytes(&self) -> u64 {
+        (self.params as f64 * self.quant.bytes_per_param()) as u64
+    }
+
+    /// FLOPs per token of forward pass (the standard `2 × params` estimate).
+    pub fn flops_per_token(&self) -> f64 {
+        2.0 * self.params as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mistral_kv_geometry_matches_model_card() {
+        let m = ModelSpec::mistral_7b_awq();
+        // 2 × 32 layers × 8 kv heads × 128 dim × 2 bytes = 131072 B/token.
+        assert_eq!(m.kv_bytes_per_token(), 131_072);
+    }
+
+    #[test]
+    fn llama70b_kv_is_2_5x_mistral() {
+        let m = ModelSpec::mistral_7b_awq();
+        let l = ModelSpec::llama31_70b_awq();
+        assert_eq!(l.kv_bytes_per_token(), 327_680);
+        assert!(l.kv_bytes_per_token() > 2 * m.kv_bytes_per_token());
+    }
+
+    #[test]
+    fn awq_weights_are_roughly_quarter_of_fp16() {
+        let m = ModelSpec::mistral_7b_awq();
+        let awq = m.weight_bytes() as f64;
+        let fp16 = m.params as f64 * 2.0;
+        assert!(awq < fp16 * 0.30 && awq > fp16 * 0.20);
+    }
+
+    #[test]
+    fn capability_orders_models() {
+        assert!(ModelSpec::gpt4o().capability > ModelSpec::llama31_70b_awq().capability);
+        assert!(
+            ModelSpec::llama31_70b_awq().capability > ModelSpec::mistral_7b_awq().capability
+        );
+    }
+
+    #[test]
+    fn api_model_has_prices() {
+        let g = ModelSpec::gpt4o();
+        assert_eq!(g.kind, ModelKind::Api);
+        assert!(g.usd_per_mtok_in > 0.0 && g.usd_per_mtok_out > g.usd_per_mtok_in);
+    }
+}

@@ -1,0 +1,87 @@
+//! Dollar-cost model (Fig. 13).
+//!
+//! Serving cost = GPU-hours × hourly rate; profiler/API cost = token prices.
+//! Rates follow common on-demand cloud pricing for the paper's hardware.
+
+/// Pricing table for a deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// $ per GPU-hour per A40.
+    pub usd_per_gpu_hour: f64,
+    /// GPUs used by the serving model.
+    pub gpus: u32,
+}
+
+impl CostModel {
+    /// On-demand A40 pricing (~$0.79/GPU-hour), `gpus` devices.
+    pub fn a40(gpus: u32) -> Self {
+        Self {
+            usd_per_gpu_hour: 0.79,
+            gpus,
+        }
+    }
+}
+
+/// Accumulated cost of one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunCost {
+    /// GPU busy time in seconds.
+    pub gpu_busy_secs: f64,
+    /// API dollars spent (profiler calls, API serving models).
+    pub api_usd: f64,
+}
+
+impl RunCost {
+    /// Adds API spend.
+    pub fn add_api(&mut self, usd: f64) {
+        self.api_usd += usd;
+    }
+
+    /// Adds GPU busy seconds.
+    pub fn add_gpu_secs(&mut self, secs: f64) {
+        self.gpu_busy_secs += secs;
+    }
+
+    /// Total dollars under `model`.
+    pub fn total_usd(&self, model: &CostModel) -> f64 {
+        self.gpu_busy_secs / 3600.0 * model.usd_per_gpu_hour * f64::from(model.gpus) + self.api_usd
+    }
+
+    /// Dollars per query for a run of `queries` queries.
+    pub fn usd_per_query(&self, model: &CostModel, queries: usize) -> f64 {
+        if queries == 0 {
+            0.0
+        } else {
+            self.total_usd(model) / queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_cost_scales_with_time_and_devices() {
+        let mut rc = RunCost::default();
+        rc.add_gpu_secs(3600.0);
+        assert!((rc.total_usd(&CostModel::a40(1)) - 0.79).abs() < 1e-9);
+        assert!((rc.total_usd(&CostModel::a40(2)) - 1.58).abs() < 1e-9);
+    }
+
+    #[test]
+    fn api_cost_adds_linearly() {
+        let mut rc = RunCost::default();
+        rc.add_api(0.5);
+        rc.add_api(0.25);
+        assert!((rc.total_usd(&CostModel::a40(0)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_query_cost() {
+        let mut rc = RunCost::default();
+        rc.add_api(1.0);
+        assert!((rc.usd_per_query(&CostModel::a40(0), 100) - 0.01).abs() < 1e-12);
+        assert_eq!(rc.usd_per_query(&CostModel::a40(0), 0), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Latency and throughput summaries.
+
+/// Summary statistics over a set of per-query delays (seconds).
+#[derive(Clone, Debug)]
+pub struct LatencySummary {
+    sorted: Vec<f64>,
+    sum: f64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from raw delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any delay is negative or non-finite.
+    pub fn new(mut delays: Vec<f64>) -> Self {
+        for &d in &delays {
+            assert!(d.is_finite() && d >= 0.0, "invalid delay {d}");
+        }
+        delays.sort_by(|a, b| a.partial_cmp(b).expect("finite by assertion"));
+        let sum = delays.iter().sum();
+        Self {
+            sorted: delays,
+            sum,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when the summary holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Mean delay (0 for an empty set).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sum / self.sorted.len() as f64
+        }
+    }
+
+    /// Percentile by nearest-rank (`p` in `[0, 100]`; 0 for an empty set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Tail (p99).
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Maximum delay (0 for an empty set).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Throughput over a run.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputSummary {
+    /// Completed queries.
+    pub completed: usize,
+    /// Virtual makespan in seconds (first arrival to last completion).
+    pub makespan_secs: f64,
+}
+
+impl ThroughputSummary {
+    /// Queries per second (0 for a degenerate makespan).
+    pub fn qps(&self) -> f64 {
+        if self.makespan_secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.makespan_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let s = LatencySummary::new(vec![4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.p50(), 3.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = LatencySummary::new(vec![]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::new(vec![2.5]);
+        assert_eq!(s.p50(), 2.5);
+        assert_eq!(s.percentile(1.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid delay")]
+    fn negative_delay_rejected() {
+        let _ = LatencySummary::new(vec![-1.0]);
+    }
+
+    #[test]
+    fn qps_counts_completions_per_second() {
+        let t = ThroughputSummary {
+            completed: 100,
+            makespan_secs: 50.0,
+        };
+        assert!((t.qps() - 2.0).abs() < 1e-12);
+        let degenerate = ThroughputSummary {
+            completed: 5,
+            makespan_secs: 0.0,
+        };
+        assert_eq!(degenerate.qps(), 0.0);
+    }
+}

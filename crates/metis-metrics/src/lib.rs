@@ -1,0 +1,13 @@
+//! Evaluation metrics for the METIS reproduction.
+//!
+//! * Token-level F1 (§2's response-quality metric, SQuAD-style).
+//! * Latency distributions (mean/percentiles) and throughput.
+//! * The dollar-cost model behind the paper's Fig. 13.
+
+pub mod cost;
+pub mod f1;
+pub mod latency;
+
+pub use cost::{CostModel, RunCost};
+pub use f1::f1_score;
+pub use latency::{LatencySummary, ThroughputSummary};

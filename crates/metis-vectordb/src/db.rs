@@ -1,0 +1,256 @@
+//! The assembled vector database: embedder + index + chunk store + metadata.
+
+use std::sync::Arc;
+
+use metis_embed::Embedder;
+use metis_text::{AnnotatedText, TokenChunk, TokenId};
+
+use crate::flat::FlatIndex;
+use crate::ivf::{IvfConfig, IvfIndex};
+use crate::store::ChunkStore;
+use crate::{Hit, VectorIndex};
+
+/// Database metadata consumed by METIS's LLM profiler (§4.1).
+///
+/// The paper attaches "a short description about the type of content in the
+/// database and its data size (`chunk_size`)" to every corpus; the profiler
+/// uses it to judge how much summarization and reasoning a query needs.
+#[derive(Clone, Debug)]
+pub struct DbMetadata {
+    /// One-line natural-language description of the corpus content.
+    pub description: String,
+    /// Tokens per chunk used when the database was built.
+    pub chunk_size: usize,
+    /// Number of chunks in the database.
+    pub num_chunks: usize,
+}
+
+/// One retrieved chunk with its decoded text.
+#[derive(Clone, Debug)]
+pub struct RetrievalResult {
+    /// The search hit (chunk id + distance).
+    pub hit: Hit,
+    /// Decoded chunk content with fact annotations.
+    pub text: AnnotatedText,
+}
+
+/// Index backend for a [`VectorDb`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Exact flat L2 (FAISS `IndexFlatL2`) — the paper's setup.
+    #[default]
+    Flat,
+    /// IVF approximate index (for corpus scales where exact search is too
+    /// slow; trades a little recall for sublinear search).
+    Ivf,
+}
+
+/// A complete retrieval database over one corpus.
+///
+/// Build once from the chunker output, then call [`VectorDb::retrieve`] with
+/// query tokens — the analogue of the paper's
+/// `index.search(query_embedding, top_k)` followed by payload lookup.
+pub struct VectorDb {
+    embedder: Arc<dyn Embedder>,
+    index: Box<dyn VectorIndex>,
+    store: ChunkStore,
+    metadata: DbMetadata,
+}
+
+impl VectorDb {
+    /// Builds the database by embedding and indexing every chunk with the
+    /// exact flat index (the paper's FAISS `IndexFlatL2` setup).
+    pub fn build(
+        chunks: &[TokenChunk],
+        embedder: Arc<dyn Embedder>,
+        description: &str,
+        chunk_size: usize,
+    ) -> Self {
+        Self::build_with_index(chunks, embedder, description, chunk_size, IndexKind::Flat)
+    }
+
+    /// Builds the database with a chosen index backend.
+    pub fn build_with_index(
+        chunks: &[TokenChunk],
+        embedder: Arc<dyn Embedder>,
+        description: &str,
+        chunk_size: usize,
+        kind: IndexKind,
+    ) -> Self {
+        let index: Box<dyn VectorIndex> = match kind {
+            IndexKind::Flat => {
+                let mut index = FlatIndex::new(embedder.dim());
+                for c in chunks {
+                    index.add(c.id, &embedder.embed(c.text.tokens()));
+                }
+                Box::new(index)
+            }
+            IndexKind::Ivf => {
+                let items: Vec<_> = chunks
+                    .iter()
+                    .map(|c| (c.id, embedder.embed(c.text.tokens())))
+                    .collect();
+                let nlist = (chunks.len() / 24).clamp(1, 256);
+                Box::new(IvfIndex::build(
+                    embedder.dim(),
+                    IvfConfig {
+                        nlist,
+                        nprobe: (nlist / 3).max(2).min(nlist),
+                        train_iters: 6,
+                    },
+                    &items,
+                ))
+            }
+        };
+        let store = ChunkStore::from_chunks(chunks);
+        let metadata = DbMetadata {
+            description: description.to_owned(),
+            chunk_size,
+            num_chunks: chunks.len(),
+        };
+        Self {
+            embedder,
+            index,
+            store,
+            metadata,
+        }
+    }
+
+    /// Retrieves the `top_k` most similar chunks to the query.
+    pub fn retrieve(&self, query_tokens: &[TokenId], top_k: usize) -> Vec<RetrievalResult> {
+        let q = self.embedder.embed(query_tokens);
+        self.index
+            .search(&q, top_k)
+            .into_iter()
+            .map(|hit| RetrievalResult {
+                hit,
+                text: self
+                    .store
+                    .get(hit.chunk)
+                    .expect("index returned id missing from store"),
+            })
+            .collect()
+    }
+
+    /// The database metadata (for the profiler).
+    pub fn metadata(&self) -> &DbMetadata {
+        &self.metadata
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Returns `true` when the database holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The embedder used for both indexing and queries.
+    pub fn embedder(&self) -> &dyn Embedder {
+        self.embedder.as_ref()
+    }
+
+    /// Read access to the chunk store.
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_embed::HashEmbed;
+    use metis_text::{Chunker, ChunkerConfig, FactId, TextGen, Tokenizer, TopicVocab};
+
+    fn build_db() -> (VectorDb, Vec<TokenId>, FactId) {
+        let mut tok = Tokenizer::new();
+        let finance = TopicVocab::build(&mut tok, "finance", 64, 64);
+        let sports = TopicVocab::build(&mut tok, "sports", 64, 64);
+        let mut g = TextGen::new(11);
+
+        // Document: sports filler, then a finance section containing a fact.
+        let mut doc = AnnotatedText::new();
+        doc.push_tokens(&g.filler(&sports, 256));
+        let subject: Vec<TokenId> = finance.topic_words()[..8].to_vec();
+        doc.push_tokens(&subject);
+        let fact_phrase = g.fact_phrase(&mut tok, "ceo", 2);
+        doc.push_fact(FactId(1), &fact_phrase);
+        doc.push_tokens(&g.filler(&finance, 54));
+        doc.push_tokens(&g.filler(&sports, 256));
+
+        let chunks = Chunker::new(ChunkerConfig::with_size(64)).split(&doc);
+        let db = VectorDb::build(
+            &chunks,
+            Arc::new(HashEmbed::default()),
+            "synthetic finance + sports corpus",
+            64,
+        );
+        // Query repeats the subject tokens, as a question about them would.
+        (db, subject, FactId(1))
+    }
+
+    #[test]
+    fn retrieval_surfaces_fact_bearing_chunk() {
+        let (db, query, fact) = build_db();
+        let results = db.retrieve(&query, 3);
+        assert_eq!(results.len(), 3);
+        let found = results
+            .iter()
+            .any(|r| r.text.fact_ids().any(|f| f == fact));
+        assert!(found, "fact chunk not in top-3");
+    }
+
+    #[test]
+    fn results_are_distance_ordered() {
+        let (db, query, _) = build_db();
+        let results = db.retrieve(&query, 5);
+        for w in results.windows(2) {
+            assert!(w[0].hit.distance <= w[1].hit.distance);
+        }
+    }
+
+    #[test]
+    fn metadata_reflects_build() {
+        let (db, _, _) = build_db();
+        let md = db.metadata();
+        assert_eq!(md.chunk_size, 64);
+        assert_eq!(md.num_chunks, db.len());
+        assert!(!md.description.is_empty());
+    }
+
+    #[test]
+    fn ivf_backend_retrieves_the_same_fact() {
+        let mut tok = Tokenizer::new();
+        let finance = TopicVocab::build(&mut tok, "finance", 64, 64);
+        let mut g = TextGen::new(11);
+        let mut doc = AnnotatedText::new();
+        doc.push_tokens(&g.filler(&finance, 512));
+        let subject: Vec<TokenId> = finance.topic_words()[..8].to_vec();
+        doc.push_tokens(&subject);
+        let fact_phrase = g.fact_phrase(&mut tok, "ceo", 2);
+        doc.push_fact(FactId(1), &fact_phrase);
+        doc.push_tokens(&g.filler(&finance, 700));
+        let chunks = Chunker::new(ChunkerConfig::with_size(64)).split(&doc);
+        let db = VectorDb::build_with_index(
+            &chunks,
+            Arc::new(HashEmbed::default()),
+            "ivf corpus",
+            64,
+            IndexKind::Ivf,
+        );
+        let results = db.retrieve(&subject, 5);
+        assert!(!results.is_empty());
+        // With generous nprobe, the fact chunk surfaces just like flat.
+        let found = results.iter().any(|r| r.text.fact_ids().any(|f| f == FactId(1)));
+        assert!(found, "IVF missed the fact chunk");
+    }
+
+    #[test]
+    fn top_k_clamps_to_db_size() {
+        let (db, query, _) = build_db();
+        let results = db.retrieve(&query, 10_000);
+        assert_eq!(results.len(), db.len());
+    }
+}

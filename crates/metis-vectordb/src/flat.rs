@@ -1,0 +1,262 @@
+//! Exact flat L2 index — the equivalent of FAISS `IndexFlatL2`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use metis_text::ChunkId;
+
+use crate::{Hit, VectorIndex};
+
+/// Candidate ordered so that the *worst* (largest-distance) hit is at the top
+/// of a max-heap, letting us keep only the best `k`.
+struct HeapEntry {
+    distance: f32,
+    chunk: ChunkId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.distance == other.distance && self.chunk == other.chunk
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Distances are finite by construction (asserted on insert/search),
+        // ties broken by chunk id for determinism.
+        self.distance
+            .partial_cmp(&other.distance)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.chunk.cmp(&other.chunk))
+    }
+}
+
+/// Exact (brute-force) L2 nearest-neighbour index.
+///
+/// Vectors are stored contiguously; search scans all of them and keeps the
+/// best `k` in a bounded max-heap — `O(n · d + n · log k)`, identical in
+/// results to FAISS `IndexFlatL2`.
+///
+/// # Examples
+///
+/// ```
+/// use metis_vectordb::{FlatIndex, VectorIndex};
+/// use metis_text::ChunkId;
+///
+/// let mut idx = FlatIndex::new(2);
+/// idx.add(ChunkId(0), &[0.0, 1.0]);
+/// idx.add(ChunkId(1), &[1.0, 0.0]);
+/// let hits = idx.search(&[0.9, 0.1], 1);
+/// assert_eq!(hits[0].chunk, ChunkId(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlatIndex {
+    dim: usize,
+    data: Vec<f32>,
+    ids: Vec<ChunkId>,
+}
+
+impl FlatIndex {
+    /// Creates an empty index for `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            dim,
+            data: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds a vector under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector` has the wrong dimension or non-finite components.
+    pub fn add(&mut self, id: ChunkId, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        assert!(
+            vector.iter().all(|x| x.is_finite()),
+            "non-finite embedding component"
+        );
+        self.data.extend_from_slice(vector);
+        self.ids.push(id);
+    }
+
+    /// Returns the stored vector for row `row`.
+    pub fn row(&self, row: usize) -> Option<&[f32]> {
+        let start = row * self.dim;
+        self.data.get(start..start + self.dim)
+    }
+
+    fn squared_l2(&self, row: usize, query: &[f32]) -> f32 {
+        let start = row * self.dim;
+        self.data[start..start + self.dim]
+            .iter()
+            .zip(query)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for row in 0..self.ids.len() {
+            let d2 = self.squared_l2(row, query);
+            if heap.len() < k {
+                heap.push(HeapEntry {
+                    distance: d2,
+                    chunk: self.ids[row],
+                });
+            } else if let Some(top) = heap.peek() {
+                if d2 < top.distance {
+                    heap.pop();
+                    heap.push(HeapEntry {
+                        distance: d2,
+                        chunk: self.ids[row],
+                    });
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = heap
+            .into_iter()
+            .map(|e| Hit {
+                chunk: e.chunk,
+                distance: e.distance.sqrt(),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.chunk.cmp(&b.chunk))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_index() -> FlatIndex {
+        let mut idx = FlatIndex::new(2);
+        // Points at integer coordinates 0..5 on the x axis.
+        for i in 0..5u32 {
+            idx.add(ChunkId(i), &[i as f32, 0.0]);
+        }
+        idx
+    }
+
+    #[test]
+    fn nearest_neighbour_is_exact() {
+        let idx = grid_index();
+        let hits = idx.search(&[2.2, 0.0], 3);
+        assert_eq!(hits[0].chunk, ChunkId(2));
+        assert_eq!(hits[1].chunk, ChunkId(3));
+        assert_eq!(hits[2].chunk, ChunkId(1));
+    }
+
+    #[test]
+    fn distances_are_ascending_and_correct() {
+        let idx = grid_index();
+        let hits = idx.search(&[0.0, 0.0], 5);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        assert!((hits[1].distance - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let idx = grid_index();
+        assert_eq!(idx.search(&[0.0, 0.0], 100).len(), 5);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let idx = grid_index();
+        assert!(idx.search(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_chunk_id() {
+        let mut idx = FlatIndex::new(1);
+        idx.add(ChunkId(7), &[1.0]);
+        idx.add(ChunkId(3), &[1.0]);
+        let hits = idx.search(&[0.0], 2);
+        assert_eq!(hits[0].chunk, ChunkId(3));
+        assert_eq!(hits[1].chunk, ChunkId(7));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        use metis_embed::l2_distance;
+        // Deterministic pseudo-random data without pulling in rand here.
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+        };
+        let dim = 8;
+        let n = 200;
+        let mut idx = FlatIndex::new(dim);
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| next()).collect();
+            idx.add(ChunkId(i as u32), &v);
+            rows.push(v);
+        }
+        let q: Vec<f32> = (0..dim).map(|_| next()).collect();
+        let hits = idx.search(&q, 10);
+        let mut brute: Vec<(f32, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (l2_distance(r, &q), i as u32))
+            .collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (hit, (d, i)) in hits.iter().zip(brute.iter().take(10)) {
+            assert_eq!(hit.chunk, ChunkId(*i));
+            assert!((hit.distance - d).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_add_panics() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(ChunkId(0), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_add_panics() {
+        let mut idx = FlatIndex::new(1);
+        idx.add(ChunkId(0), &[f32::NAN]);
+    }
+}

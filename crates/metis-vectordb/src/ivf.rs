@@ -1,0 +1,246 @@
+//! Inverted-file (IVF) approximate index.
+//!
+//! A small k-means coarse quantizer assigns each vector to its nearest
+//! centroid; search probes the `nprobe` nearest lists. Included because real
+//! deployments at the paper's corpus scale use IVF, and the retrieval-recall
+//! sensitivity it introduces is a useful ablation axis. The paper's own
+//! evaluation uses the exact flat index ([`crate::FlatIndex`]), which remains
+//! the default everywhere.
+
+use std::cmp::Ordering;
+
+use metis_text::ChunkId;
+
+use crate::{Hit, VectorIndex};
+
+/// IVF build/search parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct IvfConfig {
+    /// Number of coarse centroids (inverted lists).
+    pub nlist: usize,
+    /// Number of lists probed at search time.
+    pub nprobe: usize,
+    /// K-means refinement iterations.
+    pub train_iters: usize,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self {
+            nlist: 16,
+            nprobe: 4,
+            train_iters: 8,
+        }
+    }
+}
+
+/// IVF index with exact scoring inside the probed lists.
+#[derive(Clone, Debug)]
+pub struct IvfIndex {
+    dim: usize,
+    config: IvfConfig,
+    centroids: Vec<Vec<f32>>,
+    lists: Vec<Vec<(ChunkId, Vec<f32>)>>,
+    len: usize,
+}
+
+fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+impl IvfIndex {
+    /// Builds the index from `(id, vector)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vectors disagree on dimension, or `nprobe > nlist`, or
+    /// `nlist` is zero.
+    pub fn build(dim: usize, config: IvfConfig, items: &[(ChunkId, Vec<f32>)]) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(config.nlist > 0, "nlist must be positive");
+        assert!(config.nprobe <= config.nlist, "nprobe must be <= nlist");
+        for (_, v) in items {
+            assert_eq!(v.len(), dim, "dimension mismatch");
+        }
+        let nlist = config.nlist.min(items.len().max(1));
+        // Initialize centroids by striding through the data (deterministic).
+        let mut centroids: Vec<Vec<f32>> = if items.is_empty() {
+            vec![vec![0.0; dim]; nlist]
+        } else {
+            (0..nlist)
+                .map(|i| items[i * items.len() / nlist].1.clone())
+                .collect()
+        };
+        // Lloyd iterations.
+        for _ in 0..config.train_iters {
+            let mut sums = vec![vec![0.0f64; dim]; nlist];
+            let mut counts = vec![0usize; nlist];
+            for (_, v) in items {
+                let c = Self::nearest_centroid(&centroids, v);
+                counts[c] += 1;
+                for (s, x) in sums[c].iter_mut().zip(v) {
+                    *s += f64::from(*x);
+                }
+            }
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                if counts[c] > 0 {
+                    for (dst, s) in centroid.iter_mut().zip(&sums[c]) {
+                        *dst = (*s / counts[c] as f64) as f32;
+                    }
+                }
+            }
+        }
+        let mut lists = vec![Vec::new(); nlist];
+        for (id, v) in items {
+            let c = Self::nearest_centroid(&centroids, v);
+            lists[c].push((*id, v.clone()));
+        }
+        Self {
+            dim,
+            config: IvfConfig {
+                nlist,
+                nprobe: config.nprobe.min(nlist),
+                train_iters: config.train_iters,
+            },
+            centroids,
+            lists,
+            len: items.len(),
+        }
+    }
+
+    fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for (i, c) in centroids.iter().enumerate() {
+            let d = sq_l2(c, v);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The effective configuration (after clamping to the data size).
+    pub fn config(&self) -> IvfConfig {
+        self.config
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Rank centroids by distance, probe the nearest `nprobe` lists.
+        let mut order: Vec<(f32, usize)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (sq_l2(c, query), i))
+            .collect();
+        order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        let mut hits: Vec<Hit> = Vec::new();
+        for &(_, list) in order.iter().take(self.config.nprobe) {
+            for (id, v) in &self.lists[list] {
+                hits.push(Hit {
+                    chunk: *id,
+                    distance: sq_l2(v, query).sqrt(),
+                });
+            }
+        }
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.chunk.cmp(&b.chunk))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+
+    fn clustered_data() -> Vec<(ChunkId, Vec<f32>)> {
+        // Two well-separated clusters around (0,0) and (10,10).
+        let mut items = Vec::new();
+        for i in 0..20u32 {
+            let off = (i % 5) as f32 * 0.1;
+            items.push((ChunkId(i), vec![off, -off]));
+            items.push((ChunkId(100 + i), vec![10.0 + off, 10.0 - off]));
+        }
+        items
+    }
+
+    #[test]
+    fn finds_neighbours_in_probed_cluster() {
+        let idx = IvfIndex::build(
+            2,
+            IvfConfig {
+                nlist: 2,
+                nprobe: 1,
+                train_iters: 10,
+            },
+            &clustered_data(),
+        );
+        let hits = idx.search(&[10.0, 10.0], 5);
+        assert_eq!(hits.len(), 5);
+        for h in &hits {
+            assert!(h.chunk.0 >= 100, "wrong cluster: {:?}", h.chunk);
+        }
+    }
+
+    #[test]
+    fn full_probe_matches_flat_index() {
+        let items = clustered_data();
+        let ivf = IvfIndex::build(
+            2,
+            IvfConfig {
+                nlist: 4,
+                nprobe: 4,
+                train_iters: 5,
+            },
+            &items,
+        );
+        let mut flat = FlatIndex::new(2);
+        for (id, v) in &items {
+            flat.add(*id, v);
+        }
+        let q = [5.0, 5.0];
+        let a = ivf.search(&q, 10);
+        let b = flat.search(&q, 10);
+        let ids_a: Vec<_> = a.iter().map(|h| h.chunk).collect();
+        let ids_b: Vec<_> = b.iter().map(|h| h.chunk).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = IvfIndex::build(3, IvfConfig::default(), &[]);
+        assert!(idx.search(&[0.0, 0.0, 0.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn nlist_clamped_to_data_size() {
+        let items = vec![(ChunkId(0), vec![1.0])];
+        let idx = IvfIndex::build(1, IvfConfig::default(), &items);
+        assert_eq!(idx.config().nlist, 1);
+        assert_eq!(idx.search(&[1.0], 1).len(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Vector database substrate for the METIS reproduction.
+//!
+//! Reproduces the retrieval layer the paper builds from FAISS: an exact
+//! flat-L2 index (`IndexFlatL2` + `index.search(query_embedding, top_k)`),
+//! plus an IVF variant for completeness, a compact chunk store, and the
+//! database metadata object that METIS's profiler consumes (§4.1: a one-line
+//! description of the corpus plus its `chunk_size`).
+
+pub mod db;
+pub mod flat;
+pub mod ivf;
+pub mod store;
+
+pub use db::{DbMetadata, IndexKind, RetrievalResult, VectorDb};
+pub use flat::FlatIndex;
+pub use ivf::{IvfConfig, IvfIndex};
+pub use store::ChunkStore;
+
+use metis_text::ChunkId;
+
+/// A search hit: chunk id plus L2 distance (smaller is more similar).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hit {
+    /// The matching chunk.
+    pub chunk: ChunkId,
+    /// L2 distance between query and chunk embeddings.
+    pub distance: f32,
+}
+
+/// Common interface over the index variants.
+pub trait VectorIndex: Send + Sync {
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the `k` nearest chunks to `query` in ascending distance order.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
+}

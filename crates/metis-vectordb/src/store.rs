@@ -1,0 +1,135 @@
+//! Compact chunk storage.
+//!
+//! Chunks are stored as little-endian `u32` token ids in [`bytes::Bytes`]
+//! buffers (cheaply cloneable, shared, immutable), with fact spans kept in a
+//! side table. This mirrors a real vector DB payload store where chunk text
+//! is an opaque blob and ground-truth annotations live out of band.
+
+use bytes::{Bytes, BytesMut};
+use metis_text::{AnnotatedText, ChunkId, FactSpan, TokenId, TokenChunk};
+
+/// Immutable storage for the chunks of one database.
+#[derive(Clone, Debug, Default)]
+pub struct ChunkStore {
+    blobs: Vec<Bytes>,
+    spans: Vec<Vec<FactSpan>>,
+}
+
+impl ChunkStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from chunker output.
+    ///
+    /// Chunk ids must be dense and sequential (as produced by
+    /// [`metis_text::Chunker::split`]); the store addresses blobs by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if chunk ids are not `0..n` in order.
+    pub fn from_chunks(chunks: &[TokenChunk]) -> Self {
+        let mut store = Self::new();
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.id.index(), i, "chunk ids must be dense and in order");
+            store.push(&c.text);
+        }
+        store
+    }
+
+    /// Appends a chunk, returning its id.
+    pub fn push(&mut self, text: &AnnotatedText) -> ChunkId {
+        let mut buf = BytesMut::with_capacity(text.len() * 4);
+        for t in text.tokens() {
+            buf.extend_from_slice(&t.0.to_le_bytes());
+        }
+        let id = ChunkId(self.blobs.len() as u32);
+        self.blobs.push(buf.freeze());
+        self.spans.push(text.spans().to_vec());
+        id
+    }
+
+    /// Number of stored chunks.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Returns `true` when the store holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Token count of chunk `id` without decoding.
+    pub fn token_len(&self, id: ChunkId) -> Option<usize> {
+        self.blobs.get(id.index()).map(|b| b.len() / 4)
+    }
+
+    /// Decodes chunk `id` back into an [`AnnotatedText`].
+    pub fn get(&self, id: ChunkId) -> Option<AnnotatedText> {
+        let blob = self.blobs.get(id.index())?;
+        let tokens: Vec<TokenId> = blob
+            .chunks_exact(4)
+            .map(|b| TokenId(u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+            .collect();
+        Some(AnnotatedText::from_parts(
+            tokens,
+            self.spans[id.index()].clone(),
+        ))
+    }
+
+    /// Total stored tokens across all chunks.
+    pub fn total_tokens(&self) -> usize {
+        self.blobs.iter().map(|b| b.len() / 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_text::FactId;
+
+    fn sample_text() -> AnnotatedText {
+        let mut t = AnnotatedText::new();
+        t.push_tokens(&[TokenId(1), TokenId(2)]);
+        t.push_fact(FactId(77), &[TokenId(3)]);
+        t
+    }
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut s = ChunkStore::new();
+        let text = sample_text();
+        let id = s.push(&text);
+        let back = s.get(id).unwrap();
+        assert_eq!(back.tokens(), text.tokens());
+        assert_eq!(back.spans(), text.spans());
+    }
+
+    #[test]
+    fn token_len_avoids_decode() {
+        let mut s = ChunkStore::new();
+        let id = s.push(&sample_text());
+        assert_eq!(s.token_len(id), Some(3));
+        assert_eq!(s.total_tokens(), 3);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let s = ChunkStore::new();
+        assert!(s.get(ChunkId(0)).is_none());
+    }
+
+    #[test]
+    fn from_chunks_preserves_ids() {
+        use metis_text::{Chunker, ChunkerConfig};
+        let mut doc = AnnotatedText::new();
+        doc.push_tokens(&(0..100).map(TokenId).collect::<Vec<_>>());
+        let chunks = Chunker::new(ChunkerConfig::with_size(16)).split(&doc);
+        let store = ChunkStore::from_chunks(&chunks);
+        assert_eq!(store.len(), chunks.len());
+        for c in &chunks {
+            assert_eq!(store.get(c.id).unwrap().tokens(), c.text.tokens());
+        }
+    }
+}

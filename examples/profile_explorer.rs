@@ -1,0 +1,71 @@
+//! Walk through METIS's two-stage decision for individual queries: the LLM
+//! profiler's estimate, the Algorithm-1 pruned space, and the best-fit
+//! choice under three different free-memory conditions (Fig. 7 + Fig. 8).
+//!
+//! ```sh
+//! cargo run --example profile_explorer
+//! ```
+
+use metis::core::{choose_config, map_profile, BestFitInputs};
+use metis::prelude::*;
+
+fn main() {
+    let dataset = build_dataset(DatasetKind::Qmsum, 8, 11);
+    let mut profiler = LlmProfiler::new(ProfilerKind::Gpt4o);
+    let metadata = dataset.db.metadata().clone();
+    let chunk_size = metadata.chunk_size as u64;
+
+    for q in &dataset.queries {
+        let out = profiler.profile(q, &metadata, 5);
+        let est = out.estimate;
+        println!(
+            "query q{}: true profile = (complexity {:?}, joint {}, pieces {})",
+            q.id.0, q.profile.complexity, q.profile.joint, q.profile.pieces
+        );
+        println!(
+            "  profiler estimate  = (complexity {:?}, joint {}, pieces {}, summaries {}..{} \
+             tokens, confidence {:.2})",
+            est.complexity, est.joint, est.pieces, est.summary_range.0, est.summary_range.1,
+            est.confidence
+        );
+        let space = map_profile(&est);
+        println!(
+            "  Algorithm 1        = methods {:?}, chunks {}..{}, summary {}..{} \
+             ({} configurations)",
+            space
+                .methods
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>(),
+            space.num_chunks.0,
+            space.num_chunks.1,
+            space.intermediate_length.0,
+            space.intermediate_length.1,
+            space.size()
+        );
+        // The joint scheduler under three memory regimes (Fig. 8).
+        for (label, free) in [
+            ("free GPU", 90_000u64),
+            ("busy GPU", 9_000),
+            ("starved GPU", 1_500),
+        ] {
+            let chosen = choose_config(
+                &space,
+                est.joint,
+                &BestFitInputs {
+                    free_kv_tokens: free,
+                    chunk_size,
+                    query_tokens: q.tokens.len() as u64,
+                    expected_output: 48,
+                    buffer_frac: 0.02,
+                },
+            );
+            println!(
+                "  best fit @ {label:<12} ({free:>6} KV tokens free) → {}{}",
+                chosen.config.label(),
+                if chosen.fallback { "  [fallback]" } else { "" }
+            );
+        }
+        println!();
+    }
+}

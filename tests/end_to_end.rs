@@ -1,0 +1,189 @@
+//! End-to-end integration tests spanning every crate: datasets → retrieval →
+//! profiling → Algorithm 1 → best-fit → synthesis → engine → metrics.
+
+use metis::prelude::*;
+
+fn qps_for(kind: DatasetKind) -> f64 {
+    match kind {
+        DatasetKind::Squad => 1.6,
+        DatasetKind::Musique => 0.55,
+        DatasetKind::FinSec => 0.20,
+        DatasetKind::Qmsum => 0.17,
+    }
+}
+
+#[test]
+fn metis_serves_every_dataset() {
+    for kind in DatasetKind::all() {
+        let dataset = build_dataset(kind, 25, 1234);
+        let arrivals = poisson_arrivals(5, qps_for(kind), 25);
+        let run = Runner::new(
+            &dataset,
+            RunConfig::standard(SystemKind::Metis(MetisOptions::full()), arrivals, 42),
+        )
+        .run();
+        assert_eq!(run.per_query.len(), 25, "{kind:?}: lost queries");
+        assert!(run.mean_f1() > 0.15, "{kind:?}: F1 {:.3}", run.mean_f1());
+        assert!(
+            run.mean_delay_secs() > 0.05 && run.mean_delay_secs() < 120.0,
+            "{kind:?}: delay {:.2}",
+            run.mean_delay_secs()
+        );
+    }
+}
+
+#[test]
+fn per_query_adaptation_tracks_query_profiles() {
+    // Simple single-piece queries should get cheap configs; complex
+    // multi-piece ones should get deeper retrieval.
+    let dataset = build_dataset(DatasetKind::FinSec, 40, 9);
+    let arrivals = poisson_arrivals(3, 0.1, 40);
+    let run = Runner::new(
+        &dataset,
+        RunConfig::standard(SystemKind::Metis(MetisOptions::full()), arrivals, 7),
+    )
+    .run();
+    let mut small_pieces_chunks = Vec::new();
+    let mut large_pieces_chunks = Vec::new();
+    for r in &run.per_query {
+        let pieces = dataset.queries[r.query_index].profile.pieces;
+        if pieces <= 2 {
+            small_pieces_chunks.push(r.config.num_chunks);
+        } else if pieces >= 5 {
+            large_pieces_chunks.push(r.config.num_chunks);
+        }
+    }
+    if !small_pieces_chunks.is_empty() && !large_pieces_chunks.is_empty() {
+        let mean = |v: &[u32]| v.iter().sum::<u32>() as f64 / v.len() as f64;
+        assert!(
+            mean(&large_pieces_chunks) > mean(&small_pieces_chunks),
+            "deep queries should retrieve more: {:?} vs {:?}",
+            large_pieces_chunks,
+            small_pieces_chunks
+        );
+    }
+}
+
+#[test]
+fn quality_comes_from_retrieval_not_luck() {
+    // Break retrieval (query tokens unrelated to the corpus) and quality
+    // must collapse: the pipeline's F1 is grounded in retrieved evidence.
+    let dataset = build_dataset(DatasetKind::Squad, 15, 77);
+    let genmodel = GenerationModel::from_spec(&ModelSpec::mistral_7b_awq());
+    let mut good = 0.0;
+    let mut broken = 0.0;
+    for (i, q) in dataset.queries.iter().enumerate() {
+        let inputs = metis::core::synthesis::SynthesisInputs {
+            gen: &genmodel,
+            truth: &q.truth,
+            query_tokens: &q.tokens,
+            boilerplate: &dataset.boilerplate,
+        };
+        let cfg = RagConfig::stuff(3);
+        let hit = dataset.db.retrieve(&q.tokens, 3);
+        let miss = dataset.db.retrieve(&dataset.queries[(i + 7) % 15].tokens, 3);
+        good += f1_score(
+            &metis::core::plan_synthesis(&inputs, &cfg, &hit, i as u64).answer,
+            &q.gold_answer(),
+        );
+        broken += f1_score(
+            &metis::core::plan_synthesis(&inputs, &cfg, &miss, i as u64).answer,
+            &q.gold_answer(),
+        );
+    }
+    assert!(
+        good > broken * 2.0 + 1.0,
+        "retrieval not load-bearing: good {good:.2} vs broken {broken:.2}"
+    );
+}
+
+#[test]
+fn engine_accounting_is_conserved_across_a_full_run() {
+    let dataset = build_dataset(DatasetKind::Musique, 30, 5);
+    let arrivals = poisson_arrivals(2, 0.55, 30);
+    let run = Runner::new(
+        &dataset,
+        RunConfig::standard(SystemKind::Metis(MetisOptions::full()), arrivals, 3),
+    )
+    .run();
+    // Makespan bounds every per-query delay; finish times are plausible.
+    for r in &run.per_query {
+        assert!(r.finish_secs >= r.arrival_secs);
+        assert!(r.delay_secs <= run.makespan_secs + 1e-6);
+        assert!(r.profiler_secs < r.delay_secs);
+    }
+    // GPU can't be busy longer than the span of the run.
+    assert!(run.gpu_busy_secs <= run.makespan_secs * 1.01 + 1.0);
+}
+
+#[test]
+fn confidence_fallback_handles_forced_bad_profiles() {
+    // With the noisier Llama profiler, low-confidence profiles appear; the
+    // run must still complete with reasonable quality (§5 fallback).
+    let dataset = build_dataset(DatasetKind::Musique, 40, 21);
+    let mut opts = MetisOptions::full();
+    opts.profiler = ProfilerKind::Llama70b;
+    let arrivals = poisson_arrivals(4, 0.55, 40);
+    let run = Runner::new(
+        &dataset,
+        RunConfig::standard(SystemKind::Metis(opts), arrivals, 13),
+    )
+    .run();
+    assert_eq!(run.per_query.len(), 40);
+    assert!(run.mean_f1() > 0.15, "F1 {:.3}", run.mean_f1());
+}
+
+#[test]
+fn memory_starvation_exercises_the_fallback_path() {
+    // Shrink the KV pool until the pruned space cannot fit: METIS must fall
+    // back (§4.3) rather than queue or deadlock.
+    let dataset = build_dataset(DatasetKind::FinSec, 20, 31);
+    let mut cfg = RunConfig::standard(
+        SystemKind::Metis(MetisOptions::full()),
+        poisson_arrivals(2, 0.1, 20),
+        5,
+    );
+    cfg.engine.kv_pool_bytes_cap = Some(600 * 1024 * 1024); // 0.6 GB ≈ 4.8k tokens.
+    let run = Runner::new(&dataset, cfg).run();
+    assert_eq!(run.per_query.len(), 20, "queries lost under starvation");
+    let fallbacks = run.per_query.iter().filter(|q| q.fallback).count();
+    assert!(fallbacks > 0, "starvation never triggered the fallback");
+    // Fallback configs are genuinely small.
+    for r in run.per_query.iter().filter(|q| q.fallback) {
+        assert!(r.config.num_chunks <= 4, "fallback too big: {:?}", r.config);
+    }
+}
+
+#[test]
+fn gold_answers_are_recoverable_at_the_oracle_config() {
+    // With the oracle profile and generous resources, METIS-style synthesis
+    // should reach materially higher F1 than the worst configuration.
+    let dataset = build_dataset(DatasetKind::Qmsum, 20, 55);
+    let genmodel = GenerationModel::from_spec(&ModelSpec::mistral_7b_awq());
+    let mut best = 0.0;
+    let mut worst = 0.0;
+    for (i, q) in dataset.queries.iter().enumerate() {
+        let inputs = metis::core::synthesis::SynthesisInputs {
+            gen: &genmodel,
+            truth: &q.truth,
+            query_tokens: &q.tokens,
+            boilerplate: &dataset.boilerplate,
+        };
+        let k = q.profile.pieces * 2;
+        let good_cfg = RagConfig::map_reduce(k, q.profile.summary_range.1);
+        let bad_cfg = RagConfig::map_rerank(1);
+        let retrieved = dataset.db.retrieve(&q.tokens, k as usize);
+        best += f1_score(
+            &metis::core::plan_synthesis(&inputs, &good_cfg, &retrieved, i as u64).answer,
+            &q.gold_answer(),
+        );
+        worst += f1_score(
+            &metis::core::plan_synthesis(&inputs, &bad_cfg, &retrieved[..1], i as u64).answer,
+            &q.gold_answer(),
+        );
+    }
+    assert!(
+        best > worst + 4.0,
+        "config choice not load-bearing: best {best:.1} worst {worst:.1} over 20 queries"
+    );
+}

@@ -1,0 +1,269 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, as called out in DESIGN.md §6.
+
+use proptest::prelude::*;
+
+use metis::core::{choose_config, BestFitInputs, PlanDemand, PrunedSpace, RagConfig, SynthesisMethod};
+use metis::engine::{Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, RequestId, Stage};
+use metis::datasets::Complexity;
+use metis::llm::{GenerationModel, GpuCluster, LatencyModel, ModelSpec};
+use metis::metrics::f1_score;
+use metis::text::{AnnotatedText, Chunker, ChunkerConfig, TokenId};
+use metis::vectordb::{FlatIndex, VectorIndex};
+
+fn tokens(ids: &[u32]) -> Vec<TokenId> {
+    ids.iter().map(|&i| TokenId(i)).collect()
+}
+
+proptest! {
+    /// F1 is always in [0, 1] and symmetric.
+    #[test]
+    fn f1_bounded_and_symmetric(a in prop::collection::vec(0u32..50, 0..40),
+                                b in prop::collection::vec(0u32..50, 0..40)) {
+        let (ta, tb) = (tokens(&a), tokens(&b));
+        let f = f1_score(&ta, &tb);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((f - f1_score(&tb, &ta)).abs() < 1e-12);
+        // Identity gives a perfect score.
+        prop_assert_eq!(f1_score(&ta, &ta), 1.0);
+    }
+
+    /// The chunker partitions documents exactly when overlap is zero:
+    /// every token appears once, in order.
+    #[test]
+    fn chunker_partitions_exactly(n in 1usize..2000, size in 1usize..300) {
+        let mut doc = AnnotatedText::new();
+        doc.push_tokens(&(0..n as u32).map(TokenId).collect::<Vec<_>>());
+        let chunks = Chunker::new(ChunkerConfig::with_size(size)).split(&doc);
+        let mut rebuilt = Vec::new();
+        for c in &chunks {
+            rebuilt.extend_from_slice(c.text.tokens());
+        }
+        prop_assert_eq!(rebuilt, doc.tokens().to_vec());
+        // All chunks except the last are exactly `size` tokens.
+        for c in &chunks[..chunks.len() - 1] {
+            prop_assert_eq!(c.text.len(), size);
+        }
+    }
+
+    /// KV allocator conservation: after any interleaving of allocs and
+    /// frees, used + free equals capacity and nothing is lost.
+    #[test]
+    fn kv_allocator_conserves_blocks(ops in prop::collection::vec((0u64..20, 1u64..2000), 1..60)) {
+        let mut alloc = KvAllocator::new(10_000, 16);
+        let capacity = alloc.capacity_tokens();
+        let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (seq, toks) in ops {
+            if live.contains(&seq) {
+                prop_assert!(alloc.free(RequestId(seq)).is_ok());
+                live.remove(&seq);
+            } else if alloc.alloc(RequestId(seq), toks).is_ok() {
+                live.insert(seq);
+            }
+            prop_assert_eq!(alloc.used_tokens() + alloc.free_tokens(), capacity);
+        }
+        for seq in live {
+            prop_assert!(alloc.free(RequestId(seq)).is_ok());
+        }
+        prop_assert_eq!(alloc.free_tokens(), capacity);
+    }
+
+    /// Flat index top-k equals brute force on arbitrary data.
+    #[test]
+    fn flat_index_matches_brute_force(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 4), 1..60),
+        q in prop::collection::vec(-10.0f32..10.0, 4),
+        k in 1usize..10,
+    ) {
+        let mut idx = FlatIndex::new(4);
+        for (i, r) in rows.iter().enumerate() {
+            idx.add(metis::text::ChunkId(i as u32), r);
+        }
+        let hits = idx.search(&q, k);
+        let mut brute: Vec<(f32, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let d: f32 = r.iter().zip(&q).map(|(x, y)| (x - y) * (x - y)).sum();
+                (d.sqrt(), i as u32)
+            })
+            .collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(hits.len(), k.min(rows.len()));
+        for (h, (d, _)) in hits.iter().zip(&brute) {
+            prop_assert!((h.distance - d).abs() < 1e-4);
+        }
+    }
+
+    /// Best-fit never selects a non-fallback configuration whose scheduling
+    /// footprint exceeds the usable free memory.
+    #[test]
+    fn best_fit_respects_memory(free in 0u64..80_000,
+                                lo in 1u32..8, span in 0u32..10,
+                                slo in 10u32..100, sspan in 0u32..100,
+                                joint in any::<bool>()) {
+        let space = PrunedSpace {
+            methods: vec![SynthesisMethod::Stuff, SynthesisMethod::MapReduce],
+            num_chunks: (lo, lo + span),
+            intermediate_length: (slo, slo + sspan),
+        };
+        let inputs = BestFitInputs {
+            free_kv_tokens: free,
+            chunk_size: 512,
+            query_tokens: 40,
+            expected_output: 48,
+            buffer_frac: 0.02,
+        };
+        let chosen = choose_config(&space, joint, &inputs);
+        if !chosen.fallback {
+            prop_assert!(space.contains(&chosen.config));
+            let d = PlanDemand::estimate(&chosen.config, 512, 40, 48);
+            prop_assert!(d.sched_tokens <= inputs.usable());
+        }
+        prop_assert!(chosen.config.num_chunks >= 1);
+    }
+
+    /// Pruned-space candidate enumeration only yields members of the space.
+    #[test]
+    fn candidates_are_members(lo in 1u32..10, span in 0u32..8,
+                              slo in 1u32..150, sspan in 0u32..150) {
+        let space = PrunedSpace {
+            methods: vec![
+                SynthesisMethod::MapRerank,
+                SynthesisMethod::Stuff,
+                SynthesisMethod::MapReduce,
+            ],
+            num_chunks: (lo, lo + span),
+            intermediate_length: (slo, slo + sspan),
+        };
+        for c in space.candidates() {
+            prop_assert!(space.contains(&c), "{c:?} outside {space:?}");
+        }
+    }
+
+    /// Engine: any batch of requests drains completely, the clock is
+    /// monotone, and KV returns to full.
+    #[test]
+    fn engine_drains_any_workload(reqs in prop::collection::vec(
+        (1u64..4000, 1u64..40, 0u64..2_000_000_000u64), 1..25)) {
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let mut engine = Engine::new(lat, EngineConfig::default());
+        let capacity = engine.kv_capacity_tokens();
+        for (i, (prompt, out, arrival)) in reqs.iter().enumerate() {
+            engine.submit(LlmRequest {
+                id: RequestId(i as u64),
+                group: GroupId(i as u64),
+                stage: Stage::Single,
+                prompt_tokens: *prompt,
+                output_tokens: *out,
+                cached_prompt_tokens: 0,
+                arrival: *arrival,
+            });
+        }
+        let done = engine.run_until_idle();
+        prop_assert_eq!(done.len(), reqs.len());
+        prop_assert_eq!(engine.free_kv_tokens(), capacity);
+        let mut last = 0;
+        for c in &done {
+            prop_assert!(c.finish >= last);
+            last = c.finish;
+            prop_assert!(c.finish > c.arrival);
+        }
+    }
+
+    /// Plan demand is monotone in chunks for every method.
+    #[test]
+    fn demand_monotone_in_chunks(k in 1u32..34, ilen in 1u32..300) {
+        for method in SynthesisMethod::all() {
+            let a = PlanDemand::estimate(
+                &RagConfig { num_chunks: k, synthesis: method, intermediate_length: ilen },
+                512, 40, 48);
+            let b = PlanDemand::estimate(
+                &RagConfig { num_chunks: k + 1, synthesis: method, intermediate_length: ilen },
+                512, 40, 48);
+            prop_assert!(b.total_tokens > a.total_tokens);
+            prop_assert!(b.sched_tokens >= a.sched_tokens);
+        }
+    }
+}
+
+proptest! {
+    /// The prefix cache never exceeds capacity and conserves accounting
+    /// across arbitrary lookup sequences.
+    #[test]
+    fn prefix_cache_respects_capacity(cap in 100u64..5_000,
+                                      ops in prop::collection::vec(0u32..30, 1..80)) {
+        let mut cache = metis::engine::PrefixCache::new(cap);
+        for chunk in ops {
+            // A chunk's token count is a stable property of the chunk.
+            let toks = 50 + u64::from(chunk) * 17;
+            let cached = cache.lookup_or_insert(metis::text::ChunkId(chunk), toks);
+            prop_assert!(cached == 0 || cached == toks);
+            prop_assert!(cache.used_tokens() <= cap);
+        }
+        let rate = cache.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+
+    /// Requests with cached prefixes finish no later than cold ones.
+    #[test]
+    fn cached_prefix_never_slows_a_request(prompt in 500u64..8_000, frac in 0u64..100) {
+        let mk = |cached: u64| {
+            let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+            let mut e = Engine::new(lat, EngineConfig::default());
+            e.submit(LlmRequest {
+                id: RequestId(1),
+                group: GroupId(1),
+                stage: Stage::Single,
+                prompt_tokens: prompt,
+                output_tokens: 5,
+                cached_prompt_tokens: cached,
+                arrival: 0,
+            });
+            e.run_until_idle()[0].finish
+        };
+        let cold = mk(0);
+        let warm = mk(prompt * frac / 100);
+        prop_assert!(warm <= cold, "warm {warm} > cold {cold}");
+    }
+
+    /// Summaries never exceed their budget, whatever the budget.
+    #[test]
+    fn summary_budget_is_hard(budget in 1usize..300, pad in 0usize..2_000, seed in 0u64..50) {
+        use metis::llm::{BaseFact, QueryTruth};
+        use metis::text::FactId;
+        let gen = GenerationModel::from_spec(&ModelSpec::mistral_7b_awq());
+        let mut chunk = AnnotatedText::new();
+        chunk.push_tokens(&vec![TokenId(1); pad / 2]);
+        chunk.push_fact(FactId(1), &[TokenId(2), TokenId(3), TokenId(4)]);
+        chunk.push_tokens(&vec![TokenId(1); pad / 2]);
+        let truth = QueryTruth {
+            base: vec![BaseFact { id: FactId(1), answer: vec![TokenId(2)], in_answer: true }],
+            derived: vec![],
+        };
+        let out = gen.summarize(seed, &truth, &chunk, budget);
+        prop_assert!(out.text.len() <= budget, "summary {} > budget {budget}", out.text.len());
+    }
+
+    /// Algorithm 1 always produces a well-formed pruned space from any
+    /// profile the profiler can emit.
+    #[test]
+    fn mapping_output_is_well_formed(pieces in 1u32..10, joint in any::<bool>(),
+                                     high in any::<bool>(), lo in 1u32..295, span in 0u32..100) {
+        use metis::profiler::EstimatedProfile;
+        let est = EstimatedProfile {
+            complexity: if high { Complexity::High } else { Complexity::Low },
+            joint,
+            pieces,
+            summary_range: (lo, (lo + span).min(300)),
+            confidence: 0.95,
+        };
+        let space = metis::core::map_profile(&est);
+        prop_assert!(!space.methods.is_empty());
+        prop_assert!(space.num_chunks.0 >= 1);
+        prop_assert!(space.num_chunks.0 <= space.num_chunks.1);
+        prop_assert!(space.num_chunks.1 <= 35);
+        prop_assert!(space.num_chunks.0 == pieces.min(space.num_chunks.0));
+        prop_assert!(!space.candidates().is_empty());
+    }
+}
