@@ -3,9 +3,7 @@
 //! KV-pool cap, and the §4.2 extension knobs (re-ranker / query re-writer).
 
 use metis_bench::{base_qps, dataset, header, run, Row, RUN_SEED};
-use metis_core::{
-    rerank_hits, rewrite_query, MetisOptions, RunConfig, Runner, SystemKind,
-};
+use metis_core::{rerank_hits, rewrite_query, MetisOptions, RunConfig, Runner, SystemKind};
 use metis_datasets::{poisson_arrivals, DatasetKind};
 use metis_profiler::ProfilerKind;
 
@@ -44,11 +42,8 @@ fn main() {
     let unbounded = Runner::new(&d, unbounded_cfg).run();
 
     // 4. Chunk-level KV prefix cache (§8's KV reuse, 4 GB).
-    let mut cache_cfg = RunConfig::standard(
-        SystemKind::Metis(MetisOptions::full()),
-        arrivals,
-        RUN_SEED,
-    );
+    let mut cache_cfg =
+        RunConfig::standard(SystemKind::Metis(MetisOptions::full()), arrivals, RUN_SEED);
     cache_cfg.prefix_cache_bytes = Some(4 * (1 << 30));
     let cached = Runner::new(&d, cache_cfg).run();
 

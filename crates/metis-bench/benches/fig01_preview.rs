@@ -13,7 +13,11 @@ fn main() {
     let d = dataset(kind, 150);
     header(
         "Figure 1",
-        &format!("Preview on {} (λ = {qps}/s, {} queries)", kind.name(), d.queries.len()),
+        &format!(
+            "Preview on {} (λ = {qps}/s, {} queries)",
+            kind.name(),
+            d.queries.len()
+        ),
         "METIS beats vLLM, Parrot (OSDI'24) and AdaptiveRAG (ACL'24) on the \
          delay-quality plane",
     );

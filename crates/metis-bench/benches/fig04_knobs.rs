@@ -66,7 +66,10 @@ fn main() {
          suffices w/o joint need; here Q1 is joint so stuff suffices), \
          Q2 gains ~35% from joint reading, Q3 gains ~30% more from map_reduce",
     );
-    println!("  {:<10} {:>22} {:>22} {:>22}", "query", "map_rerank (d, F1)", "stuff (d, F1)", "map_reduce (d, F1)");
+    println!(
+        "  {:<10} {:>22} {:>22} {:>22}",
+        "query", "map_rerank (d, F1)", "stuff (d, F1)", "map_reduce (d, F1)"
+    );
     for (name, q) in [("Q1", q1), ("Q2", q2), ("Q3", q3)] {
         let mut cells = Vec::new();
         for m in SynthesisMethod::all() {
@@ -78,7 +81,10 @@ fn main() {
             let (delay, f1) = eval(&d, q, &gen, cfg);
             cells.push(format!("{delay:>7.2}s {f1:>6.3}"));
         }
-        println!("  {:<10} {:>22} {:>22} {:>22}", name, cells[0], cells[1], cells[2]);
+        println!(
+            "  {:<10} {:>22} {:>22} {:>22}",
+            name, cells[0], cells[1], cells[2]
+        );
     }
 
     header(

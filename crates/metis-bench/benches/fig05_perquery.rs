@@ -71,20 +71,19 @@ fn run_dataset(kind: DatasetKind) {
     // Per-query × per-config evaluation, parallel over queries.
     type QueryEvals = (usize, Vec<(f64, f64)>);
     let rows: Mutex<Vec<QueryEvals>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for qi in 0..n {
             let d = &d;
             let gen = &gen;
             let grid = &grid;
             let rows = &rows;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let evals: Vec<(f64, f64)> =
                     grid.iter().map(|&cfg| eval(d, qi, gen, cfg)).collect();
                 rows.lock().expect("poisoned").push((qi, evals));
             });
         }
-    })
-    .expect("scope");
+    });
     let mut rows = rows.into_inner().expect("poisoned");
     rows.sort_by_key(|(qi, _)| *qi);
 
@@ -119,7 +118,10 @@ fn run_dataset(kind: DatasetKind) {
     let front = pareto_front(&fixed);
 
     println!("\n--- {} ({} queries) ---", kind.name(), n);
-    println!("  per-query configuration: delay {:>5.2}s  F1 {:.3}", pq_delay, pq_f1);
+    println!(
+        "  per-query configuration: delay {:>5.2}s  F1 {:.3}",
+        pq_delay, pq_f1
+    );
     println!("  Pareto frontier of fixed configurations:");
     let mut front_sorted: Vec<usize> = front.clone();
     front_sorted.sort_by(|&a, &b| fixed[a].0.partial_cmp(&fixed[b].0).expect("finite"));

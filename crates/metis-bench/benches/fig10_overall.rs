@@ -26,7 +26,11 @@ fn main() {
         let parrot = sweep_fixed(&d, &[*qc], qps, RUN_SEED, true);
         let (pc, pr) = &parrot[0];
 
-        println!("\n--- {} (λ = {qps}/s, {} queries) ---", kind.name(), d.queries.len());
+        println!(
+            "\n--- {} (λ = {qps}/s, {} queries) ---",
+            kind.name(),
+            d.queries.len()
+        );
         print_rows(&[
             Row::from_run("METIS", &m),
             Row::from_run("AdaptiveRAG*", &a),

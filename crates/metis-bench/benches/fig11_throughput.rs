@@ -40,25 +40,26 @@ fn main() {
 
         // All (multiplier, system) points in parallel.
         let rows: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (mi, &mult) in MULTS.iter().enumerate() {
                 for si in 0..3usize {
                     let d = &d;
                     let rows = &rows;
                     let config = *qc;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let system = match si {
                             0 => metis(),
                             1 => SystemKind::Parrot { config },
                             _ => SystemKind::VllmFixed { config },
                         };
                         let r = run(d, system, base * mult, RUN_SEED);
-                        rows.lock().expect("poisoned").push((mi, si, r.mean_delay_secs()));
+                        rows.lock()
+                            .expect("poisoned")
+                            .push((mi, si, r.mean_delay_secs()));
                     });
                 }
             }
-        })
-        .expect("scope");
+        });
         let rows = rows.into_inner().expect("poisoned");
         let mut grid = [[0.0f64; 3]; MULTS.len()];
         for (mi, si, v) in rows {

@@ -31,13 +31,29 @@ fn main() {
         let r_gang = run(&d, SystemKind::Metis(median_gang), qps, RUN_SEED);
         let r_full = run(&d, SystemKind::Metis(MetisOptions::full()), qps, RUN_SEED);
 
-        println!("\n--- {} (λ = {qps}/s) ---", kind.name(), );
+        println!("\n--- {} (λ = {qps}/s) ---", kind.name(),);
         let base = qr.mean_delay_secs();
         let rows = [
-            (format!("vLLM fixed best-quality [{}]", qc.label()), base, qr.mean_f1()),
-            ("profiler + median config".into(), r_median.mean_delay_secs(), r_median.mean_f1()),
-            ("median config + batching".into(), r_gang.mean_delay_secs(), r_gang.mean_f1()),
-            ("METIS (joint adaptation)".into(), r_full.mean_delay_secs(), r_full.mean_f1()),
+            (
+                format!("vLLM fixed best-quality [{}]", qc.label()),
+                base,
+                qr.mean_f1(),
+            ),
+            (
+                "profiler + median config".into(),
+                r_median.mean_delay_secs(),
+                r_median.mean_f1(),
+            ),
+            (
+                "median config + batching".into(),
+                r_gang.mean_delay_secs(),
+                r_gang.mean_f1(),
+            ),
+            (
+                "METIS (joint adaptation)".into(),
+                r_full.mean_delay_secs(),
+                r_full.mean_f1(),
+            ),
         ];
         for (label, delay, f1) in &rows {
             println!(

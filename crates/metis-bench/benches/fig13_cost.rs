@@ -62,13 +62,12 @@ fn main() {
         let gpt_usd = g.api_cost_usd / n as f64;
 
         println!("\n--- {} (fixed = {}) ---", kind.name(), qc.label());
-        println!(
-            "  {:<44} {:>11} {:>7}",
-            "serving setup", "$/query", "F1"
-        );
+        println!("  {:<44} {:>11} {:>7}", "serving setup", "$/query", "F1");
         println!(
             "  {:<44} {:>11.5} {:>7.3}",
-            "METIS: Mistral-7B AWQ, 1xA40 + profiler", metis_usd, m.mean_f1()
+            "METIS: Mistral-7B AWQ, 1xA40 + profiler",
+            metis_usd,
+            m.mean_f1()
         );
         println!(
             "  {:<44} {:>11.5} {:>7.3}   ({:.2}x METIS cost)",

@@ -27,8 +27,24 @@ fn main() {
         let cluster = GpuCluster::dual_a40();
         let arrivals = || poisson_arrivals(RUN_SEED ^ 0xA11, qps, n);
 
-        let m = run_on(&d, metis(), arrivals(), RUN_SEED, model.clone(), cluster, false);
-        let a = run_on(&d, adaptive_rag(), arrivals(), RUN_SEED, model.clone(), cluster, false);
+        let m = run_on(
+            &d,
+            metis(),
+            arrivals(),
+            RUN_SEED,
+            model.clone(),
+            cluster,
+            false,
+        );
+        let a = run_on(
+            &d,
+            adaptive_rag(),
+            arrivals(),
+            RUN_SEED,
+            model.clone(),
+            cluster,
+            false,
+        );
         // Sweep fixed configs on the large model to pick its best.
         let mut sweep = Vec::new();
         for cfg in fixed_menu() {

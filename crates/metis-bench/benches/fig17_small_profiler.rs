@@ -27,7 +27,10 @@ fn main() {
         let (qc, qr) = best_quality_fixed(&sweep);
         let (dc, dr) = closest_delay_fixed(&sweep, m.mean_delay_secs());
 
-        println!("\n--- {} (λ = {qps}/s, Llama-70B profiler) ---", kind.name());
+        println!(
+            "\n--- {} (λ = {qps}/s, Llama-70B profiler) ---",
+            kind.name()
+        );
         print_rows(&[
             Row::from_run("METIS (Llama-70B profiler)", &m),
             Row::from_run("AdaptiveRAG* (GPT-4o profiler)", &a),

@@ -2,8 +2,7 @@
 //! the previous one completes (closed loop, no batching benefit).
 
 use metis_bench::{
-    base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, run_on, sweep_fixed,
-    RUN_SEED,
+    base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, run_on, sweep_fixed, RUN_SEED,
 };
 use metis_core::SystemKind;
 use metis_datasets::DatasetKind;
@@ -37,11 +36,7 @@ fn main() {
         };
         let m = closed(metis());
         let v = closed(SystemKind::VllmFixed { config: *qc });
-        println!(
-            "\n--- {} (sequential, {} queries) ---",
-            kind.name(),
-            n
-        );
+        println!("\n--- {} (sequential, {} queries) ---", kind.name(), n);
         println!(
             "  METIS             mean {:>6.2}s  F1 {:.3}",
             m.mean_delay_secs(),

@@ -11,8 +11,7 @@ use metis_text::{AnnotatedText, Chunker, ChunkerConfig, TokenId, Tokenizer};
 use metis_vectordb::{FlatIndex, VectorIndex};
 
 fn bench_tokenizer(c: &mut Criterion) {
-    let text = "the quarterly revenue of the company grew by twelve percent "
-        .repeat(64);
+    let text = "the quarterly revenue of the company grew by twelve percent ".repeat(64);
     c.bench_function("tokenizer/encode_4k_words", |b| {
         b.iter_batched(
             Tokenizer::new,
@@ -69,8 +68,7 @@ fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine/serve_32_requests", |b| {
         b.iter_batched(
             || {
-                let lat =
-                    LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+                let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
                 let mut e = Engine::new(lat, EngineConfig::default());
                 for i in 0..32u64 {
                     e.submit(LlmRequest {

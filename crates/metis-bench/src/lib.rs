@@ -144,10 +144,10 @@ pub fn sweep_fixed(
     parrot: bool,
 ) -> Vec<(RagConfig, RunResult)> {
     let out = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for &config in menu {
             let out = &out;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let system = if parrot {
                     SystemKind::Parrot { config }
                 } else {
@@ -157,8 +157,7 @@ pub fn sweep_fixed(
                 out.lock().expect("poisoned").push((config, r));
             });
         }
-    })
-    .expect("sweep thread panicked");
+    });
     let mut v = out.into_inner().expect("poisoned");
     v.sort_by_key(|(c, _)| (c.synthesis.name(), c.num_chunks, c.intermediate_length));
     v
@@ -173,13 +172,11 @@ pub fn best_quality_fixed(sweep: &[(RagConfig, RunResult)]) -> &(RagConfig, RunR
         .max_by(|a, b| {
             let fa = a.1.mean_f1();
             let fb = b.1.mean_f1();
-            fa.partial_cmp(&fb)
-                .expect("finite F1")
-                .then(
-                    b.1.mean_delay_secs()
-                        .partial_cmp(&a.1.mean_delay_secs())
-                        .expect("finite delay"),
-                )
+            fa.partial_cmp(&fb).expect("finite F1").then(
+                b.1.mean_delay_secs()
+                    .partial_cmp(&a.1.mean_delay_secs())
+                    .expect("finite delay"),
+            )
         })
         .expect("non-empty sweep")
 }

@@ -106,7 +106,9 @@ pub fn parse_system(s: &str) -> Result<SystemChoice, String> {
         return Ok(SystemChoice::AdaptiveRag);
     }
     if let Some(rest) = lower.strip_prefix("stuff:") {
-        let k: u32 = rest.parse().map_err(|_| format!("bad chunk count '{rest}'"))?;
+        let k: u32 = rest
+            .parse()
+            .map_err(|_| format!("bad chunk count '{rest}'"))?;
         return Ok(SystemChoice::FixedStuff(k));
     }
     if let Some(rest) = lower.strip_prefix("map_reduce:") {
@@ -254,8 +256,14 @@ mod tests {
     #[test]
     fn system_spellings() {
         assert_eq!(parse_system("METIS").unwrap(), SystemChoice::Metis);
-        assert_eq!(parse_system("adaptiverag").unwrap(), SystemChoice::AdaptiveRag);
-        assert_eq!(parse_system("stuff:12").unwrap(), SystemChoice::FixedStuff(12));
+        assert_eq!(
+            parse_system("adaptiverag").unwrap(),
+            SystemChoice::AdaptiveRag
+        );
+        assert_eq!(
+            parse_system("stuff:12").unwrap(),
+            SystemChoice::FixedStuff(12)
+        );
         assert_eq!(
             parse_system("map_reduce:6").unwrap(),
             SystemChoice::FixedMapReduce(6, 100)

@@ -82,13 +82,7 @@ pub fn plan_agentic(
 
         // Focused truth: this sub-query only hunts its own fact.
         let focused = QueryTruth {
-            base: inputs
-                .truth
-                .base
-                .get(i)
-                .cloned()
-                .into_iter()
-                .collect(),
+            base: inputs.truth.base.get(i).cloned().into_iter().collect(),
             derived: Vec::new(),
         };
         let out = inputs.gen.answer(

@@ -48,11 +48,7 @@ pub struct Chosen {
 ///
 /// `joint_required` steers the fallback path (it comes from the query
 /// profile, which METIS already holds at this point).
-pub fn choose_config(
-    space: &PrunedSpace,
-    joint_required: bool,
-    inputs: &BestFitInputs,
-) -> Chosen {
+pub fn choose_config(space: &PrunedSpace, joint_required: bool, inputs: &BestFitInputs) -> Chosen {
     let usable = inputs.usable();
     let mut best: Option<(u64, RagConfig)> = None;
     for cfg in space.candidates() {

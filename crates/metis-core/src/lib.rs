@@ -39,8 +39,6 @@ pub use config::{ConfigSpace, PrunedSpace, RagConfig, SynthesisMethod};
 pub use extensions::{rerank_hits, rewrite_query, ExtKnobs};
 pub use mapping::{map_profile, ProfileHistory};
 pub use memory::PlanDemand;
+pub use runner::{MetisOptions, PickPolicy, QueryResult, RunConfig, RunResult, Runner, SystemKind};
 pub use slo::{choose_config_with_slo, estimate_exec_secs, LatencySlo};
-pub use runner::{
-    MetisOptions, PickPolicy, QueryResult, RunConfig, RunResult, Runner, SystemKind,
-};
 pub use synthesis::{plan_synthesis, PlannedCall, SynthesisPlan};

@@ -325,10 +325,10 @@ impl<'a> Runner<'a> {
         let mut events: HashMap<u64, EventKind> = HashMap::new();
         let mut seq: u64 = 0;
         let push = |heap: &mut BinaryHeap<Reverse<(Nanos, u64)>>,
-                        events: &mut HashMap<u64, EventKind>,
-                        seq: &mut u64,
-                        t: Nanos,
-                        e: EventKind| {
+                    events: &mut HashMap<u64, EventKind>,
+                    seq: &mut u64,
+                    t: Nanos,
+                    e: EventKind| {
             heap.push(Reverse((t, *seq)));
             events.insert(*seq, e);
             *seq += 1;
@@ -348,9 +348,10 @@ impl<'a> Runner<'a> {
             }
         }
 
-        let mut prefix_cache = self.cfg.prefix_cache_bytes.map(|bytes| {
-            PrefixCache::new(bytes / self.cfg.model.kv_bytes_per_token().max(1))
-        });
+        let mut prefix_cache = self
+            .cfg
+            .prefix_cache_bytes
+            .map(|bytes| PrefixCache::new(bytes / self.cfg.model.kv_bytes_per_token().max(1)));
         let mut pending: HashMap<usize, PendingQuery> = HashMap::new();
         let mut active: Vec<ActiveQuery> = Vec::new();
         let mut req_to_active: HashMap<RequestId, usize> = HashMap::new();
@@ -369,9 +370,7 @@ impl<'a> Runner<'a> {
                         loop {
                             let can_step = engine.now() < t
                                 && (engine.has_active_work()
-                                    || engine
-                                        .next_pending_arrival()
-                                        .is_some_and(|a| a <= t));
+                                    || engine.next_pending_arrival().is_some_and(|a| a <= t));
                             if !can_step {
                                 break;
                             }
@@ -405,7 +404,13 @@ impl<'a> Runner<'a> {
                                 &mut api_cost,
                             );
                             pending.insert(q, p);
-                            push(&mut heap, &mut events, &mut seq, decide_at, EventKind::Decide(q));
+                            push(
+                                &mut heap,
+                                &mut events,
+                                &mut seq,
+                                decide_at,
+                                EventKind::Decide(q),
+                            );
                         }
                         EventKind::Decide(q) => {
                             let p = pending.remove(&q).expect("profiled before decide");
@@ -449,14 +454,20 @@ impl<'a> Runner<'a> {
                         &mut pending_feedback,
                         |t, e| push(&mut heap, &mut events, &mut seq, t, e),
                     );
-                    assert!(progressed || engine.is_idle(), "engine stuck while draining");
+                    assert!(
+                        progressed || engine.is_idle(),
+                        "engine stuck while draining"
+                    );
                 }
             }
         }
 
         results.sort_by_key(|r| r.query_index);
         let makespan_secs = {
-            let first = results.iter().map(|r| r.arrival_secs).fold(f64::MAX, f64::min);
+            let first = results
+                .iter()
+                .map(|r| r.arrival_secs)
+                .fold(f64::MAX, f64::min);
             let last = results.iter().map(|r| r.finish_secs).fold(0.0, f64::max);
             if results.is_empty() {
                 0.0
@@ -489,15 +500,17 @@ impl<'a> Runner<'a> {
             (SystemKind::Metis(opts), Some(p)) => {
                 let out = p.profile(query, metadata, self.cfg.seed ^ 0xF0F1);
                 *api_cost += out.cost_usd;
-                let trusted = !opts.confidence_fallback
-                    || out.estimate.confidence >= CONFIDENCE_THRESHOLD;
+                let trusted =
+                    !opts.confidence_fallback || out.estimate.confidence >= CONFIDENCE_THRESHOLD;
                 let space = if trusted {
                     let s = map_profile(&out.estimate);
                     history.push(s.clone());
                     s
                 } else {
                     // §5: fall back to the recent queries' pruned spaces.
-                    history.fallback().unwrap_or_else(|| map_profile(&out.estimate))
+                    history
+                        .fallback()
+                        .unwrap_or_else(|| map_profile(&out.estimate))
                 };
                 let space = self.apply_tuning(space, opts);
                 (
@@ -662,9 +675,11 @@ impl<'a> Runner<'a> {
 
         // Chunk-level KV reuse (§8): consult the prefix cache for every
         // chunk this plan reads; cached chunks skip prefill compute.
-        let k_used = plan.map_calls.len().min(retrieved.len()).max(
-            usize::from(!retrieved.is_empty()),
-        );
+        let k_used = plan
+            .map_calls
+            .len()
+            .min(retrieved.len())
+            .max(usize::from(!retrieved.is_empty()));
         let cached_per_call: Vec<u64> = match prefix_cache.as_mut() {
             None => vec![0; plan.map_calls.len()],
             Some(pc) => match config.synthesis {

@@ -89,7 +89,10 @@ pub fn choose_config_with_slo(
     // Restrict the chunk range until some candidate fits the budget.
     let mut narrowed = space.clone();
     loop {
-        let any_fits = narrowed.candidates().iter().any(|c| slo.admits(estimate(c)));
+        let any_fits = narrowed
+            .candidates()
+            .iter()
+            .any(|c| slo.admits(estimate(c)));
         if any_fits {
             break;
         }
@@ -214,7 +217,11 @@ mod tests {
         let e_gen = estimate_exec_secs(&generous.config, &l, 1_000, 40, 48);
         let e_tight = estimate_exec_secs(&tight.config, &l, 1_000, 40, 48);
         assert!(e_tight < e_gen, "{e_tight} !< {e_gen}");
-        assert!(e_tight <= 1.35, "budget violated: {e_tight} by {:?}", tight.config);
+        assert!(
+            e_tight <= 1.35,
+            "budget violated: {e_tight} by {:?}",
+            tight.config
+        );
     }
 
     #[test]

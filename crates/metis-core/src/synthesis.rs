@@ -78,9 +78,9 @@ pub fn plan_synthesis(
     retrieved: &[RetrievalResult],
     seed: u64,
 ) -> SynthesisPlan {
-    let k = (config.num_chunks.max(1) as usize).min(retrieved.len()).max(
-        usize::from(!retrieved.is_empty()),
-    );
+    let k = (config.num_chunks.max(1) as usize)
+        .min(retrieved.len())
+        .max(usize::from(!retrieved.is_empty()));
     let chunks = &retrieved[..k];
     match config.synthesis {
         SynthesisMethod::Stuff => stuff(inputs, config, chunks, seed),
@@ -104,9 +104,13 @@ fn stuff(
         context.push_text(&c.text);
     }
     context.push_tokens(inputs.query_tokens);
-    let out = inputs
-        .gen
-        .answer(seed, inputs.truth, &context, inputs.boilerplate, chunks.len());
+    let out = inputs.gen.answer(
+        seed,
+        inputs.truth,
+        &context,
+        inputs.boilerplate,
+        chunks.len(),
+    );
     SynthesisPlan {
         config: *config,
         map_calls: vec![PlannedCall {
@@ -223,7 +227,10 @@ mod tests {
     fn mean_f1(fx: &Fixture, config: RagConfig) -> f64 {
         let mut sum = 0.0;
         for (i, q) in fx.dataset.queries.iter().enumerate() {
-            let retrieved = fx.dataset.db.retrieve(&q.tokens, config.num_chunks as usize);
+            let retrieved = fx
+                .dataset
+                .db
+                .retrieve(&q.tokens, config.num_chunks as usize);
             let inputs = SynthesisInputs {
                 gen: &fx.gen,
                 truth: &q.truth,
@@ -317,7 +324,12 @@ mod tests {
                 query_tokens: &q.tokens,
                 boilerplate: &fx.dataset.boilerplate,
             };
-            let r = plan_synthesis(&inputs, &RagConfig::map_rerank(8), &retrieved, 50 + i as u64);
+            let r = plan_synthesis(
+                &inputs,
+                &RagConfig::map_rerank(8),
+                &retrieved,
+                50 + i as u64,
+            );
             let s = plan_synthesis(&inputs, &RagConfig::stuff(8), &retrieved, 50 + i as u64);
             rerank_f1 += f1_score(&r.answer, &q.gold_answer());
             stuff_f1 += f1_score(&s.answer, &q.gold_answer());

@@ -1,9 +1,7 @@
 //! Integration tests for the workload runner: end-to-end METIS and baseline
 //! runs over the discrete-event engine.
 
-use metis_core::{
-    MetisOptions, PickPolicy, RagConfig, RunConfig, Runner, SystemKind,
-};
+use metis_core::{MetisOptions, PickPolicy, RagConfig, RunConfig, Runner, SystemKind};
 use metis_datasets::{build_dataset, poisson_arrivals, DatasetKind};
 use metis_llm::{GpuCluster, ModelSpec};
 use metis_profiler::ProfilerKind;
@@ -58,7 +56,11 @@ fn metis_completes_with_profiler_cost_and_adapted_configs() {
     // Configurations vary across queries (per-query adaptation).
     let distinct: std::collections::HashSet<_> =
         r.per_query.iter().map(|q| q.config.label()).collect();
-    assert!(distinct.len() > 3, "only {} distinct configs", distinct.len());
+    assert!(
+        distinct.len() > 3,
+        "only {} distinct configs",
+        distinct.len()
+    );
 }
 
 #[test]
@@ -125,7 +127,12 @@ fn metis_beats_fixed_config_quality_at_comparable_delay() {
 fn parrot_is_faster_than_vllm_on_multi_call_configs() {
     let config = RagConfig::map_reduce(8, 80);
     let qps = base_qps(DatasetKind::FinSec) * 1.5;
-    let vllm = run(DatasetKind::FinSec, 30, SystemKind::VllmFixed { config }, qps);
+    let vllm = run(
+        DatasetKind::FinSec,
+        30,
+        SystemKind::VllmFixed { config },
+        qps,
+    );
     let parrot = run(DatasetKind::FinSec, 30, SystemKind::Parrot { config }, qps);
     // Same configs → same quality; gang scheduling cuts delay.
     assert!((vllm.mean_f1() - parrot.mean_f1()).abs() < 1e-9);
@@ -140,11 +147,7 @@ fn parrot_is_faster_than_vllm_on_multi_call_configs() {
 #[test]
 fn closed_loop_serializes_queries() {
     let d = build_dataset(DatasetKind::Squad, 10, 5);
-    let mut cfg = RunConfig::standard(
-        SystemKind::Metis(MetisOptions::full()),
-        vec![0; 10],
-        1,
-    );
+    let mut cfg = RunConfig::standard(SystemKind::Metis(MetisOptions::full()), vec![0; 10], 1);
     cfg.closed_loop = true;
     let r = Runner::new(&d, cfg).run();
     assert_eq!(r.per_query.len(), 10);
@@ -286,7 +289,12 @@ fn slo_constrained_runs_use_cheaper_configs() {
     let qps = base_qps(DatasetKind::FinSec) * 0.5; // Light load: isolate the SLO effect.
     let mut tight = MetisOptions::full();
     tight.slo_secs = Some(2.0);
-    let plain = run(DatasetKind::FinSec, 25, SystemKind::Metis(MetisOptions::full()), qps);
+    let plain = run(
+        DatasetKind::FinSec,
+        25,
+        SystemKind::Metis(MetisOptions::full()),
+        qps,
+    );
     let arrivals = poisson_arrivals(7, qps, 25);
     let constrained = Runner::new(
         &d,

@@ -24,8 +24,21 @@ use crate::profile::{Complexity, TrueProfile};
 use crate::query::{QueryId, QuerySpec};
 
 const QUESTION_WORDS: &[&str] = &[
-    "what", "which", "when", "where", "why", "how", "compare", "identify", "list", "summarize",
-    "is", "the", "of", "for", "between",
+    "what",
+    "which",
+    "when",
+    "where",
+    "why",
+    "how",
+    "compare",
+    "identify",
+    "list",
+    "summarize",
+    "is",
+    "the",
+    "of",
+    "for",
+    "between",
 ];
 
 /// Number of distinct boilerplate words the generation model may emit.
@@ -132,13 +145,13 @@ pub fn build_dataset_with_embedder(
         for (i, fact) in base.iter().enumerate() {
             let pre = gen.range(seg / 10, seg * 6 / 10);
             doc.push_tokens(&gen.filler(&topic, pre));
-            // Weakly mentioned facts carry no subject block at all: the
-            // passage states the figure without naming the entity, so the
-            // chunk is only reachable through topic-level similarity and
-            // ranks below every subject-bearing chunk — retrieval must go
-            // deep to find it.
+            // Weakly mentioned facts name their subject once instead of
+            // `subject_repeats` times (see `GenParams::weak_fact_prob`), so
+            // their chunk ranks below every strongly-subject-bearing chunk
+            // but still above plain topic filler — retrieval must go deep to
+            // find it, yet the paper's 3× depth leeway remains sufficient.
             let repeats = if gen.chance(params.weak_fact_prob) {
-                0
+                1
             } else {
                 params.subject_repeats
             };
@@ -146,7 +159,7 @@ pub fn build_dataset_with_embedder(
                 doc.push_tokens(&subjects[i]);
             }
             doc.push_fact(fact.id, &fact.answer.clone());
-            let used = pre + params.subject_repeats * params.subject_len + fact.answer.len();
+            let used = pre + repeats * params.subject_len + fact.answer.len();
             doc.push_tokens(&gen.filler(&topic, seg.saturating_sub(used)));
         }
 

@@ -34,9 +34,7 @@ pub fn poisson_arrivals(seed: u64, rate_qps: f64, n: usize) -> Vec<Nanos> {
 /// low-load process; the closed-loop "send after previous completes" variant
 /// lives in the runner, which knows completion times).
 pub fn sequential_arrivals(gap_secs: f64, n: usize) -> Vec<Nanos> {
-    (0..n)
-        .map(|i| secs_to_nanos(gap_secs * i as f64))
-        .collect()
+    (0..n).map(|i| secs_to_nanos(gap_secs * i as f64)).collect()
 }
 
 #[cfg(test)]

@@ -166,7 +166,10 @@ impl Embedder for NgramEmbed {
         let mut v = vec![0.0; self.dim];
         hash_unigrams(tokens, self.dim, self.seed, 2, &mut v);
         for pair in tokens.windows(2) {
-            let h = mix2(self.seed ^ 0xB16A, mix2(u64::from(pair[0].0), u64::from(pair[1].0)));
+            let h = mix2(
+                self.seed ^ 0xB16A,
+                mix2(u64::from(pair[0].0), u64::from(pair[1].0)),
+            );
             let (b, s) = bucket_and_sign(h, self.dim);
             v[b] += s * self.bigram_weight;
         }

@@ -224,7 +224,7 @@ impl Engine {
             // class.
             order.sort_by_key(|&i| {
                 let req = &self.queue[i];
-                
+
                 if req.stage == Stage::Reduce {
                     0u8
                 } else if active.contains(&req.group) {
@@ -653,7 +653,7 @@ mod tests {
                 prompt_tokens: 1_000,
                 output_tokens: 10,
                 cached_prompt_tokens: 0,
-            arrival: e.now(),
+                arrival: e.now(),
             });
         }
         e.submit(LlmRequest {
@@ -663,7 +663,7 @@ mod tests {
             prompt_tokens: 1_000,
             output_tokens: 10,
             cached_prompt_tokens: 0,
-        arrival: e.now(),
+            arrival: e.now(),
         });
         let done = e.run_until_idle();
         let pos = |id: u64| done.iter().position(|c| c.id == RequestId(id)).unwrap();
@@ -689,7 +689,7 @@ mod tests {
             prompt_tokens: 1_000,
             output_tokens: 10,
             cached_prompt_tokens: 0,
-        arrival: e.now(),
+            arrival: e.now(),
         });
         e.submit(LlmRequest {
             id: RequestId(9),
@@ -698,7 +698,7 @@ mod tests {
             prompt_tokens: 1_000,
             output_tokens: 10,
             cached_prompt_tokens: 0,
-        arrival: e.now(),
+            arrival: e.now(),
         });
         let done = e.run_until_idle();
         let pos = |id: u64| done.iter().position(|c| c.id == RequestId(id)).unwrap();

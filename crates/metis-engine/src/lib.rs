@@ -19,8 +19,8 @@
 //!   RAG query) are admitted together, ahead of newly arrived groups.
 
 pub mod engine;
-pub mod prefixcache;
 pub mod kvcache;
+pub mod prefixcache;
 pub mod request;
 pub mod stats;
 

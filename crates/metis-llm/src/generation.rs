@@ -442,7 +442,11 @@ mod tests {
         GenerationModel::from_spec(&ModelSpec::mistral_7b_awq())
     }
 
-    fn ctx_with(facts: &[(FactId, &[TokenId])], pad_before: usize, pad_after: usize) -> AnnotatedText {
+    fn ctx_with(
+        facts: &[(FactId, &[TokenId])],
+        pad_before: usize,
+        pad_after: usize,
+    ) -> AnnotatedText {
         let mut t = AnnotatedText::new();
         t.push_tokens(&vec![TokenId(0); pad_before]);
         for (id, toks) in facts {
@@ -478,7 +482,11 @@ mod tests {
         let ctx = ctx_with(&[(FactId(1), &[TokenId(50), TokenId(51)])], 10, 10);
         // Aggregate over seeds: extraction should succeed at ~capability rate.
         let hits = (0..200)
-            .filter(|&s| m.answer(s, &truth, &ctx, BOILER, 1).extracted.contains(&FactId(1)))
+            .filter(|&s| {
+                m.answer(s, &truth, &ctx, BOILER, 1)
+                    .extracted
+                    .contains(&FactId(1))
+            })
             .count();
         assert!(hits > 160, "extraction rate too low: {hits}/200");
     }
@@ -508,14 +516,21 @@ mod tests {
             5,
         );
         let joint_hits = (0..300)
-            .filter(|&s| m.answer(s, &truth, &both, BOILER, 1).extracted.contains(&FactId(99)))
+            .filter(|&s| {
+                m.answer(s, &truth, &both, BOILER, 1)
+                    .extracted
+                    .contains(&FactId(99))
+            })
             .count();
         assert!(joint_hits > 150, "joint derivation too rare: {joint_hits}");
 
         // Only one component visible: derivation impossible.
         let one = ctx_with(&[(FactId(1), &[TokenId(1)])], 5, 5);
         for s in 0..100 {
-            assert!(!m.answer(s, &truth, &one, BOILER, 1).extracted.contains(&FactId(99)));
+            assert!(!m
+                .answer(s, &truth, &one, BOILER, 1)
+                .extracted
+                .contains(&FactId(99)));
         }
     }
 

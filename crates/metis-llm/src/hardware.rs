@@ -117,7 +117,10 @@ mod tests {
         let model = ModelSpec::mistral_7b_awq();
         let pool = cluster.kv_pool_bytes(&model);
         // ~43.2 usable − ~3.8 weights − 3 reserved ≈ 36 GB.
-        assert!(pool > 30 * (1 << 30) && pool < 40 * (1u64 << 30), "pool = {pool}");
+        assert!(
+            pool > 30 * (1 << 30) && pool < 40 * (1u64 << 30),
+            "pool = {pool}"
+        );
         // At 128 KiB/token that is a few hundred thousand tokens.
         let tokens = cluster.kv_pool_tokens(&model);
         assert!(tokens > 200_000 && tokens < 330_000, "tokens = {tokens}");

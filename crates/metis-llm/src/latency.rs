@@ -73,8 +73,8 @@ impl LatencyModel {
     /// Compute seconds to prefill `new_tokens` whose attention spans
     /// `ctx_tokens` total context (for one sequence, `ctx >= new`).
     fn prefill_compute_s(&self, new_tokens: u64, ctx_tokens: u64) -> f64 {
-        let linear = self.model.flops_per_token() * new_tokens as f64
-            / self.model.quant.compute_speedup();
+        let linear =
+            self.model.flops_per_token() * new_tokens as f64 / self.model.quant.compute_speedup();
         // Attention: ~4 × layers × hidden FLOPs per (new token, ctx token) pair.
         let attn = 4.0
             * f64::from(self.model.layers)
@@ -103,7 +103,8 @@ impl LatencyModel {
         decode_seqs: u64,
         batch_kv_tokens: u64,
     ) -> Nanos {
-        let compute = self.prefill_compute_s(prefill_tokens, prefill_ctx_tokens.max(prefill_tokens))
+        let compute = self
+            .prefill_compute_s(prefill_tokens, prefill_ctx_tokens.max(prefill_tokens))
             + self.model.flops_per_token() * decode_seqs as f64
                 / self.model.quant.compute_speedup()
                 / self.cluster.effective_flops();

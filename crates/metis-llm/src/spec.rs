@@ -190,9 +190,7 @@ mod tests {
     #[test]
     fn capability_orders_models() {
         assert!(ModelSpec::gpt4o().capability > ModelSpec::llama31_70b_awq().capability);
-        assert!(
-            ModelSpec::llama31_70b_awq().capability > ModelSpec::mistral_7b_awq().capability
-        );
+        assert!(ModelSpec::llama31_70b_awq().capability > ModelSpec::mistral_7b_awq().capability);
     }
 
     #[test]

@@ -149,7 +149,12 @@ impl LlmProfiler {
     /// Profiles one query given the database metadata.
     ///
     /// Deterministic in `(query id, seed)`.
-    pub fn profile(&mut self, query: &QuerySpec, metadata: &DbMetadata, seed: u64) -> ProfilerOutput {
+    pub fn profile(
+        &mut self,
+        query: &QuerySpec,
+        metadata: &DbMetadata,
+        seed: u64,
+    ) -> ProfilerOutput {
         self.profiled += 1;
         let mut rng = StdRng::seed_from_u64(seed ^ query.id.0.wrapping_mul(0x9E37_79B9));
         let truth = &query.profile;
@@ -232,11 +237,7 @@ mod tests {
         let d = build_dataset(DatasetKind::Musique, n, 42);
         let mut p = LlmProfiler::new(kind);
         let md = d.db.metadata().clone();
-        let outs = d
-            .queries
-            .iter()
-            .map(|q| p.profile(q, &md, 7))
-            .collect();
+        let outs = d.queries.iter().map(|q| p.profile(q, &md, 7)).collect();
         (outs, d)
     }
 
@@ -261,7 +262,12 @@ mod tests {
                 .map(|(o, q)| o.estimate.error_score(&q.profile))
                 .sum()
         };
-        assert!(err(&l) > err(&g) * 1.3, "llama {} vs gpt {}", err(&l), err(&g));
+        assert!(
+            err(&l) > err(&g) * 1.3,
+            "llama {} vs gpt {}",
+            err(&l),
+            err(&g)
+        );
     }
 
     #[test]
@@ -343,7 +349,10 @@ mod tests {
         };
         let before = total_err(0);
         let after = total_err(6); // Capped at 4 internally.
-        assert!(after < before * 0.8, "feedback no help: {before} -> {after}");
+        assert!(
+            after < before * 0.8,
+            "feedback no help: {before} -> {after}"
+        );
         let mut p = LlmProfiler::new(ProfilerKind::Gpt4o);
         for _ in 0..9 {
             p.add_feedback();

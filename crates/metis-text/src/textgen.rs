@@ -93,8 +93,7 @@ impl TextGen {
         (0..n)
             .map(|_| {
                 let from_topic = !topic.topic_words.is_empty()
-                    && (topic.common_words.is_empty()
-                        || self.rng.gen_bool(topic.topic_bias));
+                    && (topic.common_words.is_empty() || self.rng.gen_bool(topic.topic_bias));
                 let pool = if from_topic {
                     &topic.topic_words
                 } else {

@@ -196,9 +196,7 @@ mod tests {
         let (db, query, fact) = build_db();
         let results = db.retrieve(&query, 3);
         assert_eq!(results.len(), 3);
-        let found = results
-            .iter()
-            .any(|r| r.text.fact_ids().any(|f| f == fact));
+        let found = results.iter().any(|r| r.text.fact_ids().any(|f| f == fact));
         assert!(found, "fact chunk not in top-3");
     }
 
@@ -243,7 +241,9 @@ mod tests {
         let results = db.retrieve(&subject, 5);
         assert!(!results.is_empty());
         // With generous nprobe, the fact chunk surfaces just like flat.
-        let found = results.iter().any(|r| r.text.fact_ids().any(|f| f == FactId(1)));
+        let found = results
+            .iter()
+            .any(|r| r.text.fact_ids().any(|f| f == FactId(1)));
         assert!(found, "IVF missed the fact chunk");
     }
 

@@ -220,7 +220,9 @@ mod tests {
         // Deterministic pseudo-random data without pulling in rand here.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
         };
         let dim = 8;

@@ -6,7 +6,7 @@
 //! is an opaque blob and ground-truth annotations live out of band.
 
 use bytes::{Bytes, BytesMut};
-use metis_text::{AnnotatedText, ChunkId, FactSpan, TokenId, TokenChunk};
+use metis_text::{AnnotatedText, ChunkId, FactSpan, TokenChunk, TokenId};
 
 /// Immutable storage for the chunks of one database.
 #[derive(Clone, Debug, Default)]

@@ -37,7 +37,10 @@ fn main() {
     ];
 
     println!("KG RAG FinSec, {n} queries, Poisson λ = {qps}/s\n");
-    println!("  {:<16} {:>9} {:>9} {:>9} {:>7}", "system", "mean", "p50", "p99", "F1");
+    println!(
+        "  {:<16} {:>9} {:>9} {:>9} {:>7}",
+        "system", "mean", "p50", "p99", "F1"
+    );
     let mut metis_delay = None;
     for (name, system) in systems {
         let arrivals = poisson_arrivals(7, qps, n);

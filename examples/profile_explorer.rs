@@ -25,18 +25,18 @@ fn main() {
         println!(
             "  profiler estimate  = (complexity {:?}, joint {}, pieces {}, summaries {}..{} \
              tokens, confidence {:.2})",
-            est.complexity, est.joint, est.pieces, est.summary_range.0, est.summary_range.1,
+            est.complexity,
+            est.joint,
+            est.pieces,
+            est.summary_range.0,
+            est.summary_range.1,
             est.confidence
         );
         let space = map_profile(&est);
         println!(
             "  Algorithm 1        = methods {:?}, chunks {}..{}, summary {}..{} \
              ({} configurations)",
-            space
-                .methods
-                .iter()
-                .map(|m| m.name())
-                .collect::<Vec<_>>(),
+            space.methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
             space.num_chunks.0,
             space.num_chunks.1,
             space.intermediate_length.0,

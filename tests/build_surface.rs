@@ -1,0 +1,93 @@
+//! Smoke tests for the workspace build surface itself: every dataset kind
+//! must round-trip through `build_dataset` + `Runner` under every serving
+//! system the paper evaluates — METIS *and* the three baselines — exercising
+//! the full facade re-export chain (datasets → profiler → controller →
+//! engine → metrics) that the workspace manifests wire together.
+
+use metis::prelude::*;
+
+const QUERIES: usize = 8;
+const SEED: u64 = 20_240_101;
+
+fn systems() -> Vec<(&'static str, SystemKind)> {
+    vec![
+        ("metis", SystemKind::Metis(MetisOptions::full())),
+        (
+            "vllm-fixed",
+            SystemKind::VllmFixed {
+                config: RagConfig::stuff(8),
+            },
+        ),
+        (
+            "parrot",
+            SystemKind::Parrot {
+                config: RagConfig::stuff(8),
+            },
+        ),
+        (
+            "adaptive-rag",
+            SystemKind::AdaptiveRag {
+                profiler: ProfilerKind::Gpt4o,
+            },
+        ),
+    ]
+}
+
+/// Every `(dataset, system)` pair builds, serves all queries to completion,
+/// and produces finite, sane metrics.
+#[test]
+fn every_dataset_roundtrips_through_every_system() {
+    for kind in DatasetKind::all() {
+        let dataset = build_dataset(kind, QUERIES, SEED);
+        assert_eq!(dataset.queries.len(), QUERIES, "{kind:?}: query count");
+        assert!(!dataset.db.is_empty(), "{kind:?}: empty vector db");
+
+        for (name, system) in systems() {
+            let arrivals = poisson_arrivals(SEED ^ 0xBEEF, 0.5, QUERIES);
+            let run = Runner::new(&dataset, RunConfig::standard(system, arrivals, SEED)).run();
+
+            assert_eq!(
+                run.per_query.len(),
+                QUERIES,
+                "{kind:?}/{name}: dropped queries"
+            );
+            let f1 = run.mean_f1();
+            assert!(
+                (0.0..=1.0).contains(&f1),
+                "{kind:?}/{name}: F1 out of range: {f1}"
+            );
+            let delay = run.mean_delay_secs();
+            assert!(
+                delay.is_finite() && delay > 0.0,
+                "{kind:?}/{name}: bad delay: {delay}"
+            );
+            assert!(
+                run.makespan_secs.is_finite() && run.makespan_secs > 0.0,
+                "{kind:?}/{name}: bad makespan"
+            );
+        }
+    }
+}
+
+/// Runs are deterministic in the seed for every system, which is what makes
+/// the pinned-workspace reproducibility guarantee meaningful end to end.
+#[test]
+fn runs_are_deterministic_for_every_system() {
+    let dataset = build_dataset(DatasetKind::Musique, QUERIES, SEED);
+    for (name, system) in systems() {
+        let go = || {
+            let arrivals = poisson_arrivals(SEED ^ 0xF00D, 0.5, QUERIES);
+            Runner::new(&dataset, RunConfig::standard(system, arrivals, SEED)).run()
+        };
+        let (a, b) = (go(), go());
+        assert_eq!(a.per_query.len(), b.per_query.len(), "{name}: lengths");
+        assert!(
+            (a.mean_f1() - b.mean_f1()).abs() < 1e-12,
+            "{name}: F1 not deterministic"
+        );
+        assert!(
+            (a.mean_delay_secs() - b.mean_delay_secs()).abs() < 1e-9,
+            "{name}: delay not deterministic"
+        );
+    }
+}

@@ -81,7 +81,9 @@ fn quality_comes_from_retrieval_not_luck() {
         };
         let cfg = RagConfig::stuff(3);
         let hit = dataset.db.retrieve(&q.tokens, 3);
-        let miss = dataset.db.retrieve(&dataset.queries[(i + 7) % 15].tokens, 3);
+        let miss = dataset
+            .db
+            .retrieve(&dataset.queries[(i + 7) % 15].tokens, 3);
         good += f1_score(
             &metis::core::plan_synthesis(&inputs, &cfg, &hit, i as u64).answer,
             &q.gold_answer(),

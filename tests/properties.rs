@@ -3,9 +3,11 @@
 
 use proptest::prelude::*;
 
-use metis::core::{choose_config, BestFitInputs, PlanDemand, PrunedSpace, RagConfig, SynthesisMethod};
-use metis::engine::{Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, RequestId, Stage};
+use metis::core::{
+    choose_config, BestFitInputs, PlanDemand, PrunedSpace, RagConfig, SynthesisMethod,
+};
 use metis::datasets::Complexity;
+use metis::engine::{Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, RequestId, Stage};
 use metis::llm::{GenerationModel, GpuCluster, LatencyModel, ModelSpec};
 use metis::metrics::f1_score;
 use metis::text::{AnnotatedText, Chunker, ChunkerConfig, TokenId};

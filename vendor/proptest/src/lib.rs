@@ -1,0 +1,172 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest API the workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, `any::<T>()`,
+//! range and tuple strategies, and `prop::collection::vec`.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * **Deterministic cases** — every test draws its inputs from a fixed
+//!   per-test seed (an FNV hash of the test name), so runs are reproducible
+//!   across machines with no persistence files. The case count defaults to
+//!   [`DEFAULT_CASES`] and can be raised with `PROPTEST_CASES`.
+//! * **No shrinking** — a failing case panics with the standard assert
+//!   message; inputs are recoverable by re-running the deterministic
+//!   sequence.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop`: module-path access to the
+    /// strategy combinators (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Number of cases each property runs by default.
+pub const DEFAULT_CASES: u32 = 48;
+
+/// Case count: `PROPTEST_CASES` env var, or [`DEFAULT_CASES`].
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// The deterministic generator behind every strategy.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name, deterministically.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Runs one property body with panic context; used by [`proptest!`].
+#[doc(hidden)]
+pub fn run_case<F: FnOnce()>(test: &str, case: u32, f: F) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    if let Err(e) = result {
+        eprintln!("proptest: {test} failed at deterministic case #{case}");
+        std::panic::resume_unwind(e);
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the common proptest form:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in prop::collection::vec(0i32..5, 1..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::cases() {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $crate::run_case(stringify!($name), __case, move || $body);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 1u32..5, v in prop::collection::vec(0f32..1.0, 2..6),
+                           b in any::<bool>(), pair in (0u64..3, 10usize..12)) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|f| (0.0..1.0).contains(f)));
+            prop_assert_ne!(b, !b);
+            prop_assert!(pair.0 < 3);
+            prop_assert_eq!(pair.1.clamp(10, 11), pair.1);
+        }
+
+        #[test]
+        fn exact_len_vec(v in prop::collection::vec(-1.0f64..1.0, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::TestRng::from_name("t");
+        let mut b = crate::TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
