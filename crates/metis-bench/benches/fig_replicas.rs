@@ -1,0 +1,94 @@
+//! Replica scaling: mean/p99 delay and goodput of METIS across 1/2/4
+//! engine replicas under rising offered load, comparing the KV-aware
+//! `least-kv` router against blind round-robin.
+//!
+//! This experiment goes beyond the paper (which serves one backend): it
+//! checks that (a) extra replicas absorb proportionally higher load before
+//! delay collapses, and (b) routing by free KV bytes — the same signal
+//! METIS's best-fit sizes against — beats round-robin at high load, because
+//! a query lands on the backend with the most configuration headroom.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES` (CI smoke runs set it low).
+
+use std::sync::Mutex;
+
+use metis_bench::{base_qps, bench_queries, dataset, header, metis, run_replicated, RUN_SEED};
+use metis_datasets::DatasetKind;
+use metis_engine::RouterPolicy;
+
+const REPLICAS: [usize; 3] = [1, 2, 4];
+const MULTS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+fn main() {
+    header(
+        "Replica scaling",
+        "METIS over 1/2/4 engine replicas, rising load",
+        "delay stays near the single-replica low-load level while offered \
+         load scales with the replica count; least-kv routing dominates \
+         round-robin once replicas saturate",
+    );
+    let n = bench_queries(96);
+    let kind = DatasetKind::Musique;
+    let d = dataset(kind, n);
+    let base = base_qps(kind);
+    println!(
+        "\n--- {} ({} queries, base λ = {base}/s) ---",
+        kind.name(),
+        n
+    );
+    println!(
+        "  {:<8} {:<10} {:>12} {:>12} {:>10} {:>14}",
+        "load", "replicas", "rr mean(s)", "lkv mean(s)", "lkv p99", "lkv spread"
+    );
+
+    // All (load multiple, replica count, router) points in parallel.
+    type Key = (usize, usize, bool);
+    type Cell = (Key, f64, f64, Vec<usize>);
+    let cells: Mutex<Vec<Cell>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for (mi, &mult) in MULTS.iter().enumerate() {
+            for (ri, &replicas) in REPLICAS.iter().enumerate() {
+                for (least_kv, router) in [
+                    (false, RouterPolicy::RoundRobin),
+                    (true, RouterPolicy::LeastKvLoad),
+                ] {
+                    let d = &d;
+                    let cells = &cells;
+                    s.spawn(move || {
+                        let r = run_replicated(d, metis(), base * mult, RUN_SEED, replicas, router);
+                        let lat = r.latency();
+                        cells.lock().expect("poisoned").push((
+                            (mi, ri, least_kv),
+                            lat.mean(),
+                            lat.p99(),
+                            r.completions_by_replica(),
+                        ));
+                    });
+                }
+            }
+        }
+    });
+    let cells = cells.into_inner().expect("poisoned");
+    let find = |k: Key| {
+        cells
+            .iter()
+            .find(|(key, ..)| *key == k)
+            .expect("cell computed")
+    };
+    for (mi, &mult) in MULTS.iter().enumerate() {
+        for (ri, &replicas) in REPLICAS.iter().enumerate() {
+            let (_, rr_mean, ..) = find((mi, ri, false));
+            let (_, lkv_mean, lkv_p99, spread) = find((mi, ri, true));
+            let spread: Vec<String> = spread.iter().map(usize::to_string).collect();
+            println!(
+                "  {:<8} {:<10} {:>12.2} {:>12.2} {:>10.2} {:>14}",
+                format!("{mult:.0}x"),
+                replicas,
+                rr_mean,
+                lkv_mean,
+                lkv_p99,
+                spread.join("/"),
+            );
+        }
+    }
+}

@@ -20,7 +20,7 @@ use metis_core::{
     MetisOptions, RagConfig, RunConfig, RunResult, Runner, SynthesisPlan, SystemKind,
 };
 use metis_datasets::{build_dataset, poisson_arrivals, Dataset, DatasetKind};
-use metis_engine::{Engine, EngineConfig, GroupId, LlmRequest, RequestId, Stage};
+use metis_engine::{Engine, EngineConfig, GroupId, LlmRequest, RequestId, RouterPolicy, Stage};
 use metis_llm::{nanos_to_secs, GpuCluster, LatencyModel, ModelSpec, Nanos};
 use metis_profiler::ProfilerKind;
 
@@ -47,8 +47,31 @@ pub fn dataset(kind: DatasetKind, n: usize) -> Dataset {
 
 /// Runs `system` over `dataset` with Poisson arrivals at `qps`.
 pub fn run(dataset: &Dataset, system: SystemKind, qps: f64, seed: u64) -> RunResult {
+    run_replicated(dataset, system, qps, seed, 1, RouterPolicy::RoundRobin)
+}
+
+/// Runs `system` across `replicas` engine replicas behind `router`.
+pub fn run_replicated(
+    dataset: &Dataset,
+    system: SystemKind,
+    qps: f64,
+    seed: u64,
+    replicas: usize,
+    router: RouterPolicy,
+) -> RunResult {
     let arrivals = poisson_arrivals(seed ^ 0xA11, qps, dataset.queries.len());
-    Runner::new(dataset, RunConfig::standard(system, arrivals, seed)).run()
+    let cfg = RunConfig::standard(system, arrivals, seed).replicated(replicas, router);
+    Runner::new(dataset, cfg).run()
+}
+
+/// Bench scale override for CI smoke runs: `METIS_BENCH_QUERIES` caps the
+/// per-experiment query count (default: the target's full size).
+pub fn bench_queries(default: usize) -> usize {
+    std::env::var("METIS_BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
 }
 
 /// Runs with explicit arrivals and model/cluster overrides.

@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
 use metis_datasets::DatasetKind;
+use metis_engine::RouterPolicy;
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,6 +35,10 @@ pub struct RunArgs {
     pub slo: Option<f64>,
     /// Optional chunk-KV prefix cache in GiB.
     pub prefix_cache_gib: Option<u64>,
+    /// Number of engine replicas to serve across.
+    pub replicas: usize,
+    /// How queries are dispatched across replicas.
+    pub router: RouterPolicy,
 }
 
 /// Which serving system to run.
@@ -60,6 +65,8 @@ impl Default for RunArgs {
             big_model: false,
             slo: None,
             prefix_cache_gib: None,
+            replicas: 1,
+            router: RouterPolicy::RoundRobin,
         }
     }
 }
@@ -83,6 +90,8 @@ OPTIONS:
   --big-model              serve Llama-3.1-70B on two A40s
   --slo <SECS>             per-query latency budget
   --prefix-cache-gb <GIB>  enable chunk-KV reuse
+  --replicas <N>           engine replicas to serve across (default 1)
+  --router <round-robin|least-kv>  replica dispatch policy (default round-robin)
 ";
 
 /// Parses a dataset name.
@@ -93,6 +102,15 @@ pub fn parse_dataset(s: &str) -> Result<DatasetKind, String> {
         "finsec" | "kg-rag-finsec" => Ok(DatasetKind::FinSec),
         "qmsum" => Ok(DatasetKind::Qmsum),
         other => Err(format!("unknown dataset '{other}'")),
+    }
+}
+
+/// Parses a router policy name.
+pub fn parse_router(s: &str) -> Result<RouterPolicy, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "round-robin" | "rr" => Ok(RouterPolicy::RoundRobin),
+        "least-kv" | "least-kv-load" => Ok(RouterPolicy::LeastKvLoad),
+        other => Err(format!("unknown router '{other}'")),
     }
 }
 
@@ -175,6 +193,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .map_err(|e| format!("bad --prefix-cache-gb: {e}"))?,
                 )
             }
+            "--replicas" => {
+                run.replicas = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --replicas: {e}"))?
+            }
+            "--router" => run.router = parse_router(next(&mut i)?)?,
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -182,12 +206,26 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if run.queries == 0 {
         return Err("--queries must be positive".into());
     }
+    if run.replicas == 0 {
+        return Err("--replicas must be positive".into());
+    }
     match sub.as_str() {
         "run" => Ok(Command::Run(run)),
         "sweep" => Ok(Command::Sweep(run)),
         "profile" => Ok(Command::Profile(run)),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Parses a command line that must be a `run` invocation, returning its
+/// arguments or a descriptive error — the non-panicking plumbing the tests
+/// build on (the binary itself dispatches every subcommand via [`parse`]).
+#[cfg(test)]
+pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
+    match parse(args)? {
+        Command::Run(a) => Ok(a),
+        other => Err(format!("expected a 'run' command, got {other:?}")),
     }
 }
 
@@ -205,16 +243,15 @@ mod tests {
     }
 
     #[test]
-    fn run_defaults() {
-        let Command::Run(a) = parse(&sv(&["run"])).unwrap() else {
-            panic!("expected Run");
-        };
+    fn run_defaults() -> Result<(), String> {
+        let a = parse_run(&sv(&["run"]))?;
         assert_eq!(a, RunArgs::default());
+        Ok(())
     }
 
     #[test]
-    fn full_option_set_parses() {
-        let cmd = parse(&sv(&[
+    fn full_option_set_parses() -> Result<(), String> {
+        let a = parse_run(&sv(&[
             "run",
             "--dataset",
             "finsec",
@@ -231,9 +268,11 @@ mod tests {
             "2.5",
             "--prefix-cache-gb",
             "4",
-        ]))
-        .unwrap();
-        let Command::Run(a) = cmd else { panic!() };
+            "--replicas",
+            "2",
+            "--router",
+            "least-kv",
+        ]))?;
         assert_eq!(a.dataset, DatasetKind::FinSec);
         assert_eq!(a.system, SystemChoice::FixedMapReduce(8, 120));
         assert_eq!(a.queries, 50);
@@ -242,6 +281,27 @@ mod tests {
         assert!(a.big_model);
         assert_eq!(a.slo, Some(2.5));
         assert_eq!(a.prefix_cache_gib, Some(4));
+        assert_eq!(a.replicas, 2);
+        assert_eq!(a.router, RouterPolicy::LeastKvLoad);
+        Ok(())
+    }
+
+    #[test]
+    fn non_run_commands_are_rejected_by_parse_run() {
+        assert!(parse_run(&sv(&["sweep"])).is_err());
+        assert!(parse_run(&sv(&["help"])).is_err());
+    }
+
+    #[test]
+    fn replica_and_router_flags_parse() -> Result<(), String> {
+        let a = parse_run(&sv(&["run", "--replicas", "4"]))?;
+        assert_eq!(a.replicas, 4);
+        assert_eq!(a.router, RouterPolicy::RoundRobin, "default router");
+        let a = parse_run(&sv(&["run", "--router", "rr"]))?;
+        assert_eq!(a.router, RouterPolicy::RoundRobin);
+        let a = parse_run(&sv(&["run", "--router", "least-kv-load"]))?;
+        assert_eq!(a.router, RouterPolicy::LeastKvLoad);
+        Ok(())
     }
 
     #[test]
@@ -251,6 +311,12 @@ mod tests {
         assert!(parse(&sv(&["run", "--queries", "0"])).is_err());
         assert!(parse(&sv(&["run", "--qps"])).is_err(), "missing value");
         assert!(parse(&sv(&["serve"])).is_err(), "unknown subcommand");
+        // Malformed replica/router values carry a descriptive error.
+        let err = parse(&sv(&["run", "--replicas", "two"])).unwrap_err();
+        assert!(err.contains("bad --replicas"), "got: {err}");
+        assert!(parse(&sv(&["run", "--replicas", "0"])).is_err());
+        let err = parse(&sv(&["run", "--router", "hash-ring"])).unwrap_err();
+        assert!(err.contains("unknown router"), "got: {err}");
     }
 
     #[test]

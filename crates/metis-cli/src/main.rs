@@ -75,6 +75,8 @@ fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
     };
     let mut cfg = RunConfig::standard(system, arrivals, a.seed);
     cfg.closed_loop = closed_loop;
+    cfg.replicas = a.replicas;
+    cfg.router = a.router;
     if a.big_model {
         cfg.model = ModelSpec::llama31_70b_awq();
         cfg.cluster = GpuCluster::dual_a40();
@@ -99,19 +101,33 @@ fn print_result(label: &str, r: &RunResult) {
 
 fn cmd_run(a: &RunArgs) {
     println!(
-        "dataset {:?}, {} queries, {}",
+        "dataset {:?}, {} queries, {}{}",
         a.dataset,
         a.queries,
         if a.qps <= 0.0 {
             "closed loop".to_string()
         } else {
             format!("Poisson λ = {}/s", a.qps)
+        },
+        if a.replicas > 1 {
+            format!(", {} replicas ({})", a.replicas, a.router.name())
+        } else {
+            String::new()
         }
     );
     let r = run_once(a, system_of(a.system, a.slo));
     print_result(&format!("{:?}", a.system), &r);
     if a.prefix_cache_gib.is_some() {
         println!("prefix-cache hit rate: {:.1}%", r.prefix_hit_rate * 100.0);
+    }
+    if a.replicas > 1 {
+        let counts = r.completions_by_replica();
+        let parts: Vec<String> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("r{i}={n}"))
+            .collect();
+        println!("per-replica completions: {}", parts.join(" "));
     }
 }
 

@@ -1,0 +1,262 @@
+//! The METIS controller: profiler-pruned spaces + best-fit joint
+//! configuration/scheduling (§4–5).
+
+use metis_datasets::QuerySpec;
+use metis_engine::SchedPolicy;
+use metis_profiler::{LlmProfiler, ProfilerKind};
+use metis_vectordb::DbMetadata;
+
+use crate::bestfit::{choose_config, BestFitInputs};
+use crate::config::{PrunedSpace, SynthesisMethod};
+use crate::controllers::{ConfigController, Decision, DecisionContext, ProfileOutcome};
+use crate::mapping::{map_profile, ProfileHistory};
+use crate::slo::{choose_config_with_slo, LatencySlo};
+
+/// Confidence threshold below which METIS distrusts the profile (§5).
+pub const CONFIDENCE_THRESHOLD: f64 = 0.90;
+/// Expected final-answer output tokens used for memory sizing.
+const EXPECTED_OUTPUT: u64 = 48;
+
+/// How METIS picks from the pruned space (ablation axis, Fig. 12).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PickPolicy {
+    /// Full METIS: resource-aware best fit (§4.3).
+    BestFit,
+    /// Ablation: median knob values, resource-oblivious.
+    Median,
+}
+
+/// METIS feature switches (ablation axes for Figs. 12, 14, 16, 17).
+#[derive(Clone, Copy, Debug)]
+pub struct MetisOptions {
+    /// Which LLM backs the profiler.
+    pub profiler: ProfilerKind,
+    /// Configuration pick policy.
+    pub pick: PickPolicy,
+    /// Parrot-style gang scheduling of a query's calls.
+    pub gang: bool,
+    /// Tune the synthesis method (off → always `stuff`).
+    pub tune_method: bool,
+    /// Tune `intermediate_length` (off → fixed 100).
+    pub tune_ilen: bool,
+    /// Golden-configuration profiler feedback (§5, Fig. 14).
+    pub feedback: bool,
+    /// Low-confidence fallback to recent pruned spaces (§5).
+    pub confidence_fallback: bool,
+    /// Optional per-query latency SLO in seconds (§4.3's "SLO-based
+    /// constraints"): the best-fit selection is restricted to configurations
+    /// whose estimated execution fits the budget.
+    pub slo_secs: Option<f64>,
+}
+
+impl MetisOptions {
+    /// Full METIS as evaluated in the paper's headline results.
+    pub fn full() -> Self {
+        Self {
+            profiler: ProfilerKind::Gpt4o,
+            pick: PickPolicy::BestFit,
+            gang: true,
+            tune_method: true,
+            tune_ilen: true,
+            feedback: false,
+            confidence_fallback: true,
+            slo_secs: None,
+        }
+    }
+}
+
+/// The full METIS policy: LLM profiler → Algorithm 1 pruning (with
+/// confidence fallback) → resource-aware best fit against the routed
+/// replica's free memory, plus the §5 feedback loop.
+pub struct MetisController {
+    opts: MetisOptions,
+    profiler: LlmProfiler,
+    history: ProfileHistory,
+    /// Feedback runs promised via [`ConfigController::feedback_due`] whose
+    /// completions have not yet grounded the profiler.
+    pending_feedback: usize,
+}
+
+impl MetisController {
+    /// Builds the controller with a fresh profiler and empty history.
+    pub fn new(opts: MetisOptions) -> Self {
+        Self {
+            opts,
+            profiler: LlmProfiler::new(opts.profiler),
+            history: ProfileHistory::default(),
+            pending_feedback: 0,
+        }
+    }
+
+    /// The options this controller runs with.
+    pub fn options(&self) -> &MetisOptions {
+        &self.opts
+    }
+
+    fn apply_tuning(&self, mut space: PrunedSpace) -> PrunedSpace {
+        if !self.opts.tune_method {
+            space.methods = vec![SynthesisMethod::Stuff];
+        }
+        if !self.opts.tune_ilen {
+            space.intermediate_length = (100, 100);
+        }
+        space
+    }
+}
+
+impl ConfigController for MetisController {
+    fn name(&self) -> &'static str {
+        "metis"
+    }
+
+    fn sched_policy(&self) -> SchedPolicy {
+        if self.opts.gang {
+            SchedPolicy::GangByGroup
+        } else {
+            SchedPolicy::Fcfs
+        }
+    }
+
+    fn on_profile(
+        &mut self,
+        query: &QuerySpec,
+        metadata: &DbMetadata,
+        seed: u64,
+    ) -> ProfileOutcome {
+        let out = self.profiler.profile(query, metadata, seed);
+        let trusted =
+            !self.opts.confidence_fallback || out.estimate.confidence >= CONFIDENCE_THRESHOLD;
+        let space = if trusted {
+            let s = map_profile(&out.estimate);
+            self.history.push(s.clone());
+            s
+        } else {
+            // §5: fall back to the recent queries' pruned spaces.
+            self.history
+                .fallback()
+                .unwrap_or_else(|| map_profile(&out.estimate))
+        };
+        ProfileOutcome {
+            space: Some(self.apply_tuning(space)),
+            estimate: Some(out.estimate),
+            profiler_nanos: out.latency,
+            cost_usd: out.cost_usd,
+        }
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Decision {
+        let space = ctx.space.expect("METIS profiles before deciding");
+        let joint = ctx.estimate.map(|e| e.joint).unwrap_or(true);
+        match self.opts.pick {
+            PickPolicy::Median => Decision {
+                config: crate::baselines::median_pick(space),
+                fallback: false,
+            },
+            PickPolicy::BestFit => {
+                let bf = BestFitInputs {
+                    free_kv_tokens: ctx.free_kv_tokens,
+                    chunk_size: ctx.chunk_size,
+                    query_tokens: ctx.query_tokens,
+                    expected_output: EXPECTED_OUTPUT,
+                    buffer_frac: 0.02,
+                };
+                let chosen = match self.opts.slo_secs {
+                    Some(budget) => {
+                        choose_config_with_slo(space, joint, &bf, ctx.latency, LatencySlo(budget))
+                    }
+                    None => choose_config(space, joint, &bf),
+                };
+                Decision {
+                    config: chosen.config,
+                    fallback: chosen.fallback,
+                }
+            }
+        }
+    }
+
+    fn feedback_due(&mut self) -> bool {
+        if self.opts.feedback && self.profiler.wants_feedback() {
+            self.pending_feedback += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_query_complete(&mut self, synthetic: bool) {
+        if synthetic && self.pending_feedback > 0 {
+            self.pending_feedback -= 1;
+            self.profiler.add_feedback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+
+    fn metadata() -> DbMetadata {
+        DbMetadata {
+            description: "test corpus of financial filings".into(),
+            chunk_size: 512,
+            num_chunks: 64,
+        }
+    }
+
+    fn query(d: &metis_datasets::Dataset) -> &QuerySpec {
+        &d.queries[0]
+    }
+
+    #[test]
+    fn profile_then_decide_is_memory_aware() {
+        let d = metis_datasets::build_dataset(metis_datasets::DatasetKind::Musique, 4, 11);
+        let mut c = MetisController::new(MetisOptions::full());
+        let outcome = c.on_profile(query(&d), &metadata(), 7);
+        assert!(outcome.space.is_some());
+        assert!(outcome.cost_usd > 0.0);
+        assert!(outcome.profiler_nanos > 0);
+
+        let latency = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let decide = |c: &mut MetisController, free: u64| {
+            c.decide(&DecisionContext {
+                space: outcome.space.as_ref(),
+                estimate: outcome.estimate.as_ref(),
+                free_kv_tokens: free,
+                chunk_size: 512,
+                query_tokens: 24,
+                latency: &latency,
+            })
+        };
+        let roomy = decide(&mut c, 250_000);
+        let tight = decide(&mut c, 2_000);
+        // Plenty of memory: the pick is from the pruned space. Tight memory:
+        // the §4.3 fallback fires and the plan shrinks.
+        assert!(!roomy.fallback);
+        assert!(tight.fallback);
+        assert!(tight.config.num_chunks <= roomy.config.num_chunks);
+    }
+
+    #[test]
+    fn feedback_promise_is_settled_by_completion() {
+        let d = metis_datasets::build_dataset(metis_datasets::DatasetKind::Squad, 4, 3);
+        let mut opts = MetisOptions::full();
+        opts.feedback = true;
+        let mut c = MetisController::new(opts);
+        // The profiler wants feedback every 30th query.
+        let mut due = 0;
+        for _ in 0..30 {
+            let _ = c.on_profile(query(&d), &metadata(), 5);
+            if c.feedback_due() {
+                due += 1;
+            }
+        }
+        assert_eq!(due, 1, "one golden run per 30 profiled queries");
+        assert_eq!(c.pending_feedback, 1);
+        c.on_query_complete(false); // Real queries don't settle feedback.
+        assert_eq!(c.pending_feedback, 1);
+        c.on_query_complete(true);
+        assert_eq!(c.pending_feedback, 0);
+        assert_eq!(c.profiler.feedback_len(), 1);
+    }
+}

@@ -17,14 +17,18 @@
 //!    nothing in the pruned space fits (§4.3).
 //!
 //! The crate also implements the three baselines the paper compares against
-//! (vLLM with fixed configurations, Parrot\*, AdaptiveRAG\*) and the
-//! discrete-event run driver ([`runner`]) that executes full workloads over
-//! the serving engine, producing measured F1, delay, throughput, and cost.
+//! (vLLM with fixed configurations, Parrot\*, AdaptiveRAG\*) as
+//! [`controllers`] behind the [`ConfigController`] trait, and the
+//! discrete-event run driver ([`runner`]) — a system-agnostic event loop
+//! over a controller and a multi-replica engine [`Cluster`](metis_engine::Cluster)
+//! — that executes full workloads over the serving engine, producing
+//! measured F1, delay, throughput, and cost.
 
 pub mod agentic;
 pub mod baselines;
 pub mod bestfit;
 pub mod config;
+pub mod controllers;
 pub mod extensions;
 pub mod mapping;
 pub mod memory;
@@ -36,9 +40,14 @@ pub use agentic::{plan_agentic, AgenticInputs};
 pub use baselines::{adaptive_rag_pick, fixed_config_grid, median_pick};
 pub use bestfit::{choose_config, BestFitInputs, Chosen};
 pub use config::{ConfigSpace, PrunedSpace, RagConfig, SynthesisMethod};
+pub use controllers::{
+    AdaptiveRagController, ConfigController, Decision, DecisionContext, FixedController,
+    MetisController, MetisOptions, ParrotController, PickPolicy, ProfileOutcome, SystemKind,
+    CONFIDENCE_THRESHOLD,
+};
 pub use extensions::{rerank_hits, rewrite_query, ExtKnobs};
 pub use mapping::{map_profile, ProfileHistory};
 pub use memory::PlanDemand;
-pub use runner::{MetisOptions, PickPolicy, QueryResult, RunConfig, RunResult, Runner, SystemKind};
+pub use runner::{QueryResult, RunConfig, RunResult, Runner};
 pub use slo::{choose_config_with_slo, estimate_exec_secs, LatencySlo};
 pub use synthesis::{plan_synthesis, PlannedCall, SynthesisPlan};

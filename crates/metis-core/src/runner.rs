@@ -1,133 +1,42 @@
 //! Workload run driver.
 //!
 //! Executes a full workload (one dataset, one arrival process) against one
-//! serving system — METIS, vLLM-fixed, Parrot\*, or AdaptiveRAG\* — over the
-//! discrete-event engine, producing per-query F1/delay records and aggregate
-//! cost. This is the reproduction's equivalent of the paper's testbed runs:
-//! every evaluation figure is a set of `Runner::run` calls.
+//! serving system over the discrete-event engine cluster, producing
+//! per-query F1/delay records and aggregate cost. This is the
+//! reproduction's equivalent of the paper's testbed runs: every evaluation
+//! figure is a set of `Runner::run` calls.
 //!
-//! The driver interleaves three event kinds on one virtual timeline:
+//! The driver is *system-agnostic*: all per-system policy (profiling,
+//! configuration choice, scheduling preferences, feedback) lives behind the
+//! [`ConfigController`] trait, built once from the run's [`SystemKind`].
+//! The runner only interleaves three event kinds on one virtual timeline:
 //! profiler completions (API calls, off-GPU), configuration decisions
-//! (which, for METIS, read the engine's free KV memory *at decision time* —
-//! the joint part of joint scheduling), and engine iterations.
+//! (which read the routed replica's free KV memory *at decision time* —
+//! the joint part of joint scheduling), and engine iterations across the
+//! replicas of a [`Cluster`].
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use metis_datasets::Dataset;
 use metis_engine::{
-    Completion, Engine, EngineConfig, GroupId, LlmRequest, PrefixCache, RequestId, SchedPolicy,
-    Stage,
+    Cluster, Completion, EngineConfig, GroupId, LlmRequest, PrefixCache, ReplicaId, RequestId,
+    RouterPolicy, Stage,
 };
 use metis_llm::{
-    nanos_to_secs, secs_to_nanos, GenModelConfig, GenerationModel, GpuCluster, LatencyModel,
-    ModelKind, ModelSpec, Nanos,
+    nanos_to_secs, secs_to_nanos, FleetSpec, GenModelConfig, GenerationModel, GpuCluster,
+    LatencyModel, ModelKind, ModelSpec, Nanos,
 };
 use metis_metrics::{f1_score, LatencySummary, ThroughputSummary};
-use metis_profiler::{EstimatedProfile, LlmProfiler, ProfilerKind};
 
-use crate::baselines::{adaptive_rag_pick, median_pick};
-use crate::bestfit::{choose_config, BestFitInputs};
-use crate::config::{PrunedSpace, RagConfig, SynthesisMethod};
-use crate::mapping::{map_profile, ProfileHistory};
+use crate::config::{RagConfig, SynthesisMethod};
+use crate::controllers::{ConfigController, DecisionContext, ProfileOutcome, SystemKind};
 use crate::synthesis::{plan_synthesis, SynthesisInputs, SynthesisPlan};
 
-/// Confidence threshold below which METIS distrusts the profile (§5).
-pub const CONFIDENCE_THRESHOLD: f64 = 0.90;
-/// Expected final-answer output tokens used for memory sizing.
-const EXPECTED_OUTPUT: u64 = 48;
 /// Retrieval latency: base plus per-chunk scan cost (retrieval is >100×
 /// cheaper than synthesis, §2).
 const RETRIEVAL_BASE_NANOS: Nanos = 5_000_000;
 const RETRIEVAL_PER_CHUNK_NANOS: Nanos = 20_000;
-
-/// How METIS picks from the pruned space (ablation axis, Fig. 12).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum PickPolicy {
-    /// Full METIS: resource-aware best fit (§4.3).
-    BestFit,
-    /// Ablation: median knob values, resource-oblivious.
-    Median,
-}
-
-/// METIS feature switches (ablation axes for Figs. 12, 14, 16, 17).
-#[derive(Clone, Copy, Debug)]
-pub struct MetisOptions {
-    /// Which LLM backs the profiler.
-    pub profiler: ProfilerKind,
-    /// Configuration pick policy.
-    pub pick: PickPolicy,
-    /// Parrot-style gang scheduling of a query's calls.
-    pub gang: bool,
-    /// Tune the synthesis method (off → always `stuff`).
-    pub tune_method: bool,
-    /// Tune `intermediate_length` (off → fixed 100).
-    pub tune_ilen: bool,
-    /// Golden-configuration profiler feedback (§5, Fig. 14).
-    pub feedback: bool,
-    /// Low-confidence fallback to recent pruned spaces (§5).
-    pub confidence_fallback: bool,
-    /// Optional per-query latency SLO in seconds (§4.3's "SLO-based
-    /// constraints"): the best-fit selection is restricted to configurations
-    /// whose estimated execution fits the budget.
-    pub slo_secs: Option<f64>,
-}
-
-impl MetisOptions {
-    /// Full METIS as evaluated in the paper's headline results.
-    pub fn full() -> Self {
-        Self {
-            profiler: ProfilerKind::Gpt4o,
-            pick: PickPolicy::BestFit,
-            gang: true,
-            tune_method: true,
-            tune_ilen: true,
-            feedback: false,
-            confidence_fallback: true,
-            slo_secs: None,
-        }
-    }
-}
-
-/// The system under test.
-#[derive(Clone, Copy, Debug)]
-pub enum SystemKind {
-    /// METIS (ours).
-    Metis(MetisOptions),
-    /// vLLM with one fixed configuration for every query.
-    VllmFixed {
-        /// The static configuration.
-        config: RagConfig,
-    },
-    /// Parrot\*: fixed configuration + application-aware gang scheduling.
-    Parrot {
-        /// The static configuration.
-        config: RagConfig,
-    },
-    /// AdaptiveRAG\*: per-query quality-maximizing choice, resource-oblivious.
-    AdaptiveRag {
-        /// Which LLM backs its profiler.
-        profiler: ProfilerKind,
-    },
-}
-
-impl SystemKind {
-    fn policy(&self) -> SchedPolicy {
-        match self {
-            SystemKind::Metis(o) if o.gang => SchedPolicy::GangByGroup,
-            SystemKind::Parrot { .. } => SchedPolicy::GangByGroup,
-            _ => SchedPolicy::Fcfs,
-        }
-    }
-
-    fn uses_profiler(&self) -> Option<ProfilerKind> {
-        match self {
-            SystemKind::Metis(o) => Some(o.profiler),
-            SystemKind::AdaptiveRag { profiler } => Some(*profiler),
-            _ => None,
-        }
-    }
-}
 
 /// One run's parameters.
 #[derive(Clone, Debug)]
@@ -136,8 +45,13 @@ pub struct RunConfig {
     pub system: SystemKind,
     /// Serving model.
     pub model: ModelSpec,
-    /// GPU cluster.
+    /// GPU cluster backing *each replica*.
     pub cluster: GpuCluster,
+    /// Number of independent engine replicas (each gets its own
+    /// `cluster`-shaped GPU group; clamped to at least 1).
+    pub replicas: usize,
+    /// How queries are dispatched across replicas.
+    pub router: RouterPolicy,
     /// Generation-model tuning.
     pub gen: GenModelConfig,
     /// Engine parameters (policy is overridden by the system kind).
@@ -149,21 +63,25 @@ pub struct RunConfig {
     /// (the paper's low-load experiment, Fig. 19).
     pub closed_loop: bool,
     /// Optional chunk-level KV prefix cache (§8's KV reuse): bytes of GPU
-    /// memory dedicated to caching per-chunk KV across queries. Cached
-    /// chunks skip prefill compute. `None` disables reuse (the paper's
-    /// default — it leaves KV reuse to future work).
+    /// memory *per replica* dedicated to caching per-chunk KV across
+    /// queries. Each replica keeps its own cache (replicas share no KV), and
+    /// cached chunks skip prefill compute on that replica only. `None`
+    /// disables reuse (the paper's default — it leaves KV reuse to future
+    /// work).
     pub prefix_cache_bytes: Option<u64>,
     /// Master seed for all stochastic components.
     pub seed: u64,
 }
 
 impl RunConfig {
-    /// A standard open-loop run of `system` on Mistral-7B / one A40.
+    /// A standard open-loop run of `system` on one Mistral-7B / A40 replica.
     pub fn standard(system: SystemKind, arrivals: Vec<Nanos>, seed: u64) -> Self {
         Self {
             system,
             model: ModelSpec::mistral_7b_awq(),
             cluster: GpuCluster::single_a40(),
+            replicas: 1,
+            router: RouterPolicy::RoundRobin,
             gen: GenModelConfig::default(),
             engine: EngineConfig::default(),
             arrivals,
@@ -171,6 +89,13 @@ impl RunConfig {
             prefix_cache_bytes: None,
             seed,
         }
+    }
+
+    /// The same run spread over `n` replicas behind `router`.
+    pub fn replicated(mut self, n: usize, router: RouterPolicy) -> Self {
+        self.replicas = n.max(1);
+        self.router = router;
+        self
     }
 }
 
@@ -189,6 +114,8 @@ pub struct QueryResult {
     pub config: RagConfig,
     /// Whether the §4.3 memory fallback fired.
     pub fallback: bool,
+    /// The replica that served the query (0 in API-serving mode).
+    pub replica: u32,
     /// Arrival time in seconds.
     pub arrival_secs: f64,
     /// Completion time in seconds.
@@ -200,7 +127,9 @@ pub struct QueryResult {
 pub struct RunResult {
     /// Per-query records, in query order.
     pub per_query: Vec<QueryResult>,
-    /// GPU busy seconds (for the cost model).
+    /// Number of engine replicas that served the run.
+    pub replicas: usize,
+    /// GPU busy seconds summed across replicas (for the cost model).
     pub gpu_busy_secs: f64,
     /// API dollars spent (profiler and/or API serving).
     pub api_cost_usd: f64,
@@ -237,6 +166,19 @@ impl RunResult {
         }
     }
 
+    /// Completed-query counts per replica, in replica-id order.
+    pub fn completions_by_replica(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.replicas.max(1)];
+        for q in &self.per_query {
+            let idx = q.replica as usize;
+            if idx >= counts.len() {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+        counts
+    }
+
     /// Mean fraction of the delay spent profiling (Fig. 18).
     pub fn mean_profiler_fraction(&self) -> f64 {
         if self.per_query.is_empty() {
@@ -267,9 +209,7 @@ enum EventKind {
 struct PendingQuery {
     /// When the query logically arrived (its Profile event time).
     arrival: Nanos,
-    space: Option<PrunedSpace>,
-    estimate: Option<EstimatedProfile>,
-    profiler_nanos: Nanos,
+    outcome: ProfileOutcome,
 }
 
 struct ActiveQuery {
@@ -277,13 +217,41 @@ struct ActiveQuery {
     arrival: Nanos,
     profiler_nanos: Nanos,
     plan: SynthesisPlan,
+    replica: ReplicaId,
     remaining: usize,
     reduce_submitted: bool,
     fallback: bool,
     synthetic: bool,
 }
 
-/// The workload runner.
+/// Mutable bookkeeping shared by the event handlers: the set of in-flight
+/// queries and the finished records.
+#[derive(Default)]
+struct Flight {
+    active: Vec<ActiveQuery>,
+    req_to_active: HashMap<RequestId, usize>,
+    next_req: u64,
+    next_group: u64,
+    results: Vec<QueryResult>,
+    api_cost: f64,
+}
+
+impl Flight {
+    fn fresh_request(&mut self) -> RequestId {
+        let id = RequestId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    fn fresh_group(&mut self) -> GroupId {
+        let id = GroupId(self.next_group);
+        self.next_group += 1;
+        id
+    }
+}
+
+/// The workload runner: a system-agnostic discrete-event loop over one
+/// [`ConfigController`] and a replica [`Cluster`].
 pub struct Runner<'a> {
     dataset: &'a Dataset,
     cfg: RunConfig,
@@ -309,15 +277,23 @@ impl<'a> Runner<'a> {
         let api_mode = self.cfg.model.kind == ModelKind::Api;
         let latency = LatencyModel::new(self.cfg.model.clone(), self.cfg.cluster);
         let gen = GenerationModel::new(&self.cfg.model, self.cfg.gen);
-        let mut engine = Engine::new(
-            LatencyModel::new(self.cfg.model.clone(), self.cfg.cluster),
+        let mut controller = self.cfg.system.controller();
+        // API serving has no local replicas: collapse to one engine (never
+        // stepped) so the run report doesn't invent idle backends.
+        let replica_count = if api_mode {
+            1
+        } else {
+            self.cfg.replicas.max(1)
+        };
+        let fleet = FleetSpec::new(self.cfg.model.clone(), self.cfg.cluster, replica_count);
+        let mut cluster = Cluster::homogeneous(
+            &fleet,
             EngineConfig {
-                policy: self.cfg.system.policy(),
+                policy: controller.sched_policy(),
                 ..self.cfg.engine
             },
+            self.cfg.router,
         );
-        let mut profiler = self.cfg.system.uses_profiler().map(LlmProfiler::new);
-        let mut history = ProfileHistory::default();
         let metadata = self.dataset.db.metadata().clone();
 
         // Event queue: (time, seq) → event.
@@ -348,62 +324,59 @@ impl<'a> Runner<'a> {
             }
         }
 
-        let mut prefix_cache = self
-            .cfg
-            .prefix_cache_bytes
-            .map(|bytes| PrefixCache::new(bytes / self.cfg.model.kv_bytes_per_token().max(1)));
+        // One prefix cache per replica: chunk KV materialized on one backend
+        // is invisible to the others.
+        let mut prefix_caches: Option<Vec<PrefixCache>> =
+            self.cfg.prefix_cache_bytes.map(|bytes| {
+                let tokens = bytes / self.cfg.model.kv_bytes_per_token().max(1);
+                (0..cluster.len())
+                    .map(|_| PrefixCache::new(tokens))
+                    .collect()
+            });
         let mut pending: HashMap<usize, PendingQuery> = HashMap::new();
-        let mut active: Vec<ActiveQuery> = Vec::new();
-        let mut req_to_active: HashMap<RequestId, usize> = HashMap::new();
-        let mut next_req: u64 = 0;
-        let mut next_group: u64 = 0;
-        let mut results: Vec<QueryResult> = Vec::new();
-        let mut api_cost = 0.0f64;
-        let mut pending_feedback = 0usize;
+        let mut flight = Flight::default();
 
         loop {
             let next_event = heap.peek().map(|Reverse((t, s))| (*t, *s));
             match next_event {
                 Some((t, s)) => {
-                    // Advance the engine to (at least) t before acting.
+                    // Advance every replica to (at least) t before acting,
+                    // always stepping the most-lagging replica so
+                    // cross-replica event order stays deterministic.
                     if !api_mode {
-                        loop {
-                            let can_step = engine.now() < t
-                                && (engine.has_active_work()
-                                    || engine.next_pending_arrival().is_some_and(|a| a <= t));
-                            if !can_step {
-                                break;
-                            }
-                            let before = engine.now();
-                            let done = engine.step();
-                            let progressed = engine.now() > before || !done.is_empty();
+                        while let Some(rid) = cluster.steppable_before(t) {
+                            let before = cluster.replica(rid).now();
+                            let done = cluster.step_replica(rid);
+                            let progressed =
+                                cluster.replica(rid).now() > before || !done.is_empty();
                             self.process_completions(
                                 &done,
-                                &mut active,
-                                &mut req_to_active,
-                                &mut engine,
-                                &mut next_req,
-                                &mut results,
-                                &mut profiler,
-                                &mut pending_feedback,
+                                &mut flight,
+                                &mut cluster,
+                                controller.as_mut(),
                                 |t, e| push(&mut heap, &mut events, &mut seq, t, e),
                             );
-                            assert!(progressed, "engine stuck while advancing to event");
+                            assert!(progressed, "replica stuck while advancing to event");
                         }
                     }
                     heap.pop();
                     let event = events.remove(&s).expect("event for popped seq");
                     match event {
                         EventKind::Profile(q) => {
-                            let (p, decide_at) = self.profile_query(
-                                q,
-                                t,
-                                &mut profiler,
+                            let outcome = controller.on_profile(
+                                &self.dataset.queries[q],
                                 &metadata,
-                                &mut history,
-                                &mut api_cost,
+                                self.cfg.seed ^ 0xF0F1,
                             );
-                            pending.insert(q, p);
+                            flight.api_cost += outcome.cost_usd;
+                            let decide_at = t + outcome.profiler_nanos + self.retrieval_nanos();
+                            pending.insert(
+                                q,
+                                PendingQuery {
+                                    arrival: t,
+                                    outcome,
+                                },
+                            );
                             push(
                                 &mut heap,
                                 &mut events,
@@ -420,48 +393,46 @@ impl<'a> Runner<'a> {
                                 p,
                                 &gen,
                                 &latency,
-                                &mut engine,
+                                &mut cluster,
                                 api_mode,
-                                &mut active,
-                                &mut req_to_active,
-                                &mut next_req,
-                                &mut next_group,
-                                &mut results,
-                                &mut api_cost,
-                                &mut profiler,
-                                &mut pending_feedback,
-                                &mut prefix_cache,
+                                &mut flight,
+                                controller.as_mut(),
+                                &mut prefix_caches,
                                 |t, e| push(&mut heap, &mut events, &mut seq, t, e),
                             );
                         }
                     }
                 }
                 None => {
-                    if api_mode || engine.is_idle() {
+                    if api_mode || cluster.is_idle() {
                         break;
                     }
-                    let before = engine.now();
-                    let done = engine.step();
-                    let progressed = engine.now() > before || !done.is_empty();
+                    let Some(rid) = cluster.next_steppable() else {
+                        break;
+                    };
+                    let before = cluster.replica(rid).now();
+                    let done = cluster.step_replica(rid);
+                    let progressed = cluster.replica(rid).now() > before || !done.is_empty();
                     self.process_completions(
                         &done,
-                        &mut active,
-                        &mut req_to_active,
-                        &mut engine,
-                        &mut next_req,
-                        &mut results,
-                        &mut profiler,
-                        &mut pending_feedback,
+                        &mut flight,
+                        &mut cluster,
+                        controller.as_mut(),
                         |t, e| push(&mut heap, &mut events, &mut seq, t, e),
                     );
                     assert!(
-                        progressed || engine.is_idle(),
-                        "engine stuck while draining"
+                        progressed || cluster.is_idle(),
+                        "replica stuck while draining"
                     );
                 }
             }
         }
 
+        let Flight {
+            mut results,
+            api_cost,
+            ..
+        } = flight;
         results.sort_by_key(|r| r.query_index);
         let makespan_secs = {
             let first = results
@@ -477,85 +448,21 @@ impl<'a> Runner<'a> {
         };
         RunResult {
             per_query: results,
-            gpu_busy_secs: nanos_to_secs(engine.stats().busy),
+            replicas: cluster.len(),
+            gpu_busy_secs: nanos_to_secs(cluster.busy_nanos()),
             api_cost_usd: api_cost,
             makespan_secs,
-            prefix_hit_rate: prefix_cache.map_or(0.0, |p| p.hit_rate()),
-        }
-    }
-
-    /// Runs the profiler step for query `q` arriving at `t`; returns the
-    /// pending state and the decision time.
-    fn profile_query(
-        &self,
-        q: usize,
-        t: Nanos,
-        profiler: &mut Option<LlmProfiler>,
-        metadata: &metis_vectordb::DbMetadata,
-        history: &mut ProfileHistory,
-        api_cost: &mut f64,
-    ) -> (PendingQuery, Nanos) {
-        let query = &self.dataset.queries[q];
-        match (&self.cfg.system, profiler.as_mut()) {
-            (SystemKind::Metis(opts), Some(p)) => {
-                let out = p.profile(query, metadata, self.cfg.seed ^ 0xF0F1);
-                *api_cost += out.cost_usd;
-                let trusted =
-                    !opts.confidence_fallback || out.estimate.confidence >= CONFIDENCE_THRESHOLD;
-                let space = if trusted {
-                    let s = map_profile(&out.estimate);
-                    history.push(s.clone());
-                    s
+            prefix_hit_rate: prefix_caches.map_or(0.0, |caches| {
+                let (hits, lookups) = caches
+                    .iter()
+                    .fold((0u64, 0u64), |(h, l), c| (h + c.hits(), l + c.lookups()));
+                if lookups == 0 {
+                    0.0
                 } else {
-                    // §5: fall back to the recent queries' pruned spaces.
-                    history
-                        .fallback()
-                        .unwrap_or_else(|| map_profile(&out.estimate))
-                };
-                let space = self.apply_tuning(space, opts);
-                (
-                    PendingQuery {
-                        arrival: t,
-                        space: Some(space),
-                        estimate: Some(out.estimate),
-                        profiler_nanos: out.latency,
-                    },
-                    t + out.latency + self.retrieval_nanos(),
-                )
-            }
-            (SystemKind::AdaptiveRag { .. }, Some(p)) => {
-                let out = p.profile(query, metadata, self.cfg.seed ^ 0xF0F1);
-                *api_cost += out.cost_usd;
-                (
-                    PendingQuery {
-                        arrival: t,
-                        space: Some(map_profile(&out.estimate)),
-                        estimate: Some(out.estimate),
-                        profiler_nanos: out.latency,
-                    },
-                    t + out.latency + self.retrieval_nanos(),
-                )
-            }
-            _ => (
-                PendingQuery {
-                    arrival: t,
-                    space: None,
-                    estimate: None,
-                    profiler_nanos: 0,
-                },
-                t + self.retrieval_nanos(),
-            ),
+                    hits as f64 / lookups as f64
+                }
+            }),
         }
-    }
-
-    fn apply_tuning(&self, mut space: PrunedSpace, opts: &MetisOptions) -> PrunedSpace {
-        if !opts.tune_method {
-            space.methods = vec![SynthesisMethod::Stuff];
-        }
-        if !opts.tune_ilen {
-            space.intermediate_length = (100, 100);
-        }
-        space
     }
 
     fn retrieval_nanos(&self) -> Nanos {
@@ -563,7 +470,7 @@ impl<'a> Runner<'a> {
     }
 
     /// Chooses the configuration for `q` at decision time `t` and submits
-    /// its synthesis calls.
+    /// its synthesis calls to the routed replica.
     #[allow(clippy::too_many_arguments)]
     fn decide_and_submit(
         &self,
@@ -572,55 +479,32 @@ impl<'a> Runner<'a> {
         pending: PendingQuery,
         gen: &GenerationModel,
         latency: &LatencyModel,
-        engine: &mut Engine,
+        cluster: &mut Cluster,
         api_mode: bool,
-        active: &mut Vec<ActiveQuery>,
-        req_to_active: &mut HashMap<RequestId, usize>,
-        next_req: &mut u64,
-        next_group: &mut u64,
-        results: &mut Vec<QueryResult>,
-        api_cost: &mut f64,
-        profiler: &mut Option<LlmProfiler>,
-        pending_feedback: &mut usize,
-        prefix_cache: &mut Option<PrefixCache>,
+        flight: &mut Flight,
+        controller: &mut dyn ConfigController,
+        prefix_caches: &mut Option<Vec<PrefixCache>>,
         mut push_event: impl FnMut(Nanos, EventKind),
     ) {
         let query = &self.dataset.queries[q];
         let chunk_size = self.dataset.db.metadata().chunk_size as u64;
-        let (config, fallback) = match &self.cfg.system {
-            SystemKind::VllmFixed { config } | SystemKind::Parrot { config } => (*config, false),
-            SystemKind::AdaptiveRag { .. } => (
-                adaptive_rag_pick(pending.space.as_ref().expect("profiled")),
-                false,
-            ),
-            SystemKind::Metis(opts) => {
-                let space = pending.space.as_ref().expect("profiled");
-                let joint = pending.estimate.map(|e| e.joint).unwrap_or(true);
-                match opts.pick {
-                    PickPolicy::Median => (median_pick(space), false),
-                    PickPolicy::BestFit => {
-                        let bf = BestFitInputs {
-                            free_kv_tokens: engine.free_kv_tokens(),
-                            chunk_size,
-                            query_tokens: query.tokens.len() as u64,
-                            expected_output: EXPECTED_OUTPUT,
-                            buffer_frac: 0.02,
-                        };
-                        let chosen = match opts.slo_secs {
-                            Some(budget) => crate::slo::choose_config_with_slo(
-                                space,
-                                joint,
-                                &bf,
-                                latency,
-                                crate::slo::LatencySlo(budget),
-                            ),
-                            None => choose_config(space, joint, &bf),
-                        };
-                        (chosen.config, chosen.fallback)
-                    }
-                }
-            }
+        // Route first, then let the controller size its configuration
+        // against that replica's free memory: per-backend joint
+        // configuration/scheduling.
+        let replica = if api_mode {
+            ReplicaId(0)
+        } else {
+            cluster.route()
         };
+        let decision = controller.decide(&DecisionContext {
+            space: pending.outcome.space.as_ref(),
+            estimate: pending.outcome.estimate.as_ref(),
+            free_kv_tokens: cluster.free_kv_tokens(replica),
+            chunk_size,
+            query_tokens: query.tokens.len() as u64,
+            latency,
+        });
+        let (config, fallback) = (decision.config, decision.fallback);
 
         let retrieved = self
             .dataset
@@ -649,21 +533,22 @@ impl<'a> Runner<'a> {
                 .max()
                 .unwrap_or(0);
             for c in &plan.map_calls {
-                *api_cost += latency.api_cost_usd(c.prompt_tokens, c.output_tokens);
+                flight.api_cost += latency.api_cost_usd(c.prompt_tokens, c.output_tokens);
             }
             let reduce_nanos = plan.reduce_call.map_or(0, |c| {
-                *api_cost += latency.api_cost_usd(c.prompt_tokens, c.output_tokens);
+                flight.api_cost += latency.api_cost_usd(c.prompt_tokens, c.output_tokens);
                 latency.api_call(c.prompt_tokens, c.output_tokens)
             });
             let finish = t + map_nanos + reduce_nanos;
             let arrival = pending.arrival;
-            results.push(QueryResult {
+            flight.results.push(QueryResult {
                 query_index: q,
                 f1: f1_score(&plan.answer, &query.gold_answer()),
                 delay_secs: nanos_to_secs(finish.saturating_sub(arrival)),
-                profiler_secs: nanos_to_secs(pending.profiler_nanos),
+                profiler_secs: nanos_to_secs(pending.outcome.profiler_nanos),
                 config,
                 fallback,
+                replica: 0,
                 arrival_secs: nanos_to_secs(arrival),
                 finish_secs: nanos_to_secs(finish),
             });
@@ -680,7 +565,11 @@ impl<'a> Runner<'a> {
             .len()
             .min(retrieved.len())
             .max(usize::from(!retrieved.is_empty()));
-        let cached_per_call: Vec<u64> = match prefix_cache.as_mut() {
+        // The routed replica's own cache: KV cached elsewhere doesn't help.
+        let prefix_cache = prefix_caches
+            .as_mut()
+            .map(|caches| &mut caches[replica.0 as usize]);
+        let cached_per_call: Vec<u64> = match prefix_cache {
             None => vec![0; plan.map_calls.len()],
             Some(pc) => match config.synthesis {
                 SynthesisMethod::Stuff => {
@@ -700,160 +589,180 @@ impl<'a> Runner<'a> {
         };
 
         // Submit the first wave (maps / the single stuff call).
-        let group = GroupId(*next_group);
-        *next_group += 1;
-        let idx = active.len();
         let stage = if plan.reduce_call.is_some() {
             Stage::Map
         } else {
             Stage::Single
         };
-        let call_count = plan.map_calls.len();
-        for (ci, c) in plan.map_calls.iter().enumerate() {
-            let id = RequestId(*next_req);
-            *next_req += 1;
-            engine.submit(LlmRequest {
-                id,
-                group,
+        self.submit_wave(
+            cluster,
+            flight,
+            SubmitWave {
+                query_index: q,
+                arrival: pending.arrival,
+                profiler_nanos: pending.outcome.profiler_nanos,
+                plan,
+                replica,
                 stage,
-                prompt_tokens: c.prompt_tokens,
-                output_tokens: c.output_tokens,
-                cached_prompt_tokens: cached_per_call.get(ci).copied().unwrap_or(0),
-                arrival: t,
-            });
-            req_to_active.insert(id, idx);
-        }
-        active.push(ActiveQuery {
-            query_index: q,
-            arrival: pending.arrival,
-            profiler_nanos: pending.profiler_nanos,
-            plan,
-            remaining: call_count,
-            reduce_submitted: false,
-            fallback,
-            synthetic: false,
-        });
+                cached_per_call: &cached_per_call,
+                now: t,
+                fallback,
+                synthetic: false,
+            },
+        );
 
-        // §5 feedback: every 30th profiled query triggers one golden-config
+        // §5 feedback: the controller may ask for one golden-configuration
         // run whose completion grounds the profiler.
-        if let (SystemKind::Metis(opts), Some(p)) = (&self.cfg.system, profiler.as_mut()) {
-            if opts.feedback && p.wants_feedback() {
-                let golden = RagConfig::golden();
-                let retrieved = self
-                    .dataset
-                    .db
-                    .retrieve(&query.tokens, golden.num_chunks as usize);
-                let plan = plan_synthesis(
-                    &inputs,
-                    &golden,
-                    &retrieved,
-                    self.cfg.seed ^ 0x601D ^ q as u64,
-                );
-                let group = GroupId(*next_group);
-                *next_group += 1;
-                let gidx = active.len();
-                let n = plan.map_calls.len();
-                for c in &plan.map_calls {
-                    let id = RequestId(*next_req);
-                    *next_req += 1;
-                    engine.submit(LlmRequest {
-                        id,
-                        group,
-                        stage: Stage::Map,
-                        prompt_tokens: c.prompt_tokens,
-                        output_tokens: c.output_tokens,
-                        cached_prompt_tokens: 0,
-                        arrival: t,
-                    });
-                    req_to_active.insert(id, gidx);
-                }
-                active.push(ActiveQuery {
+        if controller.feedback_due() {
+            let golden = RagConfig::golden();
+            let retrieved = self
+                .dataset
+                .db
+                .retrieve(&query.tokens, golden.num_chunks as usize);
+            let plan = plan_synthesis(
+                &inputs,
+                &golden,
+                &retrieved,
+                self.cfg.seed ^ 0x601D ^ q as u64,
+            );
+            let replica = cluster.route();
+            self.submit_wave(
+                cluster,
+                flight,
+                SubmitWave {
                     query_index: q,
                     arrival: t,
                     profiler_nanos: 0,
                     plan,
-                    remaining: n,
-                    reduce_submitted: false,
+                    replica,
+                    stage: Stage::Map,
+                    cached_per_call: &[],
+                    now: t,
                     fallback: false,
                     synthetic: true,
-                });
-                *pending_feedback += 1;
-            }
+                },
+            );
         }
         let _ = push_event; // Only used by closed-loop finalization below.
     }
 
+    /// Submits one query's first wave of calls to its routed replica and
+    /// records it as active.
+    fn submit_wave(&self, cluster: &mut Cluster, flight: &mut Flight, wave: SubmitWave<'_>) {
+        let group = flight.fresh_group();
+        let idx = flight.active.len();
+        let call_count = wave.plan.map_calls.len();
+        for (ci, c) in wave.plan.map_calls.iter().enumerate() {
+            let id = flight.fresh_request();
+            cluster.submit(
+                wave.replica,
+                LlmRequest {
+                    id,
+                    group,
+                    stage: wave.stage,
+                    prompt_tokens: c.prompt_tokens,
+                    output_tokens: c.output_tokens,
+                    cached_prompt_tokens: wave.cached_per_call.get(ci).copied().unwrap_or(0),
+                    arrival: wave.now,
+                },
+            );
+            flight.req_to_active.insert(id, idx);
+        }
+        flight.active.push(ActiveQuery {
+            query_index: wave.query_index,
+            arrival: wave.arrival,
+            profiler_nanos: wave.profiler_nanos,
+            plan: wave.plan,
+            replica: wave.replica,
+            remaining: call_count,
+            reduce_submitted: false,
+            fallback: wave.fallback,
+            synthetic: wave.synthetic,
+        });
+    }
+
     /// Handles engine completions: map → reduce chaining and finalization.
-    #[allow(clippy::too_many_arguments)]
     fn process_completions(
         &self,
         completions: &[Completion],
-        active: &mut [ActiveQuery],
-        req_to_active: &mut HashMap<RequestId, usize>,
-        engine: &mut Engine,
-        next_req: &mut u64,
-        results: &mut Vec<QueryResult>,
-        profiler: &mut Option<LlmProfiler>,
-        pending_feedback: &mut usize,
+        flight: &mut Flight,
+        cluster: &mut Cluster,
+        controller: &mut dyn ConfigController,
         mut push_event: impl FnMut(Nanos, EventKind),
     ) {
         for c in completions {
-            let Some(&idx) = req_to_active.get(&c.id) else {
+            let Some(&idx) = flight.req_to_active.get(&c.id) else {
                 continue;
             };
-            req_to_active.remove(&c.id);
-            let a = &mut active[idx];
+            flight.req_to_active.remove(&c.id);
+            let a = &mut flight.active[idx];
             a.remaining = a.remaining.saturating_sub(1);
             if a.remaining > 0 {
                 continue;
             }
             if let (Some(reduce), false) = (a.plan.reduce_call, a.reduce_submitted) {
-                // All maps done: submit the reduce call now.
-                let id = RequestId(*next_req);
-                *next_req += 1;
-                engine.submit(LlmRequest {
-                    id,
-                    group: c.group,
-                    stage: Stage::Reduce,
-                    prompt_tokens: reduce.prompt_tokens,
-                    output_tokens: reduce.output_tokens,
-                    cached_prompt_tokens: 0,
-                    arrival: c.finish,
-                });
-                req_to_active.insert(id, idx);
+                // All maps done: submit the reduce call now, to the same
+                // replica (the query's KV and gang stay on one backend).
+                let replica = a.replica;
                 a.reduce_submitted = true;
                 a.remaining = 1;
+                let id = flight.fresh_request();
+                cluster.submit(
+                    replica,
+                    LlmRequest {
+                        id,
+                        group: c.group,
+                        stage: Stage::Reduce,
+                        prompt_tokens: reduce.prompt_tokens,
+                        output_tokens: reduce.output_tokens,
+                        cached_prompt_tokens: 0,
+                        arrival: c.finish,
+                    },
+                );
+                flight.req_to_active.insert(id, idx);
                 continue;
             }
             // Query complete.
+            let a = &flight.active[idx];
+            controller.on_query_complete(a.synthetic);
             if a.synthetic {
-                if *pending_feedback > 0 {
-                    *pending_feedback -= 1;
-                    if let Some(p) = profiler.as_mut() {
-                        p.add_feedback();
-                    }
-                }
                 continue;
             }
             let query = &self.dataset.queries[a.query_index];
-            results.push(QueryResult {
+            flight.results.push(QueryResult {
                 query_index: a.query_index,
                 f1: f1_score(&a.plan.answer, &query.gold_answer()),
                 delay_secs: nanos_to_secs(c.finish.saturating_sub(a.arrival)),
                 profiler_secs: nanos_to_secs(a.profiler_nanos),
                 config: a.plan.config,
                 fallback: a.fallback,
+                replica: c.replica.0,
                 arrival_secs: nanos_to_secs(a.arrival),
                 finish_secs: nanos_to_secs(c.finish),
             });
             if self.cfg.closed_loop {
-                let next = results.len();
+                let next = flight.results.len();
                 if next < self.dataset.queries.len() {
                     push_event(c.finish, EventKind::Profile(next));
                 }
             }
         }
     }
+}
+
+/// One wave of submissions: a query's map calls (or single stuff call)
+/// bound for one replica.
+struct SubmitWave<'a> {
+    query_index: usize,
+    arrival: Nanos,
+    profiler_nanos: Nanos,
+    plan: SynthesisPlan,
+    replica: ReplicaId,
+    stage: Stage,
+    cached_per_call: &'a [u64],
+    now: Nanos,
+    fallback: bool,
+    synthetic: bool,
 }
 
 /// Convenience: build Poisson arrivals matching the paper's default workload

@@ -3,6 +3,7 @@
 
 use metis_core::{MetisOptions, PickPolicy, RagConfig, RunConfig, Runner, SystemKind};
 use metis_datasets::{build_dataset, poisson_arrivals, DatasetKind};
+use metis_engine::RouterPolicy;
 use metis_llm::{GpuCluster, ModelSpec};
 use metis_profiler::ProfilerKind;
 
@@ -196,6 +197,71 @@ fn seventy_b_serving_works_on_dual_a40() {
     let r = Runner::new(&d, cfg).run();
     assert_eq!(r.per_query.len(), 12);
     assert!(r.mean_delay_secs() > 0.0);
+}
+
+#[test]
+fn replicas_absorb_load_without_losing_quality() {
+    // Twice the base rate saturates one replica; two replicas restore the
+    // low-load delay at identical quality (same configs, just less queueing).
+    let d = build_dataset(DatasetKind::Musique, 40, 2024);
+    let qps = base_qps(DatasetKind::Musique) * 2.0;
+    let go = |replicas: usize, router: RouterPolicy| {
+        let arrivals = poisson_arrivals(7, qps, 40);
+        let cfg = RunConfig::standard(SystemKind::Metis(MetisOptions::full()), arrivals, 99)
+            .replicated(replicas, router);
+        Runner::new(&d, cfg).run()
+    };
+    let one = go(1, RouterPolicy::RoundRobin);
+    let two = go(2, RouterPolicy::LeastKvLoad);
+    assert_eq!(two.per_query.len(), one.per_query.len());
+    assert_eq!(two.replicas, 2);
+    assert_eq!(two.completions_by_replica().iter().sum::<usize>(), 40);
+    assert!(
+        two.mean_delay_secs() < one.mean_delay_secs(),
+        "2 replicas {:.2}s vs 1 replica {:.2}s",
+        two.mean_delay_secs(),
+        one.mean_delay_secs()
+    );
+    assert!(
+        two.mean_f1() > one.mean_f1() - 0.05,
+        "quality must not regress: {:.3} vs {:.3}",
+        two.mean_f1(),
+        one.mean_f1()
+    );
+}
+
+#[test]
+fn prefix_caches_are_per_replica() {
+    // Replicas share no KV: splitting the same workload over two replicas
+    // must not report more cache hits than serving it all on one (each
+    // backend warms its own cache independently). The cache budget is made
+    // effectively unbounded so no eviction happens — without eviction the
+    // shared history's hits are a superset of the split histories', making
+    // the ≤ comparison an invariant rather than a seed accident.
+    let d = build_dataset(DatasetKind::Squad, 30, 8);
+    let go = |replicas: usize| {
+        let arrivals = poisson_arrivals(3, 2.0, 30);
+        let mut cfg = RunConfig::standard(
+            SystemKind::VllmFixed {
+                config: RagConfig::stuff(6),
+            },
+            arrivals,
+            5,
+        )
+        .replicated(replicas, RouterPolicy::RoundRobin);
+        cfg.prefix_cache_bytes = Some(1 << 40);
+        Runner::new(&d, cfg).run()
+    };
+    let one = go(1);
+    let two = go(2);
+    assert!(one.prefix_hit_rate > 0.0, "cache must see reuse");
+    assert!(
+        two.prefix_hit_rate <= one.prefix_hit_rate + 1e-12,
+        "isolated per-replica caches cannot hit more often than one shared \
+         history: {:.3} vs {:.3}",
+        two.prefix_hit_rate,
+        one.prefix_hit_rate
+    );
 }
 
 #[test]

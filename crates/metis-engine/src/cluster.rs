@@ -1,0 +1,335 @@
+//! Multi-replica serving cluster.
+//!
+//! A [`Cluster`] owns `N` independent [`Engine`] replicas — separate GPU
+//! groups, each with its own paged KV pool, queue, and virtual clock — and
+//! routes newly arriving work across them with a pluggable dispatch policy.
+//! Replicas share nothing; the only cross-replica coupling is the routing
+//! decision itself, which is exactly the joint configuration/scheduling
+//! surface METIS reasons about: [`RouterPolicy::LeastKvLoad`] sends a query
+//! to the replica with the most free KV bytes, and the controller's
+//! best-fit then sizes the configuration against *that* replica's memory.
+//!
+//! The cluster is still a discrete-event simulation: each replica advances
+//! its own clock, and the driver steps whichever replica lags furthest
+//! behind the target time ([`Cluster::steppable_before`] /
+//! [`Cluster::step_replica`]), so cross-replica event order is
+//! deterministic.
+
+use metis_llm::{FleetSpec, Nanos};
+
+use crate::engine::{Completion, Engine, EngineConfig};
+use crate::request::{LlmRequest, ReplicaId};
+use crate::stats::EngineStats;
+
+/// How the cluster picks a replica for new work.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RouterPolicy {
+    /// Cycle through replicas in submission order.
+    #[default]
+    RoundRobin,
+    /// Route to the replica with the most free KV-cache bytes right now
+    /// (ties broken by lowest replica id). This is the memory-aware twin of
+    /// least-connections load balancing: it steers work away from replicas
+    /// whose KV pool is saturated, and hands METIS's best-fit the roomiest
+    /// backend to size against.
+    LeastKvLoad,
+}
+
+impl RouterPolicy {
+    /// Short stable name, for CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::LeastKvLoad => "least-kv",
+        }
+    }
+}
+
+/// `N` engine replicas behind a router.
+pub struct Cluster {
+    replicas: Vec<Engine>,
+    router: RouterPolicy,
+    rr_next: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster from pre-constructed replicas; replica ids are
+    /// assigned by position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(mut replicas: Vec<Engine>, router: RouterPolicy) -> Self {
+        assert!(!replicas.is_empty(), "a cluster needs at least one replica");
+        for (i, r) in replicas.iter_mut().enumerate() {
+            r.set_replica(ReplicaId(i as u32));
+        }
+        Self {
+            replicas,
+            router,
+            rr_next: 0,
+        }
+    }
+
+    /// Builds a homogeneous cluster: one engine per fleet replica, all with
+    /// the same `config`.
+    pub fn homogeneous(fleet: &FleetSpec, config: EngineConfig, router: RouterPolicy) -> Self {
+        Self::new(
+            fleet
+                .latency_models()
+                .into_iter()
+                .map(|lat| Engine::new(lat, config))
+                .collect(),
+            router,
+        )
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Always false: a cluster holds at least one replica.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The routing policy in use.
+    pub fn router(&self) -> RouterPolicy {
+        self.router
+    }
+
+    /// Shared view of one replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn replica(&self, id: ReplicaId) -> &Engine {
+        &self.replicas[id.0 as usize]
+    }
+
+    /// Iterates over the replicas in id order.
+    pub fn replicas(&self) -> impl Iterator<Item = &Engine> {
+        self.replicas.iter()
+    }
+
+    /// Picks the replica the next query's calls should be submitted to.
+    /// One route call per query: all of a query's calls (maps and the
+    /// reduce) stay on one replica so gang scheduling keeps working.
+    pub fn route(&mut self) -> ReplicaId {
+        match self.router {
+            RouterPolicy::RoundRobin => {
+                let id = ReplicaId((self.rr_next % self.replicas.len()) as u32);
+                self.rr_next = (self.rr_next + 1) % self.replicas.len();
+                id
+            }
+            RouterPolicy::LeastKvLoad => {
+                let best = self
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, r)| {
+                        // Most free KV bytes; stable tie-break on lowest id.
+                        (Self::free_kv_bytes_of(r), std::cmp::Reverse(*i))
+                    })
+                    .expect("non-empty replica list")
+                    .0;
+                ReplicaId(best as u32)
+            }
+        }
+    }
+
+    fn free_kv_bytes_of(engine: &Engine) -> u64 {
+        engine.free_kv_tokens() * engine.latency_model().model().kv_bytes_per_token()
+    }
+
+    /// Submits a request to the given replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn submit(&mut self, id: ReplicaId, req: LlmRequest) {
+        self.replicas[id.0 as usize].submit(req);
+    }
+
+    /// Free KV tokens on one replica — what METIS's per-backend best-fit
+    /// inspects at decision time.
+    pub fn free_kv_tokens(&self, id: ReplicaId) -> u64 {
+        self.replica(id).free_kv_tokens()
+    }
+
+    /// Free KV bytes on one replica — what the `LeastKvLoad` router ranks.
+    pub fn free_kv_bytes(&self, id: ReplicaId) -> u64 {
+        Self::free_kv_bytes_of(self.replica(id))
+    }
+
+    /// Whether every replica is fully drained.
+    pub fn is_idle(&self) -> bool {
+        self.replicas.iter().all(Engine::is_idle)
+    }
+
+    /// Sum of GPU-busy virtual time across replicas.
+    pub fn busy_nanos(&self) -> Nanos {
+        self.replicas.iter().map(|r| r.stats().busy).sum()
+    }
+
+    /// Per-replica run statistics, in replica-id order.
+    pub fn stats(&self) -> Vec<&EngineStats> {
+        self.replicas.iter().map(Engine::stats).collect()
+    }
+
+    /// The most-lagging replica that still has work to do before virtual
+    /// time `t` — the replica the driver should step next to advance the
+    /// whole cluster to `t`. `None` when every replica has caught up.
+    pub fn steppable_before(&self, t: Nanos) -> Option<ReplicaId> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.now() < t
+                    && (r.has_active_work() || r.next_pending_arrival().is_some_and(|a| a <= t))
+            })
+            .min_by_key(|(i, r)| (r.now(), *i))
+            .map(|(i, _)| ReplicaId(i as u32))
+    }
+
+    /// The most-lagging replica with any remaining work (used to drain the
+    /// cluster once no more external events exist).
+    pub fn next_steppable(&self) -> Option<ReplicaId> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_idle())
+            .min_by_key(|(i, r)| (r.now(), *i))
+            .map(|(i, _)| ReplicaId(i as u32))
+    }
+
+    /// Advances one replica by one engine iteration; completions carry the
+    /// replica id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn step_replica(&mut self, id: ReplicaId) -> Vec<Completion> {
+        self.replicas[id.0 as usize].step()
+    }
+
+    /// Runs every replica until the whole cluster drains; returns all
+    /// completions, ordered by (finish time, replica id).
+    ///
+    /// Unlike the per-event driver loop, this cannot chain new submissions
+    /// off completions — it is a convenience for tests and standalone use.
+    pub fn run_until_idle(&mut self) -> Vec<Completion> {
+        let mut all = Vec::new();
+        while let Some(id) = self.next_steppable() {
+            let before = self.replica(id).now();
+            let done = self.step_replica(id);
+            assert!(
+                self.replica(id).now() > before || !done.is_empty(),
+                "replica {} stuck: queued={} running={} free_kv={}",
+                id.0,
+                self.replica(id).queued_len(),
+                self.replica(id).running_len(),
+                self.replica(id).free_kv_tokens(),
+            );
+            all.extend(done);
+        }
+        all.sort_by_key(|c| (c.finish, c.replica));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{GroupId, RequestId, Stage};
+    use metis_llm::{GpuCluster, ModelSpec};
+
+    fn cluster(n: usize, router: RouterPolicy) -> Cluster {
+        let fleet = FleetSpec::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40(), n);
+        Cluster::homogeneous(&fleet, EngineConfig::default(), router)
+    }
+
+    fn req(id: u64, group: u64, prompt: u64, out: u64, arrival: Nanos) -> LlmRequest {
+        LlmRequest {
+            id: RequestId(id),
+            group: GroupId(group),
+            stage: Stage::Single,
+            prompt_tokens: prompt,
+            output_tokens: out,
+            cached_prompt_tokens: 0,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_replicas() {
+        let mut c = cluster(3, RouterPolicy::RoundRobin);
+        let picks: Vec<u32> = (0..6).map(|_| c.route().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_kv_prefers_the_roomiest_replica() {
+        let mut c = cluster(2, RouterPolicy::LeastKvLoad);
+        // Idle cluster: tie broken by lowest id.
+        assert_eq!(c.route(), ReplicaId(0));
+        // Load replica 0 and admit the work so its free KV drops.
+        c.submit(ReplicaId(0), req(1, 1, 50_000, 500, 0));
+        c.step_replica(ReplicaId(0));
+        assert!(c.free_kv_bytes(ReplicaId(0)) < c.free_kv_bytes(ReplicaId(1)));
+        assert_eq!(c.route(), ReplicaId(1));
+    }
+
+    #[test]
+    fn completions_carry_their_replica_id() {
+        let mut c = cluster(2, RouterPolicy::RoundRobin);
+        for i in 0..4u64 {
+            let rid = c.route();
+            c.submit(rid, req(i, i, 2_000, 10, 0));
+        }
+        let done = c.run_until_idle();
+        assert_eq!(done.len(), 4);
+        let mut by_replica = [0usize; 2];
+        for d in &done {
+            by_replica[d.replica.0 as usize] += 1;
+        }
+        assert_eq!(by_replica, [2, 2], "round robin splits work evenly");
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn replicas_run_independent_clocks() {
+        let mut c = cluster(2, RouterPolicy::RoundRobin);
+        // Only replica 1 gets (late-arriving) work; replica 0 stays at 0.
+        c.submit(ReplicaId(1), req(1, 1, 2_000, 10, 5_000_000_000));
+        let done = c.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].finish > 5_000_000_000);
+        assert_eq!(c.replica(ReplicaId(0)).now(), 0);
+        assert!(c.replica(ReplicaId(1)).now() > 0);
+    }
+
+    #[test]
+    fn steppable_before_picks_the_most_lagging_replica() {
+        let mut c = cluster(2, RouterPolicy::RoundRobin);
+        c.submit(ReplicaId(0), req(1, 1, 4_000, 20, 0));
+        c.submit(ReplicaId(1), req(2, 2, 4_000, 20, 0));
+        // Step replica 0 once so its clock leads replica 1's.
+        c.step_replica(ReplicaId(0));
+        let t = c.replica(ReplicaId(0)).now() + 1;
+        assert_eq!(c.steppable_before(t), Some(ReplicaId(1)));
+        // Past both clocks with no runnable work left before t: none.
+        let mut drained = cluster(1, RouterPolicy::RoundRobin);
+        assert_eq!(drained.steppable_before(1_000), None);
+        drained.submit(ReplicaId(0), req(3, 3, 100, 1, 2_000));
+        assert_eq!(drained.steppable_before(1_000), None, "arrival beyond t");
+        assert_eq!(drained.steppable_before(2_001), Some(ReplicaId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_cluster_is_rejected() {
+        let _ = Cluster::new(Vec::new(), RouterPolicy::RoundRobin);
+    }
+}

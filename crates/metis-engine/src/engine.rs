@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use metis_llm::{LatencyModel, Nanos};
 
 use crate::kvcache::KvAllocator;
-use crate::request::{GroupId, LlmRequest, RequestId, RequestState, Stage};
+use crate::request::{GroupId, LlmRequest, ReplicaId, RequestId, RequestState, Stage};
 use crate::stats::EngineStats;
 
 /// Admission-ordering policy.
@@ -58,6 +58,8 @@ pub struct Completion {
     pub group: GroupId,
     /// Its stage.
     pub stage: Stage,
+    /// The replica that served it (0 for a standalone engine).
+    pub replica: ReplicaId,
     /// When it entered the engine queue.
     pub arrival: Nanos,
     /// When it was admitted (KV allocated).
@@ -98,6 +100,7 @@ struct Running {
 pub struct Engine {
     latency: LatencyModel,
     config: EngineConfig,
+    replica: ReplicaId,
     clock: Nanos,
     /// Requests with future arrival times, keyed by (arrival, submit order).
     pending: BTreeMap<(Nanos, u64), LlmRequest>,
@@ -121,6 +124,7 @@ impl Engine {
         Self {
             latency,
             config,
+            replica: ReplicaId(0),
             clock: 0,
             pending: BTreeMap::new(),
             queue: VecDeque::new(),
@@ -134,6 +138,18 @@ impl Engine {
     /// Current virtual time.
     pub fn now(&self) -> Nanos {
         self.clock
+    }
+
+    /// This engine's replica id within its cluster (0 standalone).
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Assigns the replica id stamped on completions and stats; called by
+    /// [`Cluster::new`](crate::cluster::Cluster::new).
+    pub fn set_replica(&mut self, id: ReplicaId) {
+        self.replica = id;
+        self.stats.replica = id;
     }
 
     /// Free KV-cache tokens right now — what METIS's best-fit inspects
@@ -368,6 +384,7 @@ impl Engine {
                         id: r.req.id,
                         group: r.req.group,
                         stage: r.req.stage,
+                        replica: self.replica,
                         arrival: r.req.arrival,
                         admitted: r.admitted,
                         finish: clock,
@@ -561,6 +578,65 @@ mod tests {
             pos(12) < pos(20),
             "gang scheduling should finish group 1 first"
         );
+    }
+
+    #[test]
+    fn gang_admits_same_group_before_earlier_foreign_arrivals() {
+        // The Parrot* property, observed directly at admission rather than
+        // through completion order: with group 1 already running, a queued
+        // group-1 call is *admitted* before a foreign call that arrived
+        // earlier.
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let cfg = EngineConfig {
+            max_batch_seqs: 2, // One slot for the running gang, one contended.
+            policy: SchedPolicy::GangByGroup,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(lat, cfg);
+        // Fill both slots with group-1 work so later arrivals must queue;
+        // the second gang member outlives the first, keeping group 1 active
+        // when the contended slot frees.
+        e.submit(req(0, 1, 3_000, 30, 0));
+        e.submit(req(1, 1, 3_000, 90, 0));
+        e.step();
+        e.submit(req(20, 2, 1_000, 10, e.now())); // Foreign, arrives first.
+        e.submit(req(11, 1, 1_000, 10, e.now() + 1)); // Same group, later.
+        let done = e.run_until_idle();
+        let admitted = |id: u64| {
+            done.iter()
+                .find(|c| c.id == RequestId(id))
+                .expect("completed")
+                .admitted
+        };
+        assert!(
+            admitted(11) < admitted(20),
+            "same-group call admitted at {} after foreign at {}",
+            admitted(11),
+            admitted(20)
+        );
+        // FCFS on the identical workload admits in arrival order instead.
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let mut f = Engine::new(
+            lat,
+            EngineConfig {
+                max_batch_seqs: 2,
+                policy: SchedPolicy::Fcfs,
+                ..EngineConfig::default()
+            },
+        );
+        f.submit(req(0, 1, 3_000, 30, 0));
+        f.submit(req(1, 1, 3_000, 90, 0));
+        f.step();
+        f.submit(req(20, 2, 1_000, 10, f.now()));
+        f.submit(req(11, 1, 1_000, 10, f.now() + 1));
+        let done = f.run_until_idle();
+        let admitted = |id: u64| {
+            done.iter()
+                .find(|c| c.id == RequestId(id))
+                .expect("completed")
+                .admitted
+        };
+        assert!(admitted(20) < admitted(11), "FCFS keeps arrival order");
     }
 
     #[test]

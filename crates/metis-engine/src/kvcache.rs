@@ -87,6 +87,33 @@ impl KvAllocator {
         Ok(())
     }
 
+    /// Grows `seq`'s allocation by `extra_tokens` tokens' worth of blocks,
+    /// block-granular like [`Self::alloc`].
+    ///
+    /// Note: the engine itself does not call this — it reserves a request's
+    /// full prompt+output footprint at admission (the conservative vLLM
+    /// sizing METIS's best-fit reasons about). `grow` is the incremental
+    /// variant for allocator-level verification and for future decode-time
+    /// growth modeling.
+    ///
+    /// Growing by zero tokens is a no-op. On `OutOfMemory` the existing
+    /// allocation is left untouched.
+    pub fn grow(&mut self, seq: RequestId, extra_tokens: u64) -> Result<(), KvError> {
+        if !self.held.contains_key(&seq) {
+            return Err(KvError::NotAllocated);
+        }
+        let need = self.blocks_for(extra_tokens);
+        if need > self.free_blocks {
+            return Err(KvError::OutOfMemory {
+                requested: need,
+                free: self.free_blocks,
+            });
+        }
+        self.free_blocks -= need;
+        *self.held.get_mut(&seq).expect("presence checked above") += need;
+        Ok(())
+    }
+
     /// Frees all blocks held by `seq`.
     pub fn free(&mut self, seq: RequestId) -> Result<(), KvError> {
         match self.held.remove(&seq) {
@@ -181,6 +208,24 @@ mod tests {
     }
 
     #[test]
+    fn grow_extends_and_free_returns_everything() {
+        let mut a = KvAllocator::new(1_600, 16);
+        a.alloc(rid(1), 16).unwrap();
+        a.grow(rid(1), 40).unwrap(); // 3 more blocks.
+        assert_eq!(a.used_tokens(), 64);
+        assert_eq!(a.grow(rid(2), 16), Err(KvError::NotAllocated));
+        assert_eq!(
+            a.grow(rid(1), 10_000),
+            Err(KvError::OutOfMemory {
+                requested: 625,
+                free: 96
+            })
+        );
+        a.free(rid(1)).unwrap();
+        assert_eq!(a.free_tokens(), 1_600);
+    }
+
+    #[test]
     fn fits_is_consistent_with_alloc() {
         let mut a = KvAllocator::new(320, 16);
         assert!(a.fits(320));
@@ -188,5 +233,88 @@ mod tests {
         a.alloc(rid(1), 160).unwrap();
         assert!(a.fits(160));
         assert!(!a.fits(161));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use std::collections::HashMap;
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Arbitrary interleavings of alloc / grow / free over a small id
+        /// space never double-free a block, and free + used block counts
+        /// always sum to the pool size — checked against an independent
+        /// per-sequence block ledger after every operation.
+        #[test]
+        fn alloc_grow_free_never_leaks_or_double_frees(
+            ops in prop::collection::vec((0u64..12, 0u8..3, 1u64..3_000), 1..80),
+        ) {
+            let mut a = KvAllocator::new(16_000, 16);
+            let total_blocks = a.capacity_tokens() / 16;
+            // Independent ledger: blocks each live sequence should hold.
+            let mut ledger: HashMap<u64, u64> = HashMap::new();
+            for (seq, op, tokens) in ops {
+                let blocks = tokens.div_ceil(16);
+                let ledger_blocks: u64 = ledger.values().sum();
+                match op {
+                    // Alloc: succeeds iff the sequence is new and fits.
+                    0 => match a.alloc(RequestId(seq), tokens) {
+                        Ok(()) => {
+                            prop_assert!(!ledger.contains_key(&seq));
+                            prop_assert!(ledger_blocks + blocks <= total_blocks);
+                            ledger.insert(seq, blocks);
+                        }
+                        Err(KvError::AlreadyAllocated) => {
+                            prop_assert!(ledger.contains_key(&seq));
+                        }
+                        Err(KvError::OutOfMemory { .. }) => {
+                            prop_assert!(ledger_blocks + blocks > total_blocks);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected alloc error {e:?}"),
+                    },
+                    // Grow: succeeds iff the sequence is live and fits.
+                    1 => match a.grow(RequestId(seq), tokens) {
+                        Ok(()) => {
+                            prop_assert!(ledger.contains_key(&seq));
+                            prop_assert!(ledger_blocks + blocks <= total_blocks);
+                            *ledger.get_mut(&seq).expect("live") += blocks;
+                        }
+                        Err(KvError::NotAllocated) => {
+                            prop_assert!(!ledger.contains_key(&seq));
+                        }
+                        Err(KvError::OutOfMemory { .. }) => {
+                            prop_assert!(ledger_blocks + blocks > total_blocks);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected grow error {e:?}"),
+                    },
+                    // Free: succeeds exactly once per live sequence; a
+                    // second free must fail without changing the counts.
+                    _ => match a.free(RequestId(seq)) {
+                        Ok(()) => {
+                            prop_assert!(ledger.remove(&seq).is_some());
+                            prop_assert_eq!(
+                                a.free(RequestId(seq)),
+                                Err(KvError::NotAllocated),
+                                "double free must be rejected"
+                            );
+                        }
+                        Err(KvError::NotAllocated) => {
+                            prop_assert!(!ledger.contains_key(&seq));
+                        }
+                        Err(e) => prop_assert!(false, "unexpected free error {e:?}"),
+                    },
+                }
+                // Conservation: the allocator agrees with the ledger and
+                // never loses or duplicates a block.
+                let live: u64 = ledger.values().sum();
+                prop_assert_eq!(a.used_tokens(), live * 16);
+                prop_assert_eq!(a.used_tokens() + a.free_tokens(), a.capacity_tokens());
+                prop_assert_eq!(a.live_allocations(), ledger.len());
+            }
+        }
     }
 }

@@ -17,15 +17,22 @@
 //! * [`SchedPolicy::GangByGroup`] — Parrot\*-style application-aware
 //!   co-scheduling: requests belonging to a group (e.g. the map calls of one
 //!   RAG query) are admitted together, ahead of newly arrived groups.
+//!
+//! For multi-backend serving, [`Cluster`] lifts the single engine to `N`
+//! independent replicas behind a pluggable router ([`RouterPolicy`]):
+//! round-robin dispatch or KV-aware `LeastKvLoad`, which routes each query
+//! to the replica with the most free KV bytes.
 
+pub mod cluster;
 pub mod engine;
 pub mod kvcache;
 pub mod prefixcache;
 pub mod request;
 pub mod stats;
 
+pub use cluster::{Cluster, RouterPolicy};
 pub use engine::{Completion, Engine, EngineConfig, SchedPolicy};
 pub use kvcache::{KvAllocator, KvError};
 pub use prefixcache::PrefixCache;
-pub use request::{GroupId, LlmRequest, RequestId, RequestState, Stage};
+pub use request::{GroupId, LlmRequest, ReplicaId, RequestId, RequestState, Stage};
 pub use stats::EngineStats;

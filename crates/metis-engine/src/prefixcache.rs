@@ -86,6 +86,17 @@ impl PrefixCache {
         }
     }
 
+    /// Lookups that hit so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups so far (hits + misses) — for aggregating hit rates
+    /// across per-replica caches.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Number of cached chunks.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -12,6 +12,12 @@ pub struct RequestId(pub u64);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct GroupId(pub u64);
 
+/// Id of the engine replica serving a request — index into a
+/// [`Cluster`](crate::cluster::Cluster)'s replica list. A standalone engine
+/// is replica 0.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ReplicaId(pub u32);
+
 /// Pipeline stage of a request within its RAG query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Stage {

@@ -2,9 +2,13 @@
 
 use metis_llm::{nanos_to_secs, Nanos};
 
+use crate::request::ReplicaId;
+
 /// Aggregate statistics of one engine run.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
+    /// The replica these stats describe (0 for a standalone engine).
+    pub replica: ReplicaId,
     /// Requests submitted.
     pub submitted: u64,
     /// Requests completed.

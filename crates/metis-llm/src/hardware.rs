@@ -5,6 +5,7 @@
 //! parallelism. The cluster model aggregates compute and bandwidth across
 //! GPUs and splits the weight footprint, the standard TP approximation.
 
+use crate::latency::LatencyModel;
 use crate::spec::ModelSpec;
 
 /// One GPU's capabilities.
@@ -100,6 +101,60 @@ impl GpuCluster {
     }
 }
 
+/// A homogeneous multi-replica serving fleet: `replicas` independent
+/// tensor-parallel groups, each `cluster`-shaped, each serving its own copy
+/// of `model`. Replicas share nothing — no weights, no KV — which is the
+/// deployment shape the engine's `Cluster` router dispatches over.
+#[derive(Clone, Debug)]
+pub struct FleetSpec {
+    /// The model every replica serves.
+    pub model: ModelSpec,
+    /// The per-replica GPU group.
+    pub cluster: GpuCluster,
+    /// Number of replicas (at least 1).
+    pub replicas: usize,
+}
+
+impl FleetSpec {
+    /// Builds a fleet of `replicas` copies of `model` on `cluster`-shaped
+    /// GPU groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(model: ModelSpec, cluster: GpuCluster, replicas: usize) -> Self {
+        assert!(replicas > 0, "a fleet needs at least one replica");
+        Self {
+            model,
+            cluster,
+            replicas,
+        }
+    }
+
+    /// The single-replica fleet (the paper's testbed shape).
+    pub fn single(model: ModelSpec, cluster: GpuCluster) -> Self {
+        Self::new(model, cluster, 1)
+    }
+
+    /// One latency model per replica, in replica order.
+    pub fn latency_models(&self) -> Vec<LatencyModel> {
+        (0..self.replicas)
+            .map(|_| LatencyModel::new(self.model.clone(), self.cluster))
+            .collect()
+    }
+
+    /// Total GPU count across all replicas.
+    pub fn total_gpus(&self) -> u32 {
+        self.cluster.count * self.replicas as u32
+    }
+
+    /// Aggregate KV-pool bytes across all replicas (each replica holds its
+    /// own weights, so the pool does not grow superlinearly).
+    pub fn total_kv_pool_bytes(&self) -> u64 {
+        self.cluster.kv_pool_bytes(&self.model) * self.replicas as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +199,20 @@ mod tests {
         let two = GpuCluster::dual_a40();
         assert!((two.effective_flops() / one.effective_flops() - 2.0).abs() < 1e-9);
         assert!((two.effective_bw() / one.effective_bw() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_aggregates_replicas() {
+        let fleet = FleetSpec::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40(), 4);
+        assert_eq!(fleet.total_gpus(), 4);
+        assert_eq!(fleet.latency_models().len(), 4);
+        let one = FleetSpec::single(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        assert_eq!(fleet.total_kv_pool_bytes(), one.total_kv_pool_bytes() * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replica_fleet_is_rejected() {
+        let _ = FleetSpec::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40(), 0);
     }
 }

@@ -14,13 +14,15 @@
 //! * [`vectordb`] — flat-L2 / IVF vector indexes and the chunk store.
 //! * [`llm`] — model specs, the A40 latency model, and the fact-extraction
 //!   generation (quality) model.
-//! * [`engine`] — vLLM-like continuous-batching discrete-event engine.
+//! * [`engine`] — vLLM-like continuous-batching discrete-event engine, plus
+//!   the multi-replica `Cluster` with pluggable routing.
 //! * [`datasets`] — the four synthetic evaluation workloads.
 //! * [`profiler`] — the simulated LLM query profiler with confidence and
 //!   feedback.
 //! * [`metrics`] — token F1, latency/throughput summaries, dollar cost.
-//! * [`core`] — the METIS controller, Algorithm 1, the best-fit joint
-//!   scheduler, the baselines, and the workload runner.
+//! * [`core`] — Algorithm 1, the best-fit joint scheduler, the trait-based
+//!   configuration controllers (METIS and the baselines), and the
+//!   system-agnostic workload runner.
 //!
 //! ## Quickstart
 //!
@@ -53,15 +55,17 @@ pub use metis_vectordb as vectordb;
 pub mod prelude {
     pub use metis_core::{
         choose_config, choose_config_with_slo, map_profile, plan_agentic, plan_synthesis,
-        rerank_hits, rewrite_query, AgenticInputs, BestFitInputs, ExtKnobs, LatencySlo,
-        MetisOptions, PickPolicy, PrunedSpace, RagConfig, RunConfig, RunResult, Runner,
+        rerank_hits, rewrite_query, AgenticInputs, BestFitInputs, ConfigController, ExtKnobs,
+        LatencySlo, MetisOptions, PickPolicy, PrunedSpace, RagConfig, RunConfig, RunResult, Runner,
         SynthesisMethod, SystemKind,
     };
     pub use metis_datasets::{
         build_dataset, poisson_arrivals, Complexity, Dataset, DatasetKind, QuerySpec, TrueProfile,
     };
-    pub use metis_engine::{Engine, EngineConfig, SchedPolicy};
-    pub use metis_llm::{GenModelConfig, GenerationModel, GpuCluster, LatencyModel, ModelSpec};
+    pub use metis_engine::{Cluster, Engine, EngineConfig, ReplicaId, RouterPolicy, SchedPolicy};
+    pub use metis_llm::{
+        FleetSpec, GenModelConfig, GenerationModel, GpuCluster, LatencyModel, ModelSpec,
+    };
     pub use metis_metrics::{f1_score, CostModel, LatencySummary};
     pub use metis_profiler::{EstimatedProfile, LlmProfiler, ProfilerKind};
 }

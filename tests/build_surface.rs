@@ -69,6 +69,51 @@ fn every_dataset_roundtrips_through_every_system() {
     }
 }
 
+/// Every `(dataset, system)` pair also round-trips through a 2-replica
+/// cluster with KV-aware routing: nothing is dropped or double-counted —
+/// the per-replica completion counts sum to the single-replica query count
+/// — and every query records the replica that served it.
+#[test]
+fn every_system_roundtrips_through_a_two_replica_cluster() {
+    for kind in DatasetKind::all() {
+        let dataset = build_dataset(kind, QUERIES, SEED);
+        for (name, system) in systems() {
+            let arrivals = poisson_arrivals(SEED ^ 0xBEEF, 0.5, QUERIES);
+            let cfg = RunConfig::standard(system, arrivals, SEED)
+                .replicated(2, RouterPolicy::LeastKvLoad);
+            let run = Runner::new(&dataset, cfg).run();
+
+            assert_eq!(run.replicas, 2, "{kind:?}/{name}: replica count");
+            assert_eq!(
+                run.per_query.len(),
+                QUERIES,
+                "{kind:?}/{name}: dropped queries"
+            );
+            let by_replica = run.completions_by_replica();
+            assert!(by_replica.len() <= 2, "{kind:?}/{name}: phantom replica");
+            assert_eq!(
+                by_replica.iter().sum::<usize>(),
+                QUERIES,
+                "{kind:?}/{name}: per-replica completions must sum to the \
+                 single-replica query count (got {by_replica:?})"
+            );
+            assert!(
+                run.per_query.iter().all(|q| q.replica < 2),
+                "{kind:?}/{name}: out-of-range replica id"
+            );
+            let f1 = run.mean_f1();
+            assert!(
+                (0.0..=1.0).contains(&f1),
+                "{kind:?}/{name}: F1 out of range: {f1}"
+            );
+            assert!(
+                run.mean_delay_secs().is_finite() && run.mean_delay_secs() > 0.0,
+                "{kind:?}/{name}: bad delay"
+            );
+        }
+    }
+}
+
 /// Runs are deterministic in the seed for every system, which is what makes
 /// the pinned-workspace reproducibility guarantee meaningful end to end.
 #[test]
