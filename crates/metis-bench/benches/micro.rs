@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use metis_embed::{Embedder, HashEmbed};
-use metis_engine::{Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, RequestId, Stage};
+use metis_engine::{
+    Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, Priority, RequestId, Stage,
+};
 use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
 use metis_metrics::f1_score;
 use metis_text::{AnnotatedText, Chunker, ChunkerConfig, TokenId, Tokenizer};
@@ -79,6 +81,7 @@ fn bench_engine(c: &mut Criterion) {
                         output_tokens: 30,
                         cached_prompt_tokens: 0,
                         arrival: i * 50_000_000,
+                        priority: Priority::Standard,
                     });
                 }
                 e

@@ -20,7 +20,9 @@ use metis_core::{
     MetisOptions, RagConfig, RunConfig, RunResult, Runner, SynthesisPlan, SystemKind,
 };
 use metis_datasets::{build_dataset, poisson_arrivals, Dataset, DatasetKind};
-use metis_engine::{Engine, EngineConfig, GroupId, LlmRequest, RequestId, RouterPolicy, Stage};
+use metis_engine::{
+    Engine, EngineConfig, GroupId, LlmRequest, Priority, RequestId, RouterPolicy, Stage,
+};
 use metis_llm::{nanos_to_secs, GpuCluster, LatencyModel, ModelSpec, Nanos};
 use metis_profiler::ProfilerKind;
 
@@ -60,7 +62,26 @@ pub fn run_replicated(
     router: RouterPolicy,
 ) -> RunResult {
     let arrivals = poisson_arrivals(seed ^ 0xA11, qps, dataset.queries.len());
-    let cfg = RunConfig::standard(system, arrivals, seed).replicated(replicas, router);
+    run_with_arrivals(dataset, system, arrivals, seed, replicas, router, None)
+}
+
+/// Runs `system` over explicit arrival times across `replicas` replicas,
+/// with an optional per-replica KV working-memory cap in bytes — the
+/// driver for arrival-process sweeps (bursty/heavy-tailed workloads) where
+/// the process, not a Poisson rate, defines the load.
+pub fn run_with_arrivals(
+    dataset: &Dataset,
+    system: SystemKind,
+    arrivals: Vec<Nanos>,
+    seed: u64,
+    replicas: usize,
+    router: RouterPolicy,
+    kv_cap_bytes: Option<u64>,
+) -> RunResult {
+    let mut cfg = RunConfig::standard(system, arrivals, seed).replicated(replicas, router);
+    if kv_cap_bytes.is_some() {
+        cfg.engine.kv_pool_bytes_cap = kv_cap_bytes;
+    }
     Runner::new(dataset, cfg).run()
 }
 
@@ -251,6 +272,7 @@ pub fn isolated_delay(plan: &SynthesisPlan, model: ModelSpec, cluster: GpuCluste
             output_tokens: c.output_tokens,
             cached_prompt_tokens: 0,
             arrival: 0,
+            priority: Priority::Standard,
         });
     }
     let done = engine.run_until_idle();
@@ -264,6 +286,7 @@ pub fn isolated_delay(plan: &SynthesisPlan, model: ModelSpec, cluster: GpuCluste
             output_tokens: reduce.output_tokens,
             cached_prompt_tokens: 0,
             arrival: finish,
+            priority: Priority::Standard,
         });
         finish = engine
             .run_until_idle()

@@ -1,7 +1,13 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
-use metis_datasets::DatasetKind;
+use metis_datasets::{ArrivalProcess, DatasetKind};
 use metis_engine::RouterPolicy;
+
+/// Default burst density for `--arrivals burst` (overridden by
+/// `--burst-factor`).
+pub const DEFAULT_BURST_FACTOR: f64 = 4.0;
+/// Default inter-arrival CV for `--arrivals gamma`.
+pub const DEFAULT_GAMMA_CV: f64 = 2.0;
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,6 +45,11 @@ pub struct RunArgs {
     pub replicas: usize,
     /// How queries are dispatched across replicas.
     pub router: RouterPolicy,
+    /// Arrival process shaping the open-loop workload (ignored in closed
+    /// loop).
+    pub arrivals: ArrivalProcess,
+    /// Derive each query's scheduling priority from its SLO tier.
+    pub priority_from_slo: bool,
 }
 
 /// Which serving system to run.
@@ -67,6 +78,8 @@ impl Default for RunArgs {
             prefix_cache_gib: None,
             replicas: 1,
             router: RouterPolicy::RoundRobin,
+            arrivals: ArrivalProcess::Poisson,
+            priority_from_slo: false,
         }
     }
 }
@@ -92,6 +105,9 @@ OPTIONS:
   --prefix-cache-gb <GIB>  enable chunk-KV reuse
   --replicas <N>           engine replicas to serve across (default 1)
   --router <round-robin|least-kv>  replica dispatch policy (default round-robin)
+  --arrivals <poisson|burst|gamma|diurnal>  arrival process (default poisson)
+  --burst-factor <F>       burst density for --arrivals burst (default 4)
+  --priority-from-slo      schedule each query at its SLO tier's priority
 ";
 
 /// Parses a dataset name.
@@ -111,6 +127,21 @@ pub fn parse_router(s: &str) -> Result<RouterPolicy, String> {
         "round-robin" | "rr" => Ok(RouterPolicy::RoundRobin),
         "least-kv" | "least-kv-load" => Ok(RouterPolicy::LeastKvLoad),
         other => Err(format!("unknown router '{other}'")),
+    }
+}
+
+/// Parses an arrival-process name (factors come from their own flags).
+pub fn parse_arrivals(s: &str) -> Result<ArrivalProcess, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "poisson" => Ok(ArrivalProcess::Poisson),
+        "burst" => Ok(ArrivalProcess::Burst {
+            factor: DEFAULT_BURST_FACTOR,
+        }),
+        "gamma" => Ok(ArrivalProcess::Gamma {
+            cv: DEFAULT_GAMMA_CV,
+        }),
+        "diurnal" => Ok(ArrivalProcess::Diurnal),
+        other => Err(format!("unknown arrival process '{other}'")),
     }
 }
 
@@ -152,6 +183,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Ok(Command::Help);
     };
     let mut run = RunArgs::default();
+    let mut burst_factor: Option<f64> = None;
     let mut i = 1;
     let next = |i: &mut usize| -> Result<&str, String> {
         *i += 1;
@@ -199,6 +231,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map_err(|e| format!("bad --replicas: {e}"))?
             }
             "--router" => run.router = parse_router(next(&mut i)?)?,
+            "--arrivals" => run.arrivals = parse_arrivals(next(&mut i)?)?,
+            "--burst-factor" => {
+                let f: f64 = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --burst-factor: {e}"))?;
+                if !f.is_finite() || f < 1.0 {
+                    return Err(format!("--burst-factor must be >= 1, got {f}"));
+                }
+                burst_factor = Some(f);
+            }
+            "--priority-from-slo" => run.priority_from_slo = true,
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -207,7 +250,27 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Err("--queries must be positive".into());
     }
     if run.replicas == 0 {
+        // `Cluster::new` would otherwise panic deep inside the run.
         return Err("--replicas must be positive".into());
+    }
+    // `--burst-factor` composes with `--arrivals burst` in either flag
+    // order; anywhere else it would be silently ignored.
+    if let Some(f) = burst_factor {
+        match &mut run.arrivals {
+            ArrivalProcess::Burst { factor } => *factor = f,
+            other => {
+                return Err(format!(
+                    "--burst-factor requires --arrivals burst (got {})",
+                    other.name()
+                ))
+            }
+        }
+    }
+    // Only the METIS controller derives priorities from SLO tiers; on any
+    // other system the flag would be silently ignored while the run report
+    // still printed a per-class breakdown.
+    if run.priority_from_slo && run.system != SystemChoice::Metis {
+        return Err("--priority-from-slo requires --system metis".into());
     }
     match sub.as_str() {
         "run" => Ok(Command::Run(run)),
@@ -314,9 +377,60 @@ mod tests {
         // Malformed replica/router values carry a descriptive error.
         let err = parse(&sv(&["run", "--replicas", "two"])).unwrap_err();
         assert!(err.contains("bad --replicas"), "got: {err}");
-        assert!(parse(&sv(&["run", "--replicas", "0"])).is_err());
         let err = parse(&sv(&["run", "--router", "hash-ring"])).unwrap_err();
         assert!(err.contains("unknown router"), "got: {err}");
+    }
+
+    #[test]
+    fn zero_replicas_is_a_parse_error_not_a_deep_panic() {
+        // `Cluster::new` panics on an empty replica list; the CLI must
+        // refuse the value up front with a descriptive message instead.
+        let err = parse_run(&sv(&["run", "--replicas", "0"])).unwrap_err();
+        assert!(err.contains("--replicas must be positive"), "got: {err}");
+        // The check applies to every subcommand that takes the flag.
+        let err = parse(&sv(&["sweep", "--replicas", "0"])).unwrap_err();
+        assert!(err.contains("--replicas must be positive"), "got: {err}");
+    }
+
+    #[test]
+    fn arrival_process_flags_parse() -> Result<(), String> {
+        let a = parse_run(&sv(&["run"]))?;
+        assert_eq!(a.arrivals, ArrivalProcess::Poisson);
+        assert!(!a.priority_from_slo);
+        let a = parse_run(&sv(&["run", "--arrivals", "burst"]))?;
+        assert_eq!(a.arrivals, ArrivalProcess::Burst { factor: 4.0 });
+        // --burst-factor composes in either flag order.
+        let a = parse_run(&sv(&["run", "--arrivals", "burst", "--burst-factor", "8"]))?;
+        assert_eq!(a.arrivals, ArrivalProcess::Burst { factor: 8.0 });
+        let a = parse_run(&sv(&["run", "--burst-factor", "6", "--arrivals", "burst"]))?;
+        assert_eq!(a.arrivals, ArrivalProcess::Burst { factor: 6.0 });
+        let a = parse_run(&sv(&["run", "--arrivals", "gamma"]))?;
+        assert_eq!(a.arrivals, ArrivalProcess::Gamma { cv: 2.0 });
+        let a = parse_run(&sv(&[
+            "run",
+            "--arrivals",
+            "diurnal",
+            "--priority-from-slo",
+        ]))?;
+        assert_eq!(a.arrivals, ArrivalProcess::Diurnal);
+        assert!(a.priority_from_slo);
+        Ok(())
+    }
+
+    #[test]
+    fn arrival_flag_misuse_is_rejected() {
+        let err = parse(&sv(&["run", "--arrivals", "lunar"])).unwrap_err();
+        assert!(err.contains("unknown arrival process"), "got: {err}");
+        let err = parse(&sv(&["run", "--burst-factor", "0.5"])).unwrap_err();
+        assert!(err.contains("must be >= 1"), "got: {err}");
+        let err = parse(&sv(&["run", "--burst-factor", "4"])).unwrap_err();
+        assert!(err.contains("requires --arrivals burst"), "got: {err}");
+        let err = parse(&sv(&["run", "--arrivals", "gamma", "--burst-factor", "4"])).unwrap_err();
+        assert!(err.contains("requires --arrivals burst"), "got: {err}");
+        // Fixed-config systems never assign priorities: the flag would be
+        // silently inert, so it is rejected instead.
+        let err = parse(&sv(&["run", "--system", "stuff:4", "--priority-from-slo"])).unwrap_err();
+        assert!(err.contains("requires --system metis"), "got: {err}");
     }
 
     #[test]

@@ -14,7 +14,8 @@ use metis_core::{
     fixed_config_grid, map_profile, MetisOptions, RagConfig, RunConfig, RunResult, Runner,
     SystemKind,
 };
-use metis_datasets::{build_dataset, poisson_arrivals};
+use metis_datasets::build_dataset;
+use metis_engine::Priority;
 use metis_llm::{GpuCluster, ModelSpec};
 use metis_profiler::{LlmProfiler, ProfilerKind};
 
@@ -46,11 +47,12 @@ fn main() -> ExitCode {
     }
 }
 
-fn system_of(choice: SystemChoice, slo: Option<f64>) -> SystemKind {
+fn system_of(choice: SystemChoice, slo: Option<f64>, priority_from_slo: bool) -> SystemKind {
     match choice {
         SystemChoice::Metis => {
             let mut opts = MetisOptions::full();
             opts.slo_secs = slo;
+            opts.priority_from_slo = priority_from_slo;
             SystemKind::Metis(opts)
         }
         SystemChoice::AdaptiveRag => SystemKind::AdaptiveRag {
@@ -71,7 +73,7 @@ fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
     let arrivals = if closed_loop {
         vec![0; a.queries]
     } else {
-        poisson_arrivals(a.seed ^ 0xA11, a.qps, a.queries)
+        a.arrivals.arrivals(a.seed ^ 0xA11, a.qps, a.queries)
     };
     let mut cfg = RunConfig::standard(system, arrivals, a.seed);
     cfg.closed_loop = closed_loop;
@@ -107,7 +109,7 @@ fn cmd_run(a: &RunArgs) {
         if a.qps <= 0.0 {
             "closed loop".to_string()
         } else {
-            format!("Poisson λ = {}/s", a.qps)
+            format!("{} arrivals, λ = {}/s", a.arrivals.name(), a.qps)
         },
         if a.replicas > 1 {
             format!(", {} replicas ({})", a.replicas, a.router.name())
@@ -115,10 +117,30 @@ fn cmd_run(a: &RunArgs) {
             String::new()
         }
     );
-    let r = run_once(a, system_of(a.system, a.slo));
+    let r = run_once(a, system_of(a.system, a.slo, a.priority_from_slo));
     print_result(&format!("{:?}", a.system), &r);
     if a.prefix_cache_gib.is_some() {
         println!("prefix-cache hit rate: {:.1}%", r.prefix_hit_rate * 100.0);
+    }
+    if r.preemptions > 0 {
+        println!("preemptions: {}", r.preemptions);
+    }
+    if a.priority_from_slo {
+        for p in Priority::all() {
+            let lat = r.latency_of(p);
+            let wait = r.queue_wait(Some(p));
+            if lat.is_empty() {
+                continue;
+            }
+            println!(
+                "  {:<12} {:>3} queries  delay p50 {:>6.2}s p99 {:>6.2}s  queue-wait p99 {:>6.2}s",
+                p.name(),
+                lat.len(),
+                lat.p50(),
+                lat.p99(),
+                wait.p99(),
+            );
+        }
     }
     if a.replicas > 1 {
         let counts = r.completions_by_replica();

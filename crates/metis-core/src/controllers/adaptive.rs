@@ -46,6 +46,7 @@ impl ConfigController for AdaptiveRagController {
             estimate: Some(out.estimate),
             profiler_nanos: out.latency,
             cost_usd: out.cost_usd,
+            ..ProfileOutcome::skipped()
         }
     }
 
@@ -75,6 +76,7 @@ mod tests {
                 space: outcome.space.as_ref(),
                 estimate: outcome.estimate.as_ref(),
                 free_kv_tokens: free,
+                preemption_pressure: 0.0,
                 chunk_size: 512,
                 query_tokens: 20,
                 latency: &latency,

@@ -61,6 +61,7 @@ mod tests {
                 space: None,
                 estimate: None,
                 free_kv_tokens: free,
+                preemption_pressure: 0.0,
                 chunk_size: 512,
                 query_tokens: 30,
                 latency: &latency,

@@ -2,7 +2,7 @@
 //! configuration/scheduling (§4–5).
 
 use metis_datasets::QuerySpec;
-use metis_engine::SchedPolicy;
+use metis_engine::{Priority, SchedPolicy};
 use metis_profiler::{LlmProfiler, ProfilerKind};
 use metis_vectordb::DbMetadata;
 
@@ -10,12 +10,20 @@ use crate::bestfit::{choose_config, BestFitInputs};
 use crate::config::{PrunedSpace, SynthesisMethod};
 use crate::controllers::{ConfigController, Decision, DecisionContext, ProfileOutcome};
 use crate::mapping::{map_profile, ProfileHistory};
-use crate::slo::{choose_config_with_slo, LatencySlo};
+use crate::slo::{choose_config_with_slo, LatencySlo, SloTier};
 
 /// Confidence threshold below which METIS distrusts the profile (§5).
 pub const CONFIDENCE_THRESHOLD: f64 = 0.90;
 /// Expected final-answer output tokens used for memory sizing.
 const EXPECTED_OUTPUT: u64 = 48;
+/// Base fraction of free KV memory held back by the best-fit (§4.3's 2%
+/// safety buffer).
+const BASE_BUFFER_FRAC: f64 = 0.02;
+/// Additional buffer at full preemption pressure (one preemption per
+/// submission): when the scheduler is evicting admitted work, the free-KV
+/// snapshot overstates what a configuration can safely claim, so best-fit
+/// backs off proportionally.
+const PRESSURE_BUFFER_FRAC: f64 = 0.10;
 
 /// How METIS picks from the pruned space (ablation axis, Fig. 12).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,6 +43,14 @@ pub struct MetisOptions {
     pub pick: PickPolicy,
     /// Parrot-style gang scheduling of a query's calls.
     pub gang: bool,
+    /// Preemptive SLO-class-aware scheduling: rank admission by priority
+    /// (keeping the gang keys within a class) and evict lower-class running
+    /// work under KV pressure instead of head-of-line blocking. Subsumes
+    /// `gang` when set.
+    pub preemptive: bool,
+    /// Derive each query's scheduling [`Priority`] from its SLO tier
+    /// ([`SloTier::for_query`]); off → every query is `Standard`.
+    pub priority_from_slo: bool,
     /// Tune the synthesis method (off → always `stuff`).
     pub tune_method: bool,
     /// Tune `intermediate_length` (off → fixed 100).
@@ -50,12 +66,17 @@ pub struct MetisOptions {
 }
 
 impl MetisOptions {
-    /// Full METIS as evaluated in the paper's headline results.
+    /// Full METIS as evaluated in the paper's headline results, plus the
+    /// preemptive scheduler (which strictly extends the paper's gang
+    /// scheduling; see the README's scheduler section for the behavior
+    /// change this introduces relative to pre-preemption benches).
     pub fn full() -> Self {
         Self {
             profiler: ProfilerKind::Gpt4o,
             pick: PickPolicy::BestFit,
             gang: true,
+            preemptive: true,
+            priority_from_slo: false,
             tune_method: true,
             tune_ilen: true,
             feedback: false,
@@ -110,7 +131,9 @@ impl ConfigController for MetisController {
     }
 
     fn sched_policy(&self) -> SchedPolicy {
-        if self.opts.gang {
+        if self.opts.preemptive {
+            SchedPolicy::Preemptive
+        } else if self.opts.gang {
             SchedPolicy::GangByGroup
         } else {
             SchedPolicy::Fcfs
@@ -141,6 +164,11 @@ impl ConfigController for MetisController {
             estimate: Some(out.estimate),
             profiler_nanos: out.latency,
             cost_usd: out.cost_usd,
+            priority: if self.opts.priority_from_slo {
+                SloTier::for_query(query).priority()
+            } else {
+                Priority::Standard
+            },
         }
     }
 
@@ -158,7 +186,11 @@ impl ConfigController for MetisController {
                     chunk_size: ctx.chunk_size,
                     query_tokens: ctx.query_tokens,
                     expected_output: EXPECTED_OUTPUT,
-                    buffer_frac: 0.02,
+                    // Preemption pressure widens the §4.3 safety buffer:
+                    // when the routed replica is evicting admitted work,
+                    // its free-KV reading is optimistic.
+                    buffer_frac: BASE_BUFFER_FRAC
+                        + PRESSURE_BUFFER_FRAC * ctx.preemption_pressure.clamp(0.0, 1.0),
                 };
                 let chosen = match self.opts.slo_secs {
                     Some(budget) => {
@@ -223,6 +255,7 @@ mod tests {
                 space: outcome.space.as_ref(),
                 estimate: outcome.estimate.as_ref(),
                 free_kv_tokens: free,
+                preemption_pressure: 0.0,
                 chunk_size: 512,
                 query_tokens: 24,
                 latency: &latency,
@@ -235,6 +268,60 @@ mod tests {
         assert!(!roomy.fallback);
         assert!(tight.fallback);
         assert!(tight.config.num_chunks <= roomy.config.num_chunks);
+    }
+
+    #[test]
+    fn preemption_pressure_widens_the_safety_buffer() {
+        let d = metis_datasets::build_dataset(metis_datasets::DatasetKind::Qmsum, 4, 2);
+        let mut c = MetisController::new(MetisOptions::full());
+        let outcome = c.on_profile(query(&d), &metadata(), 7);
+        let latency = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let decide = |c: &mut MetisController, pressure: f64| {
+            c.decide(&DecisionContext {
+                space: outcome.space.as_ref(),
+                estimate: outcome.estimate.as_ref(),
+                // Tight enough that the buffer width changes what fits.
+                free_kv_tokens: 30_000,
+                preemption_pressure: pressure,
+                chunk_size: 512,
+                query_tokens: 24,
+                latency: &latency,
+            })
+        };
+        let calm = decide(&mut c, 0.0);
+        let stressed = decide(&mut c, 1.0);
+        let demand = |cfg: &crate::config::RagConfig| {
+            crate::memory::PlanDemand::estimate(cfg, 512, 24, 48).sched_tokens
+        };
+        assert!(
+            demand(&stressed.config) <= demand(&calm.config),
+            "pressure must never grow the footprint: {:?} vs {:?}",
+            stressed.config,
+            calm.config
+        );
+    }
+
+    #[test]
+    fn slo_tier_priorities_flow_from_profiles() {
+        let d = metis_datasets::build_dataset(metis_datasets::DatasetKind::Musique, 24, 11);
+        let mut opts = MetisOptions::full();
+        opts.priority_from_slo = true;
+        let mut c = MetisController::new(opts);
+        let mut seen = std::collections::HashSet::new();
+        for q in &d.queries {
+            let outcome = c.on_profile(q, &metadata(), 7);
+            assert_eq!(outcome.priority, SloTier::for_query(q).priority());
+            seen.insert(outcome.priority);
+        }
+        assert!(seen.len() >= 2, "Musique should mix tiers, got {seen:?}");
+        // Off by default: every query serves at Standard.
+        let mut plain = MetisController::new(MetisOptions::full());
+        for q in &d.queries {
+            assert_eq!(
+                plain.on_profile(q, &metadata(), 7).priority,
+                Priority::Standard
+            );
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use metis::{MetisController, MetisOptions, PickPolicy, CONFIDENCE_THRESHOLD}
 pub use parrot::ParrotController;
 
 use metis_datasets::QuerySpec;
-use metis_engine::SchedPolicy;
+use metis_engine::{Priority, SchedPolicy};
 use metis_llm::{LatencyModel, Nanos};
 use metis_profiler::{EstimatedProfile, ProfilerKind};
 use metis_vectordb::DbMetadata;
@@ -51,6 +51,10 @@ pub struct ProfileOutcome {
     pub profiler_nanos: Nanos,
     /// Profiler API dollars spent on this query.
     pub cost_usd: f64,
+    /// Scheduling class for this query's engine calls (derived from the
+    /// query's SLO tier by priority-aware controllers;
+    /// [`Priority::Standard`] otherwise).
+    pub priority: Priority,
 }
 
 impl ProfileOutcome {
@@ -61,6 +65,7 @@ impl ProfileOutcome {
             estimate: None,
             profiler_nanos: 0,
             cost_usd: 0.0,
+            priority: Priority::Standard,
         }
     }
 }
@@ -77,6 +82,12 @@ pub struct DecisionContext<'a> {
     pub estimate: Option<&'a EstimatedProfile>,
     /// Free KV-cache tokens on the replica this query was routed to.
     pub free_kv_tokens: u64,
+    /// Preemptions per submitted request on that replica so far — the
+    /// scheduler's back-pressure signal. A non-zero value means the free-KV
+    /// snapshot overstates what a configuration can safely claim (admitted
+    /// work is being evicted), so memory-aware controllers should size more
+    /// conservatively. 0 under non-preemptive policies.
+    pub preemption_pressure: f64,
     /// Tokens per retrieval chunk.
     pub chunk_size: u64,
     /// Query length in tokens.
@@ -177,7 +188,7 @@ mod tests {
             (
                 SystemKind::Metis(MetisOptions::full()),
                 "metis",
-                SchedPolicy::GangByGroup,
+                SchedPolicy::Preemptive,
             ),
             (
                 SystemKind::VllmFixed {
@@ -212,9 +223,25 @@ mod tests {
     fn gangless_metis_runs_fcfs() {
         let mut opts = MetisOptions::full();
         opts.gang = false;
+        opts.preemptive = false;
         assert_eq!(
             SystemKind::Metis(opts).controller().sched_policy(),
             SchedPolicy::Fcfs
+        );
+        // Preemptive subsumes the gang keys: it wins when both are set.
+        let mut both = MetisOptions::full();
+        both.gang = true;
+        both.preemptive = true;
+        assert_eq!(
+            SystemKind::Metis(both).controller().sched_policy(),
+            SchedPolicy::Preemptive
+        );
+        // The paper's plain gang configuration is still expressible.
+        let mut gang_only = MetisOptions::full();
+        gang_only.preemptive = false;
+        assert_eq!(
+            SystemKind::Metis(gang_only).controller().sched_policy(),
+            SchedPolicy::GangByGroup
         );
     }
 }

@@ -49,5 +49,5 @@ pub use extensions::{rerank_hits, rewrite_query, ExtKnobs};
 pub use mapping::{map_profile, ProfileHistory};
 pub use memory::PlanDemand;
 pub use runner::{QueryResult, RunConfig, RunResult, Runner};
-pub use slo::{choose_config_with_slo, estimate_exec_secs, LatencySlo};
+pub use slo::{choose_config_with_slo, estimate_exec_secs, LatencySlo, SloTier};
 pub use synthesis::{plan_synthesis, PlannedCall, SynthesisPlan};

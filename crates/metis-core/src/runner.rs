@@ -20,8 +20,8 @@ use std::collections::{BinaryHeap, HashMap};
 
 use metis_datasets::Dataset;
 use metis_engine::{
-    Cluster, Completion, EngineConfig, GroupId, LlmRequest, PrefixCache, ReplicaId, RequestId,
-    RouterPolicy, Stage,
+    Cluster, Completion, EngineConfig, GroupId, LlmRequest, PrefixCache, Priority, ReplicaId,
+    RequestId, RouterPolicy, Stage,
 };
 use metis_llm::{
     nanos_to_secs, secs_to_nanos, FleetSpec, GenModelConfig, GenerationModel, GpuCluster,
@@ -120,6 +120,12 @@ pub struct QueryResult {
     pub arrival_secs: f64,
     /// Completion time in seconds.
     pub finish_secs: f64,
+    /// Worst engine queueing delay over the query's calls (submit → last
+    /// admission), in seconds — what SLO-class scheduling optimizes for
+    /// high-priority traffic. 0 in API-serving mode (no local queue).
+    pub queue_wait_secs: f64,
+    /// The scheduling class the query's calls ran at.
+    pub priority: Priority,
 }
 
 /// Aggregate outcome of one run.
@@ -137,6 +143,8 @@ pub struct RunResult {
     pub makespan_secs: f64,
     /// Chunk-KV prefix-cache hit rate (0 when the cache is disabled).
     pub prefix_hit_rate: f64,
+    /// Preemptions across all replicas (0 under non-preemptive policies).
+    pub preemptions: u64,
 }
 
 impl RunResult {
@@ -156,6 +164,30 @@ impl RunResult {
     /// Full latency distribution.
     pub fn latency(&self) -> LatencySummary {
         LatencySummary::new(self.per_query.iter().map(|q| q.delay_secs).collect())
+    }
+
+    /// End-to-end delay distribution of one scheduling class.
+    pub fn latency_of(&self, priority: Priority) -> LatencySummary {
+        LatencySummary::new(
+            self.per_query
+                .iter()
+                .filter(|q| q.priority == priority)
+                .map(|q| q.delay_secs)
+                .collect(),
+        )
+    }
+
+    /// Engine queueing-delay distribution, optionally restricted to one
+    /// scheduling class — the figure of merit for preemptive scheduling
+    /// (high-priority waits should stay flat under bursts).
+    pub fn queue_wait(&self, priority: Option<Priority>) -> LatencySummary {
+        LatencySummary::new(
+            self.per_query
+                .iter()
+                .filter(|q| priority.is_none_or(|p| q.priority == p))
+                .map(|q| q.queue_wait_secs)
+                .collect(),
+        )
     }
 
     /// Throughput over the run.
@@ -222,6 +254,9 @@ struct ActiveQuery {
     reduce_submitted: bool,
     fallback: bool,
     synthetic: bool,
+    priority: Priority,
+    /// Worst (submit → admission) delay seen across the query's calls.
+    queue_wait: Nanos,
 }
 
 /// Mutable bookkeeping shared by the event handlers: the set of in-flight
@@ -452,6 +487,7 @@ impl<'a> Runner<'a> {
             gpu_busy_secs: nanos_to_secs(cluster.busy_nanos()),
             api_cost_usd: api_cost,
             makespan_secs,
+            preemptions: cluster.total_preemptions(),
             prefix_hit_rate: prefix_caches.map_or(0.0, |caches| {
                 let (hits, lookups) = caches
                     .iter()
@@ -500,6 +536,11 @@ impl<'a> Runner<'a> {
             space: pending.outcome.space.as_ref(),
             estimate: pending.outcome.estimate.as_ref(),
             free_kv_tokens: cluster.free_kv_tokens(replica),
+            preemption_pressure: if api_mode {
+                0.0
+            } else {
+                cluster.replica(replica).stats().preemption_pressure()
+            },
             chunk_size,
             query_tokens: query.tokens.len() as u64,
             latency,
@@ -551,6 +592,8 @@ impl<'a> Runner<'a> {
                 replica: 0,
                 arrival_secs: nanos_to_secs(arrival),
                 finish_secs: nanos_to_secs(finish),
+                queue_wait_secs: 0.0,
+                priority: pending.outcome.priority,
             });
             if self.cfg.closed_loop && q + 1 < self.dataset.queries.len() {
                 push_event(finish, EventKind::Profile(q + 1));
@@ -608,6 +651,7 @@ impl<'a> Runner<'a> {
                 now: t,
                 fallback,
                 synthetic: false,
+                priority: pending.outcome.priority,
             },
         );
 
@@ -640,6 +684,9 @@ impl<'a> Runner<'a> {
                     now: t,
                     fallback: false,
                     synthetic: true,
+                    // Golden feedback runs are background measurement: they
+                    // yield to real traffic under a preemptive scheduler.
+                    priority: Priority::Batch,
                 },
             );
         }
@@ -664,6 +711,7 @@ impl<'a> Runner<'a> {
                     output_tokens: c.output_tokens,
                     cached_prompt_tokens: wave.cached_per_call.get(ci).copied().unwrap_or(0),
                     arrival: wave.now,
+                    priority: wave.priority,
                 },
             );
             flight.req_to_active.insert(id, idx);
@@ -678,6 +726,8 @@ impl<'a> Runner<'a> {
             reduce_submitted: false,
             fallback: wave.fallback,
             synthetic: wave.synthetic,
+            priority: wave.priority,
+            queue_wait: 0,
         });
     }
 
@@ -697,6 +747,10 @@ impl<'a> Runner<'a> {
             flight.req_to_active.remove(&c.id);
             let a = &mut flight.active[idx];
             a.remaining = a.remaining.saturating_sub(1);
+            // The query's queueing delay is its worst call's wait
+            // (submit → last admission; re-admissions after preemption
+            // count — that wait is real).
+            a.queue_wait = a.queue_wait.max(c.admitted.saturating_sub(c.arrival));
             if a.remaining > 0 {
                 continue;
             }
@@ -704,6 +758,7 @@ impl<'a> Runner<'a> {
                 // All maps done: submit the reduce call now, to the same
                 // replica (the query's KV and gang stay on one backend).
                 let replica = a.replica;
+                let priority = a.priority;
                 a.reduce_submitted = true;
                 a.remaining = 1;
                 let id = flight.fresh_request();
@@ -717,6 +772,7 @@ impl<'a> Runner<'a> {
                         output_tokens: reduce.output_tokens,
                         cached_prompt_tokens: 0,
                         arrival: c.finish,
+                        priority,
                     },
                 );
                 flight.req_to_active.insert(id, idx);
@@ -739,6 +795,8 @@ impl<'a> Runner<'a> {
                 replica: c.replica.0,
                 arrival_secs: nanos_to_secs(a.arrival),
                 finish_secs: nanos_to_secs(c.finish),
+                queue_wait_secs: nanos_to_secs(a.queue_wait),
+                priority: a.priority,
             });
             if self.cfg.closed_loop {
                 let next = flight.results.len();
@@ -763,6 +821,7 @@ struct SubmitWave<'a> {
     now: Nanos,
     fallback: bool,
     synthetic: bool,
+    priority: Priority,
 }
 
 /// Convenience: build Poisson arrivals matching the paper's default workload

@@ -12,6 +12,8 @@
 //! an unloaded GPU (queueing can still push a query past its budget — an SLO
 //! here is a budget the scheduler respects, not a hard real-time guarantee).
 
+use metis_datasets::QuerySpec;
+use metis_engine::Priority;
 use metis_llm::{nanos_to_secs, LatencyModel};
 
 use crate::bestfit::{choose_config, BestFitInputs, Chosen};
@@ -26,6 +28,62 @@ impl LatencySlo {
     /// Returns `true` when `estimate_secs` fits the budget.
     pub fn admits(&self, estimate_secs: f64) -> bool {
         estimate_secs <= self.0
+    }
+}
+
+/// Context-token boundary below which a query is an interactive short
+/// answer (Table 1: Squad-scale inputs).
+const INTERACTIVE_MAX_CONTEXT: usize = 2_048;
+/// Context-token boundary above which a query is document-scale batch work
+/// (Table 1: QMSUM-scale inputs).
+const STANDARD_MAX_CONTEXT: usize = 8_192;
+
+/// A query's SLO tier: the latency class its user contract puts it in,
+/// which the serving stack turns into a scheduling [`Priority`].
+///
+/// Tiers follow the Table 1 input scales: short single-hop QA is what a
+/// user is actively waiting on; document-level QA sits in the middle; long
+/// summarization is throughput work that tolerates queueing. A run opts in
+/// via `--priority-from-slo` (otherwise every query serves at
+/// [`Priority::Standard`], the pre-priority behavior).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SloTier {
+    /// Tight budget: a user is waiting on this answer.
+    Interactive,
+    /// Ordinary request-response traffic.
+    Standard,
+    /// Long-running summarization/analysis; latency-tolerant.
+    Batch,
+}
+
+impl SloTier {
+    /// Classifies a query by its source-document scale.
+    pub fn for_query(query: &QuerySpec) -> Self {
+        if query.context_tokens <= INTERACTIVE_MAX_CONTEXT {
+            SloTier::Interactive
+        } else if query.context_tokens <= STANDARD_MAX_CONTEXT {
+            SloTier::Standard
+        } else {
+            SloTier::Batch
+        }
+    }
+
+    /// The engine scheduling class this tier maps to.
+    pub fn priority(self) -> Priority {
+        match self {
+            SloTier::Interactive => Priority::Interactive,
+            SloTier::Standard => Priority::Standard,
+            SloTier::Batch => Priority::Batch,
+        }
+    }
+
+    /// Short stable name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloTier::Interactive => "interactive",
+            SloTier::Standard => "standard",
+            SloTier::Batch => "batch",
+        }
     }
 }
 
@@ -191,6 +249,27 @@ mod tests {
             expected_output: 48,
             buffer_frac: 0.02,
         }
+    }
+
+    #[test]
+    fn slo_tiers_track_query_scale() {
+        let d = metis_datasets::build_dataset(metis_datasets::DatasetKind::Musique, 24, 3);
+        let mut seen = std::collections::HashSet::new();
+        for q in &d.queries {
+            let tier = SloTier::for_query(q);
+            seen.insert(tier.name());
+            // The mapping is monotone in context size.
+            if q.context_tokens <= 2_048 {
+                assert_eq!(tier, SloTier::Interactive);
+            } else if q.context_tokens > 8_192 {
+                assert_eq!(tier, SloTier::Batch);
+            }
+            assert_eq!(tier.priority().name(), tier.name());
+        }
+        assert!(
+            seen.len() >= 2,
+            "Musique (1K–5K inputs) should mix tiers, got {seen:?}"
+        );
     }
 
     #[test]

@@ -30,4 +30,7 @@ pub use generator::{build_dataset, build_dataset_with_embedder};
 pub use kinds::{DatasetKind, GenParams};
 pub use profile::{Complexity, TrueProfile};
 pub use query::{QueryId, QuerySpec};
-pub use workload::{poisson_arrivals, sequential_arrivals};
+pub use workload::{
+    burst_arrivals, diurnal_arrivals, gamma_arrivals, poisson_arrivals, sequential_arrivals,
+    ArrivalProcess,
+};

@@ -178,6 +178,12 @@ impl Cluster {
         self.replicas.iter().map(Engine::stats).collect()
     }
 
+    /// Total preemptions across replicas (each replica's count is in
+    /// [`Self::stats`]) — the cluster-level KV-contention signal.
+    pub fn total_preemptions(&self) -> u64 {
+        self.replicas.iter().map(|r| r.stats().preemptions).sum()
+    }
+
     /// The most-lagging replica that still has work to do before virtual
     /// time `t` — the replica the driver should step next to advance the
     /// whole cluster to `t`. `None` when every replica has caught up.
@@ -242,8 +248,9 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{GroupId, RequestId, Stage};
-    use metis_llm::{GpuCluster, ModelSpec};
+    use crate::engine::SchedPolicy;
+    use crate::request::{GroupId, Priority, RequestId, Stage};
+    use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
 
     fn cluster(n: usize, router: RouterPolicy) -> Cluster {
         let fleet = FleetSpec::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40(), n);
@@ -259,6 +266,7 @@ mod tests {
             output_tokens: out,
             cached_prompt_tokens: 0,
             arrival,
+            priority: Priority::Standard,
         }
     }
 
@@ -331,5 +339,43 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn empty_cluster_is_rejected() {
         let _ = Cluster::new(Vec::new(), RouterPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn per_replica_preemption_stats_roll_up() {
+        // Replica 0 is forced into one preemption (small KV pool, batch
+        // work evicted by an interactive arrival); replica 1 stays quiet.
+        let lat = || LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let bytes = 4_096 * lat().model().kv_bytes_per_token();
+        let config = EngineConfig {
+            policy: SchedPolicy::Preemptive,
+            kv_pool_bytes_cap: Some(bytes),
+            ..EngineConfig::default()
+        };
+        let engines = vec![Engine::new(lat(), config), Engine::new(lat(), config)];
+        let mut c = Cluster::new(engines, RouterPolicy::RoundRobin);
+        c.submit(
+            ReplicaId(0),
+            LlmRequest {
+                priority: Priority::Batch,
+                ..req(1, 1, 3_000, 400, 0)
+            },
+        );
+        c.step_replica(ReplicaId(0));
+        let t = c.replica(ReplicaId(0)).now();
+        c.submit(
+            ReplicaId(0),
+            LlmRequest {
+                priority: Priority::Interactive,
+                ..req(2, 2, 2_000, 20, t)
+            },
+        );
+        let done = c.run_until_idle();
+        assert_eq!(done.len(), 2);
+        assert_eq!(c.total_preemptions(), 1);
+        let stats = c.stats();
+        assert_eq!(stats[0].preemptions, 1);
+        assert_eq!(stats[1].preemptions, 0);
+        assert!(stats[0].preemption_pressure() > 0.0);
     }
 }

@@ -1,11 +1,12 @@
 //! The continuous-batching engine.
 
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use metis_llm::{LatencyModel, Nanos};
 
 use crate::kvcache::KvAllocator;
-use crate::request::{GroupId, LlmRequest, ReplicaId, RequestId, RequestState, Stage};
+use crate::request::{GroupId, LlmRequest, Priority, ReplicaId, RequestId, RequestState, Stage};
 use crate::stats::EngineStats;
 
 /// Admission-ordering policy.
@@ -17,6 +18,13 @@ pub enum SchedPolicy {
     /// admitted sequences are prioritized, so one RAG query's map calls run
     /// together instead of interleaving with every other query.
     GangByGroup,
+    /// Preemptive SLO-class-aware scheduling: admission ranks by
+    /// ([`Priority`], reduce-before-map, gang affinity, arrival), and when
+    /// the highest-ranked request's KV demand does not fit, running
+    /// sequences of a *strictly lower* class are preempted
+    /// (recompute-style: their KV is freed, their progress reset to the
+    /// cached prefix, and they re-queue) instead of head-of-line blocking.
+    Preemptive,
 }
 
 /// Engine construction parameters.
@@ -27,6 +35,8 @@ pub struct EngineConfig {
     /// Maximum concurrently running sequences.
     pub max_batch_seqs: usize,
     /// Chunked-prefill token budget per iteration (Sarathi/vLLM style).
+    /// `0` means *unlimited* (no chunking): every admitted sequence
+    /// prefills its whole remaining prompt in one iteration.
     pub prefill_chunk_tokens: u64,
     /// Admission policy.
     pub policy: SchedPolicy,
@@ -62,7 +72,8 @@ pub struct Completion {
     pub replica: ReplicaId,
     /// When it entered the engine queue.
     pub arrival: Nanos,
-    /// When it was admitted (KV allocated).
+    /// When it was admitted (KV allocated). For a request that was
+    /// preempted and re-admitted, this is the *last* admission.
     pub admitted: Nanos,
     /// When its last token was generated.
     pub finish: Nanos,
@@ -72,6 +83,15 @@ struct Running {
     req: LlmRequest,
     state: RequestState,
     admitted: Nanos,
+}
+
+/// A queue entry: the request plus the time it (re-)entered the admission
+/// queue, so queue-wait accounting stays exact across preempt/requeue
+/// cycles (a preempted request's second wait starts at its eviction, not at
+/// its original arrival).
+struct Queued {
+    req: LlmRequest,
+    enqueued: Nanos,
 }
 
 /// The discrete-event continuous-batching engine.
@@ -92,6 +112,7 @@ struct Running {
 ///     output_tokens: 10,
 ///     cached_prompt_tokens: 0,
 ///     arrival: 0,
+///     priority: Default::default(),
 /// });
 /// let done = engine.run_until_idle();
 /// assert_eq!(done.len(), 1);
@@ -104,8 +125,9 @@ pub struct Engine {
     clock: Nanos,
     /// Requests with future arrival times, keyed by (arrival, submit order).
     pending: BTreeMap<(Nanos, u64), LlmRequest>,
-    /// Arrived requests awaiting admission, in arrival order.
-    queue: VecDeque<LlmRequest>,
+    /// Arrived requests awaiting admission, in arrival order (preempted
+    /// requests re-enter at the back; admission order re-ranks them).
+    queue: VecDeque<Queued>,
     running: Vec<Running>,
     alloc: KvAllocator,
     stats: EngineStats,
@@ -207,7 +229,8 @@ impl Engine {
         self.stats.submitted += 1;
         if req.arrival <= self.clock {
             req.arrival = req.arrival.min(self.clock);
-            self.queue.push_back(req);
+            let enqueued = req.arrival;
+            self.queue.push_back(Queued { req, enqueued });
         } else {
             let key = (req.arrival, self.submit_seq);
             self.submit_seq += 1;
@@ -223,7 +246,8 @@ impl Engine {
             .collect();
         for k in due {
             let req = self.pending.remove(&k).expect("key just enumerated");
-            self.queue.push_back(req);
+            let enqueued = req.arrival;
+            self.queue.push_back(Queued { req, enqueued });
         }
     }
 
@@ -231,45 +255,76 @@ impl Engine {
     /// queue, highest priority first.
     fn admission_order(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.queue.len()).collect();
-        if self.config.policy == SchedPolicy::GangByGroup {
-            let active: HashSet<GroupId> = self.running.iter().map(|r| r.req.group).collect();
-            // DAG-aware application scheduling (Parrot*): reduce calls jump
-            // the queue — they unblock a whole query whose map work is
-            // already sunk — then calls whose group is already running, then
-            // FIFO. The sort is stable, so FIFO order is kept within a
-            // class.
-            order.sort_by_key(|&i| {
-                let req = &self.queue[i];
-
-                if req.stage == Stage::Reduce {
-                    0u8
-                } else if active.contains(&req.group) {
-                    1
-                } else {
-                    2
-                }
-            });
+        match self.config.policy {
+            SchedPolicy::Fcfs => {}
+            SchedPolicy::GangByGroup => {
+                let active: HashSet<GroupId> = self.running.iter().map(|r| r.req.group).collect();
+                // DAG-aware application scheduling (Parrot*): reduce calls
+                // jump the queue — they unblock a whole query whose map work
+                // is already sunk — then calls whose group is already
+                // running, then FIFO. The sort is stable, so FIFO order is
+                // kept within a class.
+                order.sort_by_key(|&i| {
+                    let req = &self.queue[i].req;
+                    if req.stage == Stage::Reduce {
+                        0u8
+                    } else if active.contains(&req.group) {
+                        1
+                    } else {
+                        2
+                    }
+                });
+            }
+            SchedPolicy::Preemptive => {
+                let active: HashSet<GroupId> = self.running.iter().map(|r| r.req.group).collect();
+                // SLO class first, then the Parrot* DAG/gang keys inside a
+                // class, then arrival — so preempted requests that re-enter
+                // at the back of the deque still rank by their original
+                // arrival within their class.
+                order.sort_by_key(|&i| {
+                    let req = &self.queue[i].req;
+                    (
+                        req.priority,
+                        req.stage != Stage::Reduce,
+                        !active.contains(&req.group),
+                        req.arrival,
+                    )
+                });
+            }
         }
         order
     }
 
     fn try_admit(&mut self) {
         loop {
-            if self.running.len() >= self.config.max_batch_seqs || self.queue.is_empty() {
+            if self.queue.is_empty() {
                 return;
             }
             let order = self.admission_order();
             let head = order[0];
-            let demand = self.queue[head].kv_demand_tokens();
-            if !self.alloc.fits(demand) {
-                // Head-of-line blocking, as in vLLM's FCFS admission.
-                return;
+            let demand = self.queue[head].req.kv_demand_tokens();
+            let slot_blocked = self.running.len() >= self.config.max_batch_seqs;
+            let kv_blocked = !self.alloc.fits(demand);
+            if slot_blocked || kv_blocked {
+                // Head-of-line blocking, as in vLLM's FCFS admission —
+                // unless the preemptive policy can evict lower-class work.
+                // Preemption is reserved for *KV* pressure (as in vLLM's
+                // recompute preemption): a full batch drains within
+                // iterations, so evicting sunk work for a slot would cost
+                // more than the wait it saves.
+                if self.config.policy != SchedPolicy::Preemptive
+                    || !kv_blocked
+                    || !self.preempt_for(head, demand)
+                {
+                    return;
+                }
             }
-            let req = self.queue.remove(head).expect("index from admission_order");
+            let Queued { req, enqueued } =
+                self.queue.remove(head).expect("index from admission_order");
             self.alloc
                 .alloc(req.id, demand)
                 .expect("fits() checked above");
-            self.stats.total_queue_wait += self.clock.saturating_sub(req.arrival);
+            self.stats.total_queue_wait += self.clock.saturating_sub(enqueued);
             // Cached prefix tokens are already resident: prefill starts past
             // them (they still count toward the KV allocation made above).
             let done = req.cached_prompt_tokens;
@@ -284,6 +339,77 @@ impl Engine {
                 req,
             });
         }
+    }
+
+    /// Tries to make room for queue entry `candidate` (KV demand `demand`)
+    /// by preempting running sequences of a *strictly lower* priority
+    /// class. Victims are evicted cheapest-first (lowest class, then most
+    /// recently admitted — least sunk work), recompute-style: KV freed,
+    /// progress reset to the cached prefix, request re-queued. Returns
+    /// `true` only when the candidate is guaranteed to fit afterwards; when
+    /// the full victim set cannot cover the demand, nothing is evicted.
+    fn preempt_for(&mut self, candidate: usize, demand: u64) -> bool {
+        let pri: Priority = self.queue[candidate].req.priority;
+        let mut victims: Vec<usize> = (0..self.running.len())
+            .filter(|&i| self.running[i].req.priority > pri)
+            .collect();
+        if victims.is_empty() {
+            return false;
+        }
+        victims.sort_by_key(|&i| {
+            let r = &self.running[i];
+            (Reverse(r.req.priority), Reverse(r.admitted))
+        });
+        // Commit only if evicting every victim would make the candidate
+        // fit: both a batch slot (freeing any victim yields one) and the
+        // KV demand, block-granular like the allocator.
+        let block = self.config.kv_block_tokens;
+        let demand_rounded = demand.div_ceil(block) * block;
+        let reclaimable: u64 = victims
+            .iter()
+            .map(|&i| {
+                self.alloc
+                    .held_tokens(self.running[i].req.id)
+                    .expect("running seq holds KV")
+            })
+            .sum();
+        if self.alloc.free_tokens() + reclaimable < demand_rounded {
+            return false;
+        }
+        let victim_ids: Vec<RequestId> = victims.iter().map(|&i| self.running[i].req.id).collect();
+        for id in victim_ids {
+            if self.running.len() < self.config.max_batch_seqs && self.alloc.fits(demand) {
+                break;
+            }
+            let idx = self
+                .running
+                .iter()
+                .position(|r| r.req.id == id)
+                .expect("victim still running");
+            let r = self.running.swap_remove(idx);
+            self.alloc.free(r.req.id).expect("running seq held KV");
+            // Recompute-preemption discards all progress past the cached
+            // prefix; the victim will re-prefill (and re-decode) it.
+            let lost = match r.state {
+                RequestState::Prefilling { done } => {
+                    done.saturating_sub(r.req.cached_prompt_tokens)
+                }
+                RequestState::Decoding { emitted } => {
+                    r.req
+                        .prompt_tokens
+                        .saturating_sub(r.req.cached_prompt_tokens)
+                        + emitted
+                }
+                _ => 0,
+            };
+            self.stats.preemptions += 1;
+            self.stats.preempted_tokens += lost;
+            self.queue.push_back(Queued {
+                req: r.req,
+                enqueued: self.clock,
+            });
+        }
+        self.running.len() < self.config.max_batch_seqs && self.alloc.fits(demand)
     }
 
     /// Advances the simulation by one engine iteration (or one clock jump to
@@ -306,7 +432,13 @@ impl Engine {
 
         // Assemble the iteration: one decode token per decoding sequence,
         // chunked prefill across prefilling sequences in admission order.
-        let mut prefill_budget = self.config.prefill_chunk_tokens;
+        // A zero chunk budget means unlimited (no chunking): a literal zero
+        // would starve every prefilling sequence while the clock kept
+        // advancing — a livelock.
+        let mut prefill_budget = match self.config.prefill_chunk_tokens {
+            0 => u64::MAX,
+            n => n,
+        };
         let mut prefill_tokens: u64 = 0;
         let mut prefill_ctx_weighted: f64 = 0.0;
         let mut decode_seqs: u64 = 0;
@@ -338,11 +470,16 @@ impl Engine {
         }
 
         if prefill_tokens == 0 && decode_seqs == 0 {
-            // All running sequences are prefilled but beyond the prefill
-            // budget edge case; treat as pure decode of zero — advance by
-            // overhead only to avoid a stuck clock.
+            // Defensive: no sequence made progress this iteration (cannot
+            // happen now that a zero chunk budget means unlimited, but kept
+            // against future budget policies). Advance by overhead only —
+            // with the same iteration/busy accounting as a productive
+            // iteration, so utilization and `busy_nanos()` stay truthful.
             let dt = self.latency.iteration_time(0, 0, 0, batch_kv);
             self.clock += dt;
+            self.stats.iterations += 1;
+            self.stats.busy += dt;
+            self.stats.peak_kv_tokens = self.stats.peak_kv_tokens.max(self.alloc.used_tokens());
             return Vec::new();
         }
 
@@ -466,7 +603,31 @@ mod tests {
             output_tokens: out,
             cached_prompt_tokens: 0,
             arrival,
+            priority: Priority::Standard,
         }
+    }
+
+    fn preq(id: u64, prompt: u64, out: u64, arrival: Nanos, priority: Priority) -> LlmRequest {
+        LlmRequest {
+            priority,
+            ..req(id, id, prompt, out, arrival)
+        }
+    }
+
+    /// An engine whose KV pool is capped at `capacity_tokens` (rounded down
+    /// to whole blocks) — small pools make admission contention cheap to
+    /// stage.
+    fn capped_engine(policy: SchedPolicy, capacity_tokens: u64) -> Engine {
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let bytes = capacity_tokens * lat.model().kv_bytes_per_token();
+        Engine::new(
+            lat,
+            EngineConfig {
+                policy,
+                kv_pool_bytes_cap: Some(bytes),
+                ..EngineConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -678,6 +839,7 @@ mod tests {
                 output_tokens: 10,
                 cached_prompt_tokens: cached,
                 arrival: 0,
+                priority: Priority::Standard,
             });
             e.run_until_idle()[0].finish
         };
@@ -700,6 +862,7 @@ mod tests {
             output_tokens: 5,
             cached_prompt_tokens: 10_000, // Bogus caller value.
             arrival: 0,
+            priority: Priority::Standard,
         });
         let done = e.run_until_idle();
         assert_eq!(done.len(), 1);
@@ -730,6 +893,7 @@ mod tests {
                 output_tokens: 10,
                 cached_prompt_tokens: 0,
                 arrival: e.now(),
+                priority: Priority::Standard,
             });
         }
         e.submit(LlmRequest {
@@ -740,6 +904,7 @@ mod tests {
             output_tokens: 10,
             cached_prompt_tokens: 0,
             arrival: e.now(),
+            priority: Priority::Standard,
         });
         let done = e.run_until_idle();
         let pos = |id: u64| done.iter().position(|c| c.id == RequestId(id)).unwrap();
@@ -766,6 +931,7 @@ mod tests {
             output_tokens: 10,
             cached_prompt_tokens: 0,
             arrival: e.now(),
+            priority: Priority::Standard,
         });
         e.submit(LlmRequest {
             id: RequestId(9),
@@ -775,6 +941,7 @@ mod tests {
             output_tokens: 10,
             cached_prompt_tokens: 0,
             arrival: e.now(),
+            priority: Priority::Standard,
         });
         let done = e.run_until_idle();
         let pos = |id: u64| done.iter().position(|c| c.id == RequestId(id)).unwrap();
@@ -788,5 +955,297 @@ mod tests {
         let cap = e.kv_capacity_tokens();
         e.submit(req(1, 1, cap * 2, 5, 0));
         let _ = e.run_until_idle();
+    }
+
+    #[test]
+    fn zero_prefill_budget_means_unlimited_not_livelock() {
+        // Regression: `prefill_chunk_tokens == 0` used to starve every
+        // prefilling sequence while `step()` kept advancing the clock — a
+        // livelock `run_until_idle` never escaped. Zero now means
+        // "unchunked": the run completes.
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let mut e = Engine::new(
+            lat,
+            EngineConfig {
+                prefill_chunk_tokens: 0,
+                ..EngineConfig::default()
+            },
+        );
+        let cap = e.free_kv_tokens();
+        for i in 0..4 {
+            e.submit(req(i, i, 3_000, 10, i * 1_000_000));
+        }
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 4);
+        assert_eq!(e.free_kv_tokens(), cap);
+        // Unchunked prefill means each prompt lands in one iteration.
+        assert_eq!(e.stats().prefill_tokens, 4 * 3_000);
+    }
+
+    #[test]
+    fn busy_time_accounts_every_iteration() {
+        // With all arrivals at t = 0 there are no idle clock jumps, so the
+        // virtual clock must equal accumulated busy time exactly — the
+        // invariant the zero-progress edge used to break by advancing the
+        // clock without counting the iteration.
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let mut e = Engine::new(
+            lat,
+            EngineConfig {
+                prefill_chunk_tokens: 0,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..6 {
+            e.submit(req(i, i, 2_000, 12, 0));
+        }
+        e.run_until_idle();
+        let s = e.stats();
+        assert!(s.iterations > 0);
+        assert_eq!(s.busy, e.now(), "every clock advance must be accounted");
+    }
+
+    #[test]
+    fn preemptive_admits_by_slo_class() {
+        // One contended slot: a later-arriving interactive request is
+        // admitted ahead of earlier standard/batch arrivals.
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let mut e = Engine::new(
+            lat,
+            EngineConfig {
+                max_batch_seqs: 1,
+                policy: SchedPolicy::Preemptive,
+                ..EngineConfig::default()
+            },
+        );
+        e.submit(preq(0, 2_000, 30, 0, Priority::Interactive));
+        e.step(); // Occupies the slot; no lower-class victim to evict.
+        e.submit(preq(1, 1_000, 10, e.now(), Priority::Batch));
+        e.submit(preq(2, 1_000, 10, e.now() + 1, Priority::Standard));
+        e.submit(preq(3, 1_000, 10, e.now() + 2, Priority::Interactive));
+        let done = e.run_until_idle();
+        let admitted = |id: u64| {
+            done.iter()
+                .find(|c| c.id == RequestId(id))
+                .expect("completed")
+                .admitted
+        };
+        assert!(admitted(3) < admitted(2), "interactive before standard");
+        assert!(admitted(2) < admitted(1), "standard before batch");
+    }
+
+    #[test]
+    fn preemption_evicts_batch_for_interactive() {
+        // A batch request fills most of a small KV pool; an interactive
+        // request that no longer fits preempts it instead of queueing
+        // behind it. The victim re-queues, recomputes, and still finishes.
+        let mut e = capped_engine(SchedPolicy::Preemptive, 4_096);
+        e.submit(preq(1, 3_000, 400, 0, Priority::Batch));
+        e.step();
+        assert_eq!(e.running_len(), 1);
+        e.submit(preq(2, 2_000, 20, e.now(), Priority::Interactive));
+        let cap = e.kv_capacity_tokens();
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 2);
+        assert_eq!(e.stats().preemptions, 1);
+        assert!(
+            e.stats().preempted_tokens > 0,
+            "the victim had prefilled work to recompute"
+        );
+        assert_eq!(e.free_kv_tokens(), cap, "no KV leaked across preemption");
+        let by_id = |id: u64| done.iter().find(|c| c.id == RequestId(id)).unwrap();
+        // The interactive request was admitted promptly — before the batch
+        // request's (re-)completion — and finished first.
+        assert!(by_id(2).finish < by_id(1).finish);
+        // The victim's completion carries its last admission time.
+        assert!(by_id(1).admitted > by_id(1).arrival);
+    }
+
+    #[test]
+    fn slot_pressure_alone_never_preempts() {
+        // KV is plentiful; only the batch-seq slot is contended. Evicting
+        // sunk work for a slot costs more than the wait it saves, so the
+        // interactive request waits and the batch victim keeps its progress.
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let mut e = Engine::new(
+            lat,
+            EngineConfig {
+                max_batch_seqs: 1,
+                policy: SchedPolicy::Preemptive,
+                ..EngineConfig::default()
+            },
+        );
+        e.submit(preq(1, 2_000, 30, 0, Priority::Batch));
+        e.step();
+        assert!(e.free_kv_tokens() > 10_000, "KV is not the bottleneck");
+        e.submit(preq(2, 1_000, 10, e.now(), Priority::Interactive));
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 2);
+        assert_eq!(e.stats().preemptions, 0);
+        let by_id = |id: u64| done.iter().find(|c| c.id == RequestId(id)).unwrap();
+        assert!(
+            by_id(2).admitted >= by_id(1).finish,
+            "interactive waits for the slot instead of evicting"
+        );
+    }
+
+    #[test]
+    fn preemption_requires_a_strictly_lower_class() {
+        // Same class: no eviction — the later request waits, FCFS-style.
+        let mut e = capped_engine(SchedPolicy::Preemptive, 4_096);
+        e.submit(preq(1, 3_000, 400, 0, Priority::Standard));
+        e.step();
+        e.submit(preq(2, 2_000, 20, e.now(), Priority::Standard));
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 2);
+        assert_eq!(e.stats().preemptions, 0);
+        let by_id = |id: u64| done.iter().find(|c| c.id == RequestId(id)).unwrap();
+        assert!(by_id(1).finish < by_id(2).finish, "arrival order kept");
+    }
+
+    #[test]
+    fn preemption_never_fires_when_it_cannot_help() {
+        // The interactive demand exceeds capacity even after evicting every
+        // batch victim: nothing is preempted (no wasted recompute) and the
+        // stuck detector still fires.
+        let mut e = capped_engine(SchedPolicy::Preemptive, 4_096);
+        e.submit(preq(1, 2_000, 20, 0, Priority::Batch));
+        e.step();
+        e.submit(preq(2, 8_000, 20, e.now(), Priority::Interactive));
+        // Drain what is drainable: the batch request completes untouched.
+        let mut done = Vec::new();
+        for _ in 0..10_000 {
+            done.extend(e.step());
+            if done.len() == 1 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, RequestId(1));
+        assert_eq!(e.stats().preemptions, 0);
+    }
+
+    #[test]
+    fn preemptive_beats_fcfs_on_interactive_queueing_under_burst() {
+        // The acceptance experiment at engine scale: a synchronized burst
+        // of batch work arrives just before interactive requests (burst
+        // factor ≫ 4 relative to the drain rate). Under FCFS the
+        // interactive class queues behind the whole burst; preemptive
+        // scheduling admits it immediately. Identical workloads, identical
+        // capacity.
+        let workload = || {
+            let mut reqs = Vec::new();
+            for i in 0..6 {
+                reqs.push(preq(i, 1_500, 300, 0, Priority::Batch));
+            }
+            for i in 0..4 {
+                reqs.push(preq(
+                    100 + i,
+                    800,
+                    10,
+                    1_000_000 * (i + 1),
+                    Priority::Interactive,
+                ));
+            }
+            reqs
+        };
+        let queue_waits = |policy: SchedPolicy| -> Vec<Nanos> {
+            let mut e = capped_engine(policy, 6_000);
+            for r in workload() {
+                e.submit(r);
+            }
+            let done = e.run_until_idle();
+            assert_eq!(done.len(), 10, "every request completes under {policy:?}");
+            let mut waits: Vec<Nanos> = done
+                .iter()
+                .filter(|c| c.id.0 >= 100)
+                .map(|c| c.admitted - c.arrival)
+                .collect();
+            waits.sort_unstable();
+            waits
+        };
+        let fcfs = queue_waits(SchedPolicy::Fcfs);
+        let preemptive = queue_waits(SchedPolicy::Preemptive);
+        let p99 = |w: &[Nanos]| w[w.len() - 1];
+        let mean = |w: &[Nanos]| w.iter().sum::<Nanos>() / w.len() as Nanos;
+        assert!(
+            p99(&preemptive) < p99(&fcfs),
+            "preemptive p99 queue wait {} must beat FCFS {}",
+            p99(&preemptive),
+            p99(&fcfs)
+        );
+        assert!(mean(&preemptive) < mean(&fcfs));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use std::collections::HashMap;
+
+    use proptest::prelude::*;
+
+    use super::*;
+    use metis_llm::{GpuCluster, ModelSpec};
+
+    fn priority_of(tag: u8) -> Priority {
+        match tag % 3 {
+            0 => Priority::Interactive,
+            1 => Priority::Standard,
+            _ => Priority::Batch,
+        }
+    }
+
+    proptest! {
+        /// Preemption invariants under random bursty load: KV allocation is
+        /// conserved across arbitrary preempt/resume cycles (no double
+        /// free, `used_tokens` returns to 0 at drain) and every submitted
+        /// request completes exactly once.
+        #[test]
+        fn preemption_conserves_kv_and_completes_every_request(
+            reqs in prop::collection::vec(
+                // (prompt, output, burst slot, priority tag, cached%)
+                (1u64..1_800, 1u64..80, 0u64..6, 0u8..6, 0u64..100),
+                1..24,
+            ),
+        ) {
+            let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+            let bytes = 4_096 * lat.model().kv_bytes_per_token();
+            let mut e = Engine::new(
+                lat,
+                EngineConfig {
+                    policy: SchedPolicy::Preemptive,
+                    kv_pool_bytes_cap: Some(bytes),
+                    ..EngineConfig::default()
+                },
+            );
+            let capacity = e.kv_capacity_tokens();
+            for (i, &(prompt, out, slot, tag, cached)) in reqs.iter().enumerate() {
+                e.submit(LlmRequest {
+                    id: RequestId(i as u64),
+                    group: GroupId(i as u64 % 4),
+                    stage: Stage::Single,
+                    prompt_tokens: prompt,
+                    output_tokens: out,
+                    cached_prompt_tokens: prompt * cached / 100,
+                    // Bursty: arrivals pile onto a few discrete instants.
+                    arrival: slot * 50_000_000,
+                    priority: priority_of(tag),
+                });
+            }
+            let done = e.run_until_idle();
+            prop_assert_eq!(done.len(), reqs.len(), "every request completes");
+            let mut seen: HashMap<u64, u32> = HashMap::new();
+            for c in &done {
+                *seen.entry(c.id.0).or_default() += 1;
+            }
+            for (id, count) in seen {
+                prop_assert_eq!(count, 1, "request {} completed {} times", id, count);
+            }
+            prop_assert_eq!(e.free_kv_tokens(), capacity, "used_tokens back to 0");
+            prop_assert!(e.is_idle());
+            let s = e.stats();
+            prop_assert_eq!(s.completed, reqs.len() as u64);
+            prop_assert_eq!(s.submitted, reqs.len() as u64);
+        }
     }
 }

@@ -150,6 +150,13 @@ impl KvAllocator {
     pub fn live_allocations(&self) -> usize {
         self.held.len()
     }
+
+    /// Tokens currently held by `seq` (block-granular), or `None` when the
+    /// sequence has no allocation — what the preemptive scheduler reclaims
+    /// when it evicts a victim.
+    pub fn held_tokens(&self, seq: RequestId) -> Option<u64> {
+        self.held.get(&seq).map(|blocks| blocks * self.block_tokens)
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +212,16 @@ mod tests {
     fn free_unknown_is_rejected() {
         let mut a = KvAllocator::new(1_000, 16);
         assert_eq!(a.free(rid(9)), Err(KvError::NotAllocated));
+    }
+
+    #[test]
+    fn held_tokens_reports_block_granular_holdings() {
+        let mut a = KvAllocator::new(1_000, 16);
+        assert_eq!(a.held_tokens(rid(1)), None);
+        a.alloc(rid(1), 17).unwrap();
+        assert_eq!(a.held_tokens(rid(1)), Some(32));
+        a.free(rid(1)).unwrap();
+        assert_eq!(a.held_tokens(rid(1)), None);
     }
 
     #[test]

@@ -12,11 +12,16 @@
 //! pool — the same admission rule METIS's joint scheduler reasons about
 //! from the outside via [`Engine::free_kv_tokens`].
 //!
-//! Two scheduling policies are provided:
+//! Three scheduling policies are provided:
 //! * [`SchedPolicy::Fcfs`] — plain vLLM first-come-first-served admission.
 //! * [`SchedPolicy::GangByGroup`] — Parrot\*-style application-aware
 //!   co-scheduling: requests belonging to a group (e.g. the map calls of one
 //!   RAG query) are admitted together, ahead of newly arrived groups.
+//! * [`SchedPolicy::Preemptive`] — SLO-class-aware scheduling on top of the
+//!   gang keys: admission ranks by ([`Priority`], reduce-before-map, gang
+//!   affinity, arrival), and under KV pressure running sequences of a
+//!   strictly lower class are preempted (recompute-style) and re-queued
+//!   instead of head-of-line blocking the whole queue.
 //!
 //! For multi-backend serving, [`Cluster`] lifts the single engine to `N`
 //! independent replicas behind a pluggable router ([`RouterPolicy`]):
@@ -34,5 +39,5 @@ pub use cluster::{Cluster, RouterPolicy};
 pub use engine::{Completion, Engine, EngineConfig, SchedPolicy};
 pub use kvcache::{KvAllocator, KvError};
 pub use prefixcache::PrefixCache;
-pub use request::{GroupId, LlmRequest, ReplicaId, RequestId, RequestState, Stage};
+pub use request::{GroupId, LlmRequest, Priority, ReplicaId, RequestId, RequestState, Stage};
 pub use stats::EngineStats;

@@ -45,12 +45,25 @@ impl PrefixCache {
     /// Looks up `chunk`; on a hit returns its cached token count and
     /// refreshes recency. On a miss, inserts the chunk (evicting LRU entries
     /// as needed) and returns 0.
+    ///
+    /// A hit whose `tokens` differs from the cached size means the chunk's
+    /// content changed since it was cached: the stale KV is useless, so the
+    /// entry is re-inserted at the new size (reconciling `used_tokens`,
+    /// evicting LRU entries if the chunk grew) and the lookup counts as a
+    /// miss — returning the stale size would let accounting drift a little
+    /// further on every such hit.
     pub fn lookup_or_insert(&mut self, chunk: ChunkId, tokens: u64) -> u64 {
         self.tick += 1;
         if let Some((cached, last)) = self.entries.get_mut(&chunk) {
-            *last = self.tick;
-            self.hits += 1;
-            return *cached;
+            if *cached == tokens {
+                *last = self.tick;
+                self.hits += 1;
+                return *cached;
+            }
+            // Size changed: drop the stale entry and fall through to the
+            // miss path, which re-inserts at the new size.
+            let (stale, _) = self.entries.remove(&chunk).expect("entry just found");
+            self.used_tokens -= stale;
         }
         self.misses += 1;
         if tokens > self.capacity_tokens {
@@ -143,6 +156,33 @@ mod tests {
         assert_eq!(p.lookup_or_insert(c(1), 500), 0);
         assert_eq!(p.lookup_or_insert(c(1), 500), 0);
         assert_eq!(p.used_tokens(), 0);
+    }
+
+    #[test]
+    fn size_changed_hit_reconciles_used_tokens() {
+        // Regression: a hit used to return the stale cached size and never
+        // update the entry, so `used_tokens` drifted away from the sum of
+        // entry sizes whenever a chunk's token count changed.
+        let mut p = PrefixCache::new(1_000);
+        assert_eq!(p.lookup_or_insert(c(1), 400), 0);
+        assert_eq!(p.used_tokens(), 400);
+        // The chunk shrank: stale KV is useless — miss, re-insert at 250.
+        assert_eq!(p.lookup_or_insert(c(1), 250), 0);
+        assert_eq!(p.used_tokens(), 250);
+        // Subsequent same-size lookups hit at the reconciled size.
+        assert_eq!(p.lookup_or_insert(c(1), 250), 250);
+        assert_eq!(p.used_tokens(), 250);
+        // The chunk grew past what fits alongside a second entry: the LRU
+        // sibling is evicted to make room, and accounting stays exact.
+        p.lookup_or_insert(c(2), 700);
+        assert_eq!(p.used_tokens(), 950);
+        assert_eq!(p.lookup_or_insert(c(1), 900), 0);
+        assert_eq!(p.used_tokens(), 900, "chunk 2 evicted, chunk 1 resized");
+        assert_eq!(p.len(), 1);
+        // A growth beyond capacity uncaches the chunk entirely.
+        assert_eq!(p.lookup_or_insert(c(1), 2_000), 0);
+        assert_eq!(p.used_tokens(), 0);
+        assert!(p.is_empty());
     }
 
     #[test]

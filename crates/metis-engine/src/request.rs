@@ -29,6 +29,42 @@ pub enum Stage {
     Reduce,
 }
 
+/// Scheduling priority of a request, derived from its query's SLO tier.
+///
+/// Lower variants are more urgent: `Interactive < Standard < Batch`, and the
+/// preemptive scheduler ([`SchedPolicy::Preemptive`](crate::SchedPolicy))
+/// admits in ascending order and preempts running sequences of a *strictly
+/// lower* class (numerically greater) when a higher-class request cannot fit
+/// in the KV pool.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Priority {
+    /// Tight-SLO interactive queries (short-answer QA): scheduled first,
+    /// never preempted by lower classes.
+    Interactive,
+    /// The default class for ordinary traffic.
+    #[default]
+    Standard,
+    /// Throughput-oriented background work (long summarization, synthetic
+    /// feedback runs): first to be preempted under KV pressure.
+    Batch,
+}
+
+impl Priority {
+    /// Short stable name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// All priorities, most urgent first.
+    pub fn all() -> [Priority; 3] {
+        [Priority::Interactive, Priority::Standard, Priority::Batch]
+    }
+}
+
 /// A request submitted to the engine.
 #[derive(Clone, Debug)]
 pub struct LlmRequest {
@@ -48,6 +84,9 @@ pub struct LlmRequest {
     pub cached_prompt_tokens: u64,
     /// Virtual time at which the request enters the engine queue.
     pub arrival: Nanos,
+    /// SLO-derived scheduling class (only consulted by
+    /// [`SchedPolicy::Preemptive`](crate::SchedPolicy)).
+    pub priority: Priority,
 }
 
 impl LlmRequest {
@@ -93,7 +132,17 @@ mod tests {
             output_tokens: 20,
             cached_prompt_tokens: 0,
             arrival: 0,
+            priority: Priority::default(),
         };
         assert_eq!(r.kv_demand_tokens(), 120);
+    }
+
+    #[test]
+    fn priority_orders_most_urgent_first() {
+        assert!(Priority::Interactive < Priority::Standard);
+        assert!(Priority::Standard < Priority::Batch);
+        assert_eq!(Priority::default(), Priority::Standard);
+        let names: Vec<&str> = Priority::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["interactive", "standard", "batch"]);
     }
 }

@@ -27,6 +27,13 @@ pub struct EngineStats {
     pub decode_tokens: u64,
     /// Peak KV-cache occupancy in tokens.
     pub peak_kv_tokens: u64,
+    /// Running sequences evicted under KV pressure to admit a
+    /// higher-priority request (preemption-with-recompute).
+    pub preemptions: u64,
+    /// Tokens of already-computed work (prefill progress beyond the cached
+    /// prefix, plus emitted output) discarded by preemptions; the victims
+    /// recompute them after re-admission.
+    pub preempted_tokens: u64,
 }
 
 impl EngineStats {
@@ -45,6 +52,16 @@ impl EngineStats {
             0.0
         } else {
             nanos_to_secs(self.total_queue_wait) / self.completed as f64
+        }
+    }
+
+    /// Preemptions per submitted request (0 when nothing was submitted) —
+    /// the KV-contention signal METIS's best-fit reads as back-pressure.
+    pub fn preemption_pressure(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.preemptions as f64 / self.submitted as f64
         }
     }
 }
@@ -70,5 +87,16 @@ mod tests {
         };
         assert_eq!(s.mean_latency_secs(), 2.0);
         assert_eq!(s.mean_queue_wait_secs(), 0.5);
+    }
+
+    #[test]
+    fn preemption_pressure_is_per_submission() {
+        assert_eq!(EngineStats::default().preemption_pressure(), 0.0);
+        let s = EngineStats {
+            submitted: 8,
+            preemptions: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.preemption_pressure(), 0.25);
     }
 }

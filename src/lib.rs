@@ -57,12 +57,15 @@ pub mod prelude {
         choose_config, choose_config_with_slo, map_profile, plan_agentic, plan_synthesis,
         rerank_hits, rewrite_query, AgenticInputs, BestFitInputs, ConfigController, ExtKnobs,
         LatencySlo, MetisOptions, PickPolicy, PrunedSpace, RagConfig, RunConfig, RunResult, Runner,
-        SynthesisMethod, SystemKind,
+        SloTier, SynthesisMethod, SystemKind,
     };
     pub use metis_datasets::{
-        build_dataset, poisson_arrivals, Complexity, Dataset, DatasetKind, QuerySpec, TrueProfile,
+        build_dataset, burst_arrivals, diurnal_arrivals, gamma_arrivals, poisson_arrivals,
+        ArrivalProcess, Complexity, Dataset, DatasetKind, QuerySpec, TrueProfile,
     };
-    pub use metis_engine::{Cluster, Engine, EngineConfig, ReplicaId, RouterPolicy, SchedPolicy};
+    pub use metis_engine::{
+        Cluster, Engine, EngineConfig, Priority, ReplicaId, RouterPolicy, SchedPolicy,
+    };
     pub use metis_llm::{
         FleetSpec, GenModelConfig, GenerationModel, GpuCluster, LatencyModel, ModelSpec,
     };

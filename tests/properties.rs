@@ -7,7 +7,9 @@ use metis::core::{
     choose_config, BestFitInputs, PlanDemand, PrunedSpace, RagConfig, SynthesisMethod,
 };
 use metis::datasets::Complexity;
-use metis::engine::{Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, RequestId, Stage};
+use metis::engine::{
+    Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, Priority, RequestId, Stage,
+};
 use metis::llm::{GenerationModel, GpuCluster, LatencyModel, ModelSpec};
 use metis::metrics::f1_score;
 use metis::text::{AnnotatedText, Chunker, ChunkerConfig, TokenId};
@@ -160,6 +162,7 @@ proptest! {
                 output_tokens: *out,
                 cached_prompt_tokens: 0,
                 arrival: *arrival,
+                priority: Priority::Standard,
             });
         }
         let done = engine.run_until_idle();
@@ -221,6 +224,7 @@ proptest! {
                 output_tokens: 5,
                 cached_prompt_tokens: cached,
                 arrival: 0,
+                priority: Priority::Standard,
             });
             e.run_until_idle()[0].finish
         };
