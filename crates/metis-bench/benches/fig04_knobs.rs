@@ -15,7 +15,7 @@ use metis_metrics::f1_score;
 const SEEDS: u64 = 60;
 
 fn eval(d: &Dataset, q: &QuerySpec, gen: &GenerationModel, cfg: RagConfig) -> (f64, f64) {
-    let retrieved = d.db.retrieve(&q.tokens, cfg.num_chunks.max(1) as usize);
+    let retrieved = d.db.retrieve(&q.tokens, cfg.effective_chunks(d.db.len()));
     let inputs = SynthesisInputs {
         gen,
         truth: &q.truth,

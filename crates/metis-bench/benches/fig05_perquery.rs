@@ -32,7 +32,7 @@ fn grid() -> Vec<RagConfig> {
 /// Evaluates (delay, f1) of one config on one query, seed-averaged.
 fn eval(d: &Dataset, qi: usize, gen: &GenerationModel, cfg: RagConfig) -> (f64, f64) {
     let q = &d.queries[qi];
-    let retrieved = d.db.retrieve(&q.tokens, cfg.num_chunks.max(1) as usize);
+    let retrieved = d.db.retrieve(&q.tokens, cfg.effective_chunks(d.db.len()));
     let inputs = SynthesisInputs {
         gen,
         truth: &q.truth,

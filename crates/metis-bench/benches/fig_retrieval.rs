@@ -1,0 +1,148 @@
+//! Retrieval-layer ablation: exact flat scan vs IVF `{nlist, nprobe}`
+//! across offered load.
+//!
+//! The retrieval executor charges each query the *measured* work of its
+//! index search (vectors scored, centroids ranked, lists probed), so index
+//! choice becomes a real latency–recall knob: IVF probes a fraction of the
+//! corpus and pays a small recall tax that the end-to-end F1 inherits.
+//! This experiment sweeps flat vs several IVF shapes × two arrival rates,
+//! reporting retrieval p50/p99, chunk recall@k against the flat index,
+//! ground-truth fact recall, end-to-end F1, and mean delay.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES` (CI smoke runs set it low).
+
+use std::sync::Mutex;
+
+use metis_bench::{base_qps, bench_queries, header, metis, DATASET_SEED, RUN_SEED};
+use metis_core::{RunConfig, Runner};
+use metis_datasets::{build_dataset_with_index, poisson_arrivals, Dataset, DatasetKind};
+use metis_vectordb::IndexSpec;
+
+const IVF_POINTS: [(usize, usize); 3] = [(32, 4), (32, 16), (64, 8)];
+const LOAD_MULTS: [f64; 2] = [1.0, 2.0];
+/// Depth at which chunk recall against the flat index is measured.
+const RECALL_K: usize = 8;
+
+/// Mean fraction of flat's top-`RECALL_K` chunk ids the index reproduces.
+fn chunk_recall_vs_flat(d: &Dataset, flat: &Dataset) -> f64 {
+    let mut sum = 0.0;
+    for q in &d.queries {
+        let gold: std::collections::HashSet<_> = flat
+            .db
+            .retrieve(&q.tokens, RECALL_K)
+            .iter()
+            .map(|r| r.hit.chunk)
+            .collect();
+        let hit =
+            d.db.retrieve(&q.tokens, RECALL_K)
+                .iter()
+                .filter(|r| gold.contains(&r.hit.chunk))
+                .count();
+        sum += hit as f64 / gold.len().max(1) as f64;
+    }
+    sum / d.queries.len().max(1) as f64
+}
+
+fn main() {
+    header(
+        "fig_retrieval",
+        "flat vs IVF retrieval: latency-recall tradeoff on the serving path",
+        "IVF cuts retrieval p50/p99 by the probe fraction at a small \
+         recall@k tax; end-to-end F1 tracks fact recall, and the tradeoff \
+         is visible at every load level",
+    );
+    let n = bench_queries(96);
+    let kind = DatasetKind::Musique;
+    let base = base_qps(kind);
+    let flat = build_dataset_with_index(kind, n, DATASET_SEED, IndexSpec::Flat);
+    println!(
+        "\n--- {} ({} queries, {} chunks, base λ = {base}/s) ---",
+        kind.name(),
+        n,
+        flat.db.len()
+    );
+    println!(
+        "  {:<8} {:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "load", "index", "ret p50", "ret p99", "chunk@8", "fact-rec", "delay(s)", "F1"
+    );
+
+    let specs: Vec<IndexSpec> = std::iter::once(IndexSpec::Flat)
+        .chain(
+            IVF_POINTS
+                .iter()
+                .map(|&(nlist, nprobe)| IndexSpec::ivf(nlist, nprobe)),
+        )
+        .collect();
+    type Cell = (usize, usize, f64, f64, f64, f64, f64); // spec, load, p50, p99, delay, f1, fact
+    let cells: Mutex<Vec<Cell>> = Mutex::new(Vec::new());
+    let recalls: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for (si, &spec) in specs.iter().enumerate() {
+            let flat = &flat;
+            let cells = &cells;
+            let recalls = &recalls;
+            s.spawn(move || {
+                // The flat row reuses the already-built baseline (recall
+                // against itself is 1 by definition); only IVF shapes need
+                // their own index build.
+                let built;
+                let d: &Dataset = if spec == IndexSpec::Flat {
+                    flat
+                } else {
+                    built = build_dataset_with_index(kind, n, DATASET_SEED, spec);
+                    &built
+                };
+                let recall = if spec == IndexSpec::Flat {
+                    1.0
+                } else {
+                    chunk_recall_vs_flat(d, flat)
+                };
+                recalls.lock().expect("poisoned").push((si, recall));
+                for (li, &mult) in LOAD_MULTS.iter().enumerate() {
+                    let arrivals = poisson_arrivals(RUN_SEED ^ 0xA11, base * mult, n);
+                    let mut cfg = RunConfig::standard(metis(), arrivals, RUN_SEED);
+                    cfg.index = spec;
+                    let r = Runner::new(d, cfg).run();
+                    let ret = r.retrieval();
+                    cells.lock().expect("poisoned").push((
+                        si,
+                        li,
+                        ret.p50(),
+                        ret.p99(),
+                        r.mean_delay_secs(),
+                        r.mean_f1(),
+                        r.mean_retrieval_recall(),
+                    ));
+                }
+            });
+        }
+    });
+    let cells = cells.into_inner().expect("poisoned");
+    let recalls = recalls.into_inner().expect("poisoned");
+    let recall_of = |si: usize| {
+        recalls
+            .iter()
+            .find(|(i, _)| *i == si)
+            .map(|(_, r)| *r)
+            .expect("recall computed")
+    };
+    for (li, &mult) in LOAD_MULTS.iter().enumerate() {
+        for (si, spec) in specs.iter().enumerate() {
+            let &(.., p50, p99, delay, f1, fact) = cells
+                .iter()
+                .find(|(i, l, ..)| (*i, *l) == (si, li))
+                .expect("cell computed");
+            println!(
+                "  {:<8} {:<24} {:>8.2}ms {:>8.2}ms {:>9.3} {:>9.3} {:>9.2} {:>7.3}",
+                format!("{mult:.0}x"),
+                spec.label(),
+                p50 * 1e3,
+                p99 * 1e3,
+                recall_of(si),
+                fact,
+                delay,
+                f1,
+            );
+        }
+    }
+}

@@ -2,12 +2,17 @@
 
 use metis_datasets::{ArrivalProcess, DatasetKind};
 use metis_engine::RouterPolicy;
+use metis_vectordb::IndexSpec;
 
 /// Default burst density for `--arrivals burst` (overridden by
 /// `--burst-factor`).
 pub const DEFAULT_BURST_FACTOR: f64 = 4.0;
 /// Default inter-arrival CV for `--arrivals gamma`.
 pub const DEFAULT_GAMMA_CV: f64 = 2.0;
+/// Default inverted-list count for `--index ivf` (overridden by `--nlist`).
+pub const DEFAULT_IVF_NLIST: usize = 64;
+/// Default probe count for `--index ivf` (overridden by `--nprobe`).
+pub const DEFAULT_IVF_NPROBE: usize = 8;
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,6 +55,8 @@ pub struct RunArgs {
     pub arrivals: ArrivalProcess,
     /// Derive each query's scheduling priority from its SLO tier.
     pub priority_from_slo: bool,
+    /// Retrieval index the corpus is served from.
+    pub index: IndexSpec,
 }
 
 /// Which serving system to run.
@@ -80,6 +87,7 @@ impl Default for RunArgs {
             router: RouterPolicy::RoundRobin,
             arrivals: ArrivalProcess::Poisson,
             priority_from_slo: false,
+            index: IndexSpec::Flat,
         }
     }
 }
@@ -108,6 +116,10 @@ OPTIONS:
   --arrivals <poisson|burst|gamma|diurnal>  arrival process (default poisson)
   --burst-factor <F>       burst density for --arrivals burst (default 4)
   --priority-from-slo      schedule each query at its SLO tier's priority
+  --index <flat|ivf>       retrieval index over the corpus (default flat)
+  --nlist <N>              IVF inverted lists (default 64; needs --index ivf)
+  --nprobe <N>             IVF lists probed per search, <= nlist
+                           (default 8; needs --index ivf)
 ";
 
 /// Parses a dataset name.
@@ -184,6 +196,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     };
     let mut run = RunArgs::default();
     let mut burst_factor: Option<f64> = None;
+    let mut index_ivf: Option<bool> = None;
+    let mut nlist: Option<usize> = None;
+    let mut nprobe: Option<usize> = None;
     let mut i = 1;
     let next = |i: &mut usize| -> Result<&str, String> {
         *i += 1;
@@ -242,6 +257,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 burst_factor = Some(f);
             }
             "--priority-from-slo" => run.priority_from_slo = true,
+            "--index" => {
+                index_ivf = Some(match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "flat" => false,
+                    "ivf" => true,
+                    other => return Err(format!("unknown index '{other}'")),
+                })
+            }
+            "--nlist" => {
+                let n: usize = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --nlist: {e}"))?;
+                if n == 0 {
+                    return Err("--nlist must be positive".into());
+                }
+                nlist = Some(n);
+            }
+            "--nprobe" => {
+                let n: usize = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --nprobe: {e}"))?;
+                if n == 0 {
+                    return Err("--nprobe must be positive".into());
+                }
+                nprobe = Some(n);
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -266,6 +306,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
         }
     }
+    // IVF shape flags compose with `--index ivf` in any flag order; without
+    // it they would be silently ignored, so they are rejected instead. The
+    // shape constraints (`nprobe <= nlist`, …) are the index's own
+    // `IndexSpec::validate` rules, surfaced here at parse with a message —
+    // not as a panic deep inside the index build.
+    run.index = match index_ivf {
+        None | Some(false) => {
+            if nlist.is_some() || nprobe.is_some() {
+                return Err("--nlist/--nprobe require --index ivf".into());
+            }
+            IndexSpec::Flat
+        }
+        Some(true) => {
+            let nlist = nlist.unwrap_or(DEFAULT_IVF_NLIST);
+            let spec = IndexSpec::ivf(
+                nlist,
+                nprobe.unwrap_or_else(|| DEFAULT_IVF_NPROBE.min(nlist)),
+            );
+            spec.validate().map_err(|e| {
+                // The index's own rule, respelled with the CLI flag names.
+                e.replace("nprobe", "--nprobe").replace("nlist", "--nlist")
+            })?;
+            spec
+        }
+    };
     // Only the METIS controller derives priorities from SLO tiers; on any
     // other system the flag would be silently ignored while the run report
     // still printed a per-class breakdown.
@@ -431,6 +496,53 @@ mod tests {
         // silently inert, so it is rejected instead.
         let err = parse(&sv(&["run", "--system", "stuff:4", "--priority-from-slo"])).unwrap_err();
         assert!(err.contains("requires --system metis"), "got: {err}");
+    }
+
+    #[test]
+    fn index_flags_parse_in_any_order() -> Result<(), String> {
+        let a = parse_run(&sv(&["run"]))?;
+        assert_eq!(a.index, IndexSpec::Flat);
+        let a = parse_run(&sv(&["run", "--index", "flat"]))?;
+        assert_eq!(a.index, IndexSpec::Flat);
+        // Defaults fill in the unspecified IVF shape.
+        let a = parse_run(&sv(&["run", "--index", "ivf"]))?;
+        assert_eq!(a.index, IndexSpec::ivf(64, 8));
+        let a = parse_run(&sv(&["run", "--index", "ivf", "--nlist", "32"]))?;
+        assert_eq!(a.index, IndexSpec::ivf(32, 8));
+        // The default nprobe clamps to a small nlist.
+        let a = parse_run(&sv(&["run", "--index", "ivf", "--nlist", "4"]))?;
+        assert_eq!(a.index, IndexSpec::ivf(4, 4));
+        // Shape flags compose before or after --index.
+        let a = parse_run(&sv(&[
+            "run", "--nprobe", "2", "--index", "ivf", "--nlist", "16",
+        ]))?;
+        assert_eq!(a.index, IndexSpec::ivf(16, 2));
+        Ok(())
+    }
+
+    #[test]
+    fn index_flag_misuse_is_rejected_at_parse() {
+        // nprobe > nlist: a parse error with a message, not a deep panic.
+        let err = parse(&sv(&[
+            "run", "--index", "ivf", "--nlist", "8", "--nprobe", "32",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains("--nprobe (32) must be <= --nlist (8)"),
+            "got: {err}"
+        );
+        // Shape flags without the ivf index would be silently inert.
+        let err = parse(&sv(&["run", "--nlist", "64"])).unwrap_err();
+        assert!(err.contains("require --index ivf"), "got: {err}");
+        let err = parse(&sv(&["run", "--index", "flat", "--nprobe", "4"])).unwrap_err();
+        assert!(err.contains("require --index ivf"), "got: {err}");
+        // Malformed values carry descriptive errors.
+        let err = parse(&sv(&["run", "--index", "hnsw"])).unwrap_err();
+        assert!(err.contains("unknown index"), "got: {err}");
+        let err = parse(&sv(&["run", "--index", "ivf", "--nlist", "0"])).unwrap_err();
+        assert!(err.contains("--nlist must be positive"), "got: {err}");
+        let err = parse(&sv(&["run", "--index", "ivf", "--nprobe", "zero"])).unwrap_err();
+        assert!(err.contains("bad --nprobe"), "got: {err}");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use metis_core::{
     fixed_config_grid, map_profile, MetisOptions, RagConfig, RunConfig, RunResult, Runner,
     SystemKind,
 };
-use metis_datasets::build_dataset;
+use metis_datasets::{build_dataset, build_dataset_with_index};
 use metis_engine::Priority;
 use metis_llm::{GpuCluster, ModelSpec};
 use metis_profiler::{LlmProfiler, ProfilerKind};
@@ -68,7 +68,7 @@ fn system_of(choice: SystemChoice, slo: Option<f64>, priority_from_slo: bool) ->
 }
 
 fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
-    let dataset = build_dataset(a.dataset, a.queries, a.seed);
+    let dataset = build_dataset_with_index(a.dataset, a.queries, a.seed, a.index);
     let closed_loop = a.qps <= 0.0;
     let arrivals = if closed_loop {
         vec![0; a.queries]
@@ -79,6 +79,7 @@ fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
     cfg.closed_loop = closed_loop;
     cfg.replicas = a.replicas;
     cfg.router = a.router;
+    cfg.index = a.index;
     if a.big_model {
         cfg.model = ModelSpec::llama31_70b_awq();
         cfg.cluster = GpuCluster::dual_a40();
@@ -119,6 +120,14 @@ fn cmd_run(a: &RunArgs) {
     );
     let r = run_once(a, system_of(a.system, a.slo, a.priority_from_slo));
     print_result(&format!("{:?}", a.system), &r);
+    let retrieval = r.retrieval();
+    println!(
+        "retrieval [{}]: p50 {:.2} ms  p99 {:.2} ms  fact-recall {:.3}",
+        a.index.label(),
+        retrieval.p50() * 1e3,
+        retrieval.p99() * 1e3,
+        r.mean_retrieval_recall()
+    );
     if a.prefix_cache_gib.is_some() {
         println!("prefix-cache hit rate: {:.1}%", r.prefix_hit_rate * 100.0);
     }

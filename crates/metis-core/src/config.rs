@@ -79,6 +79,16 @@ impl RagConfig {
         Self::map_reduce(30, 300)
     }
 
+    /// The number of chunks this configuration actually consumes against
+    /// `available` chunks (a corpus size or a retrieval result length): at
+    /// least one whenever anything is available, never more than requested
+    /// or available. This is the *single* clamp shared by the runner's
+    /// engine-timed retrieval and the synthesis quality path — both must
+    /// call it so the two chunk counts can never drift apart.
+    pub fn effective_chunks(&self, available: usize) -> usize {
+        (self.num_chunks.max(1) as usize).min(available)
+    }
+
     /// Short display form, e.g. `stuff(k=8)` or `map_reduce(k=8,l=100)`.
     pub fn label(&self) -> String {
         match self.synthesis {
@@ -250,6 +260,27 @@ mod tests {
         assert_eq!(g.synthesis, SynthesisMethod::MapReduce);
         assert_eq!(g.num_chunks, 30);
         assert_eq!(g.intermediate_length, 300);
+    }
+
+    #[test]
+    fn effective_chunks_clamps_once_for_both_paths() {
+        // Zero-chunk requests still read one chunk when one exists.
+        assert_eq!(RagConfig::stuff(0).effective_chunks(10), 1);
+        // Requests are capped by what exists.
+        assert_eq!(RagConfig::stuff(8).effective_chunks(3), 3);
+        assert_eq!(RagConfig::stuff(8).effective_chunks(100), 8);
+        // An empty corpus yields nothing, whatever was requested.
+        assert_eq!(RagConfig::stuff(8).effective_chunks(0), 0);
+        // Idempotent under chaining: clamping against the corpus and then
+        // against the (already clamped) retrieval result is a fixed point,
+        // so the engine-timed count always equals the quality-path count.
+        for requested in [0u32, 1, 5, 10_000] {
+            for corpus in [0usize, 1, 7, 500] {
+                let cfg = RagConfig::stuff(requested);
+                let k = cfg.effective_chunks(corpus);
+                assert_eq!(cfg.effective_chunks(k), k);
+            }
+        }
     }
 
     #[test]

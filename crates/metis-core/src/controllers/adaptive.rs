@@ -62,6 +62,7 @@ impl ConfigController for AdaptiveRagController {
 mod tests {
     use super::*;
     use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+    use metis_vectordb::IndexMeta;
 
     #[test]
     fn pick_ignores_free_memory() {
@@ -79,6 +80,7 @@ mod tests {
                 preemption_pressure: 0.0,
                 chunk_size: 512,
                 query_tokens: 20,
+                index: IndexMeta::flat(64),
                 latency: &latency,
             })
         };

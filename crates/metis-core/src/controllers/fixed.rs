@@ -51,6 +51,7 @@ impl ConfigController for FixedController {
 mod tests {
     use super::*;
     use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+    use metis_vectordb::IndexMeta;
 
     #[test]
     fn always_serves_the_static_config() {
@@ -64,6 +65,7 @@ mod tests {
                 preemption_pressure: 0.0,
                 chunk_size: 512,
                 query_tokens: 30,
+                index: IndexMeta::flat(64),
                 latency: &latency,
             });
             assert_eq!(d.config, RagConfig::stuff(8));

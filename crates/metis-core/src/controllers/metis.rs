@@ -227,6 +227,7 @@ impl ConfigController for MetisController {
 mod tests {
     use super::*;
     use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+    use metis_vectordb::IndexMeta;
 
     fn metadata() -> DbMetadata {
         DbMetadata {
@@ -258,6 +259,7 @@ mod tests {
                 preemption_pressure: 0.0,
                 chunk_size: 512,
                 query_tokens: 24,
+                index: IndexMeta::flat(64),
                 latency: &latency,
             })
         };
@@ -285,6 +287,7 @@ mod tests {
                 preemption_pressure: pressure,
                 chunk_size: 512,
                 query_tokens: 24,
+                index: IndexMeta::flat(64),
                 latency: &latency,
             })
         };

@@ -34,7 +34,7 @@ use metis_datasets::QuerySpec;
 use metis_engine::{Priority, SchedPolicy};
 use metis_llm::{LatencyModel, Nanos};
 use metis_profiler::{EstimatedProfile, ProfilerKind};
-use metis_vectordb::DbMetadata;
+use metis_vectordb::{DbMetadata, IndexMeta};
 
 use crate::config::{PrunedSpace, RagConfig};
 
@@ -92,6 +92,11 @@ pub struct DecisionContext<'a> {
     pub chunk_size: u64,
     /// Query length in tokens.
     pub query_tokens: u64,
+    /// Metadata of the retrieval index serving this run (family, effective
+    /// `nlist`/`nprobe`, corpus size): controllers weighing deeper
+    /// retrieval can estimate its cost via [`IndexMeta::expected_scored`]
+    /// instead of assuming a free or constant-cost retriever.
+    pub index: IndexMeta,
     /// Latency model of the serving replicas (for SLO-constrained picks).
     pub latency: &'a LatencyModel,
 }

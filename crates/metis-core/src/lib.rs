@@ -32,6 +32,7 @@ pub mod controllers;
 pub mod extensions;
 pub mod mapping;
 pub mod memory;
+pub mod retrieval;
 pub mod runner;
 pub mod slo;
 pub mod synthesis;
@@ -48,6 +49,7 @@ pub use controllers::{
 pub use extensions::{rerank_hits, rewrite_query, ExtKnobs};
 pub use mapping::{map_profile, ProfileHistory};
 pub use memory::PlanDemand;
+pub use retrieval::RetrievalModel;
 pub use runner::{QueryResult, RunConfig, RunResult, Runner};
 pub use slo::{choose_config_with_slo, estimate_exec_secs, LatencySlo, SloTier};
 pub use synthesis::{plan_synthesis, PlannedCall, SynthesisPlan};

@@ -1,0 +1,121 @@
+//! Retrieval latency model: measured search work → simulated time.
+//!
+//! Retrieval used to be charged as one hardcoded constant that scanned the
+//! whole corpus whatever the index; now the vector database reports what
+//! each search actually did ([`SearchWork`]: vectors scored, centroids
+//! ranked, lists probed — full scan for flat, probed-list sizes for IVF)
+//! plus the embedder's per-query feature-hash units, and this model converts
+//! that work into nanoseconds on the discrete-event timeline. The constants
+//! keep the paper's regime — retrieval is >100× cheaper than synthesis
+//! (§2) — while making index choice, corpus scale, and probe depth visible
+//! in end-to-end latency.
+
+use metis_llm::Nanos;
+use metis_vectordb::SearchWork;
+
+/// Converts measured retrieval work into simulated nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetrievalModel {
+    /// Fixed per-query overhead (query setup, top-k merge, payload fetch).
+    pub base_nanos: Nanos,
+    /// Cost per embedder feature-hash unit (query embedding).
+    pub embed_nanos_per_unit: Nanos,
+    /// Cost per corpus vector scored.
+    pub vector_nanos: Nanos,
+    /// Cost per coarse-quantizer centroid scored (IVF only).
+    pub centroid_nanos: Nanos,
+    /// Cost per inverted list visited (pointer chasing; IVF only).
+    pub list_nanos: Nanos,
+}
+
+impl Default for RetrievalModel {
+    fn default() -> Self {
+        // The scan terms are calibrated to the old constant model (5 ms +
+        // 20 µs per chunk), so a flat run lands within ~0.2 ms of its
+        // pre-subsystem timing — the newly charged query-embedding term
+        // (~2 units/token × 2 µs) is the only shift.
+        Self {
+            base_nanos: 5_000_000,
+            embed_nanos_per_unit: 2_000,
+            vector_nanos: 20_000,
+            centroid_nanos: 20_000,
+            list_nanos: 5_000,
+        }
+    }
+}
+
+impl RetrievalModel {
+    /// Nanoseconds for one retrieval that performed `work` index-search
+    /// operations and `embed_units` of query embedding.
+    pub fn nanos(&self, work: &SearchWork, embed_units: u64) -> Nanos {
+        self.base_nanos
+            + self.embed_nanos_per_unit * embed_units
+            + self.vector_nanos * work.vectors_scored as Nanos
+            + self.centroid_nanos * work.centroids_scored as Nanos
+            + self.list_nanos * work.lists_probed as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_work_costs_the_base_only() {
+        let m = RetrievalModel::default();
+        assert_eq!(m.nanos(&SearchWork::default(), 0), m.base_nanos);
+    }
+
+    #[test]
+    fn flat_scan_matches_the_old_constant_model() {
+        // The pre-subsystem runner charged 5 ms + 20 µs × corpus size.
+        let m = RetrievalModel::default();
+        let n = 300;
+        let flat = m.nanos(&SearchWork::full_scan(n), 0);
+        assert_eq!(flat, 5_000_000 + 20_000 * n as Nanos);
+    }
+
+    #[test]
+    fn probing_fewer_vectors_is_strictly_cheaper() {
+        let m = RetrievalModel::default();
+        let corpus = 1_000usize;
+        let flat = m.nanos(&SearchWork::full_scan(corpus), 80);
+        let ivf = m.nanos(
+            &SearchWork {
+                vectors_scored: corpus / 8,
+                centroids_scored: 64,
+                lists_probed: 8,
+            },
+            80,
+        );
+        assert!(ivf < flat, "ivf {ivf} !< flat {flat}");
+    }
+
+    #[test]
+    fn cost_is_monotone_in_every_work_component() {
+        let m = RetrievalModel::default();
+        let base = SearchWork {
+            vectors_scored: 100,
+            centroids_scored: 16,
+            lists_probed: 4,
+        };
+        let c0 = m.nanos(&base, 10);
+        for grown in [
+            SearchWork {
+                vectors_scored: 101,
+                ..base
+            },
+            SearchWork {
+                centroids_scored: 17,
+                ..base
+            },
+            SearchWork {
+                lists_probed: 5,
+                ..base
+            },
+        ] {
+            assert!(m.nanos(&grown, 10) > c0);
+        }
+        assert!(m.nanos(&base, 11) > c0);
+    }
+}

@@ -9,11 +9,14 @@
 //! The driver is *system-agnostic*: all per-system policy (profiling,
 //! configuration choice, scheduling preferences, feedback) lives behind the
 //! [`ConfigController`] trait, built once from the run's [`SystemKind`].
-//! The runner only interleaves three event kinds on one virtual timeline:
-//! profiler completions (API calls, off-GPU), configuration decisions
-//! (which read the routed replica's free KV memory *at decision time* —
-//! the joint part of joint scheduling), and engine iterations across the
-//! replicas of a [`Cluster`].
+//! The runner interleaves four event kinds on one virtual timeline —
+//! per query: **Profile** (API call, off-GPU) → **Decide** (read the routed
+//! replica's free KV memory *at decision time* — the joint part of joint
+//! scheduling — and pick the configuration) → **Retrieve** (execute the
+//! index search the decided `num_chunks` asks for, charged by measured
+//! search work via [`RetrievalModel`]) → submit the synthesis calls to the
+//! replicas of a [`Cluster`]. Retrieval deliberately follows the decision:
+//! the real `index.search(query, top_k)` cannot run before `top_k` exists.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -28,15 +31,12 @@ use metis_llm::{
     LatencyModel, ModelKind, ModelSpec, Nanos,
 };
 use metis_metrics::{f1_score, LatencySummary, ThroughputSummary};
+use metis_vectordb::{IndexSpec, RetrievalOutcome, RetrievalResult};
 
 use crate::config::{RagConfig, SynthesisMethod};
 use crate::controllers::{ConfigController, DecisionContext, ProfileOutcome, SystemKind};
+use crate::retrieval::RetrievalModel;
 use crate::synthesis::{plan_synthesis, SynthesisInputs, SynthesisPlan};
-
-/// Retrieval latency: base plus per-chunk scan cost (retrieval is >100×
-/// cheaper than synthesis, §2).
-const RETRIEVAL_BASE_NANOS: Nanos = 5_000_000;
-const RETRIEVAL_PER_CHUNK_NANOS: Nanos = 20_000;
 
 /// One run's parameters.
 #[derive(Clone, Debug)]
@@ -69,6 +69,14 @@ pub struct RunConfig {
     /// disables reuse (the paper's default — it leaves KV reuse to future
     /// work).
     pub prefix_cache_bytes: Option<u64>,
+    /// The retrieval index the run serves against. Must match the index the
+    /// dataset's database was built with (see
+    /// [`build_dataset_with_index`](metis_datasets::build_dataset_with_index));
+    /// [`Runner::new`] checks the two agree so the report never claims an
+    /// index the searches didn't use.
+    pub index: IndexSpec,
+    /// Converts measured per-query retrieval work into timeline nanos.
+    pub retrieval: RetrievalModel,
     /// Master seed for all stochastic components.
     pub seed: u64,
 }
@@ -87,6 +95,8 @@ impl RunConfig {
             arrivals,
             closed_loop: false,
             prefix_cache_bytes: None,
+            index: IndexSpec::Flat,
+            retrieval: RetrievalModel::default(),
             seed,
         }
     }
@@ -110,6 +120,14 @@ pub struct QueryResult {
     pub delay_secs: f64,
     /// Profiler latency in seconds (0 for fixed-config systems).
     pub profiler_secs: f64,
+    /// Retrieval latency in seconds: the measured index-search work (plus
+    /// query embedding) of this query's retrieval, converted by the run's
+    /// [`RetrievalModel`].
+    pub retrieval_secs: f64,
+    /// Fraction of the query's needed base facts present in the retrieved
+    /// chunks — ground-truth retrieval recall at the executed `num_chunks`
+    /// (approximate indexes and shallow configurations both lower it).
+    pub retrieval_recall: f64,
     /// The executed configuration.
     pub config: RagConfig,
     /// Whether the §4.3 memory fallback fired.
@@ -164,6 +182,23 @@ impl RunResult {
     /// Full latency distribution.
     pub fn latency(&self) -> LatencySummary {
         LatencySummary::new(self.per_query.iter().map(|q| q.delay_secs).collect())
+    }
+
+    /// Retrieval-latency distribution across queries.
+    pub fn retrieval(&self) -> LatencySummary {
+        LatencySummary::new(self.per_query.iter().map(|q| q.retrieval_secs).collect())
+    }
+
+    /// Mean ground-truth retrieval recall across queries.
+    pub fn mean_retrieval_recall(&self) -> f64 {
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        self.per_query
+            .iter()
+            .map(|q| q.retrieval_recall)
+            .sum::<f64>()
+            / self.per_query.len() as f64
     }
 
     /// End-to-end delay distribution of one scheduling class.
@@ -232,10 +267,14 @@ impl RunResult {
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum EventKind {
-    /// Run the profiler (or skip straight to retrieval for fixed systems).
+    /// Run the profiler (or skip straight to deciding for fixed systems).
     Profile(usize),
-    /// Choose the configuration and submit the synthesis calls.
+    /// Choose the configuration (sized against the routed replica's free
+    /// memory) and start the retrieval its `num_chunks` asks for.
     Decide(usize),
+    /// Retrieval finished: plan synthesis over the fetched chunks and
+    /// submit the calls.
+    Retrieve(usize),
 }
 
 struct PendingQuery {
@@ -244,10 +283,26 @@ struct PendingQuery {
     outcome: ProfileOutcome,
 }
 
+/// A query between its Decide and Retrieve events: the decision is made and
+/// the index search is in flight.
+struct StagedQuery {
+    arrival: Nanos,
+    profiler_nanos: Nanos,
+    retrieval_nanos: Nanos,
+    retrieval_recall: f64,
+    priority: Priority,
+    config: RagConfig,
+    fallback: bool,
+    replica: ReplicaId,
+    retrieved: Vec<RetrievalResult>,
+}
+
 struct ActiveQuery {
     query_index: usize,
     arrival: Nanos,
     profiler_nanos: Nanos,
+    retrieval_nanos: Nanos,
+    retrieval_recall: f64,
     plan: SynthesisPlan,
     replica: ReplicaId,
     remaining: usize,
@@ -303,6 +358,12 @@ impl<'a> Runner<'a> {
             cfg.arrivals.len(),
             dataset.queries.len(),
             "need one arrival per query"
+        );
+        assert_eq!(
+            cfg.index,
+            dataset.db.index_meta().spec,
+            "RunConfig.index must match the dataset's index — build the \
+             dataset with build_dataset_with_index(.., cfg.index)"
         );
         Self { dataset, cfg }
     }
@@ -369,6 +430,7 @@ impl<'a> Runner<'a> {
                     .collect()
             });
         let mut pending: HashMap<usize, PendingQuery> = HashMap::new();
+        let mut staged: HashMap<usize, StagedQuery> = HashMap::new();
         let mut flight = Flight::default();
 
         loop {
@@ -404,7 +466,7 @@ impl<'a> Runner<'a> {
                                 self.cfg.seed ^ 0xF0F1,
                             );
                             flight.api_cost += outcome.cost_usd;
-                            let decide_at = t + outcome.profiler_nanos + self.retrieval_nanos();
+                            let decide_at = t + outcome.profiler_nanos;
                             pending.insert(
                                 q,
                                 PendingQuery {
@@ -422,10 +484,30 @@ impl<'a> Runner<'a> {
                         }
                         EventKind::Decide(q) => {
                             let p = pending.remove(&q).expect("profiled before decide");
-                            self.decide_and_submit(
+                            let (stage, retrieve_at) = self.decide_and_retrieve(
                                 q,
                                 t,
                                 p,
+                                &latency,
+                                &mut cluster,
+                                api_mode,
+                                controller.as_mut(),
+                            );
+                            staged.insert(q, stage);
+                            push(
+                                &mut heap,
+                                &mut events,
+                                &mut seq,
+                                retrieve_at,
+                                EventKind::Retrieve(q),
+                            );
+                        }
+                        EventKind::Retrieve(q) => {
+                            let stage = staged.remove(&q).expect("decided before retrieve");
+                            self.submit_after_retrieval(
+                                q,
+                                t,
+                                stage,
                                 &gen,
                                 &latency,
                                 &mut cluster,
@@ -501,27 +583,22 @@ impl<'a> Runner<'a> {
         }
     }
 
-    fn retrieval_nanos(&self) -> Nanos {
-        RETRIEVAL_BASE_NANOS + RETRIEVAL_PER_CHUNK_NANOS * self.dataset.db.len() as Nanos
-    }
-
-    /// Chooses the configuration for `q` at decision time `t` and submits
-    /// its synthesis calls to the routed replica.
+    /// Chooses the configuration for `q` at decision time `t` (against the
+    /// routed replica's memory snapshot), executes the index search the
+    /// decided `num_chunks` asks for, and returns the staged query plus the
+    /// timeline instant its retrieval completes — the measured search work
+    /// converted by the run's [`RetrievalModel`].
     #[allow(clippy::too_many_arguments)]
-    fn decide_and_submit(
+    fn decide_and_retrieve(
         &self,
         q: usize,
         t: Nanos,
         pending: PendingQuery,
-        gen: &GenerationModel,
         latency: &LatencyModel,
         cluster: &mut Cluster,
         api_mode: bool,
-        flight: &mut Flight,
         controller: &mut dyn ConfigController,
-        prefix_caches: &mut Option<Vec<PrefixCache>>,
-        mut push_event: impl FnMut(Nanos, EventKind),
-    ) {
+    ) -> (StagedQuery, Nanos) {
         let query = &self.dataset.queries[q];
         let chunk_size = self.dataset.db.metadata().chunk_size as u64;
         // Route first, then let the controller size its configuration
@@ -543,14 +620,66 @@ impl<'a> Runner<'a> {
             },
             chunk_size,
             query_tokens: query.tokens.len() as u64,
+            index: self.dataset.db.index_meta(),
             latency,
         });
         let (config, fallback) = (decision.config, decision.fallback);
 
-        let retrieved = self
-            .dataset
-            .db
-            .retrieve(&query.tokens, config.num_chunks.max(1) as usize);
+        // The real index search, sized by the decision's top-k through the
+        // one shared clamp, with per-search work accounting.
+        let top_k = config.effective_chunks(self.dataset.db.len());
+        let RetrievalOutcome {
+            results: retrieved,
+            work,
+            embed_units,
+        } = self.dataset.db.retrieve_counted(&query.tokens, top_k);
+        let retrieval_nanos = self.cfg.retrieval.nanos(&work, embed_units);
+        let retrieval_recall = fact_recall(query, &retrieved);
+        (
+            StagedQuery {
+                arrival: pending.arrival,
+                profiler_nanos: pending.outcome.profiler_nanos,
+                retrieval_nanos,
+                retrieval_recall,
+                priority: pending.outcome.priority,
+                config,
+                fallback,
+                replica,
+                retrieved,
+            },
+            t + retrieval_nanos,
+        )
+    }
+
+    /// Retrieval for `q` finished at `t`: plan synthesis over the fetched
+    /// chunks and submit the calls to the replica routed at decide time.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_after_retrieval(
+        &self,
+        q: usize,
+        t: Nanos,
+        stage: StagedQuery,
+        gen: &GenerationModel,
+        latency: &LatencyModel,
+        cluster: &mut Cluster,
+        api_mode: bool,
+        flight: &mut Flight,
+        controller: &mut dyn ConfigController,
+        prefix_caches: &mut Option<Vec<PrefixCache>>,
+        mut push_event: impl FnMut(Nanos, EventKind),
+    ) {
+        let query = &self.dataset.queries[q];
+        let StagedQuery {
+            arrival,
+            profiler_nanos,
+            retrieval_nanos,
+            retrieval_recall,
+            priority,
+            config,
+            fallback,
+            replica,
+            retrieved,
+        } = stage;
         let inputs = SynthesisInputs {
             gen,
             truth: &query.truth,
@@ -581,19 +710,20 @@ impl<'a> Runner<'a> {
                 latency.api_call(c.prompt_tokens, c.output_tokens)
             });
             let finish = t + map_nanos + reduce_nanos;
-            let arrival = pending.arrival;
             flight.results.push(QueryResult {
                 query_index: q,
                 f1: f1_score(&plan.answer, &query.gold_answer()),
                 delay_secs: nanos_to_secs(finish.saturating_sub(arrival)),
-                profiler_secs: nanos_to_secs(pending.outcome.profiler_nanos),
+                profiler_secs: nanos_to_secs(profiler_nanos),
+                retrieval_secs: nanos_to_secs(retrieval_nanos),
+                retrieval_recall,
                 config,
                 fallback,
                 replica: 0,
                 arrival_secs: nanos_to_secs(arrival),
                 finish_secs: nanos_to_secs(finish),
                 queue_wait_secs: 0.0,
-                priority: pending.outcome.priority,
+                priority,
             });
             if self.cfg.closed_loop && q + 1 < self.dataset.queries.len() {
                 push_event(finish, EventKind::Profile(q + 1));
@@ -618,7 +748,7 @@ impl<'a> Runner<'a> {
                 SynthesisMethod::Stuff => {
                     let total: u64 = retrieved
                         .iter()
-                        .take(config.num_chunks.max(1) as usize)
+                        .take(config.effective_chunks(retrieved.len()))
                         .map(|r| pc.lookup_or_insert(r.hit.chunk, r.text.len() as u64))
                         .sum();
                     vec![total]
@@ -632,7 +762,7 @@ impl<'a> Runner<'a> {
         };
 
         // Submit the first wave (maps / the single stuff call).
-        let stage = if plan.reduce_call.is_some() {
+        let wave_stage = if plan.reduce_call.is_some() {
             Stage::Map
         } else {
             Stage::Single
@@ -642,27 +772,30 @@ impl<'a> Runner<'a> {
             flight,
             SubmitWave {
                 query_index: q,
-                arrival: pending.arrival,
-                profiler_nanos: pending.outcome.profiler_nanos,
+                arrival,
+                profiler_nanos,
+                retrieval_nanos,
+                retrieval_recall,
                 plan,
                 replica,
-                stage,
+                stage: wave_stage,
                 cached_per_call: &cached_per_call,
                 now: t,
                 fallback,
                 synthetic: false,
-                priority: pending.outcome.priority,
+                priority,
             },
         );
 
         // §5 feedback: the controller may ask for one golden-configuration
-        // run whose completion grounds the profiler.
+        // run whose completion grounds the profiler. Its retrieval is
+        // background measurement and is not charged to the timeline.
         if controller.feedback_due() {
             let golden = RagConfig::golden();
-            let retrieved = self
-                .dataset
-                .db
-                .retrieve(&query.tokens, golden.num_chunks as usize);
+            let retrieved = self.dataset.db.retrieve(
+                &query.tokens,
+                golden.effective_chunks(self.dataset.db.len()),
+            );
             let plan = plan_synthesis(
                 &inputs,
                 &golden,
@@ -677,6 +810,8 @@ impl<'a> Runner<'a> {
                     query_index: q,
                     arrival: t,
                     profiler_nanos: 0,
+                    retrieval_nanos: 0,
+                    retrieval_recall: 0.0,
                     plan,
                     replica,
                     stage: Stage::Map,
@@ -690,7 +825,6 @@ impl<'a> Runner<'a> {
                 },
             );
         }
-        let _ = push_event; // Only used by closed-loop finalization below.
     }
 
     /// Submits one query's first wave of calls to its routed replica and
@@ -720,6 +854,8 @@ impl<'a> Runner<'a> {
             query_index: wave.query_index,
             arrival: wave.arrival,
             profiler_nanos: wave.profiler_nanos,
+            retrieval_nanos: wave.retrieval_nanos,
+            retrieval_recall: wave.retrieval_recall,
             plan: wave.plan,
             replica: wave.replica,
             remaining: call_count,
@@ -790,6 +926,8 @@ impl<'a> Runner<'a> {
                 f1: f1_score(&a.plan.answer, &query.gold_answer()),
                 delay_secs: nanos_to_secs(c.finish.saturating_sub(a.arrival)),
                 profiler_secs: nanos_to_secs(a.profiler_nanos),
+                retrieval_secs: nanos_to_secs(a.retrieval_nanos),
+                retrieval_recall: a.retrieval_recall,
                 config: a.plan.config,
                 fallback: a.fallback,
                 replica: c.replica.0,
@@ -814,6 +952,8 @@ struct SubmitWave<'a> {
     query_index: usize,
     arrival: Nanos,
     profiler_nanos: Nanos,
+    retrieval_nanos: Nanos,
+    retrieval_recall: f64,
     plan: SynthesisPlan,
     replica: ReplicaId,
     stage: Stage,
@@ -822,6 +962,24 @@ struct SubmitWave<'a> {
     fallback: bool,
     synthetic: bool,
     priority: Priority,
+}
+
+/// Fraction of the query's needed base facts present in `retrieved` —
+/// ground-truth retrieval recall at the executed depth. Queries that need
+/// no facts (never generated) would trivially score 1.
+fn fact_recall(query: &metis_datasets::QuerySpec, retrieved: &[RetrievalResult]) -> f64 {
+    if query.truth.base.is_empty() {
+        return 1.0;
+    }
+    let found: std::collections::HashSet<_> =
+        retrieved.iter().flat_map(|r| r.text.fact_ids()).collect();
+    let hit = query
+        .truth
+        .base
+        .iter()
+        .filter(|b| found.contains(&b.id))
+        .count();
+    hit as f64 / query.truth.base.len() as f64
 }
 
 /// Convenience: build Poisson arrivals matching the paper's default workload

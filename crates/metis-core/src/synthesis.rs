@@ -78,9 +78,9 @@ pub fn plan_synthesis(
     retrieved: &[RetrievalResult],
     seed: u64,
 ) -> SynthesisPlan {
-    let k = (config.num_chunks.max(1) as usize)
-        .min(retrieved.len())
-        .max(usize::from(!retrieved.is_empty()));
+    // The one shared clamp (`RagConfig::effective_chunks`): the runner times
+    // the engine against the same count the quality path consumes here.
+    let k = config.effective_chunks(retrieved.len());
     let chunks = &retrieved[..k];
     match config.synthesis {
         SynthesisMethod::Stuff => stuff(inputs, config, chunks, seed),
@@ -362,6 +362,32 @@ mod tests {
             enough > starved + 0.10,
             "starved={starved:.3} enough={enough:.3}"
         );
+    }
+
+    #[test]
+    fn engine_and_quality_paths_share_one_chunk_clamp() {
+        // The runner retrieves `effective_chunks(db.len())` chunks and the
+        // plan consumes `effective_chunks(retrieved.len())`: for every
+        // request size (including 0 and beyond the corpus) the two counts
+        // must be identical, so engine-timed work equals quality-path work.
+        let fx = fixture(DatasetKind::Squad);
+        let q = &fx.dataset.queries[0];
+        let inputs = SynthesisInputs {
+            gen: &fx.gen,
+            truth: &q.truth,
+            query_tokens: &q.tokens,
+            boilerplate: &fx.dataset.boilerplate,
+        };
+        for requested in [0u32, 3, 10_000] {
+            let cfg = RagConfig::map_rerank(requested);
+            let k = cfg.effective_chunks(fx.dataset.db.len());
+            let retrieved = fx.dataset.db.retrieve(&q.tokens, k);
+            assert_eq!(retrieved.len(), k, "retriever returned what exists");
+            let plan = plan_synthesis(&inputs, &cfg, &retrieved, 1);
+            // map_rerank plans exactly one call per consumed chunk.
+            assert_eq!(plan.map_calls.len(), cfg.effective_chunks(retrieved.len()));
+            assert_eq!(plan.map_calls.len(), k);
+        }
     }
 
     #[test]

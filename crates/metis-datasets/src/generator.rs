@@ -16,7 +16,7 @@ use metis_text::{
     AnnotatedText, ChunkId, Chunker, ChunkerConfig, FactId, TextGen, TokenChunk, TokenId,
     Tokenizer, TopicVocab,
 };
-use metis_vectordb::VectorDb;
+use metis_vectordb::{IndexSpec, VectorDb};
 
 use crate::dataset::Dataset;
 use crate::kinds::DatasetKind;
@@ -48,7 +48,13 @@ const BOILERPLATE_WORDS: usize = 24;
 ///
 /// Deterministic in `(kind, num_queries, seed)`.
 pub fn build_dataset(kind: DatasetKind, num_queries: usize, seed: u64) -> Dataset {
-    build_dataset_with_embedder(kind, num_queries, seed, Arc::new(HashEmbed::default()))
+    build_dataset_full(
+        kind,
+        num_queries,
+        seed,
+        Arc::new(HashEmbed::default()),
+        IndexSpec::Flat,
+    )
 }
 
 /// [`build_dataset`] with a caller-chosen embedding model (used by the
@@ -58,6 +64,36 @@ pub fn build_dataset_with_embedder(
     num_queries: usize,
     seed: u64,
     embedder: Arc<dyn Embedder>,
+) -> Dataset {
+    build_dataset_full(kind, num_queries, seed, embedder, IndexSpec::Flat)
+}
+
+/// [`build_dataset`] with a caller-chosen retrieval index (the corpus and
+/// queries are identical for every index; only the search structure built
+/// over the embeddings differs).
+pub fn build_dataset_with_index(
+    kind: DatasetKind,
+    num_queries: usize,
+    seed: u64,
+    index: IndexSpec,
+) -> Dataset {
+    build_dataset_full(
+        kind,
+        num_queries,
+        seed,
+        Arc::new(HashEmbed::default()),
+        index,
+    )
+}
+
+/// Fully parameterized dataset construction: embedding model and retrieval
+/// index both caller-chosen.
+pub fn build_dataset_full(
+    kind: DatasetKind,
+    num_queries: usize,
+    seed: u64,
+    embedder: Arc<dyn Embedder>,
+    index: IndexSpec,
 ) -> Dataset {
     let params = kind.params();
     let mut tokenizer = Tokenizer::new();
@@ -216,7 +252,13 @@ pub fn build_dataset_with_embedder(
         }
     }
 
-    let db = VectorDb::build(&all_chunks, embedder, params.description, params.chunk_size);
+    let db = VectorDb::build_with_index(
+        &all_chunks,
+        embedder,
+        params.description,
+        params.chunk_size,
+        index,
+    );
     Dataset {
         kind,
         db,
@@ -328,6 +370,35 @@ mod tests {
                 "{kind:?}: retrieval recall@3x = {recall:.2}"
             );
         }
+    }
+
+    #[test]
+    fn ivf_dataset_shares_the_corpus_and_keeps_recall_close() {
+        let flat = build_dataset(DatasetKind::Musique, 10, 6);
+        let ivf = build_dataset_with_index(DatasetKind::Musique, 10, 6, IndexSpec::ivf(16, 12));
+        assert_eq!(flat.db.len(), ivf.db.len(), "same corpus, different index");
+        assert_eq!(ivf.db.index_meta().spec, IndexSpec::ivf(16, 12));
+        // At generous nprobe the IVF index finds most of what flat finds.
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for q in &ivf.queries {
+            let a: std::collections::HashSet<_> = flat
+                .db
+                .retrieve(&q.tokens, 5)
+                .iter()
+                .map(|r| r.hit.chunk)
+                .collect();
+            for r in ivf.db.retrieve(&q.tokens, 5) {
+                total += 1;
+                if a.contains(&r.hit.chunk) {
+                    overlap += 1;
+                }
+            }
+        }
+        assert!(
+            overlap as f64 / total as f64 > 0.7,
+            "IVF@5 overlap with flat only {overlap}/{total}"
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod query;
 pub mod workload;
 
 pub use dataset::{Dataset, Table1Row};
-pub use generator::{build_dataset, build_dataset_with_embedder};
+pub use generator::{
+    build_dataset, build_dataset_full, build_dataset_with_embedder, build_dataset_with_index,
+};
 pub use kinds::{DatasetKind, GenParams};
 pub use profile::{Complexity, TrueProfile};
 pub use query::{QueryId, QuerySpec};

@@ -34,6 +34,14 @@ pub trait Embedder: Send + Sync {
 
     /// Embeds a token sequence into a unit-L2 vector of [`Self::dim`] floats.
     fn embed(&self, tokens: &[TokenId]) -> Vec<f32>;
+
+    /// Abstract cost of embedding a `token_count`-token text, in
+    /// feature-hash units (one unit per hashed feature probe). The
+    /// retrieval latency model converts units to simulated time, so models
+    /// that hash more features per token report proportionally more work.
+    fn embed_work(&self, token_count: usize) -> u64 {
+        token_count as u64
+    }
 }
 
 /// Identifies one of the built-in embedding models.
@@ -132,6 +140,11 @@ impl Embedder for HashEmbed {
         l2_normalize(&mut v);
         v
     }
+
+    fn embed_work(&self, token_count: usize) -> u64 {
+        // Two hash probes per unigram feature.
+        2 * token_count as u64
+    }
 }
 
 /// Unigram+bigram feature-hashing embedder ("All-mpnet-base-v2 simulator").
@@ -176,6 +189,11 @@ impl Embedder for NgramEmbed {
         l2_normalize(&mut v);
         v
     }
+
+    fn embed_work(&self, token_count: usize) -> u64 {
+        // Two unigram probes per token plus one bigram probe per window.
+        2 * token_count as u64 + token_count.saturating_sub(1) as u64
+    }
 }
 
 /// Independent-seed unigram embedder ("text-embedding-3-large-256
@@ -215,6 +233,11 @@ impl Embedder for ProjEmbed {
         hash_unigrams(tokens, self.dim, self.seed, 3, &mut v);
         l2_normalize(&mut v);
         v
+    }
+
+    fn embed_work(&self, token_count: usize) -> u64 {
+        // Three hash probes per unigram feature.
+        3 * token_count as u64
     }
 }
 
@@ -289,6 +312,16 @@ mod tests {
         let e = HashEmbed::default();
         let v = e.embed(&[]);
         assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn embed_work_scales_with_featurization() {
+        let t = 40usize;
+        assert_eq!(HashEmbed::default().embed_work(t), 80);
+        assert_eq!(ProjEmbed::default().embed_work(t), 120);
+        // The bigram model hashes unigrams plus one window per adjacent pair.
+        assert_eq!(NgramEmbed::default().embed_work(t), 80 + 39);
+        assert_eq!(NgramEmbed::default().embed_work(0), 0);
     }
 
     #[test]

@@ -11,7 +11,8 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Squared-root L2 (Euclidean) distance.
+/// L2 (Euclidean) distance: the square root of the summed squared
+/// component differences.
 ///
 /// # Panics
 ///

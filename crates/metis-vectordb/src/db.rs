@@ -8,7 +8,7 @@ use metis_text::{AnnotatedText, TokenChunk, TokenId};
 use crate::flat::FlatIndex;
 use crate::ivf::{IvfConfig, IvfIndex};
 use crate::store::ChunkStore;
-use crate::{Hit, VectorIndex};
+use crate::{Hit, SearchOutcome, SearchWork, VectorIndex};
 
 /// Database metadata consumed by METIS's LLM profiler (§4.1).
 ///
@@ -34,15 +34,123 @@ pub struct RetrievalResult {
     pub text: AnnotatedText,
 }
 
-/// Index backend for a [`VectorDb`].
+/// Index backend specification for a [`VectorDb`], chosen at build time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum IndexKind {
+pub enum IndexSpec {
     /// Exact flat L2 (FAISS `IndexFlatL2`) — the paper's setup.
     #[default]
     Flat,
     /// IVF approximate index (for corpus scales where exact search is too
     /// slow; trades a little recall for sublinear search).
-    Ivf,
+    Ivf {
+        /// Number of inverted lists (coarse centroids).
+        nlist: usize,
+        /// Lists probed per search.
+        nprobe: usize,
+        /// K-means refinement iterations at build time.
+        train_iters: usize,
+    },
+}
+
+impl IndexSpec {
+    /// An IVF spec with the default training schedule.
+    pub fn ivf(nlist: usize, nprobe: usize) -> Self {
+        Self::Ivf {
+            nlist,
+            nprobe,
+            train_iters: 8,
+        }
+    }
+
+    /// Index family name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexSpec::Flat => "flat",
+            IndexSpec::Ivf { .. } => "ivf",
+        }
+    }
+
+    /// Short display form, e.g. `flat` or `ivf(nlist=64,nprobe=8)`.
+    pub fn label(&self) -> String {
+        match self {
+            IndexSpec::Flat => "flat".to_owned(),
+            IndexSpec::Ivf { nlist, nprobe, .. } => {
+                format!("ivf(nlist={nlist},nprobe={nprobe})")
+            }
+        }
+    }
+
+    /// Checks the parameters are internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            IndexSpec::Flat => Ok(()),
+            IndexSpec::Ivf { nlist, nprobe, .. } => {
+                if nlist == 0 {
+                    return Err("nlist must be positive".into());
+                }
+                if nprobe == 0 {
+                    return Err("nprobe must be positive".into());
+                }
+                if nprobe > nlist {
+                    return Err(format!("nprobe ({nprobe}) must be <= nlist ({nlist})"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What a controller (or report) may know about the index serving a run:
+/// the requested spec plus the effective, data-clamped shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// The spec the database was built with.
+    pub spec: IndexSpec,
+    /// Effective inverted-list count (1 for flat).
+    pub nlist: usize,
+    /// Effective probe count (1 for flat).
+    pub nprobe: usize,
+    /// Number of indexed vectors.
+    pub vectors: usize,
+}
+
+impl IndexMeta {
+    /// Metadata of an exact flat index over `vectors` vectors.
+    pub fn flat(vectors: usize) -> Self {
+        Self {
+            spec: IndexSpec::Flat,
+            nlist: 1,
+            nprobe: 1,
+            vectors,
+        }
+    }
+
+    /// Expected distance computations per search under this index (a
+    /// balanced-lists estimate controllers can reason about without
+    /// running a query): the full corpus for flat, `nlist` centroids plus
+    /// `nprobe/nlist` of the corpus for IVF.
+    pub fn expected_scored(&self) -> usize {
+        match self.spec {
+            IndexSpec::Flat => self.vectors,
+            IndexSpec::Ivf { .. } => self.nlist + self.vectors * self.nprobe / self.nlist.max(1),
+        }
+    }
+}
+
+/// Retrieval results plus the measured work that produced them.
+#[derive(Clone, Debug)]
+pub struct RetrievalOutcome {
+    /// The retrieved chunks, in ascending distance order.
+    pub results: Vec<RetrievalResult>,
+    /// Index-search work accounting.
+    pub work: SearchWork,
+    /// Embedding work spent on the query, in the embedder's feature-hash
+    /// units ([`Embedder::embed_work`]).
+    pub embed_units: u64,
 }
 
 /// A complete retrieval database over one corpus.
@@ -53,6 +161,7 @@ pub enum IndexKind {
 pub struct VectorDb {
     embedder: Arc<dyn Embedder>,
     index: Box<dyn VectorIndex>,
+    index_meta: IndexMeta,
     store: ChunkStore,
     metadata: DbMetadata,
 }
@@ -66,40 +175,56 @@ impl VectorDb {
         description: &str,
         chunk_size: usize,
     ) -> Self {
-        Self::build_with_index(chunks, embedder, description, chunk_size, IndexKind::Flat)
+        Self::build_with_index(chunks, embedder, description, chunk_size, IndexSpec::Flat)
     }
 
     /// Builds the database with a chosen index backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`IndexSpec::validate`].
     pub fn build_with_index(
         chunks: &[TokenChunk],
         embedder: Arc<dyn Embedder>,
         description: &str,
         chunk_size: usize,
-        kind: IndexKind,
+        spec: IndexSpec,
     ) -> Self {
-        let index: Box<dyn VectorIndex> = match kind {
-            IndexKind::Flat => {
+        spec.validate().expect("invalid index spec");
+        let (index, index_meta): (Box<dyn VectorIndex>, IndexMeta) = match spec {
+            IndexSpec::Flat => {
                 let mut index = FlatIndex::new(embedder.dim());
                 for c in chunks {
                     index.add(c.id, &embedder.embed(c.text.tokens()));
                 }
-                Box::new(index)
+                (Box::new(index), IndexMeta::flat(chunks.len()))
             }
-            IndexKind::Ivf => {
+            IndexSpec::Ivf {
+                nlist,
+                nprobe,
+                train_iters,
+            } => {
                 let items: Vec<_> = chunks
                     .iter()
                     .map(|c| (c.id, embedder.embed(c.text.tokens())))
                     .collect();
-                let nlist = (chunks.len() / 24).clamp(1, 256);
-                Box::new(IvfIndex::build(
+                let index = IvfIndex::build(
                     embedder.dim(),
                     IvfConfig {
                         nlist,
-                        nprobe: (nlist / 3).max(2).min(nlist),
-                        train_iters: 6,
+                        nprobe,
+                        train_iters,
                     },
                     &items,
-                ))
+                );
+                let effective = index.config();
+                let meta = IndexMeta {
+                    spec,
+                    nlist: effective.nlist,
+                    nprobe: effective.nprobe,
+                    vectors: chunks.len(),
+                };
+                (Box::new(index), meta)
             }
         };
         let store = ChunkStore::from_chunks(chunks);
@@ -111,6 +236,7 @@ impl VectorDb {
         Self {
             embedder,
             index,
+            index_meta,
             store,
             metadata,
         }
@@ -118,9 +244,16 @@ impl VectorDb {
 
     /// Retrieves the `top_k` most similar chunks to the query.
     pub fn retrieve(&self, query_tokens: &[TokenId], top_k: usize) -> Vec<RetrievalResult> {
+        self.retrieve_counted(query_tokens, top_k).results
+    }
+
+    /// Retrieves the `top_k` most similar chunks plus the measured embed
+    /// and index-search work — what the runner's retrieval latency model
+    /// converts into simulated time.
+    pub fn retrieve_counted(&self, query_tokens: &[TokenId], top_k: usize) -> RetrievalOutcome {
         let q = self.embedder.embed(query_tokens);
-        self.index
-            .search(&q, top_k)
+        let SearchOutcome { hits, work } = self.index.search_counted(&q, top_k);
+        let results = hits
             .into_iter()
             .map(|hit| RetrievalResult {
                 hit,
@@ -129,12 +262,22 @@ impl VectorDb {
                     .get(hit.chunk)
                     .expect("index returned id missing from store"),
             })
-            .collect()
+            .collect();
+        RetrievalOutcome {
+            results,
+            work,
+            embed_units: self.embedder.embed_work(query_tokens.len()),
+        }
     }
 
     /// The database metadata (for the profiler).
     pub fn metadata(&self) -> &DbMetadata {
         &self.metadata
+    }
+
+    /// Metadata of the index serving this database.
+    pub fn index_meta(&self) -> IndexMeta {
+        self.index_meta
     }
 
     /// Number of chunks.
@@ -236,7 +379,7 @@ mod tests {
             Arc::new(HashEmbed::default()),
             "ivf corpus",
             64,
-            IndexKind::Ivf,
+            IndexSpec::ivf(4, 3),
         );
         let results = db.retrieve(&subject, 5);
         assert!(!results.is_empty());
@@ -245,6 +388,44 @@ mod tests {
             .iter()
             .any(|r| r.text.fact_ids().any(|f| f == FactId(1)));
         assert!(found, "IVF missed the fact chunk");
+        // The index metadata reflects the requested spec.
+        let meta = db.index_meta();
+        assert_eq!(meta.spec, IndexSpec::ivf(4, 3));
+        assert_eq!(meta.nlist, 4);
+        assert_eq!(meta.nprobe, 3);
+        assert_eq!(meta.vectors, db.len());
+        assert!(meta.expected_scored() < db.len() + meta.nlist);
+    }
+
+    #[test]
+    fn counted_retrieval_reports_work_and_embed_units() {
+        let (db, query, _) = build_db();
+        let out = db.retrieve_counted(&query, 3);
+        assert_eq!(out.results.len(), 3);
+        // Flat scan scores the entire corpus, probes no lists.
+        assert_eq!(out.work.vectors_scored, db.len());
+        assert_eq!(out.work.centroids_scored, 0);
+        assert_eq!(out.work.lists_probed, 0);
+        assert_eq!(out.embed_units, db.embedder().embed_work(query.len()));
+        assert!(out.embed_units > 0);
+        // The plain retrieve path returns the identical results.
+        let plain = db.retrieve(&query, 3);
+        assert_eq!(plain.len(), out.results.len());
+        for (a, b) in plain.iter().zip(&out.results) {
+            assert_eq!(a.hit.chunk, b.hit.chunk);
+        }
+    }
+
+    #[test]
+    fn index_spec_validation_catches_bad_ivf_shapes() {
+        assert!(IndexSpec::Flat.validate().is_ok());
+        assert!(IndexSpec::ivf(16, 4).validate().is_ok());
+        let err = IndexSpec::ivf(4, 16).validate().unwrap_err();
+        assert!(err.contains("must be <= nlist"), "got: {err}");
+        assert!(IndexSpec::ivf(0, 0).validate().is_err());
+        assert!(IndexSpec::ivf(4, 0).validate().is_err());
+        assert_eq!(IndexSpec::ivf(64, 8).label(), "ivf(nlist=64,nprobe=8)");
+        assert_eq!(IndexSpec::Flat.label(), "flat");
     }
 
     #[test]

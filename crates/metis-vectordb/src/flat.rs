@@ -5,11 +5,13 @@ use std::collections::BinaryHeap;
 
 use metis_text::ChunkId;
 
-use crate::{Hit, VectorIndex};
+use crate::{Hit, SearchOutcome, SearchWork, VectorIndex};
 
 /// Candidate ordered so that the *worst* (largest-distance) hit is at the top
 /// of a max-heap, letting us keep only the best `k`.
 struct HeapEntry {
+    /// *Squared* L2 distance during the scan (the monotone transform is
+    /// square-rooted only when hits are emitted).
     distance: f32,
     chunk: ChunkId,
 }
@@ -120,10 +122,13 @@ impl VectorIndex for FlatIndex {
         self.ids.len()
     }
 
-    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+    fn search_counted(&self, query: &[f32], k: usize) -> SearchOutcome {
         assert_eq!(query.len(), self.dim, "dimension mismatch");
         if k == 0 || self.ids.is_empty() {
-            return Vec::new();
+            return SearchOutcome {
+                hits: Vec::new(),
+                work: SearchWork::default(),
+            };
         }
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
         for row in 0..self.ids.len() {
@@ -156,7 +161,10 @@ impl VectorIndex for FlatIndex {
                 .unwrap_or(Ordering::Equal)
                 .then_with(|| a.chunk.cmp(&b.chunk))
         });
-        hits
+        SearchOutcome {
+            hits,
+            work: SearchWork::full_scan(self.ids.len()),
+        }
     }
 }
 
@@ -246,6 +254,18 @@ mod tests {
             assert_eq!(hit.chunk, ChunkId(*i));
             assert!((hit.distance - d).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn work_accounting_reports_the_full_scan() {
+        let idx = grid_index();
+        let out = idx.search_counted(&[1.0, 0.0], 2);
+        assert_eq!(out.hits.len(), 2);
+        assert_eq!(out.work, SearchWork::full_scan(5));
+        assert_eq!(out.work.distances(), 5);
+        // A k = 0 search does no work at all.
+        let none = idx.search_counted(&[1.0, 0.0], 0);
+        assert_eq!(none.work, SearchWork::default());
     }
 
     #[test]

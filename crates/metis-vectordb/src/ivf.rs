@@ -1,17 +1,19 @@
 //! Inverted-file (IVF) approximate index.
 //!
 //! A small k-means coarse quantizer assigns each vector to its nearest
-//! centroid; search probes the `nprobe` nearest lists. Included because real
-//! deployments at the paper's corpus scale use IVF, and the retrieval-recall
-//! sensitivity it introduces is a useful ablation axis. The paper's own
-//! evaluation uses the exact flat index ([`crate::FlatIndex`]), which remains
-//! the default everywhere.
+//! centroid; search probes the `nprobe` nearest lists and scores only their
+//! members, so the work per query is `nlist` centroid distances plus the
+//! probed lists' sizes instead of the whole corpus. Real deployments at the
+//! paper's corpus scale use IVF for exactly this sub-linear scan; the
+//! recall-vs-latency sensitivity it introduces is the retrieval ablation
+//! axis (`fig_retrieval`). The paper's own evaluation uses the exact flat
+//! index ([`crate::FlatIndex`]), which remains the default everywhere.
 
 use std::cmp::Ordering;
 
 use metis_text::ChunkId;
 
-use crate::{Hit, VectorIndex};
+use crate::{Hit, SearchOutcome, SearchWork, VectorIndex};
 
 /// IVF build/search parameters.
 #[derive(Clone, Copy, Debug)]
@@ -54,8 +56,33 @@ fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
         .sum()
 }
 
+/// Deterministic strided seeds, skipping vectors identical to an
+/// already-chosen seed: duplicate seeds would collapse two centroids onto
+/// one point and permanently orphan a list. When the corpus has fewer
+/// distinct vectors than `nlist`, the stride pick is reused as-is
+/// (duplicates are then unavoidable).
+fn seed_centroids(items: &[(ChunkId, Vec<f32>)], nlist: usize) -> Vec<Vec<f32>> {
+    let mut seeds: Vec<Vec<f32>> = Vec::with_capacity(nlist);
+    let mut taken = vec![false; items.len()];
+    for i in 0..nlist {
+        let start = i * items.len() / nlist;
+        let pick = (0..items.len())
+            .map(|o| (start + o) % items.len())
+            .find(|&j| !taken[j] && !seeds.iter().any(|s| s == &items[j].1));
+        let j = pick.unwrap_or(start);
+        taken[j] = true;
+        seeds.push(items[j].1.clone());
+    }
+    seeds
+}
+
 impl IvfIndex {
     /// Builds the index from `(id, vector)` pairs.
+    ///
+    /// Whenever `items.len() >= nlist` every inverted list is guaranteed
+    /// non-empty: empty clusters are re-seeded during training from the
+    /// largest cluster's farthest member, and a final repair pass moves
+    /// outliers into any list that still ended up empty.
     ///
     /// # Panics
     ///
@@ -69,20 +96,20 @@ impl IvfIndex {
             assert_eq!(v.len(), dim, "dimension mismatch");
         }
         let nlist = config.nlist.min(items.len().max(1));
-        // Initialize centroids by striding through the data (deterministic).
         let mut centroids: Vec<Vec<f32>> = if items.is_empty() {
             vec![vec![0.0; dim]; nlist]
         } else {
-            (0..nlist)
-                .map(|i| items[i * items.len() / nlist].1.clone())
-                .collect()
+            seed_centroids(items, nlist)
         };
-        // Lloyd iterations.
+        // Lloyd iterations with empty-cluster repair.
         for _ in 0..config.train_iters {
+            let assign: Vec<usize> = items
+                .iter()
+                .map(|(_, v)| Self::nearest_centroid(&centroids, v))
+                .collect();
             let mut sums = vec![vec![0.0f64; dim]; nlist];
             let mut counts = vec![0usize; nlist];
-            for (_, v) in items {
-                let c = Self::nearest_centroid(&centroids, v);
+            for (&c, (_, v)) in assign.iter().zip(items) {
                 counts[c] += 1;
                 for (s, x) in sums[c].iter_mut().zip(v) {
                     *s += f64::from(*x);
@@ -95,11 +122,60 @@ impl IvfIndex {
                     }
                 }
             }
+            // A cluster that attracted no members would otherwise keep its
+            // stale centroid forever, silently wasting the list: re-seed it
+            // on the farthest member of the currently largest cluster.
+            let mut stolen = vec![false; items.len()];
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    continue;
+                }
+                let Some(donor) = (0..nlist)
+                    .filter(|&d| counts[d] > 1)
+                    .max_by_key(|&d| counts[d])
+                else {
+                    continue;
+                };
+                let far = (0..items.len())
+                    .filter(|&i| assign[i] == donor && !stolen[i])
+                    .max_by(|&a, &b| {
+                        sq_l2(&items[a].1, &centroids[donor])
+                            .partial_cmp(&sq_l2(&items[b].1, &centroids[donor]))
+                            .unwrap_or(Ordering::Equal)
+                    });
+                if let Some(i) = far {
+                    centroids[c] = items[i].1.clone();
+                    stolen[i] = true;
+                    counts[donor] -= 1;
+                    counts[c] += 1;
+                }
+            }
         }
         let mut lists = vec![Vec::new(); nlist];
         for (id, v) in items {
             let c = Self::nearest_centroid(&centroids, v);
             lists[c].push((*id, v.clone()));
+        }
+        // Final repair: as long as one list is empty while another holds
+        // more than one member, hand the donor's farthest outlier to the
+        // empty list (always satisfiable when `items.len() >= nlist`).
+        while let Some(empty) = lists.iter().position(Vec::is_empty) {
+            let Some(donor) = (0..nlist)
+                .filter(|&d| lists[d].len() > 1)
+                .max_by_key(|&d| lists[d].len())
+            else {
+                break;
+            };
+            let far = (0..lists[donor].len())
+                .max_by(|&a, &b| {
+                    sq_l2(&lists[donor][a].1, &centroids[donor])
+                        .partial_cmp(&sq_l2(&lists[donor][b].1, &centroids[donor]))
+                        .unwrap_or(Ordering::Equal)
+                })
+                .expect("donor list is non-empty");
+            let (id, v) = lists[donor].swap_remove(far);
+            centroids[empty] = v.clone();
+            lists[empty].push((id, v));
         }
         Self {
             dim,
@@ -131,6 +207,11 @@ impl IvfIndex {
     pub fn config(&self) -> IvfConfig {
         self.config
     }
+
+    /// Size of every inverted list, in list order.
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(Vec::len).collect()
+    }
 }
 
 impl VectorIndex for IvfIndex {
@@ -138,10 +219,13 @@ impl VectorIndex for IvfIndex {
         self.len
     }
 
-    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+    fn search_counted(&self, query: &[f32], k: usize) -> SearchOutcome {
         assert_eq!(query.len(), self.dim, "dimension mismatch");
         if k == 0 || self.len == 0 {
-            return Vec::new();
+            return SearchOutcome {
+                hits: Vec::new(),
+                work: SearchWork::default(),
+            };
         }
         // Rank centroids by distance, probe the nearest `nprobe` lists.
         let mut order: Vec<(f32, usize)> = self
@@ -152,7 +236,14 @@ impl VectorIndex for IvfIndex {
             .collect();
         order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
         let mut hits: Vec<Hit> = Vec::new();
+        let mut work = SearchWork {
+            vectors_scored: 0,
+            centroids_scored: self.centroids.len(),
+            lists_probed: 0,
+        };
         for &(_, list) in order.iter().take(self.config.nprobe) {
+            work.lists_probed += 1;
+            work.vectors_scored += self.lists[list].len();
             for (id, v) in &self.lists[list] {
                 hits.push(Hit {
                     chunk: *id,
@@ -167,7 +258,7 @@ impl VectorIndex for IvfIndex {
                 .then_with(|| a.chunk.cmp(&b.chunk))
         });
         hits.truncate(k);
-        hits
+        SearchOutcome { hits, work }
     }
 }
 
@@ -242,5 +333,95 @@ mod tests {
         let idx = IvfIndex::build(1, IvfConfig::default(), &items);
         assert_eq!(idx.config().nlist, 1);
         assert_eq!(idx.search(&[1.0], 1).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_seeds_do_not_orphan_lists() {
+        // The strided seeds (positions 0, 2, 4, 6 for nlist = 4 over 8
+        // items) land on duplicate vectors: without de-duplication two
+        // centroids coincide and one list stays empty forever.
+        let items: Vec<(ChunkId, Vec<f32>)> = vec![
+            (ChunkId(0), vec![0.0, 0.0]),
+            (ChunkId(1), vec![0.0, 0.0]),
+            (ChunkId(2), vec![0.0, 0.0]),
+            (ChunkId(3), vec![0.0, 0.1]),
+            (ChunkId(4), vec![10.0, 10.0]),
+            (ChunkId(5), vec![10.0, 10.1]),
+            (ChunkId(6), vec![20.0, 20.0]),
+            (ChunkId(7), vec![20.0, 20.1]),
+        ];
+        let idx = IvfIndex::build(
+            2,
+            IvfConfig {
+                nlist: 4,
+                nprobe: 4,
+                train_iters: 6,
+            },
+            &items,
+        );
+        let sizes = idx.list_sizes();
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "empty list despite items.len() >= nlist: {sizes:?}"
+        );
+        assert_eq!(sizes.iter().sum::<usize>(), items.len());
+    }
+
+    #[test]
+    fn no_empty_lists_when_items_cover_nlist() {
+        // Two tight natural clusters but nlist = 4: naive Lloyd leaves two
+        // stale centroids empty; re-seeding + repair must reclaim them.
+        let items = clustered_data();
+        for nlist in [2usize, 4, 8, 16] {
+            let idx = IvfIndex::build(
+                2,
+                IvfConfig {
+                    nlist,
+                    nprobe: 1,
+                    train_iters: 8,
+                },
+                &items,
+            );
+            let sizes = idx.list_sizes();
+            assert!(
+                sizes.iter().all(|&s| s > 0),
+                "nlist={nlist}: empty list: {sizes:?}"
+            );
+            assert_eq!(sizes.iter().sum::<usize>(), items.len());
+        }
+    }
+
+    #[test]
+    fn search_work_counts_probed_lists_only() {
+        let items = clustered_data();
+        let idx = IvfIndex::build(
+            2,
+            IvfConfig {
+                nlist: 4,
+                nprobe: 2,
+                train_iters: 5,
+            },
+            &items,
+        );
+        let out = idx.search_counted(&[0.0, 0.0], 5);
+        assert_eq!(out.work.lists_probed, 2);
+        assert_eq!(out.work.centroids_scored, 4);
+        let sizes = idx.list_sizes();
+        assert!(out.work.vectors_scored < items.len());
+        assert!(out.work.vectors_scored >= *sizes.iter().min().unwrap());
+        // Full probe scores exactly the whole corpus.
+        let full = IvfIndex::build(
+            2,
+            IvfConfig {
+                nlist: 4,
+                nprobe: 4,
+                train_iters: 5,
+            },
+            &items,
+        );
+        assert_eq!(
+            full.search_counted(&[0.0, 0.0], 5).work.vectors_scored,
+            items.len()
+        );
     }
 }

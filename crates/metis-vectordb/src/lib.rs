@@ -11,7 +11,7 @@ pub mod flat;
 pub mod ivf;
 pub mod store;
 
-pub use db::{DbMetadata, IndexKind, RetrievalResult, VectorDb};
+pub use db::{DbMetadata, IndexMeta, IndexSpec, RetrievalOutcome, RetrievalResult, VectorDb};
 pub use flat::FlatIndex;
 pub use ivf::{IvfConfig, IvfIndex};
 pub use store::ChunkStore;
@@ -27,6 +27,46 @@ pub struct Hit {
     pub distance: f32,
 }
 
+/// Work performed by one index search, in units of distance computations —
+/// the measured quantity a retrieval latency model converts into time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchWork {
+    /// Corpus vectors scored against the query: the whole corpus for a flat
+    /// scan, the members of the probed lists for IVF.
+    pub vectors_scored: usize,
+    /// Coarse-quantizer centroids scored (IVF ranks every centroid before
+    /// probing; 0 for flat).
+    pub centroids_scored: usize,
+    /// Inverted lists visited (IVF: the effective `nprobe`; flat scans one
+    /// contiguous array and reports 0).
+    pub lists_probed: usize,
+}
+
+impl SearchWork {
+    /// The work of an exact full scan over `n` vectors.
+    pub fn full_scan(n: usize) -> Self {
+        Self {
+            vectors_scored: n,
+            centroids_scored: 0,
+            lists_probed: 0,
+        }
+    }
+
+    /// Total distance computations (corpus vectors + centroids).
+    pub fn distances(&self) -> usize {
+        self.vectors_scored + self.centroids_scored
+    }
+}
+
+/// Hits plus the measured work that produced them.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The `k` nearest chunks, in ascending distance order.
+    pub hits: Vec<Hit>,
+    /// Work accounting for this search.
+    pub work: SearchWork,
+}
+
 /// Common interface over the index variants.
 pub trait VectorIndex: Send + Sync {
     /// Number of indexed vectors.
@@ -37,6 +77,12 @@ pub trait VectorIndex: Send + Sync {
         self.len() == 0
     }
 
-    /// Returns the `k` nearest chunks to `query` in ascending distance order.
-    fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
+    /// Returns the `k` nearest chunks plus the work the search performed.
+    fn search_counted(&self, query: &[f32], k: usize) -> SearchOutcome;
+
+    /// Returns the `k` nearest chunks to `query` in ascending distance
+    /// order (for callers that don't need work accounting).
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.search_counted(query, k).hits
+    }
 }

@@ -56,12 +56,12 @@ pub mod prelude {
     pub use metis_core::{
         choose_config, choose_config_with_slo, map_profile, plan_agentic, plan_synthesis,
         rerank_hits, rewrite_query, AgenticInputs, BestFitInputs, ConfigController, ExtKnobs,
-        LatencySlo, MetisOptions, PickPolicy, PrunedSpace, RagConfig, RunConfig, RunResult, Runner,
-        SloTier, SynthesisMethod, SystemKind,
+        LatencySlo, MetisOptions, PickPolicy, PrunedSpace, RagConfig, RetrievalModel, RunConfig,
+        RunResult, Runner, SloTier, SynthesisMethod, SystemKind,
     };
     pub use metis_datasets::{
-        build_dataset, burst_arrivals, diurnal_arrivals, gamma_arrivals, poisson_arrivals,
-        ArrivalProcess, Complexity, Dataset, DatasetKind, QuerySpec, TrueProfile,
+        build_dataset, build_dataset_with_index, burst_arrivals, diurnal_arrivals, gamma_arrivals,
+        poisson_arrivals, ArrivalProcess, Complexity, Dataset, DatasetKind, QuerySpec, TrueProfile,
     };
     pub use metis_engine::{
         Cluster, Engine, EngineConfig, Priority, ReplicaId, RouterPolicy, SchedPolicy,
@@ -71,4 +71,5 @@ pub mod prelude {
     };
     pub use metis_metrics::{f1_score, CostModel, LatencySummary};
     pub use metis_profiler::{EstimatedProfile, LlmProfiler, ProfilerKind};
+    pub use metis_vectordb::{IndexMeta, IndexSpec};
 }

@@ -13,7 +13,7 @@ use metis::engine::{
 use metis::llm::{GenerationModel, GpuCluster, LatencyModel, ModelSpec};
 use metis::metrics::f1_score;
 use metis::text::{AnnotatedText, Chunker, ChunkerConfig, TokenId};
-use metis::vectordb::{FlatIndex, VectorIndex};
+use metis::vectordb::{FlatIndex, IvfConfig, IvfIndex, VectorIndex};
 
 fn tokens(ids: &[u32]) -> Vec<TokenId> {
     ids.iter().map(|&i| TokenId(i)).collect()
@@ -96,6 +96,51 @@ proptest! {
         prop_assert_eq!(hits.len(), k.min(rows.len()));
         for (h, (d, _)) in hits.iter().zip(&brute) {
             prop_assert!((h.distance - d).abs() < 1e-4);
+        }
+    }
+
+    /// IVF recall@k against the exact flat index is monotone non-decreasing
+    /// in `nprobe` (probing more lists only grows the candidate set),
+    /// reaches exactly 1.0 at `nprobe == nlist` (every list probed = the
+    /// full scan under the same tie-break order), and the probed search
+    /// work never exceeds the full-scan work of the same query.
+    #[test]
+    fn ivf_recall_monotone_in_nprobe(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 4), 8..64),
+        q in prop::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let k = 5usize;
+        let items: Vec<(metis::text::ChunkId, Vec<f32>)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (metis::text::ChunkId(i as u32), r.clone()))
+            .collect();
+        let mut flat = FlatIndex::new(4);
+        for (id, v) in &items {
+            flat.add(*id, v);
+        }
+        let gold: std::collections::HashSet<_> =
+            flat.search(&q, k).into_iter().map(|h| h.chunk).collect();
+        let nlist = 4usize;
+        let mut prev = 0.0f64;
+        for nprobe in 1..=nlist {
+            // Same items and training schedule → identical centroids; only
+            // the probe depth differs between the builds.
+            let idx = IvfIndex::build(4, IvfConfig { nlist, nprobe, train_iters: 4 }, &items);
+            let out = idx.search_counted(&q, k);
+            let hit = out.hits.iter().filter(|h| gold.contains(&h.chunk)).count();
+            let recall = hit as f64 / gold.len() as f64;
+            prop_assert!(
+                recall >= prev - 1e-12,
+                "recall dropped from {prev:.3} to {recall:.3} at nprobe {nprobe}"
+            );
+            prev = recall;
+            prop_assert!(out.work.vectors_scored <= items.len());
+            prop_assert!(out.work.lists_probed == nprobe);
+            if nprobe == nlist {
+                prop_assert!((recall - 1.0).abs() < 1e-12, "full probe recall {recall}");
+                prop_assert_eq!(out.work.vectors_scored, items.len());
+            }
         }
     }
 
