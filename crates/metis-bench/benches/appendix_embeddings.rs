@@ -1,9 +1,14 @@
 //! Appendix A.2: swapping the embedding model changes F1 by less than 1%
 //! and delay not at all (retrieval is >100x cheaper than synthesis).
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits
+//! `bench-reports/appendix_embeddings.json`.
 
 use std::sync::Arc;
 
-use metis_bench::{base_qps, header, metis, run, DATASET_SEED, RUN_SEED};
+use metis_bench::{
+    base_qps, bench_queries, emit, header, metis, new_report, run, Sweep, DATASET_SEED, RUN_SEED,
+};
 use metis_datasets::{build_dataset_with_embedder, DatasetKind};
 use metis_embed::EmbedderKind;
 
@@ -15,26 +20,44 @@ fn main() {
          F1 change within 1%, no measurable delay difference",
     );
     let kind = DatasetKind::Musique;
-    let mut baseline_f1 = None;
+    let n = bench_queries(120);
+    let mut sweep = Sweep::new("appendix_embeddings");
     for ek in EmbedderKind::all() {
-        let embedder = ek.build();
-        let name = embedder.name().to_owned();
-        let d = build_dataset_with_embedder(kind, 120, DATASET_SEED, Arc::from(embedder));
-        let r = run(&d, metis(), base_qps(kind), RUN_SEED);
-        let f1 = r.mean_f1();
-        let delta = match baseline_f1 {
-            None => {
-                baseline_f1 = Some(f1);
-                0.0
-            }
-            Some(b) => (f1 / b - 1.0) * 100.0,
+        let name = ek.build().name().to_owned();
+        sweep = sweep.cell_with_seed(name, RUN_SEED, move |seed| {
+            let embedder = ek.build();
+            let d = build_dataset_with_embedder(kind, n, DATASET_SEED, Arc::from(embedder));
+            run(&d, metis(), base_qps(kind), seed)
+        });
+    }
+    let cells = sweep.run();
+    let baseline_f1 = cells[0].value.mean_f1();
+    let mut report = new_report(
+        "appendix_embeddings",
+        "embedding-model sensitivity on Musique",
+    )
+    .knob("queries", n)
+    .knob("dataset", kind.name());
+    for (i, cell) in cells.iter().enumerate() {
+        let f1 = cell.value.mean_f1();
+        let delta = if i == 0 {
+            0.0
+        } else {
+            (f1 / baseline_f1 - 1.0) * 100.0
         };
         println!(
             "  {:<34} F1 {:.3} ({:+.2}%)   delay {:>5.2}s",
-            name,
+            cell.id,
             f1,
             delta,
-            r.mean_delay_secs()
+            cell.value.mean_delay_secs()
+        );
+        report.cells.push(
+            cell.value
+                .cell_report(&cell.id, cell.seed)
+                .knob("embedder", &cell.id)
+                .metric("f1_delta_pct_vs_first", delta),
         );
     }
+    emit(&report);
 }

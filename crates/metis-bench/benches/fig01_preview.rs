@@ -1,16 +1,20 @@
 //! Figure 1: headline preview on KG RAG FinSec — METIS vs AdaptiveRAG*,
 //! Parrot*, and vLLM on both delay and quality.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig01_preview.json`.
 
 use metis_bench::{
-    adaptive_rag, base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, print_rows,
-    run, sweep_fixed, Row, RUN_SEED,
+    adaptive_rag, base_qps, bench_queries, best_quality_fixed, dataset, emit, fixed_menu, header,
+    metis, new_report, print_rows, run, sweep_fixed, Row, Sweep, RUN_SEED,
 };
+use metis_core::SystemKind;
 use metis_datasets::DatasetKind;
 
 fn main() {
     let kind = DatasetKind::FinSec;
     let qps = base_qps(kind);
-    let d = dataset(kind, 150);
+    let n = bench_queries(150);
+    let d = dataset(kind, n);
     header(
         "Figure 1",
         &format!(
@@ -22,18 +26,27 @@ fn main() {
          delay-quality plane",
     );
 
-    let m = run(&d, metis(), qps, RUN_SEED);
-    let a = run(&d, adaptive_rag(), qps, RUN_SEED);
     // Fixed-config baselines pick their best-quality static configuration.
     let vllm_sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
     let (vc, vr) = best_quality_fixed(&vllm_sweep);
-    let parrot_sweep = sweep_fixed(&d, &[*vc], qps, RUN_SEED, true);
-    let (pc, pr) = &parrot_sweep[0];
+    let config = *vc;
+    let d = &d;
+    let cells = Sweep::new("fig01")
+        .cell_with_seed("metis", RUN_SEED, move |seed| run(d, metis(), qps, seed))
+        .cell_with_seed("adaptive_rag", RUN_SEED, move |seed| {
+            run(d, adaptive_rag(), qps, seed)
+        })
+        .cell_with_seed("parrot", RUN_SEED, move |seed| {
+            run(d, SystemKind::Parrot { config }, qps, seed)
+        })
+        .run();
+    let by = |id: &str| &cells.iter().find(|c| c.id == id).expect("cell").value;
+    let (m, a, pr) = (by("metis"), by("adaptive_rag"), by("parrot"));
 
     let rows = vec![
-        Row::from_run("METIS (ours)", &m),
-        Row::from_run("AdaptiveRAG*", &a),
-        Row::from_run(format!("Parrot* [{}]", pc.label()), pr),
+        Row::from_run("METIS (ours)", m),
+        Row::from_run("AdaptiveRAG*", a),
+        Row::from_run(format!("Parrot* [{}]", vc.label()), pr),
         Row::from_run(format!("vLLM fixed [{}]", vc.label()), vr),
     ];
     print_rows(&rows);
@@ -49,4 +62,21 @@ fn main() {
         a.mean_f1(),
         vr.mean_f1()
     );
+
+    let mut report = new_report("fig01_preview", "headline preview on KG RAG FinSec")
+        .knob("queries", n)
+        .knob("dataset", kind.name())
+        .knob("fixed_config", vc.label());
+    for cell in &cells {
+        report.cells.push(
+            cell.value
+                .cell_report(&cell.id, cell.seed)
+                .knob("system", &cell.id),
+        );
+    }
+    report.cells.push(
+        vr.cell_report("vllm_fixed_best", RUN_SEED)
+            .knob("system", "vllm_fixed"),
+    );
+    emit(&report);
 }

@@ -2,19 +2,28 @@
 //! tradeoff for three Musique-like queries of increasing complexity
 //! (Q1 green / Q2 blue / Q3 red in the paper).
 //!
-//! Quality per point is averaged over 60 generation seeds; delay is the
+//! Quality per point is averaged over generation seeds; delay is the
 //! isolated (contention-free) execution of the plan on one A40.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES` caps the seed-averaging count (the
+//! probe dataset stays at 60 queries — the Q1/Q2/Q3 exemplars must exist).
+//! Emits `bench-reports/fig04_knobs.json`.
 
-use metis_bench::{dataset, header, isolated_delay};
+use metis_bench::{bench_queries, dataset, emit, header, isolated_delay, new_report, Sweep};
 use metis_core::synthesis::SynthesisInputs;
 use metis_core::{plan_synthesis, RagConfig, SynthesisMethod};
 use metis_datasets::{Complexity, Dataset, DatasetKind, QuerySpec};
 use metis_llm::{GenModelConfig, GenerationModel, GpuCluster, ModelSpec};
 use metis_metrics::f1_score;
 
-const SEEDS: u64 = 60;
-
-fn eval(d: &Dataset, q: &QuerySpec, gen: &GenerationModel, cfg: RagConfig) -> (f64, f64) {
+fn eval(
+    d: &Dataset,
+    q: &QuerySpec,
+    gen: &GenerationModel,
+    cfg: RagConfig,
+    seeds: u64,
+    seed_base: u64,
+) -> (f64, f64) {
     let retrieved = d.db.retrieve(&q.tokens, cfg.effective_chunks(d.db.len()));
     let inputs = SynthesisInputs {
         gen,
@@ -25,8 +34,13 @@ fn eval(d: &Dataset, q: &QuerySpec, gen: &GenerationModel, cfg: RagConfig) -> (f
     let gold = q.gold_answer();
     let mut f1 = 0.0;
     let mut plan = None;
-    for s in 0..SEEDS {
-        let p = plan_synthesis(&inputs, &cfg, &retrieved, s.wrapping_mul(0x5851_F42D));
+    for s in 0..seeds {
+        let p = plan_synthesis(
+            &inputs,
+            &cfg,
+            &retrieved,
+            seed_base ^ s.wrapping_mul(0x5851_F42D),
+        );
         f1 += f1_score(&p.answer, &gold);
         plan = Some(p);
     }
@@ -35,11 +49,12 @@ fn eval(d: &Dataset, q: &QuerySpec, gen: &GenerationModel, cfg: RagConfig) -> (f
         ModelSpec::mistral_7b_awq(),
         GpuCluster::single_a40(),
     );
-    (delay, f1 / SEEDS as f64)
+    (delay, f1 / seeds as f64)
 }
 
 fn main() {
     let d = dataset(DatasetKind::Musique, 60);
+    let seeds = bench_queries(60) as u64;
     // Q1: the simplest joint query (2 pieces, low complexity);
     // Q2: a 3-piece reasoning query; Q3: the most complex (4 pieces, high).
     let q1 = d
@@ -58,6 +73,48 @@ fn main() {
         .find(|q| q.profile.pieces == 4 && q.profile.complexity == Complexity::High)
         .expect("a complex query exists");
     let gen = GenerationModel::new(&ModelSpec::mistral_7b_awq(), GenModelConfig::default());
+    let queries = [("Q1", q1), ("Q2", q2), ("Q3", q3)];
+
+    // Every (panel, query, knob) point is one sweep cell; the tables below
+    // read the cells back in their panel layouts.
+    let ks = [1u32, 2, 4, 8, 12, 16, 24, 35];
+    let ilens = [1u32, 5, 10, 20, 40, 70, 100];
+    let mut sweep = Sweep::new("fig04");
+    let mut plan: Vec<(String, RagConfig)> = Vec::new();
+    for (name, q) in queries {
+        for m in SynthesisMethod::all() {
+            let cfg = RagConfig {
+                num_chunks: 3 * q.profile.pieces,
+                synthesis: m,
+                intermediate_length: 60,
+            };
+            plan.push((format!("4a/{name}/{}", m.name()), cfg));
+        }
+        for k in ks {
+            plan.push((format!("4b/{name}/k={k}"), RagConfig::stuff(k)));
+        }
+        for l in ilens {
+            plan.push((
+                format!("4c/{name}/ilen={l}"),
+                RagConfig::map_reduce(3 * q.profile.pieces, l),
+            ));
+        }
+    }
+    for (id, cfg) in plan {
+        let d = &d;
+        let gen = &gen;
+        let q: &QuerySpec = match &id[3..5] {
+            "Q1" => q1,
+            "Q2" => q2,
+            _ => q3,
+        };
+        sweep = sweep.cell(id, move |seed| eval(d, q, gen, cfg, seeds, seed));
+    }
+    let cells = sweep.run();
+    let find = |id: String| {
+        let c = cells.iter().find(|c| c.id == id).expect("cell computed");
+        c.value
+    };
 
     header(
         "Figure 4a",
@@ -70,20 +127,18 @@ fn main() {
         "  {:<10} {:>22} {:>22} {:>22}",
         "query", "map_rerank (d, F1)", "stuff (d, F1)", "map_reduce (d, F1)"
     );
-    for (name, q) in [("Q1", q1), ("Q2", q2), ("Q3", q3)] {
-        let mut cells = Vec::new();
-        for m in SynthesisMethod::all() {
-            let cfg = RagConfig {
-                num_chunks: 3 * q.profile.pieces,
-                synthesis: m,
-                intermediate_length: 60,
-            };
-            let (delay, f1) = eval(&d, q, &gen, cfg);
-            cells.push(format!("{delay:>7.2}s {f1:>6.3}"));
-        }
+    for (name, _) in queries {
+        let cell = |m: SynthesisMethod| {
+            let (delay, f1) = find(format!("4a/{name}/{}", m.name()));
+            format!("{delay:>7.2}s {f1:>6.3}")
+        };
+        let methods = SynthesisMethod::all();
         println!(
             "  {:<10} {:>22} {:>22} {:>22}",
-            name, cells[0], cells[1], cells[2]
+            name,
+            cell(methods[0]),
+            cell(methods[1]),
+            cell(methods[2])
         );
     }
 
@@ -95,15 +150,14 @@ fn main() {
          (up to 3x delay, up to 20% quality drop)",
     );
     print!("  {:<10}", "query");
-    let ks = [1u32, 2, 4, 8, 12, 16, 24, 35];
     for k in ks {
         print!(" {:>14}", format!("k={k}"));
     }
     println!();
-    for (name, q) in [("Q1", q1), ("Q2", q2), ("Q3", q3)] {
+    for (name, _) in queries {
         print!("  {:<10}", name);
         for k in ks {
-            let (delay, f1) = eval(&d, q, &gen, RagConfig::stuff(k));
+            let (delay, f1) = find(format!("4b/{name}/k={k}"));
             print!(" {:>7.2}s {:>5.3}", delay, f1);
         }
         println!();
@@ -116,17 +170,31 @@ fn main() {
          queries need 70-100 to carry all the evidence",
     );
     print!("  {:<10}", "query");
-    let ilens = [1u32, 5, 10, 20, 40, 70, 100];
     for l in ilens {
         print!(" {:>14}", format!("ilen={l}"));
     }
     println!();
-    for (name, q) in [("Q1", q1), ("Q2", q2), ("Q3", q3)] {
+    for (name, _) in queries {
         print!("  {:<10}", name);
         for l in ilens {
-            let (delay, f1) = eval(&d, q, &gen, RagConfig::map_reduce(3 * q.profile.pieces, l));
+            let (delay, f1) = find(format!("4c/{name}/ilen={l}"));
             print!(" {:>7.2}s {:>5.3}", delay, f1);
         }
         println!();
     }
+
+    let mut report = new_report(
+        "fig04_knobs",
+        "per-knob quality-delay tradeoff on three probe queries",
+    )
+    .knob("dataset", "musique")
+    .knob("gen_seeds", seeds);
+    for cell in &cells {
+        let (delay, f1) = cell.value;
+        let mut c = metis_metrics::CellReport::new(&cell.id, cell.seed);
+        c.queries = 1;
+        c.f1 = f1;
+        report.cells.push(c.metric("isolated_delay_secs", delay));
+    }
+    emit(&report);
 }

@@ -5,15 +5,17 @@
 //! whose quality is within 2% of the query's best achievable quality (the
 //! paper's definition of the per-query best), then compare its aggregate
 //! (delay, F1) against every fixed configuration.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig05_perquery.json`.
 
-use std::sync::Mutex;
-
-use metis_bench::{dataset, header, isolated_delay, pareto_front};
+use metis_bench::{
+    bench_queries, dataset, emit, header, isolated_delay, new_report, pareto_front, Sweep,
+};
 use metis_core::synthesis::SynthesisInputs;
 use metis_core::{plan_synthesis, RagConfig};
 use metis_datasets::{Dataset, DatasetKind};
 use metis_llm::{GenModelConfig, GenerationModel, GpuCluster, ModelSpec};
-use metis_metrics::f1_score;
+use metis_metrics::{f1_score, BenchReport, CellReport};
 
 const SEEDS: u64 = 16;
 
@@ -30,7 +32,7 @@ fn grid() -> Vec<RagConfig> {
 }
 
 /// Evaluates (delay, f1) of one config on one query, seed-averaged.
-fn eval(d: &Dataset, qi: usize, gen: &GenerationModel, cfg: RagConfig) -> (f64, f64) {
+fn eval(d: &Dataset, qi: usize, gen: &GenerationModel, cfg: RagConfig, seed: u64) -> (f64, f64) {
     let q = &d.queries[qi];
     let retrieved = d.db.retrieve(&q.tokens, cfg.effective_chunks(d.db.len()));
     let inputs = SynthesisInputs {
@@ -47,7 +49,7 @@ fn eval(d: &Dataset, qi: usize, gen: &GenerationModel, cfg: RagConfig) -> (f64, 
             &inputs,
             &cfg,
             &retrieved,
-            (qi as u64) ^ s.wrapping_mul(0x9E37_79B9),
+            seed ^ s.wrapping_mul(0x9E37_79B9),
         );
         f1 += f1_score(&p.answer, &gold);
         plan = Some(p);
@@ -62,35 +64,31 @@ fn eval(d: &Dataset, qi: usize, gen: &GenerationModel, cfg: RagConfig) -> (f64, 
     )
 }
 
-fn run_dataset(kind: DatasetKind) {
-    let n = 40;
+fn run_dataset(kind: DatasetKind, report: &mut BenchReport) {
+    let n = bench_queries(40);
     let d = dataset(kind, n);
     let gen = GenerationModel::new(&ModelSpec::mistral_7b_awq(), GenModelConfig::default());
     let grid = grid();
 
-    // Per-query × per-config evaluation, parallel over queries.
-    type QueryEvals = (usize, Vec<(f64, f64)>);
-    let rows: Mutex<Vec<QueryEvals>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for qi in 0..n {
-            let d = &d;
-            let gen = &gen;
-            let grid = &grid;
-            let rows = &rows;
-            s.spawn(move || {
-                let evals: Vec<(f64, f64)> =
-                    grid.iter().map(|&cfg| eval(d, qi, gen, cfg)).collect();
-                rows.lock().expect("poisoned").push((qi, evals));
-            });
-        }
-    });
-    let mut rows = rows.into_inner().expect("poisoned");
-    rows.sort_by_key(|(qi, _)| *qi);
+    // Per-query × per-config evaluation: one sweep cell per query.
+    let mut sweep: Sweep<'_, Vec<(f64, f64)>> = Sweep::new(format!("fig05/{}", kind.name()));
+    for qi in 0..n {
+        let d = &d;
+        let gen = &gen;
+        let grid = &grid;
+        sweep = sweep.cell(format!("{}/q{qi}", kind.name()), move |seed| {
+            grid.iter()
+                .map(|&cfg| eval(d, qi, gen, cfg, seed))
+                .collect()
+        });
+    }
+    let rows = sweep.run();
 
     // Per-query best: lowest delay within 2% of the best achievable F1.
     let mut pq_delay = 0.0;
     let mut pq_f1 = 0.0;
-    for (_, evals) in &rows {
+    for cell in &rows {
+        let evals = &cell.value;
         let best_f1 = evals.iter().map(|e| e.1).fold(0.0, f64::max);
         let (d, f) = evals
             .iter()
@@ -108,9 +106,9 @@ fn run_dataset(kind: DatasetKind) {
     let fixed: Vec<(f64, f64)> = (0..grid.len())
         .map(|ci| {
             let (mut dsum, mut fsum) = (0.0, 0.0);
-            for (_, evals) in &rows {
-                dsum += evals[ci].0;
-                fsum += evals[ci].1;
+            for cell in &rows {
+                dsum += cell.value[ci].0;
+                fsum += cell.value[ci].1;
             }
             (dsum / n as f64, fsum / n as f64)
         })
@@ -125,7 +123,7 @@ fn run_dataset(kind: DatasetKind) {
     println!("  Pareto frontier of fixed configurations:");
     let mut front_sorted: Vec<usize> = front.clone();
     front_sorted.sort_by(|&a, &b| fixed[a].0.partial_cmp(&fixed[b].0).expect("finite"));
-    for i in front_sorted {
+    for &i in &front_sorted {
         println!(
             "    {:<24} delay {:>5.2}s  F1 {:.3}",
             grid[i].label(),
@@ -156,6 +154,28 @@ fn run_dataset(kind: DatasetKind) {
         "  vs fixed of comparable delay: +{:.1}% F1",
         (pq_f1 / best_within_delay.max(1e-9) - 1.0) * 100.0
     );
+
+    // Report: the per-query aggregate plus the Pareto frontier points.
+    let mut pq = CellReport::new(format!("{}/per_query", kind.name()), rows[0].seed);
+    pq.queries = n as u64;
+    pq.f1 = pq_f1;
+    report.cells.push(
+        pq.knob("dataset", kind.name())
+            .metric("isolated_delay_secs", pq_delay),
+    );
+    for &i in &front_sorted {
+        let mut c = CellReport::new(
+            format!("{}/frontier/{}", kind.name(), grid[i].label()),
+            rows[0].seed,
+        );
+        c.queries = n as u64;
+        c.f1 = fixed[i].1;
+        report.cells.push(
+            c.knob("dataset", kind.name())
+                .knob("config", grid[i].label())
+                .metric("isolated_delay_secs", fixed[i].0),
+        );
+    }
 }
 
 fn main() {
@@ -166,6 +186,13 @@ fn main() {
          static configs; every static config of comparable delay loses >=10% \
          quality",
     );
-    run_dataset(DatasetKind::Musique);
-    run_dataset(DatasetKind::Qmsum);
+    let mut report = new_report(
+        "fig05_perquery",
+        "per-query configuration vs the fixed-config Pareto frontier",
+    )
+    .knob("queries", bench_queries(40))
+    .knob("gen_seeds", SEEDS);
+    run_dataset(DatasetKind::Musique, &mut report);
+    run_dataset(DatasetKind::Qmsum, &mut report);
+    emit(&report);
 }

@@ -1,9 +1,14 @@
 //! Figure 9: the profiler's confidence score separates good profiles from
 //! bad ones, justifying the 90% threshold of §5.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig09_confidence.json`.
 
-use metis_bench::{dataset, header};
+use metis_bench::{bench_queries, dataset, emit, header, new_report, Sweep};
 use metis_datasets::DatasetKind;
 use metis_profiler::{LlmProfiler, ProfilerKind};
+
+/// (hi_good, hi_bad, lo_good, lo_bad) confusion counts for one dataset.
+type Counts = (u32, u32, u32, u32);
 
 fn main() {
     header(
@@ -12,24 +17,34 @@ fn main() {
         ">93% of profiles are above the 90% threshold; of those >96% are \
          good; of the ~7% below threshold, 85-90% are bad",
     );
-    let mut hi_good = 0u32;
-    let mut hi_bad = 0u32;
-    let mut lo_good = 0u32;
-    let mut lo_bad = 0u32;
+    let n = bench_queries(150);
+    let mut sweep: Sweep<'_, Counts> = Sweep::new("fig09");
     for kind in DatasetKind::all() {
-        let d = dataset(kind, 150);
-        let mut p = LlmProfiler::new(ProfilerKind::Gpt4o);
-        let md = d.db.metadata().clone();
-        for q in &d.queries {
-            let out = p.profile(q, &md, 7);
-            let good = out.estimate.is_good(&q.profile);
-            match (out.estimate.confidence >= 0.90, good) {
-                (true, true) => hi_good += 1,
-                (true, false) => hi_bad += 1,
-                (false, true) => lo_good += 1,
-                (false, false) => lo_bad += 1,
+        sweep = sweep.cell(kind.name(), move |seed| {
+            let d = dataset(kind, n);
+            let mut p = LlmProfiler::new(ProfilerKind::Gpt4o);
+            let md = d.db.metadata().clone();
+            let mut counts: Counts = (0, 0, 0, 0);
+            for q in &d.queries {
+                let out = p.profile(q, &md, seed);
+                let good = out.estimate.is_good(&q.profile);
+                match (out.estimate.confidence >= 0.90, good) {
+                    (true, true) => counts.0 += 1,
+                    (true, false) => counts.1 += 1,
+                    (false, true) => counts.2 += 1,
+                    (false, false) => counts.3 += 1,
+                }
             }
-        }
+            counts
+        });
+    }
+    let cells = sweep.run();
+    let (mut hi_good, mut hi_bad, mut lo_good, mut lo_bad) = (0u32, 0u32, 0u32, 0u32);
+    for c in &cells {
+        hi_good += c.value.0;
+        hi_bad += c.value.1;
+        lo_good += c.value.2;
+        lo_bad += c.value.3;
     }
     let total = hi_good + hi_bad + lo_good + lo_bad;
     let hi = hi_good + hi_bad;
@@ -47,4 +62,24 @@ fn main() {
         100.0 * f64::from(lo_bad) / f64::from(lo.max(1)),
         100.0 * f64::from(lo_good) / f64::from(lo.max(1)),
     );
+
+    let mut report = new_report(
+        "fig09_confidence",
+        "profiler confidence separates good profiles from bad",
+    )
+    .knob("queries_per_dataset", n)
+    .knob("threshold", "0.90");
+    for c in &cells {
+        let (hg, hb, lg, lb) = c.value;
+        let mut cr = metis_metrics::CellReport::new(&c.id, c.seed);
+        cr.queries = u64::from(hg + hb + lg + lb);
+        report.cells.push(
+            cr.knob("dataset", &c.id)
+                .metric("hi_good", f64::from(hg))
+                .metric("hi_bad", f64::from(hb))
+                .metric("lo_good", f64::from(lg))
+                .metric("lo_bad", f64::from(lb)),
+        );
+    }
+    emit(&report);
 }

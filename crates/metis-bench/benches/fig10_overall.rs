@@ -1,9 +1,11 @@
 //! Figure 10: overall delay and quality across all four datasets —
 //! METIS vs AdaptiveRAG*, Parrot*, and vLLM fixed configurations.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig10_overall.json`.
 
 use metis_bench::{
-    adaptive_rag, base_qps, best_quality_fixed, closest_delay_fixed, dataset, fixed_menu, header,
-    metis, print_rows, run, sweep_fixed, Row, RUN_SEED,
+    adaptive_rag, base_qps, bench_queries, best_quality_fixed, closest_delay_fixed, dataset, emit,
+    fixed_menu, header, metis, new_report, print_rows, run, sweep_fixed, Row, Sweep, RUN_SEED,
 };
 use metis_datasets::DatasetKind;
 
@@ -15,11 +17,28 @@ fn main() {
          (AdaptiveRAG*) and best fixed configs at no F1 loss; 12-18% higher \
          F1 than fixed configs of similar delay",
     );
+    let n = bench_queries(150);
+    let mut report = new_report(
+        "fig10_overall",
+        "METIS vs AdaptiveRAG*, Parrot*, and fixed configs on all datasets",
+    )
+    .knob("queries", n);
     for kind in DatasetKind::all() {
         let qps = base_qps(kind);
-        let d = dataset(kind, 150);
-        let m = run(&d, metis(), qps, RUN_SEED);
-        let a = run(&d, adaptive_rag(), qps, RUN_SEED);
+        let d = dataset(kind, n);
+        let dref = &d;
+        let adaptive_cells = Sweep::new(format!("fig10/{}", kind.name()))
+            .cell_with_seed(format!("{}/metis", kind.name()), RUN_SEED, move |seed| {
+                run(dref, metis(), qps, seed)
+            })
+            .cell_with_seed(
+                format!("{}/adaptive_rag", kind.name()),
+                RUN_SEED,
+                move |seed| run(dref, adaptive_rag(), qps, seed),
+            )
+            .run();
+        let m = &adaptive_cells[0].value;
+        let a = &adaptive_cells[1].value;
         let sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
         let (qc, qr) = best_quality_fixed(&sweep);
         let (dc, dr) = closest_delay_fixed(&sweep, m.mean_delay_secs());
@@ -32,8 +51,8 @@ fn main() {
             d.queries.len()
         );
         print_rows(&[
-            Row::from_run("METIS", &m),
-            Row::from_run("AdaptiveRAG*", &a),
+            Row::from_run("METIS", m),
+            Row::from_run("AdaptiveRAG*", a),
             Row::from_run(format!("Parrot* [{}]", pc.label()), pr),
             Row::from_run(format!("vLLM best-quality [{}]", qc.label()), qr),
             Row::from_run(format!("vLLM similar-delay [{}]", dc.label()), dr),
@@ -52,5 +71,29 @@ fn main() {
             "  F1 vs similar-delay fixed: {:+.1}%",
             (m.mean_f1() / dr.mean_f1().max(1e-9) - 1.0) * 100.0
         );
+
+        for cell in &adaptive_cells {
+            report.cells.push(
+                cell.value
+                    .cell_report(&cell.id, cell.seed)
+                    .knob("dataset", kind.name()),
+            );
+        }
+        report.cells.push(
+            pr.cell_report(format!("{}/parrot", kind.name()), RUN_SEED)
+                .knob("dataset", kind.name())
+                .knob("config", pc.label()),
+        );
+        report.cells.push(
+            qr.cell_report(format!("{}/vllm_best_quality", kind.name()), RUN_SEED)
+                .knob("dataset", kind.name())
+                .knob("config", qc.label()),
+        );
+        report.cells.push(
+            dr.cell_report(format!("{}/vllm_similar_delay", kind.name()), RUN_SEED)
+                .knob("dataset", kind.name())
+                .knob("config", dc.label()),
+        );
     }
+    emit(&report);
 }

@@ -1,11 +1,31 @@
 //! Figure 12: decomposing METIS's delay improvement — profiler+median
-//! choice, application-aware batching, and memory-aware joint adaptation.
+//! choice, application-aware batching, and memory-aware joint adaptation —
+//! plus the per-stage wall-time breakdown of each variant's delay
+//! (profile / decide / retrieve / queue-wait / prefill / decode), now that
+//! `RunResult::stage_breakdown()` partitions every query's delay exactly.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig12_breakdown.json`.
 
 use metis_bench::{
-    base_qps, best_quality_fixed, dataset, fixed_menu, header, run, sweep_fixed, RUN_SEED,
+    base_qps, bench_queries, best_quality_fixed, dataset, emit, fixed_menu, header, new_report,
+    run, sweep_fixed, Sweep, RUN_SEED,
 };
-use metis_core::{MetisOptions, PickPolicy, SystemKind};
+use metis_core::{MetisOptions, PickPolicy, RunResult, StageMeans, SystemKind};
 use metis_datasets::DatasetKind;
+
+fn stage_row(label: &str, s: &StageMeans) {
+    println!(
+        "    {:<32} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>7.2}s",
+        label,
+        s.profile,
+        s.decide,
+        s.retrieve,
+        s.queue_wait,
+        s.prefill,
+        s.decode,
+        s.total()
+    );
+}
 
 fn main() {
     header(
@@ -15,9 +35,15 @@ fn main() {
          1.4-1.68x; +batching = 1.1-1.2x more; full joint adaptation = \
          1.45-1.75x more",
     );
+    let n = bench_queries(150);
+    let mut report = new_report(
+        "fig12_breakdown",
+        "delay-improvement decomposition with per-stage wall-time breakdown",
+    )
+    .knob("queries", n);
     for kind in [DatasetKind::FinSec, DatasetKind::Musique] {
         let qps = base_qps(kind);
-        let d = dataset(kind, 150);
+        let d = dataset(kind, n);
         let sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
         let (qc, qr) = best_quality_fixed(&sweep);
 
@@ -27,16 +53,35 @@ fn main() {
         let mut median_gang = median;
         median_gang.gang = true;
 
-        let r_median = run(&d, SystemKind::Metis(median), qps, RUN_SEED);
-        let r_gang = run(&d, SystemKind::Metis(median_gang), qps, RUN_SEED);
-        let r_full = run(&d, SystemKind::Metis(MetisOptions::full()), qps, RUN_SEED);
+        let dref = &d;
+        let variants = Sweep::new(format!("fig12/{}", kind.name()))
+            .cell_with_seed(format!("{}/median", kind.name()), RUN_SEED, move |seed| {
+                run(dref, SystemKind::Metis(median), qps, seed)
+            })
+            .cell_with_seed(
+                format!("{}/median_gang", kind.name()),
+                RUN_SEED,
+                move |seed| run(dref, SystemKind::Metis(median_gang), qps, seed),
+            )
+            .cell_with_seed(format!("{}/full", kind.name()), RUN_SEED, move |seed| {
+                run(dref, SystemKind::Metis(MetisOptions::full()), qps, seed)
+            })
+            .run();
+        let by = |suffix: &str| -> &RunResult {
+            &variants
+                .iter()
+                .find(|c| c.id.ends_with(suffix))
+                .expect("cell")
+                .value
+        };
+        let (r_median, r_gang, r_full) = (by("/median"), by("/median_gang"), by("/full"));
 
-        println!("\n--- {} (λ = {qps}/s) ---", kind.name(),);
+        println!("\n--- {} (λ = {qps}/s) ---", kind.name());
         let base = qr.mean_delay_secs();
         let rows = [
             (
                 format!("vLLM fixed best-quality [{}]", qc.label()),
-                base,
+                qr.mean_delay_secs(),
                 qr.mean_f1(),
             ),
             (
@@ -64,5 +109,29 @@ fn main() {
                 f1
             );
         }
+
+        // Where the seconds went: mean wall time per pipeline stage.
+        println!(
+            "  stage breakdown (mean s):           {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8}",
+            "profile", "decide", "retrieve", "queue", "prefill", "decode", "total"
+        );
+        stage_row("vLLM fixed best-quality", &qr.stage_breakdown());
+        stage_row("profiler + median", &r_median.stage_breakdown());
+        stage_row("median + batching", &r_gang.stage_breakdown());
+        stage_row("METIS (joint)", &r_full.stage_breakdown());
+
+        report.cells.push(
+            qr.cell_report(format!("{}/vllm_fixed", kind.name()), RUN_SEED)
+                .knob("dataset", kind.name())
+                .knob("config", qc.label()),
+        );
+        for cell in &variants {
+            report.cells.push(
+                cell.value
+                    .cell_report(&cell.id, cell.seed)
+                    .knob("dataset", kind.name()),
+            );
+        }
     }
+    emit(&report);
 }

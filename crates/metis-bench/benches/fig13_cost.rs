@@ -1,11 +1,13 @@
 //! Figure 13: dollar cost vs quality — METIS (Mistral-7B + GPT-4o profiler)
 //! against bigger serving models with fixed configurations.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig13_cost.json`.
 
 use metis_bench::{
-    base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, run, run_on, sweep_fixed,
-    RUN_SEED,
+    base_qps, bench_queries, best_quality_fixed, dataset, emit, fixed_menu, header, metis,
+    new_report, run, run_on, sweep_fixed, Sweep, RUN_SEED,
 };
-use metis_core::SystemKind;
+use metis_core::{RunResult, SystemKind};
 use metis_datasets::{poisson_arrivals, DatasetKind};
 use metis_llm::{GpuCluster, ModelSpec};
 use metis_metrics::{CostModel, RunCost};
@@ -17,48 +19,74 @@ fn main() {
         "fixed-config Llama-70B costs 2.38x more at ~6.5% lower F1; \
          fixed-config GPT-4o costs 6.8x more and still trails METIS's F1",
     );
+    let n = bench_queries(100);
+    let mut report = new_report(
+        "fig13_cost",
+        "dollar cost per query vs F1 across serving setups",
+    )
+    .knob("queries", n);
     for kind in [DatasetKind::Musique, DatasetKind::Qmsum] {
         let qps = base_qps(kind);
-        let n = 100;
         let d = dataset(kind, n);
 
-        // METIS on Mistral-7B, one A40 (+ GPT-4o profiler API spend).
-        let m = run(&d, metis(), qps, RUN_SEED);
+        let sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
+        let (qc, _) = best_quality_fixed(&sweep);
+        let config = *qc;
+        let dref = &d;
+        let cells = Sweep::new(format!("fig13/{}", kind.name()))
+            // METIS on Mistral-7B, one A40 (+ GPT-4o profiler API spend).
+            .cell_with_seed(format!("{}/metis_7b", kind.name()), RUN_SEED, move |seed| {
+                run(dref, metis(), qps, seed)
+            })
+            // Llama-3.1-70B on two A40s, best fixed config (rate scaled down
+            // to its slower service).
+            .cell_with_seed(format!("{}/vllm_70b", kind.name()), RUN_SEED, move |seed| {
+                let arrivals = poisson_arrivals(seed ^ 0xA11, qps * 0.4, n);
+                run_on(
+                    dref,
+                    SystemKind::VllmFixed { config },
+                    arrivals,
+                    seed,
+                    ModelSpec::llama31_70b_awq(),
+                    GpuCluster::dual_a40(),
+                    false,
+                )
+            })
+            // GPT-4o over the API with the same fixed config.
+            .cell_with_seed(
+                format!("{}/api_gpt4o", kind.name()),
+                RUN_SEED,
+                move |seed| {
+                    let arrivals = poisson_arrivals(seed ^ 0xA11, qps, n);
+                    run_on(
+                        dref,
+                        SystemKind::VllmFixed { config },
+                        arrivals,
+                        seed,
+                        ModelSpec::gpt4o(),
+                        GpuCluster::single_a40(),
+                        false,
+                    )
+                },
+            )
+            .run();
+        let by = |suffix: &str| -> &RunResult {
+            &cells
+                .iter()
+                .find(|c| c.id.ends_with(suffix))
+                .expect("cell")
+                .value
+        };
+        let (m, l, g) = (by("/metis_7b"), by("/vllm_70b"), by("/api_gpt4o"));
+
         let mut metis_cost = RunCost::default();
         // GPU provisioned for the whole makespan.
         metis_cost.add_gpu_secs(m.makespan_secs);
         metis_cost.add_api(m.api_cost_usd);
         let metis_usd = metis_cost.usd_per_query(&CostModel::a40(1), n);
-
-        // Llama-3.1-70B on two A40s, best fixed config (rate scaled down to
-        // its slower service).
-        let sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
-        let (qc, _) = best_quality_fixed(&sweep);
-        let arrivals = poisson_arrivals(RUN_SEED ^ 0xA11, qps * 0.4, n);
-        let l = run_on(
-            &d,
-            SystemKind::VllmFixed { config: *qc },
-            arrivals,
-            RUN_SEED,
-            ModelSpec::llama31_70b_awq(),
-            GpuCluster::dual_a40(),
-            false,
-        );
         let mut llama_cost = RunCost::default();
         llama_cost.add_gpu_secs(l.makespan_secs);
         let llama_usd = llama_cost.usd_per_query(&CostModel::a40(2), n);
-
-        // GPT-4o over the API with the same fixed config.
-        let arrivals = poisson_arrivals(RUN_SEED ^ 0xA11, qps, n);
-        let g = run_on(
-            &d,
-            SystemKind::VllmFixed { config: *qc },
-            arrivals,
-            RUN_SEED,
-            ModelSpec::gpt4o(),
-            GpuCluster::single_a40(),
-            false,
-        );
         let gpt_usd = g.api_cost_usd / n as f64;
 
         println!("\n--- {} (fixed = {}) ---", kind.name(), qc.label());
@@ -83,5 +111,16 @@ fn main() {
             g.mean_f1(),
             gpt_usd / metis_usd
         );
+
+        for (cell, usd) in cells.iter().zip([metis_usd, llama_usd, gpt_usd]) {
+            report.cells.push(
+                cell.value
+                    .cell_report(&cell.id, cell.seed)
+                    .knob("dataset", kind.name())
+                    .knob("config", qc.label())
+                    .metric("usd_per_query", usd),
+            );
+        }
     }
+    emit(&report);
 }

@@ -1,16 +1,32 @@
 //! Figure 14: golden-configuration feedback improves the profiler over the
 //! course of a 350-query workload (§5).
+//!
+//! Scale knob: `METIS_BENCH_QUERIES` (windows shrink with the workload; at
+//! smoke scale the steady-state comparison falls back to overall means).
+//! Emits `bench-reports/fig14_feedback.json`.
 
-use metis_bench::{base_qps, dataset, header, run, RUN_SEED};
-use metis_core::{MetisOptions, SystemKind};
+use metis_bench::{
+    base_qps, bench_queries, dataset, emit, header, new_report, run, Sweep, RUN_SEED,
+};
+use metis_core::{MetisOptions, RunResult, SystemKind};
 use metis_datasets::DatasetKind;
 use metis_profiler::ProfilerKind;
 
-fn windowed_f1(r: &metis_core::RunResult, window: usize) -> Vec<f64> {
+fn windowed_f1(r: &RunResult, window: usize) -> Vec<f64> {
     r.per_query
         .chunks(window)
         .map(|w| w.iter().map(|q| q.f1).sum::<f64>() / w.len() as f64)
         .collect()
+}
+
+/// Mean of the windows past the warm-up, falling back to the overall mean
+/// when the workload is too short to have one (smoke runs).
+fn steady_state(windows: &[f64], overall: f64) -> f64 {
+    if windows.len() > 2 {
+        windows.iter().skip(2).sum::<f64>() / (windows.len() - 2) as f64
+    } else {
+        overall
+    }
 }
 
 fn main() {
@@ -19,9 +35,15 @@ fn main() {
         "Profiler feedback over a 350-query workload",
         "the feedback mechanism improves F1 by 4-6% relative to no feedback",
     );
+    let n = bench_queries(350);
+    let window = (n / 5).max(1);
+    let mut report = new_report("fig14_feedback", "golden-config feedback vs none")
+        .knob("queries", n)
+        .knob("window", window)
+        .knob("profiler", "llama70b");
     for kind in [DatasetKind::Qmsum, DatasetKind::FinSec] {
         let qps = base_qps(kind);
-        let d = dataset(kind, 350);
+        let d = dataset(kind, n);
         let mut with = MetisOptions::full();
         with.feedback = true;
         // Use the noisier profiler so feedback has headroom to help — with
@@ -33,13 +55,24 @@ fn main() {
         let mut without = with;
         without.feedback = false;
 
-        let r_with = run(&d, SystemKind::Metis(with), qps, RUN_SEED);
-        let r_without = run(&d, SystemKind::Metis(without), qps, RUN_SEED);
+        let dref = &d;
+        let cells = Sweep::new(format!("fig14/{}", kind.name()))
+            .cell_with_seed(format!("{}/feedback", kind.name()), RUN_SEED, move |seed| {
+                run(dref, SystemKind::Metis(with), qps, seed)
+            })
+            .cell_with_seed(
+                format!("{}/no_feedback", kind.name()),
+                RUN_SEED,
+                move |seed| run(dref, SystemKind::Metis(without), qps, seed),
+            )
+            .run();
+        let r_with = &cells[0].value;
+        let r_without = &cells[1].value;
 
-        println!("\n--- {} (λ = {qps}/s, 350 queries) ---", kind.name());
-        println!("  rolling mean F1 per 70-query window:");
-        let w_with = windowed_f1(&r_with, 70);
-        let w_without = windowed_f1(&r_without, 70);
+        println!("\n--- {} (λ = {qps}/s, {n} queries) ---", kind.name());
+        println!("  rolling mean F1 per {window}-query window:");
+        let w_with = windowed_f1(r_with, window);
+        let w_without = windowed_f1(r_without, window);
         print!("    with feedback:   ");
         for v in &w_with {
             print!(" {v:.3}");
@@ -48,13 +81,23 @@ fn main() {
         for v in &w_without {
             print!(" {v:.3}");
         }
-        let tail_with: f64 = w_with.iter().skip(2).sum::<f64>() / (w_with.len() - 2) as f64;
-        let tail_without: f64 =
-            w_without.iter().skip(2).sum::<f64>() / (w_without.len() - 2) as f64;
+        let tail_with = steady_state(&w_with, r_with.mean_f1());
+        let tail_without = steady_state(&w_without, r_without.mean_f1());
         println!(
             "\n  steady-state improvement: {:+.1}% (overall {:+.1}%)",
-            (tail_with / tail_without - 1.0) * 100.0,
-            (r_with.mean_f1() / r_without.mean_f1() - 1.0) * 100.0
+            (tail_with / tail_without.max(1e-9) - 1.0) * 100.0,
+            (r_with.mean_f1() / r_without.mean_f1().max(1e-9) - 1.0) * 100.0
         );
+
+        for cell in &cells {
+            let tail = steady_state(&windowed_f1(&cell.value, window), cell.value.mean_f1());
+            report.cells.push(
+                cell.value
+                    .cell_report(&cell.id, cell.seed)
+                    .knob("dataset", kind.name())
+                    .metric("steady_state_f1", tail),
+            );
+        }
     }
+    emit(&report);
 }

@@ -1,8 +1,12 @@
 //! Figure 16: incrementally enabling METIS's knobs on QMSUM — tune
 //! num_chunks only, + synthesis_method, + intermediate_length, + joint
 //! scheduling.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig16_incremental.json`.
 
-use metis_bench::{base_qps, dataset, header, run, RUN_SEED};
+use metis_bench::{
+    base_qps, bench_queries, dataset, emit, header, new_report, run, Sweep, RUN_SEED,
+};
 use metis_core::{MetisOptions, PickPolicy, RagConfig, SystemKind};
 use metis_datasets::DatasetKind;
 
@@ -15,12 +19,12 @@ fn main() {
     );
     let kind = DatasetKind::Qmsum;
     let qps = base_qps(kind);
-    let d = dataset(kind, 150);
+    let n = bench_queries(150);
+    let d = dataset(kind, n);
 
     // The paper's Fig. 16 baseline is plain vLLM with a hand-picked static
     // configuration (the kind existing RAG systems ship with).
     let qc = RagConfig::stuff(12);
-    let qr = run(&d, SystemKind::VllmFixed { config: qc }, qps, RUN_SEED);
 
     let chunks_only = MetisOptions {
         pick: PickPolicy::Median,
@@ -37,30 +41,45 @@ fn main() {
         tune_ilen: true,
         ..plus_method
     };
-    let full = MetisOptions::full();
 
-    let variants: Vec<(String, metis_core::RunResult)> = vec![
-        (format!("vLLM fixed [{}]", qc.label()), qr.clone()),
+    let dref = &d;
+    let steps: [(&str, &str, SystemKind); 5] = [
         (
-            "+ tune num_chunks".into(),
-            run(&d, SystemKind::Metis(chunks_only), qps, RUN_SEED),
+            "vllm_fixed",
+            "vLLM fixed [stuff(k=12)]",
+            SystemKind::VllmFixed { config: qc },
         ),
         (
-            "+ tune synthesis_method".into(),
-            run(&d, SystemKind::Metis(plus_method), qps, RUN_SEED),
+            "tune_chunks",
+            "+ tune num_chunks",
+            SystemKind::Metis(chunks_only),
         ),
         (
-            "+ tune intermediate_length".into(),
-            run(&d, SystemKind::Metis(plus_ilen), qps, RUN_SEED),
+            "tune_method",
+            "+ tune synthesis_method",
+            SystemKind::Metis(plus_method),
         ),
         (
-            "+ joint scheduling (METIS)".into(),
-            run(&d, SystemKind::Metis(full), qps, RUN_SEED),
+            "tune_ilen",
+            "+ tune intermediate_length",
+            SystemKind::Metis(plus_ilen),
+        ),
+        (
+            "joint",
+            "+ joint scheduling (METIS)",
+            SystemKind::Metis(MetisOptions::full()),
         ),
     ];
-    let base_delay = qr.mean_delay_secs();
-    let base_f1 = qr.mean_f1();
-    for (label, r) in &variants {
+    let mut sweep = Sweep::new("fig16");
+    for (id, _, system) in steps {
+        sweep = sweep.cell_with_seed(id, RUN_SEED, move |seed| run(dref, system, qps, seed));
+    }
+    let cells = sweep.run();
+
+    let base_delay = cells[0].value.mean_delay_secs();
+    let base_f1 = cells[0].value.mean_f1();
+    for ((_, label, _), cell) in steps.iter().zip(&cells) {
+        let r = &cell.value;
         println!(
             "  {:<34} delay {:>6.2}s ({:.2}x)   F1 {:.3} ({:+.1}%)",
             label,
@@ -70,4 +89,17 @@ fn main() {
             (r.mean_f1() / base_f1.max(1e-9) - 1.0) * 100.0
         );
     }
+
+    let mut report = new_report("fig16_incremental", "incremental knob enablement on QMSUM")
+        .knob("queries", n)
+        .knob("dataset", kind.name())
+        .knob("baseline_config", qc.label());
+    for cell in &cells {
+        report.cells.push(
+            cell.value
+                .cell_report(&cell.id, cell.seed)
+                .knob("dataset", kind.name()),
+        );
+    }
+    emit(&report);
 }

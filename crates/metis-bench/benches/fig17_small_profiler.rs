@@ -1,9 +1,11 @@
 //! Figure 17: swapping the profiler LLM for a smaller open-source model
 //! (Llama-3.1-70B instead of GPT-4o).
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig17_small_profiler.json`.
 
 use metis_bench::{
-    adaptive_rag, base_qps, best_quality_fixed, closest_delay_fixed, dataset, fixed_menu, header,
-    print_rows, run, sweep_fixed, Row, RUN_SEED,
+    adaptive_rag, base_qps, bench_queries, best_quality_fixed, closest_delay_fixed, dataset, emit,
+    fixed_menu, header, new_report, print_rows, run, sweep_fixed, Row, Sweep, RUN_SEED,
 };
 use metis_core::{MetisOptions, SystemKind};
 use metis_datasets::DatasetKind;
@@ -16,13 +18,33 @@ fn main() {
         "METIS stays 1.4-2.1x faster than AdaptiveRAG* at similar F1, and \
          10-14% higher F1 than fixed configs of similar delay",
     );
+    let n = bench_queries(150);
+    let mut report = new_report(
+        "fig17_small_profiler",
+        "METIS with a Llama-3.1-70B profiler vs baselines",
+    )
+    .knob("queries", n)
+    .knob("profiler", "llama70b");
     for kind in [DatasetKind::FinSec, DatasetKind::Squad] {
         let qps = base_qps(kind);
-        let d = dataset(kind, 150);
+        let d = dataset(kind, n);
         let mut opts = MetisOptions::full();
         opts.profiler = ProfilerKind::Llama70b;
-        let m = run(&d, SystemKind::Metis(opts), qps, RUN_SEED);
-        let a = run(&d, adaptive_rag(), qps, RUN_SEED);
+        let dref = &d;
+        let cells = Sweep::new(format!("fig17/{}", kind.name()))
+            .cell_with_seed(
+                format!("{}/metis_llama70b", kind.name()),
+                RUN_SEED,
+                move |seed| run(dref, SystemKind::Metis(opts), qps, seed),
+            )
+            .cell_with_seed(
+                format!("{}/adaptive_rag", kind.name()),
+                RUN_SEED,
+                move |seed| run(dref, adaptive_rag(), qps, seed),
+            )
+            .run();
+        let m = &cells[0].value;
+        let a = &cells[1].value;
         let sweep = sweep_fixed(&d, &fixed_menu(), qps, RUN_SEED, false);
         let (qc, qr) = best_quality_fixed(&sweep);
         let (dc, dr) = closest_delay_fixed(&sweep, m.mean_delay_secs());
@@ -32,8 +54,8 @@ fn main() {
             kind.name()
         );
         print_rows(&[
-            Row::from_run("METIS (Llama-70B profiler)", &m),
-            Row::from_run("AdaptiveRAG* (GPT-4o profiler)", &a),
+            Row::from_run("METIS (Llama-70B profiler)", m),
+            Row::from_run("AdaptiveRAG* (GPT-4o profiler)", a),
             Row::from_run(format!("vLLM best fixed [{}]", qc.label()), qr),
             Row::from_run(format!("vLLM similar delay [{}]", dc.label()), dr),
         ]);
@@ -42,5 +64,19 @@ fn main() {
             a.mean_delay_secs() / m.mean_delay_secs(),
             (m.mean_f1() / dr.mean_f1().max(1e-9) - 1.0) * 100.0
         );
+
+        for cell in &cells {
+            report.cells.push(
+                cell.value
+                    .cell_report(&cell.id, cell.seed)
+                    .knob("dataset", kind.name()),
+            );
+        }
+        report.cells.push(
+            dr.cell_report(format!("{}/vllm_similar_delay", kind.name()), RUN_SEED)
+                .knob("dataset", kind.name())
+                .knob("config", dc.label()),
+        );
     }
+    emit(&report);
 }

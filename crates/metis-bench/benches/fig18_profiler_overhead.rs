@@ -1,7 +1,10 @@
 //! Figure 18: the per-query profiling delay is a small fraction of the
 //! end-to-end response delay.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits
+//! `bench-reports/fig18_profiler_overhead.json`.
 
-use metis_bench::{base_qps, dataset, header, metis, run, RUN_SEED};
+use metis_bench::{base_qps, bench_queries, dataset, emit, header, metis, new_report, run, Sweep};
 use metis_datasets::DatasetKind;
 
 fn main() {
@@ -10,13 +13,26 @@ fn main() {
         "Profiler delay as a fraction of end-to-end delay",
         "at most ~0.1 of the total delay; 0.03-0.06 in the average case",
     );
+    let n = bench_queries(120);
     println!(
         "  {:<16} {:>10} {:>10} {:>12}",
         "dataset", "mean", "max", "mean prof(s)"
     );
+    let mut sweep = Sweep::new("fig18");
     for kind in DatasetKind::all() {
-        let d = dataset(kind, 120);
-        let r = run(&d, metis(), base_qps(kind), RUN_SEED);
+        sweep = sweep.cell(kind.name(), move |seed| {
+            let d = dataset(kind, n);
+            run(&d, metis(), base_qps(kind), seed)
+        });
+    }
+    let cells = sweep.run();
+    let mut report = new_report(
+        "fig18_profiler_overhead",
+        "profiler delay fraction of end-to-end delay",
+    )
+    .knob("queries", n);
+    for cell in &cells {
+        let r = &cell.value;
         let fractions: Vec<f64> = r
             .per_query
             .iter()
@@ -34,10 +50,15 @@ fn main() {
             r.per_query.iter().map(|q| q.profiler_secs).sum::<f64>() / r.per_query.len() as f64;
         println!(
             "  {:<16} {:>10.3} {:>10.3} {:>12.3}",
-            kind.name(),
-            mean,
-            max,
-            mean_prof
+            cell.id, mean, max, mean_prof
+        );
+        report.cells.push(
+            r.cell_report(&cell.id, cell.seed)
+                .knob("dataset", &cell.id)
+                .metric("profiler_fraction_mean", mean)
+                .metric("profiler_fraction_max", max)
+                .metric("profiler_secs_mean", mean_prof),
         );
     }
+    emit(&report);
 }

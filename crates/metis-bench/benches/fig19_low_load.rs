@@ -1,8 +1,11 @@
 //! Figure 19: METIS under low load — queries sent sequentially, each after
 //! the previous one completes (closed loop, no batching benefit).
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig19_low_load.json`.
 
 use metis_bench::{
-    base_qps, best_quality_fixed, dataset, fixed_menu, header, metis, run_on, sweep_fixed, RUN_SEED,
+    base_qps, bench_queries, best_quality_fixed, dataset, emit, fixed_menu, header, metis,
+    new_report, run_on, sweep_fixed, Sweep, RUN_SEED,
 };
 use metis_core::SystemKind;
 use metis_datasets::DatasetKind;
@@ -16,26 +19,48 @@ fn main() {
          fixed config, because it only picks configurations relevant to the \
          query profile",
     );
+    let n = bench_queries(80);
+    let mut report = new_report("fig19_low_load", "closed-loop sequential serving")
+        .knob("queries", n)
+        .knob("closed_loop", "true");
     for kind in [DatasetKind::FinSec, DatasetKind::Musique] {
-        let n = 80;
         let d = dataset(kind, n);
         // Best-quality fixed config is identified under open-loop load.
         let sweep = sweep_fixed(&d, &fixed_menu(), base_qps(kind), RUN_SEED, false);
         let (qc, _) = best_quality_fixed(&sweep);
+        let config = *qc;
 
-        let closed = |system| {
-            run_on(
-                &d,
-                system,
-                vec![0; n],
+        let dref = &d;
+        let cells = Sweep::new(format!("fig19/{}", kind.name()))
+            .cell_with_seed(format!("{}/metis", kind.name()), RUN_SEED, move |seed| {
+                run_on(
+                    dref,
+                    metis(),
+                    vec![0; n],
+                    seed,
+                    ModelSpec::mistral_7b_awq(),
+                    GpuCluster::single_a40(),
+                    true,
+                )
+            })
+            .cell_with_seed(
+                format!("{}/vllm_fixed", kind.name()),
                 RUN_SEED,
-                ModelSpec::mistral_7b_awq(),
-                GpuCluster::single_a40(),
-                true,
+                move |seed| {
+                    run_on(
+                        dref,
+                        SystemKind::VllmFixed { config },
+                        vec![0; n],
+                        seed,
+                        ModelSpec::mistral_7b_awq(),
+                        GpuCluster::single_a40(),
+                        true,
+                    )
+                },
             )
-        };
-        let m = closed(metis());
-        let v = closed(SystemKind::VllmFixed { config: *qc });
+            .run();
+        let m = &cells[0].value;
+        let v = &cells[1].value;
         println!("\n--- {} (sequential, {} queries) ---", kind.name(), n);
         println!(
             "  METIS             mean {:>6.2}s  F1 {:.3}",
@@ -52,5 +77,14 @@ fn main() {
             "  delay reduction: {:.2}x",
             v.mean_delay_secs() / m.mean_delay_secs()
         );
+        for cell in &cells {
+            report.cells.push(
+                cell.value
+                    .cell_report(&cell.id, cell.seed)
+                    .knob("dataset", kind.name())
+                    .knob("config", qc.label()),
+            );
+        }
     }
+    emit(&report);
 }

@@ -14,11 +14,13 @@
 //! paper's Fig. 8 scale): scheduling policy only matters when bursts
 //! actually contend on KV.
 //!
-//! Scale knob: `METIS_BENCH_QUERIES` (CI smoke runs set it low).
+//! Scale knob: `METIS_BENCH_QUERIES` (CI smoke runs set it low). Emits
+//! `bench-reports/fig_preempt.json` — one of the three reports the CI perf
+//! gate diffs against `baselines/`.
 
-use std::sync::Mutex;
-
-use metis_bench::{base_qps, bench_queries, dataset, header, run_with_arrivals, RUN_SEED};
+use metis_bench::{
+    base_qps, bench_queries, dataset, emit, header, new_report, run_with_arrivals, Sweep, RUN_SEED,
+};
 use metis_core::{MetisOptions, RunResult, SystemKind};
 use metis_datasets::{burst_arrivals, DatasetKind};
 use metis_engine::{Priority, RouterPolicy};
@@ -58,43 +60,46 @@ fn main() {
         "burst", "replicas", "fcfs int p99(s)", "pre int p99(s)", "preempts", "all p99(s)"
     );
 
-    type Key = (usize, usize, bool);
-    let cells: Mutex<Vec<(Key, RunResult)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for (bi, &factor) in BURST_FACTORS.iter().enumerate() {
-            for (ri, &replicas) in REPLICAS.iter().enumerate() {
-                for preemptive in [false, true] {
-                    let d = &d;
-                    let cells = &cells;
-                    s.spawn(move || {
+    let mut sweep = Sweep::new("fig_preempt");
+    for &factor in &BURST_FACTORS {
+        for &replicas in &REPLICAS {
+            for preemptive in [false, true] {
+                let d = &d;
+                let policy = if preemptive { "preemptive" } else { "fcfs" };
+                sweep = sweep.cell_with_seed(
+                    format!("{factor:.0}x/{replicas}r/{policy}"),
+                    RUN_SEED,
+                    move |seed| {
                         // Offered load scales with the replica count so the
                         // per-replica contention regime stays comparable.
                         let arrivals =
-                            burst_arrivals(RUN_SEED, base * replicas as f64 * 1.5, factor, n);
-                        let r = run_with_arrivals(
+                            burst_arrivals(seed, base * replicas as f64 * 1.5, factor, n);
+                        run_with_arrivals(
                             d,
                             system(preemptive),
                             arrivals,
-                            RUN_SEED,
+                            seed,
                             replicas,
                             RouterPolicy::LeastKvLoad,
                             Some(KV_CAP_BYTES),
-                        );
-                        cells
-                            .lock()
-                            .expect("poisoned")
-                            .push(((bi, ri, preemptive), r));
-                    });
-                }
+                        )
+                    },
+                );
             }
         }
-    });
-    let cells = cells.into_inner().expect("poisoned");
-    let find = |k: Key| &cells.iter().find(|(key, _)| *key == k).expect("cell").1;
-    for (bi, &factor) in BURST_FACTORS.iter().enumerate() {
-        for (ri, &replicas) in REPLICAS.iter().enumerate() {
-            let fcfs = find((bi, ri, false));
-            let pre = find((bi, ri, true));
+    }
+    let cells = sweep.run();
+    let find = |factor: f64, replicas: usize, policy: &str| -> &RunResult {
+        &cells
+            .iter()
+            .find(|c| c.id == format!("{factor:.0}x/{replicas}r/{policy}"))
+            .expect("cell computed")
+            .value
+    };
+    for &factor in &BURST_FACTORS {
+        for &replicas in &REPLICAS {
+            let fcfs = find(factor, replicas, "fcfs");
+            let pre = find(factor, replicas, "preemptive");
             let int_p99 = |r: &RunResult| r.queue_wait(Some(Priority::Interactive)).p99();
             println!(
                 "  {:<7} {:<9} {:>16.2} {:>16.2} {:>10} {:>12.2}",
@@ -107,4 +112,26 @@ fn main() {
             );
         }
     }
+
+    let mut report = new_report(
+        "fig_preempt",
+        "FCFS vs preemptive SLO-class scheduling under bursty arrivals",
+    )
+    .knob("queries", n)
+    .knob("dataset", kind.name())
+    .knob("kv_cap_gib", KV_CAP_BYTES >> 30);
+    for cell in &cells {
+        let r = &cell.value;
+        // The gate watches the interactive class specifically: that tail is
+        // the whole point of the preemptive scheduler.
+        report.cells.push(
+            r.cell_report(&cell.id, cell.seed)
+                .knob("dataset", kind.name())
+                .metric(
+                    "interactive_queue_wait_p99_secs",
+                    r.queue_wait(Some(Priority::Interactive)).p99(),
+                ),
+        );
+    }
+    emit(&report);
 }

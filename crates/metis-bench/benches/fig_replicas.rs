@@ -8,11 +8,12 @@
 //! METIS's best-fit sizes against — beats round-robin at high load, because
 //! a query lands on the backend with the most configuration headroom.
 //!
-//! Scale knob: `METIS_BENCH_QUERIES` (CI smoke runs set it low).
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/fig_replicas.json`.
 
-use std::sync::Mutex;
-
-use metis_bench::{base_qps, bench_queries, dataset, header, metis, run_replicated, RUN_SEED};
+use metis_bench::{
+    base_qps, bench_queries, dataset, emit, header, metis, new_report, run_replicated, Sweep,
+    RUN_SEED,
+};
 use metis_datasets::DatasetKind;
 use metis_engine::RouterPolicy;
 
@@ -41,54 +42,62 @@ fn main() {
         "load", "replicas", "rr mean(s)", "lkv mean(s)", "lkv p99", "lkv spread"
     );
 
-    // All (load multiple, replica count, router) points in parallel.
-    type Key = (usize, usize, bool);
-    type Cell = (Key, f64, f64, Vec<usize>);
-    let cells: Mutex<Vec<Cell>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for (mi, &mult) in MULTS.iter().enumerate() {
-            for (ri, &replicas) in REPLICAS.iter().enumerate() {
-                for (least_kv, router) in [
-                    (false, RouterPolicy::RoundRobin),
-                    (true, RouterPolicy::LeastKvLoad),
-                ] {
-                    let d = &d;
-                    let cells = &cells;
-                    s.spawn(move || {
-                        let r = run_replicated(d, metis(), base * mult, RUN_SEED, replicas, router);
-                        let lat = r.latency();
-                        cells.lock().expect("poisoned").push((
-                            (mi, ri, least_kv),
-                            lat.mean(),
-                            lat.p99(),
-                            r.completions_by_replica(),
-                        ));
-                    });
-                }
+    // All (load multiple, replica count, router) points on the sweep driver.
+    let mut sweep = Sweep::new("fig_replicas");
+    for &mult in &MULTS {
+        for &replicas in &REPLICAS {
+            for (tag, router) in [
+                ("rr", RouterPolicy::RoundRobin),
+                ("lkv", RouterPolicy::LeastKvLoad),
+            ] {
+                let d = &d;
+                sweep = sweep.cell_with_seed(
+                    format!("{mult:.0}x/{replicas}r/{tag}"),
+                    RUN_SEED,
+                    move |seed| run_replicated(d, metis(), base * mult, seed, replicas, router),
+                );
             }
         }
-    });
-    let cells = cells.into_inner().expect("poisoned");
-    let find = |k: Key| {
-        cells
+    }
+    let cells = sweep.run();
+    let find = |mult: f64, replicas: usize, tag: &str| {
+        &cells
             .iter()
-            .find(|(key, ..)| *key == k)
+            .find(|c| c.id == format!("{mult:.0}x/{replicas}r/{tag}"))
             .expect("cell computed")
+            .value
     };
-    for (mi, &mult) in MULTS.iter().enumerate() {
-        for (ri, &replicas) in REPLICAS.iter().enumerate() {
-            let (_, rr_mean, ..) = find((mi, ri, false));
-            let (_, lkv_mean, lkv_p99, spread) = find((mi, ri, true));
-            let spread: Vec<String> = spread.iter().map(usize::to_string).collect();
+    for &mult in &MULTS {
+        for &replicas in &REPLICAS {
+            let rr = find(mult, replicas, "rr");
+            let lkv = find(mult, replicas, "lkv");
+            let lat = lkv.latency();
+            let spread: Vec<String> = lkv
+                .completions_by_replica()
+                .iter()
+                .map(usize::to_string)
+                .collect();
             println!(
                 "  {:<8} {:<10} {:>12.2} {:>12.2} {:>10.2} {:>14}",
                 format!("{mult:.0}x"),
                 replicas,
-                rr_mean,
-                lkv_mean,
-                lkv_p99,
+                rr.latency().mean(),
+                lat.mean(),
+                lat.p99(),
                 spread.join("/"),
             );
         }
     }
+
+    let mut report = new_report("fig_replicas", "replica scaling under rising load")
+        .knob("queries", n)
+        .knob("dataset", kind.name());
+    for cell in &cells {
+        report.cells.push(
+            cell.value
+                .cell_report(&cell.id, cell.seed)
+                .knob("dataset", kind.name()),
+        );
+    }
+    emit(&report);
 }

@@ -9,12 +9,14 @@
 //! reporting retrieval p50/p99, chunk recall@k against the flat index,
 //! ground-truth fact recall, end-to-end F1, and mean delay.
 //!
-//! Scale knob: `METIS_BENCH_QUERIES` (CI smoke runs set it low).
+//! Scale knob: `METIS_BENCH_QUERIES` (CI smoke runs set it low). Emits
+//! `bench-reports/fig_retrieval.json` — one of the three reports the CI
+//! perf gate diffs against `baselines/`.
 
-use std::sync::Mutex;
-
-use metis_bench::{base_qps, bench_queries, header, metis, DATASET_SEED, RUN_SEED};
-use metis_core::{RunConfig, Runner};
+use metis_bench::{
+    base_qps, bench_queries, emit, header, metis, new_report, Sweep, DATASET_SEED, RUN_SEED,
+};
+use metis_core::{RunConfig, RunResult, Runner};
 use metis_datasets::{build_dataset_with_index, poisson_arrivals, Dataset, DatasetKind};
 use metis_vectordb::IndexSpec;
 
@@ -73,76 +75,80 @@ fn main() {
                 .map(|&(nlist, nprobe)| IndexSpec::ivf(nlist, nprobe)),
         )
         .collect();
-    type Cell = (usize, usize, f64, f64, f64, f64, f64); // spec, load, p50, p99, delay, f1, fact
-    let cells: Mutex<Vec<Cell>> = Mutex::new(Vec::new());
-    let recalls: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for (si, &spec) in specs.iter().enumerate() {
-            let flat = &flat;
-            let cells = &cells;
-            let recalls = &recalls;
-            s.spawn(move || {
-                // The flat row reuses the already-built baseline (recall
-                // against itself is 1 by definition); only IVF shapes need
-                // their own index build.
-                let built;
-                let d: &Dataset = if spec == IndexSpec::Flat {
-                    flat
-                } else {
-                    built = build_dataset_with_index(kind, n, DATASET_SEED, spec);
-                    &built
-                };
-                let recall = if spec == IndexSpec::Flat {
-                    1.0
-                } else {
-                    chunk_recall_vs_flat(d, flat)
-                };
-                recalls.lock().expect("poisoned").push((si, recall));
-                for (li, &mult) in LOAD_MULTS.iter().enumerate() {
-                    let arrivals = poisson_arrivals(RUN_SEED ^ 0xA11, base * mult, n);
-                    let mut cfg = RunConfig::standard(metis(), arrivals, RUN_SEED);
+    // One cell per index spec: it builds its index once, measures recall
+    // against the flat baseline, then serves every load level — the runs
+    // inside a cell share the expensive index build.
+    type CellOut = (f64, Vec<(f64, RunResult)>); // (chunk recall, per-load runs)
+    let mut sweep: Sweep<'_, CellOut> = Sweep::new("fig_retrieval");
+    for &spec in &specs {
+        let flat = &flat;
+        sweep = sweep.cell_with_seed(spec.label(), RUN_SEED, move |seed| {
+            // The flat row reuses the already-built baseline (recall
+            // against itself is 1 by definition); only IVF shapes need
+            // their own index build.
+            let built;
+            let d: &Dataset = if spec == IndexSpec::Flat {
+                flat
+            } else {
+                built = build_dataset_with_index(kind, n, DATASET_SEED, spec);
+                &built
+            };
+            let recall = if spec == IndexSpec::Flat {
+                1.0
+            } else {
+                chunk_recall_vs_flat(d, flat)
+            };
+            let runs = LOAD_MULTS
+                .iter()
+                .map(|&mult| {
+                    let arrivals = poisson_arrivals(seed ^ 0xA11, base * mult, n);
+                    let mut cfg = RunConfig::standard(metis(), arrivals, seed);
                     cfg.index = spec;
-                    let r = Runner::new(d, cfg).run();
-                    let ret = r.retrieval();
-                    cells.lock().expect("poisoned").push((
-                        si,
-                        li,
-                        ret.p50(),
-                        ret.p99(),
-                        r.mean_delay_secs(),
-                        r.mean_f1(),
-                        r.mean_retrieval_recall(),
-                    ));
-                }
-            });
-        }
-    });
-    let cells = cells.into_inner().expect("poisoned");
-    let recalls = recalls.into_inner().expect("poisoned");
-    let recall_of = |si: usize| {
-        recalls
-            .iter()
-            .find(|(i, _)| *i == si)
-            .map(|(_, r)| *r)
-            .expect("recall computed")
-    };
+                    (mult, Runner::new(d, cfg).run())
+                })
+                .collect();
+            (recall, runs)
+        });
+    }
+    let cells = sweep.run();
+
     for (li, &mult) in LOAD_MULTS.iter().enumerate() {
         for (si, spec) in specs.iter().enumerate() {
-            let &(.., p50, p99, delay, f1, fact) = cells
-                .iter()
-                .find(|(i, l, ..)| (*i, *l) == (si, li))
-                .expect("cell computed");
+            let (recall, runs) = &cells[si].value;
+            let r = &runs[li].1;
+            let ret = r.retrieval();
             println!(
                 "  {:<8} {:<24} {:>8.2}ms {:>8.2}ms {:>9.3} {:>9.3} {:>9.2} {:>7.3}",
                 format!("{mult:.0}x"),
                 spec.label(),
-                p50 * 1e3,
-                p99 * 1e3,
-                recall_of(si),
-                fact,
-                delay,
-                f1,
+                ret.p50() * 1e3,
+                ret.p99() * 1e3,
+                recall,
+                r.mean_retrieval_recall(),
+                r.mean_delay_secs(),
+                r.mean_f1(),
             );
         }
     }
+
+    let mut report = new_report(
+        "fig_retrieval",
+        "flat vs IVF retrieval latency-recall tradeoff across load",
+    )
+    .knob("queries", n)
+    .knob("dataset", kind.name())
+    .knob("recall_k", RECALL_K);
+    for (si, spec) in specs.iter().enumerate() {
+        let cell = &cells[si];
+        let (recall, runs) = &cell.value;
+        for (mult, r) in runs {
+            report.cells.push(
+                r.cell_report(format!("{}/{mult:.2}x", cell.id), cell.seed)
+                    .knob("index", spec.label())
+                    .knob("load_mult", format!("{mult:.2}"))
+                    .metric("chunk_recall_at_8", *recall),
+            );
+        }
+    }
+    emit(&report);
 }

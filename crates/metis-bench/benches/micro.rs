@@ -1,8 +1,15 @@
 //! Criterion micro-benchmarks for the substrate layers: tokenizer,
 //! embedding, vector search, KV allocator, engine iteration, and F1.
+//!
+//! Emits `bench-reports/micro.json` with each benchmark's median ns/iter
+//! as an `extra` metric. These are wall-clock measurements — machine- and
+//! load-dependent — so `micro` stays out of the CI perf gate's baseline
+//! set (which covers only deterministic virtual-time experiments); the
+//! report is an uploaded artifact for humans to diff across runs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
 
+use metis_bench::{emit, new_report};
 use metis_embed::{Embedder, HashEmbed};
 use metis_engine::{
     Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, Priority, RequestId, Stage,
@@ -98,15 +105,29 @@ fn bench_f1(c: &mut Criterion) {
     c.bench_function("metrics/f1_60_tokens", |b| b.iter(|| f1_score(&a, &b2)));
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tokenizer,
+fn main() {
+    let mut c = Criterion::default().sample_size(20);
+    for bench in [
+        bench_tokenizer,
         bench_embedding,
         bench_flat_search,
         bench_chunker,
         bench_kv_allocator,
         bench_engine,
-        bench_f1
-);
-criterion_main!(micro);
+        bench_f1,
+    ] {
+        bench(&mut c);
+    }
+
+    let mut report = new_report("micro", "substrate micro-benchmarks (wall-clock ns/iter)")
+        .knob("measurement", "wall-clock")
+        .knob("samples", 20);
+    for (name, median_ns) in c.results() {
+        let mut cell = metis_metrics::CellReport::new(name, 0);
+        cell.queries = 1;
+        report
+            .cells
+            .push(cell.metric("median_ns_per_iter", *median_ns));
+    }
+    emit(&report);
+}

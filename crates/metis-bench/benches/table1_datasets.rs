@@ -1,7 +1,9 @@
 //! Table 1: input/output token-length distributions of the four datasets.
+//!
+//! Scale knob: `METIS_BENCH_QUERIES`. Emits `bench-reports/table1_datasets.json`.
 
-use metis_bench::{dataset, header};
-use metis_datasets::DatasetKind;
+use metis_bench::{bench_queries, dataset, emit, header, new_report, Sweep};
+use metis_datasets::{Dataset, DatasetKind};
 
 fn main() {
     header(
@@ -10,16 +12,35 @@ fn main() {
         "Squad 0.4K–2K in / 5–10 out; Musique 1K–5K / 5–20; \
          KG RAG FinSec 4K–10K / 20–40; QMSUM 4K–12K / 20–60",
     );
+    let n = bench_queries(200);
     println!(
         "  {:<16} {:<18} {:>14} {:>12}",
         "Dataset", "Task Type", "Input (p5-p95)", "Gold (p5-p95)"
     );
+    let mut sweep: Sweep<'_, Dataset> = Sweep::new("table1");
     for kind in DatasetKind::all() {
-        let d = dataset(kind, 200);
-        let row = d.table1_row();
+        // Dataset construction uses the fixed DATASET_SEED (the table
+        // describes the corpus, not run stochasticity).
+        sweep = sweep.cell(kind.name(), move |_| dataset(kind, n));
+    }
+    let cells = sweep.run();
+    let mut report =
+        new_report("table1_datasets", "dataset token-length distributions").knob("queries", n);
+    for cell in &cells {
+        let row = cell.value.table1_row();
         println!(
             "  {:<16} {:<18} {:>6} - {:<6} {:>4} - {:<4}",
             row.dataset, row.task, row.input.0, row.input.1, row.output.0, row.output.1
+        );
+        let mut cr = metis_metrics::CellReport::new(&cell.id, cell.seed);
+        cr.queries = n as u64;
+        report.cells.push(
+            cr.knob("dataset", &cell.id)
+                .knob("task", row.task)
+                .metric("input_p5", row.input.0 as f64)
+                .metric("input_p95", row.input.1 as f64)
+                .metric("gold_p5", row.output.0 as f64)
+                .metric("gold_p95", row.output.1 as f64),
         );
     }
     println!(
@@ -27,4 +48,5 @@ fn main() {
          column counts gold-answer tokens — generated outputs add ~0.9x \
          boilerplate on top (the generation model's fill_ratio)."
     );
+    emit(&report);
 }

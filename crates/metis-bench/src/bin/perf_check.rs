@@ -1,0 +1,104 @@
+//! `perf_check` — the CI perf gate's comparator.
+//!
+//! ```sh
+//! perf_check <baseline.json> <candidate.json> \
+//!     [--latency-tol 0.10] [--retrieval-tol 0.10] \
+//!     [--f1-tol 0.02] [--throughput-tol 0.10]
+//! ```
+//!
+//! Loads two [`BenchReport`] documents and applies the direction-aware
+//! per-metric tolerances of [`metis_bench::gate`]. Exit code 0 means the
+//! candidate is within tolerance of the baseline; 1 means a regression (or
+//! an unreadable/incomparable report). Improvements beyond tolerance are
+//! printed but never fail — refresh `baselines/` to bank them.
+
+use std::process::ExitCode;
+
+use metis_bench::gate::{check, Tolerances};
+use metis_metrics::BenchReport;
+
+const USAGE: &str = "\
+usage: perf_check <baseline.json> <candidate.json>
+           [--latency-tol FRAC] [--retrieval-tol FRAC]
+           [--f1-tol ABS] [--throughput-tol FRAC]
+";
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: schema error: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut frac = |tgt: &mut f64| -> Result<(), String> {
+            i += 1;
+            let v = args
+                .get(i)
+                .ok_or_else(|| format!("missing value for {arg}"))?;
+            *tgt = v
+                .parse::<f64>()
+                .map_err(|e| format!("bad value for {arg}: {e}"))?;
+            if !tgt.is_finite() || *tgt < 0.0 {
+                return Err(format!("{arg} must be a non-negative number"));
+            }
+            Ok(())
+        };
+        match arg {
+            "--latency-tol" => frac(&mut tol.latency_frac)?,
+            "--retrieval-tol" => frac(&mut tol.retrieval_frac)?,
+            "--f1-tol" => frac(&mut tol.f1_abs)?,
+            "--throughput-tol" => frac(&mut tol.throughput_frac)?,
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err("expected exactly two report paths".into());
+    };
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+    println!(
+        "perf gate: {} — {} baseline cells vs {} candidate cells",
+        baseline.experiment,
+        baseline.cells.len(),
+        candidate.cells.len()
+    );
+    let outcome = check(&baseline, &candidate, &tol);
+    for f in &outcome.improvements {
+        println!("  improved: {f}");
+    }
+    for f in &outcome.regressions {
+        println!("  REGRESSION: {f}");
+    }
+    println!(
+        "  {} metric comparisons, {} regressions, {} improvements → {}",
+        outcome.checked,
+        outcome.regressions.len(),
+        outcome.improvements.len(),
+        if outcome.passed() { "PASS" } else { "FAIL" }
+    );
+    if !outcome.improvements.is_empty() && outcome.passed() {
+        println!(
+            "  note: improvements beyond tolerance — refresh baselines/ to \
+             tighten the gate around the new numbers"
+        );
+    }
+    Ok(outcome.passed())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

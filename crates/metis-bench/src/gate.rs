@@ -1,0 +1,294 @@
+//! The perf-regression gate: compares a freshly emitted [`BenchReport`]
+//! against a committed baseline with per-metric, direction-aware relative
+//! tolerances.
+//!
+//! Bench runs are deterministic (pinned seeds, virtual time), so baseline
+//! and candidate agree bit-for-bit until the code's performance behavior
+//! actually changes. The tolerances exist to absorb small *intentional*
+//! drift (a calibration tweak, a float-order change) without a baseline
+//! refresh; anything beyond them fails CI and must either be fixed or be
+//! acknowledged by regenerating `baselines/` in the same PR.
+//!
+//! Direction matters: latency and retrieval may only grow by their
+//! tolerance, F1 and throughput may only shrink by theirs. Improvements
+//! never fail the gate (they are reported so the author refreshes the
+//! baseline and banks the win).
+
+use metis_metrics::{BenchReport, CellReport};
+
+/// Per-metric tolerances. Relative fractions compare against the baseline
+/// value; floors keep near-zero metrics from tripping on noise-scale
+/// absolute differences.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Allowed relative growth of latency metrics (mean/p50/p99).
+    pub latency_frac: f64,
+    /// Absolute latency slack in seconds added on top of the fraction.
+    pub latency_floor_secs: f64,
+    /// Allowed relative growth of mean retrieval latency.
+    pub retrieval_frac: f64,
+    /// Absolute retrieval slack in seconds.
+    pub retrieval_floor_secs: f64,
+    /// Allowed absolute F1 drop.
+    pub f1_abs: f64,
+    /// Allowed relative throughput drop.
+    pub throughput_frac: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self {
+            latency_frac: 0.10,
+            latency_floor_secs: 0.05,
+            retrieval_frac: 0.10,
+            retrieval_floor_secs: 0.002,
+            f1_abs: 0.02,
+            throughput_frac: 0.10,
+        }
+    }
+}
+
+/// One gate violation: which cell and metric, and by how much.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateFinding {
+    /// Cell id (or `"<report>"` for report-level mismatches).
+    pub cell: String,
+    /// Metric name.
+    pub metric: String,
+    /// What the finding is.
+    pub message: String,
+}
+
+impl std::fmt::Display for GateFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} :: {} — {}", self.cell, self.metric, self.message)
+    }
+}
+
+/// Outcome of one gate run: hard failures plus informational improvements.
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// Regressions beyond tolerance — any entry fails the gate.
+    pub regressions: Vec<GateFinding>,
+    /// Improvements beyond tolerance — informational; refresh the baseline
+    /// to bank them.
+    pub improvements: Vec<GateFinding>,
+    /// Metric comparisons performed.
+    pub checked: usize,
+}
+
+impl GateOutcome {
+    /// Whether the candidate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `candidate` against `baseline` under `tol`.
+pub fn check(baseline: &BenchReport, candidate: &BenchReport, tol: &Tolerances) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    let report_finding = |metric: &str, message: String| GateFinding {
+        cell: "<report>".into(),
+        metric: metric.into(),
+        message,
+    };
+    if baseline.experiment != candidate.experiment {
+        out.regressions.push(report_finding(
+            "experiment",
+            format!(
+                "baseline is '{}' but candidate is '{}'",
+                baseline.experiment, candidate.experiment
+            ),
+        ));
+        return out;
+    }
+    for base_cell in &baseline.cells {
+        let Some(cand_cell) = candidate.cell(&base_cell.id) else {
+            out.regressions.push(GateFinding {
+                cell: base_cell.id.clone(),
+                metric: "cell".into(),
+                message: "present in baseline but missing from candidate".into(),
+            });
+            continue;
+        };
+        check_cell(base_cell, cand_cell, tol, &mut out);
+    }
+    out
+}
+
+fn check_cell(base: &CellReport, cand: &CellReport, tol: &Tolerances, out: &mut GateOutcome) {
+    let cell = &base.id;
+    if base.queries != cand.queries || base.seed != cand.seed {
+        out.regressions.push(GateFinding {
+            cell: cell.clone(),
+            metric: "shape".into(),
+            message: format!(
+                "cells are not comparable: baseline ran {} queries under seed {}, \
+                 candidate {} queries under seed {} (same METIS_BENCH_QUERIES?)",
+                base.queries, base.seed, cand.queries, cand.seed
+            ),
+        });
+        return;
+    }
+    let mut higher_is_worse = |metric: &str, b: f64, c: f64, frac: f64, floor: f64| {
+        out.checked += 1;
+        let allowed = b * (1.0 + frac) + floor;
+        let improved_below = b * (1.0 - frac) - floor;
+        if c > allowed {
+            out.regressions.push(GateFinding {
+                cell: cell.clone(),
+                metric: metric.into(),
+                message: format!("{c:.4} exceeds baseline {b:.4} (allowed ≤ {allowed:.4})"),
+            });
+        } else if c < improved_below {
+            out.improvements.push(GateFinding {
+                cell: cell.clone(),
+                metric: metric.into(),
+                message: format!("{c:.4} improves on baseline {b:.4}"),
+            });
+        }
+    };
+    higher_is_worse(
+        "latency.mean",
+        base.latency.mean,
+        cand.latency.mean,
+        tol.latency_frac,
+        tol.latency_floor_secs,
+    );
+    higher_is_worse(
+        "latency.p50",
+        base.latency.p50(),
+        cand.latency.p50(),
+        tol.latency_frac,
+        tol.latency_floor_secs,
+    );
+    higher_is_worse(
+        "latency.p99",
+        base.latency.p99(),
+        cand.latency.p99(),
+        tol.latency_frac,
+        tol.latency_floor_secs,
+    );
+    higher_is_worse(
+        "retrieval.mean",
+        base.retrieval.mean,
+        cand.retrieval.mean,
+        tol.retrieval_frac,
+        tol.retrieval_floor_secs,
+    );
+
+    let mut lower_is_worse = |metric: &str, b: f64, c: f64, slack: f64, relative: bool| {
+        out.checked += 1;
+        let (allowed, improved_above) = if relative {
+            (b * (1.0 - slack), b * (1.0 + slack))
+        } else {
+            (b - slack, b + slack)
+        };
+        if c < allowed {
+            out.regressions.push(GateFinding {
+                cell: cell.clone(),
+                metric: metric.into(),
+                message: format!("{c:.4} falls below baseline {b:.4} (allowed ≥ {allowed:.4})"),
+            });
+        } else if c > improved_above {
+            out.improvements.push(GateFinding {
+                cell: cell.clone(),
+                metric: metric.into(),
+                message: format!("{c:.4} improves on baseline {b:.4}"),
+            });
+        }
+    };
+    lower_is_worse("f1", base.f1, cand.f1, tol.f1_abs, false);
+    lower_is_worse(
+        "throughput_qps",
+        base.throughput_qps,
+        cand.throughput_qps,
+        tol.throughput_frac,
+        true,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_metrics::{LatencySummary, SummaryStats};
+
+    fn report_with(latency_mean_scale: f64, f1: f64) -> BenchReport {
+        let mut r = BenchReport::new("gate_test", "t");
+        let lat = LatencySummary::new(vec![
+            1.0 * latency_mean_scale,
+            2.0 * latency_mean_scale,
+            4.0 * latency_mean_scale,
+        ]);
+        r.cells.push(CellReport {
+            queries: 3,
+            f1,
+            latency: SummaryStats::of(&lat),
+            retrieval: SummaryStats::of(&LatencySummary::new(vec![0.01, 0.02, 0.03])),
+            throughput_qps: 1.0 / latency_mean_scale,
+            ..CellReport::new("cell/a", 42)
+        });
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = report_with(1.0, 0.6);
+        let out = check(&b, &b.clone(), &Tolerances::default());
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert!(out.improvements.is_empty());
+        assert!(out.checked >= 6);
+    }
+
+    #[test]
+    fn latency_regression_beyond_tolerance_fails() {
+        let base = report_with(1.0, 0.6);
+        let worse = report_with(1.5, 0.6);
+        let out = check(&base, &worse, &Tolerances::default());
+        assert!(!out.passed());
+        assert!(
+            out.regressions.iter().any(|f| f.metric == "latency.mean"),
+            "{:?}",
+            out.regressions
+        );
+        // Throughput fell with it.
+        assert!(out.regressions.iter().any(|f| f.metric == "throughput_qps"));
+    }
+
+    #[test]
+    fn f1_drop_beyond_tolerance_fails_but_gain_is_informational() {
+        let base = report_with(1.0, 0.6);
+        let out = check(&base, &report_with(1.0, 0.5), &Tolerances::default());
+        assert!(out.regressions.iter().any(|f| f.metric == "f1"));
+        let out = check(&base, &report_with(1.0, 0.7), &Tolerances::default());
+        assert!(out.passed(), "improvements never fail the gate");
+        assert!(out.improvements.iter().any(|f| f.metric == "f1"));
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let base = report_with(1.0, 0.6);
+        let out = check(&base, &report_with(1.02, 0.595), &Tolerances::default());
+        assert!(out.passed(), "{:?}", out.regressions);
+    }
+
+    #[test]
+    fn missing_cells_and_shape_mismatches_fail_loudly() {
+        let base = report_with(1.0, 0.6);
+        let mut empty = BenchReport::new("gate_test", "t");
+        let out = check(&base, &empty, &Tolerances::default());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|f| f.message.contains("missing from candidate")));
+        // Same cells, different query count: incomparable.
+        empty = base.clone();
+        empty.cells[0].queries = 99;
+        let out = check(&base, &empty, &Tolerances::default());
+        assert!(out.regressions.iter().any(|f| f.metric == "shape"));
+        // Different experiment entirely.
+        let other = BenchReport::new("other_bench", "t");
+        let out = check(&base, &other, &Tolerances::default());
+        assert!(out.regressions.iter().any(|f| f.metric == "experiment"));
+    }
+}

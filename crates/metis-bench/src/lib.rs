@@ -14,7 +14,13 @@
 //! contention regime, which is what the relative results depend on. The
 //! rates are printed with every experiment.
 
-use std::sync::Mutex;
+pub mod gate;
+pub mod reportio;
+pub mod sweep;
+
+pub use gate::{check as gate_check, GateFinding, GateOutcome, Tolerances};
+pub use reportio::{emit, new_report, report_dir, REPORT_DIR_ENV};
+pub use sweep::{cell_seed, Sweep, SweepCell};
 
 use metis_core::{
     MetisOptions, RagConfig, RunConfig, RunResult, Runner, SynthesisPlan, SystemKind,
@@ -178,8 +184,11 @@ pub fn fixed_menu() -> Vec<RagConfig> {
     ]
 }
 
-/// Runs every fixed config in `menu` (in parallel) and returns
-/// `(config, result)` pairs.
+/// Runs every fixed config in `menu` (in parallel, on the [`Sweep`]
+/// driver, deterministic ordering) and returns `(config, result)` pairs.
+/// Every config runs under the same `seed`: the menu is a paired
+/// comparison (`best_quality_fixed` reads the cells against each other),
+/// so all configs must see the same arrival realization.
 pub fn sweep_fixed(
     dataset: &Dataset,
     menu: &[RagConfig],
@@ -187,22 +196,19 @@ pub fn sweep_fixed(
     seed: u64,
     parrot: bool,
 ) -> Vec<(RagConfig, RunResult)> {
-    let out = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &config in menu {
-            let out = &out;
-            s.spawn(move || {
-                let system = if parrot {
-                    SystemKind::Parrot { config }
-                } else {
-                    SystemKind::VllmFixed { config }
-                };
-                let r = run(dataset, system, qps, seed);
-                out.lock().expect("poisoned").push((config, r));
-            });
-        }
-    });
-    let mut v = out.into_inner().expect("poisoned");
+    let mut sweep = Sweep::new("sweep_fixed").with_seed(seed);
+    for (i, &config) in menu.iter().enumerate() {
+        // The index disambiguates duplicate configs some callers pass.
+        sweep = sweep.cell_with_seed(format!("{i}/{}", config.label()), seed, move |seed| {
+            let system = if parrot {
+                SystemKind::Parrot { config }
+            } else {
+                SystemKind::VllmFixed { config }
+            };
+            (config, run(dataset, system, qps, seed))
+        });
+    }
+    let mut v: Vec<(RagConfig, RunResult)> = sweep.run().into_iter().map(|c| c.value).collect();
     v.sort_by_key(|(c, _)| (c.synthesis.name(), c.num_chunks, c.intermediate_length));
     v
 }

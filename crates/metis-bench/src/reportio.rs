@@ -1,0 +1,89 @@
+//! Report assembly and emission for bench targets.
+//!
+//! Every bench target ends with [`emit`]: the human-readable table it
+//! already printed is joined by a machine-readable JSON artifact under
+//! `target/bench-reports/<experiment>.json` (override the directory with
+//! `METIS_BENCH_REPORT_DIR`). CI uploads these artifacts and the perf gate
+//! diffs a pinned subset against `baselines/`.
+
+use std::path::PathBuf;
+
+use metis_metrics::BenchReport;
+
+use crate::{DATASET_SEED, RUN_SEED};
+
+/// Environment variable overriding the report output directory.
+pub const REPORT_DIR_ENV: &str = "METIS_BENCH_REPORT_DIR";
+
+/// Where reports land: `$METIS_BENCH_REPORT_DIR`, else
+/// `$CARGO_TARGET_DIR/bench-reports`, else the workspace
+/// `target/bench-reports` (resolved from this crate's manifest dir, so it
+/// works regardless of the cwd cargo gives bench binaries).
+pub fn report_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var(REPORT_DIR_ENV) {
+        return PathBuf::from(dir);
+    }
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("bench-reports");
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-reports")
+}
+
+/// Starts a report for one bench target, stamped with the bench-standard
+/// seeds and the effective `METIS_BENCH_QUERIES` override (so a smoke-run
+/// report can never be mistaken for a full-scale one).
+pub fn new_report(experiment: &str, title: &str) -> BenchReport {
+    let mut report = BenchReport::new(experiment, title);
+    report.dataset_seed = DATASET_SEED;
+    report.run_seed = RUN_SEED;
+    if let Ok(q) = std::env::var("METIS_BENCH_QUERIES") {
+        report = report.knob("METIS_BENCH_QUERIES", q);
+    }
+    report
+}
+
+/// Writes `report` to `report_dir()/<experiment>.json` and prints the
+/// path. Returns the written path.
+///
+/// # Panics
+///
+/// Panics when the directory or file cannot be written — a bench that
+/// silently loses its artifact would defeat the CI gate.
+pub fn emit(report: &BenchReport) -> PathBuf {
+    let dir = report_dir();
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    let path = dir.join(format!("{}.json", report.experiment));
+    std::fs::write(&path, report.render())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let path = path.canonicalize().unwrap_or(path);
+    println!(
+        "\nreport: {} ({} cells)",
+        path.display(),
+        report.cells.len()
+    );
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_reports_parse_back() {
+        let dir = std::env::temp_dir().join(format!("metis-report-test-{}", std::process::id()));
+        // Scope the override to this test via a direct write (env vars are
+        // process-global; the writer takes the dir from the path instead).
+        let mut report = new_report("emit_unit_test", "t");
+        report.cells.push(metis_metrics::CellReport::new("only", 1));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("{}.json", report.experiment));
+        std::fs::write(&path, report.render()).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let parsed = BenchReport::parse(&text).expect("parse");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.dataset_seed, DATASET_SEED);
+        assert_eq!(parsed.run_seed, RUN_SEED);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,237 @@
+//! The generic parallel sweep driver every bench target runs on.
+//!
+//! A [`Sweep`] is a named list of cells — one closure per (config × seed ×
+//! load) point — executed across [`std::thread::scope`] workers. Two
+//! properties make its output fit for committed baselines:
+//!
+//! * **Deterministic per-cell seeds** — each cell's seed is derived from
+//!   the sweep's base seed and the cell *id* ([`cell_seed`]), not from
+//!   insertion order or thread timing, so inserting a new cell never
+//!   reshuffles the seeds of existing ones.
+//! * **Deterministic ordering** — results come back in insertion order
+//!   regardless of which worker finished first.
+//!
+//! Cells usually produce a [`RunResult`](metis_core::RunResult) (lowered to
+//! a report cell via `RunResult::cell_report`) but the driver is generic:
+//! micro-benches and profiler sweeps return their own cell types.
+
+use std::sync::Mutex;
+
+use crate::RUN_SEED;
+
+/// FNV-1a over a cell id — the stable id → seed-stream mapping.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates the base-seed/id mix.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic seed a cell named `id` runs with under `base`.
+pub fn cell_seed(base: u64, id: &str) -> u64 {
+    splitmix(base ^ fnv1a(id))
+}
+
+/// One executed cell: its id, the seed it ran with, and what it produced.
+#[derive(Clone, Debug)]
+pub struct SweepCell<T> {
+    /// The cell id (unique within the sweep).
+    pub id: String,
+    /// The derived seed the cell's closure received.
+    pub seed: u64,
+    /// The cell's output.
+    pub value: T,
+}
+
+struct Planned<'env, T> {
+    id: String,
+    /// Explicit seed (paired cells); `None` derives from the id.
+    seed: Option<u64>,
+    run: Box<dyn FnOnce(u64) -> T + Send + 'env>,
+}
+
+/// A named set of cells executed in parallel with deterministic seeds and
+/// output order. See the [module docs](self) for the guarantees.
+pub struct Sweep<'env, T> {
+    name: String,
+    base_seed: u64,
+    cells: Vec<Planned<'env, T>>,
+}
+
+impl<'env, T: Send> Sweep<'env, T> {
+    /// An empty sweep seeded with the bench-standard [`RUN_SEED`].
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            base_seed: RUN_SEED,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Overrides the base seed (cells re-derive from it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Adds one cell. `f` receives the cell's derived seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` repeats within the sweep — duplicate ids would make
+    /// baseline comparison ambiguous.
+    pub fn cell(mut self, id: impl Into<String>, f: impl FnOnce(u64) -> T + Send + 'env) -> Self {
+        self.push(id.into(), None, Box::new(f));
+        self
+    }
+
+    /// Adds one cell that runs under an *explicit* seed instead of an
+    /// id-derived one. Use this for paired comparisons: cells that are
+    /// read against each other (systems at the same load, policies on the
+    /// same burst) must share one seed so they see the same workload
+    /// realization — common random numbers — and the difference measured
+    /// is the system's, not the arrival sequence's. The recorded
+    /// [`SweepCell::seed`] is always the seed the cell actually ran with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` repeats within the sweep.
+    pub fn cell_with_seed(
+        mut self,
+        id: impl Into<String>,
+        seed: u64,
+        f: impl FnOnce(u64) -> T + Send + 'env,
+    ) -> Self {
+        self.push(id.into(), Some(seed), Box::new(f));
+        self
+    }
+
+    fn push(
+        &mut self,
+        id: String,
+        seed: Option<u64>,
+        run: Box<dyn FnOnce(u64) -> T + Send + 'env>,
+    ) {
+        assert!(
+            self.cells.iter().all(|c| c.id != id),
+            "sweep '{}': duplicate cell id '{id}'",
+            self.name
+        );
+        self.cells.push(Planned { id, seed, run });
+    }
+
+    /// Number of planned cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are planned.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Runs every cell across scoped threads; results return in insertion
+    /// order with their derived seeds.
+    pub fn run(self) -> Vec<SweepCell<T>> {
+        let base = self.base_seed;
+        let slots: Vec<Mutex<Option<(u64, T)>>> =
+            self.cells.iter().map(|_| Mutex::new(None)).collect();
+        let ids: Vec<String> = self.cells.iter().map(|c| c.id.clone()).collect();
+        std::thread::scope(|s| {
+            for (planned, slot) in self.cells.into_iter().zip(&slots) {
+                let seed = planned.seed.unwrap_or_else(|| cell_seed(base, &planned.id));
+                s.spawn(move || {
+                    let value = (planned.run)(seed);
+                    *slot.lock().expect("poisoned") = Some((seed, value));
+                });
+            }
+        });
+        ids.into_iter()
+            .zip(slots)
+            .map(|(id, slot)| {
+                let (seed, value) = slot
+                    .into_inner()
+                    .expect("poisoned")
+                    .expect("scope joined every worker");
+                SweepCell { id, seed, value }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_insertion_order() {
+        let sweep = Sweep::new("t")
+            .cell("slow", |_| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                1u32
+            })
+            .cell("fast", |_| 2u32);
+        let out = sweep.run();
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].id.as_str(), out[0].value), ("slow", 1));
+        assert_eq!((out[1].id.as_str(), out[1].value), ("fast", 2));
+    }
+
+    #[test]
+    fn seeds_depend_on_id_not_insertion_order() {
+        let run = |ids: &[&str]| -> Vec<(String, u64)> {
+            let mut s = Sweep::new("t");
+            for &id in ids {
+                s = s.cell(id, |seed| seed);
+            }
+            s.run().into_iter().map(|c| (c.id, c.value)).collect()
+        };
+        let a = run(&["x", "y"]);
+        let b = run(&["y", "z", "x"]);
+        let seed_of = |cells: &[(String, u64)], id: &str| {
+            cells.iter().find(|(i, _)| i == id).map(|(_, s)| *s)
+        };
+        assert_eq!(seed_of(&a, "x"), seed_of(&b, "x"), "x keeps its seed");
+        assert_eq!(seed_of(&a, "y"), seed_of(&b, "y"), "y keeps its seed");
+        assert_ne!(seed_of(&a, "x"), seed_of(&a, "y"), "distinct per id");
+        // And the closure receives exactly the advertised derivation.
+        assert_eq!(seed_of(&a, "x"), Some(cell_seed(crate::RUN_SEED, "x")));
+    }
+
+    #[test]
+    fn base_seed_shifts_every_cell() {
+        let a = cell_seed(1, "cell");
+        let b = cell_seed(2, "cell");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell id")]
+    fn duplicate_ids_are_rejected() {
+        let _ = Sweep::new("t").cell("a", |_| 0u8).cell("a", |_| 1u8);
+    }
+
+    #[test]
+    fn explicit_seeds_pair_cells_and_are_recorded_truthfully() {
+        let out = Sweep::new("t")
+            .cell_with_seed("sys_a", 42, |seed| seed)
+            .cell_with_seed("sys_b", 42, |seed| seed)
+            .cell("unpaired", |seed| seed)
+            .run();
+        assert_eq!(out[0].value, 42, "closure receives the explicit seed");
+        assert_eq!(out[1].value, 42, "paired cells share the realization");
+        assert_eq!(out[0].seed, 42, "recorded seed is the one used");
+        assert_eq!(out[2].seed, out[2].value, "derived cells record theirs");
+        assert_ne!(out[2].seed, 42);
+    }
+}

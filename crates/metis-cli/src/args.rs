@@ -57,6 +57,9 @@ pub struct RunArgs {
     pub priority_from_slo: bool,
     /// Retrieval index the corpus is served from.
     pub index: IndexSpec,
+    /// Optional path to write the run's machine-readable report to — the
+    /// same `BenchReport` JSON schema the bench harness emits.
+    pub json: Option<String>,
 }
 
 /// Which serving system to run.
@@ -88,6 +91,7 @@ impl Default for RunArgs {
             arrivals: ArrivalProcess::Poisson,
             priority_from_slo: false,
             index: IndexSpec::Flat,
+            json: None,
         }
     }
 }
@@ -120,6 +124,8 @@ OPTIONS:
   --nlist <N>              IVF inverted lists (default 64; needs --index ivf)
   --nprobe <N>             IVF lists probed per search, <= nlist
                            (default 8; needs --index ivf)
+  --json <PATH>            also write the run report as JSON (run only;
+                           same schema as the bench harness emits)
 ";
 
 /// Parses a dataset name.
@@ -257,6 +263,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 burst_factor = Some(f);
             }
             "--priority-from-slo" => run.priority_from_slo = true,
+            "--json" => {
+                let path = next(&mut i)?;
+                if path.is_empty() {
+                    return Err("--json requires a non-empty path".into());
+                }
+                run.json = Some(path.to_owned());
+            }
             "--index" => {
                 index_ivf = Some(match next(&mut i)?.to_ascii_lowercase().as_str() {
                     "flat" => false,
@@ -336,6 +349,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     // still printed a per-class breakdown.
     if run.priority_from_slo && run.system != SystemChoice::Metis {
         return Err("--priority-from-slo requires --system metis".into());
+    }
+    // Only `run` emits a report; elsewhere the flag would be silently
+    // inert, so it is rejected like the other subcommand-specific flags.
+    if run.json.is_some() && sub != "run" {
+        return Err("--json requires the run subcommand".into());
     }
     match sub.as_str() {
         "run" => Ok(Command::Run(run)),
@@ -543,6 +561,21 @@ mod tests {
         assert!(err.contains("--nlist must be positive"), "got: {err}");
         let err = parse(&sv(&["run", "--index", "ivf", "--nprobe", "zero"])).unwrap_err();
         assert!(err.contains("bad --nprobe"), "got: {err}");
+    }
+
+    #[test]
+    fn json_flag_parses_on_run_only() -> Result<(), String> {
+        let a = parse_run(&sv(&["run", "--json", "out/report.json"]))?;
+        assert_eq!(a.json.as_deref(), Some("out/report.json"));
+        let a = parse_run(&sv(&["run"]))?;
+        assert_eq!(a.json, None);
+        let err = parse(&sv(&["sweep", "--json", "x.json"])).unwrap_err();
+        assert!(err.contains("requires the run subcommand"), "got: {err}");
+        let err = parse(&sv(&["run", "--json", ""])).unwrap_err();
+        assert!(err.contains("non-empty path"), "got: {err}");
+        let err = parse(&sv(&["run", "--json"])).unwrap_err();
+        assert!(err.contains("missing value"), "got: {err}");
+        Ok(())
     }
 
     #[test]

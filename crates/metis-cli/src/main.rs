@@ -17,6 +17,7 @@ use metis_core::{
 use metis_datasets::{build_dataset, build_dataset_with_index};
 use metis_engine::Priority;
 use metis_llm::{GpuCluster, ModelSpec};
+use metis_metrics::BenchReport;
 use metis_profiler::{LlmProfiler, ProfilerKind};
 
 use args::{parse, Command, RunArgs, SystemChoice, USAGE};
@@ -120,6 +121,17 @@ fn cmd_run(a: &RunArgs) {
     );
     let r = run_once(a, system_of(a.system, a.slo, a.priority_from_slo));
     print_result(&format!("{:?}", a.system), &r);
+    let stages = r.stage_breakdown();
+    println!(
+        "stages (mean s): profile {:.3}  decide {:.3}  retrieve {:.3}  \
+         queue-wait {:.3}  prefill {:.3}  decode {:.3}",
+        stages.profile,
+        stages.decide,
+        stages.retrieve,
+        stages.queue_wait,
+        stages.prefill,
+        stages.decode,
+    );
     let retrieval = r.retrieval();
     println!(
         "retrieval [{}]: p50 {:.2} ms  p99 {:.2} ms  fact-recall {:.3}",
@@ -159,6 +171,43 @@ fn cmd_run(a: &RunArgs) {
             .map(|(i, n)| format!("r{i}={n}"))
             .collect();
         println!("per-replica completions: {}", parts.join(" "));
+    }
+    if let Some(path) = &a.json {
+        write_report(a, &r, path);
+    }
+}
+
+/// Writes the run as a single-cell [`BenchReport`] — the same schema the
+/// bench harness emits, so CLI runs slot into the same tooling
+/// (`perf_check`, plotting) as figure reproductions.
+fn write_report(a: &RunArgs, r: &RunResult, path: &str) {
+    let mut report = BenchReport::new("cli_run", "metis run");
+    report.dataset_seed = a.seed;
+    report.run_seed = a.seed;
+    report = report
+        .knob("dataset", format!("{:?}", a.dataset))
+        .knob("system", format!("{:?}", a.system))
+        .knob("queries", a.queries)
+        .knob("qps", a.qps)
+        .knob("arrivals", a.arrivals.name())
+        .knob("replicas", a.replicas)
+        .knob("router", a.router.name())
+        .knob("index", a.index.label());
+    report.cells.push(
+        r.cell_report("run", a.seed)
+            .knob("system", format!("{:?}", a.system)),
+    );
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {e}", parent.display());
+                return;
+            }
+        }
+    }
+    match std::fs::write(path, report.render()) {
+        Ok(()) => println!("report: {path}"),
+        Err(e) => eprintln!("error: cannot write {path}: {e}"),
     }
 }
 

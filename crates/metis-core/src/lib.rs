@@ -50,6 +50,6 @@ pub use extensions::{rerank_hits, rewrite_query, ExtKnobs};
 pub use mapping::{map_profile, ProfileHistory};
 pub use memory::PlanDemand;
 pub use retrieval::RetrievalModel;
-pub use runner::{QueryResult, RunConfig, RunResult, Runner};
+pub use runner::{QueryResult, RunConfig, RunResult, Runner, StageBreakdown, StageMeans};
 pub use slo::{choose_config_with_slo, estimate_exec_secs, LatencySlo, SloTier};
 pub use synthesis::{plan_synthesis, PlannedCall, SynthesisPlan};

@@ -30,7 +30,7 @@ use metis_llm::{
     nanos_to_secs, secs_to_nanos, FleetSpec, GenModelConfig, GenerationModel, GpuCluster,
     LatencyModel, ModelKind, ModelSpec, Nanos,
 };
-use metis_metrics::{f1_score, LatencySummary, ThroughputSummary};
+use metis_metrics::{f1_score, CellReport, LatencySummary, SummaryStats, ThroughputSummary};
 use metis_vectordb::{IndexSpec, RetrievalOutcome, RetrievalResult};
 
 use crate::config::{RagConfig, SynthesisMethod};
@@ -109,6 +109,84 @@ impl RunConfig {
     }
 }
 
+/// Where one query's wall time went, stage by stage, in timeline nanos.
+///
+/// The stages partition the end-to-end delay along the query's *critical
+/// chain*: profile → decide → retrieve → then, inside the engine, the call
+/// that gated each wave (the last-finishing map, then the reduce). Engine
+/// stages are wall time on that chain — a map call's prefill nanos include
+/// the iterations it shared with other sequences, and a preempted victim's
+/// queue time counts its re-queue wait — so the six fields sum *exactly* to
+/// `finish − arrival` (see [`Completion::prefill_done`]'s telescoping
+/// identity; an integration test pins this). In API-serving mode there is
+/// no local queue or prefill accounting: the provider call time lands in
+/// `decode` and the engine stages are 0.
+///
+/// [`Completion::prefill_done`]: metis_engine::Completion::prefill_done
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Profiler latency (API call, off-GPU).
+    pub profile: Nanos,
+    /// Configuration decision. The decision itself is modeled as
+    /// instantaneous (the controller runs off the critical path), so this
+    /// is 0 today; the field exists so the report schema already has the
+    /// slot when decision cost gets modeled.
+    pub decide: Nanos,
+    /// Index search + query embedding, charged by measured work.
+    pub retrieve: Nanos,
+    /// Engine queue wait along the critical chain (submit → admission,
+    /// summed over the chain's calls).
+    pub queue_wait: Nanos,
+    /// Prefill wall time along the critical chain.
+    pub prefill: Nanos,
+    /// Decode wall time along the critical chain.
+    pub decode: Nanos,
+}
+
+impl StageBreakdown {
+    /// Sum of all stages — equals the query's end-to-end delay in nanos.
+    pub fn total(&self) -> Nanos {
+        self.profile + self.decide + self.retrieve + self.queue_wait + self.prefill + self.decode
+    }
+}
+
+/// Mean seconds per stage across a run — what a Fig-12-style delay
+/// breakdown plots. Produced by [`RunResult::stage_breakdown`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageMeans {
+    /// Mean profiler seconds.
+    pub profile: f64,
+    /// Mean decision seconds (0 today; see [`StageBreakdown::decide`]).
+    pub decide: f64,
+    /// Mean retrieval seconds.
+    pub retrieve: f64,
+    /// Mean critical-chain queue-wait seconds.
+    pub queue_wait: f64,
+    /// Mean critical-chain prefill seconds.
+    pub prefill: f64,
+    /// Mean critical-chain decode seconds.
+    pub decode: f64,
+}
+
+impl StageMeans {
+    /// Sum of the stage means — equals the run's mean end-to-end delay.
+    pub fn total(&self) -> f64 {
+        self.profile + self.decide + self.retrieve + self.queue_wait + self.prefill + self.decode
+    }
+
+    /// `(name, mean secs)` pairs in pipeline order.
+    pub fn named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("profile", self.profile),
+            ("decide", self.decide),
+            ("retrieve", self.retrieve),
+            ("queue_wait", self.queue_wait),
+            ("prefill", self.prefill),
+            ("decode", self.decode),
+        ]
+    }
+}
+
 /// Per-query outcome.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
@@ -144,6 +222,9 @@ pub struct QueryResult {
     pub queue_wait_secs: f64,
     /// The scheduling class the query's calls ran at.
     pub priority: Priority,
+    /// Per-stage wall-nanos along the critical chain; sums exactly to the
+    /// end-to-end delay.
+    pub stages: StageBreakdown,
 }
 
 /// Aggregate outcome of one run.
@@ -246,6 +327,59 @@ impl RunResult {
         counts
     }
 
+    /// Mean seconds per pipeline stage across the run — the Fig-12-style
+    /// delay decomposition. `stage_breakdown().total()` equals
+    /// [`mean_delay_secs`](Self::mean_delay_secs) (up to float summation),
+    /// because each query's stages partition its delay exactly.
+    pub fn stage_breakdown(&self) -> StageMeans {
+        if self.per_query.is_empty() {
+            return StageMeans::default();
+        }
+        let n = self.per_query.len() as f64;
+        let mut sums = StageMeans::default();
+        for q in &self.per_query {
+            sums.profile += nanos_to_secs(q.stages.profile);
+            sums.decide += nanos_to_secs(q.stages.decide);
+            sums.retrieve += nanos_to_secs(q.stages.retrieve);
+            sums.queue_wait += nanos_to_secs(q.stages.queue_wait);
+            sums.prefill += nanos_to_secs(q.stages.prefill);
+            sums.decode += nanos_to_secs(q.stages.decode);
+        }
+        StageMeans {
+            profile: sums.profile / n,
+            decide: sums.decide / n,
+            retrieve: sums.retrieve / n,
+            queue_wait: sums.queue_wait / n,
+            prefill: sums.prefill / n,
+            decode: sums.decode / n,
+        }
+    }
+
+    /// Lowers the run into one report cell — the uniform currency of the
+    /// bench harness and the CI perf gate (see
+    /// [`metis_metrics::report`]).
+    pub fn cell_report(&self, id: impl Into<String>, seed: u64) -> CellReport {
+        CellReport {
+            queries: self.per_query.len() as u64,
+            f1: self.mean_f1(),
+            latency: SummaryStats::of(&self.latency()),
+            queue_wait: SummaryStats::of(&self.queue_wait(None)),
+            retrieval: SummaryStats::of(&self.retrieval()),
+            stages: self
+                .stage_breakdown()
+                .named()
+                .iter()
+                .map(|&(name, secs)| (name.to_owned(), secs))
+                .collect(),
+            throughput_qps: self.throughput().qps(),
+            preemptions: self.preemptions,
+            gpu_busy_secs: self.gpu_busy_secs,
+            api_cost_usd: self.api_cost_usd,
+            retrieval_recall: self.mean_retrieval_recall(),
+            ..CellReport::new(id, seed)
+        }
+    }
+
     /// Mean fraction of the delay spent profiling (Fig. 18).
     pub fn mean_profiler_fraction(&self) -> f64 {
         if self.per_query.is_empty() {
@@ -312,6 +446,9 @@ struct ActiveQuery {
     priority: Priority,
     /// Worst (submit → admission) delay seen across the query's calls.
     queue_wait: Nanos,
+    /// Per-stage accounting: profile/retrieve filled at submission, engine
+    /// stages accumulated from the completion that gates each wave.
+    stages: StageBreakdown,
 }
 
 /// Mutable bookkeeping shared by the event handlers: the set of in-flight
@@ -724,6 +861,14 @@ impl<'a> Runner<'a> {
                 finish_secs: nanos_to_secs(finish),
                 queue_wait_secs: 0.0,
                 priority,
+                // No local queue or prefill accounting against a provider:
+                // the whole API call lands in `decode`.
+                stages: StageBreakdown {
+                    profile: profiler_nanos,
+                    retrieve: retrieval_nanos,
+                    decode: map_nanos + reduce_nanos,
+                    ..StageBreakdown::default()
+                },
             });
             if self.cfg.closed_loop && q + 1 < self.dataset.queries.len() {
                 push_event(finish, EventKind::Profile(q + 1));
@@ -864,6 +1009,11 @@ impl<'a> Runner<'a> {
             synthetic: wave.synthetic,
             priority: wave.priority,
             queue_wait: 0,
+            stages: StageBreakdown {
+                profile: wave.profiler_nanos,
+                retrieve: wave.retrieval_nanos,
+                ..StageBreakdown::default()
+            },
         });
     }
 
@@ -890,6 +1040,14 @@ impl<'a> Runner<'a> {
             if a.remaining > 0 {
                 continue;
             }
+            // `c` gated its wave (last map before the reduce, or the final
+            // call): its queue/prefill/decode decomposition *is* the
+            // critical chain's — within one engine iteration all finishes
+            // coincide, and the reduce's arrival equals this finish, so the
+            // chain sums telescope to the query's end-to-end delay.
+            a.stages.queue_wait += c.admitted.saturating_sub(c.arrival);
+            a.stages.prefill += c.prefill_done.saturating_sub(c.admitted);
+            a.stages.decode += c.finish.saturating_sub(c.prefill_done);
             if let (Some(reduce), false) = (a.plan.reduce_call, a.reduce_submitted) {
                 // All maps done: submit the reduce call now, to the same
                 // replica (the query's KV and gang stay on one backend).
@@ -935,6 +1093,7 @@ impl<'a> Runner<'a> {
                 finish_secs: nanos_to_secs(c.finish),
                 queue_wait_secs: nanos_to_secs(a.queue_wait),
                 priority: a.priority,
+                stages: a.stages,
             });
             if self.cfg.closed_loop {
                 let next = flight.results.len();

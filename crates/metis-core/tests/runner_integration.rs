@@ -366,6 +366,102 @@ fn retrieval_is_charged_after_the_decision_that_sizes_it() {
 }
 
 #[test]
+fn stage_breakdown_partitions_the_end_to_end_delay() {
+    // The per-stage accounting must be exact, not approximate: for every
+    // query, profile + decide + retrieve + queue_wait + prefill + decode
+    // telescopes to finish − arrival. Exercised where it is hardest —
+    // map_reduce chains (reduce arrival = last map finish), SLO-derived
+    // priorities with preemption under burst, and 2 replicas.
+    let n = 40;
+    let d = build_dataset(DatasetKind::Musique, n, 2024);
+    let mut opts = MetisOptions::full();
+    opts.priority_from_slo = true;
+    let arrivals = burst_arrivals(7, 0.9, 6.0, n);
+    let mut cfg = RunConfig::standard(SystemKind::Metis(opts), arrivals, 99)
+        .replicated(2, RouterPolicy::LeastKvLoad);
+    cfg.engine.kv_pool_bytes_cap = Some(2 * (1 << 30));
+    let r = Runner::new(&d, cfg).run();
+    assert_eq!(r.per_query.len(), n);
+    assert!(r.preemptions > 0, "the burst must force preemptions");
+    for q in &r.per_query {
+        let total = metis_llm::nanos_to_secs(q.stages.total());
+        assert!(
+            (total - q.delay_secs).abs() < 1e-9,
+            "q{}: stages sum {:.9}s != delay {:.9}s ({:?})",
+            q.query_index,
+            total,
+            q.delay_secs,
+            q.stages
+        );
+        assert_eq!(q.stages.decide, 0, "decisions are modeled instantaneous");
+        assert!(q.stages.profile > 0 && q.stages.retrieve > 0);
+        assert!(q.stages.decode > 0, "every query decodes");
+    }
+    // Queries that hit engine contention show queue wait in the breakdown.
+    assert!(
+        r.per_query.iter().any(|q| q.stages.queue_wait > 0),
+        "a burst at 2 GiB KV must queue someone"
+    );
+    // The aggregate view is consistent with the mean delay.
+    let means = r.stage_breakdown();
+    assert!(
+        (means.total() - r.mean_delay_secs()).abs() < 1e-9,
+        "mean stages {:.6}s != mean delay {:.6}s",
+        means.total(),
+        r.mean_delay_secs()
+    );
+}
+
+#[test]
+fn stage_breakdown_covers_api_serving_mode() {
+    // No local engine: provider time lands in `decode`, engine stages are
+    // 0, and the partition identity still holds exactly.
+    let d = build_dataset(DatasetKind::Squad, 8, 3);
+    let mut cfg = RunConfig::standard(
+        SystemKind::VllmFixed {
+            config: RagConfig::map_reduce(4, 60),
+        },
+        poisson_arrivals(1, 2.0, 8),
+        1,
+    );
+    cfg.model = ModelSpec::gpt4o();
+    let r = Runner::new(&d, cfg).run();
+    for q in &r.per_query {
+        assert_eq!(q.stages.queue_wait, 0);
+        assert_eq!(q.stages.prefill, 0);
+        assert!(q.stages.decode > 0);
+        let total = metis_llm::nanos_to_secs(q.stages.total());
+        assert!((total - q.delay_secs).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn cell_report_mirrors_the_run_result() {
+    let r = run(
+        DatasetKind::Musique,
+        20,
+        SystemKind::Metis(MetisOptions::full()),
+        base_qps(DatasetKind::Musique),
+    );
+    let cell = r.cell_report("musique/metis", 99);
+    assert_eq!(cell.id, "musique/metis");
+    assert_eq!(cell.seed, 99);
+    assert_eq!(cell.queries, 20);
+    assert_eq!(cell.f1, r.mean_f1());
+    assert_eq!(cell.latency.mean, r.mean_delay_secs());
+    assert_eq!(cell.latency.p99(), r.latency().p99());
+    assert_eq!(cell.retrieval.p50(), r.retrieval().p50());
+    assert_eq!(cell.throughput_qps, r.throughput().qps());
+    assert_eq!(cell.retrieval_recall, r.mean_retrieval_recall());
+    let stages: std::collections::HashMap<&str, f64> =
+        cell.stages.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let means = r.stage_breakdown();
+    assert_eq!(stages["profile"], means.profile);
+    assert_eq!(stages["decode"], means.decode);
+    assert_eq!(stages.len(), 6);
+}
+
+#[test]
 fn run_is_deterministic() {
     let a = run(
         DatasetKind::Musique,

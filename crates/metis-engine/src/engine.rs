@@ -75,6 +75,14 @@ pub struct Completion {
     /// When it was admitted (KV allocated). For a request that was
     /// preempted and re-admitted, this is the *last* admission.
     pub admitted: Nanos,
+    /// When its prefill completed and decoding began. For a preempted
+    /// request this is the completion of the *last* (recomputed) prefill,
+    /// so `admitted <= prefill_done <= finish` always holds and
+    /// `(admitted − arrival) + (prefill_done − admitted) +
+    /// (finish − prefill_done)` telescopes exactly to `finish − arrival` —
+    /// the identity the per-stage breakdown reports rely on. A fully
+    /// prefix-cached request decodes immediately: `prefill_done == admitted`.
+    pub prefill_done: Nanos,
     /// When its last token was generated.
     pub finish: Nanos,
 }
@@ -83,6 +91,8 @@ struct Running {
     req: LlmRequest,
     state: RequestState,
     admitted: Nanos,
+    /// Clock at the transition into `Decoding` (== `admitted` until then).
+    prefill_done: Nanos,
 }
 
 /// A queue entry: the request plus the time it (re-)entered the admission
@@ -336,6 +346,9 @@ impl Engine {
             self.running.push(Running {
                 state,
                 admitted: self.clock,
+                // Fully cached prompts skip prefill: it "completes" at
+                // admission. Otherwise the transition in `step` stamps it.
+                prefill_done: self.clock,
                 req,
             });
         }
@@ -503,6 +516,7 @@ impl Engine {
             if let RequestState::Prefilling { done } = self.running[i].state {
                 let done = done + n;
                 self.running[i].state = if done >= self.running[i].req.prompt_tokens {
+                    self.running[i].prefill_done = self.clock;
                     RequestState::Decoding { emitted: 0 }
                 } else {
                     RequestState::Prefilling { done }
@@ -524,6 +538,7 @@ impl Engine {
                         replica: self.replica,
                         arrival: r.req.arrival,
                         admitted: r.admitted,
+                        prefill_done: r.prefill_done,
                         finish: clock,
                     });
                 } else {
@@ -946,6 +961,50 @@ mod tests {
         let done = e.run_until_idle();
         let pos = |id: u64| done.iter().position(|c| c.id == RequestId(id)).unwrap();
         assert!(pos(1) < pos(9), "FCFS keeps arrival order");
+    }
+
+    #[test]
+    fn completion_timestamps_decompose_the_lifetime() {
+        // arrival <= admitted <= prefill_done <= finish for every request,
+        // including preempted victims (last admission / last recomputed
+        // prefill) — the telescoping identity behind stage breakdowns.
+        let mut e = capped_engine(SchedPolicy::Preemptive, 4_096);
+        e.submit(preq(1, 3_000, 400, 0, Priority::Batch));
+        e.step();
+        e.submit(preq(2, 2_000, 20, e.now(), Priority::Interactive));
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 2);
+        assert!(e.stats().preemptions >= 1, "the batch victim was evicted");
+        for c in &done {
+            assert!(c.arrival <= c.admitted);
+            assert!(c.admitted <= c.prefill_done, "prefill ends after admission");
+            assert!(c.prefill_done < c.finish, "decode takes time");
+            let pieces = (c.admitted - c.arrival)
+                + (c.prefill_done - c.admitted)
+                + (c.finish - c.prefill_done);
+            assert_eq!(pieces, c.finish - c.arrival);
+        }
+    }
+
+    #[test]
+    fn fully_cached_prompt_has_zero_prefill_wall_time() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.submit(LlmRequest {
+            id: RequestId(1),
+            group: GroupId(1),
+            stage: Stage::Single,
+            prompt_tokens: 2_000,
+            output_tokens: 10,
+            cached_prompt_tokens: 2_000,
+            arrival: 0,
+            priority: Priority::Standard,
+        });
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            done[0].prefill_done, done[0].admitted,
+            "a fully cached prompt goes straight to decode"
+        );
     }
 
     #[test]

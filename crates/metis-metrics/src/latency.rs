@@ -44,7 +44,18 @@ impl LatencySummary {
         }
     }
 
-    /// Percentile by nearest-rank (`p` in `[0, 100]`; 0 for an empty set).
+    /// Percentile by the *nearest-rank* estimator: the value at sorted
+    /// index `ceil(p/100 · n)` (1-based), with `p = 0` defined as the
+    /// minimum (`p` in `[0, 100]`; 0 for an empty set).
+    ///
+    /// Nearest-rank always returns an observed sample — it never
+    /// interpolates — which makes it exact for golden comparisons but
+    /// coarse at small `n`: with `n` samples every percentile above
+    /// `100·(n−1)/n` *is* the maximum (e.g. p99 == max for `n < 100`, and
+    /// for `n = 1` every percentile is the single sample). Reports built
+    /// from these summaries carry the sample count alongside each
+    /// percentile vector so consumers can tell a resolved tail from a
+    /// saturated one.
     ///
     /// # Panics
     ///
@@ -54,8 +65,11 @@ impl LatencySummary {
         if self.sorted.is_empty() {
             return 0.0;
         }
+        // ceil maps p = 0 to rank 0; the max(1) below is exactly the
+        // "p0 := minimum" convention documented above (ranks are 1-based,
+        // and rank never exceeds n because p <= 100).
         let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
-        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+        self.sorted[rank.max(1) - 1]
     }
 
     /// Median (p50).
@@ -71,6 +85,11 @@ impl LatencySummary {
     /// Maximum delay (0 for an empty set).
     pub fn max(&self) -> f64 {
         self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Minimum delay (0 for an empty set) — also `percentile(0.0)`.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
     }
 }
 
@@ -121,6 +140,32 @@ mod tests {
         let s = LatencySummary::new(vec![2.5]);
         assert_eq!(s.p50(), 2.5);
         assert_eq!(s.percentile(1.0), 2.5);
+    }
+
+    #[test]
+    fn percentile_zero_is_the_minimum() {
+        let s = LatencySummary::new(vec![4.0, 1.0, 9.0]);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(LatencySummary::new(vec![]).min(), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_edges_at_tiny_counts() {
+        // n = 1: every percentile is the single sample.
+        let one = LatencySummary::new(vec![7.0]);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(one.percentile(p), 7.0, "n=1, p={p}");
+        }
+        // n = 2: rank(p) = ceil(p/50): p <= 50 hits the first sample,
+        // p > 50 the second; p99 therefore equals max — the documented
+        // saturation of the estimator at small counts.
+        let two = LatencySummary::new(vec![1.0, 3.0]);
+        assert_eq!(two.percentile(0.0), 1.0);
+        assert_eq!(two.percentile(50.0), 1.0);
+        assert_eq!(two.percentile(50.1), 3.0);
+        assert_eq!(two.p99(), 3.0);
+        assert_eq!(two.p99(), two.max(), "p99 saturates to max below n=100");
     }
 
     #[test]

@@ -3,11 +3,21 @@
 //! * Token-level F1 (§2's response-quality metric, SQuAD-style).
 //! * Latency distributions (mean/percentiles) and throughput.
 //! * The dollar-cost model behind the paper's Fig. 13.
+//! * Machine-readable benchmark reports ([`report`]) over a hand-rolled,
+//!   dependency-free JSON writer/parser ([`json`]) — the schema the bench
+//!   harness emits and the CI perf gate diffs against baselines.
 
 pub mod cost;
 pub mod f1;
+pub mod json;
 pub mod latency;
+pub mod report;
 
 pub use cost::{CostModel, RunCost};
 pub use f1::f1_score;
+pub use json::{Json, JsonError};
 pub use latency::{LatencySummary, ThroughputSummary};
+pub use report::{
+    BenchReport, CellReport, SchemaError, SummaryStats, PERCENTILE_ESTIMATOR, PERCENTILE_GRID,
+    SCHEMA_VERSION,
+};

@@ -1,0 +1,97 @@
+//! Property tests for the bench-report pipeline: arbitrary reports survive
+//! emit → parse bit-for-bit, including adversarial strings and `u64` seeds
+//! beyond `f64`'s 53-bit mantissa.
+
+use metis_metrics::{BenchReport, CellReport, Json, LatencySummary, SummaryStats};
+use proptest::prelude::*;
+
+/// Builds a printable-but-adversarial string from raw code points: quotes,
+/// backslashes, control characters, and astral-plane scalars all appear.
+fn string_from(raw: &[(u32, u8)]) -> String {
+    raw.iter()
+        .map(|&(cp, class)| match class % 4 {
+            0 => char::from_u32(cp % 0x20).unwrap_or('\u{1}'), // Controls.
+            1 => ['"', '\\', '/', '\u{7f}', '☃'][(cp % 5) as usize],
+            2 => char::from_u32(0x1F300 + cp % 0x100).unwrap_or('🦀'), // Astral.
+            _ => char::from_u32(cp % 0xD800).unwrap_or('x'),           // BMP scalars.
+        })
+        .collect()
+}
+
+/// A finite, possibly-negative metric value from raw parts.
+fn metric(mantissa: i64, shift: u8) -> f64 {
+    mantissa as f64 / f64::from(1u32 << (shift % 31))
+}
+
+proptest! {
+    /// emit → parse is the identity on arbitrary reports.
+    #[test]
+    fn arbitrary_reports_round_trip(
+        experiment in prop::collection::vec((0u32..0x11_0000, 0u8..8), 0..6),
+        knobs in prop::collection::vec(
+            (prop::collection::vec((0u32..0x11_0000, 0u8..8), 0..5),
+             prop::collection::vec((0u32..0x11_0000, 0u8..8), 0..5)),
+            0..4),
+        dataset_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+        cells in prop::collection::vec(
+            // (id raw, seed, queries, samples, stage metric raw, extra raw)
+            (prop::collection::vec((0u32..0x11_0000, 0u8..8), 0..6),
+             any::<u64>(),
+             0u64..10_000,
+             prop::collection::vec(0.0f64..1e6, 0..12),
+             (-1_000_000i64..1_000_000, 0u8..31),
+             (-1_000_000i64..1_000_000, 0u8..31)),
+            0..5),
+    ) {
+        let mut report = BenchReport::new(string_from(&experiment), "prop");
+        for (k, v) in &knobs {
+            report = report.knob(string_from(k), string_from(v));
+        }
+        report.dataset_seed = dataset_seed;
+        report.run_seed = run_seed;
+        for (i, (id_raw, seed, queries, samples, stage_raw, extra_raw)) in
+            cells.iter().enumerate()
+        {
+            // Ids must be unique only for human use; the schema allows any.
+            let lat = LatencySummary::new(samples.clone());
+            let cell = CellReport {
+                queries: *queries,
+                f1: metric(stage_raw.0 ^ i as i64, stage_raw.1),
+                latency: SummaryStats::of(&lat),
+                queue_wait: SummaryStats::empty(),
+                retrieval: SummaryStats::of(&lat),
+                stages: vec![("decode".into(), metric(stage_raw.0, stage_raw.1))],
+                throughput_qps: metric(extra_raw.0, extra_raw.1).abs(),
+                preemptions: queries / 2,
+                gpu_busy_secs: metric(extra_raw.0, stage_raw.1),
+                api_cost_usd: metric(stage_raw.0, extra_raw.1),
+                retrieval_recall: metric(extra_raw.0, extra_raw.1),
+                ..CellReport::new(string_from(id_raw), *seed)
+            }
+            .metric(string_from(id_raw), metric(extra_raw.0, extra_raw.1));
+            report.cells.push(cell);
+        }
+
+        let rendered = report.render();
+        let parsed = BenchReport::parse(&rendered).expect("rendered reports parse");
+        prop_assert_eq!(&parsed, &report);
+        // Idempotence: render(parse(render(r))) == render(r).
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+
+    /// The underlying JSON layer round-trips adversarial strings verbatim.
+    #[test]
+    fn json_strings_round_trip(raw in prop::collection::vec((0u32..0x11_0000, 0u8..8), 0..40)) {
+        let s = string_from(&raw);
+        let v = Json::Str(s.clone());
+        prop_assert_eq!(Json::parse(&v.render()).expect("parse"), v);
+    }
+
+    /// Seeds round-trip exactly over the full u64 range (no f64 rounding).
+    #[test]
+    fn u64_values_round_trip_exactly(n in any::<u64>()) {
+        let v = Json::UInt(n);
+        prop_assert_eq!(Json::parse(&v.render()).expect("parse").as_u64(), Some(n));
+    }
+}

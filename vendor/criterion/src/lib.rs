@@ -94,11 +94,15 @@ impl Bencher {
 /// Benchmark driver, mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -128,7 +132,15 @@ impl Criterion {
             "{name:<44} time: {value:>10.3} {unit}/iter (median of {})",
             b.samples.len()
         );
+        self.results.push((name.to_owned(), med as f64));
         self
+    }
+
+    /// Measured `(name, median nanos/iter)` pairs, in run order — lets a
+    /// caller re-emit the numbers into a machine-readable report (upstream
+    /// criterion persists JSON itself; this shim leaves IO to the caller).
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
     }
 }
 

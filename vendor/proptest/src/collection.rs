@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::TestRng;
 
-/// Length specification for [`vec`]: an exact length or a half-open range.
+/// Length specification for [`vec()`]: an exact length or a half-open range.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
