@@ -75,6 +75,10 @@ pub struct GateOutcome {
     pub improvements: Vec<GateFinding>,
     /// Metric comparisons performed.
     pub checked: usize,
+    /// Cells skipped because they were served by the realtime driver: their
+    /// numbers carry wall-clock scheduling jitter, so they are not
+    /// regression-gateable against a deterministic baseline.
+    pub skipped_realtime: usize,
 }
 
 impl GateOutcome {
@@ -103,6 +107,15 @@ pub fn check(baseline: &BenchReport, candidate: &BenchReport, tol: &Tolerances) 
         return out;
     }
     for base_cell in &baseline.cells {
+        // Realtime cells (marked by the `driver` knob the runner stamps on
+        // them) are excluded from gating: wall-clock pacing makes their
+        // numbers jittery, and the parity bench — not this gate — is what
+        // holds them close to the simulator. Deterministic sim cells carry
+        // no marker and are always compared.
+        if is_realtime(base_cell) {
+            out.skipped_realtime += 1;
+            continue;
+        }
         let Some(cand_cell) = candidate.cell(&base_cell.id) else {
             out.regressions.push(GateFinding {
                 cell: base_cell.id.clone(),
@@ -111,9 +124,19 @@ pub fn check(baseline: &BenchReport, candidate: &BenchReport, tol: &Tolerances) 
             });
             continue;
         };
+        if is_realtime(cand_cell) {
+            out.skipped_realtime += 1;
+            continue;
+        }
         check_cell(base_cell, cand_cell, tol, &mut out);
     }
     out
+}
+
+/// Whether a cell was served by the realtime driver (the runner stamps
+/// `driver = realtime` on such cells; sim cells carry no marker).
+fn is_realtime(cell: &CellReport) -> bool {
+    cell.knob_value("driver") == Some("realtime")
 }
 
 fn check_cell(base: &CellReport, cand: &CellReport, tol: &Tolerances, out: &mut GateOutcome) {
@@ -270,6 +293,32 @@ mod tests {
         let base = report_with(1.0, 0.6);
         let out = check(&base, &report_with(1.02, 0.595), &Tolerances::default());
         assert!(out.passed(), "{:?}", out.regressions);
+    }
+
+    #[test]
+    fn realtime_cells_are_skipped_not_gated() {
+        let base = report_with(1.0, 0.6);
+        // A wildly different candidate would fail the gate — unless the
+        // cell is marked as realtime-served, in which case it is skipped.
+        let mut jittery = report_with(3.0, 0.4);
+        jittery.cells[0]
+            .knobs
+            .push(("driver".into(), "realtime".into()));
+        let out = check(&base, &jittery, &Tolerances::default());
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert_eq!(out.skipped_realtime, 1);
+        assert_eq!(out.checked, 0);
+        // A realtime baseline cell is equally non-comparable.
+        let mut rt_base = report_with(1.0, 0.6);
+        rt_base.cells[0]
+            .knobs
+            .push(("driver".into(), "realtime".into()));
+        let out = check(&rt_base, &report_with(3.0, 0.4), &Tolerances::default());
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert_eq!(out.skipped_realtime, 1);
+        // An unmarked (sim) cell still fails as before.
+        let out = check(&base, &report_with(3.0, 0.4), &Tolerances::default());
+        assert!(!out.passed());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub use reportio::{emit, new_report, report_dir, REPORT_DIR_ENV};
 pub use sweep::{cell_seed, Sweep, SweepCell};
 
 use metis_core::{
-    MetisOptions, RagConfig, RunConfig, RunResult, Runner, SynthesisPlan, SystemKind,
+    DriverSpec, MetisOptions, RagConfig, RunConfig, RunResult, Runner, SynthesisPlan, SystemKind,
 };
 use metis_datasets::{build_dataset, poisson_arrivals, Dataset, DatasetKind};
 use metis_engine::{
@@ -88,6 +88,26 @@ pub fn run_with_arrivals(
     if kv_cap_bytes.is_some() {
         cfg.engine.kv_pool_bytes_cap = kv_cap_bytes;
     }
+    Runner::new(dataset, cfg).run()
+}
+
+/// Runs `system` over `dataset` with Poisson arrivals at `qps` on an
+/// explicit execution driver — the same workload [`run_replicated`] builds,
+/// but served by either the deterministic simulator or the live realtime
+/// driver (the parity bench runs both and compares).
+pub fn run_with_driver(
+    dataset: &Dataset,
+    system: SystemKind,
+    qps: f64,
+    seed: u64,
+    replicas: usize,
+    router: RouterPolicy,
+    driver: DriverSpec,
+) -> RunResult {
+    let arrivals = poisson_arrivals(seed ^ 0xA11, qps, dataset.queries.len());
+    let cfg = RunConfig::standard(system, arrivals, seed)
+        .replicated(replicas, router)
+        .with_driver(driver);
     Runner::new(dataset, cfg).run()
 }
 

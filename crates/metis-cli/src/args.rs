@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
 use metis_datasets::{ArrivalProcess, DatasetKind};
-use metis_engine::RouterPolicy;
+use metis_engine::{DriverSpec, RouterPolicy};
 use metis_vectordb::IndexSpec;
 
 /// Default burst density for `--arrivals burst` (overridden by
@@ -23,6 +23,12 @@ pub enum Command {
     Sweep(RunArgs),
     /// `metis profile ...` — show profiles and pruned spaces per query.
     Profile(RunArgs),
+    /// `metis serve ...` — serve a workload on a chosen driver and print
+    /// the summary plus wall-clock accounting.
+    Serve(RunArgs),
+    /// `metis replay ...` — push a generated workload through a driver and
+    /// emit the run's `CellReport` JSON (stdout, or `--json <PATH>`).
+    Replay(RunArgs),
     /// `metis help`.
     Help,
 }
@@ -60,6 +66,9 @@ pub struct RunArgs {
     /// Optional path to write the run's machine-readable report to — the
     /// same `BenchReport` JSON schema the bench harness emits.
     pub json: Option<String>,
+    /// Who executes the engine work and on whose time (serve/replay only;
+    /// `run`/`sweep`/`profile` always simulate).
+    pub driver: DriverSpec,
 }
 
 /// Which serving system to run.
@@ -92,6 +101,7 @@ impl Default for RunArgs {
             priority_from_slo: false,
             index: IndexSpec::Flat,
             json: None,
+            driver: DriverSpec::Sim,
         }
     }
 }
@@ -104,6 +114,8 @@ USAGE:
   metis run     [OPTIONS]   serve a workload and print per-system results
   metis sweep   [OPTIONS]   sweep the fixed-configuration menu
   metis profile [OPTIONS]   show profiler output and pruned spaces per query
+  metis serve   [OPTIONS]   serve on a chosen driver; print summary + wall time
+  metis replay  [OPTIONS]   run a workload on a driver; emit the report JSON
   metis help
 
 OPTIONS:
@@ -124,8 +136,14 @@ OPTIONS:
   --nlist <N>              IVF inverted lists (default 64; needs --index ivf)
   --nprobe <N>             IVF lists probed per search, <= nlist
                            (default 8; needs --index ivf)
-  --json <PATH>            also write the run report as JSON (run only;
+  --json <PATH>            also write the run report as JSON (run/replay;
                            same schema as the bench harness emits)
+  --driver <sim|realtime>  serve/replay execution driver (default sim):
+                           sim replays the deterministic simulator; realtime
+                           serves live from one worker thread per replica
+  --time-scale <F>         virtual-per-wall speedup for --driver realtime
+                           (default 1 = true wall pace; e.g. 1000 compresses
+                           1000 virtual seconds into one wall second)
 ";
 
 /// Parses a dataset name.
@@ -205,6 +223,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut index_ivf: Option<bool> = None;
     let mut nlist: Option<usize> = None;
     let mut nprobe: Option<usize> = None;
+    let mut driver_realtime: Option<bool> = None;
+    let mut time_scale: Option<f64> = None;
     let mut i = 1;
     let next = |i: &mut usize| -> Result<&str, String> {
         *i += 1;
@@ -286,6 +306,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
                 nlist = Some(n);
             }
+            "--driver" => {
+                driver_realtime = Some(match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "sim" => false,
+                    "realtime" => true,
+                    other => return Err(format!("unknown driver '{other}'")),
+                })
+            }
+            "--time-scale" => {
+                let f: f64 = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --time-scale: {e}"))?;
+                if !f.is_finite() || f <= 0.0 {
+                    return Err(format!("--time-scale must be finite and positive, got {f}"));
+                }
+                time_scale = Some(f);
+            }
             "--nprobe" => {
                 let n: usize = next(&mut i)?
                     .parse()
@@ -350,15 +386,33 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if run.priority_from_slo && run.system != SystemChoice::Metis {
         return Err("--priority-from-slo requires --system metis".into());
     }
-    // Only `run` emits a report; elsewhere the flag would be silently
-    // inert, so it is rejected like the other subcommand-specific flags.
-    if run.json.is_some() && sub != "run" {
-        return Err("--json requires the run subcommand".into());
+    // Only `run` and `replay` emit a report; elsewhere the flag would be
+    // silently inert, so it is rejected like the other subcommand-specific
+    // flags.
+    if run.json.is_some() && sub != "run" && sub != "replay" {
+        return Err("--json requires the run or replay subcommand".into());
+    }
+    // Only `serve`/`replay` pick a driver — `run`/`sweep`/`profile` always
+    // simulate, so the flag would be silently inert there. `--time-scale`
+    // in turn only means something on the realtime driver: the simulator's
+    // virtual time is not tied to wall time at all.
+    if driver_realtime.is_some() && sub != "serve" && sub != "replay" {
+        return Err("--driver requires the serve or replay subcommand".into());
+    }
+    if time_scale.is_some() && driver_realtime != Some(true) {
+        return Err("--time-scale requires --driver realtime".into());
+    }
+    if driver_realtime == Some(true) {
+        run.driver = DriverSpec::Realtime {
+            time_scale: time_scale.unwrap_or(1.0),
+        };
     }
     match sub.as_str() {
         "run" => Ok(Command::Run(run)),
         "sweep" => Ok(Command::Sweep(run)),
         "profile" => Ok(Command::Profile(run)),
+        "serve" => Ok(Command::Serve(run)),
+        "replay" => Ok(Command::Replay(run)),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -456,7 +510,7 @@ mod tests {
         assert!(parse(&sv(&["run", "--system", "magic"])).is_err());
         assert!(parse(&sv(&["run", "--queries", "0"])).is_err());
         assert!(parse(&sv(&["run", "--qps"])).is_err(), "missing value");
-        assert!(parse(&sv(&["serve"])).is_err(), "unknown subcommand");
+        assert!(parse(&sv(&["launch"])).is_err(), "unknown subcommand");
         // Malformed replica/router values carry a descriptive error.
         let err = parse(&sv(&["run", "--replicas", "two"])).unwrap_err();
         assert!(err.contains("bad --replicas"), "got: {err}");
@@ -570,12 +624,77 @@ mod tests {
         let a = parse_run(&sv(&["run"]))?;
         assert_eq!(a.json, None);
         let err = parse(&sv(&["sweep", "--json", "x.json"])).unwrap_err();
-        assert!(err.contains("requires the run subcommand"), "got: {err}");
+        assert!(
+            err.contains("requires the run or replay subcommand"),
+            "got: {err}"
+        );
         let err = parse(&sv(&["run", "--json", ""])).unwrap_err();
         assert!(err.contains("non-empty path"), "got: {err}");
         let err = parse(&sv(&["run", "--json"])).unwrap_err();
         assert!(err.contains("missing value"), "got: {err}");
         Ok(())
+    }
+
+    #[test]
+    fn driver_flags_parse_on_serve_and_replay() -> Result<(), String> {
+        // serve/replay default to the simulator, like every other command.
+        let Command::Serve(a) = parse(&sv(&["serve"]))? else {
+            return Err("expected serve".into());
+        };
+        assert_eq!(a.driver, DriverSpec::Sim);
+        let Command::Serve(a) = parse(&sv(&["serve", "--driver", "realtime"]))? else {
+            return Err("expected serve".into());
+        };
+        assert_eq!(a.driver, DriverSpec::Realtime { time_scale: 1.0 });
+        // Flags compose in either order; replay accepts --json.
+        let Command::Replay(a) = parse(&sv(&[
+            "replay",
+            "--time-scale",
+            "1000",
+            "--driver",
+            "realtime",
+            "--json",
+            "out/replay.json",
+        ]))?
+        else {
+            return Err("expected replay".into());
+        };
+        assert_eq!(a.driver, DriverSpec::Realtime { time_scale: 1000.0 });
+        assert_eq!(a.json.as_deref(), Some("out/replay.json"));
+        // An explicit sim driver still parses (useful in scripts).
+        let Command::Replay(a) = parse(&sv(&["replay", "--driver", "sim"]))? else {
+            return Err("expected replay".into());
+        };
+        assert_eq!(a.driver, DriverSpec::Sim);
+        Ok(())
+    }
+
+    #[test]
+    fn driver_flag_misuse_is_rejected() {
+        // Inert placements are rejected rather than silently ignored.
+        let err = parse(&sv(&["run", "--driver", "realtime"])).unwrap_err();
+        assert!(
+            err.contains("requires the serve or replay subcommand"),
+            "got: {err}"
+        );
+        let err = parse(&sv(&["serve", "--time-scale", "100"])).unwrap_err();
+        assert!(err.contains("requires --driver realtime"), "got: {err}");
+        let err = parse(&sv(&["serve", "--driver", "sim", "--time-scale", "100"])).unwrap_err();
+        assert!(err.contains("requires --driver realtime"), "got: {err}");
+        // Malformed values carry descriptive errors.
+        let err = parse(&sv(&["serve", "--driver", "gpu"])).unwrap_err();
+        assert!(err.contains("unknown driver"), "got: {err}");
+        let err = parse(&sv(&["serve", "--driver", "realtime", "--time-scale", "0"])).unwrap_err();
+        assert!(err.contains("finite and positive"), "got: {err}");
+        let err = parse(&sv(&[
+            "serve",
+            "--driver",
+            "realtime",
+            "--time-scale",
+            "fast",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad --time-scale"), "got: {err}");
     }
 
     #[test]

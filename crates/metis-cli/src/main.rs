@@ -4,6 +4,8 @@
 //! metis run --dataset finsec --system metis --queries 100 --qps 0.2
 //! metis sweep --dataset musique
 //! metis profile --dataset qmsum --queries 5
+//! metis serve --driver realtime --time-scale 200 --queries 32
+//! metis replay --driver realtime --time-scale 1000 --queries 8 --json out.json
 //! ```
 
 mod args;
@@ -11,8 +13,8 @@ mod args;
 use std::process::ExitCode;
 
 use metis_core::{
-    fixed_config_grid, map_profile, MetisOptions, RagConfig, RunConfig, RunResult, Runner,
-    SystemKind,
+    fixed_config_grid, map_profile, DriverKind, MetisOptions, RagConfig, RunConfig, RunResult,
+    Runner, SystemKind,
 };
 use metis_datasets::{build_dataset, build_dataset_with_index};
 use metis_engine::Priority;
@@ -39,6 +41,14 @@ fn main() -> ExitCode {
         }
         Ok(Command::Profile(a)) => {
             cmd_profile(&a);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Serve(a)) => {
+            cmd_serve(&a);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Replay(a)) => {
+            cmd_replay(&a);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -88,6 +98,7 @@ fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
     if let Some(gib) = a.prefix_cache_gib {
         cfg.prefix_cache_bytes = Some(gib * (1 << 30));
     }
+    cfg.driver = a.driver;
     Runner::new(&dataset, cfg).run()
 }
 
@@ -177,11 +188,12 @@ fn cmd_run(a: &RunArgs) {
     }
 }
 
-/// Writes the run as a single-cell [`BenchReport`] — the same schema the
-/// bench harness emits, so CLI runs slot into the same tooling
-/// (`perf_check`, plotting) as figure reproductions.
-fn write_report(a: &RunArgs, r: &RunResult, path: &str) {
-    let mut report = BenchReport::new("cli_run", "metis run");
+/// Builds the run's single-cell [`BenchReport`] — the same schema the bench
+/// harness emits, so CLI runs slot into the same tooling (`perf_check`,
+/// plotting) as figure reproductions. Realtime cells additionally carry the
+/// `driver`/`time_scale` markers `cell_report` stamps on them.
+fn build_report(name: &str, title: &str, a: &RunArgs, r: &RunResult) -> BenchReport {
+    let mut report = BenchReport::new(name, title);
     report.dataset_seed = a.seed;
     report.run_seed = a.seed;
     report = report
@@ -192,11 +204,20 @@ fn write_report(a: &RunArgs, r: &RunResult, path: &str) {
         .knob("arrivals", a.arrivals.name())
         .knob("replicas", a.replicas)
         .knob("router", a.router.name())
-        .knob("index", a.index.label());
+        .knob("index", a.index.label())
+        .knob("driver", r.driver.name());
+    if r.driver == DriverKind::Realtime {
+        report = report.knob("time_scale", r.time_scale);
+    }
     report.cells.push(
         r.cell_report("run", a.seed)
             .knob("system", format!("{:?}", a.system)),
     );
+    report
+}
+
+/// Writes a report to `path`, creating parent directories as needed.
+fn write_report_to(report: &BenchReport, path: &str) {
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(parent) {
@@ -208,6 +229,74 @@ fn write_report(a: &RunArgs, r: &RunResult, path: &str) {
     match std::fs::write(path, report.render()) {
         Ok(()) => println!("report: {path}"),
         Err(e) => eprintln!("error: cannot write {path}: {e}"),
+    }
+}
+
+fn write_report(a: &RunArgs, r: &RunResult, path: &str) {
+    write_report_to(&build_report("cli_run", "metis run", a, r), path);
+}
+
+/// `metis serve`: the `run` workload on a chosen driver, with wall-clock
+/// accounting. Under `--driver realtime` the run takes real time — virtual
+/// seconds divided by `--time-scale` — and the summary reports how faithfully
+/// the wall tracked the virtual makespan.
+fn cmd_serve(a: &RunArgs) {
+    println!(
+        "serving {:?} on the {} driver{}",
+        a.dataset,
+        a.driver.kind().name(),
+        match a.driver {
+            metis_core::DriverSpec::Realtime { time_scale } =>
+                format!(" (time-scale {time_scale}×)"),
+            metis_core::DriverSpec::Sim => String::new(),
+        }
+    );
+    let wall_start = std::time::Instant::now();
+    let r = run_once(a, system_of(a.system, a.slo, a.priority_from_slo));
+    let wall = wall_start.elapsed().as_secs_f64();
+    print_result(&format!("{:?}", a.system), &r);
+    let stages = r.stage_breakdown();
+    println!(
+        "stages (mean s): profile {:.3}  decide {:.3}  retrieve {:.3}  \
+         queue-wait {:.3}  prefill {:.3}  decode {:.3}",
+        stages.profile,
+        stages.decide,
+        stages.retrieve,
+        stages.queue_wait,
+        stages.prefill,
+        stages.decode,
+    );
+    println!(
+        "virtual makespan {:.2}s  wall {:.2}s{}",
+        r.makespan_secs,
+        wall,
+        if r.driver == DriverKind::Realtime {
+            format!(
+                "  (expected wall ≥ {:.2}s at {}×)",
+                r.makespan_secs / r.time_scale,
+                r.time_scale
+            )
+        } else {
+            String::new()
+        }
+    );
+}
+
+/// `metis replay`: push the generated workload through the chosen driver and
+/// emit the machine-readable report — to `--json <PATH>` if given, else to
+/// stdout. The progress line goes to stderr so stdout stays pure JSON.
+fn cmd_replay(a: &RunArgs) {
+    eprintln!(
+        "replaying {:?} ({} queries) on the {} driver",
+        a.dataset,
+        a.queries,
+        a.driver.kind().name()
+    );
+    let r = run_once(a, system_of(a.system, a.slo, a.priority_from_slo));
+    let report = build_report("cli_replay", "metis replay", a, &r);
+    match &a.json {
+        Some(path) => write_report_to(&report, path),
+        None => print!("{}", report.render()),
     }
 }
 

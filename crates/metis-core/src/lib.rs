@@ -18,11 +18,13 @@
 //!
 //! The crate also implements the three baselines the paper compares against
 //! (vLLM with fixed configurations, Parrot\*, AdaptiveRAG\*) as
-//! [`controllers`] behind the [`ConfigController`] trait, and the
-//! discrete-event run driver ([`runner`]) — a system-agnostic event loop
-//! over a controller and a multi-replica engine [`Cluster`](metis_engine::Cluster)
-//! — that executes full workloads over the serving engine, producing
-//! measured F1, delay, throughput, and cost.
+//! [`controllers`] behind the [`ConfigController`] trait, and the workload
+//! runner ([`runner`]) — a system- and driver-agnostic event loop over a
+//! controller and an engine [`Driver`](metis_engine::Driver) — that
+//! executes full workloads over the serving engines (deterministic
+//! simulation or live multithreaded serving, per
+//! [`RunConfig::driver`](runner::RunConfig::driver)), producing measured
+//! F1, delay, throughput, and cost.
 
 pub mod agentic;
 pub mod baselines;
@@ -49,6 +51,7 @@ pub use controllers::{
 pub use extensions::{rerank_hits, rewrite_query, ExtKnobs};
 pub use mapping::{map_profile, ProfileHistory};
 pub use memory::PlanDemand;
+pub use metis_engine::{DriverKind, DriverSpec};
 pub use retrieval::RetrievalModel;
 pub use runner::{QueryResult, RunConfig, RunResult, Runner, StageBreakdown, StageMeans};
 pub use slo::{choose_config_with_slo, estimate_exec_secs, LatencySlo, SloTier};

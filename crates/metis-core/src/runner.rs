@@ -1,30 +1,39 @@
-//! Workload run driver.
+//! Workload runner.
 //!
 //! Executes a full workload (one dataset, one arrival process) against one
-//! serving system over the discrete-event engine cluster, producing
-//! per-query F1/delay records and aggregate cost. This is the
-//! reproduction's equivalent of the paper's testbed runs: every evaluation
-//! figure is a set of `Runner::run` calls.
+//! serving system, producing per-query F1/delay records and aggregate
+//! cost. This is the reproduction's equivalent of the paper's testbed
+//! runs: every evaluation figure is a set of `Runner::run` calls.
 //!
-//! The driver is *system-agnostic*: all per-system policy (profiling,
-//! configuration choice, scheduling preferences, feedback) lives behind the
-//! [`ConfigController`] trait, built once from the run's [`SystemKind`].
+//! The runner is *system-agnostic*: all per-system policy (profiling,
+//! configuration choice, scheduling preferences, feedback) lives behind
+//! the [`ConfigController`] trait, built once from the run's
+//! [`SystemKind`]. It is also *driver-agnostic*: the serving substrate is
+//! a [`Driver`] built from [`RunConfig::driver`] — the deterministic
+//! simulator by default, or the live multithreaded realtime driver — and
+//! the event loop only ever talks to the pump interface, so the same
+//! controller and engine code serves both.
+//!
 //! The runner interleaves four event kinds on one virtual timeline —
 //! per query: **Profile** (API call, off-GPU) → **Decide** (read the routed
 //! replica's free KV memory *at decision time* — the joint part of joint
 //! scheduling — and pick the configuration) → **Retrieve** (execute the
 //! index search the decided `num_chunks` asks for, charged by measured
 //! search work via [`RetrievalModel`]) → submit the synthesis calls to the
-//! replicas of a [`Cluster`]. Retrieval deliberately follows the decision:
-//! the real `index.search(query, top_k)` cannot run before `top_k` exists.
+//! driver's replicas. Retrieval deliberately follows the decision: the
+//! real `index.search(query, top_k)` cannot run before `top_k` exists.
+//! Between events the driver is pumped for completions; under the
+//! simulator that advances replicas in deterministic most-lagging order,
+//! under the realtime driver it waits for the scaled wall clock — which is
+//! exactly where arrival pacing physically happens.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use metis_datasets::Dataset;
 use metis_engine::{
-    Cluster, Completion, EngineConfig, GroupId, LlmRequest, PrefixCache, Priority, ReplicaId,
-    RequestId, RouterPolicy, Stage,
+    Completion, Driver, DriverKind, DriverSpec, Engine, EngineConfig, GroupId, LlmRequest,
+    PrefixCache, Priority, ReplicaId, RequestId, RouterPolicy, Stage,
 };
 use metis_llm::{
     nanos_to_secs, secs_to_nanos, FleetSpec, GenModelConfig, GenerationModel, GpuCluster,
@@ -77,6 +86,11 @@ pub struct RunConfig {
     pub index: IndexSpec,
     /// Converts measured per-query retrieval work into timeline nanos.
     pub retrieval: RetrievalModel,
+    /// Who executes the run: the deterministic simulator (the default) or
+    /// the live multithreaded driver on scaled wall time. API-serving runs
+    /// (`model.kind == Api`) always simulate — there is no local engine to
+    /// drive in real time.
+    pub driver: DriverSpec,
     /// Master seed for all stochastic components.
     pub seed: u64,
 }
@@ -97,6 +111,7 @@ impl RunConfig {
             prefix_cache_bytes: None,
             index: IndexSpec::Flat,
             retrieval: RetrievalModel::default(),
+            driver: DriverSpec::Sim,
             seed,
         }
     }
@@ -105,6 +120,12 @@ impl RunConfig {
     pub fn replicated(mut self, n: usize, router: RouterPolicy) -> Self {
         self.replicas = n.max(1);
         self.router = router;
+        self
+    }
+
+    /// The same run executed by `driver`.
+    pub fn with_driver(mut self, driver: DriverSpec) -> Self {
+        self.driver = driver;
         self
     }
 }
@@ -244,6 +265,10 @@ pub struct RunResult {
     pub prefix_hit_rate: f64,
     /// Preemptions across all replicas (0 under non-preemptive policies).
     pub preemptions: u64,
+    /// Which driver executed the run.
+    pub driver: DriverKind,
+    /// The realtime time-scale knob (1.0 for simulated runs).
+    pub time_scale: f64,
 }
 
 impl RunResult {
@@ -358,8 +383,15 @@ impl RunResult {
     /// Lowers the run into one report cell — the uniform currency of the
     /// bench harness and the CI perf gate (see
     /// [`metis_metrics::report`]).
+    ///
+    /// Realtime runs are marked with a `driver = realtime` knob and a
+    /// `time_scale` extra metric so they are distinguishable in committed
+    /// baselines (and so the perf gate can skip them — wall-paced numbers
+    /// are machine-dependent). Simulated cells deliberately carry *no*
+    /// driver marker: the simulator is the default and has always been, and
+    /// pre-refactor golden reports must stay byte-for-byte valid.
     pub fn cell_report(&self, id: impl Into<String>, seed: u64) -> CellReport {
-        CellReport {
+        let cell = CellReport {
             queries: self.per_query.len() as u64,
             f1: self.mean_f1(),
             latency: SummaryStats::of(&self.latency()),
@@ -377,6 +409,12 @@ impl RunResult {
             api_cost_usd: self.api_cost_usd,
             retrieval_recall: self.mean_retrieval_recall(),
             ..CellReport::new(id, seed)
+        };
+        if self.driver == DriverKind::Realtime {
+            cell.knob("driver", DriverKind::Realtime.name())
+                .metric("time_scale", self.time_scale)
+        } else {
+            cell
         }
     }
 
@@ -477,8 +515,8 @@ impl Flight {
     }
 }
 
-/// The workload runner: a system-agnostic discrete-event loop over one
-/// [`ConfigController`] and a replica [`Cluster`].
+/// The workload runner: a system- and driver-agnostic event loop over one
+/// [`ConfigController`] and an engine [`Driver`].
 pub struct Runner<'a> {
     dataset: &'a Dataset,
     cfg: RunConfig,
@@ -519,14 +557,23 @@ impl<'a> Runner<'a> {
             self.cfg.replicas.max(1)
         };
         let fleet = FleetSpec::new(self.cfg.model.clone(), self.cfg.cluster, replica_count);
-        let mut cluster = Cluster::homogeneous(
-            &fleet,
-            EngineConfig {
-                policy: controller.sched_policy(),
-                ..self.cfg.engine
-            },
-            self.cfg.router,
-        );
+        let engine_cfg = EngineConfig {
+            policy: controller.sched_policy(),
+            ..self.cfg.engine
+        };
+        let engines: Vec<Engine> = fleet
+            .latency_models()
+            .into_iter()
+            .map(|lat| Engine::new(lat, engine_cfg))
+            .collect();
+        // API serving never steps an engine, so the driver choice is moot
+        // there; force the simulator rather than spawning idle workers.
+        let spec = if api_mode {
+            DriverSpec::Sim
+        } else {
+            self.cfg.driver
+        };
+        let mut driver: Box<dyn Driver> = spec.build(engines, self.cfg.router);
         let metadata = self.dataset.db.metadata().clone();
 
         // Event queue: (time, seq) → event.
@@ -562,7 +609,7 @@ impl<'a> Runner<'a> {
         let mut prefix_caches: Option<Vec<PrefixCache>> =
             self.cfg.prefix_cache_bytes.map(|bytes| {
                 let tokens = bytes / self.cfg.model.kv_bytes_per_token().max(1);
-                (0..cluster.len())
+                (0..driver.replicas())
                     .map(|_| PrefixCache::new(tokens))
                     .collect()
             });
@@ -574,23 +621,22 @@ impl<'a> Runner<'a> {
             let next_event = heap.peek().map(|Reverse((t, s))| (*t, *s));
             match next_event {
                 Some((t, s)) => {
-                    // Advance every replica to (at least) t before acting,
-                    // always stepping the most-lagging replica so
-                    // cross-replica event order stays deterministic.
+                    // Let the driver make progress (and collect completions)
+                    // until the event at `t` is due: the simulator steps the
+                    // most-lagging replica up to `t`, the realtime driver
+                    // waits for the wall to reach `t`. Completions are
+                    // processed batch by batch so follow-up submissions (a
+                    // query's reduce) chain off each batch before the driver
+                    // runs any further.
                     if !api_mode {
-                        while let Some(rid) = cluster.steppable_before(t) {
-                            let before = cluster.replica(rid).now();
-                            let done = cluster.step_replica(rid);
-                            let progressed =
-                                cluster.replica(rid).now() > before || !done.is_empty();
+                        while let Some(done) = driver.pump_before(t) {
                             self.process_completions(
                                 &done,
                                 &mut flight,
-                                &mut cluster,
+                                driver.as_mut(),
                                 controller.as_mut(),
                                 |t, e| push(&mut heap, &mut events, &mut seq, t, e),
                             );
-                            assert!(progressed, "replica stuck while advancing to event");
                         }
                     }
                     heap.pop();
@@ -626,7 +672,7 @@ impl<'a> Runner<'a> {
                                 t,
                                 p,
                                 &latency,
-                                &mut cluster,
+                                driver.as_mut(),
                                 api_mode,
                                 controller.as_mut(),
                             );
@@ -647,7 +693,7 @@ impl<'a> Runner<'a> {
                                 stage,
                                 &gen,
                                 &latency,
-                                &mut cluster,
+                                driver.as_mut(),
                                 api_mode,
                                 &mut flight,
                                 controller.as_mut(),
@@ -658,29 +704,29 @@ impl<'a> Runner<'a> {
                     }
                 }
                 None => {
-                    if api_mode || cluster.is_idle() {
+                    // No external events left: drain. Keep pumping (and
+                    // chaining reduce submissions) until the driver reports
+                    // every submitted request complete.
+                    if api_mode {
                         break;
                     }
-                    let Some(rid) = cluster.next_steppable() else {
-                        break;
-                    };
-                    let before = cluster.replica(rid).now();
-                    let done = cluster.step_replica(rid);
-                    let progressed = cluster.replica(rid).now() > before || !done.is_empty();
-                    self.process_completions(
-                        &done,
-                        &mut flight,
-                        &mut cluster,
-                        controller.as_mut(),
-                        |t, e| push(&mut heap, &mut events, &mut seq, t, e),
-                    );
-                    assert!(
-                        progressed || cluster.is_idle(),
-                        "replica stuck while draining"
-                    );
+                    match driver.pump_idle() {
+                        Some(done) => self.process_completions(
+                            &done,
+                            &mut flight,
+                            driver.as_mut(),
+                            controller.as_mut(),
+                            |t, e| push(&mut heap, &mut events, &mut seq, t, e),
+                        ),
+                        None => break,
+                    }
                 }
             }
         }
+
+        // Tear the driver down (joining worker threads for realtime) and
+        // collect run totals.
+        let driver_stats = driver.finish();
 
         let Flight {
             mut results,
@@ -702,11 +748,13 @@ impl<'a> Runner<'a> {
         };
         RunResult {
             per_query: results,
-            replicas: cluster.len(),
-            gpu_busy_secs: nanos_to_secs(cluster.busy_nanos()),
+            replicas: driver_stats.replicas,
+            gpu_busy_secs: driver_stats.busy_secs(),
             api_cost_usd: api_cost,
             makespan_secs,
-            preemptions: cluster.total_preemptions(),
+            preemptions: driver_stats.preemptions,
+            driver: spec.kind(),
+            time_scale: spec.time_scale(),
             prefix_hit_rate: prefix_caches.map_or(0.0, |caches| {
                 let (hits, lookups) = caches
                     .iter()
@@ -732,7 +780,7 @@ impl<'a> Runner<'a> {
         t: Nanos,
         pending: PendingQuery,
         latency: &LatencyModel,
-        cluster: &mut Cluster,
+        driver: &mut dyn Driver,
         api_mode: bool,
         controller: &mut dyn ConfigController,
     ) -> (StagedQuery, Nanos) {
@@ -744,16 +792,16 @@ impl<'a> Runner<'a> {
         let replica = if api_mode {
             ReplicaId(0)
         } else {
-            cluster.route()
+            driver.route()
         };
         let decision = controller.decide(&DecisionContext {
             space: pending.outcome.space.as_ref(),
             estimate: pending.outcome.estimate.as_ref(),
-            free_kv_tokens: cluster.free_kv_tokens(replica),
+            free_kv_tokens: driver.free_kv_tokens(replica),
             preemption_pressure: if api_mode {
                 0.0
             } else {
-                cluster.replica(replica).stats().preemption_pressure()
+                driver.preemption_pressure(replica)
             },
             chunk_size,
             query_tokens: query.tokens.len() as u64,
@@ -798,7 +846,7 @@ impl<'a> Runner<'a> {
         stage: StagedQuery,
         gen: &GenerationModel,
         latency: &LatencyModel,
-        cluster: &mut Cluster,
+        driver: &mut dyn Driver,
         api_mode: bool,
         flight: &mut Flight,
         controller: &mut dyn ConfigController,
@@ -913,7 +961,7 @@ impl<'a> Runner<'a> {
             Stage::Single
         };
         self.submit_wave(
-            cluster,
+            driver,
             flight,
             SubmitWave {
                 query_index: q,
@@ -947,9 +995,9 @@ impl<'a> Runner<'a> {
                 &retrieved,
                 self.cfg.seed ^ 0x601D ^ q as u64,
             );
-            let replica = cluster.route();
+            let replica = driver.route();
             self.submit_wave(
-                cluster,
+                driver,
                 flight,
                 SubmitWave {
                     query_index: q,
@@ -974,13 +1022,13 @@ impl<'a> Runner<'a> {
 
     /// Submits one query's first wave of calls to its routed replica and
     /// records it as active.
-    fn submit_wave(&self, cluster: &mut Cluster, flight: &mut Flight, wave: SubmitWave<'_>) {
+    fn submit_wave(&self, driver: &mut dyn Driver, flight: &mut Flight, wave: SubmitWave<'_>) {
         let group = flight.fresh_group();
         let idx = flight.active.len();
         let call_count = wave.plan.map_calls.len();
         for (ci, c) in wave.plan.map_calls.iter().enumerate() {
             let id = flight.fresh_request();
-            cluster.submit(
+            driver.submit(
                 wave.replica,
                 LlmRequest {
                     id,
@@ -1022,7 +1070,7 @@ impl<'a> Runner<'a> {
         &self,
         completions: &[Completion],
         flight: &mut Flight,
-        cluster: &mut Cluster,
+        driver: &mut dyn Driver,
         controller: &mut dyn ConfigController,
         mut push_event: impl FnMut(Nanos, EventKind),
     ) {
@@ -1056,7 +1104,7 @@ impl<'a> Runner<'a> {
                 a.reduce_submitted = true;
                 a.remaining = 1;
                 let id = flight.fresh_request();
-                cluster.submit(
+                driver.submit(
                     replica,
                     LlmRequest {
                         id,

@@ -1,0 +1,323 @@
+//! The `Driver` abstraction: who executes submitted work, and on whose time.
+//!
+//! The runner in `metis-core` schedules Profile → Decide → Retrieve →
+//! Submit events on a virtual timeline and needs four things from the
+//! serving substrate: route new work to a replica, submit requests, collect
+//! completions, and know when everything has drained. [`Driver`] is exactly
+//! that surface. Two implementations exist:
+//!
+//! * [`SimDriver`] — wraps a [`Cluster`] and advances it with the same
+//!   most-lagging-replica discrete-event stepping the runner used to inline.
+//!   Deterministic and bit-for-bit reproducible (a golden-report test in
+//!   `metis-core` pins this).
+//! * [`RealtimeDriver`](crate::realtime::RealtimeDriver) — one worker
+//!   thread per replica, paced against a scaled wall clock. Same engines,
+//!   same latency models, same virtual timestamps; only the passage of time
+//!   is real.
+//!
+//! The pump interface is deliberately incremental: `pump_before`/`pump_idle`
+//! return one batch of completions at a time so the caller can chain new
+//! submissions (e.g. a reduce call) off each batch before the driver runs
+//! any further — the ordering contract the simulator's determinism and the
+//! realtime driver's map→reduce correctness both rely on.
+
+use metis_llm::{nanos_to_secs, Nanos};
+
+use crate::cluster::Cluster;
+use crate::engine::Completion;
+use crate::request::{LlmRequest, ReplicaId};
+
+/// Which driver implementation served a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverKind {
+    /// Deterministic discrete-event simulation ([`SimDriver`]).
+    Sim,
+    /// Live multithreaded serving on scaled wall-clock time
+    /// ([`RealtimeDriver`](crate::realtime::RealtimeDriver)).
+    Realtime,
+}
+
+impl DriverKind {
+    /// Short stable name, for CLI flags and report knobs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriverKind::Sim => "sim",
+            DriverKind::Realtime => "realtime",
+        }
+    }
+}
+
+/// How a run wants its work executed. This is the configuration-level
+/// counterpart of [`Driver`]: `RunConfig` carries a `DriverSpec`, and the
+/// runner builds the matching driver over the run's engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum DriverSpec {
+    /// The deterministic simulator (the default).
+    #[default]
+    Sim,
+    /// Live serving: one worker thread per replica, with virtual time
+    /// passing `time_scale`× faster than wall time.
+    Realtime {
+        /// Virtual-per-wall speedup; must be finite and positive.
+        time_scale: f64,
+    },
+}
+
+impl DriverSpec {
+    /// The kind of driver this spec builds.
+    pub fn kind(self) -> DriverKind {
+        match self {
+            DriverSpec::Sim => DriverKind::Sim,
+            DriverSpec::Realtime { .. } => DriverKind::Realtime,
+        }
+    }
+
+    /// The time-scale knob (1.0 for the simulator, whose virtual time is
+    /// not tied to wall time at all).
+    pub fn time_scale(self) -> f64 {
+        match self {
+            DriverSpec::Sim => 1.0,
+            DriverSpec::Realtime { time_scale } => time_scale,
+        }
+    }
+
+    /// Builds the driver over pre-constructed engines (replica ids are
+    /// assigned by position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty, or for an invalid realtime time scale.
+    pub fn build(
+        self,
+        engines: Vec<crate::engine::Engine>,
+        router: crate::cluster::RouterPolicy,
+    ) -> Box<dyn Driver> {
+        match self {
+            DriverSpec::Sim => Box::new(SimDriver::new(Cluster::new(engines, router))),
+            DriverSpec::Realtime { time_scale } => Box::new(crate::realtime::RealtimeDriver::new(
+                engines, router, time_scale,
+            )),
+        }
+    }
+}
+
+/// What a driver reports after its run is torn down.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriverStats {
+    /// Number of replicas that served the run.
+    pub replicas: usize,
+    /// GPU busy virtual nanos summed across replicas.
+    pub busy: Nanos,
+    /// Preemptions summed across replicas.
+    pub preemptions: u64,
+}
+
+impl DriverStats {
+    /// GPU busy seconds summed across replicas (for the cost model).
+    pub fn busy_secs(&self) -> f64 {
+        nanos_to_secs(self.busy)
+    }
+}
+
+/// The serving substrate behind the runner's event loop: routing,
+/// submission, and incremental completion collection.
+pub trait Driver {
+    /// Which implementation this is.
+    fn kind(&self) -> DriverKind;
+
+    /// Number of replicas.
+    fn replicas(&self) -> usize;
+
+    /// Picks the replica the next query's calls should be submitted to.
+    /// One route call per query — all of a query's calls stay on one
+    /// replica so gang scheduling keeps working.
+    fn route(&mut self) -> ReplicaId;
+
+    /// Free KV tokens on one replica — what METIS's per-backend best-fit
+    /// inspects at decision time. Under the realtime driver this is a
+    /// lock-free snapshot published by the replica's worker.
+    fn free_kv_tokens(&self, id: ReplicaId) -> u64;
+
+    /// One replica's preemptions-per-submission ratio — the KV-contention
+    /// feedback signal SLO-aware controllers read.
+    fn preemption_pressure(&self, id: ReplicaId) -> f64;
+
+    /// Submits a request to the given replica.
+    fn submit(&mut self, id: ReplicaId, req: LlmRequest);
+
+    /// Makes progress toward virtual time `t` and returns one batch of
+    /// completions (possibly empty while replicas advance without
+    /// finishing anything). `None` means the driver has caught up: every
+    /// completion that can exist before `t` has been returned, and the
+    /// caller may now fire its `t`-stamped event. Under the realtime
+    /// driver, `None` also means the wall has actually reached `t` — this
+    /// is where event pacing happens.
+    fn pump_before(&mut self, t: Nanos) -> Option<Vec<Completion>>;
+
+    /// Makes progress with no more external events outstanding. `None`
+    /// means fully drained: every submitted request has completed and been
+    /// returned. The caller must keep pumping (chaining any follow-up
+    /// submissions) until `None`.
+    fn pump_idle(&mut self) -> Option<Vec<Completion>>;
+
+    /// Tears the driver down (joining worker threads for the realtime
+    /// implementation) and reports run totals.
+    fn finish(self: Box<Self>) -> DriverStats;
+}
+
+/// The deterministic discrete-event driver: a [`Cluster`] advanced with
+/// most-lagging-replica stepping, exactly as the runner's loop always did.
+pub struct SimDriver {
+    cluster: Cluster,
+}
+
+impl SimDriver {
+    /// Wraps a cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        Self { cluster }
+    }
+
+    /// Shared view of the cluster (tests inspect per-replica state).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+impl Driver for SimDriver {
+    fn kind(&self) -> DriverKind {
+        DriverKind::Sim
+    }
+
+    fn replicas(&self) -> usize {
+        self.cluster.len()
+    }
+
+    fn route(&mut self) -> ReplicaId {
+        self.cluster.route()
+    }
+
+    fn free_kv_tokens(&self, id: ReplicaId) -> u64 {
+        self.cluster.free_kv_tokens(id)
+    }
+
+    fn preemption_pressure(&self, id: ReplicaId) -> f64 {
+        self.cluster.replica(id).stats().preemption_pressure()
+    }
+
+    fn submit(&mut self, id: ReplicaId, req: LlmRequest) {
+        self.cluster.submit(id, req);
+    }
+
+    fn pump_before(&mut self, t: Nanos) -> Option<Vec<Completion>> {
+        // Always step the most-lagging replica so cross-replica event
+        // order stays deterministic.
+        let rid = self.cluster.steppable_before(t)?;
+        let before = self.cluster.replica(rid).now();
+        let done = self.cluster.step_replica(rid);
+        assert!(
+            self.cluster.replica(rid).now() > before || !done.is_empty(),
+            "replica stuck while advancing to event"
+        );
+        Some(done)
+    }
+
+    fn pump_idle(&mut self) -> Option<Vec<Completion>> {
+        if self.cluster.is_idle() {
+            return None;
+        }
+        let rid = self.cluster.next_steppable()?;
+        let before = self.cluster.replica(rid).now();
+        let done = self.cluster.step_replica(rid);
+        assert!(
+            self.cluster.replica(rid).now() > before || !done.is_empty() || self.cluster.is_idle(),
+            "replica stuck while draining"
+        );
+        Some(done)
+    }
+
+    fn finish(self: Box<Self>) -> DriverStats {
+        DriverStats {
+            replicas: self.cluster.len(),
+            busy: self.cluster.busy_nanos(),
+            preemptions: self.cluster.total_preemptions(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::RouterPolicy;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::request::{GroupId, Priority, RequestId, Stage};
+    use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+
+    fn engines(n: usize) -> Vec<Engine> {
+        (0..n)
+            .map(|_| {
+                let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+                Engine::new(lat, EngineConfig::default())
+            })
+            .collect()
+    }
+
+    fn req(id: u64, arrival: Nanos) -> LlmRequest {
+        LlmRequest {
+            id: RequestId(id),
+            group: GroupId(id),
+            stage: Stage::Single,
+            prompt_tokens: 1_000,
+            output_tokens: 10,
+            cached_prompt_tokens: 0,
+            arrival,
+            priority: Priority::Standard,
+        }
+    }
+
+    #[test]
+    fn sim_driver_drains_to_none() {
+        let mut d: Box<dyn Driver> = DriverSpec::Sim.build(engines(2), RouterPolicy::RoundRobin);
+        assert_eq!(d.kind(), DriverKind::Sim);
+        assert_eq!(d.replicas(), 2);
+        for i in 0..4u64 {
+            let rid = d.route();
+            d.submit(rid, req(i, 0));
+        }
+        let mut done = Vec::new();
+        while let Some(batch) = d.pump_idle() {
+            done.extend(batch);
+        }
+        assert_eq!(done.len(), 4);
+        let stats = d.finish();
+        assert_eq!(stats.replicas, 2);
+        assert!(stats.busy > 0);
+        assert_eq!(stats.preemptions, 0);
+    }
+
+    #[test]
+    fn pump_before_stops_at_the_event_horizon() {
+        let mut d = SimDriver::new(Cluster::new(engines(1), RouterPolicy::RoundRobin));
+        // Work arrives beyond t: nothing to do before the event fires.
+        d.submit(ReplicaId(0), req(1, 5_000_000_000));
+        assert!(d.pump_before(1_000_000_000).is_none());
+        // Work before t is executed to completion, then None.
+        let mut done = Vec::new();
+        while let Some(batch) = d.pump_before(60_000_000_000) {
+            done.extend(batch);
+        }
+        assert_eq!(done.len(), 1);
+        assert!(done[0].arrival == 5_000_000_000);
+    }
+
+    #[test]
+    fn driver_spec_maps_to_kind_and_scale() {
+        assert_eq!(DriverSpec::default(), DriverSpec::Sim);
+        assert_eq!(DriverSpec::Sim.kind(), DriverKind::Sim);
+        assert_eq!(DriverSpec::Sim.time_scale(), 1.0);
+        let rt = DriverSpec::Realtime { time_scale: 250.0 };
+        assert_eq!(rt.kind(), DriverKind::Realtime);
+        assert_eq!(rt.time_scale(), 250.0);
+        assert_eq!(DriverKind::Sim.name(), "sim");
+        assert_eq!(DriverKind::Realtime.name(), "realtime");
+    }
+}

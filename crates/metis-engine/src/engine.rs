@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
-use metis_llm::{LatencyModel, Nanos};
+use metis_llm::{Clock, LatencyModel, Nanos, VirtualClock};
 
 use crate::kvcache::KvAllocator;
 use crate::request::{GroupId, LlmRequest, Priority, ReplicaId, RequestId, RequestState, Stage};
@@ -132,7 +132,12 @@ pub struct Engine {
     latency: LatencyModel,
     config: EngineConfig,
     replica: ReplicaId,
-    clock: Nanos,
+    /// The engine's own virtual timeline. Always a [`VirtualClock`], even
+    /// under the realtime driver: iteration durations come from the latency
+    /// model either way, and the realtime worker *paces* this clock against
+    /// the wall via [`Engine::advance_clock_to`] rather than replacing it —
+    /// which is what keeps timestamps comparable across drivers.
+    clock: VirtualClock,
     /// Requests with future arrival times, keyed by (arrival, submit order).
     pending: BTreeMap<(Nanos, u64), LlmRequest>,
     /// Arrived requests awaiting admission, in arrival order (preempted
@@ -157,7 +162,7 @@ impl Engine {
             latency,
             config,
             replica: ReplicaId(0),
-            clock: 0,
+            clock: VirtualClock::default(),
             pending: BTreeMap::new(),
             queue: VecDeque::new(),
             running: Vec::new(),
@@ -169,7 +174,20 @@ impl Engine {
 
     /// Current virtual time.
     pub fn now(&self) -> Nanos {
-        self.clock
+        self.clock.now()
+    }
+
+    /// Advances the engine's virtual clock to `t` (never backwards) and
+    /// absorbs any arrivals that became due. Called by drivers that pace
+    /// the engine from an external clock — the realtime driver's replica
+    /// workers align the engine with scaled wall time whenever it goes
+    /// idle. The simulator never calls this: under
+    /// [`SimDriver`](crate::driver::SimDriver) virtual time advances only
+    /// by the iteration durations [`Engine::step`] computes, which is what
+    /// keeps simulated runs bit-for-bit reproducible.
+    pub fn advance_clock_to(&mut self, t: Nanos) {
+        self.clock.advance_to(t);
+        self.absorb_arrivals();
     }
 
     /// This engine's replica id within its cluster (0 standalone).
@@ -231,14 +249,19 @@ impl Engine {
         self.pending.keys().next().map(|&(t, _)| t)
     }
 
-    /// Submits a request. Arrivals in the past are clamped to `now`.
+    /// Submits a request.
+    ///
+    /// A request whose arrival stamp is in the engine's past (normal under
+    /// the realtime driver, where channel delivery lags the wall) keeps its
+    /// original arrival: it enters the queue as if it had been waiting
+    /// since `arrival`, so queue-wait accounting and admission ranking see
+    /// the caller's timeline, not the delivery delay.
     pub fn submit(&mut self, mut req: LlmRequest) {
         // Zero-output requests would never finish; clamp to one token.
         req.output_tokens = req.output_tokens.max(1);
         req.cached_prompt_tokens = req.cached_prompt_tokens.min(req.prompt_tokens);
         self.stats.submitted += 1;
-        if req.arrival <= self.clock {
-            req.arrival = req.arrival.min(self.clock);
+        if req.arrival <= self.clock.now() {
             let enqueued = req.arrival;
             self.queue.push_back(Queued { req, enqueued });
         } else {
@@ -251,7 +274,7 @@ impl Engine {
     fn absorb_arrivals(&mut self) {
         let due: Vec<(Nanos, u64)> = self
             .pending
-            .range(..=(self.clock, u64::MAX))
+            .range(..=(self.clock.now(), u64::MAX))
             .map(|(k, _)| *k)
             .collect();
         for k in due {
@@ -334,7 +357,7 @@ impl Engine {
             self.alloc
                 .alloc(req.id, demand)
                 .expect("fits() checked above");
-            self.stats.total_queue_wait += self.clock.saturating_sub(enqueued);
+            self.stats.total_queue_wait += self.clock.now().saturating_sub(enqueued);
             // Cached prefix tokens are already resident: prefill starts past
             // them (they still count toward the KV allocation made above).
             let done = req.cached_prompt_tokens;
@@ -345,10 +368,10 @@ impl Engine {
             };
             self.running.push(Running {
                 state,
-                admitted: self.clock,
+                admitted: self.clock.now(),
                 // Fully cached prompts skip prefill: it "completes" at
                 // admission. Otherwise the transition in `step` stamps it.
-                prefill_done: self.clock,
+                prefill_done: self.clock.now(),
                 req,
             });
         }
@@ -419,7 +442,7 @@ impl Engine {
             self.stats.preempted_tokens += lost;
             self.queue.push_back(Queued {
                 req: r.req,
-                enqueued: self.clock,
+                enqueued: self.clock.now(),
             });
         }
         self.running.len() < self.config.max_batch_seqs && self.alloc.fits(demand)
@@ -434,7 +457,7 @@ impl Engine {
         if self.running.is_empty() {
             // Nothing runnable: jump to the next arrival if there is one.
             if let Some((&(t, _), _)) = self.pending.iter().next() {
-                self.clock = self.clock.max(t);
+                self.clock.advance_to(t);
                 self.absorb_arrivals();
                 self.try_admit();
             }
@@ -489,7 +512,7 @@ impl Engine {
             // with the same iteration/busy accounting as a productive
             // iteration, so utilization and `busy_nanos()` stay truthful.
             let dt = self.latency.iteration_time(0, 0, 0, batch_kv);
-            self.clock += dt;
+            self.clock.advance_by(dt);
             self.stats.iterations += 1;
             self.stats.busy += dt;
             self.stats.peak_kv_tokens = self.stats.peak_kv_tokens.max(self.alloc.used_tokens());
@@ -504,7 +527,7 @@ impl Engine {
         let dt = self
             .latency
             .iteration_time(prefill_tokens, avg_ctx, decode_seqs, batch_kv);
-        self.clock += dt;
+        self.clock.advance_by(dt);
         self.stats.iterations += 1;
         self.stats.busy += dt;
         self.stats.prefill_tokens += prefill_tokens;
@@ -516,7 +539,7 @@ impl Engine {
             if let RequestState::Prefilling { done } = self.running[i].state {
                 let done = done + n;
                 self.running[i].state = if done >= self.running[i].req.prompt_tokens {
-                    self.running[i].prefill_done = self.clock;
+                    self.running[i].prefill_done = self.clock.now();
                     RequestState::Decoding { emitted: 0 }
                 } else {
                     RequestState::Prefilling { done }
@@ -524,7 +547,7 @@ impl Engine {
             }
         }
         let mut completions = Vec::new();
-        let clock = self.clock;
+        let clock = self.clock.now();
         for &i in &decoding {
             let r = &mut self.running[i];
             if let RequestState::Decoding { emitted } = r.state {
@@ -571,9 +594,9 @@ impl Engine {
         let mut all = Vec::new();
         let mut stuck = 0u32;
         while !self.is_idle() {
-            let before = self.clock;
+            let before = self.clock.now();
             let done = self.step();
-            let progressed = self.clock > before || !done.is_empty();
+            let progressed = self.clock.now() > before || !done.is_empty();
             all.extend(done);
             if progressed {
                 stuck = 0;
@@ -721,6 +744,56 @@ mod tests {
         // The third request's admission happened strictly after its arrival.
         let third = done.iter().find(|c| c.id == RequestId(2)).unwrap();
         assert!(third.admitted > third.arrival);
+    }
+
+    #[test]
+    fn late_arrival_keeps_its_original_stamp() {
+        // The intended late-arrival semantics, pinned: a request submitted
+        // with an arrival stamp already in the engine's past (the realtime
+        // driver's normal case — channel delivery lags the wall) is neither
+        // clamped to `now` nor rejected. Its completion carries the
+        // original arrival, so queue wait is measured from when the caller
+        // says it arrived, while admission can only happen at or after the
+        // submit-time clock.
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.submit(req(1, 1, 2_000, 30, 0));
+        e.step();
+        let now = e.now();
+        assert!(now > 1_000, "first iteration advanced the clock");
+        let stamp = now - 1_000;
+        e.submit(req(2, 2, 500, 5, stamp)); // Already in the past.
+        let done = e.run_until_idle();
+        let late = done.iter().find(|c| c.id == RequestId(2)).unwrap();
+        assert_eq!(late.arrival, stamp, "original arrival survives");
+        assert!(late.admitted >= now, "admission cannot predate the submit");
+        assert!(
+            late.admitted - late.arrival >= 1_000,
+            "queue wait counts from the stamped arrival, not the submit"
+        );
+    }
+
+    #[test]
+    fn advance_clock_to_paces_the_engine_externally() {
+        // The realtime worker's pacing primitive: advancing the clock never
+        // rewinds it, and arrivals that become due are absorbed into the
+        // queue so `has_active_work` sees them.
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.submit(req(1, 1, 500, 5, 3_000_000_000));
+        assert!(
+            !e.has_active_work(),
+            "future arrival is pending, not queued"
+        );
+        e.advance_clock_to(2_000_000_000);
+        assert_eq!(e.now(), 2_000_000_000);
+        assert!(!e.has_active_work());
+        e.advance_clock_to(1_000_000_000); // Backwards: ignored.
+        assert_eq!(e.now(), 2_000_000_000);
+        e.advance_clock_to(3_500_000_000);
+        assert!(e.has_active_work(), "due arrival was absorbed");
+        let done = e.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].arrival, 3_000_000_000);
+        assert!(done[0].admitted >= 3_500_000_000);
     }
 
     #[test]

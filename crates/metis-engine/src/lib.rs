@@ -27,17 +27,27 @@
 //! independent replicas behind a pluggable router ([`RouterPolicy`]):
 //! round-robin dispatch or KV-aware `LeastKvLoad`, which routes each query
 //! to the replica with the most free KV bytes.
+//!
+//! *Who* executes the work — and on whose time — is the [`Driver`]
+//! abstraction: [`SimDriver`] advances the cluster deterministically on
+//! virtual time (the paper's evaluation mode and the oracle for the live
+//! path), while [`RealtimeDriver`] serves the same engines from one worker
+//! thread per replica, paced against a scaled wall clock.
 
 pub mod cluster;
+pub mod driver;
 pub mod engine;
 pub mod kvcache;
 pub mod prefixcache;
+pub mod realtime;
 pub mod request;
 pub mod stats;
 
 pub use cluster::{Cluster, RouterPolicy};
+pub use driver::{Driver, DriverKind, DriverSpec, DriverStats, SimDriver};
 pub use engine::{Completion, Engine, EngineConfig, SchedPolicy};
 pub use kvcache::{KvAllocator, KvError};
 pub use prefixcache::PrefixCache;
+pub use realtime::RealtimeDriver;
 pub use request::{GroupId, LlmRequest, Priority, ReplicaId, RequestId, RequestState, Stage};
 pub use stats::EngineStats;

@@ -1,0 +1,492 @@
+//! Live multithreaded serving: the realtime [`Driver`] implementation.
+//!
+//! One worker thread per replica owns that replica's [`Engine`] outright —
+//! replicas share nothing, exactly as in the simulator — and paces it
+//! against a shared scaled [`WallClock`]: after each engine iteration the
+//! worker sleeps until the wall catches up with the engine's virtual clock,
+//! so the latency model's iteration durations stand in for GPU work in real
+//! (scaled) time. Crucially the engine still runs on its own
+//! `VirtualClock`, advanced only by iteration durations and arrival jumps:
+//! wall-clock jitter (scheduler wakeup latency, channel delivery delay)
+//! shifts *when* an iteration executes, never *how long* the engine says it
+//! took. That is what keeps realtime timestamps directly comparable to the
+//! simulator's — the property the `fig_realtime_parity` bench asserts.
+//!
+//! Communication is plain std mpsc: the driver sends requests down a
+//! per-replica submission queue, workers send completion batches back on
+//! one shared channel. Routing and the controller's decision-time reads
+//! (free KV, preemption pressure) use lock-free snapshots each worker
+//! publishes after every iteration — the realtime analogue of the paper
+//! reading backend memory through `pynvml` rather than pausing the engine.
+//!
+//! Shutdown is by hangup: [`RealtimeDriver::finish`] drops the submission
+//! senders; each worker drains its remaining work, then exits when its
+//! queue disconnects, and `finish` joins them all and sums their stats.
+
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use metis_llm::{Clock, Nanos, WallClock};
+
+use crate::cluster::RouterPolicy;
+use crate::driver::{Driver, DriverKind, DriverStats};
+use crate::engine::{Completion, Engine};
+use crate::request::{LlmRequest, ReplicaId};
+use crate::stats::EngineStats;
+
+/// Lock-free per-replica state the worker publishes after every iteration,
+/// read by the driver for routing and controller decisions.
+#[derive(Default)]
+struct ReplicaShared {
+    free_kv_tokens: AtomicU64,
+    preemptions: AtomicU64,
+    submitted: AtomicU64,
+}
+
+impl ReplicaShared {
+    fn publish(&self, engine: &Engine) {
+        self.free_kv_tokens
+            .store(engine.free_kv_tokens(), Ordering::Relaxed);
+        self.preemptions
+            .store(engine.stats().preemptions, Ordering::Relaxed);
+        self.submitted
+            .store(engine.stats().submitted, Ordering::Relaxed);
+    }
+}
+
+/// How long a fully idle worker blocks on its submission queue before
+/// re-checking for shutdown, and the bound on a pending-arrival wait so
+/// newly submitted work is still drained promptly.
+const IDLE_WAIT_WALL: Duration = Duration::from_millis(10);
+
+/// Wall slack under which `pump_before` spins on `try_recv` instead of
+/// blocking in `recv_timeout`: OS timer wakeups are ~1 ms late, and at high
+/// time scales that lateness would smear event firing times.
+const EVENT_SPIN_WALL_NANOS: u64 = 2_000_000;
+
+/// `pump_idle` panics after this long with work in flight but no
+/// completions — a deadlocked or died worker should fail the run loudly
+/// (and well inside any CI timeout), not hang it.
+const STALL_WATCHDOG_WALL: Duration = Duration::from_secs(30);
+
+/// The live serving driver: per-replica worker threads on scaled wall time.
+pub struct RealtimeDriver {
+    clock: WallClock,
+    router: RouterPolicy,
+    rr_next: usize,
+    submitters: Vec<Sender<LlmRequest>>,
+    completions: Receiver<Vec<Completion>>,
+    shared: Vec<Arc<ReplicaShared>>,
+    /// Per-replica KV bytes per token, so `LeastKvLoad` ranks bytes (not
+    /// tokens) even over a heterogeneous fleet — same as `Cluster::route`.
+    kv_bytes_per_token: Vec<u64>,
+    workers: Vec<JoinHandle<EngineStats>>,
+    in_flight: u64,
+}
+
+impl RealtimeDriver {
+    /// Spawns one worker thread per engine (replica ids assigned by
+    /// position) on a fresh wall clock: virtual time starts at 0 *now* and
+    /// passes `time_scale`× faster than wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty or `time_scale` is not finite-positive.
+    pub fn new(engines: Vec<Engine>, router: RouterPolicy, time_scale: f64) -> Self {
+        assert!(!engines.is_empty(), "a cluster needs at least one replica");
+        let clock = WallClock::new(time_scale);
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Vec<Completion>>();
+        let mut submitters = Vec::with_capacity(engines.len());
+        let mut shared = Vec::with_capacity(engines.len());
+        let mut kv_bytes_per_token = Vec::with_capacity(engines.len());
+        let mut workers = Vec::with_capacity(engines.len());
+        for (i, mut engine) in engines.into_iter().enumerate() {
+            engine.set_replica(ReplicaId(i as u32));
+            kv_bytes_per_token.push(engine.latency_model().model().kv_bytes_per_token());
+            let state = Arc::new(ReplicaShared::default());
+            state.publish(&engine);
+            let (req_tx, req_rx) = std::sync::mpsc::channel::<LlmRequest>();
+            let worker_state = Arc::clone(&state);
+            let worker_tx = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("metis-replica-{i}"))
+                .spawn(move || replica_worker(engine, req_rx, worker_tx, worker_state, clock))
+                .expect("spawn replica worker");
+            submitters.push(req_tx);
+            shared.push(state);
+            workers.push(handle);
+        }
+        // Workers hold the only remaining completion senders: channel
+        // disconnection in the pumps then means "a worker died".
+        drop(done_tx);
+        Self {
+            clock,
+            router,
+            rr_next: 0,
+            submitters,
+            completions: done_rx,
+            shared,
+            kv_bytes_per_token,
+            workers,
+            in_flight: 0,
+        }
+    }
+
+    /// The shared wall clock (tests read the driver's timeline).
+    pub fn clock(&self) -> WallClock {
+        self.clock
+    }
+
+    fn account(&mut self, done: Vec<Completion>) -> Vec<Completion> {
+        let n = done.len() as u64;
+        assert!(
+            self.in_flight >= n,
+            "worker returned {n} completions with only {} in flight — a \
+             request completed twice",
+            self.in_flight
+        );
+        self.in_flight -= n;
+        done
+    }
+
+    /// Wall duration until virtual instant `t` (zero if already reached).
+    fn wall_until(&self, t: Nanos) -> Duration {
+        let now = self.clock.now();
+        if now >= t {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(((t - now) as f64 / self.clock.time_scale()).ceil() as u64)
+    }
+}
+
+impl Driver for RealtimeDriver {
+    fn kind(&self) -> DriverKind {
+        DriverKind::Realtime
+    }
+
+    fn replicas(&self) -> usize {
+        self.submitters.len()
+    }
+
+    fn route(&mut self) -> ReplicaId {
+        match self.router {
+            RouterPolicy::RoundRobin => {
+                let id = ReplicaId((self.rr_next % self.submitters.len()) as u32);
+                self.rr_next = (self.rr_next + 1) % self.submitters.len();
+                id
+            }
+            RouterPolicy::LeastKvLoad => {
+                // Most free KV bytes, stable tie-break on lowest id — the
+                // same ranking as `Cluster::route`, over the workers'
+                // published snapshots instead of direct engine reads.
+                let best = self
+                    .shared
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, s)| {
+                        let bytes =
+                            s.free_kv_tokens.load(Ordering::Relaxed) * self.kv_bytes_per_token[*i];
+                        (bytes, Reverse(*i))
+                    })
+                    .expect("non-empty replica list")
+                    .0;
+                ReplicaId(best as u32)
+            }
+        }
+    }
+
+    fn free_kv_tokens(&self, id: ReplicaId) -> u64 {
+        self.shared[id.0 as usize]
+            .free_kv_tokens
+            .load(Ordering::Relaxed)
+    }
+
+    fn preemption_pressure(&self, id: ReplicaId) -> f64 {
+        let s = &self.shared[id.0 as usize];
+        let submitted = s.submitted.load(Ordering::Relaxed);
+        if submitted == 0 {
+            0.0
+        } else {
+            s.preemptions.load(Ordering::Relaxed) as f64 / submitted as f64
+        }
+    }
+
+    fn submit(&mut self, id: ReplicaId, req: LlmRequest) {
+        self.in_flight += 1;
+        self.submitters[id.0 as usize]
+            .send(req)
+            .expect("replica worker exited with the run still active");
+    }
+
+    fn pump_before(&mut self, t: Nanos) -> Option<Vec<Completion>> {
+        loop {
+            // Deliver any already-finished completions first so the caller
+            // can chain reduces off them before the event at `t` fires.
+            match self.completions.try_recv() {
+                Ok(done) => return Some(self.account(done)),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    panic!("realtime replica worker died before the run drained")
+                }
+            }
+            let wait = self.wall_until(t);
+            if wait.is_zero() {
+                // The wall has reached `t`: the event is due. This return
+                // is where arrival pacing physically happens.
+                return None;
+            }
+            if wait > Duration::from_nanos(EVENT_SPIN_WALL_NANOS) {
+                match self
+                    .completions
+                    .recv_timeout(wait - Duration::from_nanos(EVENT_SPIN_WALL_NANOS / 2))
+                {
+                    Ok(done) => return Some(self.account(done)),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("realtime replica worker died before the run drained")
+                    }
+                }
+            }
+            // Final approach: spin so the event fires tightly at `t`.
+            std::hint::spin_loop();
+        }
+    }
+
+    fn pump_idle(&mut self) -> Option<Vec<Completion>> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        let mut waited = Duration::ZERO;
+        loop {
+            match self.completions.recv_timeout(Duration::from_millis(100)) {
+                Ok(done) => return Some(self.account(done)),
+                Err(RecvTimeoutError::Timeout) => {
+                    waited += Duration::from_millis(100);
+                    assert!(
+                        waited < STALL_WATCHDOG_WALL,
+                        "realtime driver stalled: {} requests in flight but no \
+                         completions for {:?}",
+                        self.in_flight,
+                        STALL_WATCHDOG_WALL
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "realtime replica worker died with {} requests in flight",
+                        self.in_flight
+                    )
+                }
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> DriverStats {
+        let this = *self;
+        assert_eq!(
+            this.in_flight, 0,
+            "realtime driver torn down with work in flight — pump_idle \
+             must run to None first"
+        );
+        // Hang up the submission queues; each worker drains and exits.
+        drop(this.submitters);
+        let mut stats = DriverStats {
+            replicas: this.workers.len(),
+            ..DriverStats::default()
+        };
+        for handle in this.workers {
+            let s = handle.join().expect("replica worker panicked");
+            stats.busy += s.busy;
+            stats.preemptions += s.preemptions;
+        }
+        stats
+    }
+}
+
+/// The per-replica worker loop: drain submissions, run engine iterations,
+/// pace the wall against the engine's virtual clock, report completions.
+fn replica_worker(
+    mut engine: Engine,
+    requests: Receiver<LlmRequest>,
+    completions: Sender<Vec<Completion>>,
+    shared: Arc<ReplicaShared>,
+    mut clock: WallClock,
+) -> EngineStats {
+    // Bound on a pending-arrival wait, in virtual nanos, so freshly
+    // submitted work is still drained within ~one idle quantum of wall time.
+    let pending_chunk: Nanos =
+        (IDLE_WAIT_WALL.as_nanos() as f64 * clock.time_scale()).ceil() as Nanos;
+    let mut disconnected = false;
+    let mut stuck = 0u32;
+    loop {
+        // Drain every submission that has arrived, without blocking.
+        while !disconnected {
+            match requests.try_recv() {
+                Ok(req) => engine.submit(req),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => disconnected = true,
+            }
+        }
+        shared.publish(&engine);
+
+        // Runnable work, or a pending arrival the wall has reached: run one
+        // iteration. `step` jumps the engine clock to a due arrival exactly
+        // (never to the jittery wall reading), keeping virtual timestamps
+        // aligned with the simulator's.
+        let runnable = engine.has_active_work()
+            || engine
+                .next_pending_arrival()
+                .is_some_and(|t| clock.now() >= t);
+        if runnable {
+            let before = engine.now();
+            let done = engine.step();
+            shared.publish(&engine);
+            if engine.now() > before || !done.is_empty() {
+                stuck = 0;
+            } else {
+                stuck += 1;
+                assert!(
+                    stuck < 3,
+                    "replica {} stuck: queued={} running={} free_kv={} — an \
+                     unadmittable request?",
+                    engine.replica().0,
+                    engine.queued_len(),
+                    engine.running_len(),
+                    engine.free_kv_tokens()
+                );
+            }
+            if !done.is_empty() && completions.send(done).is_err() {
+                // Driver gone (teardown without drain): stop serving.
+                break;
+            }
+            // The pacing sleep: this iteration "took" (virtual) what the
+            // latency model said; make that much scaled wall time pass. If
+            // the wall is already past (we are running behind), this
+            // returns immediately and the worker catches up.
+            clock.sleep_until(engine.now());
+            continue;
+        }
+
+        // Only future arrivals: wait for the earliest one, bounded so new
+        // submissions keep being drained.
+        if let Some(t) = engine.next_pending_arrival() {
+            clock.sleep_until(t.min(clock.now().saturating_add(pending_chunk)));
+            continue;
+        }
+
+        // Fully idle. Exit once the driver has hung up, otherwise block
+        // until work arrives.
+        if disconnected {
+            break;
+        }
+        match requests.recv_timeout(IDLE_WAIT_WALL) {
+            Ok(req) => engine.submit(req),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+    }
+    engine.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::DriverSpec;
+    use crate::engine::EngineConfig;
+    use crate::request::{GroupId, Priority, RequestId, Stage};
+    use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+
+    fn engines(n: usize) -> Vec<Engine> {
+        (0..n)
+            .map(|_| {
+                let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+                Engine::new(lat, EngineConfig::default())
+            })
+            .collect()
+    }
+
+    fn req(id: u64, arrival: Nanos) -> LlmRequest {
+        LlmRequest {
+            id: RequestId(id),
+            group: GroupId(id),
+            stage: Stage::Single,
+            prompt_tokens: 800,
+            output_tokens: 8,
+            cached_prompt_tokens: 0,
+            arrival,
+            priority: Priority::Standard,
+        }
+    }
+
+    /// High scale so tests run in milliseconds of wall time.
+    const SCALE: f64 = 100_000.0;
+
+    #[test]
+    fn realtime_driver_completes_submitted_work() {
+        let mut d: Box<dyn Driver> =
+            DriverSpec::Realtime { time_scale: SCALE }.build(engines(2), RouterPolicy::RoundRobin);
+        assert_eq!(d.kind(), DriverKind::Realtime);
+        assert_eq!(d.replicas(), 2);
+        for i in 0..6u64 {
+            let rid = d.route();
+            d.submit(rid, req(i, 0));
+        }
+        let mut done = Vec::new();
+        while let Some(batch) = d.pump_idle() {
+            done.extend(batch);
+        }
+        assert_eq!(done.len(), 6);
+        // Timestamps are virtual and well-formed despite wall pacing.
+        for c in &done {
+            assert!(c.arrival <= c.admitted && c.admitted <= c.finish);
+        }
+        let stats = d.finish();
+        assert_eq!(stats.replicas, 2);
+        assert!(stats.busy > 0);
+    }
+
+    #[test]
+    fn pump_before_paces_the_wall_to_the_event() {
+        let mut d = RealtimeDriver::new(engines(1), RouterPolicy::RoundRobin, SCALE);
+        // No work in flight: pump_before returns None only once the wall
+        // reaches t (this is arrival pacing).
+        let t = d.clock().now() + 2_000_000_000; // 2 virtual s = 20 wall µs.
+        assert!(d.pump_before(t).is_none());
+        assert!(d.clock().now() >= t, "pump_before waited out the gap");
+        let stats = Box::new(d).finish();
+        assert_eq!(stats.busy, 0);
+    }
+
+    #[test]
+    fn least_kv_routing_follows_published_snapshots() {
+        let mut d = RealtimeDriver::new(engines(2), RouterPolicy::LeastKvLoad, SCALE);
+        // Idle fleet: tie broken by lowest id.
+        assert_eq!(d.route(), ReplicaId(0));
+        // Occupy replica 0 with a long decode (thousands of iterations =
+        // milliseconds of wall time at this scale); once its worker
+        // publishes the admission, routing prefers replica 1 for as long
+        // as the request runs.
+        d.submit(
+            ReplicaId(0),
+            LlmRequest {
+                output_tokens: 20_000,
+                ..req(1, 0)
+            },
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while d.free_kv_tokens(ReplicaId(0)) == d.free_kv_tokens(ReplicaId(1)) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replica 0 never admitted the request"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(d.route(), ReplicaId(1));
+        let mut boxed: Box<dyn Driver> = Box::new(d);
+        while boxed.pump_idle().is_some() {}
+        boxed.finish();
+    }
+}

@@ -18,12 +18,14 @@
 //! All randomness is drawn from per-call seeds, making every simulated
 //! inference reproducible.
 
+pub mod clock;
 pub mod generation;
 pub mod hardware;
 pub mod latency;
 pub mod spec;
 pub mod time;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use generation::{
     BaseFact, DerivedFact, GenMode, GenModelConfig, GenOutput, GenerationModel, QueryTruth,
     SummaryOutput,

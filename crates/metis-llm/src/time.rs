@@ -1,9 +1,10 @@
 //! Virtual-time units.
 //!
-//! The whole reproduction runs on a discrete-event virtual clock; nothing
-//! ever reads the wall clock. Durations and instants are 64-bit nanosecond
-//! counts, which keeps event ordering exact (no float comparison issues) and
-//! gives ~584 years of simulated range.
+//! The whole reproduction reasons in virtual time; how virtual time passes
+//! (deterministic jumps or scaled wall-clock, see [`crate::clock`]) is the
+//! driver's choice. Durations and instants are 64-bit nanosecond counts,
+//! which keeps event ordering exact (no float comparison issues) and gives
+//! ~584 years of simulated range.
 
 /// A duration or instant in virtual nanoseconds.
 pub type Nanos = u64;

@@ -219,6 +219,15 @@ impl CellReport {
         self.extra.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Looks up a cell-level knob by name (e.g. `knob_value("driver")` to
+    /// tell realtime cells from simulated ones).
+    pub fn knob_value(&self, name: &str) -> Option<&str> {
+        self.knobs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("id".into(), Json::Str(self.id.clone())),
