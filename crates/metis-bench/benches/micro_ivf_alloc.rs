@@ -1,0 +1,123 @@
+//! Allocation micro-bench for the IVF hot path.
+//!
+//! `IvfIndex::search_counted` ranks every centroid and walks the probed
+//! lists through per-index scratch buffers (hoisted behind a mutex), so
+//! the only allocation a search performs is the returned hit vector —
+//! independent of corpus size and probe depth. This bench *proves* that
+//! with a counting global allocator: it measures allocations per search at
+//! shallow and deep probe settings and fails if the count is not the same
+//! small constant, then times the search under the vendored criterion
+//! harness.
+//!
+//! Runs in its own bench binary because a `#[global_allocator]` is
+//! process-wide; the timing numbers are wall-clock and stay out of the CI
+//! perf-gate baselines (like `micro`), but the allocation assertions run —
+//! and gate — under CI's bench-smoke pass.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{black_box, Criterion};
+use metis_bench::{bench_queries, emit, new_report, DATASET_SEED, RUN_SEED};
+use metis_datasets::{AnnConfig, AnnCorpus};
+use metis_metrics::CellReport;
+use metis_vectordb::{IvfConfig, IvfIndex, VectorIndex};
+
+/// [`System`] plus a relaxed allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations across `searches` queries against `index`, after a warm-up
+/// search has populated the scratch buffers to steady-state capacity.
+fn allocs_per_search(index: &IvfIndex, queries: &[Vec<f32>], k: usize) -> f64 {
+    black_box(index.search(&queries[0], k));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for q in queries {
+        black_box(index.search(q, k));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (after - before) as f64 / queries.len() as f64
+}
+
+fn main() {
+    println!("=== micro_ivf_alloc — IVF search performs no per-probe allocation ===");
+    let corpus = AnnCorpus::generate(AnnConfig {
+        num_queries: bench_queries(64).max(2),
+        ..AnnConfig::at_scale(20_000, DATASET_SEED)
+    });
+    let queries: Vec<Vec<f32>> = corpus.queries.iter().map(|q| q.vector.clone()).collect();
+    let k = corpus.config.k;
+    let build = |nprobe: usize| {
+        IvfIndex::build(
+            corpus.config.dim,
+            IvfConfig {
+                nlist: 64,
+                nprobe,
+                train_iters: 8,
+            },
+            &corpus.items,
+        )
+    };
+
+    // The allocation profile must not scale with probe depth: scratch is
+    // reused, and only the returned hit vector is allocated per call.
+    let shallow = build(2);
+    let deep = build(32);
+    let shallow_allocs = allocs_per_search(&shallow, &queries, k);
+    let deep_allocs = allocs_per_search(&deep, &queries, k);
+    println!("  allocations/search: nprobe=2 → {shallow_allocs:.2}, nprobe=32 → {deep_allocs:.2}");
+    assert!(
+        shallow_allocs <= 2.0 && deep_allocs <= 2.0,
+        "IVF search must allocate at most the returned hit vector \
+         (got {shallow_allocs:.2} / {deep_allocs:.2} per search)"
+    );
+    assert!(
+        (shallow_allocs - deep_allocs).abs() < 0.5,
+        "allocations per search must not scale with probe depth \
+         (nprobe=2 → {shallow_allocs:.2}, nprobe=32 → {deep_allocs:.2})"
+    );
+
+    let mut c = Criterion::default().sample_size(40);
+    c.bench_function("vectordb/ivf_search_20k_nprobe8", |b| {
+        let idx = build(8);
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 1) % queries.len();
+            black_box(idx.search(&queries[qi], k))
+        })
+    });
+
+    let mut report = new_report(
+        "micro_ivf_alloc",
+        "IVF search allocation profile and wall-clock timing",
+    );
+    let mut cell = CellReport::new("ivf_search_20k", RUN_SEED)
+        .metric("allocs_per_search_nprobe2", shallow_allocs)
+        .metric("allocs_per_search_nprobe32", deep_allocs);
+    for (name, median_ns) in c.results() {
+        println!("  {name}: median {median_ns:.0} ns/iter");
+        cell = cell.metric(format!("{name}/median_ns"), *median_ns);
+    }
+    report.cells.push(cell);
+    emit(&report);
+}

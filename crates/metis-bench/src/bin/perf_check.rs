@@ -3,7 +3,7 @@
 //! ```sh
 //! perf_check <baseline.json> <candidate.json> \
 //!     [--latency-tol 0.10] [--retrieval-tol 0.10] \
-//!     [--f1-tol 0.02] [--throughput-tol 0.10]
+//!     [--f1-tol 0.02] [--throughput-tol 0.10] [--recall-tol 0.02]
 //! ```
 //!
 //! Loads two [`BenchReport`] documents and applies the direction-aware
@@ -20,7 +20,7 @@ use metis_metrics::BenchReport;
 const USAGE: &str = "\
 usage: perf_check <baseline.json> <candidate.json>
            [--latency-tol FRAC] [--retrieval-tol FRAC]
-           [--f1-tol ABS] [--throughput-tol FRAC]
+           [--f1-tol ABS] [--throughput-tol FRAC] [--recall-tol ABS]
 ";
 
 fn load(path: &str) -> Result<BenchReport, String> {
@@ -52,6 +52,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             "--retrieval-tol" => frac(&mut tol.retrieval_frac)?,
             "--f1-tol" => frac(&mut tol.f1_abs)?,
             "--throughput-tol" => frac(&mut tol.throughput_frac)?,
+            "--recall-tol" => frac(&mut tol.recall_abs)?,
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
             path => paths.push(path),
         }

@@ -33,6 +33,9 @@ pub struct Tolerances {
     pub f1_abs: f64,
     /// Allowed relative throughput drop.
     pub throughput_frac: f64,
+    /// Allowed absolute retrieval-recall drop (recall is a 0–1 quality
+    /// metric like F1, so the slack is absolute, not relative).
+    pub recall_abs: f64,
 }
 
 impl Default for Tolerances {
@@ -44,6 +47,7 @@ impl Default for Tolerances {
             retrieval_floor_secs: 0.002,
             f1_abs: 0.02,
             throughput_frac: 0.10,
+            recall_abs: 0.02,
         }
     }
 }
@@ -199,6 +203,13 @@ fn check_cell(base: &CellReport, cand: &CellReport, tol: &Tolerances, out: &mut 
         tol.retrieval_frac,
         tol.retrieval_floor_secs,
     );
+    higher_is_worse(
+        "retrieval.p50",
+        base.retrieval.p50(),
+        cand.retrieval.p50(),
+        tol.retrieval_frac,
+        tol.retrieval_floor_secs,
+    );
 
     let mut lower_is_worse = |metric: &str, b: f64, c: f64, slack: f64, relative: bool| {
         out.checked += 1;
@@ -228,6 +239,13 @@ fn check_cell(base: &CellReport, cand: &CellReport, tol: &Tolerances, out: &mut 
         cand.throughput_qps,
         tol.throughput_frac,
         true,
+    );
+    lower_is_worse(
+        "retrieval_recall",
+        base.retrieval_recall,
+        cand.retrieval_recall,
+        tol.recall_abs,
+        false,
     );
 }
 
@@ -293,6 +311,40 @@ mod tests {
         let base = report_with(1.0, 0.6);
         let out = check(&base, &report_with(1.02, 0.595), &Tolerances::default());
         assert!(out.passed(), "{:?}", out.regressions);
+    }
+
+    #[test]
+    fn retrieval_p50_and_recall_are_gated_direction_aware() {
+        let mut base = report_with(1.0, 0.6);
+        base.cells[0].retrieval_recall = 0.95;
+        // Slower retrieval p50 beyond tolerance fails.
+        let mut worse = base.clone();
+        worse.cells[0].retrieval = SummaryStats::of(&LatencySummary::new(vec![0.05, 0.06, 0.07]));
+        let out = check(&base, &worse, &Tolerances::default());
+        assert!(
+            out.regressions.iter().any(|f| f.metric == "retrieval.p50"),
+            "{:?}",
+            out.regressions
+        );
+        // A recall drop beyond tolerance fails; a gain is informational.
+        let mut lower = base.clone();
+        lower.cells[0].retrieval_recall = 0.80;
+        let out = check(&base, &lower, &Tolerances::default());
+        assert!(
+            out.regressions
+                .iter()
+                .any(|f| f.metric == "retrieval_recall"),
+            "{:?}",
+            out.regressions
+        );
+        let mut higher = base.clone();
+        higher.cells[0].retrieval_recall = 1.0;
+        let out = check(&base, &higher, &Tolerances::default());
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert!(out
+            .improvements
+            .iter()
+            .any(|f| f.metric == "retrieval_recall"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use metis_datasets::{ArrivalProcess, DatasetKind};
 use metis_engine::{DriverSpec, RouterPolicy};
-use metis_vectordb::IndexSpec;
+use metis_vectordb::{HnswConfig, IndexSpec, Quantization};
 
 /// Default burst density for `--arrivals burst` (overridden by
 /// `--burst-factor`).
@@ -13,6 +13,11 @@ pub const DEFAULT_GAMMA_CV: f64 = 2.0;
 pub const DEFAULT_IVF_NLIST: usize = 64;
 /// Default probe count for `--index ivf` (overridden by `--nprobe`).
 pub const DEFAULT_IVF_NPROBE: usize = 8;
+/// Default max neighbors per node for `--index hnsw` (overridden by `--m`).
+pub const DEFAULT_HNSW_M: usize = 16;
+/// Default layer-0 expansion budget for `--index hnsw` (overridden by
+/// `--ef-search`).
+pub const DEFAULT_HNSW_EF_SEARCH: usize = 64;
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,6 +68,8 @@ pub struct RunArgs {
     pub priority_from_slo: bool,
     /// Retrieval index the corpus is served from.
     pub index: IndexSpec,
+    /// How the index stores and scores vectors (exact f32 or sq8).
+    pub quant: Quantization,
     /// Optional path to write the run's machine-readable report to — the
     /// same `BenchReport` JSON schema the bench harness emits.
     pub json: Option<String>,
@@ -100,6 +107,7 @@ impl Default for RunArgs {
             arrivals: ArrivalProcess::Poisson,
             priority_from_slo: false,
             index: IndexSpec::Flat,
+            quant: Quantization::F32,
             json: None,
             driver: DriverSpec::Sim,
         }
@@ -132,10 +140,16 @@ OPTIONS:
   --arrivals <poisson|burst|gamma|diurnal>  arrival process (default poisson)
   --burst-factor <F>       burst density for --arrivals burst (default 4)
   --priority-from-slo      schedule each query at its SLO tier's priority
-  --index <flat|ivf>       retrieval index over the corpus (default flat)
+  --index <flat|ivf|hnsw>  retrieval index over the corpus (default flat)
   --nlist <N>              IVF inverted lists (default 64; needs --index ivf)
   --nprobe <N>             IVF lists probed per search, <= nlist
                            (default 8; needs --index ivf)
+  --m <N>                  HNSW max neighbors per node (default 16;
+                           needs --index hnsw)
+  --ef-search <N>          HNSW layer-0 expansion budget per search
+                           (default 64; needs --index hnsw)
+  --quantize <f32|sq8>     vector storage: exact f32 (default) or 8-bit
+                           scalar quantization with exact re-ranking
   --json <PATH>            also write the run report as JSON (run/replay;
                            same schema as the bench harness emits)
   --driver <sim|realtime>  serve/replay execution driver (default sim):
@@ -218,11 +232,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let Some(sub) = args.first() else {
         return Ok(Command::Help);
     };
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum IndexFamily {
+        Flat,
+        Ivf,
+        Hnsw,
+    }
     let mut run = RunArgs::default();
     let mut burst_factor: Option<f64> = None;
-    let mut index_ivf: Option<bool> = None;
+    let mut index_family: Option<IndexFamily> = None;
     let mut nlist: Option<usize> = None;
     let mut nprobe: Option<usize> = None;
+    let mut hnsw_m: Option<usize> = None;
+    let mut ef_search: Option<usize> = None;
     let mut driver_realtime: Option<bool> = None;
     let mut time_scale: Option<f64> = None;
     let mut i = 1;
@@ -291,11 +313,35 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 run.json = Some(path.to_owned());
             }
             "--index" => {
-                index_ivf = Some(match next(&mut i)?.to_ascii_lowercase().as_str() {
-                    "flat" => false,
-                    "ivf" => true,
+                index_family = Some(match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "flat" => IndexFamily::Flat,
+                    "ivf" => IndexFamily::Ivf,
+                    "hnsw" => IndexFamily::Hnsw,
                     other => return Err(format!("unknown index '{other}'")),
                 })
+            }
+            "--m" => {
+                let n: usize = next(&mut i)?.parse().map_err(|e| format!("bad --m: {e}"))?;
+                if n < 2 {
+                    return Err("--m must be at least 2".into());
+                }
+                hnsw_m = Some(n);
+            }
+            "--ef-search" => {
+                let n: usize = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --ef-search: {e}"))?;
+                if n == 0 {
+                    return Err("--ef-search must be positive".into());
+                }
+                ef_search = Some(n);
+            }
+            "--quantize" => {
+                run.quant = match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "f32" => Quantization::F32,
+                    "sq8" => Quantization::sq8(),
+                    other => return Err(format!("unknown quantization '{other}'")),
+                }
             }
             "--nlist" => {
                 let n: usize = next(&mut i)?
@@ -355,19 +401,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
         }
     }
-    // IVF shape flags compose with `--index ivf` in any flag order; without
-    // it they would be silently ignored, so they are rejected instead. The
-    // shape constraints (`nprobe <= nlist`, …) are the index's own
-    // `IndexSpec::validate` rules, surfaced here at parse with a message —
-    // not as a panic deep inside the index build.
-    run.index = match index_ivf {
-        None | Some(false) => {
-            if nlist.is_some() || nprobe.is_some() {
-                return Err("--nlist/--nprobe require --index ivf".into());
-            }
-            IndexSpec::Flat
-        }
-        Some(true) => {
+    // Index shape flags compose with their family's `--index` in any flag
+    // order; under any other family they would be silently ignored, so both
+    // directions are rejected instead (`--nlist` without ivf, `--ef-search`
+    // without hnsw). The shape constraints (`nprobe <= nlist`, …) are the
+    // index's own `IndexSpec::validate` rules, surfaced here at parse with
+    // a message — not as a panic deep inside the index build.
+    let family = index_family.unwrap_or(IndexFamily::Flat);
+    if family != IndexFamily::Ivf && (nlist.is_some() || nprobe.is_some()) {
+        return Err("--nlist/--nprobe require --index ivf".into());
+    }
+    if family != IndexFamily::Hnsw && (hnsw_m.is_some() || ef_search.is_some()) {
+        return Err("--ef-search/--m require --index hnsw".into());
+    }
+    run.index = match family {
+        IndexFamily::Flat => IndexSpec::Flat,
+        IndexFamily::Ivf => {
             let nlist = nlist.unwrap_or(DEFAULT_IVF_NLIST);
             let spec = IndexSpec::ivf(
                 nlist,
@@ -376,6 +425,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             spec.validate().map_err(|e| {
                 // The index's own rule, respelled with the CLI flag names.
                 e.replace("nprobe", "--nprobe").replace("nlist", "--nlist")
+            })?;
+            spec
+        }
+        IndexFamily::Hnsw => {
+            let m = hnsw_m.unwrap_or(DEFAULT_HNSW_M);
+            let spec = IndexSpec::Hnsw {
+                m,
+                // A construction beam narrower than the neighbor budget
+                // makes no sense; raise it with large --m so the flag the
+                // user *can't* set never fails validation.
+                ef_construction: HnswConfig::default().ef_construction.max(m),
+                ef_search: ef_search.unwrap_or(DEFAULT_HNSW_EF_SEARCH),
+            };
+            spec.validate().map_err(|e| {
+                e.replace("ef-search", "--ef-search")
+                    .replace("m must", "--m must")
             })?;
             spec
         }
@@ -603,18 +668,89 @@ mod tests {
             err.contains("--nprobe (32) must be <= --nlist (8)"),
             "got: {err}"
         );
-        // Shape flags without the ivf index would be silently inert.
+        // Shape flags without their own index family would be silently
+        // inert — both directions are rejected with exact messages.
         let err = parse(&sv(&["run", "--nlist", "64"])).unwrap_err();
-        assert!(err.contains("require --index ivf"), "got: {err}");
+        assert_eq!(err, "--nlist/--nprobe require --index ivf");
         let err = parse(&sv(&["run", "--index", "flat", "--nprobe", "4"])).unwrap_err();
-        assert!(err.contains("require --index ivf"), "got: {err}");
+        assert_eq!(err, "--nlist/--nprobe require --index ivf");
+        let err = parse(&sv(&["run", "--index", "hnsw", "--nlist", "64"])).unwrap_err();
+        assert_eq!(err, "--nlist/--nprobe require --index ivf");
+        let err = parse(&sv(&["run", "--ef-search", "128"])).unwrap_err();
+        assert_eq!(err, "--ef-search/--m require --index hnsw");
+        let err = parse(&sv(&["run", "--index", "flat", "--m", "8"])).unwrap_err();
+        assert_eq!(err, "--ef-search/--m require --index hnsw");
+        let err = parse(&sv(&["run", "--index", "ivf", "--ef-search", "32"])).unwrap_err();
+        assert_eq!(err, "--ef-search/--m require --index hnsw");
         // Malformed values carry descriptive errors.
-        let err = parse(&sv(&["run", "--index", "hnsw"])).unwrap_err();
+        let err = parse(&sv(&["run", "--index", "pq"])).unwrap_err();
         assert!(err.contains("unknown index"), "got: {err}");
         let err = parse(&sv(&["run", "--index", "ivf", "--nlist", "0"])).unwrap_err();
         assert!(err.contains("--nlist must be positive"), "got: {err}");
         let err = parse(&sv(&["run", "--index", "ivf", "--nprobe", "zero"])).unwrap_err();
         assert!(err.contains("bad --nprobe"), "got: {err}");
+    }
+
+    #[test]
+    fn hnsw_flags_parse_in_any_order() -> Result<(), String> {
+        // Defaults fill in the unspecified HNSW shape.
+        let a = parse_run(&sv(&["run", "--index", "hnsw"]))?;
+        assert_eq!(a.index, IndexSpec::hnsw(16, 64));
+        // Shape flags compose before or after --index.
+        let a = parse_run(&sv(&[
+            "run",
+            "--ef-search",
+            "128",
+            "--index",
+            "hnsw",
+            "--m",
+            "8",
+        ]))?;
+        assert_eq!(a.index, IndexSpec::hnsw(8, 128));
+        // A neighbor budget above the default construction beam raises the
+        // beam instead of failing validation on a flag the CLI can't set.
+        let a = parse_run(&sv(&["run", "--index", "hnsw", "--m", "128"]))?;
+        assert_eq!(
+            a.index,
+            IndexSpec::Hnsw {
+                m: 128,
+                ef_construction: 128,
+                ef_search: 64
+            }
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn hnsw_flag_misuse_is_rejected_at_parse() {
+        let err = parse(&sv(&["run", "--index", "hnsw", "--m", "1"])).unwrap_err();
+        assert!(err.contains("--m must be at least 2"), "got: {err}");
+        let err = parse(&sv(&["run", "--index", "hnsw", "--ef-search", "0"])).unwrap_err();
+        assert!(err.contains("--ef-search must be positive"), "got: {err}");
+        let err = parse(&sv(&["run", "--index", "hnsw", "--ef-search", "many"])).unwrap_err();
+        assert!(err.contains("bad --ef-search"), "got: {err}");
+        let err = parse(&sv(&["run", "--index", "hnsw", "--m", "wide"])).unwrap_err();
+        assert!(err.contains("bad --m"), "got: {err}");
+    }
+
+    #[test]
+    fn quantize_flag_parses_with_every_index_family() -> Result<(), String> {
+        let a = parse_run(&sv(&["run"]))?;
+        assert_eq!(a.quant, Quantization::F32);
+        let a = parse_run(&sv(&["run", "--quantize", "f32"]))?;
+        assert_eq!(a.quant, Quantization::F32);
+        // sq8 storage is an axis orthogonal to the index family.
+        let a = parse_run(&sv(&["run", "--quantize", "sq8"]))?;
+        assert_eq!(a.quant, Quantization::sq8());
+        let a = parse_run(&sv(&["run", "--index", "ivf", "--quantize", "sq8"]))?;
+        assert_eq!(a.index, IndexSpec::ivf(64, 8));
+        assert_eq!(a.quant, Quantization::sq8());
+        let a = parse_run(&sv(&["run", "--index", "hnsw", "--quantize", "sq8"]))?;
+        assert_eq!(a.index, IndexSpec::hnsw(16, 64));
+        assert_eq!(a.quant, Quantization::sq8());
+        let err = parse(&sv(&["run", "--quantize", "pq4"])).unwrap_err();
+        assert!(err.contains("unknown quantization"), "got: {err}");
+        Ok(())
     }
 
     #[test]

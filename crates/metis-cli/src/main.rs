@@ -16,7 +16,7 @@ use metis_core::{
     fixed_config_grid, map_profile, DriverKind, MetisOptions, RagConfig, RunConfig, RunResult,
     Runner, SystemKind,
 };
-use metis_datasets::{build_dataset, build_dataset_with_index};
+use metis_datasets::{build_dataset, build_dataset_with_spec};
 use metis_engine::Priority;
 use metis_llm::{GpuCluster, ModelSpec};
 use metis_metrics::BenchReport;
@@ -79,7 +79,7 @@ fn system_of(choice: SystemChoice, slo: Option<f64>, priority_from_slo: bool) ->
 }
 
 fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
-    let dataset = build_dataset_with_index(a.dataset, a.queries, a.seed, a.index);
+    let dataset = build_dataset_with_spec(a.dataset, a.queries, a.seed, a.index, a.quant);
     let closed_loop = a.qps <= 0.0;
     let arrivals = if closed_loop {
         vec![0; a.queries]
@@ -91,6 +91,7 @@ fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
     cfg.replicas = a.replicas;
     cfg.router = a.router;
     cfg.index = a.index;
+    cfg.quant = a.quant;
     if a.big_model {
         cfg.model = ModelSpec::llama31_70b_awq();
         cfg.cluster = GpuCluster::dual_a40();
@@ -145,8 +146,13 @@ fn cmd_run(a: &RunArgs) {
     );
     let retrieval = r.retrieval();
     println!(
-        "retrieval [{}]: p50 {:.2} ms  p99 {:.2} ms  fact-recall {:.3}",
+        "retrieval [{}{}]: p50 {:.2} ms  p99 {:.2} ms  fact-recall {:.3}",
         a.index.label(),
+        if a.quant.is_quantized() {
+            format!(",{}", a.quant.name())
+        } else {
+            String::new()
+        },
         retrieval.p50() * 1e3,
         retrieval.p99() * 1e3,
         r.mean_retrieval_recall()
@@ -205,6 +211,7 @@ fn build_report(name: &str, title: &str, a: &RunArgs, r: &RunResult) -> BenchRep
         .knob("replicas", a.replicas)
         .knob("router", a.router.name())
         .knob("index", a.index.label())
+        .knob("quantize", a.quant.name())
         .knob("driver", r.driver.name());
     if r.driver == DriverKind::Realtime {
         report = report.knob("time_scale", r.time_scale);

@@ -20,12 +20,20 @@ pub struct RetrievalModel {
     pub base_nanos: Nanos,
     /// Cost per embedder feature-hash unit (query embedding).
     pub embed_nanos_per_unit: Nanos,
-    /// Cost per corpus vector scored.
+    /// Cost per corpus vector scored exactly (f32).
     pub vector_nanos: Nanos,
+    /// Cost per corpus vector scored in the quantized (sq8) domain — a
+    /// handful of table lookups instead of a full f32 distance, so several
+    /// times cheaper than [`RetrievalModel::vector_nanos`].
+    pub quantized_nanos: Nanos,
     /// Cost per coarse-quantizer centroid scored (IVF only).
     pub centroid_nanos: Nanos,
     /// Cost per inverted list visited (pointer chasing; IVF only).
     pub list_nanos: Nanos,
+    /// Cost per HNSW graph hop: one node expansion's pointer chase and
+    /// neighbor-list walk, charged on top of the distance evals it
+    /// triggers.
+    pub hop_nanos: Nanos,
 }
 
 impl Default for RetrievalModel {
@@ -34,12 +42,16 @@ impl Default for RetrievalModel {
         // 20 µs per chunk), so a flat run lands within ~0.2 ms of its
         // pre-subsystem timing — the newly charged query-embedding term
         // (~2 units/token × 2 µs) is the only shift.
+        // The sq8 and HNSW terms only bill work the new index kinds
+        // report; flat and IVF runs cost exactly what they did before.
         Self {
             base_nanos: 5_000_000,
             embed_nanos_per_unit: 2_000,
             vector_nanos: 20_000,
+            quantized_nanos: 4_000,
             centroid_nanos: 20_000,
             list_nanos: 5_000,
+            hop_nanos: 50_000,
         }
     }
 }
@@ -51,8 +63,10 @@ impl RetrievalModel {
         self.base_nanos
             + self.embed_nanos_per_unit * embed_units
             + self.vector_nanos * work.vectors_scored as Nanos
+            + self.quantized_nanos * work.quantized_scored as Nanos
             + self.centroid_nanos * work.centroids_scored as Nanos
             + self.list_nanos * work.lists_probed as Nanos
+            + self.hop_nanos * work.graph_hops as Nanos
     }
 }
 
@@ -85,6 +99,7 @@ mod tests {
                 vectors_scored: corpus / 8,
                 centroids_scored: 64,
                 lists_probed: 8,
+                ..SearchWork::default()
             },
             80,
         );
@@ -92,12 +107,44 @@ mod tests {
     }
 
     #[test]
+    fn hnsw_with_sq8_undercuts_the_ivf_frontier() {
+        // Representative work at a 10⁶-vector corpus: IVF probes 16 of 256
+        // lists (~62k exact evals); HNSW expands ~80 nodes, LUT-scores
+        // ~2.5k candidates, and exact-reranks 40.
+        let m = RetrievalModel::default();
+        let ivf = m.nanos(
+            &SearchWork {
+                vectors_scored: 62_500,
+                centroids_scored: 256,
+                lists_probed: 16,
+                ..SearchWork::default()
+            },
+            80,
+        );
+        let hnsw = m.nanos(
+            &SearchWork {
+                vectors_scored: 40,
+                quantized_scored: 2_500,
+                graph_hops: 80,
+                ..SearchWork::default()
+            },
+            80,
+        );
+        assert!(
+            hnsw * 10 < ivf,
+            "hnsw {hnsw} should be well under ivf {ivf}"
+        );
+    }
+
+    #[test]
     fn cost_is_monotone_in_every_work_component() {
         let m = RetrievalModel::default();
         let base = SearchWork {
             vectors_scored: 100,
+            quantized_scored: 50,
             centroids_scored: 16,
             lists_probed: 4,
+            graph_hops: 12,
         };
         let c0 = m.nanos(&base, 10);
         for grown in [
@@ -106,11 +153,19 @@ mod tests {
                 ..base
             },
             SearchWork {
+                quantized_scored: 51,
+                ..base
+            },
+            SearchWork {
                 centroids_scored: 17,
                 ..base
             },
             SearchWork {
                 lists_probed: 5,
+                ..base
+            },
+            SearchWork {
+                graph_hops: 13,
                 ..base
             },
         ] {

@@ -40,7 +40,7 @@ use metis_llm::{
     LatencyModel, ModelKind, ModelSpec, Nanos,
 };
 use metis_metrics::{f1_score, CellReport, LatencySummary, SummaryStats, ThroughputSummary};
-use metis_vectordb::{IndexSpec, RetrievalOutcome, RetrievalResult};
+use metis_vectordb::{IndexSpec, Quantization, RetrievalOutcome, RetrievalResult, SearchWork};
 
 use crate::config::{RagConfig, SynthesisMethod};
 use crate::controllers::{ConfigController, DecisionContext, ProfileOutcome, SystemKind};
@@ -84,6 +84,10 @@ pub struct RunConfig {
     /// [`Runner::new`] checks the two agree so the report never claims an
     /// index the searches didn't use.
     pub index: IndexSpec,
+    /// How the index stores and scores vectors: exact f32 or sq8 scalar
+    /// quantization. Must match the dataset's database, like `index`
+    /// ([`Runner::new`] checks both).
+    pub quant: Quantization,
     /// Converts measured per-query retrieval work into timeline nanos.
     pub retrieval: RetrievalModel,
     /// Who executes the run: the deterministic simulator (the default) or
@@ -110,6 +114,7 @@ impl RunConfig {
             closed_loop: false,
             prefix_cache_bytes: None,
             index: IndexSpec::Flat,
+            quant: Quantization::F32,
             retrieval: RetrievalModel::default(),
             driver: DriverSpec::Sim,
             seed,
@@ -227,6 +232,11 @@ pub struct QueryResult {
     /// chunks — ground-truth retrieval recall at the executed `num_chunks`
     /// (approximate indexes and shallow configurations both lower it).
     pub retrieval_recall: f64,
+    /// The measured index-search work behind `retrieval_secs`: distance
+    /// evaluations (exact and quantized), centroids ranked, lists probed,
+    /// graph hops. Zero except for the search itself (embedding is charged
+    /// separately).
+    pub work: SearchWork,
     /// The executed configuration.
     pub config: RagConfig,
     /// Whether the §4.3 memory fallback fired.
@@ -269,6 +279,18 @@ pub struct RunResult {
     pub driver: DriverKind,
     /// The realtime time-scale knob (1.0 for simulated runs).
     pub time_scale: f64,
+    /// The index the run searched.
+    pub index_spec: IndexSpec,
+    /// How the index stored and scored vectors.
+    pub quant: Quantization,
+    /// Total index-search work across all (non-synthetic) queries.
+    pub index_work: SearchWork,
+    /// Chunk bytes served from the store's hot (decoded) tier during the
+    /// run.
+    pub store_bytes_hot: u64,
+    /// Chunk bytes decoded from the store's cold (serialized) tier during
+    /// the run.
+    pub store_bytes_cold: u64,
 }
 
 impl RunResult {
@@ -389,7 +411,11 @@ impl RunResult {
     /// baselines (and so the perf gate can skip them — wall-paced numbers
     /// are machine-dependent). Simulated cells deliberately carry *no*
     /// driver marker: the simulator is the default and has always been, and
-    /// pre-refactor golden reports must stay byte-for-byte valid.
+    /// pre-refactor golden reports must stay byte-for-byte valid. For the
+    /// same reason, index-work extras (`index_*`, `store_bytes_*`) are
+    /// emitted only when the run used a non-default index or vector storage
+    /// — a flat/f32 cell renders exactly as it did before the ANN subsystem
+    /// existed.
     pub fn cell_report(&self, id: impl Into<String>, seed: u64) -> CellReport {
         let cell = CellReport {
             queries: self.per_query.len() as u64,
@@ -410,9 +436,26 @@ impl RunResult {
             retrieval_recall: self.mean_retrieval_recall(),
             ..CellReport::new(id, seed)
         };
-        if self.driver == DriverKind::Realtime {
+        let cell = if self.driver == DriverKind::Realtime {
             cell.knob("driver", DriverKind::Realtime.name())
                 .metric("time_scale", self.time_scale)
+        } else {
+            cell
+        };
+        if self.index_spec != IndexSpec::Flat || self.quant != Quantization::F32 {
+            cell.knob("quantize", self.quant.name())
+                .metric(
+                    "index_distance_evals",
+                    self.index_work.vectors_scored as f64,
+                )
+                .metric(
+                    "index_quantized_evals",
+                    self.index_work.quantized_scored as f64,
+                )
+                .metric("index_hops", self.index_work.graph_hops as f64)
+                .metric("index_lists_probed", self.index_work.lists_probed as f64)
+                .metric("store_bytes_hot", self.store_bytes_hot as f64)
+                .metric("store_bytes_cold", self.store_bytes_cold as f64)
         } else {
             cell
         }
@@ -462,6 +505,7 @@ struct StagedQuery {
     profiler_nanos: Nanos,
     retrieval_nanos: Nanos,
     retrieval_recall: f64,
+    work: SearchWork,
     priority: Priority,
     config: RagConfig,
     fallback: bool,
@@ -475,6 +519,7 @@ struct ActiveQuery {
     profiler_nanos: Nanos,
     retrieval_nanos: Nanos,
     retrieval_recall: f64,
+    work: SearchWork,
     plan: SynthesisPlan,
     replica: ReplicaId,
     remaining: usize,
@@ -540,6 +585,12 @@ impl<'a> Runner<'a> {
             "RunConfig.index must match the dataset's index — build the \
              dataset with build_dataset_with_index(.., cfg.index)"
         );
+        assert_eq!(
+            cfg.quant,
+            dataset.db.index_meta().quant,
+            "RunConfig.quant must match the dataset's vector storage — build \
+             the dataset with build_dataset_with_spec(.., cfg.index, cfg.quant)"
+        );
         Self { dataset, cfg }
     }
 
@@ -575,6 +626,10 @@ impl<'a> Runner<'a> {
         };
         let mut driver: Box<dyn Driver> = spec.build(engines, self.cfg.router);
         let metadata = self.dataset.db.metadata().clone();
+        // Snapshot the chunk store's tier counters so the run report can
+        // attribute hot/cold traffic to this run alone (the store's counters
+        // are cumulative across runs sharing a dataset).
+        let store_stats_at_start = self.dataset.db.store().stats();
 
         // Event queue: (time, seq) → event.
         let mut heap: BinaryHeap<Reverse<(Nanos, u64)>> = BinaryHeap::new();
@@ -746,6 +801,11 @@ impl<'a> Runner<'a> {
                 (last - first).max(0.0)
             }
         };
+        let mut index_work = SearchWork::default();
+        for r in &results {
+            index_work.add(&r.work);
+        }
+        let store_delta = self.dataset.db.store().stats().since(&store_stats_at_start);
         RunResult {
             per_query: results,
             replicas: driver_stats.replicas,
@@ -755,6 +815,11 @@ impl<'a> Runner<'a> {
             preemptions: driver_stats.preemptions,
             driver: spec.kind(),
             time_scale: spec.time_scale(),
+            index_spec: self.cfg.index,
+            quant: self.cfg.quant,
+            index_work,
+            store_bytes_hot: store_delta.bytes_hot_touched,
+            store_bytes_cold: store_delta.bytes_cold_touched,
             prefix_hit_rate: prefix_caches.map_or(0.0, |caches| {
                 let (hits, lookups) = caches
                     .iter()
@@ -826,6 +891,7 @@ impl<'a> Runner<'a> {
                 profiler_nanos: pending.outcome.profiler_nanos,
                 retrieval_nanos,
                 retrieval_recall,
+                work,
                 priority: pending.outcome.priority,
                 config,
                 fallback,
@@ -859,6 +925,7 @@ impl<'a> Runner<'a> {
             profiler_nanos,
             retrieval_nanos,
             retrieval_recall,
+            work,
             priority,
             config,
             fallback,
@@ -902,6 +969,7 @@ impl<'a> Runner<'a> {
                 profiler_secs: nanos_to_secs(profiler_nanos),
                 retrieval_secs: nanos_to_secs(retrieval_nanos),
                 retrieval_recall,
+                work,
                 config,
                 fallback,
                 replica: 0,
@@ -969,6 +1037,7 @@ impl<'a> Runner<'a> {
                 profiler_nanos,
                 retrieval_nanos,
                 retrieval_recall,
+                work,
                 plan,
                 replica,
                 stage: wave_stage,
@@ -1005,6 +1074,7 @@ impl<'a> Runner<'a> {
                     profiler_nanos: 0,
                     retrieval_nanos: 0,
                     retrieval_recall: 0.0,
+                    work: SearchWork::default(),
                     plan,
                     replica,
                     stage: Stage::Map,
@@ -1049,6 +1119,7 @@ impl<'a> Runner<'a> {
             profiler_nanos: wave.profiler_nanos,
             retrieval_nanos: wave.retrieval_nanos,
             retrieval_recall: wave.retrieval_recall,
+            work: wave.work,
             plan: wave.plan,
             replica: wave.replica,
             remaining: call_count,
@@ -1134,6 +1205,7 @@ impl<'a> Runner<'a> {
                 profiler_secs: nanos_to_secs(a.profiler_nanos),
                 retrieval_secs: nanos_to_secs(a.retrieval_nanos),
                 retrieval_recall: a.retrieval_recall,
+                work: a.work,
                 config: a.plan.config,
                 fallback: a.fallback,
                 replica: c.replica.0,
@@ -1161,6 +1233,7 @@ struct SubmitWave<'a> {
     profiler_nanos: Nanos,
     retrieval_nanos: Nanos,
     retrieval_recall: f64,
+    work: SearchWork,
     plan: SynthesisPlan,
     replica: ReplicaId,
     stage: Stage,

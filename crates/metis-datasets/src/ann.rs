@@ -1,0 +1,305 @@
+//! Million-scale ANN benchmark corpora with *planted* ground truth.
+//!
+//! The workload generators in [`generator`](crate::generator) produce
+//! text corpora whose retrieval signal lives in token overlap; their
+//! embedding dimension (1024 for the default feature-hash embedder) and
+//! per-chunk text make them too heavy to scale to 10⁶ chunks. This module
+//! generates *raw vector* corpora purpose-built for index benchmarking:
+//! low dimension, no text, and — crucially — exact nearest-neighbor ground
+//! truth known **by construction**, so recall@k at a million vectors costs
+//! nothing to evaluate (no brute-force pass over the corpus).
+//!
+//! # Construction
+//!
+//! Each of the `num_queries` query points is a uniform sample from the unit
+//! cube, kept only if it is at least `2 × CLEAR_RADIUS` from every earlier
+//! query (in 64 dimensions two uniform samples are ~3.3 apart on average,
+//! so this essentially never rejects). For each query, its `k` gold
+//! neighbors are planted on spheres of *distinct* increasing radii, all
+//! strictly inside `0.9 × CLEAR_RADIUS`. Every background vector is
+//! rejection-sampled to lie at least `CLEAR_RADIUS` from every query
+//! point. Therefore, for each query:
+//!
+//! - its own planted neighbors are at distance ≤ `0.9 × CLEAR_RADIUS`;
+//! - every other query's neighbors are at distance ≥ `1.1 × CLEAR_RADIUS`
+//!   (triangle inequality from the `2 × CLEAR_RADIUS` query separation);
+//! - every background vector is at distance ≥ `CLEAR_RADIUS`.
+//!
+//! The planted neighbors are exactly the global top-`k`, in planted-radius
+//! order, with no ties — the gold list requires no search to produce and a
+//! small-corpus test verifies it against a brute-force scan.
+
+use metis_text::ChunkId;
+
+/// Minimum distance from a query point to any non-gold corpus vector.
+/// Gold neighbors are planted strictly inside `0.9 ×` this radius.
+const CLEAR_RADIUS: f32 = 1.0;
+
+/// Shape of one generated ANN corpus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnnConfig {
+    /// Vector dimension. Small (default 64) so a million vectors fit in a
+    /// few hundred MB.
+    pub dim: usize,
+    /// Total corpus size, planted neighbors included.
+    pub num_vectors: usize,
+    /// Number of query points with planted ground truth.
+    pub num_queries: usize,
+    /// Gold neighbors planted per query (= the `k` of recall@k).
+    pub k: usize,
+    /// Seed; generation is deterministic in the full config.
+    pub seed: u64,
+}
+
+impl AnnConfig {
+    /// The benchmark shape: `dim = 64`, 64 queries, `k = 10` gold
+    /// neighbors, at the given corpus size.
+    pub fn at_scale(num_vectors: usize, seed: u64) -> Self {
+        Self {
+            dim: 64,
+            num_vectors,
+            num_queries: 64,
+            k: 10,
+            seed,
+        }
+    }
+}
+
+/// One query point and its exact nearest neighbors.
+#[derive(Clone, Debug)]
+pub struct AnnQuery {
+    /// The query vector.
+    pub vector: Vec<f32>,
+    /// The exact top-`k` chunk ids, nearest first — correct by
+    /// construction.
+    pub gold: Vec<ChunkId>,
+}
+
+/// A generated corpus: items ready to feed any `VectorIndex` builder plus
+/// queries with exact gold neighbor lists.
+#[derive(Clone, Debug)]
+pub struct AnnCorpus {
+    /// The generating configuration.
+    pub config: AnnConfig,
+    /// All corpus vectors with dense ids (`0..num_vectors`).
+    pub items: Vec<(ChunkId, Vec<f32>)>,
+    /// Query points with planted ground truth.
+    pub queries: Vec<AnnQuery>,
+}
+
+impl AnnCorpus {
+    /// Generates the corpus for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `num_queries == 0`, `k == 0`, or the corpus is
+    /// too small to hold every query's planted neighbors.
+    pub fn generate(config: AnnConfig) -> Self {
+        assert!(config.dim > 0, "dim must be positive");
+        assert!(config.num_queries > 0, "need at least one query");
+        assert!(config.k > 0, "k must be positive");
+        let planted = config.num_queries * config.k;
+        assert!(
+            planted <= config.num_vectors,
+            "corpus of {} cannot hold {planted} planted neighbors",
+            config.num_vectors
+        );
+
+        let mut rng = Rng::new(config.seed ^ 0x414E_4E00);
+
+        // Query points, pairwise >= 2 * CLEAR_RADIUS apart.
+        let mut centers: Vec<Vec<f32>> = Vec::with_capacity(config.num_queries);
+        while centers.len() < config.num_queries {
+            let cand = rng.unit_cube_point(config.dim);
+            let min_d2 = 4.0 * CLEAR_RADIUS * CLEAR_RADIUS;
+            if centers.iter().all(|c| dist2_at_least(c, &cand, min_d2)) {
+                centers.push(cand);
+            }
+        }
+
+        let mut items: Vec<(ChunkId, Vec<f32>)> = Vec::with_capacity(config.num_vectors);
+        let mut queries: Vec<AnnQuery> = Vec::with_capacity(config.num_queries);
+
+        // Plant each query's gold neighbors at distinct increasing radii,
+        // all strictly inside the clear zone.
+        for center in &centers {
+            let mut gold = Vec::with_capacity(config.k);
+            for i in 0..config.k {
+                let radius = 0.9 * CLEAR_RADIUS * (i + 1) as f32 / config.k as f32;
+                let point = rng.point_at_radius(center, radius);
+                let id = ChunkId(items.len() as u32);
+                items.push((id, point));
+                gold.push(id);
+            }
+            queries.push(AnnQuery {
+                vector: center.clone(),
+                gold,
+            });
+        }
+
+        // Background: uniform cube samples rejected inside any clear zone.
+        // In 64 dimensions the radius-1 ball is a vanishing fraction of the
+        // cube, so rejection is essentially free — the check only *proves*
+        // the gold lists exact.
+        let clear2 = CLEAR_RADIUS * CLEAR_RADIUS;
+        while items.len() < config.num_vectors {
+            let cand = rng.unit_cube_point(config.dim);
+            if centers.iter().all(|c| dist2_at_least(c, &cand, clear2)) {
+                items.push((ChunkId(items.len() as u32), cand));
+            }
+        }
+
+        Self {
+            config,
+            items,
+            queries,
+        }
+    }
+
+    /// Fraction of `gold` ids present anywhere in `hits` — recall@k when
+    /// `hits` is a top-`gold.len()` result list.
+    pub fn recall(gold: &[ChunkId], hits: &[ChunkId]) -> f64 {
+        if gold.is_empty() {
+            return 1.0;
+        }
+        let found = gold.iter().filter(|g| hits.contains(g)).count();
+        found as f64 / gold.len() as f64
+    }
+}
+
+/// `true` iff the squared distance between `a` and `b` is at least
+/// `threshold` — early-exits as soon as the partial sum crosses it, which
+/// in high dimension is almost immediately for any non-neighbor pair.
+fn dist2_at_least(a: &[f32], b: &[f32], threshold: f32) -> bool {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+        if acc >= threshold {
+            return true;
+        }
+    }
+    false
+}
+
+/// SplitMix64 — the repo's standard tiny deterministic generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    fn unit_cube_point(&mut self, dim: usize) -> Vec<f32> {
+        (0..dim).map(|_| self.unit()).collect()
+    }
+
+    /// A point exactly `radius` from `center`, in a pseudo-random
+    /// direction.
+    fn point_at_radius(&mut self, center: &[f32], radius: f32) -> Vec<f32> {
+        loop {
+            let dir: Vec<f32> = center.iter().map(|_| self.unit() * 2.0 - 1.0).collect();
+            let norm = dir.iter().map(|d| d * d).sum::<f32>().sqrt();
+            if norm > 1e-3 {
+                return center
+                    .iter()
+                    .zip(&dir)
+                    .map(|(c, d)| c + d * radius / norm)
+                    .collect();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist2(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn planted_gold_matches_a_brute_force_scan() {
+        let corpus = AnnCorpus::generate(AnnConfig {
+            dim: 16,
+            num_vectors: 500,
+            num_queries: 8,
+            k: 5,
+            seed: 7,
+        });
+        for q in &corpus.queries {
+            let mut order: Vec<(f32, ChunkId)> = corpus
+                .items
+                .iter()
+                .map(|(id, v)| (dist2(&q.vector, v), *id))
+                .collect();
+            order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let brute: Vec<ChunkId> = order.iter().take(5).map(|&(_, id)| id).collect();
+            assert_eq!(brute, q.gold, "planted gold must be the exact top-k");
+        }
+    }
+
+    #[test]
+    fn gold_neighbors_sit_at_distinct_increasing_radii() {
+        let corpus = AnnCorpus::generate(AnnConfig {
+            dim: 32,
+            num_vectors: 200,
+            num_queries: 4,
+            k: 6,
+            seed: 11,
+        });
+        for q in &corpus.queries {
+            let radii: Vec<f32> = q
+                .gold
+                .iter()
+                .map(|id| dist2(&q.vector, &corpus.items[id.0 as usize].1).sqrt())
+                .collect();
+            for w in radii.windows(2) {
+                assert!(w[0] < w[1], "radii must strictly increase: {radii:?}");
+            }
+            assert!(*radii.last().unwrap() < CLEAR_RADIUS);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized_right() {
+        let cfg = AnnConfig::at_scale(2_000, 42);
+        let a = AnnCorpus::generate(cfg);
+        let b = AnnCorpus::generate(cfg);
+        assert_eq!(a.items.len(), 2_000);
+        assert_eq!(a.queries.len(), 64);
+        assert_eq!(a.queries[0].gold.len(), 10);
+        assert_eq!(a.items, b.items);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.vector, qb.vector);
+            assert_eq!(qa.gold, qb.gold);
+        }
+        // Dense ids.
+        for (i, (id, v)) in a.items.iter().enumerate() {
+            assert_eq!(id.0 as usize, i);
+            assert_eq!(v.len(), 64);
+        }
+    }
+
+    #[test]
+    fn recall_counts_matches_anywhere_in_the_hit_list() {
+        let gold = [ChunkId(1), ChunkId(2), ChunkId(3), ChunkId(4)];
+        let hits = [ChunkId(4), ChunkId(9), ChunkId(1)];
+        assert_eq!(AnnCorpus::recall(&gold, &hits), 0.5);
+        assert_eq!(AnnCorpus::recall(&[], &hits), 1.0);
+    }
+}

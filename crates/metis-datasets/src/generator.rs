@@ -16,7 +16,7 @@ use metis_text::{
     AnnotatedText, ChunkId, Chunker, ChunkerConfig, FactId, TextGen, TokenChunk, TokenId,
     Tokenizer, TopicVocab,
 };
-use metis_vectordb::{IndexSpec, VectorDb};
+use metis_vectordb::{IndexSpec, Quantization, VectorDb};
 
 use crate::dataset::Dataset;
 use crate::kinds::DatasetKind;
@@ -86,6 +86,25 @@ pub fn build_dataset_with_index(
     )
 }
 
+/// [`build_dataset_with_index`] with a caller-chosen vector storage scheme
+/// (exact f32 or sq8 scalar quantization) on top of the index choice.
+pub fn build_dataset_with_spec(
+    kind: DatasetKind,
+    num_queries: usize,
+    seed: u64,
+    index: IndexSpec,
+    quant: Quantization,
+) -> Dataset {
+    build_dataset_impl(
+        kind,
+        num_queries,
+        seed,
+        Arc::new(HashEmbed::default()),
+        index,
+        quant,
+    )
+}
+
 /// Fully parameterized dataset construction: embedding model and retrieval
 /// index both caller-chosen.
 pub fn build_dataset_full(
@@ -94,6 +113,17 @@ pub fn build_dataset_full(
     seed: u64,
     embedder: Arc<dyn Embedder>,
     index: IndexSpec,
+) -> Dataset {
+    build_dataset_impl(kind, num_queries, seed, embedder, index, Quantization::F32)
+}
+
+fn build_dataset_impl(
+    kind: DatasetKind,
+    num_queries: usize,
+    seed: u64,
+    embedder: Arc<dyn Embedder>,
+    index: IndexSpec,
+    quant: Quantization,
 ) -> Dataset {
     let params = kind.params();
     let mut tokenizer = Tokenizer::new();
@@ -252,12 +282,13 @@ pub fn build_dataset_full(
         }
     }
 
-    let db = VectorDb::build_with_index(
+    let db = VectorDb::build_with_spec(
         &all_chunks,
         embedder,
         params.description,
         params.chunk_size,
         index,
+        quant,
     );
     Dataset {
         kind,

@@ -18,6 +18,7 @@
 //! estimates). That ground truth is what lets the reproduction *measure*
 //! profiler accuracy and answer F1 instead of assuming them.
 
+pub mod ann;
 pub mod dataset;
 pub mod generator;
 pub mod kinds;
@@ -25,9 +26,11 @@ pub mod profile;
 pub mod query;
 pub mod workload;
 
+pub use ann::{AnnConfig, AnnCorpus, AnnQuery};
 pub use dataset::{Dataset, Table1Row};
 pub use generator::{
     build_dataset, build_dataset_full, build_dataset_with_embedder, build_dataset_with_index,
+    build_dataset_with_spec,
 };
 pub use kinds::{DatasetKind, GenParams};
 pub use profile::{Complexity, TrueProfile};

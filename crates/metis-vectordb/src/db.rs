@@ -6,7 +6,9 @@ use metis_embed::Embedder;
 use metis_text::{AnnotatedText, TokenChunk, TokenId};
 
 use crate::flat::FlatIndex;
+use crate::hnsw::{HnswConfig, HnswIndex};
 use crate::ivf::{IvfConfig, IvfIndex};
+use crate::quant::{Quantization, SqFlatIndex, SqIvfIndex};
 use crate::store::ChunkStore;
 use crate::{Hit, SearchOutcome, SearchWork, VectorIndex};
 
@@ -50,6 +52,16 @@ pub enum IndexSpec {
         /// K-means refinement iterations at build time.
         train_iters: usize,
     },
+    /// HNSW layered-graph index (near-logarithmic search at corpus scales
+    /// where even IVF's probed lists are too large to scan).
+    Hnsw {
+        /// Max neighbors per node (layer 0 allows `2m`).
+        m: usize,
+        /// Insertion beam width at build time.
+        ef_construction: usize,
+        /// Layer-0 expansion budget at query time.
+        ef_search: usize,
+    },
 }
 
 impl IndexSpec {
@@ -62,20 +74,34 @@ impl IndexSpec {
         }
     }
 
+    /// An HNSW spec with the default construction beam.
+    pub fn hnsw(m: usize, ef_search: usize) -> Self {
+        Self::Hnsw {
+            m,
+            ef_construction: HnswConfig::default().ef_construction,
+            ef_search,
+        }
+    }
+
     /// Index family name.
     pub fn name(&self) -> &'static str {
         match self {
             IndexSpec::Flat => "flat",
             IndexSpec::Ivf { .. } => "ivf",
+            IndexSpec::Hnsw { .. } => "hnsw",
         }
     }
 
-    /// Short display form, e.g. `flat` or `ivf(nlist=64,nprobe=8)`.
+    /// Short display form, e.g. `flat`, `ivf(nlist=64,nprobe=8)` or
+    /// `hnsw(m=16,ef=64)`.
     pub fn label(&self) -> String {
         match self {
             IndexSpec::Flat => "flat".to_owned(),
             IndexSpec::Ivf { nlist, nprobe, .. } => {
                 format!("ivf(nlist={nlist},nprobe={nprobe})")
+            }
+            IndexSpec::Hnsw { m, ef_search, .. } => {
+                format!("hnsw(m={m},ef={ef_search})")
             }
         }
     }
@@ -100,6 +126,24 @@ impl IndexSpec {
                 }
                 Ok(())
             }
+            IndexSpec::Hnsw {
+                m,
+                ef_construction,
+                ef_search,
+            } => {
+                if m < 2 {
+                    return Err("m must be at least 2".into());
+                }
+                if ef_search == 0 {
+                    return Err("ef-search must be positive".into());
+                }
+                if ef_construction < m {
+                    return Err(format!(
+                        "ef-construction ({ef_construction}) must be >= m ({m})"
+                    ));
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -110,9 +154,11 @@ impl IndexSpec {
 pub struct IndexMeta {
     /// The spec the database was built with.
     pub spec: IndexSpec,
-    /// Effective inverted-list count (1 for flat).
+    /// How vectors are stored and scored inside the index.
+    pub quant: Quantization,
+    /// Effective inverted-list count (1 for flat and HNSW).
     pub nlist: usize,
-    /// Effective probe count (1 for flat).
+    /// Effective probe count (1 for flat and HNSW).
     pub nprobe: usize,
     /// Number of indexed vectors.
     pub vectors: usize,
@@ -123,6 +169,7 @@ impl IndexMeta {
     pub fn flat(vectors: usize) -> Self {
         Self {
             spec: IndexSpec::Flat,
+            quant: Quantization::F32,
             nlist: 1,
             nprobe: 1,
             vectors,
@@ -132,11 +179,13 @@ impl IndexMeta {
     /// Expected distance computations per search under this index (a
     /// balanced-lists estimate controllers can reason about without
     /// running a query): the full corpus for flat, `nlist` centroids plus
-    /// `nprobe/nlist` of the corpus for IVF.
+    /// `nprobe/nlist` of the corpus for IVF, and roughly one layer-0
+    /// frontier (`ef_search` expansions of up to `2m` neighbors) for HNSW.
     pub fn expected_scored(&self) -> usize {
         match self.spec {
             IndexSpec::Flat => self.vectors,
             IndexSpec::Ivf { .. } => self.nlist + self.vectors * self.nprobe / self.nlist.max(1),
+            IndexSpec::Hnsw { m, ef_search, .. } => (ef_search * 2 * m).min(self.vectors.max(1)),
         }
     }
 }
@@ -178,7 +227,7 @@ impl VectorDb {
         Self::build_with_index(chunks, embedder, description, chunk_size, IndexSpec::Flat)
     }
 
-    /// Builds the database with a chosen index backend.
+    /// Builds the database with a chosen index backend (f32 storage).
     ///
     /// # Panics
     ///
@@ -190,14 +239,51 @@ impl VectorDb {
         chunk_size: usize,
         spec: IndexSpec,
     ) -> Self {
+        Self::build_with_spec(
+            chunks,
+            embedder,
+            description,
+            chunk_size,
+            spec,
+            Quantization::F32,
+        )
+    }
+
+    /// Builds the database with a chosen index backend and vector storage
+    /// scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`IndexSpec::validate`].
+    pub fn build_with_spec(
+        chunks: &[TokenChunk],
+        embedder: Arc<dyn Embedder>,
+        description: &str,
+        chunk_size: usize,
+        spec: IndexSpec,
+        quant: Quantization,
+    ) -> Self {
         spec.validate().expect("invalid index spec");
-        let (index, index_meta): (Box<dyn VectorIndex>, IndexMeta) = match spec {
+        let dim = embedder.dim();
+        let (index, mut index_meta): (Box<dyn VectorIndex>, IndexMeta) = match spec {
             IndexSpec::Flat => {
-                let mut index = FlatIndex::new(embedder.dim());
-                for c in chunks {
-                    index.add(c.id, &embedder.embed(c.text.tokens()));
-                }
-                (Box::new(index), IndexMeta::flat(chunks.len()))
+                let index: Box<dyn VectorIndex> = match quant {
+                    Quantization::F32 => {
+                        let mut index = FlatIndex::new(dim);
+                        for c in chunks {
+                            index.add(c.id, &embedder.embed(c.text.tokens()));
+                        }
+                        Box::new(index)
+                    }
+                    Quantization::Sq8 { rerank } => {
+                        let items: Vec<_> = chunks
+                            .iter()
+                            .map(|c| (c.id, embedder.embed(c.text.tokens())))
+                            .collect();
+                        Box::new(SqFlatIndex::build(dim, rerank, &items))
+                    }
+                };
+                (index, IndexMeta::flat(chunks.len()))
             }
             IndexSpec::Ivf {
                 nlist,
@@ -209,7 +295,7 @@ impl VectorDb {
                     .map(|c| (c.id, embedder.embed(c.text.tokens())))
                     .collect();
                 let index = IvfIndex::build(
-                    embedder.dim(),
+                    dim,
                     IvfConfig {
                         nlist,
                         nprobe,
@@ -220,13 +306,47 @@ impl VectorDb {
                 let effective = index.config();
                 let meta = IndexMeta {
                     spec,
+                    quant: Quantization::F32,
                     nlist: effective.nlist,
                     nprobe: effective.nprobe,
+                    vectors: chunks.len(),
+                };
+                let index: Box<dyn VectorIndex> = match quant {
+                    Quantization::F32 => Box::new(index),
+                    Quantization::Sq8 { rerank } => Box::new(SqIvfIndex::from_ivf(&index, rerank)),
+                };
+                (index, meta)
+            }
+            IndexSpec::Hnsw {
+                m,
+                ef_construction,
+                ef_search,
+            } => {
+                let items: Vec<_> = chunks
+                    .iter()
+                    .map(|c| (c.id, embedder.embed(c.text.tokens())))
+                    .collect();
+                let index = HnswIndex::build(
+                    dim,
+                    HnswConfig {
+                        m,
+                        ef_construction,
+                        ef_search,
+                    },
+                    quant,
+                    &items,
+                );
+                let meta = IndexMeta {
+                    spec,
+                    quant: Quantization::F32,
+                    nlist: 1,
+                    nprobe: 1,
                     vectors: chunks.len(),
                 };
                 (Box::new(index), meta)
             }
         };
+        index_meta.quant = quant;
         let store = ChunkStore::from_chunks(chunks);
         let metadata = DbMetadata {
             description: description.to_owned(),
@@ -426,6 +546,110 @@ mod tests {
         assert!(IndexSpec::ivf(4, 0).validate().is_err());
         assert_eq!(IndexSpec::ivf(64, 8).label(), "ivf(nlist=64,nprobe=8)");
         assert_eq!(IndexSpec::Flat.label(), "flat");
+    }
+
+    #[test]
+    fn hnsw_backend_retrieves_the_same_fact_under_both_storages() {
+        let mut tok = Tokenizer::new();
+        let finance = TopicVocab::build(&mut tok, "finance", 64, 64);
+        let mut g = TextGen::new(11);
+        let mut doc = AnnotatedText::new();
+        doc.push_tokens(&g.filler(&finance, 512));
+        let subject: Vec<TokenId> = finance.topic_words()[..8].to_vec();
+        doc.push_tokens(&subject);
+        let fact_phrase = g.fact_phrase(&mut tok, "ceo", 2);
+        doc.push_fact(FactId(1), &fact_phrase);
+        doc.push_tokens(&g.filler(&finance, 700));
+        let chunks = Chunker::new(ChunkerConfig::with_size(64)).split(&doc);
+        for quant in [Quantization::F32, Quantization::sq8()] {
+            let db = VectorDb::build_with_spec(
+                &chunks,
+                Arc::new(HashEmbed::default()),
+                "hnsw corpus",
+                64,
+                IndexSpec::hnsw(8, 32),
+                quant,
+            );
+            let out = db.retrieve_counted(&subject, 5);
+            let found = out
+                .results
+                .iter()
+                .any(|r| r.text.fact_ids().any(|f| f == FactId(1)));
+            assert!(found, "HNSW ({}) missed the fact chunk", quant.name());
+            assert!(out.work.graph_hops > 0, "no hops under {}", quant.name());
+            let meta = db.index_meta();
+            assert_eq!(meta.spec, IndexSpec::hnsw(8, 32));
+            assert_eq!(meta.quant, quant);
+            assert!(meta.expected_scored() > 0);
+            if quant.is_quantized() {
+                assert!(out.work.quantized_scored > 0);
+            } else {
+                assert_eq!(out.work.quantized_scored, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sq8_flat_db_matches_exact_flat_results() {
+        // Same corpus as `build_db`, rebuilt once per storage scheme.
+        let mut tok = Tokenizer::new();
+        let finance = TopicVocab::build(&mut tok, "finance", 64, 64);
+        let sports = TopicVocab::build(&mut tok, "sports", 64, 64);
+        let mut g = TextGen::new(11);
+        let mut doc = AnnotatedText::new();
+        doc.push_tokens(&g.filler(&sports, 256));
+        let subject: Vec<TokenId> = finance.topic_words()[..8].to_vec();
+        doc.push_tokens(&subject);
+        let fact_phrase = g.fact_phrase(&mut tok, "ceo", 2);
+        doc.push_fact(FactId(1), &fact_phrase);
+        doc.push_tokens(&g.filler(&finance, 54));
+        doc.push_tokens(&g.filler(&sports, 256));
+        let chunks = Chunker::new(ChunkerConfig::with_size(64)).split(&doc);
+        let build = |quant| {
+            VectorDb::build_with_spec(
+                &chunks,
+                Arc::new(HashEmbed::default()),
+                "synthetic finance + sports corpus",
+                64,
+                IndexSpec::Flat,
+                quant,
+            )
+        };
+        let db = build(Quantization::F32);
+        let sq_db = build(Quantization::sq8());
+        let exact: Vec<_> = db
+            .retrieve(&subject, 3)
+            .iter()
+            .map(|r| r.hit.chunk)
+            .collect();
+        let out = sq_db.retrieve_counted(&subject, 3);
+        let approx: Vec<_> = out.results.iter().map(|r| r.hit.chunk).collect();
+        assert_eq!(exact, approx, "rerank should repair sq8 on this corpus");
+        assert_eq!(out.work.quantized_scored, sq_db.len());
+        let found = out
+            .results
+            .iter()
+            .any(|r| r.text.fact_ids().any(|f| f == FactId(1)));
+        assert!(found);
+    }
+
+    #[test]
+    fn index_spec_validation_catches_bad_hnsw_shapes() {
+        assert!(IndexSpec::hnsw(16, 64).validate().is_ok());
+        let err = IndexSpec::hnsw(1, 64).validate().unwrap_err();
+        assert!(err.contains("m must be at least 2"), "got: {err}");
+        let err = IndexSpec::hnsw(16, 0).validate().unwrap_err();
+        assert!(err.contains("ef-search must be positive"), "got: {err}");
+        let err = IndexSpec::Hnsw {
+            m: 16,
+            ef_construction: 4,
+            ef_search: 8,
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("must be >= m"), "got: {err}");
+        assert_eq!(IndexSpec::hnsw(16, 64).label(), "hnsw(m=16,ef=64)");
+        assert_eq!(IndexSpec::hnsw(16, 64).name(), "hnsw");
     }
 
     #[test]

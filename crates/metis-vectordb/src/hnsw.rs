@@ -1,0 +1,613 @@
+//! HNSW: hierarchical navigable small-world graph index.
+//!
+//! A layered proximity graph: every vector lands on layer 0, and each node
+//! is promoted to higher layers with geometrically decaying probability
+//! (deterministically derived from its insertion order, so builds are
+//! reproducible). Search greedily descends the sparse upper layers to a
+//! good entry point, then runs a bounded best-first expansion on layer 0.
+//! Per-query cost is a handful of graph hops plus the distance evals they
+//! trigger — `O(log n)`-ish instead of the flat scan's `O(n)` — and both
+//! quantities are reported through [`SearchWork`] so the retrieval model
+//! prices them.
+//!
+//! The layer-0 expansion is budgeted by `ef_search`: expansion *order* is
+//! independent of the budget, so a larger `ef_search` visits a strict
+//! superset of the nodes a smaller one does. That makes recall@k provably
+//! non-decreasing in `ef_search` (the property `tests/properties.rs` pins),
+//! while behaving like the classic ef-bounded beam in practice.
+//!
+//! Vectors are stored exactly ([`Quantization::F32`]) or as sq8 codes
+//! scored through a per-query LUT with optional exact re-rank
+//! ([`Quantization::Sq8`]); graph construction always runs at full
+//! precision.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+use metis_text::ChunkId;
+
+use crate::quant::{sq_l2, Quantization, QueryLut, ScalarQuantizer};
+use crate::{Hit, SearchOutcome, SearchWork, VectorIndex};
+
+/// HNSW build/search parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HnswConfig {
+    /// Max neighbors per node on upper layers (layer 0 allows `2m`); also
+    /// sets the layer-promotion decay `1/ln(m)`.
+    pub m: usize,
+    /// Beam width while inserting — larger builds a better graph, slower.
+    pub ef_construction: usize,
+    /// Layer-0 expansion budget at query time — the recall/latency knob.
+    pub ef_search: usize,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 80,
+            ef_search: 64,
+        }
+    }
+}
+
+/// Hard cap on layer height; `u8` storage and `1/ln(m)` decay keep real
+/// corpora far below it.
+const MAX_LEVEL: usize = 24;
+
+/// A scored node with a total order (distance, then id) so heap behavior
+/// is deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Scored {
+    d: f32,
+    node: u32,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.d
+            .total_cmp(&other.d)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The layered-graph index.
+#[derive(Clone, Debug)]
+pub struct HnswIndex {
+    dim: usize,
+    config: HnswConfig,
+    quant: Quantization,
+    ids: Vec<ChunkId>,
+    /// Exact rows: always present under f32; retained under sq8 only while
+    /// `rerank > 0` needs them at query time.
+    rows: Vec<f32>,
+    /// sq8 code rows (empty under f32).
+    codes: Vec<u8>,
+    sq: Option<ScalarQuantizer>,
+    /// `links[node][level]` — neighbor ids, insertion-ordered.
+    links: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: usize,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl HnswIndex {
+    /// Builds the graph over `(id, vector)` pairs by sequential insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero, `m < 2`, `ef_construction` or `ef_search`
+    /// is zero, or any vector disagrees on dimension.
+    pub fn build(
+        dim: usize,
+        config: HnswConfig,
+        quant: Quantization,
+        items: &[(ChunkId, Vec<f32>)],
+    ) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(config.m >= 2, "m must be at least 2");
+        assert!(
+            config.ef_construction > 0,
+            "ef_construction must be positive"
+        );
+        assert!(config.ef_search > 0, "ef_search must be positive");
+        for (_, v) in items {
+            assert_eq!(v.len(), dim, "dimension mismatch");
+        }
+        let n = items.len();
+        let mut index = Self {
+            dim,
+            config,
+            quant,
+            ids: Vec::with_capacity(n),
+            rows: Vec::with_capacity(n * dim),
+            codes: Vec::new(),
+            sq: None,
+            links: Vec::with_capacity(n),
+            entry: 0,
+            max_level: 0,
+        };
+        let ml = 1.0 / (config.m as f64).ln();
+        for (i, (id, v)) in items.iter().enumerate() {
+            let level = Self::level_for(i as u64, ml);
+            index.insert(*id, v, level);
+        }
+        if let Quantization::Sq8 { rerank } = quant {
+            let sq = ScalarQuantizer::train(dim, items.iter().map(|(_, v)| v.as_slice()));
+            let mut codes = Vec::with_capacity(n * dim);
+            let mut scratch = Vec::with_capacity(dim);
+            for (_, v) in items {
+                sq.encode_into(v, &mut scratch);
+                codes.extend_from_slice(&scratch);
+            }
+            index.codes = codes;
+            index.sq = Some(sq);
+            if rerank == 0 {
+                // Scoring never leaves the quantized domain — drop the
+                // exact rows and keep only the 1-byte codes.
+                index.rows = Vec::new();
+            }
+        }
+        index
+    }
+
+    /// Deterministic layer draw: geometric with mean `ml`, hashed from the
+    /// insertion order so identical inputs build identical graphs.
+    fn level_for(i: u64, ml: f64) -> usize {
+        let bits = splitmix64(i ^ 0x48_4E_53_57); // "HNSW"
+        let u = ((bits >> 11) as f64 / (1u64 << 53) as f64).max(f64::MIN_POSITIVE);
+        ((-u.ln() * ml) as usize).min(MAX_LEVEL)
+    }
+
+    fn exact_row(&self, node: u32) -> &[f32] {
+        let i = node as usize;
+        &self.rows[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn code_row(&self, node: u32) -> &[u8] {
+        let i = node as usize;
+        &self.codes[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Build-time distance — always exact (rows are retained during build).
+    fn build_dist2(&self, q: &[f32], node: u32) -> f32 {
+        sq_l2(q, self.exact_row(node))
+    }
+
+    fn insert(&mut self, id: ChunkId, v: &[f32], level: usize) {
+        let node = self.ids.len() as u32;
+        self.ids.push(id);
+        self.rows.extend_from_slice(v);
+        self.links.push(vec![Vec::new(); level + 1]);
+        if node == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return;
+        }
+        // Greedy-descend the layers above the new node's top level.
+        let mut cur = Scored {
+            d: self.build_dist2(v, self.entry),
+            node: self.entry,
+        };
+        let mut lvl = self.max_level;
+        while lvl > level {
+            cur = self.greedy_step(v, cur, lvl);
+            lvl -= 1;
+        }
+        // Beam-search each level the node joins, linking to a diverse
+        // neighbor set (not simply the closest m — see `select_neighbors`).
+        let mut entries = vec![cur];
+        for lvl in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(v, &entries, self.config.ef_construction, lvl);
+            for nb in self.select_neighbors(&found, self.config.m) {
+                self.links[node as usize][lvl].push(nb);
+                self.links[nb as usize][lvl].push(node);
+                self.prune(nb, lvl);
+            }
+            entries = found;
+            entries.truncate(self.config.ef_construction);
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = node;
+        }
+    }
+
+    /// The HNSW paper's neighbor-selection heuristic (Algorithm 4): walk
+    /// `cand` (sorted ascending by distance to `anchor`) and keep a node
+    /// only if it is closer to the anchor than to every neighbor already
+    /// kept, then backfill spare slots with the closest rejects. Plain
+    /// closest-`cap` selection collapses tight clusters into cliques —
+    /// their members fill each other's lists and evict every long-range
+    /// edge, leaving the cluster unreachable by a bounded search beam. The
+    /// diversity test keeps those outbound bridges alive.
+    /// `cand` carries each node's distance to the anchor in `Scored::d`.
+    fn select_neighbors(&self, cand: &[Scored], cap: usize) -> Vec<u32> {
+        let mut kept: Vec<Scored> = Vec::with_capacity(cap);
+        let mut rejected: Vec<u32> = Vec::new();
+        for &c in cand {
+            if kept.len() == cap {
+                break;
+            }
+            let row = self.exact_row(c.node);
+            let diverse = kept
+                .iter()
+                .all(|k| sq_l2(row, self.exact_row(k.node)) > c.d);
+            if diverse {
+                kept.push(c);
+            } else {
+                rejected.push(c.node);
+            }
+        }
+        let mut out: Vec<u32> = kept.into_iter().map(|s| s.node).collect();
+        let spare = cap.saturating_sub(out.len());
+        out.extend(rejected.into_iter().take(spare));
+        out
+    }
+
+    /// Caps `node`'s neighbor list at level `lvl` to the allowed count
+    /// (`m` above layer 0, `2m` on it) via the diversity heuristic.
+    fn prune(&mut self, node: u32, lvl: usize) {
+        let cap = if lvl == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        };
+        if self.links[node as usize][lvl].len() <= cap {
+            return;
+        }
+        let anchor = self.exact_row(node).to_vec();
+        let mut scored: Vec<Scored> = self.links[node as usize][lvl]
+            .iter()
+            .map(|&nb| Scored {
+                d: sq_l2(&anchor, self.exact_row(nb)),
+                node: nb,
+            })
+            .collect();
+        scored.sort();
+        scored.dedup_by_key(|s| s.node);
+        self.links[node as usize][lvl] = self.select_neighbors(&scored, cap);
+    }
+
+    /// One greedy descent through level `lvl`: walk to strictly closer
+    /// neighbors until a local minimum.
+    fn greedy_step(&self, q: &[f32], mut cur: Scored, lvl: usize) -> Scored {
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[cur.node as usize][lvl] {
+                let d = self.build_dist2(q, nb);
+                if d < cur.d {
+                    cur = Scored { d, node: nb };
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Classic ef-bounded beam at one level (build-time only), returning
+    /// up to `ef` closest nodes in ascending order.
+    fn search_layer(&self, q: &[f32], entries: &[Scored], ef: usize, lvl: usize) -> Vec<Scored> {
+        let mut visited: HashSet<u32> = entries.iter().map(|s| s.node).collect();
+        let mut cand: BinaryHeap<Reverse<Scored>> = entries.iter().map(|&s| Reverse(s)).collect();
+        let mut best: BinaryHeap<Scored> = entries.iter().copied().collect();
+        while let Some(Reverse(c)) = cand.pop() {
+            let worst = best.peek().map_or(f32::INFINITY, |w| w.d);
+            if best.len() >= ef && c.d > worst {
+                break;
+            }
+            for &nb in &self.links[c.node as usize][lvl] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let d = self.build_dist2(q, nb);
+                let worst = best.peek().map_or(f32::INFINITY, |w| w.d);
+                if best.len() < ef || d < worst {
+                    let s = Scored { d, node: nb };
+                    cand.push(Reverse(s));
+                    best.push(s);
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+        let mut out = best.into_vec();
+        out.sort();
+        out
+    }
+
+    /// Query-time distance in the storage domain, counted into `work`.
+    fn query_dist2(
+        &self,
+        q: &[f32],
+        lut: Option<&QueryLut>,
+        node: u32,
+        work: &mut SearchWork,
+    ) -> f32 {
+        match lut {
+            Some(lut) => {
+                work.quantized_scored += 1;
+                lut.dist2(self.code_row(node))
+            }
+            None => {
+                work.vectors_scored += 1;
+                sq_l2(q, self.exact_row(node))
+            }
+        }
+    }
+
+    /// The build/search configuration.
+    pub fn config(&self) -> HnswConfig {
+        self.config
+    }
+
+    /// The vector storage scheme.
+    pub fn quantization(&self) -> Quantization {
+        self.quant
+    }
+
+    /// Height of the tallest layer currently in the graph.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Searches with an explicit layer-0 expansion budget instead of the
+    /// configured `ef_search` — the handle the recall-monotonicity
+    /// property tests and sweeps turn.
+    pub fn search_with_ef(&self, query: &[f32], k: usize, ef: usize) -> SearchOutcome {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let mut work = SearchWork::default();
+        if k == 0 || self.ids.is_empty() || ef == 0 {
+            return SearchOutcome {
+                hits: Vec::new(),
+                work,
+            };
+        }
+        let lut = self.sq.as_ref().map(|sq| sq.lut(query));
+        // Every node scored anywhere during the search is a candidate for
+        // the final top-k: the set only grows with `ef`.
+        let mut scored: Vec<Scored> = Vec::new();
+        let mut cur = Scored {
+            d: self.query_dist2(query, lut.as_ref(), self.entry, &mut work),
+            node: self.entry,
+        };
+        scored.push(cur);
+        // Greedy descent over the upper layers (budget-independent).
+        for lvl in (1..=self.max_level).rev() {
+            loop {
+                let mut improved = false;
+                work.graph_hops += 1;
+                for &nb in &self.links[cur.node as usize][lvl] {
+                    let d = self.query_dist2(query, lut.as_ref(), nb, &mut work);
+                    scored.push(Scored { d, node: nb });
+                    if d < cur.d {
+                        cur = Scored { d, node: nb };
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        // Budgeted best-first expansion on layer 0. The frontier evolves
+        // identically for every `ef`; the budget only decides how many
+        // nodes get expanded, so visited sets nest as `ef` grows.
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(cur.node);
+        let mut frontier: BinaryHeap<Reverse<Scored>> = BinaryHeap::new();
+        frontier.push(Reverse(cur));
+        let mut expanded = 0usize;
+        while let Some(Reverse(c)) = frontier.pop() {
+            if expanded >= ef {
+                break;
+            }
+            expanded += 1;
+            work.graph_hops += 1;
+            for &nb in &self.links[c.node as usize][0] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let d = self.query_dist2(query, lut.as_ref(), nb, &mut work);
+                let s = Scored { d, node: nb };
+                scored.push(s);
+                frontier.push(Reverse(s));
+            }
+        }
+        // Rank and deduplicate (upper-layer evals can rescore a node; a
+        // rescore produces the identical distance, so duplicates sort
+        // adjacent).
+        scored.sort();
+        scored.dedup_by_key(|s| s.node);
+        let rerank = self.quant.rerank();
+        let hits = if lut.is_some() && rerank > 0 {
+            let keep = rerank.saturating_mul(k).max(k).min(scored.len());
+            let mut exact: Vec<Hit> = scored[..keep]
+                .iter()
+                .map(|s| {
+                    work.vectors_scored += 1;
+                    Hit {
+                        chunk: self.ids[s.node as usize],
+                        distance: sq_l2(query, self.exact_row(s.node)).sqrt(),
+                    }
+                })
+                .collect();
+            exact.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| a.chunk.cmp(&b.chunk))
+            });
+            exact.truncate(k);
+            exact
+        } else {
+            scored
+                .iter()
+                .take(k)
+                .map(|s| Hit {
+                    chunk: self.ids[s.node as usize],
+                    distance: s.d.sqrt(),
+                })
+                .collect()
+        };
+        SearchOutcome { hits, work }
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn search_counted(&self, query: &[f32], k: usize) -> SearchOutcome {
+        self.search_with_ef(query, k, self.config.ef_search)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+
+    fn ring_items(n: u32, dim: usize) -> Vec<(ChunkId, Vec<f32>)> {
+        // Deterministic scatter with enough spread for meaningful
+        // neighborhoods.
+        (0..n)
+            .map(|i| {
+                let v = (0..dim)
+                    .map(|d| {
+                        let x = splitmix64(u64::from(i) * 31 + d as u64);
+                        (x % 1000) as f32 / 100.0
+                    })
+                    .collect();
+                (ChunkId(i), v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_on_small_corpus_with_generous_ef() {
+        let items = ring_items(60, 4);
+        let idx = HnswIndex::build(4, HnswConfig::default(), Quantization::F32, &items);
+        let mut flat = FlatIndex::new(4);
+        for (id, v) in &items {
+            flat.add(*id, v);
+        }
+        for q in [[0.0; 4], [5.0, 5.0, 5.0, 5.0], [9.0, 1.0, 4.0, 2.0]] {
+            let want: Vec<_> = flat.search(&q, 5).iter().map(|h| h.chunk).collect();
+            let got: Vec<_> = idx
+                .search_with_ef(&q, 5, 64)
+                .hits
+                .iter()
+                .map(|h| h.chunk)
+                .collect();
+            assert_eq!(want, got, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn work_reports_hops_and_domain_separated_evals() {
+        let items = ring_items(200, 4);
+        let idx = HnswIndex::build(4, HnswConfig::default(), Quantization::F32, &items);
+        let out = idx.search_counted(&[1.0, 2.0, 3.0, 4.0], 3);
+        assert!(out.work.graph_hops > 0, "no hops recorded");
+        assert!(out.work.vectors_scored > 0);
+        assert_eq!(out.work.quantized_scored, 0, "f32 storage never LUT-scores");
+        assert!(
+            out.work.vectors_scored < items.len(),
+            "HNSW should not scan the corpus: {:?}",
+            out.work
+        );
+
+        let sq = HnswIndex::build(4, HnswConfig::default(), Quantization::sq8(), &items);
+        let out = sq.search_counted(&[1.0, 2.0, 3.0, 4.0], 3);
+        assert!(out.work.quantized_scored > 0, "sq8 storage LUT-scores");
+        assert_eq!(
+            out.work.vectors_scored, 12,
+            "exact evals are exactly the rerank * k repair: {:?}",
+            out.work
+        );
+    }
+
+    #[test]
+    fn visited_set_and_recall_grow_with_ef() {
+        let items = ring_items(400, 6);
+        let idx = HnswIndex::build(6, HnswConfig::default(), Quantization::F32, &items);
+        let mut flat = FlatIndex::new(6);
+        for (id, v) in &items {
+            flat.add(*id, v);
+        }
+        let q = [4.0, 6.0, 2.0, 8.0, 1.0, 5.0];
+        let gold: std::collections::HashSet<_> =
+            flat.search(&q, 10).iter().map(|h| h.chunk).collect();
+        let mut prev_recall = 0.0f64;
+        let mut prev_evals = 0usize;
+        for ef in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let out = idx.search_with_ef(&q, 10, ef);
+            let hit = out.hits.iter().filter(|h| gold.contains(&h.chunk)).count();
+            let recall = hit as f64 / 10.0;
+            assert!(
+                recall >= prev_recall,
+                "recall fell from {prev_recall} to {recall} at ef={ef}"
+            );
+            assert!(out.work.distances() >= prev_evals, "work shrank at ef={ef}");
+            prev_recall = recall;
+            prev_evals = out.work.distances();
+        }
+        assert!(prev_recall >= 0.9, "recall@10 stuck at {prev_recall}");
+    }
+
+    #[test]
+    fn sq8_rerank_zero_drops_exact_rows_and_still_answers() {
+        let items = ring_items(100, 4);
+        let idx = HnswIndex::build(
+            4,
+            HnswConfig::default(),
+            Quantization::Sq8 { rerank: 0 },
+            &items,
+        );
+        let out = idx.search_counted(&[5.0; 4], 5);
+        assert_eq!(out.hits.len(), 5);
+        assert_eq!(out.work.vectors_scored, 0, "no exact path remains");
+        assert!(out.work.quantized_scored > 0);
+    }
+
+    #[test]
+    fn empty_and_k_zero_are_graceful() {
+        let idx = HnswIndex::build(3, HnswConfig::default(), Quantization::F32, &[]);
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 3], 5).is_empty());
+        let items = ring_items(10, 3);
+        let idx = HnswIndex::build(3, HnswConfig::default(), Quantization::F32, &items);
+        assert!(idx.search(&[0.0; 3], 0).is_empty());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let items = ring_items(150, 4);
+        let a = HnswIndex::build(4, HnswConfig::default(), Quantization::F32, &items);
+        let b = HnswIndex::build(4, HnswConfig::default(), Quantization::F32, &items);
+        let q = [3.0, 1.0, 7.0, 2.0];
+        let ha: Vec<_> = a.search(&q, 8).iter().map(|h| h.chunk).collect();
+        let hb: Vec<_> = b.search(&q, 8).iter().map(|h| h.chunk).collect();
+        assert_eq!(ha, hb);
+        assert_eq!(a.max_level(), b.max_level());
+    }
+}

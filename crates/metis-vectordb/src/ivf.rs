@@ -10,10 +10,17 @@
 //! index ([`crate::FlatIndex`]), which remains the default everywhere.
 
 use std::cmp::Ordering;
+use std::sync::Mutex;
 
 use metis_text::ChunkId;
 
 use crate::{Hit, SearchOutcome, SearchWork, VectorIndex};
+
+/// K-means trains on at most this many vectors (deterministically strided
+/// from the corpus); the final list assignment still covers every vector.
+/// Corpora at or below the cap train exactly as before, so small builds
+/// are bit-identical with earlier versions.
+const TRAIN_SAMPLE_CAP: usize = 32_768;
 
 /// IVF build/search parameters.
 #[derive(Clone, Copy, Debug)]
@@ -36,14 +43,44 @@ impl Default for IvfConfig {
     }
 }
 
+/// One inverted-list member: (id, exact row).
+pub(crate) type ListEntry = (ChunkId, Vec<f32>);
+
 /// IVF index with exact scoring inside the probed lists.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct IvfIndex {
     dim: usize,
     config: IvfConfig,
     centroids: Vec<Vec<f32>>,
-    lists: Vec<Vec<(ChunkId, Vec<f32>)>>,
+    lists: Vec<Vec<ListEntry>>,
     len: usize,
+    /// Per-query working memory, reused across `search_counted` calls so
+    /// the hot loop performs no per-probe allocation (the trait takes
+    /// `&self`, hence the lock; searches are short, contention is the
+    /// caller's concurrency, and a poisoned lock is unreachable because
+    /// the critical sections don't panic).
+    scratch: Mutex<IvfScratch>,
+}
+
+#[derive(Debug, Default)]
+struct IvfScratch {
+    /// `(distance², centroid)` ranking buffer.
+    order: Vec<(f32, usize)>,
+    /// Candidate hits from the probed lists, before truncation to `k`.
+    hits: Vec<Hit>,
+}
+
+impl Clone for IvfIndex {
+    fn clone(&self) -> Self {
+        Self {
+            dim: self.dim,
+            config: self.config,
+            centroids: self.centroids.clone(),
+            lists: self.lists.clone(),
+            len: self.len,
+            scratch: Mutex::new(IvfScratch::default()),
+        }
+    }
 }
 
 fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
@@ -101,17 +138,27 @@ impl IvfIndex {
         } else {
             seed_centroids(items, nlist)
         };
+        // K-means trains on a bounded, deterministically strided sample so
+        // million-vector builds stay tractable; at or below the cap the
+        // sample is the whole corpus and training is unchanged.
+        let train: Vec<usize> = if items.len() <= TRAIN_SAMPLE_CAP {
+            (0..items.len()).collect()
+        } else {
+            (0..TRAIN_SAMPLE_CAP)
+                .map(|i| i * items.len() / TRAIN_SAMPLE_CAP)
+                .collect()
+        };
         // Lloyd iterations with empty-cluster repair.
         for _ in 0..config.train_iters {
-            let assign: Vec<usize> = items
+            let assign: Vec<usize> = train
                 .iter()
-                .map(|(_, v)| Self::nearest_centroid(&centroids, v))
+                .map(|&i| Self::nearest_centroid(&centroids, &items[i].1))
                 .collect();
             let mut sums = vec![vec![0.0f64; dim]; nlist];
             let mut counts = vec![0usize; nlist];
-            for (&c, (_, v)) in assign.iter().zip(items) {
+            for (&c, &i) in assign.iter().zip(&train) {
                 counts[c] += 1;
-                for (s, x) in sums[c].iter_mut().zip(v) {
+                for (s, x) in sums[c].iter_mut().zip(&items[i].1) {
                     *s += f64::from(*x);
                 }
             }
@@ -125,7 +172,7 @@ impl IvfIndex {
             // A cluster that attracted no members would otherwise keep its
             // stale centroid forever, silently wasting the list: re-seed it
             // on the farthest member of the currently largest cluster.
-            let mut stolen = vec![false; items.len()];
+            let mut stolen = vec![false; train.len()];
             for c in 0..nlist {
                 if counts[c] > 0 {
                     continue;
@@ -136,16 +183,16 @@ impl IvfIndex {
                 else {
                     continue;
                 };
-                let far = (0..items.len())
-                    .filter(|&i| assign[i] == donor && !stolen[i])
+                let far = (0..train.len())
+                    .filter(|&p| assign[p] == donor && !stolen[p])
                     .max_by(|&a, &b| {
-                        sq_l2(&items[a].1, &centroids[donor])
-                            .partial_cmp(&sq_l2(&items[b].1, &centroids[donor]))
+                        sq_l2(&items[train[a]].1, &centroids[donor])
+                            .partial_cmp(&sq_l2(&items[train[b]].1, &centroids[donor]))
                             .unwrap_or(Ordering::Equal)
                     });
-                if let Some(i) = far {
-                    centroids[c] = items[i].1.clone();
-                    stolen[i] = true;
+                if let Some(p) = far {
+                    centroids[c] = items[train[p]].1.clone();
+                    stolen[p] = true;
                     counts[donor] -= 1;
                     counts[c] += 1;
                 }
@@ -187,6 +234,7 @@ impl IvfIndex {
             centroids,
             lists,
             len: items.len(),
+            scratch: Mutex::new(IvfScratch::default()),
         }
     }
 
@@ -212,6 +260,12 @@ impl IvfIndex {
     pub fn list_sizes(&self) -> Vec<usize> {
         self.lists.iter().map(Vec::len).collect()
     }
+
+    /// Internal structure for sibling indexes in this crate (the sq8
+    /// conversion in [`crate::quant`] re-encodes these lists).
+    pub(crate) fn raw(&self) -> (usize, &[Vec<f32>], &[Vec<ListEntry>]) {
+        (self.dim, &self.centroids, &self.lists)
+    }
 }
 
 impl VectorIndex for IvfIndex {
@@ -228,18 +282,22 @@ impl VectorIndex for IvfIndex {
             };
         }
         // Rank centroids by distance, probe the nearest `nprobe` lists.
-        let mut order: Vec<(f32, usize)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (sq_l2(c, query), i))
-            .collect();
+        // Both buffers live in the reused scratch: after warm-up the probe
+        // loop allocates nothing.
+        let mut scratch = self.scratch.lock().expect("ivf scratch lock");
+        let IvfScratch { order, hits } = &mut *scratch;
+        order.clear();
+        order.extend(
+            self.centroids
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (sq_l2(c, query), i)),
+        );
         order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
-        let mut hits: Vec<Hit> = Vec::new();
+        hits.clear();
         let mut work = SearchWork {
-            vectors_scored: 0,
             centroids_scored: self.centroids.len(),
-            lists_probed: 0,
+            ..SearchWork::default()
         };
         for &(_, list) in order.iter().take(self.config.nprobe) {
             work.lists_probed += 1;
@@ -257,7 +315,7 @@ impl VectorIndex for IvfIndex {
                 .unwrap_or(Ordering::Equal)
                 .then_with(|| a.chunk.cmp(&b.chunk))
         });
-        hits.truncate(k);
+        let hits = hits.iter().take(k).copied().collect();
         SearchOutcome { hits, work }
     }
 }

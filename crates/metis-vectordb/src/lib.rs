@@ -8,13 +8,17 @@
 
 pub mod db;
 pub mod flat;
+pub mod hnsw;
 pub mod ivf;
+pub mod quant;
 pub mod store;
 
 pub use db::{DbMetadata, IndexMeta, IndexSpec, RetrievalOutcome, RetrievalResult, VectorDb};
 pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfConfig, IvfIndex};
-pub use store::ChunkStore;
+pub use quant::{Quantization, ScalarQuantizer, SqFlatIndex, SqIvfIndex};
+pub use store::{ChunkStore, StoreStats};
 
 use metis_text::ChunkId;
 
@@ -31,15 +35,23 @@ pub struct Hit {
 /// the measured quantity a retrieval latency model converts into time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchWork {
-    /// Corpus vectors scored against the query: the whole corpus for a flat
-    /// scan, the members of the probed lists for IVF.
+    /// Corpus vectors scored against the query in exact f32: the whole
+    /// corpus for a flat scan, the members of the probed lists for IVF,
+    /// the re-rank candidates under sq8.
     pub vectors_scored: usize,
+    /// Corpus vectors scored in the quantized (sq8) domain via the per-query
+    /// lookup table; cheaper per eval than an exact f32 distance.
+    pub quantized_scored: usize,
     /// Coarse-quantizer centroids scored (IVF ranks every centroid before
     /// probing; 0 for flat).
     pub centroids_scored: usize,
     /// Inverted lists visited (IVF: the effective `nprobe`; flat scans one
     /// contiguous array and reports 0).
     pub lists_probed: usize,
+    /// Graph nodes expanded while navigating an HNSW index (0 for flat and
+    /// IVF): each hop is a pointer chase plus a neighbor-list scan, priced
+    /// separately from the distance evals it triggers.
+    pub graph_hops: usize,
 }
 
 impl SearchWork {
@@ -47,14 +59,24 @@ impl SearchWork {
     pub fn full_scan(n: usize) -> Self {
         Self {
             vectors_scored: n,
-            centroids_scored: 0,
-            lists_probed: 0,
+            ..Self::default()
         }
     }
 
-    /// Total distance computations (corpus vectors + centroids).
+    /// Total distance computations (exact + quantized corpus vectors +
+    /// centroids).
     pub fn distances(&self) -> usize {
-        self.vectors_scored + self.centroids_scored
+        self.vectors_scored + self.quantized_scored + self.centroids_scored
+    }
+
+    /// Component-wise sum — used to aggregate per-query work into run
+    /// totals.
+    pub fn add(&mut self, other: &SearchWork) {
+        self.vectors_scored += other.vectors_scored;
+        self.quantized_scored += other.quantized_scored;
+        self.centroids_scored += other.centroids_scored;
+        self.lists_probed += other.lists_probed;
+        self.graph_hops += other.graph_hops;
     }
 }
 

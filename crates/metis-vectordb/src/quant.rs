@@ -1,0 +1,552 @@
+//! Scalar quantization (sq8): one `u8` per dimension against a trained
+//! per-dim `[min, max]` range, searched through a per-query lookup table.
+//!
+//! A quantized index stores 4× less per vector and scores candidates by
+//! summing 256-entry per-dim LUT values instead of computing exact f32
+//! distances — the precompute-for-query-time trade the related LUT-based
+//! systems make. The approximation is optionally repaired by an exact
+//! re-rank of the top candidates (the `rerank` knob, a multiple of `k`),
+//! for which the original f32 rows are retained. Every quantized eval is
+//! reported separately from exact evals through
+//! [`SearchWork::quantized_scored`](crate::SearchWork), so the retrieval
+//! latency model prices the two domains differently.
+
+use std::cmp::Ordering;
+
+use metis_text::ChunkId;
+
+use crate::{ivf::IvfIndex, Hit, IvfConfig, SearchOutcome, SearchWork, VectorIndex};
+
+/// How vectors are stored and scored inside an index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Quantization {
+    /// Exact f32 storage — every distance eval is exact.
+    #[default]
+    F32,
+    /// Scalar 8-bit quantization: candidates are scored in the quantized
+    /// domain, then the best `rerank * k` are re-scored exactly
+    /// (`rerank = 0` disables the repair pass and returns quantized
+    /// distances as-is).
+    Sq8 {
+        /// Exact re-rank depth as a multiple of the requested `k`.
+        rerank: usize,
+    },
+}
+
+impl Quantization {
+    /// Default sq8 configuration: re-rank the top `4k` candidates exactly.
+    pub fn sq8() -> Self {
+        Self::Sq8 { rerank: 4 }
+    }
+
+    /// Short scheme name (`"f32"` / `"sq8"`), used by CLI flags and report
+    /// knobs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::F32 => "f32",
+            Self::Sq8 { .. } => "sq8",
+        }
+    }
+
+    /// Whether candidate scoring happens in the quantized domain.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, Self::Sq8 { .. })
+    }
+
+    /// The exact re-rank depth multiplier (0 under [`Quantization::F32`]:
+    /// every eval is already exact).
+    pub fn rerank(&self) -> usize {
+        match self {
+            Self::F32 => 0,
+            Self::Sq8 { rerank } => *rerank,
+        }
+    }
+}
+
+/// Per-dimension affine quantizer: `code = round((x - min) / step)` with
+/// `step = (max - min) / 255`, trained on the corpus min/max of each dim.
+#[derive(Clone, Debug)]
+pub struct ScalarQuantizer {
+    min: Vec<f32>,
+    step: Vec<f32>,
+}
+
+impl ScalarQuantizer {
+    /// Trains per-dim ranges over `rows` (one pass; degenerate dims whose
+    /// min equals max get step 0 and decode exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or any row disagrees on dimension.
+    pub fn train<'a>(dim: usize, rows: impl Iterator<Item = &'a [f32]>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let mut min = vec![f32::INFINITY; dim];
+        let mut max = vec![f32::NEG_INFINITY; dim];
+        let mut seen = false;
+        for row in rows {
+            assert_eq!(row.len(), dim, "dimension mismatch");
+            seen = true;
+            for (d, &x) in row.iter().enumerate() {
+                min[d] = min[d].min(x);
+                max[d] = max[d].max(x);
+            }
+        }
+        if !seen {
+            min.iter_mut().for_each(|m| *m = 0.0);
+            max.iter_mut().for_each(|m| *m = 0.0);
+        }
+        let step = min
+            .iter()
+            .zip(&max)
+            .map(|(lo, hi)| (hi - lo) / 255.0)
+            .collect();
+        Self { min, step }
+    }
+
+    /// Dimensionality the quantizer was trained for.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// The quantization step of dimension `d` — the error bound unit.
+    pub fn step(&self, d: usize) -> f32 {
+        self.step[d]
+    }
+
+    /// Encodes one vector into `out` (cleared first).
+    pub fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
+        assert_eq!(v.len(), self.dim(), "dimension mismatch");
+        out.clear();
+        out.extend(v.iter().enumerate().map(|(d, &x)| {
+            if self.step[d] <= 0.0 {
+                0u8
+            } else {
+                (((x - self.min[d]) / self.step[d]).round().clamp(0.0, 255.0)) as u8
+            }
+        }));
+    }
+
+    /// Encodes one vector to a fresh code row.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(v.len());
+        self.encode_into(v, &mut out);
+        out
+    }
+
+    /// Reconstructs the vector a code row represents; the per-dim error of
+    /// `decode(encode(x))` is at most `step(d) / 2` for in-range `x`.
+    pub fn decode(&self, codes: &[u8]) -> Vec<f32> {
+        assert_eq!(codes.len(), self.dim(), "dimension mismatch");
+        codes
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| self.min[d] + self.step[d] * f32::from(c))
+            .collect()
+    }
+
+    /// Builds the per-query asymmetric-distance lookup table:
+    /// `lut[d][c] = (query[d] - decode(c)[d])²`, so a candidate's squared
+    /// distance is `dim` table lookups plus adds.
+    pub fn lut(&self, query: &[f32]) -> QueryLut {
+        assert_eq!(query.len(), self.dim(), "dimension mismatch");
+        let dim = self.dim();
+        let mut table = vec![0.0f32; dim * 256];
+        for d in 0..dim {
+            let row = &mut table[d * 256..(d + 1) * 256];
+            for (c, slot) in row.iter_mut().enumerate() {
+                let delta = query[d] - (self.min[d] + self.step[d] * c as f32);
+                *slot = delta * delta;
+            }
+        }
+        QueryLut { dim, table }
+    }
+}
+
+/// Precomputed asymmetric-distance table for one query (see
+/// [`ScalarQuantizer::lut`]).
+#[derive(Clone, Debug)]
+pub struct QueryLut {
+    dim: usize,
+    table: Vec<f32>,
+}
+
+impl QueryLut {
+    /// Squared distance between the query and a code row.
+    pub fn dist2(&self, codes: &[u8]) -> f32 {
+        debug_assert_eq!(codes.len(), self.dim);
+        codes
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| self.table[d * 256 + usize::from(c)])
+            .sum()
+    }
+}
+
+pub(crate) fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+fn sort_hits(hits: &mut [Hit]) {
+    hits.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.chunk.cmp(&b.chunk))
+    });
+}
+
+/// Keeps the `keep` smallest `(dist2, slot)` candidates in ascending order.
+fn take_top(cands: &mut Vec<(f32, usize)>, keep: usize) {
+    cands.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    cands.truncate(keep);
+}
+
+/// Exact-storage flat scan's quantized sibling: scores the whole corpus
+/// through the LUT, then re-ranks the top `rerank * k` exactly.
+#[derive(Clone, Debug)]
+pub struct SqFlatIndex {
+    dim: usize,
+    sq: ScalarQuantizer,
+    codes: Vec<u8>,
+    rows: Vec<f32>,
+    ids: Vec<ChunkId>,
+    rerank: usize,
+}
+
+impl SqFlatIndex {
+    /// Builds the index, training the quantizer on `items`. Original rows
+    /// are retained only when `rerank > 0`.
+    pub fn build(dim: usize, rerank: usize, items: &[(ChunkId, Vec<f32>)]) -> Self {
+        let sq = ScalarQuantizer::train(dim, items.iter().map(|(_, v)| v.as_slice()));
+        let mut codes = Vec::with_capacity(items.len() * dim);
+        let mut rows = Vec::new();
+        let mut ids = Vec::with_capacity(items.len());
+        let mut scratch = Vec::with_capacity(dim);
+        for (id, v) in items {
+            sq.encode_into(v, &mut scratch);
+            codes.extend_from_slice(&scratch);
+            if rerank > 0 {
+                rows.extend_from_slice(v);
+            }
+            ids.push(*id);
+        }
+        Self {
+            dim,
+            sq,
+            codes,
+            rows,
+            ids,
+            rerank,
+        }
+    }
+
+    /// The trained quantizer (for error-bound tests).
+    pub fn quantizer(&self) -> &ScalarQuantizer {
+        &self.sq
+    }
+
+    fn code_row(&self, i: usize) -> &[u8] {
+        &self.codes[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn exact_row(&self, i: usize) -> &[f32] {
+        &self.rows[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+impl VectorIndex for SqFlatIndex {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn search_counted(&self, query: &[f32], k: usize) -> SearchOutcome {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.ids.is_empty() {
+            return SearchOutcome {
+                hits: Vec::new(),
+                work: SearchWork::default(),
+            };
+        }
+        let lut = self.sq.lut(query);
+        let mut work = SearchWork {
+            quantized_scored: self.ids.len(),
+            ..SearchWork::default()
+        };
+        let mut cands: Vec<(f32, usize)> = (0..self.ids.len())
+            .map(|i| (lut.dist2(self.code_row(i)), i))
+            .collect();
+        let keep = if self.rerank > 0 {
+            self.rerank.saturating_mul(k).max(k)
+        } else {
+            k
+        };
+        take_top(&mut cands, keep);
+        let mut hits: Vec<Hit> = cands
+            .into_iter()
+            .map(|(d2, i)| {
+                let d2 = if self.rerank > 0 {
+                    work.vectors_scored += 1;
+                    sq_l2(self.exact_row(i), query)
+                } else {
+                    d2
+                };
+                Hit {
+                    chunk: self.ids[i],
+                    distance: d2.sqrt(),
+                }
+            })
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        SearchOutcome { hits, work }
+    }
+}
+
+/// One quantized inverted-list member: (id, code row, exact row — the
+/// exact row is empty when `rerank == 0`).
+type SqListEntry = (ChunkId, Vec<u8>, Vec<f32>);
+
+/// IVF with quantized inverted lists: centroids are ranked exactly, probed
+/// list members are scored through the LUT, and the best `rerank * k`
+/// candidates are re-scored exactly.
+///
+/// Built by converting a trained [`IvfIndex`] — k-means runs at full
+/// precision, then list members are encoded.
+#[derive(Clone, Debug)]
+pub struct SqIvfIndex {
+    dim: usize,
+    config: IvfConfig,
+    sq: ScalarQuantizer,
+    centroids: Vec<Vec<f32>>,
+    /// Per list: [`SqListEntry`] members.
+    lists: Vec<Vec<SqListEntry>>,
+    rerank: usize,
+    len: usize,
+}
+
+impl SqIvfIndex {
+    /// Quantizes a trained IVF index's lists.
+    pub fn from_ivf(ivf: &IvfIndex, rerank: usize) -> Self {
+        let (dim, centroids, lists) = ivf.raw();
+        let sq = ScalarQuantizer::train(
+            dim,
+            lists
+                .iter()
+                .flat_map(|l| l.iter().map(|(_, v)| v.as_slice())),
+        );
+        let q_lists: Vec<Vec<SqListEntry>> = lists
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .map(|(id, v)| {
+                        let exact = if rerank > 0 { v.clone() } else { Vec::new() };
+                        (*id, sq.encode(v), exact)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            dim,
+            config: ivf.config(),
+            sq,
+            centroids: centroids.to_vec(),
+            lists: q_lists,
+            rerank,
+            len: ivf.len(),
+        }
+    }
+
+    /// The effective IVF configuration.
+    pub fn config(&self) -> IvfConfig {
+        self.config
+    }
+
+    /// The trained quantizer (for error-bound tests).
+    pub fn quantizer(&self) -> &ScalarQuantizer {
+        &self.sq
+    }
+}
+
+impl VectorIndex for SqIvfIndex {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn search_counted(&self, query: &[f32], k: usize) -> SearchOutcome {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.len == 0 {
+            return SearchOutcome {
+                hits: Vec::new(),
+                work: SearchWork::default(),
+            };
+        }
+        let mut order: Vec<(f32, usize)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (sq_l2(c, query), i))
+            .collect();
+        order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        let lut = self.sq.lut(query);
+        let mut work = SearchWork {
+            centroids_scored: self.centroids.len(),
+            ..SearchWork::default()
+        };
+        // (dist2, list, slot) candidates from the probed lists.
+        let mut cands: Vec<(f32, usize, usize)> = Vec::new();
+        for &(_, list) in order.iter().take(self.config.nprobe) {
+            work.lists_probed += 1;
+            work.quantized_scored += self.lists[list].len();
+            for (slot, (_, codes, _)) in self.lists[list].iter().enumerate() {
+                cands.push((lut.dist2(codes), list, slot));
+            }
+        }
+        cands.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+        });
+        let keep = if self.rerank > 0 {
+            self.rerank.saturating_mul(k).max(k)
+        } else {
+            k
+        };
+        cands.truncate(keep);
+        let mut hits: Vec<Hit> = cands
+            .into_iter()
+            .map(|(d2, list, slot)| {
+                let (id, _, exact) = &self.lists[list][slot];
+                let d2 = if self.rerank > 0 {
+                    work.vectors_scored += 1;
+                    sq_l2(exact, query)
+                } else {
+                    d2
+                };
+                Hit {
+                    chunk: *id,
+                    distance: d2.sqrt(),
+                }
+            })
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        SearchOutcome { hits, work }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+
+    fn grid_items(n: u32, dim: usize) -> Vec<(ChunkId, Vec<f32>)> {
+        (0..n)
+            .map(|i| {
+                let v = (0..dim)
+                    .map(|d| ((i as usize * 7 + d * 13) % 29) as f32 * 0.5 - 7.0)
+                    .collect();
+                (ChunkId(i), v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_error_is_within_half_a_step() {
+        let items = grid_items(64, 6);
+        let sq = ScalarQuantizer::train(6, items.iter().map(|(_, v)| v.as_slice()));
+        for (_, v) in &items {
+            let back = sq.decode(&sq.encode(v));
+            for (d, (&x, y)) in v.iter().zip(&back).enumerate() {
+                assert!(
+                    (x - y).abs() <= sq.step(d) / 2.0 + 1e-6,
+                    "dim {d}: |{x} - {y}| > step/2 = {}",
+                    sq.step(d) / 2.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_decode_exactly() {
+        let items = [(ChunkId(0), vec![3.0, 1.0]), (ChunkId(1), vec![3.0, 2.0])];
+        let sq = ScalarQuantizer::train(2, items.iter().map(|(_, v)| v.as_slice()));
+        assert_eq!(sq.step(0), 0.0);
+        assert_eq!(sq.decode(&sq.encode(&[3.0, 1.5]))[0], 3.0);
+    }
+
+    #[test]
+    fn lut_distance_matches_decoded_distance() {
+        let items = grid_items(32, 4);
+        let sq = ScalarQuantizer::train(4, items.iter().map(|(_, v)| v.as_slice()));
+        let q = [0.25, -1.5, 3.0, 0.0];
+        let lut = sq.lut(&q);
+        for (_, v) in &items {
+            let codes = sq.encode(v);
+            let via_lut = lut.dist2(&codes);
+            let via_decode = sq_l2(&sq.decode(&codes), &q);
+            assert!(
+                (via_lut - via_decode).abs() < 1e-3,
+                "{via_lut} vs {via_decode}"
+            );
+        }
+    }
+
+    #[test]
+    fn sq_flat_with_rerank_matches_exact_flat_ranking() {
+        let items = grid_items(128, 8);
+        let mut flat = FlatIndex::new(8);
+        for (id, v) in &items {
+            flat.add(*id, v);
+        }
+        let idx = SqFlatIndex::build(8, 4, &items);
+        let q: Vec<f32> = vec![0.1, -0.2, 0.3, 0.0, 1.0, -1.0, 0.5, 0.25];
+        let exact: Vec<_> = flat.search(&q, 5).iter().map(|h| h.chunk).collect();
+        let approx: Vec<_> = idx.search(&q, 5).iter().map(|h| h.chunk).collect();
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn sq_flat_work_reports_quantized_and_rerank_evals() {
+        let items = grid_items(100, 4);
+        let idx = SqFlatIndex::build(4, 3, &items);
+        let out = idx.search_counted(&[0.0; 4], 4);
+        assert_eq!(out.work.quantized_scored, 100);
+        assert_eq!(out.work.vectors_scored, 12, "rerank * k exact evals");
+        assert_eq!(out.work.graph_hops, 0);
+        assert_eq!(out.hits.len(), 4);
+        // Without re-rank no exact eval happens at all.
+        let cheap = SqFlatIndex::build(4, 0, &items);
+        let out = cheap.search_counted(&[0.0; 4], 4);
+        assert_eq!(out.work.vectors_scored, 0);
+        assert_eq!(out.work.quantized_scored, 100);
+    }
+
+    #[test]
+    fn sq_ivf_probes_and_reranks() {
+        let items = grid_items(120, 4);
+        let ivf = IvfIndex::build(
+            4,
+            IvfConfig {
+                nlist: 6,
+                nprobe: 3,
+                train_iters: 6,
+            },
+            &items,
+        );
+        let idx = SqIvfIndex::from_ivf(&ivf, 2);
+        let out = idx.search_counted(&[0.0; 4], 5);
+        assert_eq!(out.hits.len(), 5);
+        assert_eq!(out.work.centroids_scored, 6);
+        assert_eq!(out.work.lists_probed, 3);
+        assert!(out.work.quantized_scored > 0);
+        assert_eq!(out.work.vectors_scored, 10, "rerank * k exact evals");
+        // The top hit agrees with the plain IVF top hit on this corpus.
+        let exact_top = ivf.search(&[0.0; 4], 1)[0].chunk;
+        assert_eq!(out.hits[0].chunk, exact_top);
+    }
+}

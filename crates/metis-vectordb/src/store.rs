@@ -1,24 +1,140 @@
-//! Compact chunk storage.
+//! Memory-tiered chunk storage.
 //!
-//! Chunks are stored as little-endian `u32` token ids in [`bytes::Bytes`]
-//! buffers (cheaply cloneable, shared, immutable), with fact spans kept in a
-//! side table. This mirrors a real vector DB payload store where chunk text
-//! is an opaque blob and ground-truth annotations live out of band.
+//! The **cold tier** is the source of truth: chunks serialized as
+//! little-endian `u32` token ids in [`bytes::Bytes`] buffers (cheaply
+//! cloneable, shared, immutable), with fact spans kept in a side table.
+//! This mirrors a real vector DB payload store where chunk text is an
+//! opaque blob and ground-truth annotations live out of band.
+//!
+//! On top of it sits a bounded **hot tier**: an LRU cache of decoded
+//! [`AnnotatedText`] values. A [`ChunkStore::get`] that misses decodes from
+//! the cold blob and promotes the result; a hit returns the decoded clone
+//! without touching the blob. Per-operation counters ([`StoreStats`])
+//! record accesses, hit/promotion/eviction traffic, and the bytes touched
+//! in each tier, so retrieval benchmarks can report tier locality the same
+//! way [`crate::SearchWork`] reports distance evals.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use bytes::{Bytes, BytesMut};
 use metis_text::{AnnotatedText, ChunkId, FactSpan, TokenChunk, TokenId};
 
-/// Immutable storage for the chunks of one database.
-#[derive(Clone, Debug, Default)]
+/// Default hot-tier capacity, in chunks.
+pub const DEFAULT_HOT_CAPACITY: usize = 512;
+
+/// Immutable tiered storage for the chunks of one database.
+#[derive(Debug)]
 pub struct ChunkStore {
     blobs: Vec<Bytes>,
     spans: Vec<Vec<FactSpan>>,
+    hot_capacity: usize,
+    hot: Mutex<HotTier>,
+    accesses: AtomicU64,
+    hot_hits: AtomicU64,
+    promotions: AtomicU64,
+    evictions: AtomicU64,
+    bytes_hot_touched: AtomicU64,
+    bytes_cold_touched: AtomicU64,
+}
+
+/// LRU state: decoded chunks keyed by index, recency order kept in a
+/// stamp → index map (the smallest stamp is the eviction victim).
+#[derive(Debug, Default)]
+struct HotTier {
+    decoded: HashMap<u32, (AnnotatedText, u64)>,
+    recency: BTreeMap<u64, u32>,
+    clock: u64,
+}
+
+/// A point-in-time snapshot of the store's tier counters. Obtained from
+/// [`ChunkStore::stats`]; counters only ever grow, so a before/after
+/// difference gives per-run traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total `get` calls served.
+    pub accesses: u64,
+    /// `get` calls answered from the decoded hot tier.
+    pub hot_hits: u64,
+    /// Cold-tier decodes promoted into the hot tier.
+    pub promotions: u64,
+    /// Hot-tier entries evicted to make room.
+    pub evictions: u64,
+    /// Serialized bytes of chunks served from the hot tier.
+    pub bytes_hot_touched: u64,
+    /// Serialized bytes decoded from the cold tier.
+    pub bytes_cold_touched: u64,
+    /// Chunks currently decoded in the hot tier.
+    pub hot_chunks: usize,
+    /// Chunks resident only as cold serialized blobs.
+    pub cold_chunks: usize,
+}
+
+impl StoreStats {
+    /// Component-wise difference against an earlier snapshot (tier
+    /// occupancy is taken from `self`, the later snapshot).
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            accesses: self.accesses - earlier.accesses,
+            hot_hits: self.hot_hits - earlier.hot_hits,
+            promotions: self.promotions - earlier.promotions,
+            evictions: self.evictions - earlier.evictions,
+            bytes_hot_touched: self.bytes_hot_touched - earlier.bytes_hot_touched,
+            bytes_cold_touched: self.bytes_cold_touched - earlier.bytes_cold_touched,
+            hot_chunks: self.hot_chunks,
+            cold_chunks: self.cold_chunks,
+        }
+    }
+}
+
+impl Default for ChunkStore {
+    fn default() -> Self {
+        Self::with_hot_capacity(DEFAULT_HOT_CAPACITY)
+    }
+}
+
+impl Clone for ChunkStore {
+    /// Clones the cold tier (cheap: `Bytes` are refcounted). The clone
+    /// starts with an empty hot tier and zeroed counters — the cache is
+    /// per-instance working state, not data.
+    fn clone(&self) -> Self {
+        Self {
+            blobs: self.blobs.clone(),
+            spans: self.spans.clone(),
+            hot_capacity: self.hot_capacity,
+            hot: Mutex::new(HotTier::default()),
+            accesses: AtomicU64::new(0),
+            hot_hits: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes_hot_touched: AtomicU64::new(0),
+            bytes_cold_touched: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ChunkStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default hot-tier capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty store whose hot tier holds at most `capacity`
+    /// decoded chunks (`0` disables the hot tier entirely).
+    pub fn with_hot_capacity(capacity: usize) -> Self {
+        Self {
+            blobs: Vec::new(),
+            spans: Vec::new(),
+            hot_capacity: capacity,
+            hot: Mutex::new(HotTier::default()),
+            accesses: AtomicU64::new(0),
+            hot_hits: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes_hot_touched: AtomicU64::new(0),
+            bytes_cold_touched: AtomicU64::new(0),
+        }
     }
 
     /// Builds a store from chunker output.
@@ -38,7 +154,7 @@ impl ChunkStore {
         store
     }
 
-    /// Appends a chunk, returning its id.
+    /// Appends a chunk to the cold tier, returning its id.
     pub fn push(&mut self, text: &AnnotatedText) -> ChunkId {
         let mut buf = BytesMut::with_capacity(text.len() * 4);
         for t in text.tokens() {
@@ -60,27 +176,92 @@ impl ChunkStore {
         self.blobs.is_empty()
     }
 
-    /// Token count of chunk `id` without decoding.
+    /// Hot-tier capacity, in chunks.
+    pub fn hot_capacity(&self) -> usize {
+        self.hot_capacity
+    }
+
+    /// Token count of chunk `id` without decoding (and without touching
+    /// the tier counters — this is a metadata read).
     pub fn token_len(&self, id: ChunkId) -> Option<usize> {
         self.blobs.get(id.index()).map(|b| b.len() / 4)
     }
 
-    /// Decodes chunk `id` back into an [`AnnotatedText`].
+    /// Returns chunk `id`, serving from the hot tier when it is resident
+    /// and decoding + promoting from the cold tier otherwise.
     pub fn get(&self, id: ChunkId) -> Option<AnnotatedText> {
         let blob = self.blobs.get(id.index())?;
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        let key = id.0;
+        let blob_len = blob.len() as u64;
+        if self.hot_capacity > 0 {
+            let mut hot = self.hot.lock().expect("hot tier lock");
+            if let Some((text, stamp)) = hot.decoded.get(&key) {
+                let text = text.clone();
+                let old = *stamp;
+                hot.recency.remove(&old);
+                hot.clock += 1;
+                let now = hot.clock;
+                hot.recency.insert(now, key);
+                hot.decoded.get_mut(&key).expect("present").1 = now;
+                self.hot_hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_hot_touched
+                    .fetch_add(blob_len, Ordering::Relaxed);
+                return Some(text);
+            }
+        }
+        // Cold path: decode the blob, then promote.
+        self.bytes_cold_touched
+            .fetch_add(blob_len, Ordering::Relaxed);
         let tokens: Vec<TokenId> = blob
             .chunks_exact(4)
             .map(|b| TokenId(u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
             .collect();
-        Some(AnnotatedText::from_parts(
-            tokens,
-            self.spans[id.index()].clone(),
-        ))
+        let text = AnnotatedText::from_parts(tokens, self.spans[id.index()].clone());
+        if self.hot_capacity > 0 {
+            let mut hot = self.hot.lock().expect("hot tier lock");
+            // A racing promoter may have beaten us; re-inserting just
+            // refreshes the entry either way.
+            if hot.decoded.len() >= self.hot_capacity && !hot.decoded.contains_key(&key) {
+                if let Some((_, victim)) = hot.recency.pop_first() {
+                    hot.decoded.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            hot.clock += 1;
+            let now = hot.clock;
+            if let Some((_, old)) = hot.decoded.insert(key, (text.clone(), now)) {
+                hot.recency.remove(&old);
+            }
+            hot.recency.insert(now, key);
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(text)
     }
 
     /// Total stored tokens across all chunks.
     pub fn total_tokens(&self) -> usize {
         self.blobs.iter().map(|b| b.len() / 4).sum()
+    }
+
+    /// Serialized size of the cold tier in bytes.
+    pub fn cold_bytes(&self) -> u64 {
+        self.blobs.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Snapshots the tier counters and occupancy.
+    pub fn stats(&self) -> StoreStats {
+        let hot_chunks = self.hot.lock().expect("hot tier lock").decoded.len();
+        StoreStats {
+            accesses: self.accesses.load(Ordering::Relaxed),
+            hot_hits: self.hot_hits.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_hot_touched: self.bytes_hot_touched.load(Ordering::Relaxed),
+            bytes_cold_touched: self.bytes_cold_touched.load(Ordering::Relaxed),
+            hot_chunks,
+            cold_chunks: self.len() - hot_chunks,
+        }
     }
 }
 
@@ -93,6 +274,12 @@ mod tests {
         let mut t = AnnotatedText::new();
         t.push_tokens(&[TokenId(1), TokenId(2)]);
         t.push_fact(FactId(77), &[TokenId(3)]);
+        t
+    }
+
+    fn numbered_text(i: u32) -> AnnotatedText {
+        let mut t = AnnotatedText::new();
+        t.push_tokens(&[TokenId(i), TokenId(i + 1), TokenId(i + 2)]);
         t
     }
 
@@ -112,12 +299,14 @@ mod tests {
         let id = s.push(&sample_text());
         assert_eq!(s.token_len(id), Some(3));
         assert_eq!(s.total_tokens(), 3);
+        assert_eq!(s.stats().accesses, 0, "metadata reads are not accesses");
     }
 
     #[test]
     fn get_out_of_range_is_none() {
         let s = ChunkStore::new();
         assert!(s.get(ChunkId(0)).is_none());
+        assert_eq!(s.stats().accesses, 0);
     }
 
     #[test]
@@ -131,5 +320,81 @@ mod tests {
         for c in &chunks {
             assert_eq!(store.get(c.id).unwrap().tokens(), c.text.tokens());
         }
+    }
+
+    #[test]
+    fn repeated_get_hits_the_hot_tier() {
+        let mut s = ChunkStore::new();
+        let id = s.push(&sample_text());
+        let first = s.get(id).unwrap();
+        let second = s.get(id).unwrap();
+        assert_eq!(first.tokens(), second.tokens());
+        let st = s.stats();
+        assert_eq!(st.accesses, 2);
+        assert_eq!(st.hot_hits, 1);
+        assert_eq!(st.promotions, 1);
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.hot_chunks, 1);
+        assert!(st.bytes_hot_touched > 0);
+        assert_eq!(st.bytes_hot_touched, st.bytes_cold_touched);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_chunk() {
+        let mut s = ChunkStore::with_hot_capacity(2);
+        let ids: Vec<ChunkId> = (0..3).map(|i| s.push(&numbered_text(i * 10))).collect();
+        s.get(ids[0]);
+        s.get(ids[1]);
+        // Touch 0 so 1 becomes the LRU victim when 2 is promoted.
+        s.get(ids[0]);
+        s.get(ids[2]);
+        let st = s.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.hot_chunks, 2);
+        // 0 stayed hot (hit); 1 was evicted (cold decode again).
+        let before = s.stats().hot_hits;
+        s.get(ids[0]);
+        assert_eq!(s.stats().hot_hits, before + 1);
+        let before_cold = s.stats().bytes_cold_touched;
+        s.get(ids[1]);
+        assert!(s.stats().bytes_cold_touched > before_cold, "1 was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_hot_tier() {
+        let mut s = ChunkStore::with_hot_capacity(0);
+        let id = s.push(&sample_text());
+        s.get(id);
+        s.get(id);
+        let st = s.stats();
+        assert_eq!(st.hot_hits, 0);
+        assert_eq!(st.promotions, 0);
+        assert_eq!(st.hot_chunks, 0);
+        assert_eq!(st.accesses, 2);
+    }
+
+    #[test]
+    fn clone_resets_cache_state_but_keeps_data() {
+        let mut s = ChunkStore::new();
+        let id = s.push(&sample_text());
+        s.get(id);
+        let c = s.clone();
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.stats().hot_chunks, 0);
+        assert_eq!(c.get(id).unwrap().tokens(), sample_text().tokens());
+    }
+
+    #[test]
+    fn stats_delta_isolates_a_window() {
+        let mut s = ChunkStore::new();
+        let id = s.push(&sample_text());
+        s.get(id);
+        let before = s.stats();
+        s.get(id);
+        s.get(id);
+        let delta = s.stats().since(&before);
+        assert_eq!(delta.accesses, 2);
+        assert_eq!(delta.hot_hits, 2);
+        assert_eq!(delta.promotions, 0);
     }
 }

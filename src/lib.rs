@@ -11,7 +11,8 @@
 //!
 //! * [`text`] — tokenizer, chunker, fact-annotated synthetic text.
 //! * [`embed`] — deterministic embedding models.
-//! * [`vectordb`] — flat-L2 / IVF vector indexes and the chunk store.
+//! * [`vectordb`] — flat-L2 / IVF / HNSW vector indexes, sq8 scalar
+//!   quantization, and the memory-tiered chunk store.
 //! * [`llm`] — model specs, the A40 latency model, and the fact-extraction
 //!   generation (quality) model.
 //! * [`engine`] — vLLM-like continuous-batching discrete-event engine, plus
@@ -60,8 +61,9 @@ pub mod prelude {
         RunResult, Runner, SloTier, SynthesisMethod, SystemKind,
     };
     pub use metis_datasets::{
-        build_dataset, build_dataset_with_index, burst_arrivals, diurnal_arrivals, gamma_arrivals,
-        poisson_arrivals, ArrivalProcess, Complexity, Dataset, DatasetKind, QuerySpec, TrueProfile,
+        build_dataset, build_dataset_with_index, build_dataset_with_spec, burst_arrivals,
+        diurnal_arrivals, gamma_arrivals, poisson_arrivals, AnnConfig, AnnCorpus, ArrivalProcess,
+        Complexity, Dataset, DatasetKind, QuerySpec, TrueProfile,
     };
     pub use metis_engine::{
         Cluster, Engine, EngineConfig, Priority, ReplicaId, RouterPolicy, SchedPolicy,
@@ -71,5 +73,5 @@ pub mod prelude {
     };
     pub use metis_metrics::{f1_score, CostModel, LatencySummary};
     pub use metis_profiler::{EstimatedProfile, LlmProfiler, ProfilerKind};
-    pub use metis_vectordb::{IndexMeta, IndexSpec};
+    pub use metis_vectordb::{HnswConfig, IndexMeta, IndexSpec, Quantization, SearchWork};
 }

@@ -7,13 +7,17 @@ use metis::core::{
     choose_config, BestFitInputs, PlanDemand, PrunedSpace, RagConfig, SynthesisMethod,
 };
 use metis::datasets::Complexity;
+use metis::datasets::{AnnConfig, AnnCorpus};
 use metis::engine::{
     Engine, EngineConfig, GroupId, KvAllocator, LlmRequest, Priority, RequestId, Stage,
 };
 use metis::llm::{GenerationModel, GpuCluster, LatencyModel, ModelSpec};
 use metis::metrics::f1_score;
 use metis::text::{AnnotatedText, Chunker, ChunkerConfig, TokenId};
-use metis::vectordb::{FlatIndex, IvfConfig, IvfIndex, VectorIndex};
+use metis::vectordb::{
+    ChunkStore, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Quantization,
+    ScalarQuantizer, VectorIndex,
+};
 
 fn tokens(ids: &[u32]) -> Vec<TokenId> {
     ids.iter().map(|&i| TokenId(i)).collect()
@@ -294,6 +298,132 @@ proptest! {
         };
         let out = gen.summarize(seed, &truth, &chunk, budget);
         prop_assert!(out.text.len() <= budget, "summary {} > budget {budget}", out.text.len());
+    }
+
+    /// HNSW recall@k on the planted ANN corpus is monotone non-decreasing
+    /// in `ef_search` — layer-0 expansion order is `ef`-independent, so
+    /// the candidate pools at growing budgets nest, and since the gold set
+    /// is the exact global top-k no newcomer can displace a gold hit — and
+    /// at equal (or IVF-favoring) reported distance work, HNSW recall is
+    /// at least IVF's.
+    #[test]
+    fn hnsw_recall_monotone_in_ef_and_at_least_ivf_at_equal_work(
+        n in 240usize..600, seed in 0u64..10_000,
+    ) {
+        let corpus = AnnCorpus::generate(AnnConfig {
+            num_queries: 4,
+            ..AnnConfig::at_scale(n, seed)
+        });
+        let k = corpus.config.k;
+        let hnsw = HnswIndex::build(
+            corpus.config.dim,
+            HnswConfig::default(),
+            Quantization::F32,
+            &corpus.items,
+        );
+        let mut hnsw_work = 0usize;
+        let mut hnsw_recall = 0.0f64;
+        for q in &corpus.queries {
+            let mut prev = 0.0f64;
+            for ef in [4usize, 16, 64] {
+                let out = hnsw.search_with_ef(&q.vector, k, ef);
+                let ids: Vec<_> = out.hits.iter().map(|h| h.chunk).collect();
+                let recall = AnnCorpus::recall(&q.gold, &ids);
+                prop_assert!(
+                    recall >= prev - 1e-12,
+                    "recall fell {prev:.3} → {recall:.3} raising ef to {ef}"
+                );
+                prev = recall;
+                if ef == 64 {
+                    hnsw_work += out.work.distances();
+                    hnsw_recall += recall;
+                }
+            }
+        }
+        // Walk IVF's work curve up to the first probe depth whose reported
+        // distance work matches or exceeds HNSW's: same total budget (or
+        // more, favoring IVF), HNSW must not recall less.
+        let nlist = 16usize;
+        let mut ivf_recall = 0.0f64;
+        for nprobe in 1..=nlist {
+            let ivf = IvfIndex::build(
+                corpus.config.dim,
+                IvfConfig { nlist, nprobe, train_iters: 4 },
+                &corpus.items,
+            );
+            let mut work = 0usize;
+            ivf_recall = 0.0;
+            for q in &corpus.queries {
+                let out = ivf.search_counted(&q.vector, k);
+                let ids: Vec<_> = out.hits.iter().map(|h| h.chunk).collect();
+                ivf_recall += AnnCorpus::recall(&q.gold, &ids);
+                work += out.work.distances();
+            }
+            if work >= hnsw_work {
+                break;
+            }
+        }
+        prop_assert!(
+            hnsw_recall >= ivf_recall - 1e-9,
+            "HNSW recall {hnsw_recall:.3} below IVF {ivf_recall:.3} at equal work"
+        );
+    }
+
+    /// sq8 round-trip: `decode(encode(x))` is within half a quantization
+    /// step of `x` on every dimension, for any corpus the quantizer was
+    /// trained on (degenerate constant dims reconstruct exactly).
+    #[test]
+    fn sq8_roundtrip_error_bounded_by_step(
+        rows in prop::collection::vec(prop::collection::vec(-8.0f32..8.0, 6), 2..40),
+    ) {
+        let quantizer = ScalarQuantizer::train(6, rows.iter().map(|r| r.as_slice()));
+        for row in &rows {
+            let decoded = quantizer.decode(&quantizer.encode(row));
+            for (d, (x, y)) in row.iter().zip(&decoded).enumerate() {
+                let bound = quantizer.step(d) * 0.5 + 1e-5;
+                prop_assert!(
+                    (x - y).abs() <= bound,
+                    "dim {d}: |{x} - {y}| exceeds step/2 = {bound}"
+                );
+            }
+        }
+    }
+
+    /// Tiered chunk store conservation: every chunk stays retrievable with
+    /// its exact tokens, hot + cold occupancy always sums to the corpus
+    /// size, the hot tier never exceeds its capacity, and the access
+    /// counters account for every `get` (each is a hot hit or a promotion;
+    /// promotions minus evictions is the current hot occupancy).
+    #[test]
+    fn tiered_store_conserves_chunks_and_counters(
+        cap in 1usize..12, nchunks in 1usize..40,
+        ops in prop::collection::vec(0usize..40, 1..120),
+    ) {
+        let mut store = ChunkStore::with_hot_capacity(cap);
+        let mut texts = Vec::new();
+        for i in 0..nchunks {
+            let mut t = AnnotatedText::new();
+            t.push_tokens(&(0..=(i % 7) as u32).map(TokenId).collect::<Vec<_>>());
+            if i % 3 == 0 {
+                t.push_fact(metis::text::FactId(i as u64), &[TokenId(100), TokenId(101)]);
+            }
+            store.push(&t);
+            texts.push(t);
+        }
+        let mut gets = 0u64;
+        for op in ops {
+            let pick = op % nchunks;
+            let got = store.get(metis::text::ChunkId(pick as u32));
+            prop_assert!(got.is_some(), "chunk {pick} not retrievable");
+            prop_assert_eq!(got.unwrap().tokens(), texts[pick].tokens());
+            gets += 1;
+            let s = store.stats();
+            prop_assert_eq!(s.accesses, gets);
+            prop_assert_eq!(s.hot_chunks + s.cold_chunks, nchunks);
+            prop_assert!(s.hot_chunks <= cap);
+            prop_assert_eq!(s.hot_hits + s.promotions, gets);
+            prop_assert_eq!(s.promotions - s.evictions, s.hot_chunks as u64);
+        }
     }
 
     /// Algorithm 1 always produces a well-formed pruned space from any
