@@ -93,7 +93,7 @@ fn run_dataset(kind: DatasetKind, report: &mut BenchReport) {
         let (d, f) = evals
             .iter()
             .filter(|e| e.1 >= best_f1 - 0.02)
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
             .copied()
             .expect("non-empty grid");
         pq_delay += d;
@@ -122,7 +122,7 @@ fn run_dataset(kind: DatasetKind, report: &mut BenchReport) {
     );
     println!("  Pareto frontier of fixed configurations:");
     let mut front_sorted: Vec<usize> = front.clone();
-    front_sorted.sort_by(|&a, &b| fixed[a].0.partial_cmp(&fixed[b].0).expect("finite"));
+    front_sorted.sort_by(|&a, &b| fixed[a].0.total_cmp(&fixed[b].0));
     for &i in &front_sorted {
         println!(
             "    {:<24} delay {:>5.2}s  F1 {:.3}",

@@ -81,6 +81,8 @@ fn main() {
         )
     };
     let sim = run(DriverSpec::Sim);
+    #[allow(clippy::disallowed_methods)]
+    // metis-lint: allow(wall-clock) reason="parity bench measures how much wall time the realtime driver spends vs virtual time"
     let wall_start = std::time::Instant::now();
     let rt = run(DriverSpec::Realtime { time_scale: scale });
     let wall = wall_start.elapsed().as_secs_f64();

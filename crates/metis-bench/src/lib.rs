@@ -242,11 +242,8 @@ pub fn best_quality_fixed(sweep: &[(RagConfig, RunResult)]) -> &(RagConfig, RunR
         .max_by(|a, b| {
             let fa = a.1.mean_f1();
             let fb = b.1.mean_f1();
-            fa.partial_cmp(&fb).expect("finite F1").then(
-                b.1.mean_delay_secs()
-                    .partial_cmp(&a.1.mean_delay_secs())
-                    .expect("finite delay"),
-            )
+            fa.total_cmp(&fb)
+                .then(b.1.mean_delay_secs().total_cmp(&a.1.mean_delay_secs()))
         })
         .expect("non-empty sweep")
 }
@@ -262,7 +259,7 @@ pub fn closest_delay_fixed(
         .min_by(|a, b| {
             let da = (a.1.mean_delay_secs() - target_delay).abs();
             let db = (b.1.mean_delay_secs() - target_delay).abs();
-            da.partial_cmp(&db).expect("finite delay")
+            da.total_cmp(&db)
         })
         .expect("non-empty sweep")
 }

@@ -175,12 +175,20 @@ mod tests {
 
     #[test]
     fn results_come_back_in_insertion_order() {
+        // A channel rendezvous (not a timed sleep) forces the first-inserted
+        // cell to finish strictly after the second: "slow" blocks until
+        // "fast" has produced its value, so insertion order is provably not
+        // completion order.
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
         let sweep = Sweep::new("t")
-            .cell("slow", |_| {
-                std::thread::sleep(std::time::Duration::from_millis(30));
+            .cell("slow", move |_| {
+                rx.recv().expect("fast cell signals before finishing");
                 1u32
             })
-            .cell("fast", |_| 2u32);
+            .cell("fast", move |_| {
+                tx.send(()).expect("slow cell is waiting");
+                2u32
+            });
         let out = sweep.run();
         assert_eq!(out.len(), 2);
         assert_eq!((out[0].id.as_str(), out[0].value), ("slow", 1));

@@ -258,6 +258,8 @@ fn cmd_serve(a: &RunArgs) {
             metis_core::DriverSpec::Sim => String::new(),
         }
     );
+    #[allow(clippy::disallowed_methods)]
+    // metis-lint: allow(wall-clock) reason="serve intentionally reports real wall time next to virtual makespan"
     let wall_start = std::time::Instant::now();
     let r = run_once(a, system_of(a.system, a.slo, a.priority_from_slo));
     let wall = wall_start.elapsed().as_secs_f64();

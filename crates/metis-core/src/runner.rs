@@ -28,7 +28,7 @@
 //! exactly where arrival pacing physically happens.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use metis_datasets::Dataset;
 use metis_engine::{
@@ -539,7 +539,7 @@ struct ActiveQuery {
 #[derive(Default)]
 struct Flight {
     active: Vec<ActiveQuery>,
-    req_to_active: HashMap<RequestId, usize>,
+    req_to_active: BTreeMap<RequestId, usize>,
     next_req: u64,
     next_group: u64,
     results: Vec<QueryResult>,
@@ -633,10 +633,10 @@ impl<'a> Runner<'a> {
 
         // Event queue: (time, seq) → event.
         let mut heap: BinaryHeap<Reverse<(Nanos, u64)>> = BinaryHeap::new();
-        let mut events: HashMap<u64, EventKind> = HashMap::new();
+        let mut events: BTreeMap<u64, EventKind> = BTreeMap::new();
         let mut seq: u64 = 0;
         let push = |heap: &mut BinaryHeap<Reverse<(Nanos, u64)>>,
-                    events: &mut HashMap<u64, EventKind>,
+                    events: &mut BTreeMap<u64, EventKind>,
                     seq: &mut u64,
                     t: Nanos,
                     e: EventKind| {
@@ -668,8 +668,8 @@ impl<'a> Runner<'a> {
                     .map(|_| PrefixCache::new(tokens))
                     .collect()
             });
-        let mut pending: HashMap<usize, PendingQuery> = HashMap::new();
-        let mut staged: HashMap<usize, StagedQuery> = HashMap::new();
+        let mut pending: BTreeMap<usize, PendingQuery> = BTreeMap::new();
+        let mut staged: BTreeMap<usize, StagedQuery> = BTreeMap::new();
         let mut flight = Flight::default();
 
         loop {
@@ -1251,7 +1251,7 @@ fn fact_recall(query: &metis_datasets::QuerySpec, retrieved: &[RetrievalResult])
     if query.truth.base.is_empty() {
         return 1.0;
     }
-    let found: std::collections::HashSet<_> =
+    let found: std::collections::BTreeSet<_> =
         retrieved.iter().flat_map(|r| r.text.fact_ids()).collect();
     let hit = query
         .truth

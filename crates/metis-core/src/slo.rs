@@ -159,11 +159,7 @@ pub fn choose_config_with_slo(
             let cheapest = narrowed
                 .candidates()
                 .into_iter()
-                .min_by(|a, b| {
-                    estimate(a)
-                        .partial_cmp(&estimate(b))
-                        .expect("finite estimates")
-                })
+                .min_by(|a, b| estimate(a).total_cmp(&estimate(b)))
                 .expect("non-empty candidates");
             return Chosen {
                 config: cheapest,

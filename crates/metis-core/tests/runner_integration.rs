@@ -157,7 +157,7 @@ fn closed_loop_serializes_queries() {
     assert_eq!(r.per_query.len(), 10);
     // No two queries overlap: each arrival >= previous finish.
     let mut results = r.per_query.clone();
-    results.sort_by(|a, b| a.arrival_secs.partial_cmp(&b.arrival_secs).unwrap());
+    results.sort_by(|a, b| a.arrival_secs.total_cmp(&b.arrival_secs));
     for w in results.windows(2) {
         assert!(
             w[1].arrival_secs >= w[0].finish_secs - 1e-9,

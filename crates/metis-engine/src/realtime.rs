@@ -115,6 +115,7 @@ impl RealtimeDriver {
             let handle = std::thread::Builder::new()
                 .name(format!("metis-replica-{i}"))
                 .spawn(move || replica_worker(engine, req_rx, worker_tx, worker_state, clock))
+                // metis-lint: allow(no-panic-in-worker) reason="driver thread at construction: failing to spawn a replica thread is unrecoverable setup"
                 .expect("spawn replica worker");
             submitters.push(req_tx);
             shared.push(state);
@@ -192,6 +193,7 @@ impl Driver for RealtimeDriver {
                             s.free_kv_tokens.load(Ordering::Relaxed) * self.kv_bytes_per_token[*i];
                         (bytes, Reverse(*i))
                     })
+                    // metis-lint: allow(no-panic-in-worker) reason="driver thread: routing is only called with at least one replica configured"
                     .expect("non-empty replica list")
                     .0;
                 ReplicaId(best as u32)
@@ -219,6 +221,7 @@ impl Driver for RealtimeDriver {
         self.in_flight += 1;
         self.submitters[id.0 as usize]
             .send(req)
+            // metis-lint: allow(no-panic-in-worker) reason="driver thread: a closed channel means a worker died, which is already fatal"
             .expect("replica worker exited with the run still active");
     }
 
@@ -230,6 +233,7 @@ impl Driver for RealtimeDriver {
                 Ok(done) => return Some(self.account(done)),
                 Err(TryRecvError::Empty) => {}
                 Err(TryRecvError::Disconnected) => {
+                    // metis-lint: allow(no-panic-in-worker) reason="driver thread: surfaces a dead worker instead of hanging the pump"
                     panic!("realtime replica worker died before the run drained")
                 }
             }
@@ -247,6 +251,7 @@ impl Driver for RealtimeDriver {
                     Ok(done) => return Some(self.account(done)),
                     Err(RecvTimeoutError::Timeout) => continue,
                     Err(RecvTimeoutError::Disconnected) => {
+                        // metis-lint: allow(no-panic-in-worker) reason="driver thread: surfaces a dead worker instead of hanging the pump"
                         panic!("realtime replica worker died before the run drained")
                     }
                 }
@@ -275,6 +280,7 @@ impl Driver for RealtimeDriver {
                     );
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    // metis-lint: allow(no-panic-in-worker) reason="driver thread: surfaces a dead worker instead of hanging the idle drain"
                     panic!(
                         "realtime replica worker died with {} requests in flight",
                         self.in_flight
@@ -298,6 +304,7 @@ impl Driver for RealtimeDriver {
             ..DriverStats::default()
         };
         for handle in this.workers {
+            // metis-lint: allow(no-panic-in-worker) reason="driver thread at shutdown: re-raises a worker panic so it cannot be lost"
             let s = handle.join().expect("replica worker panicked");
             stats.busy += s.busy;
             stats.preemptions += s.preemptions;
@@ -461,6 +468,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_methods)] // wall-clock deadline guards a cross-thread test
     fn least_kv_routing_follows_published_snapshots() {
         let mut d = RealtimeDriver::new(engines(2), RouterPolicy::LeastKvLoad, SCALE);
         // Idle fleet: tie broken by lowest id.

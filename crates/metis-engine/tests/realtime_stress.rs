@@ -198,6 +198,8 @@ fn wall_clock_pacing_is_real() {
     let scale = 1_000.0; // → at least 6 ms of wall time.
     let mut driver: Box<dyn Driver> = DriverSpec::Realtime { time_scale: scale }
         .build(engines(1, 65_536), RouterPolicy::RoundRobin);
+    #[allow(clippy::disallowed_methods)]
+    // metis-lint: allow(wall-clock) reason="this test asserts the realtime driver really waits in wall time"
     let wall_start = std::time::Instant::now();
     for i in 0..4u64 {
         driver.submit(

@@ -1,0 +1,529 @@
+//! A lightweight Rust lexer: just enough token structure for lexical
+//! invariant rules.
+//!
+//! The rules in this crate match *identifier* and *punctuation* sequences
+//! (`Instant :: now`, `partial_cmp ( … ) . unwrap`), so the lexer's one job
+//! is to never misclassify text: the word `Instant` inside a string
+//! literal, a doc comment, or a nested block comment must not produce an
+//! identifier token. That requires real handling of the awkward corners of
+//! Rust's surface syntax:
+//!
+//! * nested block comments (`/* /* */ */` — Rust block comments nest),
+//! * raw strings with arbitrary hash fences (`r#"…"#`, `br##"…"##`) and
+//!   raw identifiers (`r#type`, which is an identifier, not a string),
+//! * char literals vs lifetimes (`'a'` is a char, `'a` in `Vec<'a>` is a
+//!   lifetime, `'\u{7D}'` is a char with an escape),
+//! * string escapes (`"\\"` ends the string, `"\""` does not).
+//!
+//! Line comments are kept (with their line numbers) because suppression
+//! pragmas live in them; everything else that is not code is discarded.
+
+/// What a token is. Rules mostly look at `Ident` and `Punct`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword; the text is in [`Tok::text`].
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+}
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+    /// Identifier text; empty for every other kind.
+    pub text: String,
+}
+
+/// One `//` line comment (text after the `//`, untrimmed) and its line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexer's output: the token stream and the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Identifier text of token `i`, or `""` for non-identifiers — lets
+    /// rule patterns index past the end without an option dance.
+    pub fn ident(&self, i: usize) -> &str {
+        match self.toks.get(i) {
+            Some(t) if t.kind == TokKind::Ident => &t.text,
+            _ => "",
+        }
+    }
+
+    /// Whether token `i` is exactly the punctuation `c`.
+    pub fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Punct(c))
+    }
+
+    /// Whether tokens `i, i+1` are `::`.
+    pub fn path_sep(&self, i: usize) -> bool {
+        self.punct(i, ':') && self.punct(i + 1, ':')
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into tokens and line comments. Never fails: unterminated
+/// literals simply consume to end of input — the compiler, not the linter,
+/// owns syntax errors.
+pub fn lex(source: &str) -> Lexed {
+    let mut c = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek(0) {
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                while let Some(n) = c.peek(0) {
+                    if n == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..c.pos].to_string(),
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                // Block comments nest in Rust.
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                c.bump();
+                consume_string_body(&mut c);
+                out.toks.push(tok(line, TokKind::Str));
+            }
+            b'\'' => {
+                c.bump();
+                lex_quote(&mut c, line, &mut out);
+            }
+            _ if b.is_ascii_digit() => {
+                // Integers, floats, hex/oct/bin, suffixes. A `.` is part of
+                // the number only when followed by a digit, so `0..n`
+                // ranges survive.
+                c.bump();
+                while let Some(n) = c.peek(0) {
+                    if is_ident_continue(n)
+                        || (n == b'.' && c.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                    {
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(tok(line, TokKind::Num));
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                c.bump();
+                while let Some(n) = c.peek(0) {
+                    if is_ident_continue(n) {
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &source[start..c.pos];
+                if lex_raw_or_prefixed(&mut c, text, line, &mut out) {
+                    continue;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident,
+                    text: text.to_string(),
+                });
+            }
+            _ => {
+                c.bump();
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(b as char),
+                    text: String::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn tok(line: u32, kind: TokKind) -> Tok {
+    Tok {
+        line,
+        kind,
+        text: String::new(),
+    }
+}
+
+/// Consumes a `"…"` body after the opening quote, honoring escapes.
+fn consume_string_body(c: &mut Cursor) {
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// After an identifier, checks for literal-prefix forms: raw strings
+/// (`r"…"`, `r#"…"#`, `br##"…"##`, `cr"…"`), prefixed plain strings
+/// (`b"…"`, `c"…"`), and raw identifiers (`r#ident`). Returns `true` if it
+/// consumed a literal (or extended the identifier) and pushed the token.
+fn lex_raw_or_prefixed(c: &mut Cursor, ident: &str, line: u32, out: &mut Lexed) -> bool {
+    let raw_capable = matches!(ident, "r" | "br" | "cr");
+    let string_prefix = matches!(ident, "b" | "c");
+
+    if raw_capable {
+        // Count the hash fence.
+        let mut hashes = 0usize;
+        while c.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if c.peek(hashes) == Some(b'"') {
+            for _ in 0..=hashes {
+                c.bump();
+            }
+            // Raw string: no escapes; ends at `"` followed by the fence.
+            'scan: while let Some(b) = c.bump() {
+                if b == b'"' {
+                    for h in 0..hashes {
+                        if c.peek(h) != Some(b'#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        c.bump();
+                    }
+                    break;
+                }
+            }
+            out.toks.push(tok(line, TokKind::Str));
+            return true;
+        }
+        if ident == "r" && hashes == 1 && c.peek(1).is_some_and(is_ident_start) {
+            // Raw identifier `r#type`: emit the unprefixed name so rules
+            // treat `r#fn`-style escapes like the plain identifier.
+            c.bump(); // '#'
+            let start = c.pos;
+            while c.peek(0).is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            let text = std::str::from_utf8(&c.src[start..c.pos])
+                .unwrap_or_default()
+                .to_string();
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Ident,
+                text,
+            });
+            return true;
+        }
+    }
+    if (string_prefix || raw_capable) && c.peek(0) == Some(b'"') {
+        c.bump();
+        consume_string_body(c);
+        out.toks.push(tok(line, TokKind::Str));
+        return true;
+    }
+    if ident == "b" && c.peek(0) == Some(b'\'') {
+        // Byte literal b'x'.
+        c.bump();
+        consume_char_body(c);
+        out.toks.push(tok(line, TokKind::Char));
+        return true;
+    }
+    false
+}
+
+/// Consumes a char-literal body after the opening `'` (first char may be an
+/// escape), up to and including the closing `'`.
+fn consume_char_body(c: &mut Cursor) {
+    match c.bump() {
+        Some(b'\\') => {
+            c.bump();
+        }
+        Some(b'\'') => return, // '' — malformed, leave it.
+        _ => {}
+    }
+    // Consume to the closing quote (handles '\u{1F600}').
+    while let Some(b) = c.bump() {
+        if b == b'\'' {
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'…` into a char literal or a lifetime.
+fn lex_quote(c: &mut Cursor, line: u32, out: &mut Lexed) {
+    match c.peek(0) {
+        // Escape: definitely a char literal.
+        Some(b'\\') => {
+            consume_char_body(c);
+            out.toks.push(tok(line, TokKind::Char));
+        }
+        Some(b) if is_ident_start(b) => {
+            // `'x'` is a char; `'x` followed by anything else is a
+            // lifetime. Multi-byte chars ('é') also close with a quote
+            // right after the (multi-byte) character.
+            let mut ahead = 1;
+            while c.peek(ahead).is_some_and(is_ident_continue) {
+                ahead += 1;
+            }
+            if ahead == 1 && c.peek(1) == Some(b'\'') {
+                consume_char_body(c);
+                out.toks.push(tok(line, TokKind::Char));
+            } else if b >= 0x80 {
+                // A single non-ASCII char: count continuation bytes.
+                let mut end = 1;
+                while c.peek(end).is_some_and(|n| n & 0xC0 == 0x80) {
+                    end += 1;
+                }
+                if c.peek(end) == Some(b'\'') {
+                    consume_char_body(c);
+                    out.toks.push(tok(line, TokKind::Char));
+                } else {
+                    consume_lifetime(c, line, out);
+                }
+            } else {
+                consume_lifetime(c, line, out);
+            }
+        }
+        // `'(' `, `'0'`, `' '` … — char literal.
+        Some(_) => {
+            consume_char_body(c);
+            out.toks.push(tok(line, TokKind::Char));
+        }
+        None => {}
+    }
+}
+
+fn consume_lifetime(c: &mut Cursor, line: u32, out: &mut Lexed) {
+    while c.peek(0).is_some_and(is_ident_continue) {
+        c.bump();
+    }
+    out.toks.push(tok(line, TokKind::Lifetime));
+}
+
+/// Line ranges (1-based, inclusive) of `#[cfg(test)]` items: the rule
+/// engine uses these to exempt test modules from rules that only guard
+/// production paths (a test may `unwrap` freely).
+///
+/// Detection is token-based: a `#[cfg(test)]` attribute, then any further
+/// attributes, then the item — to its matching `}` if it opens a brace
+/// block, or to the terminating `;` otherwise.
+pub fn cfg_test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lexed.toks;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < t.len() {
+        let is_cfg_test = lexed.punct(i, '#')
+            && lexed.punct(i + 1, '[')
+            && lexed.ident(i + 2) == "cfg"
+            && lexed.punct(i + 3, '(')
+            && lexed.ident(i + 4) == "test"
+            && lexed.punct(i + 5, ')')
+            && lexed.punct(i + 6, ']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = t[i].line;
+        let mut j = i + 7;
+        // Skip further attributes.
+        while lexed.punct(j, '#') && lexed.punct(j + 1, '[') {
+            let mut depth = 0i32;
+            j += 1;
+            while j < t.len() {
+                if lexed.punct(j, '[') {
+                    depth += 1;
+                } else if lexed.punct(j, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Scan to the item body: first `{` opens a balanced block, a `;`
+        // first means a braceless item.
+        let mut end_line = start_line;
+        while j < t.len() {
+            if lexed.punct(j, ';') {
+                end_line = t[j].line;
+                break;
+            }
+            if lexed.punct(j, '{') {
+                let mut depth = 0i32;
+                while j < t.len() {
+                    if lexed.punct(j, '{') {
+                        depth += 1;
+                    } else if lexed.punct(j, '}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                end_line = t.get(j).map_or(end_line, |tk| tk.line);
+                break;
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line.max(start_line)));
+        i = j.max(i + 7);
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_hide_everything() {
+        let src = "/* outer /* Instant::now() */ still comment */ fn ok() {}";
+        assert_eq!(idents(src), vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_quotes_and_idents() {
+        let src = r####"let s = r#"Instant::now() " unterminated-looking"#; done"####;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let q = '\\''; }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2, "'a in <'a> and &'a");
+        assert_eq!(chars, 2, "'a' and '\\''");
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let src = r#"let s = "a\"b\\"; trailing"#;
+        assert_eq!(idents(src), vec!["let", "s", "trailing"]);
+    }
+
+    #[test]
+    fn line_comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// metis-lint: allow(x) reason=\"y\"\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("metis-lint"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        assert_eq!(idents("let r#type = 1; r#\"str\"#;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_module() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}";
+        let lexed = lex(src);
+        let regions = cfg_test_regions(&lexed);
+        assert_eq!(regions, vec![(2, 5)]);
+    }
+}

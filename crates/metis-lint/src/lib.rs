@@ -1,0 +1,26 @@
+//! `metis-lint` — the workspace invariant checker.
+//!
+//! This repo's core claims rest on invariants that types cannot express:
+//! virtual time never leaks wall time (the byte-for-byte sim golden and the
+//! sim↔realtime parity bench depend on it), bench reports are
+//! bit-reproducible under pinned seeds (the CI perf gate diffs them against
+//! committed baselines), and every comparator over scores is total (a NaN
+//! must never panic a worker thread). One stray `Instant::now()`, one
+//! `HashMap` iteration in a report path, or one `partial_cmp().unwrap()`
+//! breaks goldens, gates, or serving — silently, until CI or production
+//! notices.
+//!
+//! `metis-lint` enforces those invariants mechanically: a lightweight Rust
+//! [lexer] (nested block comments, raw strings, char-literal vs
+//! lifetime) feeds a [rule engine](rules) that walks every workspace crate
+//! ([workspace]), with roles read from each `Cargo.toml` and suppression
+//! only through an in-source pragma that requires a written reason.
+//!
+//! Run it with `cargo run -p metis-lint -- --workspace`.
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{lint_source, FileRole, Violation};
+pub use workspace::{find_workspace_root, lint_workspace};

@@ -1,0 +1,86 @@
+//! CLI entry point: `cargo run -p metis-lint -- --workspace [--root DIR]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use metis_lint::{find_workspace_root, lint_workspace};
+
+const USAGE: &str = "usage: metis-lint --workspace [--root DIR]\n\n\
+    Lints every member crate of the enclosing cargo workspace (or the one\n\
+    rooted at DIR) against the repo's invariant rules. See README.md\n\
+    \"Invariants\" for the rule list and the suppression pragma.";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("current_dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no enclosing cargo workspace found from {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("metis-lint: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!(
+                "metis-lint: {} violation{} — fix, or suppress with \
+                 `// metis-lint: allow(<rule>) reason=\"…\"`",
+                violations.len(),
+                if violations.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("metis-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! The rule engine: repo-specific deny rules over the lexed token stream,
+//! and the suppression pragma that is the only way past them.
+//!
+//! Every rule protects a committed artifact:
+//!
+//! | rule | protects |
+//! |---|---|
+//! | `wall-clock` | byte-for-byte sim golden, realtime parity bench |
+//! | `nan-ordering` | worker threads (no NaN panic), stable sort orders |
+//! | `nondeterministic-iteration` | committed bench baselines, report goldens |
+//! | `unseeded-rng` | pinned-seed reproducibility of every experiment |
+//! | `bench-registration` | CI bench smoke coverage (autobenches = false) |
+//! | `no-panic-in-worker` | realtime replica workers (a panic kills serving) |
+//!
+//! Suppression pragma, on the violating line or the line above it:
+//!
+//! ```text
+//! // metis-lint: allow(wall-clock) reason="serve reports real wall time"
+//! ```
+//!
+//! The reason is mandatory and must be non-empty — an allow without an
+//! argument is itself a violation.
+
+use crate::lexer::{cfg_test_regions, lex, Lexed};
+
+/// Machine-readable names of every file-level rule plus the project-level
+/// `bench-registration` (which `allow` may also name, in case a future
+/// manifest-side pragma needs it).
+pub const RULE_NAMES: &[&str] = &[
+    "wall-clock",
+    "nan-ordering",
+    "nondeterministic-iteration",
+    "unseeded-rng",
+    "bench-registration",
+    "no-panic-in-worker",
+];
+
+/// One finding: rule, workspace-relative path, 1-based line, message.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deny[{}]: {}:{}: {}",
+            self.rule, self.path, self.line, self.msg
+        )
+    }
+}
+
+/// How the rules apply to one file, derived from crate manifest metadata
+/// (see [`crate::workspace`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileRole {
+    /// Wall-clock reads are this file's *job* (`Clock` impls, the realtime
+    /// driver): `wall-clock` does not apply.
+    pub wallclock_ok: bool,
+    /// The file holds realtime worker loops: `no-panic-in-worker` applies.
+    pub worker: bool,
+    /// The file produces committed reports/baselines:
+    /// `nondeterministic-iteration` applies.
+    pub report: bool,
+}
+
+/// A parsed `metis-lint: allow(rule) reason="…"` pragma.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pragma {
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Parses pragmas out of line comments; malformed pragmas (bad syntax,
+/// unknown rule, missing or empty reason) are returned as violations so a
+/// typo cannot silently suppress nothing.
+pub fn parse_pragmas(lexed: &Lexed, path: &str) -> (Vec<Pragma>, Vec<Violation>) {
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        let body = c.text.trim();
+        let Some(rest) = body.strip_prefix("metis-lint:") else {
+            continue;
+        };
+        let mut fail = |msg: String| {
+            bad.push(Violation {
+                rule: "pragma",
+                path: path.to_string(),
+                line: c.line,
+                msg,
+            });
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            fail(format!(
+                "malformed pragma (expected `allow(<rule>)`): {body}"
+            ));
+            continue;
+        };
+        let Some((rule, rest)) = rest.split_once(')') else {
+            fail(format!("unclosed `allow(` in pragma: {body}"));
+            continue;
+        };
+        let rule = rule.trim();
+        if !RULE_NAMES.contains(&rule) {
+            fail(format!(
+                "pragma names unknown rule `{rule}` (known: {})",
+                RULE_NAMES.join(", ")
+            ));
+            continue;
+        }
+        let rest = rest.trim();
+        let reason = rest
+            .strip_prefix("reason=\"")
+            .and_then(|r| r.split_once('"'))
+            .map(|(reason, _)| reason.trim());
+        match reason {
+            Some(r) if !r.is_empty() => pragmas.push(Pragma {
+                line: c.line,
+                rule: rule.to_string(),
+                reason: r.to_string(),
+            }),
+            Some(_) => fail(format!("pragma reason must be non-empty: {body}")),
+            None => fail(format!(
+                "pragma requires `reason=\"…\"` after `allow({rule})`: {body}"
+            )),
+        }
+    }
+    (pragmas, bad)
+}
+
+/// Lints one file's source. `path` is workspace-relative and used both for
+/// messages and for nothing else — role decisions were already made by the
+/// caller from manifest metadata.
+pub fn lint_source(path: &str, source: &str, role: FileRole) -> Vec<Violation> {
+    let lexed = lex(source);
+    let test_regions = cfg_test_regions(&lexed);
+    let in_test = |line: u32| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
+    let (pragmas, mut out) = parse_pragmas(&lexed, path);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    if !role.wallclock_ok {
+        wall_clock(path, &lexed, &mut raw);
+    }
+    nan_ordering(path, &lexed, &mut raw);
+    unseeded_rng(path, &lexed, &mut raw);
+    if role.report {
+        nondeterministic_iteration(path, &lexed, &mut raw);
+    }
+    if role.worker {
+        no_panic_in_worker(path, &lexed, &in_test, &mut raw);
+    }
+
+    // A pragma suppresses matching violations on its own line and the line
+    // directly below it (trailing-comment and line-above styles).
+    out.extend(raw.into_iter().filter(|v| {
+        !pragmas
+            .iter()
+            .any(|p| p.rule == v.rule && (p.line == v.line || p.line + 1 == v.line))
+    }));
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+fn push(raw: &mut Vec<Violation>, rule: &'static str, path: &str, line: u32, msg: String) {
+    raw.push(Violation {
+        rule,
+        path: path.to_string(),
+        line,
+        msg,
+    });
+}
+
+/// `Instant::now` / `SystemTime::now` / `thread::sleep`: virtual time must
+/// never leak wall time. Everything times itself through
+/// `metis_llm::Clock`; the two sanctioned implementation files are exempted
+/// by manifest metadata, intentional measurements carry a pragma.
+fn wall_clock(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
+    for i in 0..lexed.toks.len() {
+        let head = lexed.ident(i);
+        let callee = if lexed.path_sep(i + 1) {
+            lexed.ident(i + 3)
+        } else {
+            ""
+        };
+        let hit = match (head, callee) {
+            ("Instant", "now") => Some("std::time::Instant::now()"),
+            ("SystemTime", "now") => Some("std::time::SystemTime::now()"),
+            ("thread", "sleep") => Some("std::thread::sleep()"),
+            _ => None,
+        };
+        if let Some(what) = hit {
+            push(
+                raw,
+                "wall-clock",
+                path,
+                lexed.toks[i].line,
+                format!(
+                    "{what} reads/blocks on wall time; use the `metis_llm::Clock` \
+                     abstraction so virtual time stays deterministic"
+                ),
+            );
+        }
+    }
+}
+
+/// `partial_cmp(…).unwrap()` (or `.expect(…)`, or the quietly-inconsistent
+/// `.unwrap_or(Ordering::Equal)`): a NaN makes the first two panic a worker
+/// and the third a non-total comparator that `sort_by` may reject. Use
+/// `f32::total_cmp` / `f64::total_cmp`.
+fn nan_ordering(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
+    for i in 0..lexed.toks.len() {
+        if lexed.ident(i) != "partial_cmp" {
+            continue;
+        }
+        // Skip `fn partial_cmp` — implementing PartialOrd is fine.
+        if i > 0 && lexed.ident(i - 1) == "fn" {
+            continue;
+        }
+        if !lexed.punct(i + 1, '(') {
+            continue;
+        }
+        // Walk over the balanced argument list.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < lexed.toks.len() {
+            if lexed.punct(j, '(') {
+                depth += 1;
+            } else if lexed.punct(j, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if !lexed.punct(j + 1, '.') {
+            continue;
+        }
+        let next = lexed.ident(j + 2);
+        if matches!(next, "unwrap" | "expect" | "unwrap_or") {
+            push(
+                raw,
+                "nan-ordering",
+                path,
+                lexed.toks[i].line,
+                format!(
+                    "`partial_cmp(…).{next}` is not NaN-total; use `total_cmp` so a \
+                     NaN cannot panic a comparator or break sort ordering"
+                ),
+            );
+        }
+    }
+}
+
+/// `HashMap` / `HashSet` in report-producing code: iteration order is
+/// randomized per process, so anything they feed into a committed report
+/// diff is nondeterministic. Use `BTreeMap` / `BTreeSet`.
+fn nondeterministic_iteration(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        let name = lexed.ident(i);
+        if name == "HashMap" || name == "HashSet" {
+            push(
+                raw,
+                "nondeterministic-iteration",
+                path,
+                t.line,
+                format!(
+                    "`{name}` has nondeterministic iteration order and this file \
+                     produces committed reports; use `BTree{}`",
+                    &name[4..]
+                ),
+            );
+        }
+    }
+}
+
+/// RNG construction without an explicit seed: every random stream in this
+/// workspace must be derivable from a recorded seed or pinned-seed
+/// baselines stop reproducing.
+fn unseeded_rng(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        let name = lexed.ident(i);
+        let hit = match name {
+            "thread_rng" | "from_entropy" | "from_os_rng" | "OsRng" | "ThreadRng" => {
+                Some(name.to_string())
+            }
+            "random" if i >= 3 && lexed.ident(i - 3) == "rand" && lexed.path_sep(i - 2) => {
+                Some("rand::random".to_string())
+            }
+            _ => None,
+        };
+        if let Some(what) = hit {
+            push(
+                raw,
+                "unseeded-rng",
+                path,
+                t.line,
+                format!(
+                    "`{what}` constructs an unseeded RNG; derive every stream from an \
+                     explicit recorded seed (`seed_from_u64`)"
+                ),
+            );
+        }
+    }
+}
+
+/// `unwrap` / `expect` / panicking macros in realtime worker files: a panic
+/// on a replica worker thread silently kills serving for that replica.
+/// Invariant `assert!`s with diagnostics are allowed (they fail loudly and
+/// name the condition); recoverable errors must be handled. Test modules
+/// are exempt.
+fn no_panic_in_worker(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    raw: &mut Vec<Violation>,
+) {
+    for i in 0..lexed.toks.len() {
+        let line = lexed.toks[i].line;
+        if in_test(line) {
+            continue;
+        }
+        let name = lexed.ident(i);
+        let hit = match name {
+            "unwrap" | "expect" if lexed.punct(i.wrapping_sub(1), '.') => true,
+            "panic" | "unreachable" | "todo" | "unimplemented" if lexed.punct(i + 1, '!') => true,
+            _ => false,
+        };
+        if hit {
+            push(
+                raw,
+                "no-panic-in-worker",
+                path,
+                line,
+                format!(
+                    "`{name}` can panic in a realtime worker file; handle the error \
+                     (or pragma a driver-thread-only site with a reason)"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn pragma_with_reason_suppresses_line_below() {
+        let src = "// metis-lint: allow(wall-clock) reason=\"measuring the wall is the point\"\n\
+                   let t = Instant::now();";
+        let v = lint_source("x.rs", src, FileRole::default());
+        assert!(v.is_empty(), "suppressed: {v:?}");
+    }
+
+    #[test]
+    fn pragma_trailing_on_same_line_suppresses() {
+        let src = "let t = Instant::now(); // metis-lint: allow(wall-clock) reason=\"intentional\"";
+        assert!(lint_source("x.rs", src, FileRole::default()).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_violation_and_does_not_suppress() {
+        let src = "// metis-lint: allow(wall-clock)\nlet t = Instant::now();";
+        let v = lint_source("x.rs", src, FileRole::default());
+        assert_eq!(rules_of(&v), vec!["pragma", "wall-clock"]);
+    }
+
+    #[test]
+    fn pragma_with_empty_reason_is_rejected() {
+        let src = "// metis-lint: allow(wall-clock) reason=\"\"\nlet t = Instant::now();";
+        let v = lint_source("x.rs", src, FileRole::default());
+        assert_eq!(rules_of(&v), vec!["pragma", "wall-clock"]);
+    }
+
+    #[test]
+    fn pragma_for_unknown_rule_is_rejected() {
+        let src = "// metis-lint: allow(no-such-rule) reason=\"x\"\nfn f() {}";
+        let v = lint_source("x.rs", src, FileRole::default());
+        assert_eq!(rules_of(&v), vec!["pragma"]);
+        assert!(v[0].msg.contains("unknown rule"));
+    }
+
+    #[test]
+    fn pragma_for_a_different_rule_does_not_suppress() {
+        let src = "// metis-lint: allow(nan-ordering) reason=\"x\"\nlet t = Instant::now();";
+        let v = lint_source("x.rs", src, FileRole::default());
+        assert_eq!(rules_of(&v), vec!["wall-clock"]);
+    }
+
+    #[test]
+    fn multiline_partial_cmp_chain_is_caught() {
+        let src = "a.partial_cmp(\n&b,\n)\n.unwrap();";
+        let v = lint_source("x.rs", src, FileRole::default());
+        assert_eq!(rules_of(&v), vec!["nan-ordering"]);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn defining_partial_cmp_is_not_a_violation() {
+        let src = "impl PartialOrd for X { fn partial_cmp(&self, o: &Self) -> Option<Ordering> \
+                   { Some(self.cmp(o)) } }";
+        assert!(lint_source("x.rs", src, FileRole::default()).is_empty());
+    }
+
+    #[test]
+    fn report_role_gates_hashmap() {
+        let src = "use std::collections::HashMap;";
+        assert!(lint_source("x.rs", src, FileRole::default()).is_empty());
+        let v = lint_source(
+            "x.rs",
+            src,
+            FileRole {
+                report: true,
+                ..FileRole::default()
+            },
+        );
+        assert_eq!(rules_of(&v), vec!["nondeterministic-iteration"]);
+    }
+
+    #[test]
+    fn worker_role_gates_panics_outside_tests() {
+        let src = "fn w() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let role = FileRole {
+            worker: true,
+            ..FileRole::default()
+        };
+        let v = lint_source("x.rs", src, role);
+        assert_eq!(rules_of(&v), vec!["no-panic-in-worker"]);
+        assert_eq!(v[0].line, 1, "the test-module unwrap is exempt");
+    }
+
+    #[test]
+    fn wallclock_ok_role_exempts_clock_impls() {
+        let src = "let e = Instant::now(); std::thread::sleep(d);";
+        let role = FileRole {
+            wallclock_ok: true,
+            ..FileRole::default()
+        };
+        assert!(lint_source("clock.rs", src, role).is_empty());
+        assert_eq!(
+            rules_of(&lint_source("other.rs", src, FileRole::default())),
+            vec!["wall-clock", "wall-clock"]
+        );
+    }
+
+    #[test]
+    fn idents_inside_strings_and_comments_do_not_fire() {
+        let src = "// Instant::now() in prose\nlet s = \"thread::sleep\"; /* HashMap */";
+        let role = FileRole {
+            report: true,
+            ..FileRole::default()
+        };
+        assert!(lint_source("x.rs", src, role).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_constructors_fire() {
+        let v = lint_source(
+            "x.rs",
+            "let r = rand::thread_rng(); let x = rand::random::<u64>();",
+            FileRole::default(),
+        );
+        assert_eq!(rules_of(&v), vec!["unseeded-rng", "unseeded-rng"]);
+    }
+}

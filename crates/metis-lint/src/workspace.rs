@@ -1,0 +1,439 @@
+//! Workspace discovery: member enumeration, per-crate role metadata, the
+//! file walk, and the manifest-level `bench-registration` rule.
+//!
+//! Roles are read from each crate's `Cargo.toml`:
+//!
+//! ```toml
+//! [package.metadata.metis-lint]
+//! # Whole-crate roles. "report": src/ produces committed reports, so
+//! # nondeterministic-iteration is denied there.
+//! roles = ["report"]
+//! # Crate-relative files where wall-clock reads ARE the implementation.
+//! wallclock-files = ["src/clock.rs"]
+//! # Crate-relative files holding realtime worker loops (no-panic rule).
+//! worker-files = ["src/realtime.rs"]
+//! # File-granular report role for crates where only one module reports.
+//! report-files = ["src/runner.rs"]
+//! # Vendored shims: not ours to lint.
+//! skip = true
+//! ```
+//!
+//! The `Cargo.toml` parser handles exactly the subset these manifests use:
+//! sections, string/bool values, and single-line string arrays.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, FileRole, Violation};
+
+/// Per-crate lint metadata from `[package.metadata.metis-lint]`.
+#[derive(Clone, Debug, Default)]
+pub struct LintMeta {
+    pub skip: bool,
+    pub roles: Vec<String>,
+    pub wallclock_files: Vec<String>,
+    pub worker_files: Vec<String>,
+    pub report_files: Vec<String>,
+}
+
+/// One `[[bench]]` section: its manifest line, name, harness, path.
+#[derive(Clone, Debug, Default)]
+pub struct BenchEntry {
+    pub line: u32,
+    pub name: Option<String>,
+    pub harness: Option<bool>,
+    pub path: Option<String>,
+}
+
+/// The subset of a `Cargo.toml` the linter cares about.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    pub package_name: Option<String>,
+    pub is_workspace: bool,
+    pub members: Vec<String>,
+    pub lint: LintMeta,
+    pub benches: Vec<BenchEntry>,
+}
+
+/// Strips a `#` comment that is outside any string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+/// Parses a TOML value of the subset: `"str"`, `true`/`false`, `["a","b"]`.
+#[derive(Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    Array(Vec<String>),
+    Other,
+}
+
+fn parse_value(v: &str) -> Value {
+    let v = v.trim();
+    if v == "true" {
+        return Value::Bool(true);
+    }
+    if v == "false" {
+        return Value::Bool(false);
+    }
+    if let Some(inner) = v.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Value::Str(inner.to_string());
+    }
+    if let Some(inner) = v.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let items = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| s.strip_prefix('"').and_then(|r| r.strip_suffix('"')))
+            .map(str::to_string)
+            .collect();
+        return Value::Array(items);
+    }
+    Value::Other
+}
+
+/// Parses the manifest subset. Never fails: unknown constructs are skipped
+/// (the compiler validates manifests; the linter only reads them).
+pub fn parse_manifest(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            section = format!("[[{h}]]");
+            if h.trim() == "bench" {
+                m.benches.push(BenchEntry {
+                    line: idx as u32 + 1,
+                    ..BenchEntry::default()
+                });
+            }
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = h.trim().to_string();
+            if section == "workspace" {
+                m.is_workspace = true;
+            }
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, val) = (key.trim(), parse_value(val));
+        match (section.as_str(), key) {
+            ("package", "name") => {
+                if let Value::Str(s) = val {
+                    m.package_name = Some(s);
+                }
+            }
+            ("workspace", "members") => {
+                if let Value::Array(a) = val {
+                    m.members = a;
+                }
+            }
+            ("package.metadata.metis-lint", _) => match (key, val) {
+                ("skip", Value::Bool(b)) => m.lint.skip = b,
+                ("roles", Value::Array(a)) => m.lint.roles = a,
+                ("wallclock-files", Value::Array(a)) => m.lint.wallclock_files = a,
+                ("worker-files", Value::Array(a)) => m.lint.worker_files = a,
+                ("report-files", Value::Array(a)) => m.lint.report_files = a,
+                _ => {}
+            },
+            ("[[bench]]", _) => {
+                if let Some(b) = m.benches.last_mut() {
+                    match (key, val) {
+                        ("name", Value::Str(s)) => b.name = Some(s),
+                        ("harness", Value::Bool(h)) => b.harness = Some(h),
+                        ("path", Value::Str(s)) => b.path = Some(s),
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+/// One workspace member ready to lint.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Directory, absolute.
+    pub dir: PathBuf,
+    /// Directory relative to the workspace root ("" for the root package).
+    pub rel: String,
+    pub manifest: Manifest,
+}
+
+/// Finds the enclosing workspace root (a `Cargo.toml` with `[workspace]`)
+/// starting from `start` and walking up.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if parse_manifest(&text).is_workspace {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Enumerates workspace members (expanding trailing-`/*` globs) plus the
+/// root package itself when the root manifest has `[package]`.
+pub fn members(root: &Path) -> Result<Vec<CrateInfo>, String> {
+    let root_manifest_path = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest_path)
+        .map_err(|e| format!("read {}: {e}", root_manifest_path.display()))?;
+    let root_manifest = parse_manifest(&text);
+    if !root_manifest.is_workspace {
+        return Err(format!(
+            "{} has no [workspace] section",
+            root_manifest_path.display()
+        ));
+    }
+    // BTreeMap keyed on the relative dir: deterministic lint order — the
+    // linter holds itself to its own iteration-order rule.
+    let mut dirs: BTreeMap<String, PathBuf> = BTreeMap::new();
+    for pat in &root_manifest.members {
+        if let Some(prefix) = pat.strip_suffix("/*") {
+            let base = root.join(prefix);
+            let entries =
+                std::fs::read_dir(&base).map_err(|e| format!("read_dir {prefix}: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("read_dir {prefix}: {e}"))?;
+                let dir = entry.path();
+                if dir.join("Cargo.toml").is_file() {
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    dirs.insert(format!("{prefix}/{name}"), dir);
+                }
+            }
+        } else if root.join(pat).join("Cargo.toml").is_file() {
+            dirs.insert(pat.clone(), root.join(pat));
+        }
+    }
+    let mut out = Vec::new();
+    if root_manifest.package_name.is_some() {
+        out.push(CrateInfo {
+            dir: root.to_path_buf(),
+            rel: String::new(),
+            manifest: root_manifest,
+        });
+    }
+    for (rel, dir) in dirs {
+        let mtext = std::fs::read_to_string(dir.join("Cargo.toml"))
+            .map_err(|e| format!("read {rel}/Cargo.toml: {e}"))?;
+        out.push(CrateInfo {
+            dir,
+            rel,
+            manifest: parse_manifest(&mtext),
+        });
+    }
+    Ok(out)
+}
+
+/// Collects the crate's Rust sources: `src/`, `tests/`, `benches/`,
+/// `examples/` (recursively) and `build.rs`. Paths come back crate-relative
+/// with `/` separators, sorted.
+fn rust_files(dir: &Path) -> Vec<String> {
+    fn walk(base: &Path, rel: &str, out: &mut Vec<String>) {
+        let Ok(entries) = std::fs::read_dir(base.join(rel)) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let child = if rel.is_empty() {
+                name.clone()
+            } else {
+                format!("{rel}/{name}")
+            };
+            let path = entry.path();
+            if path.is_dir() {
+                walk(base, &child, out);
+            } else if name.ends_with(".rs") {
+                out.push(child);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for top in ["src", "tests", "benches", "examples"] {
+        walk(dir, top, &mut out);
+    }
+    if dir.join("build.rs").is_file() {
+        out.push("build.rs".to_string());
+    }
+    out.sort();
+    out
+}
+
+/// The role the manifest metadata assigns to one crate-relative file.
+fn role_of(meta: &LintMeta, file: &str) -> FileRole {
+    FileRole {
+        wallclock_ok: meta.wallclock_files.iter().any(|f| f == file),
+        worker: meta.worker_files.iter().any(|f| f == file),
+        report: meta.report_files.iter().any(|f| f == file)
+            || (meta.roles.iter().any(|r| r == "report") && file.starts_with("src/")),
+    }
+}
+
+/// The manifest-level rule: with `autobenches = false`, a `benches/*.rs`
+/// file that has no `[[bench]]` entry silently never builds again, and an
+/// entry without `harness = false` runs under the libtest harness that
+/// swallows the target's `fn main`. Both directions are checked, replacing
+/// the CI shell loop that grepped the manifest.
+pub fn check_bench_registration(krate: &CrateInfo) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let manifest_path = join_rel(&krate.rel, "Cargo.toml");
+    let bench_files: Vec<String> = rust_files(&krate.dir)
+        .into_iter()
+        .filter(|f| f.starts_with("benches/") && !f[8..].contains('/'))
+        .collect();
+    for file in &bench_files {
+        let stem = file
+            .trim_start_matches("benches/")
+            .trim_end_matches(".rs")
+            .to_string();
+        let entry =
+            krate.manifest.benches.iter().find(|b| {
+                b.name.as_deref() == Some(&stem) || b.path.as_deref() == Some(file.as_str())
+            });
+        match entry {
+            None => out.push(Violation {
+                rule: "bench-registration",
+                path: join_rel(&krate.rel, file),
+                line: 1,
+                msg: format!(
+                    "bench file has no [[bench]] entry named \"{stem}\" in {manifest_path}; \
+                     with autobenches = false it will silently never build"
+                ),
+            }),
+            Some(b) if b.harness != Some(false) => out.push(Violation {
+                rule: "bench-registration",
+                path: manifest_path.clone(),
+                line: b.line,
+                msg: format!("[[bench]] \"{stem}\" must set `harness = false`"),
+            }),
+            Some(_) => {}
+        }
+    }
+    for b in &krate.manifest.benches {
+        let Some(name) = &b.name else {
+            out.push(Violation {
+                rule: "bench-registration",
+                path: manifest_path.clone(),
+                line: b.line,
+                msg: "[[bench]] entry has no name".to_string(),
+            });
+            continue;
+        };
+        let file = b
+            .path
+            .clone()
+            .unwrap_or_else(|| format!("benches/{name}.rs"));
+        if !krate.dir.join(&file).is_file() {
+            out.push(Violation {
+                rule: "bench-registration",
+                path: manifest_path.clone(),
+                line: b.line,
+                msg: format!("[[bench]] \"{name}\" points at missing file {file}"),
+            });
+        }
+    }
+    out
+}
+
+fn join_rel(crate_rel: &str, file: &str) -> String {
+    if crate_rel.is_empty() {
+        file.to_string()
+    } else {
+        format!("{crate_rel}/{file}")
+    }
+}
+
+/// Lints every member crate of the workspace at `root`.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut out = Vec::new();
+    for krate in members(root)? {
+        if krate.manifest.lint.skip {
+            continue;
+        }
+        out.extend(check_bench_registration(&krate));
+        for file in rust_files(&krate.dir) {
+            let abs = krate.dir.join(&file);
+            let source = std::fs::read_to_string(&abs)
+                .map_err(|e| format!("read {}: {e}", abs.display()))?;
+            let role = role_of(&krate.manifest.lint, &file);
+            out.extend(lint_source(&join_rel(&krate.rel, &file), &source, role));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_subset_parses() {
+        let m = parse_manifest(
+            r#"
+[package]
+name = "demo" # trailing comment
+[package.metadata.metis-lint]
+roles = ["report"]
+wallclock-files = ["src/clock.rs", "src/other.rs"]
+skip = false
+[[bench]]
+name = "fig"
+harness = false
+[[bench]]
+name = "micro"
+"#,
+        );
+        assert_eq!(m.package_name.as_deref(), Some("demo"));
+        assert_eq!(m.lint.roles, vec!["report"]);
+        assert_eq!(m.lint.wallclock_files, vec!["src/clock.rs", "src/other.rs"]);
+        assert!(!m.lint.skip);
+        assert_eq!(m.benches.len(), 2);
+        assert_eq!(m.benches[0].name.as_deref(), Some("fig"));
+        assert_eq!(m.benches[0].harness, Some(false));
+        assert_eq!(m.benches[1].harness, None);
+    }
+
+    #[test]
+    fn comment_stripping_respects_strings() {
+        assert_eq!(strip_comment(r#"name = "a#b" # real"#), r#"name = "a#b" "#);
+    }
+
+    #[test]
+    fn roles_scope_report_to_src() {
+        let meta = LintMeta {
+            roles: vec!["report".into()],
+            ..LintMeta::default()
+        };
+        assert!(role_of(&meta, "src/lib.rs").report);
+        assert!(!role_of(&meta, "tests/t.rs").report);
+        let granular = LintMeta {
+            report_files: vec!["src/runner.rs".into()],
+            ..LintMeta::default()
+        };
+        assert!(role_of(&granular, "src/runner.rs").report);
+        assert!(!role_of(&granular, "src/lib.rs").report);
+    }
+}

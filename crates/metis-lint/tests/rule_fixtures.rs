@@ -1,0 +1,124 @@
+//! One injected-violation fixture per rule: each asserts the rule fires
+//! with the right file and line, and that the matching pragma (with a
+//! reason) is the only thing that silences it.
+
+use metis_lint::{lint_source, FileRole, Violation};
+
+fn only(violations: Vec<Violation>) -> Violation {
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one violation, got: {violations:?}"
+    );
+    violations.into_iter().next().unwrap()
+}
+
+#[test]
+fn wall_clock_fires_with_file_and_line() {
+    let src = "fn pace() {\n    let t0 = std::time::Instant::now();\n}\n";
+    let v = only(lint_source(
+        "crates/demo/src/lib.rs",
+        src,
+        FileRole::default(),
+    ));
+    assert_eq!(v.rule, "wall-clock");
+    assert_eq!(v.path, "crates/demo/src/lib.rs");
+    assert_eq!(v.line, 2);
+
+    let sys = "fn stamp() { let t = SystemTime::now(); }";
+    assert_eq!(
+        only(lint_source("x.rs", sys, FileRole::default())).rule,
+        "wall-clock"
+    );
+    let sleep = "fn nap() { std::thread::sleep(d); }";
+    assert_eq!(
+        only(lint_source("x.rs", sleep, FileRole::default())).rule,
+        "wall-clock"
+    );
+}
+
+#[test]
+fn nan_ordering_fires_on_every_escape_hatch() {
+    for tail in [
+        "unwrap()",
+        "expect(\"finite\")",
+        "unwrap_or(Ordering::Equal)",
+    ] {
+        let src =
+            format!("fn s(v: &mut [f32]) {{\n    v.sort_by(|a, b| a.partial_cmp(b).{tail});\n}}\n");
+        let v = only(lint_source("score.rs", &src, FileRole::default()));
+        assert_eq!(v.rule, "nan-ordering", "tail: {tail}");
+        assert_eq!(v.line, 2);
+    }
+    // total_cmp is the sanctioned replacement — clean.
+    let ok = "fn s(v: &mut [f32]) { v.sort_by(|a, b| a.total_cmp(b)); }";
+    assert!(lint_source("score.rs", ok, FileRole::default()).is_empty());
+}
+
+#[test]
+fn nondeterministic_iteration_fires_only_under_report_role() {
+    let src =
+        "use std::collections::HashMap;\nfn agg() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    let report = FileRole {
+        report: true,
+        ..FileRole::default()
+    };
+    let v = lint_source("crates/metis-metrics/src/f1.rs", src, report);
+    assert_eq!(v.len(), 3, "every HashMap mention: {v:?}");
+    assert!(v.iter().all(|x| x.rule == "nondeterministic-iteration"));
+    assert_eq!(v[0].line, 1);
+    // The same source outside a report path is allowed.
+    assert!(lint_source(
+        "crates/metis-engine/src/kvcache.rs",
+        src,
+        FileRole::default()
+    )
+    .is_empty());
+}
+
+#[test]
+fn unseeded_rng_fires_with_line() {
+    let src = "fn noise() {\n    let mut rng = rand::thread_rng();\n}\n";
+    let v = only(lint_source("gen.rs", src, FileRole::default()));
+    assert_eq!(v.rule, "unseeded-rng");
+    assert_eq!(v.line, 2);
+    // Seeded construction is the sanctioned form.
+    let ok = "fn noise(seed: u64) { let mut rng = StdRng::seed_from_u64(seed); }";
+    assert!(lint_source("gen.rs", ok, FileRole::default()).is_empty());
+}
+
+#[test]
+fn no_panic_in_worker_fires_in_worker_files_only() {
+    let src = "fn worker() {\n    let v = rx.recv().unwrap();\n    panic!(\"boom\");\n}\n";
+    let worker = FileRole {
+        worker: true,
+        ..FileRole::default()
+    };
+    let v = lint_source("crates/metis-engine/src/realtime.rs", src, worker);
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert_eq!((v[0].rule, v[0].line), ("no-panic-in-worker", 2));
+    assert_eq!((v[1].rule, v[1].line), ("no-panic-in-worker", 3));
+    // Same source in a non-worker file: allowed.
+    assert!(lint_source("crates/metis-cli/src/main.rs", src, FileRole::default()).is_empty());
+}
+
+#[test]
+fn pragma_with_reason_is_the_only_way_out() {
+    let bare = "let t = Instant::now();";
+    assert_eq!(
+        only(lint_source("x.rs", bare, FileRole::default())).rule,
+        "wall-clock"
+    );
+
+    let allowed = "// metis-lint: allow(wall-clock) reason=\"serve prints wall vs virtual time\"\n\
+                   let t = Instant::now();";
+    assert!(lint_source("x.rs", allowed, FileRole::default()).is_empty());
+
+    let reasonless = "// metis-lint: allow(wall-clock) reason=\"\"\nlet t = Instant::now();";
+    let v = lint_source("x.rs", reasonless, FileRole::default());
+    assert_eq!(
+        v.len(),
+        2,
+        "reasonless pragma is rejected AND does not suppress"
+    );
+}

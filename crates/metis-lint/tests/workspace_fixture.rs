@@ -1,0 +1,161 @@
+//! End-to-end workspace walking over a synthetic workspace written to
+//! `CARGO_TARGET_TMPDIR`: member-glob expansion, role metadata from crate
+//! manifests, `skip` for vendored shims, and both directions of the
+//! `bench-registration` rule.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use metis_lint::workspace::lint_workspace;
+
+fn write(path: &Path, content: &str) {
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(path, content).unwrap();
+}
+
+/// Builds a workspace with one crate per scenario and returns its root.
+fn synthetic_workspace(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+
+    write(
+        &root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\", \"vendor/*\"]\n",
+    );
+
+    // A report-role crate with a HashMap in src/ and one in tests/ (only
+    // src/ is in scope for the report role).
+    write(
+        &root.join("crates/reporter/Cargo.toml"),
+        "[package]\nname = \"reporter\"\n[package.metadata.metis-lint]\nroles = [\"report\"]\n",
+    );
+    write(
+        &root.join("crates/reporter/src/lib.rs"),
+        "use std::collections::HashMap;\n",
+    );
+    write(
+        &root.join("crates/reporter/tests/t.rs"),
+        "use std::collections::HashMap;\n",
+    );
+
+    // A clock crate whose clock.rs is sanctioned for wall reads, with a
+    // violation elsewhere in the same crate.
+    write(
+        &root.join("crates/clocked/Cargo.toml"),
+        "[package]\nname = \"clocked\"\n[package.metadata.metis-lint]\n\
+         wallclock-files = [\"src/clock.rs\"]\n",
+    );
+    write(
+        &root.join("crates/clocked/src/clock.rs"),
+        "pub fn epoch() -> Instant { Instant::now() }\n",
+    );
+    write(
+        &root.join("crates/clocked/src/leak.rs"),
+        "pub fn t() -> Instant { Instant::now() }\n",
+    );
+
+    // A bench crate: one registered bench (harness = false, fine), one
+    // registered without harness = false, one file never registered, and
+    // one [[bench]] entry pointing at a missing file.
+    write(
+        &root.join("crates/benched/Cargo.toml"),
+        "[package]\nname = \"benched\"\nautobenches = false\n\
+         [[bench]]\nname = \"good\"\nharness = false\n\
+         [[bench]]\nname = \"harnessed\"\n\
+         [[bench]]\nname = \"ghost\"\nharness = false\n",
+    );
+    write(
+        &root.join("crates/benched/benches/good.rs"),
+        "fn main() {}\n",
+    );
+    write(
+        &root.join("crates/benched/benches/harnessed.rs"),
+        "fn main() {}\n",
+    );
+    write(
+        &root.join("crates/benched/benches/orphan.rs"),
+        "fn main() {}\n",
+    );
+
+    // A vendored shim full of violations, skipped by metadata.
+    write(
+        &root.join("vendor/shim/Cargo.toml"),
+        "[package]\nname = \"shim\"\n[package.metadata.metis-lint]\nskip = true\n",
+    );
+    write(
+        &root.join("vendor/shim/src/lib.rs"),
+        "pub fn t() -> Instant { std::thread::sleep(d); Instant::now() }\n",
+    );
+
+    root
+}
+
+#[test]
+fn workspace_walk_applies_roles_skip_and_bench_registration() {
+    let root = synthetic_workspace("metis-lint-ws");
+    let violations = lint_workspace(&root).expect("walk succeeds");
+    let keys: Vec<(String, String, u32)> = violations
+        .iter()
+        .map(|v| (v.rule.to_string(), v.path.clone(), v.line))
+        .collect();
+
+    // Report role: src/ flagged (use + type mention = the walker found it),
+    // tests/ not.
+    assert!(
+        keys.iter()
+            .any(|(r, p, _)| r == "nondeterministic-iteration" && p == "crates/reporter/src/lib.rs"),
+        "{keys:?}"
+    );
+    assert!(
+        !keys
+            .iter()
+            .any(|(_, p, _)| p == "crates/reporter/tests/t.rs"),
+        "report role must not reach tests/: {keys:?}"
+    );
+
+    // Wall-clock: sanctioned file clean, sibling flagged.
+    assert!(!keys
+        .iter()
+        .any(|(_, p, _)| p == "crates/clocked/src/clock.rs"));
+    assert!(keys
+        .iter()
+        .any(|(r, p, l)| r == "wall-clock" && p == "crates/clocked/src/leak.rs" && *l == 1));
+
+    // Bench registration, all three failure modes with file/line:
+    assert!(keys
+        .iter()
+        .any(|(r, p, _)| r == "bench-registration" && p == "crates/benched/benches/orphan.rs"));
+    assert!(keys
+        .iter()
+        .any(|(r, p, _)| r == "bench-registration" && p == "crates/benched/Cargo.toml")); // harnessed + ghost
+    let manifest_hits = keys
+        .iter()
+        .filter(|(r, p, _)| r == "bench-registration" && p == "crates/benched/Cargo.toml")
+        .count();
+    assert_eq!(
+        manifest_hits, 2,
+        "missing harness=false AND ghost file: {keys:?}"
+    );
+
+    // Vendored shim: skipped entirely.
+    assert!(!keys.iter().any(|(_, p, _)| p.starts_with("vendor/")));
+}
+
+/// The real workspace must stay clean: this is the same check CI's
+/// `invariants` job runs, kept in tier-1 so a violation fails `cargo test`
+/// even where CI is not watching.
+#[test]
+fn real_workspace_is_clean() {
+    let crate_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = crate_dir.parent().unwrap().parent().unwrap();
+    let violations = lint_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        violations.is_empty(),
+        "workspace invariant violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

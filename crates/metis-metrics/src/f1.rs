@@ -5,12 +5,15 @@
 //! token multisets as in the SQuAD evaluation script — the metric the paper
 //! adopts for all four datasets (§2, §7.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use metis_text::TokenId;
 
-fn counts(tokens: &[TokenId]) -> HashMap<TokenId, u32> {
-    let mut m = HashMap::new();
+// BTreeMap (not HashMap): this crate feeds reports, and the lint's
+// nondeterministic-iteration rule requires ordered containers so every
+// iteration order — and thus every emitted artifact — is reproducible.
+fn counts(tokens: &[TokenId]) -> BTreeMap<TokenId, u32> {
+    let mut m = BTreeMap::new();
     for &t in tokens {
         *m.entry(t).or_insert(0) += 1;
     }

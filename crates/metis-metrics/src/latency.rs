@@ -17,7 +17,7 @@ impl LatencySummary {
         for &d in &delays {
             assert!(d.is_finite() && d >= 0.0, "invalid delay {d}");
         }
-        delays.sort_by(|a, b| a.partial_cmp(b).expect("finite by assertion"));
+        delays.sort_by(|a, b| a.total_cmp(b));
         let sum = delays.iter().sum();
         Self {
             sorted: delays,

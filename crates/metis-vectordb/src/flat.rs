@@ -29,11 +29,10 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Distances are finite by construction (asserted on insert/search),
-        // ties broken by chunk id for determinism.
+        // total_cmp gives a total order even for NaN (which sorts after
+        // +inf), ties broken by chunk id for determinism.
         self.distance
-            .partial_cmp(&other.distance)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.distance)
             .then_with(|| self.chunk.cmp(&other.chunk))
     }
 }
@@ -157,8 +156,7 @@ impl VectorIndex for FlatIndex {
             .collect();
         hits.sort_by(|a, b| {
             a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(Ordering::Equal)
+                .total_cmp(&b.distance)
                 .then_with(|| a.chunk.cmp(&b.chunk))
         });
         SearchOutcome {
@@ -179,6 +177,56 @@ mod tests {
             idx.add(ChunkId(i), &[i as f32, 0.0]);
         }
         idx
+    }
+
+    /// Regression for the NaN-ordering invariant: stored vectors are
+    /// asserted finite, but a *query* may carry a NaN (upstream embedding
+    /// bug, poisoned arithmetic), making every distance NaN. The old
+    /// `partial_cmp(..).unwrap_or(Equal)` comparators turned that into an
+    /// inconsistent sort; `total_cmp` keeps the search total and
+    /// deterministic — NaN sorts after every finite distance, ties fall
+    /// back to chunk id — instead of panicking a worker thread.
+    #[test]
+    fn nan_query_does_not_panic_and_orders_deterministically() {
+        let idx = grid_index();
+        let hits = idx.search(&[f32::NAN, 0.0], 3);
+        assert_eq!(hits.len(), 3);
+        let a: Vec<_> = hits.iter().map(|h| h.chunk).collect();
+        let b: Vec<_> = idx
+            .search(&[f32::NAN, 0.0], 3)
+            .iter()
+            .map(|h| h.chunk)
+            .collect();
+        assert_eq!(a, b, "NaN-distance ordering is deterministic");
+        assert!(hits.iter().all(|h| h.distance.is_nan()));
+    }
+
+    /// A NaN-distance entry in the comparator itself (the bounded max-heap)
+    /// keeps a total order: sorting a score list containing NaN must not
+    /// panic and must place NaN last.
+    #[test]
+    fn heap_entry_comparator_is_total_over_nan() {
+        let mut entries = [
+            HeapEntry {
+                distance: f32::NAN,
+                chunk: ChunkId(0),
+            },
+            HeapEntry {
+                distance: 1.0,
+                chunk: ChunkId(1),
+            },
+            HeapEntry {
+                distance: f32::NAN,
+                chunk: ChunkId(2),
+            },
+            HeapEntry {
+                distance: 0.5,
+                chunk: ChunkId(3),
+            },
+        ];
+        entries.sort(); // would panic under an inconsistent comparator
+        let order: Vec<_> = entries.iter().map(|e| e.chunk).collect();
+        assert_eq!(order, vec![ChunkId(3), ChunkId(1), ChunkId(0), ChunkId(2)]);
     }
 
     #[test]
@@ -249,7 +297,7 @@ mod tests {
             .enumerate()
             .map(|(i, r)| (l2_distance(r, &q), i as u32))
             .collect();
-        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         for (hit, (d, i)) in hits.iter().zip(brute.iter().take(10)) {
             assert_eq!(hit.chunk, ChunkId(*i));
             assert!((hit.distance - d).abs() < 1e-5);

@@ -451,8 +451,7 @@ impl HnswIndex {
                 .collect();
             exact.sort_by(|a, b| {
                 a.distance
-                    .partial_cmp(&b.distance)
-                    .unwrap_or(Ordering::Equal)
+                    .total_cmp(&b.distance)
                     .then_with(|| a.chunk.cmp(&b.chunk))
             });
             exact.truncate(k);

@@ -9,7 +9,6 @@
 //! axis (`fig_retrieval`). The paper's own evaluation uses the exact flat
 //! index ([`crate::FlatIndex`]), which remains the default everywhere.
 
-use std::cmp::Ordering;
 use std::sync::Mutex;
 
 use metis_text::ChunkId;
@@ -187,8 +186,7 @@ impl IvfIndex {
                     .filter(|&p| assign[p] == donor && !stolen[p])
                     .max_by(|&a, &b| {
                         sq_l2(&items[train[a]].1, &centroids[donor])
-                            .partial_cmp(&sq_l2(&items[train[b]].1, &centroids[donor]))
-                            .unwrap_or(Ordering::Equal)
+                            .total_cmp(&sq_l2(&items[train[b]].1, &centroids[donor]))
                     });
                 if let Some(p) = far {
                     centroids[c] = items[train[p]].1.clone();
@@ -216,8 +214,7 @@ impl IvfIndex {
             let far = (0..lists[donor].len())
                 .max_by(|&a, &b| {
                     sq_l2(&lists[donor][a].1, &centroids[donor])
-                        .partial_cmp(&sq_l2(&lists[donor][b].1, &centroids[donor]))
-                        .unwrap_or(Ordering::Equal)
+                        .total_cmp(&sq_l2(&lists[donor][b].1, &centroids[donor]))
                 })
                 .expect("donor list is non-empty");
             let (id, v) = lists[donor].swap_remove(far);
@@ -293,7 +290,7 @@ impl VectorIndex for IvfIndex {
                 .enumerate()
                 .map(|(i, c)| (sq_l2(c, query), i)),
         );
-        order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         hits.clear();
         let mut work = SearchWork {
             centroids_scored: self.centroids.len(),
@@ -311,8 +308,7 @@ impl VectorIndex for IvfIndex {
         }
         hits.sort_by(|a, b| {
             a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(Ordering::Equal)
+                .total_cmp(&b.distance)
                 .then_with(|| a.chunk.cmp(&b.chunk))
         });
         let hits = hits.iter().take(k).copied().collect();

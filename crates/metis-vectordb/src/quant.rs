@@ -11,8 +11,6 @@
 //! [`SearchWork::quantized_scored`](crate::SearchWork), so the retrieval
 //! latency model prices the two domains differently.
 
-use std::cmp::Ordering;
-
 use metis_text::ChunkId;
 
 use crate::{ivf::IvfIndex, Hit, IvfConfig, SearchOutcome, SearchWork, VectorIndex};
@@ -195,8 +193,7 @@ pub(crate) fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
 fn sort_hits(hits: &mut [Hit]) {
     hits.sort_by(|a, b| {
         a.distance
-            .partial_cmp(&b.distance)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&b.distance)
             .then_with(|| a.chunk.cmp(&b.chunk))
     });
 }
@@ -392,7 +389,7 @@ impl VectorIndex for SqIvfIndex {
             .enumerate()
             .map(|(i, c)| (sq_l2(c, query), i))
             .collect();
-        order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let lut = self.sq.lut(query);
         let mut work = SearchWork {
             centroids_scored: self.centroids.len(),
@@ -453,6 +450,33 @@ mod tests {
                 (ChunkId(i), v)
             })
             .collect()
+    }
+
+    /// Regression for the NaN-ordering invariant: a hit list containing
+    /// NaN distances sorts without panicking, NaN last, ties on chunk id.
+    #[test]
+    fn nan_containing_hit_list_sorts_without_panicking() {
+        let mut hits = vec![
+            Hit {
+                chunk: ChunkId(5),
+                distance: f32::NAN,
+            },
+            Hit {
+                chunk: ChunkId(1),
+                distance: 2.0,
+            },
+            Hit {
+                chunk: ChunkId(9),
+                distance: f32::NAN,
+            },
+            Hit {
+                chunk: ChunkId(2),
+                distance: 0.0,
+            },
+        ];
+        sort_hits(&mut hits);
+        let order: Vec<_> = hits.iter().map(|h| h.chunk).collect();
+        assert_eq!(order, vec![ChunkId(2), ChunkId(1), ChunkId(5), ChunkId(9)]);
     }
 
     #[test]

@@ -96,7 +96,7 @@ proptest! {
                 (d.sqrt(), i as u32)
             })
             .collect();
-        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         prop_assert_eq!(hits.len(), k.min(rows.len()));
         for (h, (d, _)) in hits.iter().zip(&brute) {
             prop_assert!((h.distance - d).abs() < 1e-4);

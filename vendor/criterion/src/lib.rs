@@ -8,6 +8,10 @@
 //! is enough to compare hot paths between commits in this offline
 //! environment.
 
+// Wall-clock timing is this shim's entire purpose; the workspace-wide
+// `disallowed-methods` ban (clippy.toml) does not apply here.
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box as hint_black_box;
 use std::time::{Duration, Instant};
 
