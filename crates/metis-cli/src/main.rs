@@ -18,7 +18,7 @@ use metis_core::{
 };
 use metis_datasets::{build_dataset, build_dataset_with_spec};
 use metis_engine::Priority;
-use metis_llm::{GpuCluster, ModelSpec};
+use metis_llm::{Clock, GpuCluster, ModelSpec};
 use metis_metrics::BenchReport;
 use metis_profiler::{LlmProfiler, ProfilerKind};
 
@@ -258,11 +258,11 @@ fn cmd_serve(a: &RunArgs) {
             metis_core::DriverSpec::Sim => String::new(),
         }
     );
-    #[allow(clippy::disallowed_methods)]
-    // metis-lint: allow(wall-clock) reason="serve intentionally reports real wall time next to virtual makespan"
-    let wall_start = std::time::Instant::now();
+    // Real wall time is the point here (serve reports it next to virtual
+    // makespan), read through the sanctioned Clock abstraction.
+    let wall_clock = metis_llm::WallClock::new(1.0);
     let r = run_once(a, system_of(a.system, a.slo, a.priority_from_slo));
-    let wall = wall_start.elapsed().as_secs_f64();
+    let wall = wall_clock.now() as f64 / 1e9;
     print_result(&format!("{:?}", a.system), &r);
     let stages = r.stage_breakdown();
     println!(

@@ -220,8 +220,8 @@ impl Driver for RealtimeDriver {
     fn submit(&mut self, id: ReplicaId, req: LlmRequest) {
         self.in_flight += 1;
         self.submitters[id.0 as usize]
+            // metis-lint: allow(channel-unwrap) reason="driver thread: a closed channel means a worker died, which is already fatal"
             .send(req)
-            // metis-lint: allow(no-panic-in-worker) reason="driver thread: a closed channel means a worker died, which is already fatal"
             .expect("replica worker exited with the run still active");
     }
 

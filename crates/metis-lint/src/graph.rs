@@ -1,0 +1,262 @@
+//! The workspace architecture graph: crate layers, manifest dependency
+//! edges, and source-level import edges.
+//!
+//! Every crate declares its layer in `[package.metadata.metis-lint]`:
+//!
+//! ```toml
+//! [package.metadata.metis-lint]
+//! layer = "runtime"
+//! ```
+//!
+//! Layers form a total order ([`LAYERS`], low to high). The `crate-layering`
+//! rule holds the workspace to a DAG that points strictly *down* that
+//! order, at two levels that cannot drift apart:
+//!
+//! * **manifest edges** — every `metis-*` entry in `[dependencies]` /
+//!   `[dev-dependencies]` must name a crate on a strictly lower layer;
+//! * **import edges** — every `use metis_*::…` in a source file must
+//!   resolve to a crate on a strictly lower layer (so a path the manifest
+//!   forgot, or a re-export smuggled through a lower crate, is still
+//!   caught at the line that does the importing).
+//!
+//! The concrete order encodes what each layer is allowed to know:
+//! simulation-core crates (`foundation`…`orchestration`) must never reach
+//! up into `app`/`top` (cli, lint, bench) — that is the "core never
+//! imports bench/cli" invariant — and a missing or unknown layer on a
+//! linted crate is itself a violation, so the map stays total.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+use crate::syntax::UseLeaf;
+use crate::workspace::CrateInfo;
+
+/// The layer order, low to high. A crate may only depend on (or import
+/// from) crates on strictly lower layers.
+pub const LAYERS: &[&str] = &[
+    "foundation",    // metis-text: tokenization, zero metis deps
+    "model",         // metis-embed / metis-llm / metis-metrics: models & measures
+    "runtime",       // metis-vectordb / metis-engine: indexes and serving engines
+    "data",          // metis-datasets: corpora and workloads
+    "profiling",     // metis-profiler: offline quality/cost profiles
+    "orchestration", // metis-core: controllers, runner, drivers glue
+    "app",           // metis-cli / metis-lint: binaries with I/O surfaces
+    "top",           // metis-bench / the metis facade: may see everything
+];
+
+/// Rank of a layer name in [`LAYERS`], or `None` for an unknown name.
+pub fn layer_rank(layer: &str) -> Option<usize> {
+    LAYERS.iter().position(|l| *l == layer)
+}
+
+/// The `crate -> layer` map for every non-skipped member with a valid
+/// layer declaration.
+pub fn layer_map(members: &[CrateInfo]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for krate in members {
+        if krate.manifest.lint.skip {
+            continue;
+        }
+        if let (Some(name), Some(layer)) = (
+            krate.manifest.package_name.as_ref(),
+            krate.manifest.lint.layer.as_ref(),
+        ) {
+            if layer_rank(layer).is_some() {
+                map.insert(name.clone(), layer.clone());
+            }
+        }
+    }
+    map
+}
+
+fn manifest_path(krate: &CrateInfo) -> String {
+    if krate.rel.is_empty() {
+        "Cargo.toml".to_string()
+    } else {
+        format!("{}/Cargo.toml", krate.rel)
+    }
+}
+
+/// Manifest-level layering: every linted crate declares a known layer, and
+/// every workspace-internal dependency edge points strictly down the order.
+pub fn check_crate_layering(members: &[CrateInfo]) -> Vec<Violation> {
+    let layers = layer_map(members);
+    let mut out = Vec::new();
+    for krate in members {
+        if krate.manifest.lint.skip {
+            continue;
+        }
+        let Some(name) = krate.manifest.package_name.as_ref() else {
+            continue; // A pure [workspace] manifest has no package to place.
+        };
+        let path = manifest_path(krate);
+        let rank = match krate.manifest.lint.layer.as_deref() {
+            Some(layer) => match layer_rank(layer) {
+                Some(r) => r,
+                None => {
+                    out.push(Violation {
+                        rule: "crate-layering",
+                        path,
+                        line: 1,
+                        msg: format!(
+                            "crate `{name}` declares unknown layer `{layer}` \
+                             (known, low to high: {})",
+                            LAYERS.join(" < ")
+                        ),
+                    });
+                    continue;
+                }
+            },
+            None => {
+                out.push(Violation {
+                    rule: "crate-layering",
+                    path,
+                    line: 1,
+                    msg: format!(
+                        "crate `{name}` declares no layer; add `layer = \"…\"` under \
+                         [package.metadata.metis-lint] (known, low to high: {})",
+                        LAYERS.join(" < ")
+                    ),
+                });
+                continue;
+            }
+        };
+        for dep in &krate.manifest.deps {
+            let Some(dep_layer) = layers.get(&dep.name) else {
+                continue; // External or skipped (vendored) dependency.
+            };
+            let dep_rank = layer_rank(dep_layer).unwrap_or(usize::MAX);
+            if dep_rank >= rank {
+                out.push(Violation {
+                    rule: "crate-layering",
+                    path: path.clone(),
+                    line: dep.line,
+                    msg: format!(
+                        "`{name}` (layer `{}`) must not depend on `{}` (layer `{dep_layer}`): \
+                         dependencies point strictly down the layer order {}",
+                        krate.manifest.lint.layer.as_deref().unwrap_or("?"),
+                        dep.name,
+                        LAYERS.join(" < ")
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Source-level layering for one file: every `use metis_*::…` must resolve
+/// to a strictly lower layer than the importing crate's. `local_mods` holds
+/// module names declared in this file — a `use metis::…` that resolves to a
+/// sibling `mod metis` is a module path, not a crate edge.
+pub fn check_import_layering(
+    crate_name: &str,
+    file_path: &str,
+    uses: &[UseLeaf],
+    local_mods: &std::collections::BTreeSet<String>,
+    layers: &BTreeMap<String, String>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(self_rank) = layers.get(crate_name).and_then(|l| layer_rank(l)) else {
+        return out; // Missing layer is already reported at the manifest.
+    };
+    for leaf in uses {
+        let Some(head) = leaf.path.split("::").next() else {
+            continue;
+        };
+        if !head.starts_with("metis") || local_mods.contains(head) {
+            continue;
+        }
+        let imported = head.replace('_', "-");
+        if imported == crate_name {
+            continue; // A crate's own tests/benches import it by name.
+        }
+        let Some(dep_layer) = layers.get(&imported) else {
+            continue;
+        };
+        let dep_rank = layer_rank(dep_layer).unwrap_or(usize::MAX);
+        if dep_rank >= self_rank {
+            out.push(Violation {
+                rule: "crate-layering",
+                path: file_path.to_string(),
+                line: leaf.line,
+                msg: format!(
+                    "`{crate_name}` (layer `{}`) must not import `{imported}` \
+                     (layer `{dep_layer}`): imports point strictly down the layer order {}",
+                    layers[crate_name],
+                    LAYERS.join(" < ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_order_is_total_and_known() {
+        assert!(layer_rank("foundation") < layer_rank("model"));
+        assert!(layer_rank("orchestration") < layer_rank("app"));
+        assert!(layer_rank("app") < layer_rank("top"));
+        assert_eq!(layer_rank("no-such-layer"), None);
+    }
+
+    #[test]
+    fn import_layering_flags_upward_and_sideways_imports() {
+        let mut layers = BTreeMap::new();
+        layers.insert("metis-core".to_string(), "orchestration".to_string());
+        layers.insert("metis-bench".to_string(), "top".to_string());
+        layers.insert("metis-llm".to_string(), "model".to_string());
+        let uses = vec![
+            UseLeaf {
+                line: 3,
+                path: "metis_bench::Sweep".to_string(),
+                name: "Sweep".to_string(),
+            },
+            UseLeaf {
+                line: 4,
+                path: "metis_llm::Clock".to_string(),
+                name: "Clock".to_string(),
+            },
+            UseLeaf {
+                line: 5,
+                path: "metis_core::Runner".to_string(),
+                name: "Runner".to_string(),
+            },
+        ];
+        let locals = std::collections::BTreeSet::new();
+        let v = check_import_layering(
+            "metis-core",
+            "crates/metis-core/src/x.rs",
+            &uses,
+            &locals,
+            &layers,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "crate-layering");
+        assert_eq!(v[0].line, 3, "only the upward import is flagged");
+        assert!(v[0].msg.contains("metis-bench"));
+    }
+
+    #[test]
+    fn local_module_named_like_a_crate_is_not_an_edge() {
+        let mut layers = BTreeMap::new();
+        layers.insert("metis-core".to_string(), "orchestration".to_string());
+        layers.insert("metis".to_string(), "top".to_string());
+        let uses = vec![UseLeaf {
+            line: 2,
+            path: "metis::MetisController".to_string(),
+            name: "MetisController".to_string(),
+        }];
+        let locals: std::collections::BTreeSet<String> =
+            [String::from("metis")].into_iter().collect();
+        let v = check_import_layering("metis-core", "x.rs", &uses, &locals, &layers);
+        assert!(v.is_empty(), "sibling `mod metis` is not the facade: {v:?}");
+        let none = std::collections::BTreeSet::new();
+        let v = check_import_layering("metis-core", "x.rs", &uses, &none, &layers);
+        assert_eq!(v.len(), 1, "without the local mod it IS an upward edge");
+    }
+}

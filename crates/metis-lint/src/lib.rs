@@ -4,23 +4,34 @@
 //! virtual time never leaks wall time (the byte-for-byte sim golden and the
 //! sim↔realtime parity bench depend on it), bench reports are
 //! bit-reproducible under pinned seeds (the CI perf gate diffs them against
-//! committed baselines), and every comparator over scores is total (a NaN
-//! must never panic a worker thread). One stray `Instant::now()`, one
-//! `HashMap` iteration in a report path, or one `partial_cmp().unwrap()`
-//! breaks goldens, gates, or serving — silently, until CI or production
-//! notices.
+//! committed baselines), every comparator over scores is total (a NaN must
+//! never panic a worker thread), crates sit in a layered DAG (core never
+//! imports bench/cli), time/token/byte arithmetic never silently mixes
+//! units, and a realtime worker never blocks while holding a lock. One
+//! stray `Instant::now()`, one upward import, one `deadline_nanos +
+//! timeout_secs`, or one `recv()` under a live `MutexGuard` breaks goldens,
+//! gates, or serving — silently, until CI or production notices.
 //!
 //! `metis-lint` enforces those invariants mechanically: a lightweight Rust
-//! [lexer] (nested block comments, raw strings, char-literal vs
-//! lifetime) feeds a [rule engine](rules) that walks every workspace crate
-//! ([workspace]), with roles read from each `Cargo.toml` and suppression
-//! only through an in-source pragma that requires a written reason.
+//! [lexer] (nested block comments, raw strings, char-literal vs lifetime)
+//! feeds an item-tree parser ([syntax]: modules, fns, impls, `use` leaves,
+//! blocks, spans) and an architecture graph ([graph]: crate layers,
+//! manifest dependency edges, source import edges), on top of which a
+//! [rule engine](rules) walks every workspace crate ([workspace]), with
+//! roles read from each `Cargo.toml` and suppression only through an
+//! in-source pragma that requires a written reason. Findings and
+//! suppressions serialize to a versioned JSON [report] via
+//! `metis-metrics`' writer.
 //!
-//! Run it with `cargo run -p metis-lint -- --workspace`.
+//! Run it with `cargo run -p metis-lint -- --workspace [--json PATH]`;
+//! `--explain <rule-id>` documents any rule from the binary.
 
+pub mod graph;
 pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod syntax;
 pub mod workspace;
 
-pub use rules::{lint_source, FileRole, Violation};
-pub use workspace::{find_workspace_root, lint_workspace};
+pub use rules::{explain, lint_source, FileRole, Suppression, Violation};
+pub use workspace::{find_workspace_root, lint_workspace, WorkspaceOutcome};

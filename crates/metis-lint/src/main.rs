@@ -1,21 +1,30 @@
-//! CLI entry point: `cargo run -p metis-lint -- --workspace [--root DIR]`.
+//! CLI entry point: `cargo run -p metis-lint -- --workspace [--root DIR]
+//! [--json PATH]`, or `--explain <rule-id>`.
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error. The
+//! `--json` report is written on clean *and* violating outcomes (CI
+//! uploads it either way); only a usage/I/O failure skips it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use metis_lint::{find_workspace_root, lint_workspace};
+use metis_lint::report::render_report;
+use metis_lint::rules::RULE_NAMES;
+use metis_lint::{explain, find_workspace_root, lint_workspace};
 
-const USAGE: &str = "usage: metis-lint --workspace [--root DIR]\n\n\
+const USAGE: &str = "usage: metis-lint --workspace [--root DIR] [--json PATH]\n\
+    \u{20}      metis-lint --explain <rule-id>\n\n\
     Lints every member crate of the enclosing cargo workspace (or the one\n\
     rooted at DIR) against the repo's invariant rules. See README.md\n\
-    \"Invariants\" for the rule list and the suppression pragma.";
+    \"Invariants\" for the rule list and the suppression pragma.\n\n\
+    --json PATH     also write a versioned machine-readable report\n\
+    --explain RULE  print what a rule enforces, with examples, and exit";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
@@ -26,6 +35,35 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a file path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => {
+                return match args.next() {
+                    Some(rule) => match explain(&rule) {
+                        Some(text) => {
+                            println!("{text}");
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!(
+                                "unknown rule `{rule}`; known rules:\n  {}\n  \
+                                 (plus the meta-rules `pragma` and `unused-pragma`)",
+                                RULE_NAMES.join("\n  ")
+                            );
+                            ExitCode::from(2)
+                        }
+                    },
+                    None => {
+                        eprintln!("--explain requires a rule id\n{USAGE}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -61,26 +99,44 @@ fn main() -> ExitCode {
         }
     };
 
-    match lint_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("metis-lint: workspace clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            println!(
-                "metis-lint: {} violation{} — fix, or suppress with \
-                 `// metis-lint: allow(<rule>) reason=\"…\"`",
-                violations.len(),
-                if violations.len() == 1 { "" } else { "s" }
-            );
-            ExitCode::FAILURE
-        }
+    let outcome = match lint_workspace(&root) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("metis-lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, render_report(&outcome)) {
+            eprintln!("metis-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if outcome.violations.is_empty() {
+        println!(
+            "metis-lint: workspace clean ({} crates, {} files, {} suppressions) — {}",
+            outcome.crates,
+            outcome.files,
+            outcome.suppressions.len(),
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &outcome.violations {
+            println!("{v}");
+        }
+        println!(
+            "metis-lint: {} violation{} — fix, or suppress with \
+             `// metis-lint: allow(<rule>) reason=\"…\"` (see --explain <rule>)",
+            outcome.violations.len(),
+            if outcome.violations.len() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
+        ExitCode::FAILURE
     }
 }

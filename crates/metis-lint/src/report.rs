@@ -1,0 +1,174 @@
+//! The machine-readable lint report (`metis-lint --json PATH`), built on
+//! [`metis_metrics::json`] — the same dependency-free writer the bench
+//! reports use, so the report round-trips byte-for-byte through the same
+//! parser CI and tooling already trust.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema": "metis-lint-report",
+//!   "version": 1,
+//!   "rules": ["wall-clock", "std-time-import", …],
+//!   "findings": [
+//!     {"rule": "…", "path": "…", "line": 7, "msg": "…"}
+//!   ],
+//!   "suppressions": [
+//!     {"rule": "…", "path": "…", "line": 3, "reason": "…", "used": true}
+//!   ],
+//!   "summary": {
+//!     "crates": 13, "files": 90,
+//!     "findings": 0, "suppressions": 12, "unused_suppressions": 0
+//!   }
+//! }
+//! ```
+//!
+//! `findings` and `suppressions` come pre-sorted by (path, line, rule) from
+//! [`crate::workspace::lint_workspace`]; the rendering is `render_pretty(2)`
+//! plus a trailing newline, so two runs over the same tree produce
+//! byte-identical files.
+
+use metis_metrics::json::Json;
+
+use crate::rules::{self, Suppression, Violation};
+use crate::workspace::WorkspaceOutcome;
+
+/// Schema identifier, checked by downstream consumers before reading.
+pub const SCHEMA: &str = "metis-lint-report";
+/// Schema version; bump on any structural change.
+pub const VERSION: u64 = 1;
+
+fn finding_json(v: &Violation) -> Json {
+    Json::Obj(vec![
+        ("rule".into(), Json::Str(v.rule.to_string())),
+        ("path".into(), Json::Str(v.path.clone())),
+        ("line".into(), Json::UInt(u64::from(v.line))),
+        ("msg".into(), Json::Str(v.msg.clone())),
+    ])
+}
+
+fn suppression_json(s: &Suppression) -> Json {
+    Json::Obj(vec![
+        ("rule".into(), Json::Str(s.rule.clone())),
+        ("path".into(), Json::Str(s.path.clone())),
+        ("line".into(), Json::UInt(u64::from(s.line))),
+        ("reason".into(), Json::Str(s.reason.clone())),
+        ("used".into(), Json::Bool(s.used)),
+    ])
+}
+
+/// Builds the versioned report value for one workspace lint outcome.
+pub fn report_json(outcome: &WorkspaceOutcome) -> Json {
+    let unused = outcome.suppressions.iter().filter(|s| !s.used).count();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.to_string())),
+        ("version".into(), Json::UInt(VERSION)),
+        (
+            "rules".into(),
+            Json::Arr(
+                rules::RULE_NAMES
+                    .iter()
+                    .map(|r| Json::Str((*r).to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "findings".into(),
+            Json::Arr(outcome.violations.iter().map(finding_json).collect()),
+        ),
+        (
+            "suppressions".into(),
+            Json::Arr(outcome.suppressions.iter().map(suppression_json).collect()),
+        ),
+        (
+            "summary".into(),
+            Json::Obj(vec![
+                ("crates".into(), Json::UInt(outcome.crates as u64)),
+                ("files".into(), Json::UInt(outcome.files as u64)),
+                (
+                    "findings".into(),
+                    Json::UInt(outcome.violations.len() as u64),
+                ),
+                (
+                    "suppressions".into(),
+                    Json::UInt(outcome.suppressions.len() as u64),
+                ),
+                ("unused_suppressions".into(), Json::UInt(unused as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// Renders the report to its canonical on-disk form: 2-space pretty JSON
+/// with a trailing newline, byte-stable across runs over the same tree.
+pub fn render_report(outcome: &WorkspaceOutcome) -> String {
+    let mut text = report_json(outcome).render_pretty(2);
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkspaceOutcome {
+        WorkspaceOutcome {
+            violations: vec![Violation {
+                rule: "wall-clock",
+                path: "crates/x/src/lib.rs".into(),
+                line: 7,
+                msg: "msg with \"quotes\" and \\backslash".into(),
+            }],
+            suppressions: vec![Suppression {
+                rule: "no-panic-in-worker".into(),
+                path: "crates/x/src/worker.rs".into(),
+                line: 3,
+                reason: "driver thread only".into(),
+                used: true,
+            }],
+            files: 2,
+            crates: 1,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_byte_for_byte() {
+        let text = render_report(&sample());
+        let parsed = Json::parse(text.trim_end()).expect("report parses");
+        let mut re = parsed.render_pretty(2);
+        re.push('\n');
+        assert_eq!(text, re, "render → parse → render must be byte-identical");
+    }
+
+    #[test]
+    fn report_shape_matches_schema() {
+        let v = report_json(&sample());
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(v.get("version").and_then(Json::as_u64), Some(VERSION));
+        let rules = v.get("rules").and_then(Json::as_arr).unwrap();
+        assert_eq!(rules.len(), rules::RULE_NAMES.len());
+        let f = &v.get("findings").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(f.get("rule").and_then(Json::as_str), Some("wall-clock"));
+        assert_eq!(f.get("line").and_then(Json::as_u64), Some(7));
+        let s = &v.get("suppressions").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(s.get("used").and_then(Json::as_bool), Some(true));
+        let sum = v.get("summary").unwrap();
+        assert_eq!(sum.get("findings").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            sum.get("unused_suppressions").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn unused_suppressions_are_counted() {
+        let mut o = sample();
+        o.suppressions[0].used = false;
+        let v = report_json(&o);
+        let sum = v.get("summary").unwrap();
+        assert_eq!(
+            sum.get("unused_suppressions").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,38 +1,56 @@
-//! The rule engine: repo-specific deny rules over the lexed token stream,
-//! and the suppression pragma that is the only way past them.
+//! The rule engine: repo-specific deny rules over the lexed token stream
+//! and the item tree, and the suppression pragma that is the only way past
+//! them.
 //!
 //! Every rule protects a committed artifact:
 //!
 //! | rule | protects |
 //! |---|---|
 //! | `wall-clock` | byte-for-byte sim golden, realtime parity bench |
+//! | `std-time-import` | the same, at the import: `std::time` stays in clock code |
+//! | `io-confinement` | sim purity: `std::fs`/`net`/`process` stay in app crates |
+//! | `crate-layering` | the crate DAG: core never imports bench/cli |
 //! | `nan-ordering` | worker threads (no NaN panic), stable sort orders |
 //! | `nondeterministic-iteration` | committed bench baselines, report goldens |
 //! | `unseeded-rng` | pinned-seed reproducibility of every experiment |
 //! | `bench-registration` | CI bench smoke coverage (autobenches = false) |
 //! | `no-panic-in-worker` | realtime replica workers (a panic kills serving) |
+//! | `blocking-under-lock` | realtime workers: no blocking with a guard live |
+//! | `channel-unwrap` | realtime workers: channel hangup is handled, not unwrapped |
+//! | `unit-mismatch` | time/token/byte arithmetic: no cross-unit drift |
 //!
-//! Suppression pragma, on the violating line or the line above it:
+//! Suppression pragma, on the violating line or the line above it (several
+//! rules may share one pragma, comma-separated):
 //!
 //! ```text
-//! // metis-lint: allow(wall-clock) reason="serve reports real wall time"
+//! // metis-lint: allow(wall-clock, std-time-import) reason="measures real wall time"
 //! ```
 //!
-//! The reason is mandatory and must be non-empty — an allow without an
-//! argument is itself a violation.
+//! The reason is mandatory and must be non-empty, and a pragma that
+//! suppresses nothing is a hard error (`unused-pragma`): stale allowances
+//! are exactly how suppressed regressions sneak back in.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{cfg_test_regions, lex, Lexed};
+use crate::syntax::{self, Item, UseLeaf};
 
-/// Machine-readable names of every file-level rule plus the project-level
-/// `bench-registration` (which `allow` may also name, in case a future
-/// manifest-side pragma needs it).
+/// Machine-readable names of every rule a pragma may `allow`. The
+/// meta-rules `pragma` (malformed pragma) and `unused-pragma` (pragma that
+/// suppressed nothing) are deliberately absent: they cannot be suppressed.
 pub const RULE_NAMES: &[&str] = &[
     "wall-clock",
+    "std-time-import",
+    "io-confinement",
+    "crate-layering",
     "nan-ordering",
     "nondeterministic-iteration",
     "unseeded-rng",
     "bench-registration",
     "no-panic-in-worker",
+    "blocking-under-lock",
+    "channel-unwrap",
+    "unit-mismatch",
 ];
 
 /// One finding: rule, workspace-relative path, 1-based line, message.
@@ -59,21 +77,39 @@ impl std::fmt::Display for Violation {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FileRole {
     /// Wall-clock reads are this file's *job* (`Clock` impls, the realtime
-    /// driver): `wall-clock` does not apply.
+    /// driver): `wall-clock` and `std-time-import` do not apply.
     pub wallclock_ok: bool,
-    /// The file holds realtime worker loops: `no-panic-in-worker` applies.
+    /// The file holds realtime worker loops: `no-panic-in-worker`,
+    /// `blocking-under-lock`, and `channel-unwrap` apply.
     pub worker: bool,
     /// The file produces committed reports/baselines:
     /// `nondeterministic-iteration` applies.
     pub report: bool,
+    /// The file belongs to a simulation crate's `src/` (not an `io`-role
+    /// crate): `io-confinement` applies.
+    pub io_confined: bool,
 }
 
-/// A parsed `metis-lint: allow(rule) reason="…"` pragma.
+/// A parsed `metis-lint: allow(rule) reason="…"` pragma entry. A
+/// comma-separated pragma (`allow(a, b)`) yields one entry per rule, all
+/// on the same line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Pragma {
     pub line: u32,
     pub rule: String,
     pub reason: String,
+}
+
+/// One pragma's audit record for the machine-readable report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+    /// Whether the pragma suppressed at least one finding. `false` means
+    /// an `unused-pragma` violation was also emitted.
+    pub used: bool,
 }
 
 /// Parses pragmas out of line comments; malformed pragmas (bad syntax,
@@ -102,14 +138,14 @@ pub fn parse_pragmas(lexed: &Lexed, path: &str) -> (Vec<Pragma>, Vec<Violation>)
             ));
             continue;
         };
-        let Some((rule, rest)) = rest.split_once(')') else {
+        let Some((rules, rest)) = rest.split_once(')') else {
             fail(format!("unclosed `allow(` in pragma: {body}"));
             continue;
         };
-        let rule = rule.trim();
-        if !RULE_NAMES.contains(&rule) {
+        let rules: Vec<&str> = rules.split(',').map(str::trim).collect();
+        if let Some(unknown) = rules.iter().find(|r| !RULE_NAMES.contains(r)) {
             fail(format!(
-                "pragma names unknown rule `{rule}` (known: {})",
+                "pragma names unknown rule `{unknown}` (known: {})",
                 RULE_NAMES.join(", ")
             ));
             continue;
@@ -120,50 +156,116 @@ pub fn parse_pragmas(lexed: &Lexed, path: &str) -> (Vec<Pragma>, Vec<Violation>)
             .and_then(|r| r.split_once('"'))
             .map(|(reason, _)| reason.trim());
         match reason {
-            Some(r) if !r.is_empty() => pragmas.push(Pragma {
-                line: c.line,
-                rule: rule.to_string(),
-                reason: r.to_string(),
-            }),
+            Some(r) if !r.is_empty() => {
+                for rule in rules {
+                    pragmas.push(Pragma {
+                        line: c.line,
+                        rule: rule.to_string(),
+                        reason: r.to_string(),
+                    });
+                }
+            }
             Some(_) => fail(format!("pragma reason must be non-empty: {body}")),
             None => fail(format!(
-                "pragma requires `reason=\"…\"` after `allow({rule})`: {body}"
+                "pragma requires `reason=\"…\"` after `allow({})`: {body}",
+                rules.join(", ")
             )),
         }
     }
     (pragmas, bad)
 }
 
-/// Lints one file's source. `path` is workspace-relative and used both for
-/// messages and for nothing else — role decisions were already made by the
-/// caller from manifest metadata.
-pub fn lint_source(path: &str, source: &str, role: FileRole) -> Vec<Violation> {
-    let lexed = lex(source);
-    let test_regions = cfg_test_regions(&lexed);
+/// Applies pragmas to raw violations: a pragma suppresses matching
+/// violations on its own line and the line directly below it. Returns the
+/// surviving violations — including an `unused-pragma` violation for every
+/// pragma that suppressed nothing — plus the full suppression audit list.
+pub fn apply_pragmas(
+    raw: Vec<Violation>,
+    pragmas: &[Pragma],
+    path: &str,
+) -> (Vec<Violation>, Vec<Suppression>) {
+    let mut used = vec![false; pragmas.len()];
+    let mut kept = Vec::new();
+    for v in raw {
+        let hit = pragmas
+            .iter()
+            .position(|p| p.rule == v.rule && (p.line == v.line || p.line + 1 == v.line));
+        match hit {
+            Some(i) => used[i] = true,
+            None => kept.push(v),
+        }
+    }
+    let mut suppressions = Vec::new();
+    for (i, p) in pragmas.iter().enumerate() {
+        suppressions.push(Suppression {
+            rule: p.rule.clone(),
+            path: path.to_string(),
+            line: p.line,
+            reason: p.reason.clone(),
+            used: used[i],
+        });
+        if !used[i] {
+            kept.push(Violation {
+                rule: "unused-pragma",
+                path: path.to_string(),
+                line: p.line,
+                msg: format!(
+                    "pragma `allow({})` suppressed nothing; remove it — stale \
+                     allowances are how suppressed regressions sneak back in",
+                    p.rule
+                ),
+            });
+        }
+    }
+    (kept, suppressions)
+}
+
+/// Runs every file-scoped rule over one lexed+parsed file, returning raw
+/// (unsuppressed) violations. Workspace-scoped rules (`crate-layering`,
+/// `bench-registration`) are the caller's job.
+pub fn file_rules(path: &str, lexed: &Lexed, items: &[Item], role: FileRole) -> Vec<Violation> {
+    let test_regions = cfg_test_regions(lexed);
     let in_test = |line: u32| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
-    let (pragmas, mut out) = parse_pragmas(&lexed, path);
+    let uses = syntax::collect_uses(items);
+    let imports: BTreeMap<&str, &str> = uses
+        .iter()
+        .filter(|u| u.name != "*")
+        .map(|u| (u.name.as_str(), u.path.as_str()))
+        .collect();
 
     let mut raw: Vec<Violation> = Vec::new();
     if !role.wallclock_ok {
-        wall_clock(path, &lexed, &mut raw);
+        wall_clock(path, lexed, &imports, &mut raw);
+        std_time_import(path, lexed, &uses, &mut raw);
     }
-    nan_ordering(path, &lexed, &mut raw);
-    unseeded_rng(path, &lexed, &mut raw);
+    if role.io_confined {
+        io_confinement(path, lexed, &uses, &mut raw);
+    }
+    nan_ordering(path, lexed, &mut raw);
+    unseeded_rng(path, lexed, &mut raw);
+    unit_mismatch(path, lexed, &mut raw);
     if role.report {
-        nondeterministic_iteration(path, &lexed, &mut raw);
+        nondeterministic_iteration(path, lexed, &mut raw);
     }
     if role.worker {
-        no_panic_in_worker(path, &lexed, &in_test, &mut raw);
+        let claimed = channel_unwrap(path, lexed, &in_test, &mut raw);
+        no_panic_in_worker(path, lexed, &in_test, &claimed, &mut raw);
+        blocking_under_lock(path, lexed, &in_test, &mut raw);
     }
+    raw
+}
 
-    // A pragma suppresses matching violations on its own line and the line
-    // directly below it (trailing-comment and line-above styles).
-    out.extend(raw.into_iter().filter(|v| {
-        !pragmas
-            .iter()
-            .any(|p| p.rule == v.rule && (p.line == v.line || p.line + 1 == v.line))
-    }));
-    out.sort_by_key(|v| v.line);
+/// Lints one file's source end to end: lex, parse, rules, pragmas. `path`
+/// is workspace-relative and used for messages only — role decisions were
+/// already made by the caller from manifest metadata.
+pub fn lint_source(path: &str, source: &str, role: FileRole) -> Vec<Violation> {
+    let lexed = lex(source);
+    let items = syntax::parse(&lexed);
+    let (pragmas, mut out) = parse_pragmas(&lexed, path);
+    let raw = file_rules(path, &lexed, &items, role);
+    let (kept, _suppressions) = apply_pragmas(raw, &pragmas, path);
+    out.extend(kept);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
 
@@ -177,10 +279,42 @@ fn push(raw: &mut Vec<Violation>, rule: &'static str, path: &str, line: u32, msg
 }
 
 /// `Instant::now` / `SystemTime::now` / `thread::sleep`: virtual time must
-/// never leak wall time. Everything times itself through
-/// `metis_llm::Clock`; the two sanctioned implementation files are exempted
-/// by manifest metadata, intentional measurements carry a pragma.
-fn wall_clock(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
+/// never leak wall time. Resolution is import-aware: a name explicitly
+/// qualified by a non-std path, or imported from somewhere other than
+/// `std::time` / `std::thread`, is *not* flagged (a custom `Instant` is
+/// allowed to exist); an unqualified, unimported name is conservatively
+/// assumed to be the std one.
+fn wall_clock(path: &str, lexed: &Lexed, imports: &BTreeMap<&str, &str>, raw: &mut Vec<Violation>) {
+    // Does the path-head ident at `i` denote the std item `std::<parent>::
+    // <name>` (types) or the std module itself (`parent.is_empty()`)?
+    let denotes_std = |i: usize, parent: &str| {
+        let name = lexed.ident(i);
+        if i >= 3 && lexed.path_sep(i - 2) {
+            // Explicitly qualified: `X::Instant` is std iff X is the std
+            // parent module (itself possibly written `std::time`).
+            let q = lexed.ident(i - 3);
+            if parent.is_empty() || q != parent {
+                return parent.is_empty() && q == "std";
+            }
+            return if i >= 6 && lexed.path_sep(i - 5) {
+                lexed.ident(i - 6) == "std"
+            } else {
+                match imports.get(parent) {
+                    Some(p) => *p == format!("std::{parent}"),
+                    None => true,
+                }
+            };
+        }
+        let full = if parent.is_empty() {
+            format!("std::{name}")
+        } else {
+            format!("std::{parent}::{name}")
+        };
+        match imports.get(name) {
+            Some(p) => *p == full,
+            None => true, // Unqualified and unimported: assume std.
+        }
+    };
     for i in 0..lexed.toks.len() {
         let head = lexed.ident(i);
         let callee = if lexed.path_sep(i + 1) {
@@ -189,9 +323,9 @@ fn wall_clock(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
             ""
         };
         let hit = match (head, callee) {
-            ("Instant", "now") => Some("std::time::Instant::now()"),
-            ("SystemTime", "now") => Some("std::time::SystemTime::now()"),
-            ("thread", "sleep") => Some("std::thread::sleep()"),
+            ("Instant", "now") if denotes_std(i, "time") => Some("std::time::Instant::now()"),
+            ("SystemTime", "now") if denotes_std(i, "time") => Some("std::time::SystemTime::now()"),
+            ("thread", "sleep") if denotes_std(i, "") => Some("std::thread::sleep()"),
             _ => None,
         };
         if let Some(what) = hit {
@@ -206,6 +340,68 @@ fn wall_clock(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
                 ),
             );
         }
+    }
+}
+
+/// Lines on which a path rooted at `std::<module>` appears, as a `use`
+/// declaration leaf or inline-qualified — one entry per line.
+fn std_module_lines(lexed: &Lexed, uses: &[UseLeaf], modules: &[&str]) -> BTreeMap<u32, String> {
+    let mut lines = BTreeMap::new();
+    for u in uses {
+        let mut segs = u.path.split("::");
+        if segs.next() == Some("std") {
+            if let Some(m) = segs.next() {
+                if modules.contains(&m) {
+                    lines.entry(u.line).or_insert_with(|| m.to_string());
+                }
+            }
+        }
+    }
+    for i in 0..lexed.toks.len() {
+        if lexed.ident(i) == "std" && lexed.path_sep(i + 1) && modules.contains(&lexed.ident(i + 3))
+        {
+            lines
+                .entry(lexed.toks[i].line)
+                .or_insert_with(|| lexed.ident(i + 3).to_string());
+        }
+    }
+    lines
+}
+
+/// Any `std::time` path (import or inline) outside the sanctioned clock
+/// and realtime files: the import is the root of every wall-time leak, so
+/// it is confined at the source, not just at the call sites `wall-clock`
+/// happens to know about.
+fn std_time_import(path: &str, lexed: &Lexed, uses: &[UseLeaf], raw: &mut Vec<Violation>) {
+    for (line, _) in std_module_lines(lexed, uses, &["time"]) {
+        push(
+            raw,
+            "std-time-import",
+            path,
+            line,
+            "`std::time` is confined to the Clock implementations and the realtime \
+             driver; route timing through `metis_llm::Clock` (or move the code to a \
+             `wallclock-files` entry)"
+                .to_string(),
+        );
+    }
+}
+
+/// `std::fs` / `std::net` / `std::process` in simulation-crate `src/`:
+/// ambient I/O makes a simulation's behavior depend on the machine it runs
+/// on. I/O belongs to the `io`-role crates (cli, bench, lint).
+fn io_confinement(path: &str, lexed: &Lexed, uses: &[UseLeaf], raw: &mut Vec<Violation>) {
+    for (line, module) in std_module_lines(lexed, uses, &["fs", "net", "process"]) {
+        push(
+            raw,
+            "io-confinement",
+            path,
+            line,
+            format!(
+                "`std::{module}` is ambient I/O inside a simulation crate; confine \
+                 I/O to the `io`-role crates (cli/bench/lint) and pass data in as values"
+            ),
+        );
     }
 }
 
@@ -225,24 +421,14 @@ fn nan_ordering(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
         if !lexed.punct(i + 1, '(') {
             continue;
         }
-        // Walk over the balanced argument list.
-        let mut depth = 0i32;
-        let mut j = i + 1;
-        while j < lexed.toks.len() {
-            if lexed.punct(j, '(') {
-                depth += 1;
-            } else if lexed.punct(j, ')') {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-            j += 1;
-        }
-        if !lexed.punct(j + 1, '.') {
+        let j = match skip_args(lexed, i + 1) {
+            Some(j) => j,
+            None => continue,
+        };
+        if !lexed.punct(j, '.') {
             continue;
         }
-        let next = lexed.ident(j + 2);
+        let next = lexed.ident(j + 1);
         if matches!(next, "unwrap" | "expect" | "unwrap_or") {
             push(
                 raw,
@@ -256,6 +442,25 @@ fn nan_ordering(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
             );
         }
     }
+}
+
+/// Walks over a balanced `(…)` argument list starting at the `(` at `i`;
+/// returns the index just past the matching `)`.
+fn skip_args(lexed: &Lexed, i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < lexed.toks.len() {
+        if lexed.punct(j, '(') {
+            depth += 1;
+        } else if lexed.punct(j, ')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
 }
 
 /// `HashMap` / `HashSet` in report-producing code: iteration order is
@@ -310,20 +515,169 @@ fn unseeded_rng(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
     }
 }
 
-/// `unwrap` / `expect` / panicking macros in realtime worker files: a panic
-/// on a replica worker thread silently kills serving for that replica.
-/// Invariant `assert!`s with diagnostics are allowed (they fail loudly and
-/// name the condition); recoverable errors must be handled. Test modules
-/// are exempt.
-fn no_panic_in_worker(
+/// The unit a suffixed identifier carries: `deadline_nanos` → `nanos`,
+/// `KV_BYTES` → `bytes`, bare `secs` → `secs`. `None` for unsuffixed names.
+fn unit_of(ident: &str) -> Option<&'static str> {
+    const UNITS: &[&str] = &["nanos", "secs", "ms", "tokens", "bytes"];
+    let lower = ident.to_ascii_lowercase();
+    UNITS
+        .iter()
+        .find(|u| lower == **u || (lower.len() > u.len() && lower.ends_with(&format!("_{u}"))))
+        .copied()
+}
+
+/// `a_nanos + b_secs`: additive arithmetic (`+`, `-`, `+=`, `-=`) between
+/// identifiers carrying *different* unit suffixes, with no conversion call
+/// between them. Multiplicative operators are exempt (they legitimately
+/// change units: `tokens * bytes_per_token`), as is any operand that is a
+/// call result — a call is the explicit conversion this rule demands.
+fn unit_mismatch(path: &str, lexed: &Lexed, raw: &mut Vec<Violation>) {
+    for i in 1..lexed.toks.len() {
+        let op = match (lexed.punct(i, '+'), lexed.punct(i, '-')) {
+            (true, _) => '+',
+            (_, true) => '-',
+            _ => continue,
+        };
+        // `->` arrows and `+=`/`-=` compound forms.
+        if op == '-' && lexed.punct(i + 1, '>') {
+            continue;
+        }
+        let rhs_start = if lexed.punct(i + 1, '=') {
+            i + 2
+        } else {
+            i + 1
+        };
+        // Left operand: the identifier directly before the operator. A `)`
+        // there means a call result (an explicit conversion) — skip.
+        let Some(lhs_unit) = unit_of(lexed.ident(i - 1)) else {
+            continue;
+        };
+        // Right operand: walk the `a.b::c.d` chain to its final
+        // identifier; a trailing `(` makes it a call — skip.
+        let Some(rhs_unit) = rhs_chain_unit(lexed, rhs_start) else {
+            continue;
+        };
+        if lhs_unit != rhs_unit {
+            push(
+                raw,
+                "unit-mismatch",
+                path,
+                lexed.toks[i].line,
+                format!(
+                    "`{}` ({lhs_unit}) {op} `{rhs_unit}` operand mixes units without an \
+                     explicit conversion call; convert one side (e.g. `secs_to_nanos(…)`) \
+                     or rename the identifier to its true unit",
+                    lexed.ident(i - 1)
+                ),
+            );
+        }
+    }
+}
+
+/// The unit of the right operand starting at `i`: follows a chain of
+/// identifiers joined by `.` / `::` and returns the unit of the last one,
+/// or `None` when the operand is a literal, a parenthesized expression, or
+/// ends in a call.
+fn rhs_chain_unit(lexed: &Lexed, mut i: usize) -> Option<&'static str> {
+    let mut last: Option<&str> = None;
+    loop {
+        let name = lexed.ident(i);
+        if name.is_empty() {
+            break;
+        }
+        last = Some(name);
+        i += 1;
+        if lexed.punct(i, '(') {
+            return None; // Call: an explicit conversion.
+        }
+        if lexed.punct(i, '.') && !lexed.punct(i + 1, '.') {
+            i += 1;
+        } else if lexed.path_sep(i) {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    last.and_then(unit_of)
+}
+
+/// Method names that block the calling thread. All are called as `.name(`.
+const BLOCKING_METHODS: &[&str] = &[
+    "lock",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "sleep_until",
+    "wait",
+    "wait_timeout",
+    "join",
+];
+
+/// Channel operations whose `Result` encodes hangup/拥塞 and must be
+/// handled, never unwrapped, on a worker thread.
+const CHANNEL_OPS: &[&str] = &["recv", "try_recv", "recv_timeout", "recv_deadline", "send"];
+
+/// `channel_op(…).unwrap()` in a worker file: a disconnected channel is a
+/// normal shutdown signal there, and unwrapping it turns every teardown
+/// race into a worker panic. Returns the token indices of the claimed
+/// `unwrap`/`expect` idents so `no-panic-in-worker` does not double-report.
+fn channel_unwrap(
     path: &str,
     lexed: &Lexed,
     in_test: &dyn Fn(u32) -> bool,
     raw: &mut Vec<Violation>,
+) -> BTreeSet<usize> {
+    let mut claimed = BTreeSet::new();
+    for i in 0..lexed.toks.len() {
+        let name = lexed.ident(i);
+        if !CHANNEL_OPS.contains(&name) || !lexed.punct(i.wrapping_sub(1), '.') {
+            continue;
+        }
+        if !lexed.punct(i + 1, '(') {
+            continue;
+        }
+        if in_test(lexed.toks[i].line) {
+            continue;
+        }
+        let Some(after) = skip_args(lexed, i + 1) else {
+            continue;
+        };
+        if !lexed.punct(after, '.') {
+            continue;
+        }
+        let tail = lexed.ident(after + 1);
+        if matches!(tail, "unwrap" | "expect") {
+            claimed.insert(after + 1);
+            push(
+                raw,
+                "channel-unwrap",
+                path,
+                lexed.toks[i].line,
+                format!(
+                    "`.{name}(…).{tail}` on a channel in a worker file: hangup is a \
+                     normal shutdown signal here — match on the error instead"
+                ),
+            );
+        }
+    }
+    claimed
+}
+
+/// `unwrap` / `expect` / panicking macros in realtime worker files: a panic
+/// on a replica worker thread silently kills serving for that replica.
+/// Invariant `assert!`s with diagnostics are allowed (they fail loudly and
+/// name the condition); recoverable errors must be handled. Test modules
+/// are exempt; sites already claimed by `channel-unwrap` are skipped.
+fn no_panic_in_worker(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    claimed: &BTreeSet<usize>,
+    raw: &mut Vec<Violation>,
 ) {
     for i in 0..lexed.toks.len() {
         let line = lexed.toks[i].line;
-        if in_test(line) {
+        if in_test(line) || claimed.contains(&i) {
             continue;
         }
         let name = lexed.ident(i);
@@ -345,6 +699,257 @@ fn no_panic_in_worker(
             );
         }
     }
+}
+
+/// A blocking call while a `MutexGuard` binding is still live in the
+/// enclosing block. Holding a guard across `.lock()` (lock-order
+/// inversion), `recv()`/`recv_timeout()` (hold-and-wait), or
+/// `sleep_until()` (priority inversion against the paced clock) is exactly
+/// how a replica worker deadlocks or stalls the whole driver. Scope-exact:
+/// the guard dies at its block's `}`, at `drop(guard)`, or at shadowing.
+fn blocking_under_lock(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    raw: &mut Vec<Violation>,
+) {
+    struct Guard {
+        name: String,
+        depth: i32,
+        line: u32,
+    }
+    struct PendingLet {
+        name: String,
+        has_lock: bool,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut pending: Option<PendingLet> = None;
+    let mut depth = 0i32;
+    for i in 0..lexed.toks.len() {
+        let line = lexed.toks[i].line;
+        if lexed.punct(i, '{') {
+            depth += 1;
+        } else if lexed.punct(i, '}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        } else if lexed.punct(i, ';') {
+            if let Some(p) = pending.take() {
+                if p.has_lock && !in_test(line) {
+                    // Shadowing: a rebind of the same name replaces it.
+                    guards.retain(|g| !(g.name == p.name && g.depth == depth));
+                    guards.push(Guard {
+                        name: p.name,
+                        depth,
+                        line,
+                    });
+                }
+            }
+        } else if lexed.ident(i) == "let" {
+            // `let [mut] name = …;` — only simple-identifier patterns can
+            // bind a guard this rule tracks.
+            let name_at = if lexed.ident(i + 1) == "mut" {
+                i + 2
+            } else {
+                i + 1
+            };
+            let name = lexed.ident(name_at);
+            if !name.is_empty() && lexed.punct(name_at + 1, '=') {
+                pending = Some(PendingLet {
+                    name: name.to_string(),
+                    has_lock: false,
+                });
+            } else {
+                pending = None;
+            }
+        } else if lexed.ident(i) == "drop"
+            && lexed.punct(i + 1, '(')
+            && lexed.punct(i + 3, ')')
+            && guards.iter().any(|g| g.name == lexed.ident(i + 2))
+        {
+            let dropped = lexed.ident(i + 2).to_string();
+            guards.retain(|g| g.name != dropped);
+        } else if lexed.punct(i.wrapping_sub(1), '.')
+            && BLOCKING_METHODS.contains(&lexed.ident(i))
+            && lexed.punct(i + 1, '(')
+        {
+            if lexed.ident(i) == "lock" {
+                if let Some(p) = pending.as_mut() {
+                    p.has_lock = true;
+                }
+            }
+            if let Some(g) = guards.last() {
+                if !in_test(line) {
+                    push(
+                        raw,
+                        "blocking-under-lock",
+                        path,
+                        line,
+                        format!(
+                            "blocking call `.{}(…)` while `MutexGuard` binding `{}` \
+                             (line {}) is still live in this block; drop the guard \
+                             (end its scope or `drop({})`) before blocking",
+                            lexed.ident(i),
+                            g.name,
+                            g.line,
+                            g.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The human explanation `--explain <rule>` prints, mirrored in README
+/// "Invariants". `None` for unknown rule ids.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "wall-clock" => {
+            "wall-clock: `Instant::now()` / `SystemTime::now()` / `thread::sleep()` \
+             outside the sanctioned Clock/realtime files.\n\n\
+             Virtual time must never leak wall time: one stray wall read makes sim \
+             results depend on the host, breaking the byte-for-byte sim golden and \
+             the realtime parity bench. Resolution is import-aware: a custom \
+             `Instant` imported from elsewhere is not flagged.\n\n\
+             flagged:  let t0 = std::time::Instant::now();\n\
+             clean:    let t0 = clock.now();           // metis_llm::Clock"
+        }
+        "std-time-import" => {
+            "std-time-import: any `std::time` path — `use` declaration or inline \
+             qualified — outside the files listed in `wallclock-files` (the Clock \
+             impls and the realtime driver).\n\n\
+             The import is the root of every wall-time leak, so it is confined at \
+             the source instead of chasing call sites. This is the import-resolved \
+             upgrade of `wall-clock`: the two overlap on purpose (defense in \
+             depth).\n\n\
+             flagged:  use std::time::Duration;        // in a sim crate\n\
+             clean:    use metis_llm::{Clock, Nanos};  // virtual durations"
+        }
+        "io-confinement" => {
+            "io-confinement: `std::fs` / `std::net` / `std::process` in the `src/` \
+             of a crate without the `io` role.\n\n\
+             Ambient I/O inside simulation crates makes results depend on the \
+             machine: files that exist, ports that answer, subprocesses that \
+             succeed. I/O belongs to the app-layer crates (cli, bench, lint) which \
+             declare `roles = [\"io\"]`; simulation code takes data as values. \
+             Tests are exempt (they own their fixtures).\n\n\
+             flagged:  let spec = std::fs::read_to_string(path)?;  // in metis-engine src/\n\
+             clean:    pub fn with_spec(spec: &str) -> Engine      // caller did the read"
+        }
+        "crate-layering" => {
+            "crate-layering: a dependency or `use` that points up (or sideways) in \
+             the crate layer order.\n\n\
+             Every crate declares `layer = \"…\"` in [package.metadata.metis-lint]; \
+             the order is foundation < model < runtime < data < profiling < \
+             orchestration < app < top. Both manifest `[dependencies]` edges and \
+             source-level `use metis_*::…` imports must point strictly down — core \
+             can never import bench or cli, and a re-export cannot smuggle an upper \
+             layer in, because the import line itself is checked.\n\n\
+             flagged:  use metis_bench::Sweep;   // from metis-core (orchestration)\n\
+             clean:    use metis_llm::Clock;     // model < orchestration"
+        }
+        "nan-ordering" => {
+            "nan-ordering: `partial_cmp(…).unwrap()` / `.expect(…)` / \
+             `.unwrap_or(Ordering::Equal)` over floats.\n\n\
+             A NaN panics the first two — on a replica worker thread that kills \
+             serving — and makes the third a non-total comparator that sort may \
+             reject. `f32::total_cmp`/`f64::total_cmp` is total over every bit \
+             pattern.\n\n\
+             flagged:  v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+             clean:    v.sort_by(|a, b| a.total_cmp(b));"
+        }
+        "nondeterministic-iteration" => {
+            "nondeterministic-iteration: `HashMap` / `HashSet` in report-producing \
+             code (crates or files with the `report` role).\n\n\
+             Hash iteration order is randomized per process; anything it feeds into \
+             a committed report or golden file diffs differently on every run. \
+             `BTreeMap`/`BTreeSet` iterate in key order, always.\n\n\
+             flagged:  let mut by_cell: HashMap<String, f64> = HashMap::new();\n\
+             clean:    let mut by_cell: BTreeMap<String, f64> = BTreeMap::new();"
+        }
+        "unseeded-rng" => {
+            "unseeded-rng: `thread_rng()`, `from_entropy()`, `OsRng`, \
+             `rand::random()` — RNG construction with no recorded seed.\n\n\
+             Every random stream in this workspace must be derivable from an \
+             explicit seed or pinned-seed baselines stop reproducing and the CI \
+             perf gate diffs noise.\n\n\
+             flagged:  let mut rng = rand::thread_rng();\n\
+             clean:    let mut rng = StdRng::seed_from_u64(cell_seed);"
+        }
+        "bench-registration" => {
+            "bench-registration: a `benches/*.rs` file with no `[[bench]]` entry, \
+             an entry without `harness = false`, or an entry pointing at a missing \
+             file.\n\n\
+             With `autobenches = false`, an unregistered bench file silently never \
+             builds again, and a registered one without `harness = false` runs \
+             under the libtest harness that swallows its `fn main`. Either way the \
+             CI bench smoke loses coverage without failing."
+        }
+        "no-panic-in-worker" => {
+            "no-panic-in-worker: `.unwrap()` / `.expect(…)` / `panic!`-family \
+             macros in files listed as `worker-files` (the realtime replica worker \
+             loops).\n\n\
+             A panic on a worker thread kills serving for that replica silently — \
+             the driver only notices as a hung channel. Handle recoverable errors; \
+             invariant `assert!`s with diagnostics are allowed (they fail loudly \
+             and name the condition). Test modules are exempt.\n\n\
+             flagged:  let req = rx.recv().unwrap();\n\
+             clean:    let Ok(req) = rx.recv() else { break };"
+        }
+        "blocking-under-lock" => {
+            "blocking-under-lock: a blocking call (`.lock()`, `.recv()`, \
+             `.recv_timeout()`, `.sleep_until()`, `.wait()`, `.join()`) while a \
+             `MutexGuard` binding is still live in the enclosing block, in a \
+             worker file.\n\n\
+             Hold-and-wait is the deadlock recipe: a worker holding a guard while \
+             blocking on a channel or the paced clock stalls every thread that \
+             needs that lock — the realtime driver's 30s watchdog turns that into \
+             a hard failure, this rule turns it into a lint. The guard dies at its \
+             block's `}`, at `drop(guard)`, or at shadowing; take a snapshot and \
+             drop the guard before blocking.\n\n\
+             flagged:  let st = shared.lock().unwrap_or_else(|e| e.into_inner());\n\
+             \u{20}         let req = rx.recv_timeout(wait)?;   // guard still live\n\
+             clean:    let snap = { shared.lock().…; copy };   // guard dead here\n\
+             \u{20}         let req = rx.recv_timeout(wait)?;"
+        }
+        "channel-unwrap" => {
+            "channel-unwrap: `.recv()` / `.try_recv()` / `.recv_timeout()` / \
+             `.send(…)` followed by `.unwrap()` / `.expect(…)` in a worker file.\n\n\
+             On a worker thread a disconnected channel is the *normal* shutdown \
+             signal (the driver hangs up to stop serving); unwrapping it turns \
+             every orderly teardown into a worker panic. Match on the error and \
+             break out of the loop instead.\n\n\
+             flagged:  let req = rx.recv().unwrap();\n\
+             clean:    match rx.recv() { Ok(r) => serve(r), Err(_) => break }"
+        }
+        "unit-mismatch" => {
+            "unit-mismatch: additive arithmetic (`+`, `-`, `+=`, `-=`) between \
+             identifiers whose suffixes name different units (`_nanos`, `_secs`, \
+             `_ms`, `_tokens`, `_bytes`) with no conversion call between them.\n\n\
+             `deadline_nanos + timeout_secs` compiles fine and is wrong by 10^9. \
+             Multiplicative operators are exempt (they legitimately change units: \
+             `tokens * bytes_per_token`), and a call result counts as the explicit \
+             conversion this rule demands.\n\n\
+             flagged:  let end_nanos = start_nanos + timeout_secs;\n\
+             clean:    let end_nanos = start_nanos + secs_to_nanos(timeout_secs);"
+        }
+        "pragma" => {
+            "pragma (meta-rule, not suppressible): a malformed suppression pragma — \
+             bad syntax, an unknown rule name, or a missing/empty reason.\n\n\
+             The pragma grammar is\n\n\
+             \u{20} // metis-lint: allow(rule-a, rule-b) reason=\"why this site is sanctioned\"\n\n\
+             on the violating line or the line directly above it. A typo'd pragma \
+             suppresses nothing, so it is reported rather than silently ignored."
+        }
+        "unused-pragma" => {
+            "unused-pragma (meta-rule, not suppressible): a well-formed pragma that \
+             suppressed no finding.\n\n\
+             Stale allowances are how suppressed regressions sneak back in: the \
+             code it excused is gone, but the next violation of that rule on that \
+             line would be silently forgiven. Delete the pragma."
+        }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -392,10 +997,19 @@ mod tests {
     }
 
     #[test]
-    fn pragma_for_a_different_rule_does_not_suppress() {
+    fn unused_pragma_is_a_hard_error() {
         let src = "// metis-lint: allow(nan-ordering) reason=\"x\"\nlet t = Instant::now();";
         let v = lint_source("x.rs", src, FileRole::default());
-        assert_eq!(rules_of(&v), vec!["wall-clock"]);
+        assert_eq!(rules_of(&v), vec!["unused-pragma", "wall-clock"]);
+        assert!(v[0].msg.contains("suppressed nothing"));
+    }
+
+    #[test]
+    fn comma_separated_pragma_suppresses_both_rules() {
+        let src = "// metis-lint: allow(wall-clock, std-time-import) reason=\"wall measurement\"\n\
+                   let t = std::time::Instant::now();";
+        let v = lint_source("x.rs", src, FileRole::default());
+        assert!(v.is_empty(), "both rules suppressed: {v:?}");
     }
 
     #[test]
@@ -455,6 +1069,19 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_is_import_resolved() {
+        // An `Instant` imported from somewhere other than std::time is not
+        // the wall clock — no finding.
+        let src = "use crate::faketime::Instant;\nfn f() { let t = Instant::now(); }";
+        assert!(lint_source("x.rs", src, FileRole::default()).is_empty());
+        // Imported from std::time: flagged (import line + call line).
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let v = lint_source("x.rs", src, FileRole::default());
+        assert_eq!(rules_of(&v), vec!["std-time-import", "wall-clock"]);
+        assert_eq!((v[0].line, v[1].line), (1, 2));
+    }
+
+    #[test]
     fn idents_inside_strings_and_comments_do_not_fire() {
         let src = "// Instant::now() in prose\nlet s = \"thread::sleep\"; /* HashMap */";
         let role = FileRole {
@@ -472,5 +1099,15 @@ mod tests {
             FileRole::default(),
         );
         assert_eq!(rules_of(&v), vec!["unseeded-rng", "unseeded-rng"]);
+    }
+
+    #[test]
+    fn every_rule_and_meta_rule_has_an_explanation() {
+        for rule in RULE_NAMES {
+            assert!(explain(rule).is_some(), "no explanation for {rule}");
+        }
+        assert!(explain("pragma").is_some());
+        assert!(explain("unused-pragma").is_some());
+        assert!(explain("no-such-rule").is_none());
     }
 }

@@ -1,0 +1,604 @@
+//! A lightweight item-tree parser over the lexed token stream.
+//!
+//! The lexer ([`crate::lexer`]) guarantees tokens are real code (nothing
+//! from strings or comments); this module recovers just enough *structure*
+//! from them for the import-resolved and scope-aware rules: which paths a
+//! file `use`s (with `{…}` groups expanded and `as` renames tracked), where
+//! items begin and end, and which tokens form the body of a `fn`, `mod`,
+//! `impl`, or `trait`.
+//!
+//! It is not a Rust parser — no expressions, no types, no precedence. The
+//! design contract, pinned by a property test, is *exact span coverage*:
+//!
+//! * sibling item spans are ascending and never overlap,
+//! * the top-level items cover every token of the file exactly,
+//! * an item with a parsed `body` has children that cover the tokens
+//!   strictly inside its braces exactly.
+//!
+//! That invariant is what lets rules attribute every token to exactly one
+//! item (and therefore one scope) without ever re-scanning the file.
+//! Statements the grammar does not model (expressions, `let`, control
+//! flow) become [`ItemKind::Other`] leaves that run to the next `;` at
+//! brace depth zero — deterministic, coverage-preserving, and precise
+//! enough for rules that only need enclosing-scope boundaries.
+
+use crate::lexer::Lexed;
+
+/// A token-index range `[start, end)` into [`Lexed::toks`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// One expanded `use` leaf: `use std::time::{Duration, Instant as I};`
+/// yields `std::time::Duration` (name `Duration`) and `std::time::Instant`
+/// (name `I`). Globs yield a trailing `*` segment with name `*`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseLeaf {
+    /// 1-based line of the leaf's last segment.
+    pub line: u32,
+    /// Full `::`-joined path (`std::time::Instant`).
+    pub path: String,
+    /// The name the import binds (`as` rename, else the last segment).
+    pub name: String,
+}
+
+/// What kind of item a tree node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `use` declaration with its expanded leaves.
+    Use(Vec<UseLeaf>),
+    /// `mod name;` or `mod name { … }`.
+    Mod { name: String },
+    /// `fn name(…) { … }` (or a bodyless trait-method signature).
+    Fn { name: String },
+    /// `impl … { … }`.
+    Impl,
+    /// `trait Name { … }` or `extern "…" { … }`.
+    Trait,
+    /// `struct` / `enum` / `union` definitions.
+    Struct { name: String },
+    /// A macro invocation or `macro_rules!` definition.
+    Macro { name: String },
+    /// Anything else: statements, expressions, `let`, stray tokens. Runs
+    /// to the next `;` at depth zero (consuming balanced groups).
+    Other,
+}
+
+/// One node of the item tree.
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Every token of the item, attributes included.
+    pub span: Span,
+    /// 1-based line of the item's first token.
+    pub line: u32,
+    /// Token indices of the `{` and matching `}` when the item's body was
+    /// parsed into children (`fn`/`mod`/`impl`/`trait` bodies only).
+    pub body: Option<(usize, usize)>,
+    /// Items parsed from the body interior; empty when `body` is `None`.
+    pub children: Vec<Item>,
+}
+
+/// Parses the whole token stream into a top-level item list.
+pub fn parse(lexed: &Lexed) -> Vec<Item> {
+    parse_region(lexed, 0, lexed.toks.len())
+}
+
+/// Collects every [`UseLeaf`] in the tree, recursively (function-local
+/// `use` declarations count: an import confined to one `fn` still brings
+/// the path into scope).
+pub fn collect_uses(items: &[Item]) -> Vec<UseLeaf> {
+    let mut out = Vec::new();
+    fn walk(items: &[Item], out: &mut Vec<UseLeaf>) {
+        for item in items {
+            if let ItemKind::Use(leaves) = &item.kind {
+                out.extend(leaves.iter().cloned());
+            }
+            walk(&item.children, out);
+        }
+    }
+    walk(items, &mut out);
+    out
+}
+
+/// Every module name declared anywhere in the tree (`mod name;` or
+/// `mod name { … }`): a `use` path whose head names one of these is a
+/// module path, not an external-crate edge.
+pub fn collect_mod_names(items: &[Item]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    fn walk(items: &[Item], out: &mut std::collections::BTreeSet<String>) {
+        for item in items {
+            if let ItemKind::Mod { name } = &item.kind {
+                out.insert(name.clone());
+            }
+            walk(&item.children, out);
+        }
+    }
+    walk(items, &mut out);
+    out
+}
+
+/// Skips a balanced `open`…`close` group starting at `i` (which must hold
+/// `open`); returns the index just past the matching `close`, clamped to
+/// `end` for unterminated input.
+fn skip_balanced(lexed: &Lexed, i: usize, open: char, close: char, end: usize) -> usize {
+    debug_assert!(lexed.punct(i, open));
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        if lexed.punct(j, open) {
+            depth += 1;
+        } else if lexed.punct(j, close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Scans from `i` to just past the next `;` at group depth zero, consuming
+/// balanced `()`, `[]`, and `{}` groups whole; stops at `end`.
+fn skip_to_semi(lexed: &Lexed, mut i: usize, end: usize) -> usize {
+    while i < end {
+        if lexed.punct(i, '(') {
+            i = skip_balanced(lexed, i, '(', ')', end);
+        } else if lexed.punct(i, '[') {
+            i = skip_balanced(lexed, i, '[', ']', end);
+        } else if lexed.punct(i, '{') {
+            i = skip_balanced(lexed, i, '{', '}', end);
+        } else if lexed.punct(i, ';') {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    end
+}
+
+/// Finds the opening `{` of an item body scanning from `i`: the first `{`
+/// at `()`/`[]` depth zero. Returns `Err(j)` when a depth-zero `;` (a
+/// bodyless item) or `end` is reached first, with `j` just past the `;`.
+fn find_body_open(lexed: &Lexed, mut i: usize, end: usize) -> Result<usize, usize> {
+    while i < end {
+        if lexed.punct(i, '(') {
+            i = skip_balanced(lexed, i, '(', ')', end);
+        } else if lexed.punct(i, '[') {
+            i = skip_balanced(lexed, i, '[', ']', end);
+        } else if lexed.punct(i, '{') {
+            return Ok(i);
+        } else if lexed.punct(i, ';') {
+            return Err(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    Err(end)
+}
+
+/// Item-introducing keywords whose layout the parser models.
+fn is_item_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "use"
+            | "mod"
+            | "fn"
+            | "impl"
+            | "trait"
+            | "struct"
+            | "enum"
+            | "union"
+            | "macro_rules"
+            | "extern"
+    )
+}
+
+/// Parses the tokens of `[start, end)` into items covering it exactly.
+fn parse_region(lexed: &Lexed, start: usize, end: usize) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = start;
+    while i < end {
+        let item_start = i;
+        let line = lexed.toks[i].line;
+
+        // Leading attributes: `#[…]` / `#![…]`, any number.
+        while lexed.punct(i, '#') {
+            let mut j = i + 1;
+            if lexed.punct(j, '!') {
+                j += 1;
+            }
+            if !lexed.punct(j, '[') {
+                break;
+            }
+            i = skip_balanced(lexed, j, '[', ']', end);
+        }
+
+        // Qualifiers before the item keyword: `pub(crate) unsafe fn …`.
+        loop {
+            match lexed.ident(i) {
+                "pub" => {
+                    i += 1;
+                    if lexed.punct(i, '(') {
+                        i = skip_balanced(lexed, i, '(', ')', end);
+                    }
+                }
+                // `const`/`async`/`unsafe`/`default` are qualifiers only
+                // when an item keyword (or another qualifier) follows;
+                // `const X: u32 = 1;` and `unsafe { … }` are not.
+                "const" | "async" | "unsafe" | "default"
+                    if is_item_keyword(lexed.ident(i + 1))
+                        || matches!(
+                            lexed.ident(i + 1),
+                            "pub" | "const" | "async" | "unsafe" | "default"
+                        ) =>
+                {
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
+
+        let (kind, next) = parse_item_at(lexed, i, end);
+        // Guarantee progress even on degenerate input (e.g. a trailing
+        // attribute with nothing after it).
+        let next = next.max(item_start + 1).min(end);
+        let (body, children) = match &kind {
+            ItemKind::Mod { .. } | ItemKind::Fn { .. } | ItemKind::Impl | ItemKind::Trait => {
+                body_of(lexed, item_start, next)
+            }
+            _ => (None, Vec::new()),
+        };
+        items.push(Item {
+            kind,
+            span: Span {
+                start: item_start,
+                end: next,
+            },
+            line,
+            body,
+            children,
+        });
+        i = next;
+    }
+    items
+}
+
+/// Locates the trailing `{…}` body inside `[start, end)` (the item parser
+/// arranged for body-bearing items to end exactly at their closing brace)
+/// and parses its interior.
+fn body_of(lexed: &Lexed, start: usize, end: usize) -> (Option<(usize, usize)>, Vec<Item>) {
+    if end <= start || !lexed.punct(end - 1, '}') {
+        return (None, Vec::new()); // `mod name;`, trait-method signature.
+    }
+    // The matching `{` is the one that balances the final `}`.
+    let mut depth = 0i32;
+    let mut j = end;
+    while j > start {
+        j -= 1;
+        if lexed.punct(j, '}') {
+            depth += 1;
+        } else if lexed.punct(j, '{') {
+            depth -= 1;
+            if depth == 0 {
+                let children = parse_region(lexed, j + 1, end - 1);
+                return (Some((j, end - 1)), children);
+            }
+        }
+    }
+    (None, Vec::new())
+}
+
+/// Parses one item starting at `i` (attributes and qualifiers already
+/// consumed); returns its kind and the index just past its last token.
+fn parse_item_at(lexed: &Lexed, i: usize, end: usize) -> (ItemKind, usize) {
+    match lexed.ident(i) {
+        "use" => {
+            let semi = skip_to_semi(lexed, i + 1, end);
+            let leaves = parse_use_tree(lexed, i + 1, semi);
+            (ItemKind::Use(leaves), semi)
+        }
+        "mod" => {
+            let name = lexed.ident(i + 1).to_string();
+            if lexed.punct(i + 2, ';') {
+                (ItemKind::Mod { name }, i + 3)
+            } else {
+                match find_body_open(lexed, i + 1, end) {
+                    Ok(open) => (
+                        ItemKind::Mod { name },
+                        skip_balanced(lexed, open, '{', '}', end),
+                    ),
+                    Err(next) => (ItemKind::Mod { name }, next),
+                }
+            }
+        }
+        "fn" => {
+            let name = lexed.ident(i + 1).to_string();
+            match find_body_open(lexed, i + 2, end) {
+                Ok(open) => (
+                    ItemKind::Fn { name },
+                    skip_balanced(lexed, open, '{', '}', end),
+                ),
+                // Trait-method signature: ends at the `;`.
+                Err(next) => (ItemKind::Fn { name }, next),
+            }
+        }
+        "impl" => match find_body_open(lexed, i + 1, end) {
+            Ok(open) => (ItemKind::Impl, skip_balanced(lexed, open, '{', '}', end)),
+            Err(next) => (ItemKind::Impl, next),
+        },
+        "trait" | "extern" => match find_body_open(lexed, i + 1, end) {
+            Ok(open) => (ItemKind::Trait, skip_balanced(lexed, open, '{', '}', end)),
+            Err(next) => (ItemKind::Trait, next),
+        },
+        kw @ ("struct" | "enum" | "union") => {
+            let name = lexed.ident(i + 1).to_string();
+            // `struct X;` / `struct X(T);` end at `;`; braced definitions
+            // end at their `}` (no trailing semicolon). `union` is only a
+            // keyword when a name follows.
+            if kw == "union" && lexed.ident(i + 1).is_empty() {
+                (ItemKind::Other, skip_to_semi(lexed, i, end))
+            } else {
+                match find_body_open(lexed, i + 1, end) {
+                    Ok(open) => (
+                        ItemKind::Struct { name },
+                        skip_balanced(lexed, open, '{', '}', end),
+                    ),
+                    Err(next) => (ItemKind::Struct { name }, next),
+                }
+            }
+        }
+        "macro_rules" if lexed.punct(i + 1, '!') => {
+            let name = lexed.ident(i + 2).to_string();
+            match find_body_open(lexed, i + 3, end) {
+                Ok(open) => (
+                    ItemKind::Macro { name },
+                    skip_balanced(lexed, open, '{', '}', end),
+                ),
+                Err(next) => (ItemKind::Macro { name }, next),
+            }
+        }
+        name if !name.is_empty() && macro_bang_at(lexed, i) => {
+            // `path::to::mac! { … }` ends at its brace; `mac!(…)` and
+            // `mac![…]` run on to the statement's `;`.
+            let mut j = i;
+            while !lexed.punct(j, '!') {
+                j += 1;
+            }
+            if lexed.punct(j + 1, '{') {
+                (
+                    ItemKind::Macro {
+                        name: name.to_string(),
+                    },
+                    skip_balanced(lexed, j + 1, '{', '}', end),
+                )
+            } else {
+                (
+                    ItemKind::Macro {
+                        name: name.to_string(),
+                    },
+                    skip_to_semi(lexed, j + 1, end),
+                )
+            }
+        }
+        _ => (ItemKind::Other, skip_to_semi(lexed, i, end)),
+    }
+}
+
+/// Whether tokens at `i` form a macro invocation head: a `::`-separated
+/// identifier path followed directly by `!`.
+fn macro_bang_at(lexed: &Lexed, mut i: usize) -> bool {
+    if lexed.ident(i).is_empty() {
+        return false;
+    }
+    i += 1;
+    while lexed.path_sep(i) && !lexed.ident(i + 2).is_empty() {
+        i += 3;
+    }
+    lexed.punct(i, '!')
+}
+
+/// Parses the use-tree tokens of `[i, end)` (after the `use` keyword, up
+/// to and including the `;`) into expanded leaves.
+fn parse_use_tree(lexed: &Lexed, i: usize, end: usize) -> Vec<UseLeaf> {
+    let mut leaves = Vec::new();
+    let mut prefix: Vec<String> = Vec::new();
+    walk_use(lexed, i, end, &mut prefix, &mut leaves);
+    leaves
+}
+
+/// Recursive descent over one use-tree alternative list. `prefix` holds
+/// the segments accumulated so far; restored on exit so siblings in a
+/// group see the same base.
+fn walk_use(
+    lexed: &Lexed,
+    mut i: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    leaves: &mut Vec<UseLeaf>,
+) -> usize {
+    let base_len = prefix.len();
+    let mut last_line = lexed.toks.get(i).map_or(1, |t| t.line);
+    loop {
+        if i >= end || lexed.punct(i, ';') || lexed.punct(i, ',') || lexed.punct(i, '}') {
+            // End of this alternative: emit a leaf if any segments were
+            // accumulated beyond the shared base.
+            if prefix.len() > base_len {
+                push_leaf(prefix, None, last_line, leaves);
+            }
+            prefix.truncate(base_len);
+            return i;
+        }
+        if lexed.punct(i, '{') {
+            // Group: each comma-separated alternative extends the prefix.
+            i += 1;
+            loop {
+                i = walk_use(lexed, i, end, prefix, leaves);
+                if lexed.punct(i, ',') {
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+            if lexed.punct(i, '}') {
+                i += 1;
+            }
+            prefix.truncate(base_len);
+            // A group always ends the alternative (`use a::{b, c};`).
+            // Consume up to the separator for the caller.
+            continue;
+        }
+        if lexed.punct(i, '*') {
+            last_line = lexed.toks[i].line;
+            prefix.push("*".to_string());
+            i += 1;
+            continue;
+        }
+        if lexed.ident(i) == "as" && !lexed.ident(i + 1).is_empty() {
+            let rename = lexed.ident(i + 1).to_string();
+            let line = lexed.toks[i + 1].line;
+            if prefix.len() > base_len {
+                push_leaf(prefix, Some(rename), line, leaves);
+            }
+            prefix.truncate(base_len);
+            // Skip to this alternative's separator.
+            i += 2;
+            while i < end && !lexed.punct(i, ',') && !lexed.punct(i, ';') && !lexed.punct(i, '}') {
+                i += 1;
+            }
+            continue;
+        }
+        if !lexed.ident(i).is_empty() {
+            last_line = lexed.toks[i].line;
+            prefix.push(lexed.ident(i).to_string());
+            i += 1;
+            continue;
+        }
+        // `::` separators and anything unexpected: skip.
+        i += 1;
+    }
+}
+
+fn push_leaf(prefix: &[String], rename: Option<String>, line: u32, leaves: &mut Vec<UseLeaf>) {
+    let path = prefix.join("::");
+    let name = rename.unwrap_or_else(|| prefix.last().cloned().unwrap_or_default());
+    leaves.push(UseLeaf { line, path, name });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn uses_of(src: &str) -> Vec<(String, String)> {
+        let lexed = lex(src);
+        collect_uses(&parse(&lexed))
+            .into_iter()
+            .map(|u| (u.path, u.name))
+            .collect()
+    }
+
+    #[test]
+    fn use_groups_expand_with_renames_and_globs() {
+        let got = uses_of("use std::time::{Duration, Instant as I};\nuse std::fs::*;\n");
+        assert_eq!(
+            got,
+            vec![
+                ("std::time::Duration".to_string(), "Duration".to_string()),
+                ("std::time::Instant".to_string(), "I".to_string()),
+                ("std::fs::*".to_string(), "*".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_use_groups_expand() {
+        let got = uses_of("use a::{b::{c, d}, e};");
+        let paths: Vec<&str> = got.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["a::b::c", "a::b::d", "a::e"]);
+    }
+
+    #[test]
+    fn function_local_uses_are_collected() {
+        let got = uses_of("fn f() { use std::process::Command; }\n");
+        assert_eq!(
+            got,
+            vec![("std::process::Command".to_string(), "Command".to_string())]
+        );
+    }
+
+    #[test]
+    fn item_kinds_and_bodies() {
+        let src = "use a::b;\npub fn f(x: u32) -> u32 { x + 1 }\nmod m { fn g() {} }\n\
+                   impl Foo { fn h(&self) {} }\nstruct S { a: u32 }\nenum E { A, B }\n";
+        let lexed = lex(src);
+        let items = parse(&lexed);
+        let kinds: Vec<&ItemKind> = items.iter().map(|i| &i.kind).collect();
+        assert!(matches!(kinds[0], ItemKind::Use(_)));
+        assert!(matches!(kinds[1], ItemKind::Fn { name } if name == "f"));
+        assert!(matches!(kinds[2], ItemKind::Mod { name } if name == "m"));
+        assert!(matches!(kinds[3], ItemKind::Impl));
+        assert!(matches!(kinds[4], ItemKind::Struct { name } if name == "S"));
+        assert!(matches!(kinds[5], ItemKind::Struct { name } if name == "E"));
+        // The mod body contains one fn child; the impl body one fn child.
+        assert!(matches!(&items[2].children[0].kind, ItemKind::Fn { name } if name == "g"));
+        assert!(matches!(&items[3].children[0].kind, ItemKind::Fn { name } if name == "h"));
+    }
+
+    #[test]
+    fn spans_cover_exactly_and_never_overlap() {
+        let src = "use a::b;\n#[derive(Debug)]\nstruct S;\nfn f() { let x = 1; if x > 0 { } }\n\
+                   macro_rules! m { () => {} }\nproptest! { fn p() {} }\nfn g() {}\n";
+        let lexed = lex(src);
+        let items = parse(&lexed);
+        assert_cover(&items, 0, lexed.toks.len());
+    }
+
+    fn assert_cover(items: &[Item], start: usize, end: usize) {
+        let mut at = start;
+        for item in items {
+            assert_eq!(item.span.start, at, "gap or overlap before {:?}", item.kind);
+            assert!(
+                item.span.end > item.span.start,
+                "empty span {:?}",
+                item.kind
+            );
+            if let Some((open, close)) = item.body {
+                assert!(item.span.start <= open && close < item.span.end);
+                assert_cover(&item.children, open + 1, close);
+            } else {
+                assert!(item.children.is_empty());
+            }
+            at = item.span.end;
+        }
+        assert_eq!(at, end, "items do not cover the region");
+    }
+
+    #[test]
+    fn trait_method_signatures_parse_bodyless() {
+        let src = "trait T { fn a(&self); fn b(&self) { } }";
+        let lexed = lex(src);
+        let items = parse(&lexed);
+        assert!(matches!(items[0].kind, ItemKind::Trait));
+        let kids = &items[0].children;
+        assert!(matches!(&kids[0].kind, ItemKind::Fn { name } if name == "a"));
+        assert!(kids[0].body.is_none());
+        assert!(matches!(&kids[1].kind, ItemKind::Fn { name } if name == "b"));
+        assert!(kids[1].body.is_some());
+    }
+}

@@ -1,39 +1,61 @@
 //! Workspace discovery: member enumeration, per-crate role metadata, the
-//! file walk, and the manifest-level `bench-registration` rule.
+//! dependency edges the layering rule walks, the file walk, and the
+//! manifest-level `bench-registration` rule.
 //!
 //! Roles are read from each crate's `Cargo.toml`:
 //!
 //! ```toml
 //! [package.metadata.metis-lint]
+//! # The crate's layer in the architecture order (see [`crate::graph`]).
+//! layer = "runtime"
 //! # Whole-crate roles. "report": src/ produces committed reports, so
-//! # nondeterministic-iteration is denied there.
-//! roles = ["report"]
+//! # nondeterministic-iteration is denied there. "io": the crate's job is
+//! # I/O (cli/bench/lint), so io-confinement does not apply.
+//! roles = ["report", "io"]
 //! # Crate-relative files where wall-clock reads ARE the implementation.
 //! wallclock-files = ["src/clock.rs"]
-//! # Crate-relative files holding realtime worker loops (no-panic rule).
+//! # Crate-relative files holding realtime worker loops (no-panic,
+//! # blocking-under-lock, channel-unwrap rules).
 //! worker-files = ["src/realtime.rs"]
 //! # File-granular report role for crates where only one module reports.
 //! report-files = ["src/runner.rs"]
+//! # Crate-relative path prefixes excluded from linting (rule fixtures
+//! # that exist to contain violations).
+//! skip-files = ["tests/fixtures/"]
 //! # Vendored shims: not ours to lint.
 //! skip = true
 //! ```
 //!
 //! The `Cargo.toml` parser handles exactly the subset these manifests use:
-//! sections, string/bool values, and single-line string arrays.
+//! sections, string/bool values, single-line string arrays, and dependency
+//! keys (`metis-llm.workspace = true`, `metis-text = { path = "…" }`).
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{lint_source, FileRole, Violation};
+use crate::graph;
+use crate::lexer::lex;
+use crate::rules::{apply_pragmas, file_rules, parse_pragmas, FileRole, Suppression, Violation};
+use crate::syntax;
 
 /// Per-crate lint metadata from `[package.metadata.metis-lint]`.
 #[derive(Clone, Debug, Default)]
 pub struct LintMeta {
     pub skip: bool,
+    pub layer: Option<String>,
     pub roles: Vec<String>,
     pub wallclock_files: Vec<String>,
     pub worker_files: Vec<String>,
     pub report_files: Vec<String>,
+    pub skip_files: Vec<String>,
+}
+
+/// One dependency edge from `[dependencies]` / `[dev-dependencies]` /
+/// `[build-dependencies]`: the crate name and its manifest line.
+#[derive(Clone, Debug)]
+pub struct Dep {
+    pub name: String,
+    pub line: u32,
 }
 
 /// One `[[bench]]` section: its manifest line, name, harness, path.
@@ -53,6 +75,7 @@ pub struct Manifest {
     pub members: Vec<String>,
     pub lint: LintMeta,
     pub benches: Vec<BenchEntry>,
+    pub deps: Vec<Dep>,
 }
 
 /// Strips a `#` comment that is outside any string.
@@ -133,7 +156,23 @@ pub fn parse_manifest(text: &str) -> Manifest {
         let Some((key, val)) = line.split_once('=') else {
             continue;
         };
-        let (key, val) = (key.trim(), parse_value(val));
+        let key = key.trim();
+        // A dependency key may be dotted (`metis-llm.workspace = true`);
+        // the crate name is the first segment either way.
+        if matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        ) {
+            let name = key.split('.').next().unwrap_or(key).trim_matches('"');
+            if !name.is_empty() && (key.contains('.') || !key.contains(' ')) {
+                m.deps.push(Dep {
+                    name: name.to_string(),
+                    line: idx as u32 + 1,
+                });
+            }
+            continue;
+        }
+        let val = parse_value(val);
         match (section.as_str(), key) {
             ("package", "name") => {
                 if let Value::Str(s) = val {
@@ -147,10 +186,12 @@ pub fn parse_manifest(text: &str) -> Manifest {
             }
             ("package.metadata.metis-lint", _) => match (key, val) {
                 ("skip", Value::Bool(b)) => m.lint.skip = b,
+                ("layer", Value::Str(s)) => m.lint.layer = Some(s),
                 ("roles", Value::Array(a)) => m.lint.roles = a,
                 ("wallclock-files", Value::Array(a)) => m.lint.wallclock_files = a,
                 ("worker-files", Value::Array(a)) => m.lint.worker_files = a,
                 ("report-files", Value::Array(a)) => m.lint.report_files = a,
+                ("skip-files", Value::Array(a)) => m.lint.skip_files = a,
                 _ => {}
             },
             ("[[bench]]", _) => {
@@ -250,8 +291,8 @@ pub fn members(root: &Path) -> Result<Vec<CrateInfo>, String> {
 
 /// Collects the crate's Rust sources: `src/`, `tests/`, `benches/`,
 /// `examples/` (recursively) and `build.rs`. Paths come back crate-relative
-/// with `/` separators, sorted.
-fn rust_files(dir: &Path) -> Vec<String> {
+/// with `/` separators, sorted; `skip-files` prefixes are excluded.
+fn rust_files(dir: &Path, meta: &LintMeta) -> Vec<String> {
     fn walk(base: &Path, rel: &str, out: &mut Vec<String>) {
         let Ok(entries) = std::fs::read_dir(base.join(rel)) else {
             return;
@@ -278,17 +319,20 @@ fn rust_files(dir: &Path) -> Vec<String> {
     if dir.join("build.rs").is_file() {
         out.push("build.rs".to_string());
     }
+    out.retain(|f| !meta.skip_files.iter().any(|p| f.starts_with(p.as_str())));
     out.sort();
     out
 }
 
 /// The role the manifest metadata assigns to one crate-relative file.
 fn role_of(meta: &LintMeta, file: &str) -> FileRole {
+    let io_role = meta.roles.iter().any(|r| r == "io");
     FileRole {
         wallclock_ok: meta.wallclock_files.iter().any(|f| f == file),
         worker: meta.worker_files.iter().any(|f| f == file),
         report: meta.report_files.iter().any(|f| f == file)
             || (meta.roles.iter().any(|r| r == "report") && file.starts_with("src/")),
+        io_confined: !io_role && file.starts_with("src/"),
     }
 }
 
@@ -300,7 +344,7 @@ fn role_of(meta: &LintMeta, file: &str) -> FileRole {
 pub fn check_bench_registration(krate: &CrateInfo) -> Vec<Violation> {
     let mut out = Vec::new();
     let manifest_path = join_rel(&krate.rel, "Cargo.toml");
-    let bench_files: Vec<String> = rust_files(&krate.dir)
+    let bench_files: Vec<String> = rust_files(&krate.dir, &krate.manifest.lint)
         .into_iter()
         .filter(|f| f.starts_with("benches/") && !f[8..].contains('/'))
         .collect();
@@ -366,22 +410,63 @@ fn join_rel(crate_rel: &str, file: &str) -> String {
     }
 }
 
-/// Lints every member crate of the workspace at `root`.
-pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
-    let mut out = Vec::new();
-    for krate in members(root)? {
+/// Everything one workspace lint run produced: surviving violations, the
+/// full suppression audit, and the coverage counts the report summarizes.
+#[derive(Debug, Default)]
+pub struct WorkspaceOutcome {
+    pub violations: Vec<Violation>,
+    pub suppressions: Vec<Suppression>,
+    /// Rust files linted (after `skip` / `skip-files` exclusion).
+    pub files: usize,
+    /// Member crates linted (after `skip` exclusion).
+    pub crates: usize,
+}
+
+/// Lints every member crate of the workspace at `root`: manifest-level
+/// rules (crate layering, bench registration), then every Rust file
+/// through lex → item tree → file rules + import layering → pragmas.
+pub fn lint_workspace(root: &Path) -> Result<WorkspaceOutcome, String> {
+    let all = members(root)?;
+    let layers = graph::layer_map(&all);
+    let mut out = WorkspaceOutcome {
+        violations: graph::check_crate_layering(&all),
+        ..WorkspaceOutcome::default()
+    };
+    for krate in &all {
         if krate.manifest.lint.skip {
             continue;
         }
-        out.extend(check_bench_registration(&krate));
-        for file in rust_files(&krate.dir) {
+        out.crates += 1;
+        out.violations.extend(check_bench_registration(krate));
+        let crate_name = krate.manifest.package_name.clone().unwrap_or_default();
+        for file in rust_files(&krate.dir, &krate.manifest.lint) {
             let abs = krate.dir.join(&file);
             let source = std::fs::read_to_string(&abs)
                 .map_err(|e| format!("read {}: {e}", abs.display()))?;
             let role = role_of(&krate.manifest.lint, &file);
-            out.extend(lint_source(&join_rel(&krate.rel, &file), &source, role));
+            let path = join_rel(&krate.rel, &file);
+            let lexed = lex(&source);
+            let items = syntax::parse(&lexed);
+            let (pragmas, bad) = parse_pragmas(&lexed, &path);
+            let mut raw = file_rules(&path, &lexed, &items, role);
+            raw.extend(graph::check_import_layering(
+                &crate_name,
+                &path,
+                &syntax::collect_uses(&items),
+                &syntax::collect_mod_names(&items),
+                &layers,
+            ));
+            let (kept, suppressions) = apply_pragmas(raw, &pragmas, &path);
+            out.violations.extend(bad);
+            out.violations.extend(kept);
+            out.suppressions.extend(suppressions);
+            out.files += 1;
         }
     }
+    out.violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out.suppressions
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     Ok(out)
 }
 
@@ -396,8 +481,10 @@ mod tests {
 [package]
 name = "demo" # trailing comment
 [package.metadata.metis-lint]
+layer = "runtime"
 roles = ["report"]
 wallclock-files = ["src/clock.rs", "src/other.rs"]
+skip-files = ["tests/fixtures/"]
 skip = false
 [[bench]]
 name = "fig"
@@ -407,13 +494,29 @@ name = "micro"
 "#,
         );
         assert_eq!(m.package_name.as_deref(), Some("demo"));
+        assert_eq!(m.lint.layer.as_deref(), Some("runtime"));
         assert_eq!(m.lint.roles, vec!["report"]);
         assert_eq!(m.lint.wallclock_files, vec!["src/clock.rs", "src/other.rs"]);
+        assert_eq!(m.lint.skip_files, vec!["tests/fixtures/"]);
         assert!(!m.lint.skip);
         assert_eq!(m.benches.len(), 2);
         assert_eq!(m.benches[0].name.as_deref(), Some("fig"));
         assert_eq!(m.benches[0].harness, Some(false));
         assert_eq!(m.benches[1].harness, None);
+    }
+
+    #[test]
+    fn dependency_edges_capture_name_and_line() {
+        let m = parse_manifest(
+            "[package]\nname = \"demo\"\n\n[dependencies]\nmetis-llm.workspace = true\n\
+             metis-text = { path = \"../metis-text\" }\n\n[dev-dependencies]\n\
+             proptest.workspace = true\n",
+        );
+        let edges: Vec<(&str, u32)> = m.deps.iter().map(|d| (d.name.as_str(), d.line)).collect();
+        assert_eq!(
+            edges,
+            vec![("metis-llm", 5), ("metis-text", 6), ("proptest", 9)]
+        );
     }
 
     #[test]
@@ -435,5 +538,18 @@ name = "micro"
         };
         assert!(role_of(&granular, "src/runner.rs").report);
         assert!(!role_of(&granular, "src/lib.rs").report);
+    }
+
+    #[test]
+    fn io_confinement_applies_to_src_of_non_io_crates_only() {
+        let sim = LintMeta::default();
+        assert!(role_of(&sim, "src/lib.rs").io_confined);
+        assert!(!role_of(&sim, "tests/t.rs").io_confined);
+        assert!(!role_of(&sim, "benches/b.rs").io_confined);
+        let io = LintMeta {
+            roles: vec!["io".into()],
+            ..LintMeta::default()
+        };
+        assert!(!role_of(&io, "src/main.rs").io_confined);
     }
 }

@@ -1,0 +1,125 @@
+//! Fixture-based rule tests: each source file under `tests/fixtures/`
+//! contains deliberate positives *and* negatives for one rule family; this
+//! test lints it with the role the rule is gated on and pins the exact
+//! (rule, path, line) of every finding. The fixtures are excluded from the
+//! workspace walk by this crate's `skip-files` metadata, so they can stay
+//! violating forever.
+
+use metis_lint::{lint_source, FileRole};
+
+fn findings(path: &str, source: &str, role: FileRole) -> Vec<(String, String, u32)> {
+    lint_source(path, source, role)
+        .into_iter()
+        .map(|v| (v.rule.to_string(), v.path, v.line))
+        .collect()
+}
+
+#[test]
+fn std_time_import_fixture() {
+    let path = "crates/demo/src/pace.rs";
+    let got = findings(
+        path,
+        include_str!("fixtures/std_time_import.rs"),
+        FileRole::default(),
+    );
+    let p = |rule: &str, line: u32| (rule.to_string(), path.to_string(), line);
+    assert_eq!(
+        got,
+        vec![
+            // The `use std::time::Duration` import itself.
+            p("std-time-import", 4),
+            // The inline-qualified call fires the import rule AND the
+            // call-site rule; the custom `Instant` on line 10 fires neither.
+            p("std-time-import", 9),
+            p("wall-clock", 9),
+        ]
+    );
+}
+
+#[test]
+fn io_confinement_fixture() {
+    let path = "crates/demo/src/sim.rs";
+    let role = FileRole {
+        io_confined: true,
+        ..FileRole::default()
+    };
+    let src = include_str!("fixtures/io_confinement.rs");
+    let got = findings(path, src, role);
+    let p = |line: u32| ("io-confinement".to_string(), path.to_string(), line);
+    assert_eq!(
+        got,
+        vec![
+            p(4), // use std::fs
+            p(5), // use std::net::TcpListener
+            p(7), // -> std::process::ExitStatus
+            p(8), // std::process::Command::new
+        ]
+    );
+    // The same file inside an io-role crate is clean.
+    assert!(findings(path, src, FileRole::default()).is_empty());
+}
+
+#[test]
+fn unit_mismatch_fixture() {
+    let path = "crates/demo/src/deadline.rs";
+    let got = findings(
+        path,
+        include_str!("fixtures/unit_mismatch.rs"),
+        FileRole::default(),
+    );
+    let p = |line: u32| ("unit-mismatch".to_string(), path.to_string(), line);
+    assert_eq!(
+        got,
+        vec![
+            p(5),  // start_nanos + timeout_secs
+            p(6),  // end_nanos - budget_tokens
+            p(8),  // total_nanos += lag_ms
+            p(12), // end_nanos - cfg.slo_secs (field chain carries the unit)
+        ],
+        "conversion calls, same units, and multiplication stay clean"
+    );
+}
+
+#[test]
+fn blocking_under_lock_fixture() {
+    let path = "crates/demo/src/realtime.rs";
+    let role = FileRole {
+        worker: true,
+        ..FileRole::default()
+    };
+    let got = findings(path, include_str!("fixtures/blocking_under_lock.rs"), role);
+    let p = |line: u32| ("blocking-under-lock".to_string(), path.to_string(), line);
+    assert_eq!(
+        got,
+        vec![
+            p(6),  // recv_timeout while the guard from line 5 is live
+            p(22), // second .lock() while the first guard is live
+        ],
+        "drop(guard), scope-exit snapshots, and guard-free waits stay clean"
+    );
+}
+
+#[test]
+fn channel_unwrap_fixture() {
+    let path = "crates/demo/src/worker.rs";
+    let role = FileRole {
+        worker: true,
+        ..FileRole::default()
+    };
+    let src = include_str!("fixtures/channel_unwrap.rs");
+    let got = findings(path, src, role);
+    let p = |line: u32| ("channel-unwrap".to_string(), path.to_string(), line);
+    assert_eq!(
+        got,
+        vec![
+            p(5), // rx.recv().unwrap()
+            p(6), // rx.try_recv().expect(…)
+            p(7), // tx.send(…).unwrap()
+        ],
+        "matching on the error (and unwrap_or) stays clean; channel \
+         unwraps are claimed by this rule, not double-reported by \
+         no-panic-in-worker"
+    );
+    // Outside worker files none of this applies.
+    assert!(findings(path, src, FileRole::default()).is_empty());
+}

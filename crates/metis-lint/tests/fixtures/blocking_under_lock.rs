@@ -1,0 +1,24 @@
+//! Fixture: `blocking-under-lock` positives and negatives. Linted by
+//! `fixture_findings.rs` with the worker role; excluded from the workspace
+//! walk by `skip-files`. Lines are pinned by the test.
+fn hold_and_wait(shared: &Mutex<State>, rx: &Receiver<Req>) -> Req {
+    let st = shared.lock().unwrap_or_else(|e| e.into_inner());
+    let req = rx.recv_timeout(st.wait);
+    drop(st);
+    let fine = rx.recv_timeout(idle_wait);
+    fine.or(req)
+}
+
+fn scoped_snapshot(shared: &Mutex<State>, rx: &Receiver<Req>) -> Req {
+    let snap = {
+        let st = shared.lock().unwrap_or_else(|e| e.into_inner());
+        st.copy_out()
+    };
+    rx.recv_timeout(snap.wait)
+}
+
+fn lock_order_inversion(a: &Mutex<State>, b: &Mutex<State>) {
+    let ga = a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner());
+    ga.merge(gb);
+}

@@ -1,0 +1,14 @@
+//! Fixture: `channel-unwrap` positives and negatives. Linted by
+//! `fixture_findings.rs` with the worker role; excluded from the workspace
+//! walk by `skip-files`. Lines are pinned by the test.
+fn worker_loop(rx: &Receiver<Req>, tx: &Sender<Resp>) {
+    let req = rx.recv().unwrap();
+    let more = rx.try_recv().expect("queue alive");
+    tx.send(serve(req, more)).unwrap();
+    loop {
+        match rx.recv() {
+            Ok(r) => tx.send(serve_one(r)).unwrap_or(()),
+            Err(_) => break,
+        }
+    }
+}

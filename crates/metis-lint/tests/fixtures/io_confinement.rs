@@ -1,0 +1,13 @@
+//! Fixture: `io-confinement` positives and negatives. Linted by
+//! `fixture_findings.rs` as the `src/` of a non-`io` crate; excluded from
+//! the workspace walk by `skip-files`. Lines are pinned by the test.
+use std::fs;
+use std::net::TcpListener;
+
+fn shell_out() -> std::process::ExitStatus {
+    std::process::Command::new("ls").status().unwrap()
+}
+
+fn pure(spec: &str) -> usize {
+    spec.len()
+}

@@ -1,0 +1,12 @@
+//! Fixture: `std-time-import` positives and negatives. Linted by
+//! `fixture_findings.rs` with the default role; excluded from the
+//! workspace walk by `skip-files`. Lines are pinned by the test.
+use std::time::Duration;
+
+use crate::faketime::Instant;
+
+fn pace(d: Duration) -> u64 {
+    let t0 = std::time::Instant::now();
+    let t1 = Instant::now();
+    t0.wallify(t1, d)
+}

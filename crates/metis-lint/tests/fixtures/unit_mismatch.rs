@@ -1,0 +1,14 @@
+//! Fixture: `unit-mismatch` positives and negatives. Linted by
+//! `fixture_findings.rs` with the default role; excluded from the
+//! workspace walk by `skip-files`. Lines are pinned by the test.
+fn mix(start_nanos: u64, timeout_secs: u64, budget_tokens: u64, lag_ms: u64) -> u64 {
+    let end_nanos = start_nanos + timeout_secs;
+    let drift = end_nanos - budget_tokens;
+    let mut total_nanos = end_nanos;
+    total_nanos += lag_ms;
+    let converted_nanos = start_nanos + secs_to_nanos(timeout_secs);
+    let same_nanos = start_nanos + end_nanos;
+    let product_bytes = budget_tokens * bytes_per_token;
+    let field_mix = end_nanos - cfg.slo_secs;
+    drift.max(converted_nanos.max(same_nanos.max(product_bytes.max(field_mix))))
+}

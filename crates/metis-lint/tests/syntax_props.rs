@@ -1,0 +1,249 @@
+//! Property test for the item-tree parser: seeded generators produce
+//! balanced, Rust-shaped token streams — nested items, attributes, stray
+//! statements, macro invocations, adversarial-but-balanced noise — and
+//! every generated source must round-trip through [`metis_lint::syntax`]
+//! with spans that cover the token stream exactly and never overlap:
+//! sibling spans are ascending and contiguous, the top level covers
+//! `[0, n)`, and each item's children cover its body interior exactly.
+
+use metis_lint::lexer::lex;
+use metis_lint::syntax::{parse, Item};
+use proptest::prelude::*;
+
+/// Small deterministic generator state (splitmix64): the whole source is a
+/// pure function of the seed, so failures replay exactly.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn ident(&mut self) -> String {
+        const NAMES: &[&str] = &[
+            "alpha",
+            "beta",
+            "gamma",
+            "delta",
+            "kv",
+            "engine",
+            "replica",
+            "span",
+            "x",
+            "y",
+            "deadline_nanos",
+            "budget_tokens",
+            "r#match",
+        ];
+        NAMES[self.pick(NAMES.len() as u64) as usize].to_string()
+    }
+}
+
+/// Balanced expression-level noise: literals, idents, lifetimes, operators,
+/// nested parens/brackets, strings with escapes — everything the lexer can
+/// produce, always delimiter-balanced.
+fn gen_noise(g: &mut Gen, depth: u32, out: &mut String) {
+    for _ in 0..g.pick(4) {
+        match g.pick(if depth > 0 { 8 } else { 6 }) {
+            0 => out.push_str(&format!("{} ", g.ident())),
+            1 => out.push_str(&format!("{} ", g.pick(100_000))),
+            2 => out.push_str("\"str \\\" with :: tokens\" "),
+            3 => out.push_str("'c' "),
+            4 => out.push_str("&'a mut "),
+            5 => out.push_str(&format!("{}.{}() ", g.ident(), g.ident())),
+            6 => {
+                out.push('(');
+                gen_noise(g, depth - 1, out);
+                out.push_str(") ");
+            }
+            _ => {
+                out.push('[');
+                gen_noise(g, depth - 1, out);
+                out.push_str("] ");
+            }
+        }
+    }
+}
+
+/// One statement inside a fn body: let bindings, nested blocks, ifs, fn-
+/// local items, macro calls.
+fn gen_stmt(g: &mut Gen, depth: u32, out: &mut String) {
+    match g.pick(if depth > 0 { 6 } else { 3 }) {
+        0 => {
+            out.push_str(&format!("let {} = ", g.ident()));
+            gen_noise(g, depth, out);
+            out.push_str(";\n");
+        }
+        1 => {
+            out.push_str(&format!("{}!(", g.ident()));
+            gen_noise(g, depth, out);
+            out.push_str(");\n");
+        }
+        2 => {
+            out.push_str(&format!("use {}::{};\n", g.ident(), g.ident()));
+        }
+        3 => {
+            out.push_str("{\n");
+            for _ in 0..g.pick(3) {
+                gen_stmt(g, depth - 1, out);
+            }
+            out.push_str("}\n");
+        }
+        4 => {
+            out.push_str("if ");
+            gen_noise(g, depth, out);
+            out.push_str("{\n");
+            gen_stmt(g, depth - 1, out);
+            out.push_str("}\n");
+        }
+        _ => gen_item(g, depth - 1, out),
+    }
+}
+
+/// One item: use (plain, grouped, renamed, glob), fn, mod, struct, enum,
+/// impl, trait, static, macro definition/invocation — with optional
+/// attributes and visibility qualifiers.
+fn gen_item(g: &mut Gen, depth: u32, out: &mut String) {
+    if g.pick(4) == 0 {
+        out.push_str("#[derive(Debug, Clone)]\n");
+    }
+    if g.pick(3) == 0 {
+        out.push_str("pub ");
+    } else if g.pick(5) == 0 {
+        out.push_str("pub(crate) ");
+    }
+    match g.pick(if depth > 0 { 10 } else { 5 }) {
+        0 => out.push_str(&format!("use {}::{};\n", g.ident(), g.ident())),
+        1 => out.push_str(&format!(
+            "use {}::{{{} as {}, {}::*}};\n",
+            g.ident(),
+            g.ident(),
+            g.ident(),
+            g.ident()
+        )),
+        2 => out.push_str(&format!("struct {}({}, u64);\n", g.ident(), g.ident())),
+        3 => out.push_str(&format!("static {}: u64 = {};\n", g.ident(), g.pick(10))),
+        4 => out.push_str(&format!("mod {};\n", g.ident())),
+        5 => {
+            out.push_str(&format!("fn {}(a: u64) {{\n", g.ident()));
+            for _ in 0..g.pick(4) {
+                gen_stmt(g, depth - 1, out);
+            }
+            out.push_str("}\n");
+        }
+        6 => {
+            out.push_str(&format!("mod {} {{\n", g.ident()));
+            for _ in 0..g.pick(3) {
+                gen_item(g, depth - 1, out);
+            }
+            out.push_str("}\n");
+        }
+        7 => {
+            out.push_str(&format!("impl {} {{\n", g.ident()));
+            for _ in 0..g.pick(3) {
+                out.push_str(&format!("fn {}(&self) {{\n", g.ident()));
+                gen_stmt(g, depth - 1, out);
+                out.push_str("}\n");
+            }
+            out.push_str("}\n");
+        }
+        8 => {
+            out.push_str(&format!(
+                "trait {} {{\nfn {}(&self);\n}}\n",
+                g.ident(),
+                g.ident()
+            ));
+        }
+        _ => {
+            out.push_str(&format!("macro_rules! {} {{ () => {{ ", g.ident()));
+            gen_noise(g, depth, out);
+            out.push_str(" }} }\n");
+        }
+    }
+}
+
+fn gen_source(seed: u64) -> String {
+    let mut g = Gen(seed);
+    let mut out = String::new();
+    let items = 1 + g.pick(6);
+    for _ in 0..items {
+        gen_item(&mut g, 3, &mut out);
+    }
+    out
+}
+
+/// The invariant: sibling spans are contiguous and ascending over exactly
+/// `[start, end)`; every body's children cover its interior exactly.
+fn assert_cover(items: &[Item], start: usize, end: usize, src: &str) {
+    let mut at = start;
+    for item in items {
+        assert_eq!(
+            item.span.start, at,
+            "gap or overlap before {:?} in:\n{src}",
+            item.kind
+        );
+        assert!(
+            item.span.end > item.span.start,
+            "empty span {:?} in:\n{src}",
+            item.kind
+        );
+        if let Some((open, close)) = item.body {
+            assert!(
+                item.span.start <= open && open < close && close < item.span.end,
+                "body outside span for {:?} in:\n{src}",
+                item.kind
+            );
+            assert_cover(&item.children, open + 1, close, src);
+        } else {
+            assert!(
+                item.children.is_empty(),
+                "children without a body on {:?} in:\n{src}",
+                item.kind
+            );
+        }
+        at = item.span.end;
+    }
+    assert_eq!(at, end, "items do not cover the region in:\n{src}");
+}
+
+proptest! {
+    /// Generated balanced sources round-trip through the item tree with
+    /// exact, non-overlapping span coverage.
+    #[test]
+    fn generated_sources_have_exact_span_coverage(seed in any::<u64>()) {
+        let src = gen_source(seed);
+        let lexed = lex(&src);
+        let items = parse(&lexed);
+        assert_cover(&items, 0, lexed.toks.len(), &src);
+    }
+}
+
+#[test]
+fn generator_exercises_every_item_kind() {
+    // Not a tautology check on the generator: if a refactor quietly made it
+    // emit only trivial sources, the property above would pass vacuously.
+    let mut all = String::new();
+    for seed in 0..64u64 {
+        all.push_str(&gen_source(seed));
+    }
+    for needle in [
+        "use ",
+        "fn ",
+        "mod ",
+        "impl ",
+        "trait ",
+        "macro_rules!",
+        "struct ",
+        "static ",
+    ] {
+        assert!(all.contains(needle), "generator never emits {needle:?}");
+    }
+}

@@ -1,6 +1,7 @@
 //! End-to-end workspace walking over a synthetic workspace written to
 //! `CARGO_TARGET_TMPDIR`: member-glob expansion, role metadata from crate
-//! manifests, `skip` for vendored shims, and both directions of the
+//! manifests, `skip` / `skip-files` exclusion, crate layering at both the
+//! manifest and the import level, and both directions of the
 //! `bench-registration` rule.
 
 use std::fs;
@@ -27,7 +28,8 @@ fn synthetic_workspace(name: &str) -> PathBuf {
     // src/ is in scope for the report role).
     write(
         &root.join("crates/reporter/Cargo.toml"),
-        "[package]\nname = \"reporter\"\n[package.metadata.metis-lint]\nroles = [\"report\"]\n",
+        "[package]\nname = \"reporter\"\n[package.metadata.metis-lint]\n\
+         layer = \"model\"\nroles = [\"report\"]\n",
     );
     write(
         &root.join("crates/reporter/src/lib.rs"),
@@ -43,7 +45,7 @@ fn synthetic_workspace(name: &str) -> PathBuf {
     write(
         &root.join("crates/clocked/Cargo.toml"),
         "[package]\nname = \"clocked\"\n[package.metadata.metis-lint]\n\
-         wallclock-files = [\"src/clock.rs\"]\n",
+         layer = \"model\"\nwallclock-files = [\"src/clock.rs\"]\n",
     );
     write(
         &root.join("crates/clocked/src/clock.rs"),
@@ -56,10 +58,12 @@ fn synthetic_workspace(name: &str) -> PathBuf {
 
     // A bench crate: one registered bench (harness = false, fine), one
     // registered without harness = false, one file never registered, and
-    // one [[bench]] entry pointing at a missing file.
+    // one [[bench]] entry pointing at a missing file. Its `io` role keeps
+    // io-confinement out of the picture.
     write(
         &root.join("crates/benched/Cargo.toml"),
         "[package]\nname = \"benched\"\nautobenches = false\n\
+         [package.metadata.metis-lint]\nlayer = \"top\"\nroles = [\"io\"]\n\
          [[bench]]\nname = \"good\"\nharness = false\n\
          [[bench]]\nname = \"harnessed\"\n\
          [[bench]]\nname = \"ghost\"\nharness = false\n",
@@ -77,6 +81,52 @@ fn synthetic_workspace(name: &str) -> PathBuf {
         "fn main() {}\n",
     );
 
+    // Layering, both detection levels: `metis-upward` sits on `model` but
+    // depends on (line 5) and imports (line 1) the `top`-layer crate.
+    write(
+        &root.join("crates/metis-upward/Cargo.toml"),
+        "[package]\nname = \"metis-upward\"\n\n[dependencies]\n\
+         metis-apex.workspace = true\n\n[package.metadata.metis-lint]\n\
+         layer = \"model\"\n",
+    );
+    write(
+        &root.join("crates/metis-upward/src/lib.rs"),
+        "use metis_apex::Everything;\n",
+    );
+    write(
+        &root.join("crates/metis-apex/Cargo.toml"),
+        "[package]\nname = \"metis-apex\"\n[package.metadata.metis-lint]\n\
+         layer = \"top\"\nroles = [\"io\"]\n",
+    );
+    write(
+        &root.join("crates/metis-apex/src/lib.rs"),
+        "pub struct Everything;\n",
+    );
+
+    // A crate that declares no layer at all.
+    write(
+        &root.join("crates/unplaced/Cargo.toml"),
+        "[package]\nname = \"unplaced\"\n",
+    );
+    write(&root.join("crates/unplaced/src/lib.rs"), "pub fn f() {}\n");
+
+    // skip-files: a fixtures directory full of violations, excluded by
+    // prefix; a sibling test file is still linted (pragma check).
+    write(
+        &root.join("crates/fixtured/Cargo.toml"),
+        "[package]\nname = \"fixtured\"\n[package.metadata.metis-lint]\n\
+         layer = \"app\"\nroles = [\"io\"]\nskip-files = [\"tests/fixtures/\"]\n",
+    );
+    write(&root.join("crates/fixtured/src/lib.rs"), "pub fn f() {}\n");
+    write(
+        &root.join("crates/fixtured/tests/fixtures/bad.rs"),
+        "fn t() { let x = Instant::now(); rand::thread_rng(); }\n",
+    );
+    write(
+        &root.join("crates/fixtured/tests/linted.rs"),
+        "// metis-lint: allow(wall-clock) reason=\"stale on purpose\"\nfn t() {}\n",
+    );
+
     // A vendored shim full of violations, skipped by metadata.
     write(
         &root.join("vendor/shim/Cargo.toml"),
@@ -91,10 +141,11 @@ fn synthetic_workspace(name: &str) -> PathBuf {
 }
 
 #[test]
-fn workspace_walk_applies_roles_skip_and_bench_registration() {
+fn workspace_walk_applies_roles_skip_layering_and_bench_registration() {
     let root = synthetic_workspace("metis-lint-ws");
-    let violations = lint_workspace(&root).expect("walk succeeds");
-    let keys: Vec<(String, String, u32)> = violations
+    let outcome = lint_workspace(&root).expect("walk succeeds");
+    let keys: Vec<(String, String, u32)> = outcome
+        .violations
         .iter()
         .map(|v| (v.rule.to_string(), v.path.clone(), v.line))
         .collect();
@@ -125,9 +176,6 @@ fn workspace_walk_applies_roles_skip_and_bench_registration() {
     assert!(keys
         .iter()
         .any(|(r, p, _)| r == "bench-registration" && p == "crates/benched/benches/orphan.rs"));
-    assert!(keys
-        .iter()
-        .any(|(r, p, _)| r == "bench-registration" && p == "crates/benched/Cargo.toml")); // harnessed + ghost
     let manifest_hits = keys
         .iter()
         .filter(|(r, p, _)| r == "bench-registration" && p == "crates/benched/Cargo.toml")
@@ -137,8 +185,45 @@ fn workspace_walk_applies_roles_skip_and_bench_registration() {
         "missing harness=false AND ghost file: {keys:?}"
     );
 
-    // Vendored shim: skipped entirely.
+    // Crate layering: the upward manifest dependency is pinned to its
+    // [dependencies] line, the upward import to its use line, and the
+    // layerless crate to its manifest.
+    assert!(
+        keys.iter().any(|(r, p, l)| r == "crate-layering"
+            && p == "crates/metis-upward/Cargo.toml"
+            && *l == 5),
+        "manifest edge: {keys:?}"
+    );
+    assert!(
+        keys.iter().any(|(r, p, l)| r == "crate-layering"
+            && p == "crates/metis-upward/src/lib.rs"
+            && *l == 1),
+        "import edge: {keys:?}"
+    );
+    assert!(
+        keys.iter()
+            .any(|(r, p, _)| r == "crate-layering" && p == "crates/unplaced/Cargo.toml"),
+        "missing layer: {keys:?}"
+    );
+
+    // skip-files: the fixtures dir is invisible; the sibling test file is
+    // linted (its stale pragma is an unused-pragma hard error) and its
+    // suppression shows up in the audit as unused.
+    assert!(!keys.iter().any(|(_, p, _)| p.contains("tests/fixtures/")));
+    assert!(
+        keys.iter()
+            .any(|(r, p, _)| r == "unused-pragma" && p == "crates/fixtured/tests/linted.rs"),
+        "{keys:?}"
+    );
+    assert!(outcome
+        .suppressions
+        .iter()
+        .any(|s| s.path == "crates/fixtured/tests/linted.rs" && !s.used));
+
+    // Vendored shim: skipped entirely, in findings and counts.
     assert!(!keys.iter().any(|(_, p, _)| p.starts_with("vendor/")));
+    assert!(outcome.crates >= 7, "linted crates: {}", outcome.crates);
+    assert!(outcome.files >= 10, "linted files: {}", outcome.files);
 }
 
 /// The real workspace must stay clean: this is the same check CI's
@@ -148,14 +233,26 @@ fn workspace_walk_applies_roles_skip_and_bench_registration() {
 fn real_workspace_is_clean() {
     let crate_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = crate_dir.parent().unwrap().parent().unwrap();
-    let violations = lint_workspace(root).expect("workspace walk succeeds");
+    let outcome = lint_workspace(root).expect("workspace walk succeeds");
     assert!(
-        violations.is_empty(),
+        outcome.violations.is_empty(),
         "workspace invariant violations:\n{}",
-        violations
+        outcome
+            .violations
             .iter()
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    // Every in-tree suppression must still earn its keep (an unused one
+    // would already be a violation above; this pins the audit too).
+    assert!(
+        outcome.suppressions.iter().all(|s| s.used),
+        "stale suppressions: {:?}",
+        outcome
+            .suppressions
+            .iter()
+            .filter(|s| !s.used)
+            .collect::<Vec<_>>()
     );
 }
