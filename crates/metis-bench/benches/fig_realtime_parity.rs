@@ -23,9 +23,9 @@ use metis_bench::{
     base_qps, bench_queries, dataset, emit, header, metis, new_report, run_with_driver, RUN_SEED,
 };
 use metis_core::{DriverSpec, RunResult, StageMeans};
-use metis_llm::Clock;
 use metis_datasets::DatasetKind;
 use metis_engine::RouterPolicy;
+use metis_llm::Clock;
 
 /// Relative tolerance on per-stage means (the acceptance bound).
 const REL_TOL: f64 = 0.10;

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
 use metis_datasets::{ArrivalProcess, DatasetKind};
-use metis_engine::{DriverSpec, RouterPolicy};
+use metis_engine::{DriverSpec, PreemptMode, RouterPolicy};
 use metis_vectordb::{HnswConfig, IndexSpec, Quantization};
 
 /// Default burst density for `--arrivals burst` (overridden by
@@ -59,8 +59,17 @@ pub struct RunArgs {
     pub prefix_cache_gib: Option<u64>,
     /// Number of engine replicas to serve across.
     pub replicas: usize,
+    /// Heterogeneous fleet: one replica per listed GPU class (replaces
+    /// `--replicas`).
+    pub replica_mix: Option<Vec<GpuClass>>,
     /// How queries are dispatched across replicas.
     pub router: RouterPolicy,
+    /// Grow/drain the fleet at runtime from queue depth and preemption
+    /// pressure.
+    pub autoscale: bool,
+    /// How KV-evicted sequences resume: recompute from scratch, or migrate
+    /// their KV to a replica with headroom (sim driver only).
+    pub preempt_mode: PreemptMode,
     /// Arrival process shaping the open-loop workload (ignored in closed
     /// loop).
     pub arrivals: ArrivalProcess,
@@ -76,6 +85,17 @@ pub struct RunArgs {
     /// Who executes the engine work and on whose time (serve/replay only;
     /// `run`/`sweep`/`profile` always simulate).
     pub driver: DriverSpec,
+}
+
+/// A GPU class a `--replica-mix` entry names. The CLI keeps the class (not
+/// a full `ReplicaSpec`) so parsed commands stay comparable in tests; the
+/// binary maps each class to its cluster when building the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GpuClass {
+    /// One NVIDIA A40 (48 GB).
+    A40,
+    /// One NVIDIA H100 (80 GB).
+    H100,
 }
 
 /// Which serving system to run.
@@ -103,7 +123,10 @@ impl Default for RunArgs {
             slo: None,
             prefix_cache_gib: None,
             replicas: 1,
+            replica_mix: None,
             router: RouterPolicy::RoundRobin,
+            autoscale: false,
+            preempt_mode: PreemptMode::Recompute,
             arrivals: ArrivalProcess::Poisson,
             priority_from_slo: false,
             index: IndexSpec::Flat,
@@ -136,7 +159,18 @@ OPTIONS:
   --slo <SECS>             per-query latency budget
   --prefix-cache-gb <GIB>  enable chunk-KV reuse
   --replicas <N>           engine replicas to serve across (default 1)
-  --router <round-robin|least-kv>  replica dispatch policy (default round-robin)
+  --replica-mix <a40|h100,...>  heterogeneous fleet: one replica per listed
+                           GPU class, e.g. a40,a40,h100 (replaces --replicas)
+  --router <round-robin|least-kv|prefix-aware>  replica dispatch policy
+                           (default round-robin; prefix-aware routes each
+                           query to the replica whose chunk-KV cache holds
+                           its retrieved chunks, needs --prefix-cache-gb)
+  --autoscale              grow/drain the fleet at runtime from queue depth
+                           and preemption pressure (--replicas sets the
+                           starting fleet; bounds 1..=8)
+  --preempt-mode <recompute|migrate>  how KV-evicted sequences resume
+                           (default recompute; migrate prices a KV transfer
+                           to a replica with headroom, sim driver only)
   --arrivals <poisson|burst|gamma|diurnal>  arrival process (default poisson)
   --burst-factor <F>       burst density for --arrivals burst (default 4)
   --priority-from-slo      schedule each query at its SLO tier's priority
@@ -176,8 +210,31 @@ pub fn parse_router(s: &str) -> Result<RouterPolicy, String> {
     match s.to_ascii_lowercase().as_str() {
         "round-robin" | "rr" => Ok(RouterPolicy::RoundRobin),
         "least-kv" | "least-kv-load" => Ok(RouterPolicy::LeastKvLoad),
+        "prefix-aware" | "prefix" => Ok(RouterPolicy::PrefixAware),
         other => Err(format!("unknown router '{other}'")),
     }
+}
+
+/// Parses a preemption-resume mode name.
+pub fn parse_preempt_mode(s: &str) -> Result<PreemptMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "recompute" => Ok(PreemptMode::Recompute),
+        "migrate" => Ok(PreemptMode::Migrate),
+        other => Err(format!("unknown preempt mode '{other}'")),
+    }
+}
+
+/// Parses a `--replica-mix` list: comma-separated GPU class names, one
+/// replica per entry.
+pub fn parse_replica_mix(s: &str) -> Result<Vec<GpuClass>, String> {
+    s.split(',')
+        .map(|name| match name.trim().to_ascii_lowercase().as_str() {
+            "a40" => Ok(GpuClass::A40),
+            "h100" => Ok(GpuClass::H100),
+            "" => Err("--replica-mix has an empty entry".to_string()),
+            other => Err(format!("unknown GPU class '{other}' in --replica-mix")),
+        })
+        .collect()
 }
 
 /// Parses an arrival-process name (factors come from their own flags).
@@ -247,6 +304,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut ef_search: Option<usize> = None;
     let mut driver_realtime: Option<bool> = None;
     let mut time_scale: Option<f64> = None;
+    let mut replicas_flag: Option<usize> = None;
     let mut i = 1;
     let next = |i: &mut usize| -> Result<&str, String> {
         *i += 1;
@@ -289,11 +347,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 )
             }
             "--replicas" => {
-                run.replicas = next(&mut i)?
+                let n: usize = next(&mut i)?
                     .parse()
-                    .map_err(|e| format!("bad --replicas: {e}"))?
+                    .map_err(|e| format!("bad --replicas: {e}"))?;
+                replicas_flag = Some(n);
+                run.replicas = n;
             }
+            "--replica-mix" => run.replica_mix = Some(parse_replica_mix(next(&mut i)?)?),
             "--router" => run.router = parse_router(next(&mut i)?)?,
+            "--autoscale" => run.autoscale = true,
+            "--preempt-mode" => run.preempt_mode = parse_preempt_mode(next(&mut i)?)?,
             "--arrivals" => run.arrivals = parse_arrivals(next(&mut i)?)?,
             "--burst-factor" => {
                 let f: f64 = next(&mut i)?
@@ -388,6 +451,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         // `Cluster::new` would otherwise panic deep inside the run.
         return Err("--replicas must be positive".into());
     }
+    // `--replica-mix` *is* the fleet size, one replica per listed class;
+    // alongside an explicit `--replicas` one of the two would silently win.
+    if let Some(mix) = &run.replica_mix {
+        if replicas_flag.is_some() {
+            return Err("--replica-mix replaces --replicas (drop one)".into());
+        }
+        // The heterogeneous fleet sizes each replica's engine from its own
+        // GPU class; `--big-model` instead repoints the whole fleet at the
+        // fixed dual-A40 70B serving config, so the mix would be ignored.
+        if run.big_model {
+            return Err("--replica-mix cannot be combined with --big-model".into());
+        }
+        run.replicas = mix.len();
+    }
     // `--burst-factor` composes with `--arrivals burst` in either flag
     // order; anywhere else it would be silently ignored.
     if let Some(f) = burst_factor {
@@ -472,6 +549,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             time_scale: time_scale.unwrap_or(1.0),
         };
     }
+    // KV migration rides the simulator's virtual timeline; the realtime
+    // driver's worker threads have no cross-replica transfer path and would
+    // refuse the engine at spawn — reject the combination up front.
+    if run.preempt_mode == PreemptMode::Migrate && driver_realtime == Some(true) {
+        return Err("--preempt-mode migrate requires the sim driver".into());
+    }
+    // Prefix-aware routing compares the replicas' chunk-KV caches; without
+    // a cache every replica looks identical and the router silently
+    // degrades to least-kv, so the dependency is made explicit.
+    if run.router == RouterPolicy::PrefixAware && run.prefix_cache_gib.is_none() {
+        return Err("--router prefix-aware requires --prefix-cache-gb".into());
+    }
     match sub.as_str() {
         "run" => Ok(Command::Run(run)),
         "sweep" => Ok(Command::Sweep(run)),
@@ -505,6 +594,81 @@ mod tests {
     #[test]
     fn empty_args_show_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    /// Pulls every `--flag` token out of a block of text.
+    fn flags_in(text: &str) -> std::collections::BTreeSet<String> {
+        let mut flags = std::collections::BTreeSet::new();
+        for raw in text.split(|c: char| c.is_whitespace() || "`|<>()=,;".contains(c)) {
+            let token = raw.trim_end_matches(|c: char| !c.is_ascii_alphanumeric());
+            if let Some(name) = token.strip_prefix("--") {
+                if !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                {
+                    flags.insert(token.to_string());
+                }
+            }
+        }
+        flags
+    }
+
+    /// The README's CLI section and the parser must not drift apart: every
+    /// flag the README documents must exist in the parser (and be listed
+    /// in `USAGE`), and every flag `USAGE` offers must be documented in
+    /// the README's CLI section.
+    #[test]
+    fn readme_cli_flags_match_the_parser() {
+        let readme = include_str!("../../../README.md");
+        let cli_section = readme
+            .split("\n## CLI\n")
+            .nth(1)
+            .expect("README has a '## CLI' section")
+            .split("\n## ")
+            .next()
+            .unwrap();
+
+        // Command examples are `cargo run --release -p metis-cli -- …`;
+        // only the part after cargo's `--` separator belongs to this
+        // parser, so strip each cargo prefix before scanning for flags.
+        let own_text: String = cli_section
+            .lines()
+            .map(
+                |line| match (line.contains("cargo "), line.split_once(" -- ")) {
+                    (true, Some((_, rest))) => rest,
+                    (true, None) => "",
+                    (false, _) => line,
+                },
+            )
+            .collect::<Vec<_>>()
+            .join("\n");
+        let documented = flags_in(&own_text);
+        let offered = flags_in(USAGE);
+        assert!(!documented.is_empty() && !offered.is_empty());
+
+        for flag in &documented {
+            assert!(
+                offered.contains(flag),
+                "README documents {flag} but USAGE does not list it"
+            );
+            // The parser itself must recognize the flag: whatever else goes
+            // wrong with a bare probe (missing value, combination rules),
+            // it must never be "unknown option".
+            let probe = parse(&sv(&["run", flag, "1"]));
+            if let Err(msg) = probe {
+                assert!(
+                    !msg.contains(&format!("unknown option '{flag}'")),
+                    "README documents {flag} but the parser rejects it as unknown: {msg}"
+                );
+            }
+        }
+        for flag in &offered {
+            assert!(
+                documented.contains(flag),
+                "USAGE lists {flag} but the README CLI section never mentions it"
+            );
+        }
     }
 
     #[test]
@@ -592,6 +756,79 @@ mod tests {
         // The check applies to every subcommand that takes the flag.
         let err = parse(&sv(&["sweep", "--replicas", "0"])).unwrap_err();
         assert!(err.contains("--replicas must be positive"), "got: {err}");
+    }
+
+    #[test]
+    fn elasticity_flags_parse() -> Result<(), String> {
+        let a = parse_run(&sv(&["run"]))?;
+        assert!(!a.autoscale);
+        assert_eq!(a.preempt_mode, PreemptMode::Recompute);
+        assert_eq!(a.replica_mix, None);
+        let a = parse_run(&sv(&["run", "--autoscale", "--replicas", "2"]))?;
+        assert!(a.autoscale);
+        assert_eq!(a.replicas, 2, "--replicas is the starting fleet");
+        let a = parse_run(&sv(&[
+            "run",
+            "--preempt-mode",
+            "migrate",
+            "--replicas",
+            "3",
+        ]))?;
+        assert_eq!(a.preempt_mode, PreemptMode::Migrate);
+        // An explicit recompute still parses (useful in scripts).
+        let a = parse_run(&sv(&["run", "--preempt-mode", "recompute"]))?;
+        assert_eq!(a.preempt_mode, PreemptMode::Recompute);
+        // The mix is the fleet: one replica per listed class, in order.
+        let a = parse_run(&sv(&["run", "--replica-mix", "a40,a40,h100"]))?;
+        assert_eq!(
+            a.replica_mix,
+            Some(vec![GpuClass::A40, GpuClass::A40, GpuClass::H100])
+        );
+        assert_eq!(a.replicas, 3, "the mix sets the fleet size");
+        let a = parse_run(&sv(&[
+            "run",
+            "--router",
+            "prefix-aware",
+            "--prefix-cache-gb",
+            "4",
+            "--replicas",
+            "2",
+        ]))?;
+        assert_eq!(a.router, RouterPolicy::PrefixAware);
+        Ok(())
+    }
+
+    #[test]
+    fn elasticity_flag_misuse_is_rejected() {
+        // --replica-mix and --replicas conflict in either flag order.
+        let err = parse(&sv(&["run", "--replica-mix", "a40", "--replicas", "2"])).unwrap_err();
+        assert!(err.contains("replaces --replicas"), "got: {err}");
+        let err = parse(&sv(&["run", "--replicas", "2", "--replica-mix", "a40"])).unwrap_err();
+        assert!(err.contains("replaces --replicas"), "got: {err}");
+        let err = parse(&sv(&["run", "--replica-mix", "a40,h100", "--big-model"])).unwrap_err();
+        assert!(err.contains("--big-model"), "got: {err}");
+        // Malformed mixes carry descriptive errors.
+        let err = parse(&sv(&["run", "--replica-mix", "a40,,h100"])).unwrap_err();
+        assert!(err.contains("empty entry"), "got: {err}");
+        let err = parse(&sv(&["run", "--replica-mix", "tpu"])).unwrap_err();
+        assert!(err.contains("unknown GPU class"), "got: {err}");
+        let err = parse(&sv(&["run", "--preempt-mode", "teleport"])).unwrap_err();
+        assert!(err.contains("unknown preempt mode"), "got: {err}");
+        // Migration has no realtime transfer path — rejected, not a panic
+        // deep inside the worker spawn.
+        let err = parse(&sv(&[
+            "serve",
+            "--driver",
+            "realtime",
+            "--preempt-mode",
+            "migrate",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("requires the sim driver"), "got: {err}");
+        // Prefix-aware routing without a prefix cache would silently act
+        // as least-kv.
+        let err = parse(&sv(&["run", "--router", "prefix-aware"])).unwrap_err();
+        assert!(err.contains("requires --prefix-cache-gb"), "got: {err}");
     }
 
     #[test]

@@ -18,11 +18,11 @@ use metis_core::{
 };
 use metis_datasets::{build_dataset, build_dataset_with_spec};
 use metis_engine::Priority;
-use metis_llm::{Clock, GpuCluster, ModelSpec};
+use metis_llm::{Clock, GpuCluster, ModelSpec, ReplicaSpec};
 use metis_metrics::BenchReport;
 use metis_profiler::{LlmProfiler, ProfilerKind};
 
-use args::{parse, Command, RunArgs, SystemChoice, USAGE};
+use args::{parse, Command, GpuClass, RunArgs, SystemChoice, USAGE};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -89,7 +89,25 @@ fn run_once(a: &RunArgs, system: SystemKind) -> RunResult {
     let mut cfg = RunConfig::standard(system, arrivals, a.seed);
     cfg.closed_loop = closed_loop;
     cfg.replicas = a.replicas;
+    if let Some(mix) = &a.replica_mix {
+        cfg.replica_specs = Some(
+            mix.iter()
+                .map(|class| {
+                    ReplicaSpec::new(match class {
+                        GpuClass::A40 => GpuCluster::single_a40(),
+                        GpuClass::H100 => GpuCluster::single_h100(),
+                    })
+                })
+                .collect(),
+        );
+    }
     cfg.router = a.router;
+    cfg.engine.preempt_mode = a.preempt_mode;
+    if a.autoscale {
+        // `--replicas` is the starting fleet; the default policy's band
+        // (1..=8 replicas) governs how far the run may grow or drain.
+        cfg = cfg.with_autoscale(metis_core::Autoscaler::default());
+    }
     cfg.index = a.index;
     cfg.quant = a.quant;
     if a.big_model {
@@ -163,6 +181,18 @@ fn cmd_run(a: &RunArgs) {
     if r.preemptions > 0 {
         println!("preemptions: {}", r.preemptions);
     }
+    if r.migrations > 0 {
+        println!(
+            "migrations: {} ({} KV tokens moved, {} tokens recomputed)",
+            r.migrations, r.migrated_tokens, r.preempted_tokens
+        );
+    }
+    if a.autoscale {
+        println!(
+            "fleet: peak {} replicas, {:.1} replica-seconds",
+            r.peak_replicas, r.replica_seconds
+        );
+    }
     if a.priority_from_slo {
         for p in Priority::all() {
             let lat = r.latency_of(p);
@@ -215,6 +245,24 @@ fn build_report(name: &str, title: &str, a: &RunArgs, r: &RunResult) -> BenchRep
         .knob("driver", r.driver.name());
     if r.driver == DriverKind::Realtime {
         report = report.knob("time_scale", r.time_scale);
+    }
+    // Elasticity knobs only when they shape the run, so reports from plain
+    // fixed-fleet invocations keep their existing shape.
+    if a.preempt_mode != metis_engine::PreemptMode::Recompute {
+        report = report.knob("preempt_mode", a.preempt_mode.name());
+    }
+    if a.autoscale {
+        report = report.knob("autoscale", true);
+    }
+    if let Some(mix) = &a.replica_mix {
+        let names: Vec<&str> = mix
+            .iter()
+            .map(|c| match c {
+                GpuClass::A40 => "a40",
+                GpuClass::H100 => "h100",
+            })
+            .collect();
+        report = report.knob("replica_mix", names.join(","));
     }
     report.cells.push(
         r.cell_report("run", a.seed)

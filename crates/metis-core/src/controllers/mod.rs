@@ -114,6 +114,19 @@ pub struct Decision {
 /// picks configurations, and hooks the scheduler. Implementations own all
 /// their mutable state (profiler, history, feedback counters), so the
 /// runner needs no system-specific branches.
+///
+/// Controllers are built from a [`SystemKind`], never constructed ad hoc
+/// by the runner:
+///
+/// ```
+/// use metis_core::{MetisOptions, SystemKind};
+/// use metis_engine::SchedPolicy;
+///
+/// let controller = SystemKind::Metis(MetisOptions::full()).controller();
+/// assert_eq!(controller.name(), "metis");
+/// // Full METIS asks the engine for SLO-class-aware admission.
+/// assert_eq!(controller.sched_policy(), SchedPolicy::Preemptive);
+/// ```
 pub trait ConfigController {
     /// Short stable name, for reports.
     fn name(&self) -> &'static str;

@@ -27,6 +27,7 @@
 //! F1, delay, throughput, and cost.
 
 pub mod agentic;
+pub mod autoscaler;
 pub mod baselines;
 pub mod bestfit;
 pub mod config;
@@ -40,6 +41,7 @@ pub mod slo;
 pub mod synthesis;
 
 pub use agentic::{plan_agentic, AgenticInputs};
+pub use autoscaler::{Autoscaler, AutoscalerState, ScaleAction};
 pub use baselines::{adaptive_rag_pick, fixed_config_grid, median_pick};
 pub use bestfit::{choose_config, BestFitInputs, Chosen};
 pub use config::{ConfigSpace, PrunedSpace, RagConfig, SynthesisMethod};

@@ -37,11 +37,12 @@ use metis_engine::{
 };
 use metis_llm::{
     nanos_to_secs, secs_to_nanos, FleetSpec, GenModelConfig, GenerationModel, GpuCluster,
-    LatencyModel, ModelKind, ModelSpec, Nanos,
+    LatencyModel, ModelKind, ModelSpec, Nanos, ReplicaSpec,
 };
 use metis_metrics::{f1_score, CellReport, LatencySummary, SummaryStats, ThroughputSummary};
 use metis_vectordb::{IndexSpec, Quantization, RetrievalOutcome, RetrievalResult, SearchWork};
 
+use crate::autoscaler::{Autoscaler, AutoscalerState, ScaleAction};
 use crate::config::{RagConfig, SynthesisMethod};
 use crate::controllers::{ConfigController, DecisionContext, ProfileOutcome, SystemKind};
 use crate::retrieval::RetrievalModel;
@@ -59,8 +60,17 @@ pub struct RunConfig {
     /// Number of independent engine replicas (each gets its own
     /// `cluster`-shaped GPU group; clamped to at least 1).
     pub replicas: usize,
+    /// Heterogeneous fleet override: when set, the initial fleet is built
+    /// from these per-replica specs (mixed GPU classes, per-replica
+    /// warm-up) instead of `replicas` copies of `cluster`. Replicas the
+    /// autoscaler adds later cycle through these specs too.
+    pub replica_specs: Option<Vec<ReplicaSpec>>,
     /// How queries are dispatched across replicas.
     pub router: RouterPolicy,
+    /// Fleet elasticity: when set, this policy is evaluated on the event
+    /// timeline (under both drivers) and adds/drains replicas through the
+    /// driver. `None` (the default) keeps the fixed fleet.
+    pub autoscale: Option<Autoscaler>,
     /// Generation-model tuning.
     pub gen: GenModelConfig,
     /// Engine parameters (policy is overridden by the system kind).
@@ -107,7 +117,9 @@ impl RunConfig {
             model: ModelSpec::mistral_7b_awq(),
             cluster: GpuCluster::single_a40(),
             replicas: 1,
+            replica_specs: None,
             router: RouterPolicy::RoundRobin,
+            autoscale: None,
             gen: GenModelConfig::default(),
             engine: EngineConfig::default(),
             arrivals,
@@ -131,6 +143,20 @@ impl RunConfig {
     /// The same run executed by `driver`.
     pub fn with_driver(mut self, driver: DriverSpec) -> Self {
         self.driver = driver;
+        self
+    }
+
+    /// The same run with fleet elasticity governed by `policy`. The run
+    /// starts at `replicas` (or `replica_specs`) and the policy adds or
+    /// drains replicas from there, within its own bounds.
+    pub fn with_autoscale(mut self, policy: Autoscaler) -> Self {
+        self.autoscale = Some(policy);
+        self
+    }
+
+    /// The same run served by an explicit heterogeneous fleet.
+    pub fn with_replica_specs(mut self, specs: Vec<ReplicaSpec>) -> Self {
+        self.replica_specs = Some(specs);
         self
     }
 }
@@ -275,6 +301,21 @@ pub struct RunResult {
     pub prefix_hit_rate: f64,
     /// Preemptions across all replicas (0 under non-preemptive policies).
     pub preemptions: u64,
+    /// Tokens discarded and recomputed by preemptions (0 under
+    /// [`PreemptMode::Migrate`](metis_engine::PreemptMode) when every
+    /// victim found headroom).
+    pub preempted_tokens: u64,
+    /// Preemption victims moved to another replica instead of recomputed.
+    pub migrations: u64,
+    /// Tokens of computed KV shipped between replicas by migrations.
+    pub migrated_tokens: u64,
+    /// High-water mark of concurrently live replicas (equals `replicas`
+    /// for a fixed fleet).
+    pub peak_replicas: usize,
+    /// Integrated capacity cost in replica-seconds: each replica slot
+    /// billed from spawn to retirement (or end of run). The autoscaler's
+    /// cost axis; a fixed fleet of `n` bills `n ×` the run's span.
+    pub replica_seconds: f64,
     /// Which driver executed the run.
     pub driver: DriverKind,
     /// The realtime time-scale knob (1.0 for simulated runs).
@@ -442,6 +483,22 @@ impl RunResult {
         } else {
             cell
         };
+        // Elasticity extras only when the fleet actually changed shape or
+        // migrations happened: fixed-fleet recompute cells (everything that
+        // existed before elasticity) must render byte-identically.
+        let cell = if self.peak_replicas != self.replicas {
+            cell.metric("peak_replicas", self.peak_replicas as f64)
+                .metric("replica_seconds", self.replica_seconds)
+        } else {
+            cell
+        };
+        let cell = if self.migrations > 0 {
+            cell.metric("migrations", self.migrations as f64)
+                .metric("migrated_tokens", self.migrated_tokens as f64)
+                .metric("preempted_tokens", self.preempted_tokens as f64)
+        } else {
+            cell
+        };
         if self.index_spec != IndexSpec::Flat || self.quant != Quantization::F32 {
             cell.knob("quantize", self.quant.name())
                 .metric(
@@ -490,6 +547,9 @@ enum EventKind {
     /// Retrieval finished: plan synthesis over the fetched chunks and
     /// submit the calls.
     Retrieve(usize),
+    /// Periodic autoscaler evaluation: read queue depth and preemption
+    /// pressure, add or drain a replica.
+    Autoscale,
 }
 
 struct PendingQuery {
@@ -607,7 +667,12 @@ impl<'a> Runner<'a> {
         } else {
             self.cfg.replicas.max(1)
         };
-        let fleet = FleetSpec::new(self.cfg.model.clone(), self.cfg.cluster, replica_count);
+        let fleet = match &self.cfg.replica_specs {
+            Some(specs) if !api_mode => {
+                FleetSpec::heterogeneous(self.cfg.model.clone(), specs.clone())
+            }
+            _ => FleetSpec::new(self.cfg.model.clone(), self.cfg.cluster, replica_count),
+        };
         let engine_cfg = EngineConfig {
             policy: controller.sched_policy(),
             ..self.cfg.engine
@@ -660,14 +725,34 @@ impl<'a> Runner<'a> {
         }
 
         // One prefix cache per replica: chunk KV materialized on one backend
-        // is invisible to the others.
-        let mut prefix_caches: Option<Vec<PrefixCache>> =
-            self.cfg.prefix_cache_bytes.map(|bytes| {
-                let tokens = bytes / self.cfg.model.kv_bytes_per_token().max(1);
-                (0..driver.replicas())
-                    .map(|_| PrefixCache::new(tokens))
-                    .collect()
-            });
+        // is invisible to the others. Replicas added by the autoscaler get
+        // their own (cold) cache of the same size.
+        let prefix_tokens = self
+            .cfg
+            .prefix_cache_bytes
+            .map(|bytes| bytes / self.cfg.model.kv_bytes_per_token().max(1));
+        let mut prefix_caches: Option<Vec<PrefixCache>> = prefix_tokens.map(|tokens| {
+            (0..driver.replicas())
+                .map(|_| PrefixCache::new(tokens))
+                .collect()
+        });
+
+        // Fleet elasticity: schedule the first autoscaler tick one interval
+        // after the first arrival; each tick reschedules the next while
+        // external events remain.
+        let autoscale = if api_mode { None } else { self.cfg.autoscale };
+        let mut scaler_state = AutoscalerState::default();
+        if let Some(policy) = &autoscale {
+            if let Some(&first) = self.cfg.arrivals.iter().min() {
+                push(
+                    &mut heap,
+                    &mut events,
+                    &mut seq,
+                    first + policy.eval_interval_nanos,
+                    EventKind::Autoscale,
+                );
+            }
+        }
         let mut pending: BTreeMap<usize, PendingQuery> = BTreeMap::new();
         let mut staged: BTreeMap<usize, StagedQuery> = BTreeMap::new();
         let mut flight = Flight::default();
@@ -756,6 +841,68 @@ impl<'a> Runner<'a> {
                                 |t, e| push(&mut heap, &mut events, &mut seq, t, e),
                             );
                         }
+                        EventKind::Autoscale => {
+                            let policy =
+                                autoscale.as_ref().expect("autoscale event without policy");
+                            let active = driver.active_replicas(t);
+                            let queue_depth = driver.queue_depth();
+                            // Worst pressure over the replicas still taking
+                            // routes: retired slots keep their (frozen)
+                            // stats and must not gate future decisions.
+                            let pressure = (0..driver.replicas())
+                                .map(|i| ReplicaId(i as u32))
+                                .filter(|&id| driver.is_routable(id, t))
+                                .map(|id| driver.preemption_pressure(id))
+                                .fold(0.0_f64, f64::max);
+                            match policy.evaluate(
+                                t,
+                                active,
+                                queue_depth,
+                                pressure,
+                                &mut scaler_state,
+                            ) {
+                                ScaleAction::Up => {
+                                    // New slots cycle through the fleet's
+                                    // replica specs, so a heterogeneous mix
+                                    // grows in kind.
+                                    let slot = driver.replicas();
+                                    let spec = fleet.replicas[slot % fleet.replicas.len()];
+                                    let lat =
+                                        LatencyModel::new(self.cfg.model.clone(), spec.cluster);
+                                    let warmup = spec.warmup_nanos.max(policy.warmup_nanos);
+                                    driver.add_replica(Engine::new(lat, engine_cfg), t, warmup);
+                                    if let (Some(caches), Some(tokens)) =
+                                        (prefix_caches.as_mut(), prefix_tokens)
+                                    {
+                                        caches.push(PrefixCache::new(tokens));
+                                    }
+                                }
+                                ScaleAction::Down => {
+                                    // Drain the newest routable slot; the
+                                    // driver refuses the last one.
+                                    for i in (0..driver.replicas()).rev() {
+                                        let id = ReplicaId(i as u32);
+                                        if driver.is_routable(id, t) && driver.drain_replica(id, t)
+                                        {
+                                            break;
+                                        }
+                                    }
+                                }
+                                ScaleAction::Hold => {}
+                            }
+                            // Keep ticking while external events remain;
+                            // once only the drain is left the fleet is
+                            // frozen and the run can empty its heap.
+                            if !events.is_empty() {
+                                push(
+                                    &mut heap,
+                                    &mut events,
+                                    &mut seq,
+                                    t + policy.eval_interval_nanos,
+                                    EventKind::Autoscale,
+                                );
+                            }
+                        }
                     }
                 }
                 None => {
@@ -813,6 +960,11 @@ impl<'a> Runner<'a> {
             api_cost_usd: api_cost,
             makespan_secs,
             preemptions: driver_stats.preemptions,
+            preempted_tokens: driver_stats.preempted_tokens,
+            migrations: driver_stats.migrations,
+            migrated_tokens: driver_stats.migrated_tokens,
+            peak_replicas: driver_stats.peak_replicas,
+            replica_seconds: driver_stats.replica_seconds,
             driver: spec.kind(),
             time_scale: spec.time_scale(),
             index_spec: self.cfg.index,
@@ -857,7 +1009,7 @@ impl<'a> Runner<'a> {
         let replica = if api_mode {
             ReplicaId(0)
         } else {
-            driver.route()
+            driver.route(t)
         };
         let decision = controller.decide(&DecisionContext {
             space: pending.outcome.space.as_ref(),
@@ -999,6 +1151,37 @@ impl<'a> Runner<'a> {
             .len()
             .min(retrieved.len())
             .max(usize::from(!retrieved.is_empty()));
+        // Prefix-aware routing: the decide-time route was a least-KV
+        // fallback (the retrieved chunks were unknown). Now they are known,
+        // so re-route to the routable replica whose cache already holds the
+        // most of their KV — and only switch when some cache actually
+        // overlaps, otherwise the memory-sized fallback stands.
+        let replica = match (&self.cfg.router, prefix_caches.as_ref()) {
+            (RouterPolicy::PrefixAware, Some(caches)) if !api_mode => {
+                let considered = match config.synthesis {
+                    SynthesisMethod::Stuff => config.effective_chunks(retrieved.len()),
+                    _ => k_used,
+                };
+                let overlap_of = |cache: &PrefixCache| -> u64 {
+                    retrieved
+                        .iter()
+                        .take(considered)
+                        .map(|r| cache.peek_tokens(r.hit.chunk, r.text.len() as u64))
+                        .sum()
+                };
+                caches
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| {
+                        driver.is_routable(ReplicaId(*i as u32), t) || *i == replica.0 as usize
+                    })
+                    .map(|(i, cache)| (overlap_of(cache), i))
+                    .max_by_key(|&(overlap, i)| (overlap, std::cmp::Reverse(i)))
+                    .filter(|&(overlap, _)| overlap > 0)
+                    .map_or(replica, |(_, i)| ReplicaId(i as u32))
+            }
+            _ => replica,
+        };
         // The routed replica's own cache: KV cached elsewhere doesn't help.
         let prefix_cache = prefix_caches
             .as_mut()
@@ -1064,7 +1247,7 @@ impl<'a> Runner<'a> {
                 &retrieved,
                 self.cfg.seed ^ 0x601D ^ q as u64,
             );
-            let replica = driver.route();
+            let replica = driver.route(t);
             self.submit_wave(
                 driver,
                 flight,

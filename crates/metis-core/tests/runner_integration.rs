@@ -619,3 +619,140 @@ fn slo_constrained_runs_use_cheaper_configs() {
     // Cheaper configurations trade some quality, but not everything.
     assert!(constrained.mean_f1() > plain.mean_f1() * 0.6);
 }
+
+#[test]
+fn autoscaler_grows_under_load_and_bills_fewer_replica_seconds_than_fixed() {
+    // Fleet elasticity end to end: a diurnal day served from 1 replica
+    // under an autoscaler must complete everything, grow past its starting
+    // fleet at the peak, and bill strictly fewer replica-seconds than a
+    // fixed fleet at the autoscaler's cap.
+    let n = 40;
+    let d = build_dataset(DatasetKind::Musique, n, 2024);
+    let arrivals = metis_datasets::diurnal_arrivals(7, 1.1, n);
+    let policy = metis_core::Autoscaler {
+        max_replicas: 4,
+        scale_up_queue_depth: 4,
+        eval_interval_nanos: 500_000_000,
+        cooldown_nanos: 2_000_000_000,
+        warmup_nanos: 1_000_000_000,
+        ..metis_core::Autoscaler::default()
+    };
+    let cfg = RunConfig::standard(
+        SystemKind::Metis(MetisOptions::full()),
+        arrivals.clone(),
+        99,
+    )
+    .with_autoscale(policy);
+    let r = Runner::new(&d, cfg).run();
+    assert_eq!(r.per_query.len(), n, "every query completes exactly once");
+    let mut seen: Vec<usize> = r.per_query.iter().map(|q| q.query_index).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), n, "no query completed twice");
+    assert!(
+        r.peak_replicas > 1,
+        "the peak load must trigger scale-up (peak {})",
+        r.peak_replicas
+    );
+    assert!(r.replica_seconds > 0.0);
+    // A fixed fleet at the cap bills cap × makespan.
+    let fixed = Runner::new(
+        &d,
+        RunConfig::standard(SystemKind::Metis(MetisOptions::full()), arrivals, 99)
+            .replicated(4, RouterPolicy::RoundRobin),
+    )
+    .run();
+    assert!(
+        r.replica_seconds < fixed.replica_seconds,
+        "autoscaled {:.1} replica-seconds !< fixed-4 {:.1}",
+        r.replica_seconds,
+        fixed.replica_seconds
+    );
+    // The stage identity survives elastic routing and drains.
+    for q in &r.per_query {
+        let total = metis_llm::nanos_to_secs(q.stages.total());
+        assert!(
+            (total - q.delay_secs).abs() < 1e-9,
+            "q{}: stages {:.9}s != delay {:.9}s",
+            q.query_index,
+            total,
+            q.delay_secs
+        );
+    }
+}
+
+#[test]
+fn migration_spares_recompute_and_keeps_the_stage_identity() {
+    // Preemption-with-migration at runner scale: the same contended burst
+    // under recompute and migrate. Migration must fire, move real KV, and
+    // cut the recomputed-token bill; every query's stage partition must
+    // still telescope exactly (a migrated victim's transfer shows up as
+    // queue wait, with its original arrival preserved).
+    let n = 40;
+    let d = build_dataset(DatasetKind::Musique, n, 2024);
+    // Round-robin routing (not least-KV) so one replica can saturate while
+    // a peer keeps headroom — migration needs somewhere to go.
+    let go = |mode: metis_engine::PreemptMode| {
+        let mut opts = MetisOptions::full();
+        opts.priority_from_slo = true;
+        let arrivals = burst_arrivals(7, 1.4, 8.0, n);
+        let mut cfg = RunConfig::standard(SystemKind::Metis(opts), arrivals, 99)
+            .replicated(3, RouterPolicy::RoundRobin);
+        cfg.engine.kv_pool_bytes_cap = Some(1 << 30);
+        cfg.engine.preempt_mode = mode;
+        Runner::new(&d, cfg).run()
+    };
+    let recompute = go(metis_engine::PreemptMode::Recompute);
+    let migrate = go(metis_engine::PreemptMode::Migrate);
+    assert_eq!(recompute.per_query.len(), n);
+    assert_eq!(migrate.per_query.len(), n);
+    assert!(recompute.preemptions > 0, "the burst must force evictions");
+    assert_eq!(recompute.migrations, 0);
+    assert!(migrate.migrations > 0, "victims must actually move");
+    assert!(migrate.migrated_tokens > 0);
+    assert!(
+        migrate.preempted_tokens < recompute.preempted_tokens,
+        "migrate recomputes {} tokens !< recompute {}",
+        migrate.preempted_tokens,
+        recompute.preempted_tokens
+    );
+    for q in &migrate.per_query {
+        let total = metis_llm::nanos_to_secs(q.stages.total());
+        assert!(
+            (total - q.delay_secs).abs() < 1e-9,
+            "q{}: stages {:.9}s != delay {:.9}s under migration",
+            q.query_index,
+            total,
+            q.delay_secs
+        );
+    }
+}
+
+#[test]
+fn prefix_aware_routing_beats_least_kv_on_cache_hits() {
+    // PrefixAware re-routes each query (after retrieval) to the replica
+    // whose chunk-KV cache overlaps its retrieved chunks; with repeated
+    // chunk access across queries this must not lose cache hits versus
+    // memory-only routing, and the run must stay correct.
+    let n = 36;
+    let d = build_dataset(DatasetKind::Squad, n, 2024);
+    let go = |router: RouterPolicy| {
+        let arrivals = poisson_arrivals(7, base_qps(DatasetKind::Squad), n);
+        let mut cfg = RunConfig::standard(SystemKind::Metis(MetisOptions::full()), arrivals, 99)
+            .replicated(3, router);
+        cfg.prefix_cache_bytes = Some(1 << 30);
+        Runner::new(&d, cfg).run()
+    };
+    let aware = go(RouterPolicy::PrefixAware);
+    let least = go(RouterPolicy::LeastKvLoad);
+    assert_eq!(aware.per_query.len(), n);
+    assert!(aware.prefix_hit_rate > 0.0, "repeats must hit the cache");
+    assert!(
+        aware.prefix_hit_rate >= least.prefix_hit_rate,
+        "prefix-aware hit rate {:.3} < least-kv {:.3}",
+        aware.prefix_hit_rate,
+        least.prefix_hit_rate
+    );
+    // Routing changes placement, never answers.
+    assert!((aware.mean_f1() - least.mean_f1()).abs() < 0.05);
+}

@@ -1,6 +1,6 @@
 //! Multi-replica serving cluster.
 //!
-//! A [`Cluster`] owns `N` independent [`Engine`] replicas — separate GPU
+//! A [`Cluster`] owns independent [`Engine`] replicas — separate GPU
 //! groups, each with its own paged KV pool, queue, and virtual clock — and
 //! routes newly arriving work across them with a pluggable dispatch policy.
 //! Replicas share nothing; the only cross-replica coupling is the routing
@@ -9,19 +9,46 @@
 //! to the replica with the most free KV bytes, and the controller's
 //! best-fit then sizes the configuration against *that* replica's memory.
 //!
+//! The fleet is *elastic*: replicas can be added at runtime (optionally
+//! paying a warm-up cost before they accept routed work) and drained
+//! (routing stops immediately; in-flight work finishes — including
+//! follow-on calls of gang groups already on the replica — and the slot
+//! retires once idle). Replica ids are stable slot indices: a retired
+//! replica keeps its id and its stats, so completions and per-replica
+//! accounting never shift under the caller.
+//!
+//! Preemption can also *migrate* instead of recompute (see
+//! [`PreemptMode::Migrate`](crate::engine::PreemptMode)): victims evicted
+//! into an engine's outbox are placed by the cluster on the replica with
+//! the most free KV that fits them, paying a priced KV-transfer delay, and
+//! fall back to local recompute when no replica has headroom.
+//!
 //! The cluster is still a discrete-event simulation: each replica advances
 //! its own clock, and the driver steps whichever replica lags furthest
 //! behind the target time ([`Cluster::steppable_before`] /
 //! [`Cluster::step_replica`]), so cross-replica event order is
 //! deterministic.
 
-use metis_llm::{FleetSpec, Nanos};
+use metis_llm::{secs_to_nanos, FleetSpec, Nanos};
 
 use crate::engine::{Completion, Engine, EngineConfig};
 use crate::request::{LlmRequest, ReplicaId};
 use crate::stats::EngineStats;
 
 /// How the cluster picks a replica for new work.
+///
+/// # Examples
+///
+/// Policies are plain values with stable names, routed through at
+/// cluster-construction time:
+///
+/// ```
+/// use metis_engine::RouterPolicy;
+///
+/// assert_eq!(RouterPolicy::default(), RouterPolicy::RoundRobin);
+/// assert_eq!(RouterPolicy::LeastKvLoad.name(), "least-kv");
+/// assert_eq!(RouterPolicy::PrefixAware.name(), "prefix-aware");
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum RouterPolicy {
     /// Cycle through replicas in submission order.
@@ -33,6 +60,13 @@ pub enum RouterPolicy {
     /// whose KV pool is saturated, and hands METIS's best-fit the roomiest
     /// backend to size against.
     LeastKvLoad,
+    /// Route to the replica whose `PrefixCache` already holds the query's
+    /// system/context prefix, falling back to [`Self::LeastKvLoad`]. The
+    /// cluster itself cannot see the caches (they live with the runner,
+    /// which consults them at submit time after retrieval), so at this
+    /// level the policy ranks like `LeastKvLoad`; the runner re-routes to
+    /// the best cache-overlap replica once the retrieved chunks are known.
+    PrefixAware,
 }
 
 impl RouterPolicy {
@@ -41,38 +75,90 @@ impl RouterPolicy {
         match self {
             RouterPolicy::RoundRobin => "round-robin",
             RouterPolicy::LeastKvLoad => "least-kv",
+            RouterPolicy::PrefixAware => "prefix-aware",
         }
     }
 }
 
-/// `N` engine replicas behind a router.
+/// Effective bandwidth of a cross-replica KV transfer, in bytes per second
+/// of virtual time: NVLink-class interconnects move hundreds of GB/s, but a
+/// replica-to-replica move crosses host links (PCIe 4.0 x16 ≈ 32 GB/s peak)
+/// and pays serialization overheads, so 25 GB/s is the planning number a
+/// migration is priced at.
+pub const MIGRATION_BW_BYTES_PER_SEC: f64 = 25e9;
+
+/// A replica slot's lifecycle state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplicaState {
+    /// Spawned but not yet accepting routed work (weights loading,
+    /// CUDA-graph capture); becomes [`Self::Active`] at `until`.
+    WarmingUp {
+        /// When the replica starts accepting routed work.
+        until: Nanos,
+    },
+    /// Accepting routed work.
+    Active,
+    /// No longer routed to; in-flight work (and follow-on calls of groups
+    /// already placed here) still runs to completion.
+    Draining,
+    /// Drained and idle. The slot keeps its id and stats but does nothing;
+    /// a late follow-on submission (a gang group's reduce) re-enters
+    /// [`Self::Draining`] until it finishes.
+    Retired,
+}
+
+struct Slot {
+    engine: Engine,
+    state: ReplicaState,
+    /// When the slot began costing replica-seconds.
+    spawned_at: Nanos,
+    /// When the slot stopped costing replica-seconds (set at retirement).
+    retired_at: Option<Nanos>,
+}
+
+/// Engine replicas behind a router, with runtime add/drain.
 pub struct Cluster {
-    replicas: Vec<Engine>,
+    slots: Vec<Slot>,
     router: RouterPolicy,
     rr_next: usize,
+    /// High-water mark of concurrently live (non-retired) slots.
+    peak_live: usize,
 }
 
 impl Cluster {
     /// Builds a cluster from pre-constructed replicas; replica ids are
-    /// assigned by position.
+    /// assigned by position. The initial fleet starts [`ReplicaState::Active`]
+    /// (warm-up applies to replicas added later via [`Self::add_replica`]).
     ///
     /// # Panics
     ///
     /// Panics if `replicas` is empty.
-    pub fn new(mut replicas: Vec<Engine>, router: RouterPolicy) -> Self {
+    pub fn new(replicas: Vec<Engine>, router: RouterPolicy) -> Self {
         assert!(!replicas.is_empty(), "a cluster needs at least one replica");
-        for (i, r) in replicas.iter_mut().enumerate() {
-            r.set_replica(ReplicaId(i as u32));
-        }
+        let peak_live = replicas.len();
+        let slots = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut engine)| {
+                engine.set_replica(ReplicaId(i as u32));
+                Slot {
+                    engine,
+                    state: ReplicaState::Active,
+                    spawned_at: 0,
+                    retired_at: None,
+                }
+            })
+            .collect();
         Self {
-            replicas,
+            slots,
             router,
             rr_next: 0,
+            peak_live,
         }
     }
 
-    /// Builds a homogeneous cluster: one engine per fleet replica, all with
-    /// the same `config`.
+    /// Builds a cluster with one engine per fleet replica (each on its own
+    /// GPU class), all with the same `config`.
     pub fn homogeneous(fleet: &FleetSpec, config: EngineConfig, router: RouterPolicy) -> Self {
         Self::new(
             fleet
@@ -84,14 +170,15 @@ impl Cluster {
         )
     }
 
-    /// Number of replicas.
+    /// Number of replica slots ever created (including retired ones —
+    /// replica ids are stable slot indices).
     pub fn len(&self) -> usize {
-        self.replicas.len()
+        self.slots.len()
     }
 
     /// Always false: a cluster holds at least one replica.
     pub fn is_empty(&self) -> bool {
-        self.replicas.is_empty()
+        self.slots.is_empty()
     }
 
     /// The routing policy in use.
@@ -105,35 +192,149 @@ impl Cluster {
     ///
     /// Panics if `id` is out of range.
     pub fn replica(&self, id: ReplicaId) -> &Engine {
-        &self.replicas[id.0 as usize]
+        &self.slots[id.0 as usize].engine
     }
 
-    /// Iterates over the replicas in id order.
+    /// Iterates over the replicas in id order (retired slots included).
     pub fn replicas(&self) -> impl Iterator<Item = &Engine> {
-        self.replicas.iter()
+        self.slots.iter().map(|s| &s.engine)
+    }
+
+    /// One replica's lifecycle state (warm-up promotion is evaluated
+    /// against `now`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn replica_state(&self, id: ReplicaId, now: Nanos) -> ReplicaState {
+        match self.slots[id.0 as usize].state {
+            ReplicaState::WarmingUp { until } if now >= until => ReplicaState::Active,
+            s => s,
+        }
+    }
+
+    /// Whether `id` currently accepts routed work at `now`.
+    pub fn is_routable(&self, id: ReplicaId, now: Nanos) -> bool {
+        matches!(self.replica_state(id, now), ReplicaState::Active)
+    }
+
+    /// Number of replicas accepting routed work at `now`.
+    pub fn active_len(&self, now: Nanos) -> usize {
+        (0..self.slots.len())
+            .filter(|&i| self.is_routable(ReplicaId(i as u32), now))
+            .count()
+    }
+
+    /// Number of live (non-retired) replicas: active, warming, or draining.
+    pub fn live_len(&self) -> usize {
+        self.slots.iter().filter(|s| s.retired_at.is_none()).count()
+    }
+
+    /// High-water mark of concurrently live replicas over the run.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Adds a replica slot at virtual time `now`. With a non-zero `warmup`
+    /// the slot accepts routed work only from `now + warmup` (its clock is
+    /// advanced there, so any work force-submitted earlier also waits out
+    /// the warm-up). Returns the new replica's stable id.
+    pub fn add_replica(&mut self, mut engine: Engine, now: Nanos, warmup: Nanos) -> ReplicaId {
+        let id = ReplicaId(self.slots.len() as u32);
+        engine.set_replica(id);
+        let ready = now.saturating_add(warmup);
+        engine.advance_clock_to(ready);
+        self.slots.push(Slot {
+            engine,
+            state: if warmup == 0 {
+                ReplicaState::Active
+            } else {
+                ReplicaState::WarmingUp { until: ready }
+            },
+            spawned_at: now,
+            retired_at: None,
+        });
+        self.peak_live = self.peak_live.max(self.live_len());
+        id
+    }
+
+    /// Begins draining `id` at `now`: routing stops immediately, in-flight
+    /// work finishes (or migrates with its group's follow-ons), and the
+    /// slot retires once idle. Returns `false` without draining when `id`
+    /// is the last routable replica — a cluster never drains itself to
+    /// zero capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn drain_replica(&mut self, id: ReplicaId, now: Nanos) -> bool {
+        if self.is_routable(id, now) && self.active_len(now) <= 1 {
+            return false;
+        }
+        let slot = &mut self.slots[id.0 as usize];
+        if matches!(slot.state, ReplicaState::Retired) {
+            return false;
+        }
+        slot.state = ReplicaState::Draining;
+        self.reap(now);
+        true
+    }
+
+    /// Promotes warmed-up slots and retires drained-idle ones. Called from
+    /// the stepping path; callers driving engines directly can call it
+    /// after external time passes.
+    pub fn reap(&mut self, now: Nanos) {
+        for slot in &mut self.slots {
+            match slot.state {
+                ReplicaState::WarmingUp { until } if now >= until => {
+                    slot.state = ReplicaState::Active;
+                }
+                ReplicaState::Draining if slot.engine.is_idle() => {
+                    slot.state = ReplicaState::Retired;
+                    // The instant its last work finished (its own clock),
+                    // never before it was spawned.
+                    slot.retired_at = Some(slot.engine.now().max(slot.spawned_at));
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Picks the replica the next query's calls should be submitted to.
     /// One route call per query: all of a query's calls (maps and the
-    /// reduce) stay on one replica so gang scheduling keeps working.
-    pub fn route(&mut self) -> ReplicaId {
+    /// reduce) stay on one replica so gang scheduling keeps working. Only
+    /// replicas routable at `now` are considered; if none is (every slot
+    /// warming or draining), the policy ranks the live slots instead so
+    /// the query still lands somewhere that will serve it.
+    pub fn route(&mut self, now: Nanos) -> ReplicaId {
+        let mut candidates: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.is_routable(ReplicaId(i as u32), now))
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..self.slots.len())
+                .filter(|&i| self.slots[i].retired_at.is_none())
+                .collect();
+        }
+        assert!(!candidates.is_empty(), "no live replica to route to");
         match self.router {
             RouterPolicy::RoundRobin => {
-                let id = ReplicaId((self.rr_next % self.replicas.len()) as u32);
-                self.rr_next = (self.rr_next + 1) % self.replicas.len();
-                id
+                let id = candidates[self.rr_next % candidates.len()];
+                self.rr_next = (self.rr_next + 1) % candidates.len().max(1);
+                ReplicaId(id as u32)
             }
-            RouterPolicy::LeastKvLoad => {
-                let best = self
-                    .replicas
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(i, r)| {
+            // PrefixAware ranks like LeastKvLoad here: cache-overlap
+            // re-routing happens in the runner, which owns the caches.
+            RouterPolicy::LeastKvLoad | RouterPolicy::PrefixAware => {
+                let best = candidates
+                    .into_iter()
+                    .max_by_key(|&i| {
                         // Most free KV bytes; stable tie-break on lowest id.
-                        (Self::free_kv_bytes_of(r), std::cmp::Reverse(*i))
+                        (
+                            Self::free_kv_bytes_of(&self.slots[i].engine),
+                            std::cmp::Reverse(i),
+                        )
                     })
-                    .expect("non-empty replica list")
-                    .0;
+                    .expect("non-empty candidate list");
                 ReplicaId(best as u32)
             }
         }
@@ -143,13 +344,20 @@ impl Cluster {
         engine.free_kv_tokens() * engine.latency_model().model().kv_bytes_per_token()
     }
 
-    /// Submits a request to the given replica.
+    /// Submits a request to the given replica. A retired slot re-enters
+    /// draining: a gang group's reduce may chase its maps onto a replica
+    /// that went idle in between, and it must still be served exactly once.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     pub fn submit(&mut self, id: ReplicaId, req: LlmRequest) {
-        self.replicas[id.0 as usize].submit(req);
+        let slot = &mut self.slots[id.0 as usize];
+        if matches!(slot.state, ReplicaState::Retired) {
+            slot.state = ReplicaState::Draining;
+            slot.retired_at = None;
+        }
+        slot.engine.submit(req);
     }
 
     /// Free KV tokens on one replica — what METIS's per-backend best-fit
@@ -163,61 +371,147 @@ impl Cluster {
         Self::free_kv_bytes_of(self.replica(id))
     }
 
+    /// Requests waiting for admission across live replicas — the
+    /// autoscaler's primary load signal.
+    pub fn queue_depth(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.retired_at.is_none())
+            .map(|s| s.engine.queued_len() as u64)
+            .sum()
+    }
+
     /// Whether every replica is fully drained.
     pub fn is_idle(&self) -> bool {
-        self.replicas.iter().all(Engine::is_idle)
+        self.slots.iter().all(|s| s.engine.is_idle())
     }
 
     /// Sum of GPU-busy virtual time across replicas.
     pub fn busy_nanos(&self) -> Nanos {
-        self.replicas.iter().map(|r| r.stats().busy).sum()
+        self.slots.iter().map(|s| s.engine.stats().busy).sum()
+    }
+
+    /// Integrated capacity cost in replica-seconds up to virtual time
+    /// `end`: each slot is billed from spawn until retirement (or `end`
+    /// while live). Warm-up time is billed — the GPU is held from spawn.
+    pub fn replica_seconds(&self, end: Nanos) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| {
+                let until = s.retired_at.unwrap_or(end).max(s.spawned_at);
+                metis_llm::nanos_to_secs(until - s.spawned_at)
+            })
+            .sum()
+    }
+
+    /// Latest virtual instant any replica has reached — the cluster-wide
+    /// end-of-run time replica-seconds are billed to.
+    pub fn latest_now(&self) -> Nanos {
+        self.slots.iter().map(|s| s.engine.now()).max().unwrap_or(0)
     }
 
     /// Per-replica run statistics, in replica-id order.
     pub fn stats(&self) -> Vec<&EngineStats> {
-        self.replicas.iter().map(Engine::stats).collect()
+        self.slots.iter().map(|s| s.engine.stats()).collect()
     }
 
     /// Total preemptions across replicas (each replica's count is in
     /// [`Self::stats`]) — the cluster-level KV-contention signal.
     pub fn total_preemptions(&self) -> u64 {
-        self.replicas.iter().map(|r| r.stats().preemptions).sum()
+        self.slots
+            .iter()
+            .map(|s| s.engine.stats().preemptions)
+            .sum()
     }
 
     /// The most-lagging replica that still has work to do before virtual
     /// time `t` — the replica the driver should step next to advance the
     /// whole cluster to `t`. `None` when every replica has caught up.
     pub fn steppable_before(&self, t: Nanos) -> Option<ReplicaId> {
-        self.replicas
+        self.slots
             .iter()
             .enumerate()
-            .filter(|(_, r)| {
-                r.now() < t
-                    && (r.has_active_work() || r.next_pending_arrival().is_some_and(|a| a <= t))
+            .filter(|(_, s)| {
+                s.engine.now() < t
+                    && (s.engine.has_active_work()
+                        || s.engine.next_pending_arrival().is_some_and(|a| a <= t))
             })
-            .min_by_key(|(i, r)| (r.now(), *i))
+            .min_by_key(|(i, s)| (s.engine.now(), *i))
             .map(|(i, _)| ReplicaId(i as u32))
     }
 
     /// The most-lagging replica with any remaining work (used to drain the
     /// cluster once no more external events exist).
     pub fn next_steppable(&self) -> Option<ReplicaId> {
-        self.replicas
+        self.slots
             .iter()
             .enumerate()
-            .filter(|(_, r)| !r.is_idle())
-            .min_by_key(|(i, r)| (r.now(), *i))
+            .filter(|(_, s)| !s.engine.is_idle())
+            .min_by_key(|(i, s)| (s.engine.now(), *i))
             .map(|(i, _)| ReplicaId(i as u32))
     }
 
     /// Advances one replica by one engine iteration; completions carry the
-    /// replica id.
+    /// replica id. Migration-evicted victims the iteration produced are
+    /// placed before returning (see [`Self::place_evicted`]), and lifecycle
+    /// transitions that became due are applied.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     pub fn step_replica(&mut self, id: ReplicaId) -> Vec<Completion> {
-        self.replicas[id.0 as usize].step()
+        let done = self.slots[id.0 as usize].engine.step();
+        if self.slots[id.0 as usize].engine.evicted_len() > 0 {
+            self.place_evicted(id);
+        }
+        self.reap(self.slots[id.0 as usize].engine.now());
+        done
+    }
+
+    /// Places every migration-evicted victim from `source`'s outbox: each
+    /// goes to the non-draining replica with the most free KV bytes that
+    /// fits its whole demand (headroom), excluding the source itself,
+    /// paying a transfer delay of `kv_bytes / MIGRATION_BW_BYTES_PER_SEC`.
+    /// With zero headroom everywhere the victim falls back to recompute on
+    /// the source — the same outcome plain recompute-preemption would have
+    /// had, charged the same way.
+    pub fn place_evicted(&mut self, source: ReplicaId) {
+        let src = source.0 as usize;
+        let evicted = self.slots[src].engine.take_evicted();
+        let bytes_per_token = self.slots[src]
+            .engine
+            .latency_model()
+            .model()
+            .kv_bytes_per_token();
+        for seq in evicted {
+            let demand = seq.migrate_req.kv_demand_tokens();
+            let dest = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    *i != src
+                        && matches!(
+                            s.state,
+                            ReplicaState::Active | ReplicaState::WarmingUp { .. }
+                        )
+                        && s.engine.free_kv_tokens() >= demand
+                })
+                .max_by_key(|(i, s)| (Self::free_kv_bytes_of(&s.engine), std::cmp::Reverse(*i)))
+                .map(|(i, _)| i);
+            match dest {
+                Some(d) => {
+                    let kv_bytes = seq.kv_tokens.saturating_mul(bytes_per_token);
+                    let transfer = secs_to_nanos(kv_bytes as f64 / MIGRATION_BW_BYTES_PER_SEC);
+                    let ready_at = seq.evicted_at.saturating_add(transfer);
+                    self.slots[src].engine.record_migration(seq.kv_tokens);
+                    self.slots[d]
+                        .engine
+                        .submit_in_transit(seq.migrate_req, ready_at);
+                }
+                None => self.slots[src].engine.requeue_recompute(seq),
+            }
+        }
     }
 
     /// Runs every replica until the whole cluster drains; returns all
@@ -231,7 +525,7 @@ impl Cluster {
             let before = self.replica(id).now();
             let done = self.step_replica(id);
             assert!(
-                self.replica(id).now() > before || !done.is_empty(),
+                self.replica(id).now() > before || !done.is_empty() || self.replica(id).is_idle(),
                 "replica {} stuck: queued={} running={} free_kv={}",
                 id.0,
                 self.replica(id).queued_len(),
@@ -248,13 +542,18 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::SchedPolicy;
+    use crate::engine::{PreemptMode, SchedPolicy};
     use crate::request::{GroupId, Priority, RequestId, Stage};
     use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
 
     fn cluster(n: usize, router: RouterPolicy) -> Cluster {
         let fleet = FleetSpec::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40(), n);
         Cluster::homogeneous(&fleet, EngineConfig::default(), router)
+    }
+
+    fn engine() -> Engine {
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        Engine::new(lat, EngineConfig::default())
     }
 
     fn req(id: u64, group: u64, prompt: u64, out: u64, arrival: Nanos) -> LlmRequest {
@@ -273,7 +572,7 @@ mod tests {
     #[test]
     fn round_robin_cycles_replicas() {
         let mut c = cluster(3, RouterPolicy::RoundRobin);
-        let picks: Vec<u32> = (0..6).map(|_| c.route().0).collect();
+        let picks: Vec<u32> = (0..6).map(|_| c.route(0).0).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -281,19 +580,27 @@ mod tests {
     fn least_kv_prefers_the_roomiest_replica() {
         let mut c = cluster(2, RouterPolicy::LeastKvLoad);
         // Idle cluster: tie broken by lowest id.
-        assert_eq!(c.route(), ReplicaId(0));
+        assert_eq!(c.route(0), ReplicaId(0));
         // Load replica 0 and admit the work so its free KV drops.
         c.submit(ReplicaId(0), req(1, 1, 50_000, 500, 0));
         c.step_replica(ReplicaId(0));
         assert!(c.free_kv_bytes(ReplicaId(0)) < c.free_kv_bytes(ReplicaId(1)));
-        assert_eq!(c.route(), ReplicaId(1));
+        assert_eq!(c.route(0), ReplicaId(1));
+    }
+
+    #[test]
+    fn prefix_aware_falls_back_to_least_kv_at_cluster_level() {
+        let mut c = cluster(2, RouterPolicy::PrefixAware);
+        c.submit(ReplicaId(0), req(1, 1, 50_000, 500, 0));
+        c.step_replica(ReplicaId(0));
+        assert_eq!(c.route(0), ReplicaId(1));
     }
 
     #[test]
     fn completions_carry_their_replica_id() {
         let mut c = cluster(2, RouterPolicy::RoundRobin);
         for i in 0..4u64 {
-            let rid = c.route();
+            let rid = c.route(0);
             c.submit(rid, req(i, i, 2_000, 10, 0));
         }
         let done = c.run_until_idle();
@@ -377,5 +684,267 @@ mod tests {
         assert_eq!(stats[0].preemptions, 1);
         assert_eq!(stats[1].preemptions, 0);
         assert!(stats[0].preemption_pressure() > 0.0);
+    }
+
+    #[test]
+    fn added_replica_warms_up_before_taking_routes() {
+        let mut c = cluster(1, RouterPolicy::RoundRobin);
+        let id = c.add_replica(engine(), 1_000, 500);
+        assert_eq!(id, ReplicaId(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.replica_state(id, 1_200),
+            ReplicaState::WarmingUp { until: 1_500 }
+        );
+        assert!(!c.is_routable(id, 1_200));
+        // While warming, every route lands on the active replica.
+        assert_eq!(c.route(1_200), ReplicaId(0));
+        assert_eq!(c.route(1_200), ReplicaId(0));
+        // Once warm, round robin includes it.
+        assert_eq!(c.replica_state(id, 1_500), ReplicaState::Active);
+        let picks: Vec<u32> = (0..4).map(|_| c.route(1_500).0).collect();
+        assert!(
+            picks.contains(&1),
+            "warmed replica joins routing: {picks:?}"
+        );
+        // The warming slot's clock already sits at its ready time, so work
+        // routed right at warm-up start cannot begin before `until`.
+        assert!(c.replica(id).now() >= 1_500);
+    }
+
+    #[test]
+    fn drain_stops_routing_and_retires_when_idle() {
+        let mut c = cluster(2, RouterPolicy::RoundRobin);
+        c.submit(ReplicaId(1), req(1, 1, 2_000, 10, 0));
+        assert!(c.drain_replica(ReplicaId(1), 0));
+        // Draining replicas take no new routes.
+        for _ in 0..4 {
+            assert_eq!(c.route(0), ReplicaId(0));
+        }
+        assert_eq!(c.replica_state(ReplicaId(1), 0), ReplicaState::Draining);
+        // In-flight work still finishes; the slot then retires.
+        let done = c.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].replica, ReplicaId(1));
+        assert_eq!(
+            c.replica_state(ReplicaId(1), c.latest_now()),
+            ReplicaState::Retired
+        );
+        assert_eq!(c.active_len(c.latest_now()), 1);
+    }
+
+    #[test]
+    fn last_active_replica_refuses_to_drain() {
+        let mut c = cluster(2, RouterPolicy::RoundRobin);
+        assert!(c.drain_replica(ReplicaId(0), 0));
+        assert!(!c.drain_replica(ReplicaId(1), 0), "never drain to zero");
+        assert_eq!(c.active_len(0), 1);
+    }
+
+    #[test]
+    fn retired_slot_still_serves_a_late_gang_reduce_exactly_once() {
+        let mut c = cluster(2, RouterPolicy::RoundRobin);
+        c.submit(ReplicaId(1), req(1, 7, 2_000, 10, 0));
+        assert!(c.drain_replica(ReplicaId(1), 0));
+        let done = c.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            c.replica_state(ReplicaId(1), c.latest_now()),
+            ReplicaState::Retired
+        );
+        // The group's reduce chases its maps onto the retired slot (the
+        // runner pins a gang group to one replica).
+        let t = done[0].finish;
+        c.submit(
+            ReplicaId(1),
+            LlmRequest {
+                stage: Stage::Reduce,
+                ..req(2, 7, 1_000, 5, t)
+            },
+        );
+        assert_eq!(
+            c.replica_state(ReplicaId(1), t),
+            ReplicaState::Draining,
+            "a late submission re-opens the slot until served"
+        );
+        let done = c.run_until_idle();
+        assert_eq!(done.len(), 1, "the reduce completes exactly once");
+        assert_eq!(
+            c.replica_state(ReplicaId(1), c.latest_now()),
+            ReplicaState::Retired
+        );
+    }
+
+    #[test]
+    fn replica_seconds_bill_spawn_to_retirement() {
+        let mut c = cluster(1, RouterPolicy::RoundRobin);
+        let id = c.add_replica(engine(), 2_000_000_000, 0);
+        c.submit(id, req(1, 1, 2_000, 10, 2_000_000_000));
+        assert!(c.drain_replica(id, 2_000_000_000));
+        c.run_until_idle();
+        let end = c.latest_now();
+        let total = c.replica_seconds(end);
+        // Slot 0 bills the whole run; slot 1 bills spawn → retirement.
+        let retired = c.replica(id).now();
+        let expected =
+            metis_llm::nanos_to_secs(end) + metis_llm::nanos_to_secs(retired - 2_000_000_000);
+        assert!(
+            (total - expected).abs() < 1e-9,
+            "total {total} != expected {expected}"
+        );
+        assert_eq!(c.peak_live(), 2);
+        assert_eq!(c.live_len(), 1);
+    }
+
+    /// Builds a preemptive 2-replica cluster with a KV pool small enough
+    /// that an interactive arrival must evict batch work.
+    fn tight_cluster(mode: PreemptMode) -> Cluster {
+        let lat = || LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let bytes = 4_096 * lat().model().kv_bytes_per_token();
+        let config = EngineConfig {
+            policy: SchedPolicy::Preemptive,
+            kv_pool_bytes_cap: Some(bytes),
+            preempt_mode: mode,
+            ..EngineConfig::default()
+        };
+        let engines = vec![Engine::new(lat(), config), Engine::new(lat(), config)];
+        Cluster::new(engines, RouterPolicy::RoundRobin)
+    }
+
+    #[test]
+    fn migration_moves_the_victim_instead_of_recomputing() {
+        let mut c = tight_cluster(PreemptMode::Migrate);
+        // A long batch decode occupies replica 0.
+        c.submit(
+            ReplicaId(0),
+            LlmRequest {
+                priority: Priority::Batch,
+                ..req(1, 1, 3_000, 400, 0)
+            },
+        );
+        c.step_replica(ReplicaId(0));
+        let t = c.replica(ReplicaId(0)).now();
+        // An interactive arrival forces an eviction; replica 1 has room.
+        c.submit(
+            ReplicaId(0),
+            LlmRequest {
+                priority: Priority::Interactive,
+                ..req(2, 2, 2_000, 20, t)
+            },
+        );
+        let done = c.run_until_idle();
+        assert_eq!(done.len(), 2, "both requests complete exactly once");
+        let stats = c.stats();
+        assert_eq!(stats[0].preemptions, 1);
+        assert_eq!(stats[0].migrations, 1);
+        assert!(stats[0].migrated_tokens > 0);
+        assert_eq!(stats[0].preempted_tokens, 0, "nothing recomputed");
+        // The victim finished on replica 1, with its original arrival.
+        let victim = done.iter().find(|d| d.id == RequestId(1)).unwrap();
+        assert_eq!(victim.replica, ReplicaId(1));
+        assert_eq!(victim.arrival, 0);
+        assert!(victim.admitted >= t, "re-admitted after the transfer");
+    }
+
+    #[test]
+    fn migration_with_zero_headroom_falls_back_to_recompute() {
+        // Single replica: there is never a migration destination.
+        let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+        let bytes = 4_096 * lat.model().kv_bytes_per_token();
+        let config = EngineConfig {
+            policy: SchedPolicy::Preemptive,
+            kv_pool_bytes_cap: Some(bytes),
+            preempt_mode: PreemptMode::Migrate,
+            ..EngineConfig::default()
+        };
+        let mut c = Cluster::new(vec![Engine::new(lat, config)], RouterPolicy::RoundRobin);
+        c.submit(
+            ReplicaId(0),
+            LlmRequest {
+                priority: Priority::Batch,
+                ..req(1, 1, 3_000, 400, 0)
+            },
+        );
+        c.step_replica(ReplicaId(0));
+        let t = c.replica(ReplicaId(0)).now();
+        c.submit(
+            ReplicaId(0),
+            LlmRequest {
+                priority: Priority::Interactive,
+                ..req(2, 2, 2_000, 20, t)
+            },
+        );
+        let done = c.run_until_idle();
+        assert_eq!(done.len(), 2, "fallback still completes everything");
+        let stats = c.stats();
+        assert_eq!(stats[0].preemptions, 1);
+        assert_eq!(stats[0].migrations, 0, "nowhere to migrate");
+        assert!(
+            stats[0].preempted_tokens > 0,
+            "zero headroom falls back to recompute losses"
+        );
+    }
+
+    /// Token conservation: across the cluster, prefill tokens computed
+    /// equal the uncached prompt demand plus recompute losses, and decode
+    /// tokens equal the output demand plus recompute losses — under both
+    /// preemption modes. No token is lost or double-counted by migration.
+    #[test]
+    fn preemption_conserves_tokens_under_both_modes() {
+        for mode in [PreemptMode::Recompute, PreemptMode::Migrate] {
+            let mut c = tight_cluster(mode);
+            let mut demand_prompt = 0u64;
+            let mut demand_output = 0u64;
+            // Fill replica 0 with batch work, then hit it with interactive
+            // arrivals so preemption fires repeatedly.
+            for i in 0..3u64 {
+                let r = LlmRequest {
+                    priority: Priority::Batch,
+                    ..req(i, i, 1_200, 300, 0)
+                };
+                demand_prompt += r.prompt_tokens;
+                demand_output += r.output_tokens;
+                c.submit(ReplicaId(0), r);
+            }
+            c.step_replica(ReplicaId(0));
+            c.step_replica(ReplicaId(0));
+            let t = c.replica(ReplicaId(0)).now();
+            for i in 10..13u64 {
+                let r = LlmRequest {
+                    priority: Priority::Interactive,
+                    ..req(i, i, 1_000, 20, t)
+                };
+                demand_prompt += r.prompt_tokens;
+                demand_output += r.output_tokens;
+                c.submit(ReplicaId(0), r);
+            }
+            let done = c.run_until_idle();
+            assert_eq!(done.len(), 6, "every request completes ({mode:?})");
+            // Each request completed exactly once.
+            let mut ids: Vec<u64> = done.iter().map(|d| d.id.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 6, "no double completions ({mode:?})");
+            let stats = c.stats();
+            let prefill: u64 = stats.iter().map(|s| s.prefill_tokens).sum();
+            let decode: u64 = stats.iter().map(|s| s.decode_tokens).sum();
+            let lost: u64 = stats.iter().map(|s| s.preempted_tokens).sum();
+            let preemptions: u64 = stats.iter().map(|s| s.preemptions).sum();
+            assert!(preemptions > 0, "the contention must trigger eviction");
+            assert_eq!(
+                prefill + decode,
+                demand_prompt + demand_output + lost,
+                "token conservation violated under {mode:?}: computed \
+                 prefill {prefill} + decode {decode} != demand \
+                 {demand_prompt}+{demand_output} + recompute losses {lost}"
+            );
+            if mode == PreemptMode::Migrate {
+                let migrations: u64 = stats.iter().map(|s| s.migrations).sum();
+                // With a roomy second replica every eviction migrates, so
+                // nothing is recomputed at all.
+                assert!(migrations > 0, "evictions must migrate");
+                assert_eq!(lost, 0, "migration loses no computed tokens");
+            }
+        }
     }
 }

@@ -104,12 +104,27 @@ impl DriverSpec {
 /// What a driver reports after its run is torn down.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DriverStats {
-    /// Number of replicas that served the run.
+    /// Number of replica slots that ever existed over the run (retired
+    /// slots included — ids are stable).
     pub replicas: usize,
+    /// High-water mark of concurrently live replicas.
+    pub peak_replicas: usize,
     /// GPU busy virtual nanos summed across replicas.
     pub busy: Nanos,
     /// Preemptions summed across replicas.
     pub preemptions: u64,
+    /// Tokens discarded and recomputed by preemptions, summed across
+    /// replicas.
+    pub preempted_tokens: u64,
+    /// Preemption victims moved to another replica instead of recomputed.
+    pub migrations: u64,
+    /// Tokens of computed KV shipped between replicas by migrations.
+    pub migrated_tokens: u64,
+    /// Integrated capacity cost: seconds each replica slot was held (spawn
+    /// to retirement, or to end-of-run while live), summed across slots.
+    /// The autoscaler's cost axis — a fixed fleet of `n` replicas bills
+    /// `n × run_seconds`.
+    pub replica_seconds: f64,
 }
 
 impl DriverStats {
@@ -121,17 +136,72 @@ impl DriverStats {
 
 /// The serving substrate behind the runner's event loop: routing,
 /// submission, and incremental completion collection.
+///
+/// ```
+/// use metis_engine::{Cluster, Driver, Engine, EngineConfig, RouterPolicy, SimDriver};
+/// use metis_llm::{GpuCluster, LatencyModel, ModelSpec};
+///
+/// let engine = || {
+///     let lat = LatencyModel::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40());
+///     Engine::new(lat, EngineConfig::default())
+/// };
+/// let mut driver = SimDriver::new(Cluster::new(vec![engine()], RouterPolicy::RoundRobin));
+/// assert_eq!(driver.replicas(), 1);
+///
+/// // Elasticity: a replica added at t accepts routed work from t + warmup…
+/// let id = driver.add_replica(engine(), 0, 1_000);
+/// assert!(!driver.is_routable(id, 500));
+/// assert!(driver.is_routable(id, 1_000));
+/// assert_eq!(driver.active_replicas(1_000), 2);
+///
+/// // …and draining it stops routing immediately.
+/// assert!(driver.drain_replica(id, 2_000));
+/// assert!(!driver.is_routable(id, 2_000));
+/// ```
 pub trait Driver {
     /// Which implementation this is.
     fn kind(&self) -> DriverKind;
 
-    /// Number of replicas.
+    /// Number of replica slots (retired slots included — ids are stable).
     fn replicas(&self) -> usize;
 
     /// Picks the replica the next query's calls should be submitted to.
     /// One route call per query — all of a query's calls stay on one
-    /// replica so gang scheduling keeps working.
-    fn route(&mut self) -> ReplicaId;
+    /// replica so gang scheduling keeps working. `now` is the virtual
+    /// decision time: replicas still warming up at `now`, draining, or
+    /// retired are not routed to.
+    fn route(&mut self, now: Nanos) -> ReplicaId;
+
+    /// Whether `id` accepts routed work at virtual time `now`.
+    fn is_routable(&self, id: ReplicaId, now: Nanos) -> bool;
+
+    /// Number of replicas accepting routed work at `now`.
+    fn active_replicas(&self, now: Nanos) -> usize {
+        (0..self.replicas())
+            .filter(|&i| self.is_routable(ReplicaId(i as u32), now))
+            .count()
+    }
+
+    /// Requests waiting for admission across live replicas — the
+    /// autoscaler's primary load signal. Under the realtime driver this is
+    /// a lock-free snapshot and may lag by one worker iteration.
+    fn queue_depth(&self) -> u64;
+
+    /// Adds a replica slot at virtual time `now`; it accepts routed work
+    /// from `now + warmup`. Returns the new replica's stable id.
+    fn add_replica(
+        &mut self,
+        engine: crate::engine::Engine,
+        now: Nanos,
+        warmup: Nanos,
+    ) -> ReplicaId;
+
+    /// Begins draining `id` at `now`: routing stops immediately and the
+    /// slot stops billing replica-seconds once idle; in-flight work (and
+    /// follow-on calls of groups already placed there) still completes.
+    /// Returns `false` without draining when `id` is the last routable
+    /// replica.
+    fn drain_replica(&mut self, id: ReplicaId, now: Nanos) -> bool;
 
     /// Free KV tokens on one replica — what METIS's per-backend best-fit
     /// inspects at decision time. Under the realtime driver this is a
@@ -192,8 +262,30 @@ impl Driver for SimDriver {
         self.cluster.len()
     }
 
-    fn route(&mut self) -> ReplicaId {
-        self.cluster.route()
+    fn route(&mut self, now: Nanos) -> ReplicaId {
+        self.cluster.reap(now);
+        self.cluster.route(now)
+    }
+
+    fn is_routable(&self, id: ReplicaId, now: Nanos) -> bool {
+        self.cluster.is_routable(id, now)
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.cluster.queue_depth()
+    }
+
+    fn add_replica(
+        &mut self,
+        engine: crate::engine::Engine,
+        now: Nanos,
+        warmup: Nanos,
+    ) -> ReplicaId {
+        self.cluster.add_replica(engine, now, warmup)
+    }
+
+    fn drain_replica(&mut self, id: ReplicaId, now: Nanos) -> bool {
+        self.cluster.drain_replica(id, now)
     }
 
     fn free_kv_tokens(&self, id: ReplicaId) -> u64 {
@@ -236,10 +328,17 @@ impl Driver for SimDriver {
     }
 
     fn finish(self: Box<Self>) -> DriverStats {
+        let end = self.cluster.latest_now();
+        let stats = self.cluster.stats();
         DriverStats {
             replicas: self.cluster.len(),
+            peak_replicas: self.cluster.peak_live(),
             busy: self.cluster.busy_nanos(),
             preemptions: self.cluster.total_preemptions(),
+            preempted_tokens: stats.iter().map(|s| s.preempted_tokens).sum(),
+            migrations: stats.iter().map(|s| s.migrations).sum(),
+            migrated_tokens: stats.iter().map(|s| s.migrated_tokens).sum(),
+            replica_seconds: self.cluster.replica_seconds(end),
         }
     }
 }
@@ -280,7 +379,7 @@ mod tests {
         assert_eq!(d.kind(), DriverKind::Sim);
         assert_eq!(d.replicas(), 2);
         for i in 0..4u64 {
-            let rid = d.route();
+            let rid = d.route(0);
             d.submit(rid, req(i, 0));
         }
         let mut done = Vec::new();

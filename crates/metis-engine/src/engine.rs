@@ -27,6 +27,33 @@ pub enum SchedPolicy {
     Preemptive,
 }
 
+/// What preemption does with a victim's computed KV state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PreemptMode {
+    /// vLLM-style recompute: the victim's KV is discarded, its progress
+    /// resets to the cached prefix, and it re-queues on the same replica.
+    #[default]
+    Recompute,
+    /// KV migration: the victim is handed to the cluster in an eviction
+    /// outbox (see [`Engine::take_evicted`]) with its computed tokens
+    /// folded into a cached prefix; the cluster moves the KV bytes to a
+    /// replica with headroom at a priced transfer cost, falling back to
+    /// local recompute when no replica has room. Requires a
+    /// [`Cluster`](crate::cluster::Cluster) (or another outbox-draining
+    /// owner); a standalone engine would strand the victims.
+    Migrate,
+}
+
+impl PreemptMode {
+    /// Stable lowercase name (CLI values and report knobs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PreemptMode::Recompute => "recompute",
+            PreemptMode::Migrate => "migrate",
+        }
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -45,6 +72,8 @@ pub struct EngineConfig {
     /// physical pool to control tail latency; the paper's Fig. 8 examples
     /// operate at a 6–12 GB working-memory scale on the same hardware.
     pub kv_pool_bytes_cap: Option<u64>,
+    /// What preemption does with a victim's computed KV state.
+    pub preempt_mode: PreemptMode,
 }
 
 impl Default for EngineConfig {
@@ -55,8 +84,33 @@ impl Default for EngineConfig {
             prefill_chunk_tokens: 2048,
             policy: SchedPolicy::Fcfs,
             kv_pool_bytes_cap: Some(12 * (1 << 30)),
+            preempt_mode: PreemptMode::Recompute,
         }
     }
+}
+
+/// A preemption victim evicted under [`PreemptMode::Migrate`], waiting in
+/// the engine's outbox for the cluster to place it. Both re-admission forms
+/// are precomputed so the cluster can take either path without knowing the
+/// victim's internal progress state:
+#[derive(Clone, Debug)]
+pub struct EvictedSeq {
+    /// The migrate form: every computed token (prefill progress plus
+    /// emitted output) folded into the cached prefix, so a destination
+    /// holding the moved KV resumes without recomputation. The original
+    /// `arrival` stamp is preserved — transfer time is real wait the
+    /// request experiences, and keeping the stamp keeps the per-stage
+    /// breakdown telescoping exactly.
+    pub migrate_req: LlmRequest,
+    /// The recompute-fallback form: progress reset to the original cached
+    /// prefix, exactly as [`PreemptMode::Recompute`] would have requeued it.
+    pub recompute_req: LlmRequest,
+    /// Tokens of computed KV state a migration must move.
+    pub kv_tokens: u64,
+    /// Computed tokens the recompute fallback would discard.
+    pub lost_tokens: u64,
+    /// When the victim was evicted (a migration transfer departs here).
+    pub evicted_at: Nanos,
 }
 
 /// A finished request, reported by [`Engine::step`].
@@ -147,6 +201,9 @@ pub struct Engine {
     alloc: KvAllocator,
     stats: EngineStats,
     submit_seq: u64,
+    /// Victims evicted under [`PreemptMode::Migrate`], awaiting placement
+    /// by the cluster (always empty under [`PreemptMode::Recompute`]).
+    evicted: Vec<EvictedSeq>,
 }
 
 impl Engine {
@@ -169,6 +226,7 @@ impl Engine {
             alloc: KvAllocator::new(capacity, config.kv_block_tokens),
             stats: EngineStats::default(),
             submit_seq: 0,
+            evicted: Vec::new(),
         }
     }
 
@@ -223,9 +281,14 @@ impl Engine {
         &self.stats
     }
 
-    /// Whether the engine has no work at all (idle and drained).
+    /// Whether the engine has no work at all (idle and drained). An
+    /// unplaced eviction-outbox entry counts as work: those victims still
+    /// owe tokens somewhere.
     pub fn is_idle(&self) -> bool {
-        self.pending.is_empty() && self.queue.is_empty() && self.running.is_empty()
+        self.pending.is_empty()
+            && self.queue.is_empty()
+            && self.running.is_empty()
+            && self.evicted.is_empty()
     }
 
     /// Number of requests waiting for admission.
@@ -247,6 +310,61 @@ impl Engine {
     /// Earliest future-arrival time among not-yet-arrived requests.
     pub fn next_pending_arrival(&self) -> Option<Nanos> {
         self.pending.keys().next().map(|&(t, _)| t)
+    }
+
+    /// Drains the eviction outbox ([`PreemptMode::Migrate`] victims). The
+    /// caller — normally [`Cluster`](crate::cluster::Cluster) — owns their
+    /// placement: migrate each to a replica with headroom, or requeue the
+    /// recompute form here.
+    pub fn take_evicted(&mut self) -> Vec<EvictedSeq> {
+        std::mem::take(&mut self.evicted)
+    }
+
+    /// Number of unplaced victims in the eviction outbox.
+    pub fn evicted_len(&self) -> usize {
+        self.evicted.len()
+    }
+
+    /// The configured preemption mode.
+    pub fn preempt_mode(&self) -> PreemptMode {
+        self.config.preempt_mode
+    }
+
+    /// Accepts a migrated-in sequence: the request keeps its original
+    /// `arrival` stamp (so queue-wait and per-stage accounting see the
+    /// caller's timeline, transfer included) but becomes *available for
+    /// admission* only at `ready_at`, when its KV bytes have finished
+    /// arriving. Does not count toward `submitted` — the request was
+    /// already submitted once, to the replica that evicted it.
+    pub fn submit_in_transit(&mut self, mut req: LlmRequest, ready_at: Nanos) {
+        req.output_tokens = req.output_tokens.max(1);
+        req.cached_prompt_tokens = req.cached_prompt_tokens.min(req.prompt_tokens);
+        if ready_at <= self.clock.now() {
+            let enqueued = ready_at;
+            self.queue.push_back(Queued { req, enqueued });
+        } else {
+            let key = (ready_at, self.submit_seq);
+            self.submit_seq += 1;
+            self.pending.insert(key, req);
+        }
+    }
+
+    /// Requeues a recompute-fallback victim locally (migration found no
+    /// headroom anywhere), charging the discarded tokens to this replica
+    /// like a plain recompute preemption would have.
+    pub fn requeue_recompute(&mut self, seq: EvictedSeq) {
+        self.stats.preempted_tokens += seq.lost_tokens;
+        self.queue.push_back(Queued {
+            req: seq.recompute_req,
+            enqueued: seq.evicted_at,
+        });
+    }
+
+    /// Records a successful migration *off* this replica (called by the
+    /// cluster at placement time, once a destination is known).
+    pub fn record_migration(&mut self, kv_tokens: u64) {
+        self.stats.migrations += 1;
+        self.stats.migrated_tokens += kv_tokens;
     }
 
     /// Submits a request.
@@ -279,7 +397,11 @@ impl Engine {
             .collect();
         for k in due {
             let req = self.pending.remove(&k).expect("key just enumerated");
-            let enqueued = req.arrival;
+            // The key time, not `req.arrival`: identical for ordinary
+            // future arrivals, but a migrated-in sequence keeps its
+            // original arrival stamp while its local wait starts when the
+            // KV transfer lands (see [`Engine::submit_in_transit`]).
+            let enqueued = k.0;
             self.queue.push_back(Queued { req, enqueued });
         }
     }
@@ -424,26 +546,54 @@ impl Engine {
                 .expect("victim still running");
             let r = self.running.swap_remove(idx);
             self.alloc.free(r.req.id).expect("running seq held KV");
-            // Recompute-preemption discards all progress past the cached
-            // prefix; the victim will re-prefill (and re-decode) it.
-            let lost = match r.state {
+            // Tokens computed past the cached prefix: what recompute
+            // discards, and exactly what a migration must move.
+            let (lost, computed_through) = match r.state {
                 RequestState::Prefilling { done } => {
-                    done.saturating_sub(r.req.cached_prompt_tokens)
+                    (done.saturating_sub(r.req.cached_prompt_tokens), done)
                 }
-                RequestState::Decoding { emitted } => {
+                RequestState::Decoding { emitted } => (
                     r.req
                         .prompt_tokens
                         .saturating_sub(r.req.cached_prompt_tokens)
-                        + emitted
-                }
-                _ => 0,
+                        + emitted,
+                    r.req.prompt_tokens + emitted,
+                ),
+                _ => (0, r.req.cached_prompt_tokens),
             };
             self.stats.preemptions += 1;
-            self.stats.preempted_tokens += lost;
-            self.queue.push_back(Queued {
-                req: r.req,
-                enqueued: self.clock.now(),
-            });
+            match self.config.preempt_mode {
+                PreemptMode::Recompute => {
+                    // Recompute-preemption discards all progress past the
+                    // cached prefix; the victim will re-prefill (and
+                    // re-decode) it.
+                    self.stats.preempted_tokens += lost;
+                    self.queue.push_back(Queued {
+                        req: r.req,
+                        enqueued: self.clock.now(),
+                    });
+                }
+                PreemptMode::Migrate => {
+                    // Hand the victim to the cluster with its computed
+                    // tokens folded into a cached prefix. A mid-decode
+                    // victim's emitted tokens become prompt: the KV moves,
+                    // so the destination resumes decoding where the victim
+                    // stopped; total prompt+output demand is unchanged.
+                    let mut migrate_req = r.req.clone();
+                    if let RequestState::Decoding { emitted } = r.state {
+                        migrate_req.prompt_tokens += emitted;
+                        migrate_req.output_tokens -= emitted;
+                    }
+                    migrate_req.cached_prompt_tokens = computed_through;
+                    self.evicted.push(EvictedSeq {
+                        migrate_req,
+                        recompute_req: r.req,
+                        kv_tokens: computed_through,
+                        lost_tokens: lost,
+                        evicted_at: self.clock.now(),
+                    });
+                }
+            }
         }
         self.running.len() < self.config.max_batch_seqs && self.alloc.fits(demand)
     }

@@ -43,9 +43,9 @@ pub mod realtime;
 pub mod request;
 pub mod stats;
 
-pub use cluster::{Cluster, RouterPolicy};
+pub use cluster::{Cluster, ReplicaState, RouterPolicy, MIGRATION_BW_BYTES_PER_SEC};
 pub use driver::{Driver, DriverKind, DriverSpec, DriverStats, SimDriver};
-pub use engine::{Completion, Engine, EngineConfig, SchedPolicy};
+pub use engine::{Completion, Engine, EngineConfig, EvictedSeq, PreemptMode, SchedPolicy};
 pub use kvcache::{KvAllocator, KvError};
 pub use prefixcache::PrefixCache;
 pub use realtime::RealtimeDriver;

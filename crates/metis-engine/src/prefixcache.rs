@@ -84,6 +84,18 @@ impl PrefixCache {
         0
     }
 
+    /// Cached token count for `chunk` without touching recency or hit/miss
+    /// accounting — how prefix-aware routing compares candidate replicas'
+    /// caches before committing the query to one of them. Returns 0 when
+    /// the chunk is absent (or cached at a different size, whose stale KV a
+    /// real lookup would discard).
+    pub fn peek_tokens(&self, chunk: ChunkId, tokens: u64) -> u64 {
+        match self.entries.get(&chunk) {
+            Some((cached, _)) if *cached == tokens => *cached,
+            _ => 0,
+        }
+    }
+
     /// Tokens currently cached.
     pub fn used_tokens(&self) -> u64 {
         self.used_tokens
@@ -148,6 +160,17 @@ mod tests {
         assert_eq!(p.lookup_or_insert(c(1), 400), 400);
         assert_eq!(p.lookup_or_insert(c(2), 400), 0, "2 was evicted");
         assert!(p.used_tokens() <= 1_000);
+    }
+
+    #[test]
+    fn peek_reads_without_touching_accounting() {
+        let mut p = PrefixCache::new(1_000);
+        assert_eq!(p.peek_tokens(c(1), 300), 0);
+        p.lookup_or_insert(c(1), 300);
+        let lookups = p.lookups();
+        assert_eq!(p.peek_tokens(c(1), 300), 300);
+        assert_eq!(p.peek_tokens(c(1), 999), 0, "size mismatch peeks as absent");
+        assert_eq!(p.lookups(), lookups, "peek is not a lookup");
     }
 
     #[test]

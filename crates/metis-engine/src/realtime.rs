@@ -45,6 +45,7 @@ struct ReplicaShared {
     free_kv_tokens: AtomicU64,
     preemptions: AtomicU64,
     submitted: AtomicU64,
+    queued: AtomicU64,
 }
 
 impl ReplicaShared {
@@ -55,6 +56,8 @@ impl ReplicaShared {
             .store(engine.stats().preemptions, Ordering::Relaxed);
         self.submitted
             .store(engine.stats().submitted, Ordering::Relaxed);
+        self.queued
+            .store(engine.queued_len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -74,16 +77,38 @@ const EVENT_SPIN_WALL_NANOS: u64 = 2_000_000;
 const STALL_WATCHDOG_WALL: Duration = Duration::from_secs(30);
 
 /// The live serving driver: per-replica worker threads on scaled wall time.
+///
+/// Elasticity under realtime is routing-level: [`Driver::add_replica`]
+/// spawns a new worker thread (routable only after its warm-up virtual
+/// time), and [`Driver::drain_replica`] stops routing to a slot and stops
+/// billing it replica-seconds — but its thread idles until
+/// [`Driver::finish`] so late gang follow-ons can still be served, exactly
+/// once, on the replica their group was pinned to. KV migration is not
+/// supported here (victims would have to cross threads mid-run);
+/// construction rejects engines configured with
+/// [`PreemptMode::Migrate`](crate::engine::PreemptMode).
 pub struct RealtimeDriver {
     clock: WallClock,
     router: RouterPolicy,
     rr_next: usize,
     submitters: Vec<Sender<LlmRequest>>,
     completions: Receiver<Vec<Completion>>,
+    /// Kept so replicas added at runtime can report completions on the
+    /// same channel. Worker death is caught by the pump watchdog rather
+    /// than channel disconnection.
+    done_tx: Sender<Vec<Completion>>,
     shared: Vec<Arc<ReplicaShared>>,
     /// Per-replica KV bytes per token, so `LeastKvLoad` ranks bytes (not
     /// tokens) even over a heterogeneous fleet — same as `Cluster::route`.
     kv_bytes_per_token: Vec<u64>,
+    /// Virtual instant each slot starts accepting routed work (0 for the
+    /// initial fleet; spawn + warm-up for runtime additions).
+    ready_at: Vec<Nanos>,
+    /// Virtual spawn instant of each slot, for replica-second billing.
+    spawned_at: Vec<Nanos>,
+    /// Virtual instant a slot was drained (stops routing and billing).
+    drained_at: Vec<Option<Nanos>>,
+    peak_live: usize,
     workers: Vec<JoinHandle<EngineStats>>,
     in_flight: u64,
 }
@@ -100,41 +125,67 @@ impl RealtimeDriver {
         assert!(!engines.is_empty(), "a cluster needs at least one replica");
         let clock = WallClock::new(time_scale);
         let (done_tx, done_rx) = std::sync::mpsc::channel::<Vec<Completion>>();
-        let mut submitters = Vec::with_capacity(engines.len());
-        let mut shared = Vec::with_capacity(engines.len());
-        let mut kv_bytes_per_token = Vec::with_capacity(engines.len());
-        let mut workers = Vec::with_capacity(engines.len());
-        for (i, mut engine) in engines.into_iter().enumerate() {
-            engine.set_replica(ReplicaId(i as u32));
-            kv_bytes_per_token.push(engine.latency_model().model().kv_bytes_per_token());
-            let state = Arc::new(ReplicaShared::default());
-            state.publish(&engine);
-            let (req_tx, req_rx) = std::sync::mpsc::channel::<LlmRequest>();
-            let worker_state = Arc::clone(&state);
-            let worker_tx = done_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("metis-replica-{i}"))
-                .spawn(move || replica_worker(engine, req_rx, worker_tx, worker_state, clock))
-                // metis-lint: allow(no-panic-in-worker) reason="driver thread at construction: failing to spawn a replica thread is unrecoverable setup"
-                .expect("spawn replica worker");
-            submitters.push(req_tx);
-            shared.push(state);
-            workers.push(handle);
-        }
-        // Workers hold the only remaining completion senders: channel
-        // disconnection in the pumps then means "a worker died".
-        drop(done_tx);
-        Self {
+        let n = engines.len();
+        let mut this = Self {
             clock,
             router,
             rr_next: 0,
-            submitters,
+            submitters: Vec::with_capacity(n),
             completions: done_rx,
-            shared,
-            kv_bytes_per_token,
-            workers,
+            done_tx,
+            shared: Vec::with_capacity(n),
+            kv_bytes_per_token: Vec::with_capacity(n),
+            ready_at: Vec::with_capacity(n),
+            spawned_at: Vec::with_capacity(n),
+            drained_at: Vec::with_capacity(n),
+            peak_live: n,
+            workers: Vec::with_capacity(n),
             in_flight: 0,
+        };
+        for engine in engines {
+            this.spawn_worker(engine, 0, 0);
         }
+        this
+    }
+
+    /// Spawns a worker thread for `engine` as the next replica slot.
+    fn spawn_worker(&mut self, mut engine: Engine, now: Nanos, warmup: Nanos) -> ReplicaId {
+        assert!(
+            engine.preempt_mode() == crate::engine::PreemptMode::Recompute,
+            "KV migration is only supported by the sim driver: realtime \
+             replicas own their engines on separate threads and cannot move \
+             a victim's KV mid-run"
+        );
+        let i = self.submitters.len();
+        engine.set_replica(ReplicaId(i as u32));
+        let ready = now.saturating_add(warmup);
+        // Starting the new replica's virtual clock at its ready time makes
+        // the warm-up physical: even a force-submitted request cannot be
+        // admitted before `ready`, and the worker's pacing sleep holds the
+        // thread until the wall catches up.
+        engine.advance_clock_to(ready);
+        self.kv_bytes_per_token
+            .push(engine.latency_model().model().kv_bytes_per_token());
+        let state = Arc::new(ReplicaShared::default());
+        state.publish(&engine);
+        let (req_tx, req_rx) = std::sync::mpsc::channel::<LlmRequest>();
+        let worker_state = Arc::clone(&state);
+        let worker_tx = self.done_tx.clone();
+        let clock = self.clock;
+        let handle = std::thread::Builder::new()
+            .name(format!("metis-replica-{i}"))
+            .spawn(move || replica_worker(engine, req_rx, worker_tx, worker_state, clock))
+            // metis-lint: allow(no-panic-in-worker) reason="driver thread at construction: failing to spawn a replica thread is unrecoverable setup"
+            .expect("spawn replica worker");
+        self.submitters.push(req_tx);
+        self.shared.push(state);
+        self.ready_at.push(ready);
+        self.spawned_at.push(now);
+        self.drained_at.push(None);
+        self.workers.push(handle);
+        let live = self.drained_at.iter().filter(|d| d.is_none()).count();
+        self.peak_live = self.peak_live.max(live);
+        ReplicaId(i as u32)
     }
 
     /// The shared wall clock (tests read the driver's timeline).
@@ -173,32 +224,84 @@ impl Driver for RealtimeDriver {
         self.submitters.len()
     }
 
-    fn route(&mut self) -> ReplicaId {
+    fn route(&mut self, _now: Nanos) -> ReplicaId {
+        // The realtime driver routes on its own clock reading (the wall is
+        // the ground truth here), not the caller's event timestamp.
+        let now = self.clock.now();
+        let mut candidates: Vec<usize> = (0..self.submitters.len())
+            .filter(|&i| self.drained_at[i].is_none() && now >= self.ready_at[i])
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..self.submitters.len())
+                .filter(|&i| self.drained_at[i].is_none())
+                .collect();
+        }
+        assert!(!candidates.is_empty(), "no live replica to route to");
         match self.router {
             RouterPolicy::RoundRobin => {
-                let id = ReplicaId((self.rr_next % self.submitters.len()) as u32);
-                self.rr_next = (self.rr_next + 1) % self.submitters.len();
-                id
+                let id = candidates[self.rr_next % candidates.len()];
+                self.rr_next = (self.rr_next + 1) % candidates.len().max(1);
+                ReplicaId(id as u32)
             }
-            RouterPolicy::LeastKvLoad => {
+            RouterPolicy::LeastKvLoad | RouterPolicy::PrefixAware => {
                 // Most free KV bytes, stable tie-break on lowest id — the
                 // same ranking as `Cluster::route`, over the workers'
                 // published snapshots instead of direct engine reads.
-                let best = self
-                    .shared
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(i, s)| {
+                // PrefixAware falls back to this ranking at driver level;
+                // cache-overlap re-routing happens in the runner.
+                let best = candidates
+                    .into_iter()
+                    .max_by_key(|&i| {
+                        let s = &self.shared[i];
                         let bytes =
-                            s.free_kv_tokens.load(Ordering::Relaxed) * self.kv_bytes_per_token[*i];
-                        (bytes, Reverse(*i))
+                            s.free_kv_tokens.load(Ordering::Relaxed) * self.kv_bytes_per_token[i];
+                        (bytes, Reverse(i))
                     })
                     // metis-lint: allow(no-panic-in-worker) reason="driver thread: routing is only called with at least one replica configured"
-                    .expect("non-empty replica list")
-                    .0;
+                    .expect("non-empty replica list");
                 ReplicaId(best as u32)
             }
         }
+    }
+
+    fn is_routable(&self, id: ReplicaId, now: Nanos) -> bool {
+        let i = id.0 as usize;
+        self.drained_at[i].is_none() && now.max(self.clock.now()) >= self.ready_at[i]
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.shared
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.drained_at[*i].is_none())
+            .map(|(_, s)| s.queued.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn add_replica(&mut self, engine: Engine, now: Nanos, warmup: Nanos) -> ReplicaId {
+        // Spawn at the wall's current virtual instant if the caller's
+        // event timestamp lags it — a replica cannot exist in the past.
+        let now = now.max(self.clock.now());
+        self.spawn_worker(engine, now, warmup)
+    }
+
+    fn drain_replica(&mut self, id: ReplicaId, now: Nanos) -> bool {
+        let i = id.0 as usize;
+        if self.drained_at[i].is_some() {
+            return false;
+        }
+        let now = now.max(self.clock.now());
+        let routable = (0..self.submitters.len())
+            .filter(|&j| self.drained_at[j].is_none() && now >= self.ready_at[j])
+            .count();
+        if now >= self.ready_at[i] && routable <= 1 {
+            return false;
+        }
+        // Routing-level drain: the slot stops taking routes and stops
+        // billing replica-seconds now, but its thread keeps serving
+        // whatever is already (or late-gang) submitted until `finish`.
+        self.drained_at[i] = Some(now);
+        true
     }
 
     fn free_kv_tokens(&self, id: ReplicaId) -> u64 {
@@ -299,15 +402,24 @@ impl Driver for RealtimeDriver {
         );
         // Hang up the submission queues; each worker drains and exits.
         drop(this.submitters);
+        drop(this.done_tx);
+        let end = this.clock.now();
         let mut stats = DriverStats {
             replicas: this.workers.len(),
+            peak_replicas: this.peak_live,
             ..DriverStats::default()
         };
-        for handle in this.workers {
+        for (i, handle) in this.workers.into_iter().enumerate() {
             // metis-lint: allow(no-panic-in-worker) reason="driver thread at shutdown: re-raises a worker panic so it cannot be lost"
             let s = handle.join().expect("replica worker panicked");
             stats.busy += s.busy;
             stats.preemptions += s.preemptions;
+            stats.preempted_tokens += s.preempted_tokens;
+            stats.migrations += s.migrations;
+            stats.migrated_tokens += s.migrated_tokens;
+            let spawned = this.spawned_at[i];
+            let until = this.drained_at[i].unwrap_or(end).max(spawned);
+            stats.replica_seconds += metis_llm::nanos_to_secs(until - spawned);
         }
         stats
     }
@@ -438,7 +550,7 @@ mod tests {
         assert_eq!(d.kind(), DriverKind::Realtime);
         assert_eq!(d.replicas(), 2);
         for i in 0..6u64 {
-            let rid = d.route();
+            let rid = d.route(0);
             d.submit(rid, req(i, 0));
         }
         let mut done = Vec::new();
@@ -472,7 +584,7 @@ mod tests {
     fn least_kv_routing_follows_published_snapshots() {
         let mut d = RealtimeDriver::new(engines(2), RouterPolicy::LeastKvLoad, SCALE);
         // Idle fleet: tie broken by lowest id.
-        assert_eq!(d.route(), ReplicaId(0));
+        assert_eq!(d.route(0), ReplicaId(0));
         // Occupy replica 0 with a long decode (thousands of iterations =
         // milliseconds of wall time at this scale); once its worker
         // publishes the admission, routing prefers replica 1 for as long
@@ -492,7 +604,7 @@ mod tests {
             );
             std::thread::yield_now();
         }
-        assert_eq!(d.route(), ReplicaId(1));
+        assert_eq!(d.route(0), ReplicaId(1));
         let mut boxed: Box<dyn Driver> = Box::new(d);
         while boxed.pump_idle().is_some() {}
         boxed.finish();

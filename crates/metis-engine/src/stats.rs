@@ -34,6 +34,13 @@ pub struct EngineStats {
     /// prefix, plus emitted output) discarded by preemptions; the victims
     /// recompute them after re-admission.
     pub preempted_tokens: u64,
+    /// Victims whose KV was moved to another replica instead of discarded
+    /// (preemption-with-migration).
+    pub migrations: u64,
+    /// Tokens of computed KV state shipped off this replica by migrations;
+    /// unlike [`Self::preempted_tokens`], nothing here is recomputed — the
+    /// cost is the priced transfer, not lost work.
+    pub migrated_tokens: u64,
 }
 
 impl EngineStats {

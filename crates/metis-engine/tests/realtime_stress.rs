@@ -63,7 +63,7 @@ fn one_run(round: u64, replicas: usize, n_reqs: u64) -> Vec<metis_engine::Comple
     }
     .build(engines(replicas, 4_096), RouterPolicy::RoundRobin);
     for i in 0..n_reqs {
-        let rid = driver.route();
+        let rid = driver.route(0);
         driver.submit(
             rid,
             LlmRequest {

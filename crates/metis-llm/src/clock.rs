@@ -28,6 +28,20 @@ use crate::time::Nanos;
 /// without waiting where the clock allows it (virtual time); `sleep_until`
 /// blocks until the clock reads at least the target instant (a virtual
 /// clock "blocks" by jumping).
+///
+/// ```
+/// use metis_llm::{Clock, VirtualClock};
+///
+/// let mut clock = VirtualClock::at(0);
+/// clock.advance_to(5_000);
+/// assert_eq!(clock.now(), 5_000);
+/// // A virtual clock "sleeps" by jumping: no wall time passes.
+/// clock.sleep_until(7_000);
+/// assert_eq!(clock.now(), 7_000);
+/// // Time never runs backwards.
+/// clock.advance_to(6_000);
+/// assert_eq!(clock.now(), 7_000);
+/// ```
 pub trait Clock: Send {
     /// The current virtual instant.
     fn now(&self) -> Nanos;

@@ -7,6 +7,7 @@
 
 use crate::latency::LatencyModel;
 use crate::spec::ModelSpec;
+use crate::time::Nanos;
 
 /// One GPU's capabilities.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +31,19 @@ impl GpuSpec {
             mem_bytes: 48 * (1 << 30),
             flops: 74.8e12,
             mem_bw: 696e9,
+            mfu: 0.65,
+            mbu: 0.85,
+        }
+    }
+
+    /// NVIDIA H100 SXM: 80 GB HBM3, ~989 TFLOPS dense fp16 tensor,
+    /// 3.35 TB/s. The high-end class for heterogeneous fleets: roughly
+    /// 13× the A40's compute and 5× its bandwidth per device.
+    pub fn h100() -> Self {
+        Self {
+            mem_bytes: 80 * (1 << 30),
+            flops: 989e12,
+            mem_bw: 3.35e12,
             mfu: 0.65,
             mbu: 0.85,
         }
@@ -69,6 +83,16 @@ impl GpuCluster {
         }
     }
 
+    /// Single H100 (the high-end replica class in mixed fleets).
+    pub fn single_h100() -> Self {
+        Self {
+            gpu: GpuSpec::h100(),
+            count: 1,
+            mem_utilization: 0.90,
+            reserved_bytes: 3 * (1 << 30),
+        }
+    }
+
     /// Aggregate effective FLOP/s across the TP group.
     pub fn effective_flops(&self) -> f64 {
         self.gpu.flops * self.gpu.mfu * f64::from(self.count)
@@ -101,34 +125,72 @@ impl GpuCluster {
     }
 }
 
-/// A homogeneous multi-replica serving fleet: `replicas` independent
-/// tensor-parallel groups, each `cluster`-shaped, each serving its own copy
-/// of `model`. Replicas share nothing — no weights, no KV — which is the
-/// deployment shape the engine's `Cluster` router dispatches over.
+/// One replica's hardware and lifecycle parameters.
+///
+/// A fleet is a list of these: each replica is an independent tensor-
+/// parallel GPU group (possibly of a different class than its neighbors)
+/// plus the warm-up cost an autoscaler pays before the replica admits
+/// work — weight loading, CUDA-graph capture, cache allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaSpec {
+    /// The replica's GPU group.
+    pub cluster: GpuCluster,
+    /// Virtual nanoseconds between spawning this replica and it accepting
+    /// routed work (0 = instantly ready, the static-fleet behavior).
+    pub warmup_nanos: Nanos,
+}
+
+impl ReplicaSpec {
+    /// A replica on `cluster` with no warm-up cost.
+    pub fn new(cluster: GpuCluster) -> Self {
+        Self {
+            cluster,
+            warmup_nanos: 0,
+        }
+    }
+
+    /// The same replica with a warm-up cost before it admits work.
+    pub fn with_warmup(self, warmup_nanos: Nanos) -> Self {
+        Self {
+            warmup_nanos,
+            ..self
+        }
+    }
+}
+
+/// A multi-replica serving fleet: independent tensor-parallel groups, each
+/// serving its own copy of `model`. Replicas share nothing — no weights,
+/// no KV — which is the deployment shape the engine's `Cluster` router
+/// dispatches over. The per-replica [`ReplicaSpec`]s may mix GPU classes
+/// (e.g. A40-like and H100-like latency/KV-capacity models).
 #[derive(Clone, Debug)]
 pub struct FleetSpec {
     /// The model every replica serves.
     pub model: ModelSpec,
-    /// The per-replica GPU group.
-    pub cluster: GpuCluster,
-    /// Number of replicas (at least 1).
-    pub replicas: usize,
+    /// The per-replica specs, in replica order (at least 1).
+    pub replicas: Vec<ReplicaSpec>,
 }
 
 impl FleetSpec {
-    /// Builds a fleet of `replicas` copies of `model` on `cluster`-shaped
-    /// GPU groups.
+    /// Builds a homogeneous fleet of `replicas` copies of `model` on
+    /// `cluster`-shaped GPU groups with no warm-up cost.
     ///
     /// # Panics
     ///
     /// Panics if `replicas` is zero.
     pub fn new(model: ModelSpec, cluster: GpuCluster, replicas: usize) -> Self {
-        assert!(replicas > 0, "a fleet needs at least one replica");
-        Self {
-            model,
-            cluster,
-            replicas,
-        }
+        Self::heterogeneous(model, vec![ReplicaSpec::new(cluster); replicas])
+    }
+
+    /// Builds a fleet from explicit per-replica specs (mixed GPU classes,
+    /// per-replica warm-up costs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn heterogeneous(model: ModelSpec, replicas: Vec<ReplicaSpec>) -> Self {
+        assert!(!replicas.is_empty(), "a fleet needs at least one replica");
+        Self { model, replicas }
     }
 
     /// The single-replica fleet (the paper's testbed shape).
@@ -136,22 +198,31 @@ impl FleetSpec {
         Self::new(model, cluster, 1)
     }
 
+    /// Number of replicas in the fleet.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
     /// One latency model per replica, in replica order.
     pub fn latency_models(&self) -> Vec<LatencyModel> {
-        (0..self.replicas)
-            .map(|_| LatencyModel::new(self.model.clone(), self.cluster))
+        self.replicas
+            .iter()
+            .map(|r| LatencyModel::new(self.model.clone(), r.cluster))
             .collect()
     }
 
     /// Total GPU count across all replicas.
     pub fn total_gpus(&self) -> u32 {
-        self.cluster.count * self.replicas as u32
+        self.replicas.iter().map(|r| r.cluster.count).sum()
     }
 
     /// Aggregate KV-pool bytes across all replicas (each replica holds its
     /// own weights, so the pool does not grow superlinearly).
     pub fn total_kv_pool_bytes(&self) -> u64 {
-        self.cluster.kv_pool_bytes(&self.model) * self.replicas as u64
+        self.replicas
+            .iter()
+            .map(|r| r.cluster.kv_pool_bytes(&self.model))
+            .sum()
     }
 }
 
@@ -214,5 +285,44 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replica_fleet_is_rejected() {
         let _ = FleetSpec::new(ModelSpec::mistral_7b_awq(), GpuCluster::single_a40(), 0);
+    }
+
+    #[test]
+    fn h100_outclasses_a40() {
+        let (a, h) = (GpuCluster::single_a40(), GpuCluster::single_h100());
+        assert!(h.effective_flops() > 10.0 * a.effective_flops());
+        assert!(h.effective_bw() > 4.0 * a.effective_bw());
+        let model = ModelSpec::mistral_7b_awq();
+        // The 80 GB device also holds a far larger KV pool.
+        assert!(h.kv_pool_tokens(&model) > 15 * a.kv_pool_tokens(&model) / 10);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_mixes_classes_per_replica() {
+        let model = ModelSpec::mistral_7b_awq();
+        let fleet = FleetSpec::heterogeneous(
+            model.clone(),
+            vec![
+                ReplicaSpec::new(GpuCluster::single_a40()),
+                ReplicaSpec::new(GpuCluster::single_h100()).with_warmup(5_000_000_000),
+            ],
+        );
+        assert_eq!(fleet.replica_count(), 2);
+        assert_eq!(fleet.total_gpus(), 2);
+        assert_eq!(fleet.replicas[0].warmup_nanos, 0);
+        assert_eq!(fleet.replicas[1].warmup_nanos, 5_000_000_000);
+        // Each replica's latency model reflects its own GPU class.
+        let models = fleet.latency_models();
+        assert_eq!(models.len(), 2);
+        let a40_pool = GpuCluster::single_a40().kv_pool_bytes(&model);
+        let h100_pool = GpuCluster::single_h100().kv_pool_bytes(&model);
+        assert_eq!(fleet.total_kv_pool_bytes(), a40_pool + h100_pool);
+        assert!(h100_pool > a40_pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_heterogeneous_fleet_is_rejected() {
+        let _ = FleetSpec::heterogeneous(ModelSpec::mistral_7b_awq(), Vec::new());
     }
 }

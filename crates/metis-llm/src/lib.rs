@@ -30,7 +30,7 @@ pub use generation::{
     BaseFact, DerivedFact, GenMode, GenModelConfig, GenOutput, GenerationModel, QueryTruth,
     SummaryOutput,
 };
-pub use hardware::{FleetSpec, GpuCluster, GpuSpec};
+pub use hardware::{FleetSpec, GpuCluster, GpuSpec, ReplicaSpec};
 pub use latency::LatencyModel;
 pub use spec::{ModelKind, ModelSpec, Quantization};
 pub use time::{nanos_to_secs, secs_to_nanos, Nanos};

@@ -90,6 +90,20 @@ pub struct SearchOutcome {
 }
 
 /// Common interface over the index variants.
+///
+/// ```
+/// use metis_text::ChunkId;
+/// use metis_vectordb::{FlatIndex, VectorIndex};
+///
+/// let mut index = FlatIndex::new(2);
+/// index.add(ChunkId(0), &[0.0, 1.0]);
+/// index.add(ChunkId(1), &[1.0, 0.0]);
+///
+/// let outcome = index.search_counted(&[0.9, 0.1], 1);
+/// assert_eq!(outcome.hits[0].chunk, ChunkId(1));
+/// // A flat index scores the whole corpus — and says so.
+/// assert_eq!(outcome.work.vectors_scored, 2);
+/// ```
 pub trait VectorIndex: Send + Sync {
     /// Number of indexed vectors.
     fn len(&self) -> usize;
